@@ -1,0 +1,60 @@
+//! Per-decision dispatch-time benchmarks — the Criterion counterpart of the
+//! paper's Figures 5 and 8.
+//!
+//! For every cluster size the bench measures the *full* per-round decision a
+//! dispatcher makes under each policy (sorting, IWL, probability solve and
+//! destination sampling for SCD; greedy scans for JSQ/SED), on a synthetic
+//! high-load snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scd_bench::{bench_instance, typical_batch};
+use scd_model::{ClusterSpec, DispatchContext, DispatcherId};
+use scd_policies::factory_by_name;
+use std::hint::black_box;
+use std::time::Duration;
+
+const DISPATCHERS: usize = 10;
+
+fn bench_policies(c: &mut Criterion, group_name: &str, lo: f64, hi: f64) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &n in &[100usize, 200, 400] {
+        let (queues, rates) = bench_instance(n, lo, hi, 99);
+        let spec = ClusterSpec::from_rates(rates.clone()).expect("valid rates");
+        let batch = typical_batch(&rates, DISPATCHERS);
+
+        for policy_name in ["SCD", "SCD(alg1)", "JSQ", "SED"] {
+            let factory = factory_by_name(policy_name).expect("registered policy");
+            group.bench_with_input(
+                BenchmarkId::new(policy_name, n),
+                &n,
+                |b, _| {
+                    let mut policy = factory.build(DispatcherId::new(0), &spec);
+                    let mut rng = StdRng::seed_from_u64(5);
+                    let ctx = DispatchContext::new(&queues, &rates, DISPATCHERS, 0);
+                    b.iter(|| {
+                        let out = policy.dispatch_batch(black_box(&ctx), black_box(batch), &mut rng);
+                        black_box(out)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decision_time(c: &mut Criterion) {
+    // Figure 5: moderate heterogeneity µ ~ U[1, 10].
+    bench_policies(c, "decision_time_u1_10", 1.0, 10.0);
+    // Figure 8: high heterogeneity µ ~ U[1, 100].
+    bench_policies(c, "decision_time_u1_100", 1.0, 100.0);
+}
+
+criterion_group!(benches, bench_decision_time);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks for the ideal-workload computation (Algorithm 3): the
+//! `O(n log n)` sort-then-scan path versus the `O(n)` pre-sorted path
+//! referenced in Section 5 of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_bench::bench_instance;
+use scd_core::iwl::{compute_iwl, compute_iwl_with_order, sorted_by_load};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_iwl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iwl");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &n in &[100usize, 200, 400, 1000] {
+        let (queues, rates) = bench_instance(n, 1.0, 10.0, 42);
+        let arrivals = rates.iter().sum::<f64>() * 0.99;
+        group.bench_with_input(BenchmarkId::new("sorting", n), &n, |b, _| {
+            b.iter(|| compute_iwl(black_box(&queues), black_box(&rates), black_box(arrivals)))
+        });
+        let order = sorted_by_load(&queues, &rates);
+        group.bench_with_input(BenchmarkId::new("presorted", n), &n, |b, _| {
+            b.iter(|| {
+                compute_iwl_with_order(
+                    black_box(&queues),
+                    black_box(&rates),
+                    black_box(arrivals),
+                    black_box(&order),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iwl);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks for the probability solvers: Algorithm 4 (`O(n log n)`),
+//! Algorithm 1 (`O(n²)`) and the exhaustive reference (`O(2ⁿ)`, tiny n only).
+//! This is the algorithmic core behind Figures 5 and 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_bench::bench_instance;
+use scd_core::iwl::compute_iwl;
+use scd_core::qp::exhaustive_solution;
+use scd_core::solver::{
+    compute_probabilities_fast, compute_probabilities_fast_with_order,
+    compute_probabilities_quadratic, sorted_by_key,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &n in &[100usize, 200, 400] {
+        let (queues, rates) = bench_instance(n, 1.0, 10.0, 7);
+        let arrivals = rates.iter().sum::<f64>() * 0.99 / 10.0;
+        let iwl = compute_iwl(&queues, &rates, arrivals);
+
+        group.bench_with_input(BenchmarkId::new("algorithm4", n), &n, |b, _| {
+            b.iter(|| {
+                compute_probabilities_fast(
+                    black_box(&queues),
+                    black_box(&rates),
+                    black_box(arrivals),
+                    black_box(iwl),
+                )
+                .unwrap()
+            })
+        });
+        let order = sorted_by_key(&queues, &rates);
+        group.bench_with_input(BenchmarkId::new("algorithm4_presorted", n), &n, |b, _| {
+            b.iter(|| {
+                compute_probabilities_fast_with_order(
+                    black_box(&queues),
+                    black_box(&rates),
+                    black_box(arrivals),
+                    black_box(iwl),
+                    black_box(&order),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| {
+                compute_probabilities_quadratic(
+                    black_box(&queues),
+                    black_box(&rates),
+                    black_box(arrivals),
+                    black_box(iwl),
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // The exhaustive active-set search only makes sense for tiny clusters.
+    let (queues, rates) = bench_instance(12, 1.0, 10.0, 7);
+    let arrivals = 24.0;
+    let iwl = compute_iwl(&queues, &rates, arrivals);
+    group.bench_function("exhaustive_n12", |b| {
+        b.iter(|| {
+            exhaustive_solution(
+                black_box(&queues),
+                black_box(&rates),
+                black_box(arrivals),
+                black_box(iwl),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

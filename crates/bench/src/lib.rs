@@ -1,0 +1,64 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benches back the paper's execution-run-time claims (Figures 5 and 8):
+//! SCD with Algorithm 4 scales like JSQ and SED (`O(n log n)` per decision),
+//! while Algorithm 1 is noticeably slower. They also cover ablations listed
+//! in DESIGN.md (solver variants, alias vs CDF sampling, end-to-end
+//! simulation throughput).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A synthetic high-load cluster snapshot: `n` servers with rates drawn from
+/// `U[lo, hi]` and queue lengths drawn so that the backlog is roughly one
+/// round's worth of work per server (the regime of the paper's ρ = 0.99
+/// measurements).
+pub fn bench_instance(n: usize, lo: f64, hi: f64, seed: u64) -> (Vec<u64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    let queues: Vec<u64> = rates
+        .iter()
+        .map(|&mu| {
+            let backlog = rng.gen_range(0.0..2.5) * mu;
+            backlog.round() as u64
+        })
+        .collect();
+    (queues, rates)
+}
+
+/// The batch size a single dispatcher handles per round in a system with `m`
+/// dispatchers at offered load ~0.99 (used to size dispatch benchmarks).
+pub fn typical_batch(rates: &[f64], m: usize) -> usize {
+    let capacity: f64 = rates.iter().sum();
+    ((0.99 * capacity / m as f64).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_instance_has_requested_shape() {
+        let (queues, rates) = bench_instance(64, 1.0, 10.0, 3);
+        assert_eq!(queues.len(), 64);
+        assert_eq!(rates.len(), 64);
+        assert!(rates.iter().all(|&r| (1.0..=10.0).contains(&r)));
+        // Deterministic per seed.
+        let again = bench_instance(64, 1.0, 10.0, 3);
+        assert_eq!(again.0, queues);
+        assert_eq!(again.1, rates);
+    }
+
+    #[test]
+    fn typical_batch_is_positive_and_scales() {
+        let (_, rates) = bench_instance(100, 1.0, 10.0, 1);
+        let b10 = typical_batch(&rates, 10);
+        let b5 = typical_batch(&rates, 5);
+        assert!(b10 >= 1);
+        assert!(b5 > b10);
+    }
+}

@@ -1,0 +1,322 @@
+//! The ideally balanced assignment and the ideal workload (Section 3.1,
+//! Algorithm 3 of the paper).
+//!
+//! Given the current queue lengths `q_s`, the service rates `µ_s` and the
+//! total number of incoming jobs `a`, the *ideal workload* (IWL) is the
+//! max-min-fair post-assignment load level: the value of
+//!
+//! ```text
+//!   max min_s (q_s + ā_s) / µ_s    s.t.  Σ_s ā_s = a,  ā_s ≥ 0
+//! ```
+//!
+//! if the incoming work were infinitely divisible. The corresponding
+//! *ideally balanced assignment* is `ā_s = µ_s · max(q_s/µ_s, iwl) − q_s`
+//! (Eq. 2). SCD measures every realizable (integral, randomized) assignment
+//! against this ideal.
+
+/// Computes the ideal workload by sorting servers by their current load
+/// `q_s / µ_s` and then water-filling the `a` units of incoming work
+/// (Algorithm 3).
+///
+/// Runs in `O(n log n)`; use [`compute_iwl_with_order`] when the caller
+/// already maintains the sorted order.
+///
+/// # Panics
+/// Panics if `queues` and `rates` have different lengths, if `rates` is
+/// empty, or if `arrivals` is negative or not finite. Rates must be strictly
+/// positive (guaranteed by [`scd_model::ClusterSpec`]); a non-positive rate
+/// makes the load `q/µ` meaningless and triggers a debug assertion.
+///
+/// # Example
+/// ```
+/// use scd_core::iwl::compute_iwl;
+/// // Figure 1: rates [5,2,1,1], queues [2,1,3,1], 7 new jobs → IWL = 1.375.
+/// let iwl = compute_iwl(&[2, 1, 3, 1], &[5.0, 2.0, 1.0, 1.0], 7.0);
+/// assert!((iwl - 1.375).abs() < 1e-12);
+/// ```
+pub fn compute_iwl(queues: &[u64], rates: &[f64], arrivals: f64) -> f64 {
+    let order = sorted_by_load(queues, rates);
+    compute_iwl_with_order(queues, rates, arrivals, &order)
+}
+
+/// Returns the server indices sorted in non-decreasing order of load
+/// `q_s / µ_s` — the order required by [`compute_iwl_with_order`].
+pub fn sorted_by_load(queues: &[u64], rates: &[f64]) -> Vec<usize> {
+    assert_eq!(queues.len(), rates.len(), "queues and rates must have equal length");
+    let mut order: Vec<usize> = (0..queues.len()).collect();
+    order.sort_by(|&a, &b| {
+        let la = queues[a] as f64 / rates[a];
+        let lb = queues[b] as f64 / rates[b];
+        la.partial_cmp(&lb).expect("loads are finite")
+    });
+    order
+}
+
+/// Computes the ideal workload given a pre-sorted order (Algorithm 3 proper,
+/// `O(n)`).
+///
+/// `order` must list all server indices in non-decreasing order of
+/// `q_s / µ_s`, e.g. as produced by [`sorted_by_load`].
+///
+/// # Panics
+/// Panics on inconsistent input lengths, an empty cluster, a negative or
+/// non-finite arrival count, or an `order` that is not a permutation of
+/// `0..n` (checked with debug assertions).
+pub fn compute_iwl_with_order(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    order: &[usize],
+) -> f64 {
+    let n = queues.len();
+    assert_eq!(n, rates.len(), "queues and rates must have equal length");
+    assert_eq!(n, order.len(), "order must cover every server");
+    assert!(n > 0, "cluster must contain at least one server");
+    assert!(
+        arrivals.is_finite() && arrivals >= 0.0,
+        "arrivals must be a finite non-negative number, got {arrivals}"
+    );
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            order.iter().all(|&i| {
+                let fresh = i < n && !seen[i];
+                if i < n {
+                    seen[i] = true;
+                }
+                fresh
+            })
+        },
+        "order must be a permutation of 0..n"
+    );
+
+    let load = |i: usize| queues[i] as f64 / rates[i];
+
+    let mut remaining = arrivals;
+    let mut mu_tot = 0.0;
+    let mut iwl = load(order[0]);
+    let mut idx = 0usize;
+
+    while remaining > 0.0 {
+        let r = order[idx];
+        mu_tot += rates[r];
+        idx += 1;
+        if idx == n {
+            return iwl + remaining / mu_tot;
+        }
+        let next_load = load(order[idx]);
+        let delta = next_load - iwl;
+        if delta * mu_tot >= remaining {
+            return iwl + remaining / mu_tot;
+        }
+        remaining -= delta * mu_tot;
+        iwl = next_load;
+    }
+    iwl
+}
+
+/// The ideally balanced (fractional) assignment `ā_s` implied by an ideal
+/// workload (Eq. 2): `ā_s = µ_s · max(q_s/µ_s, iwl) − q_s`.
+///
+/// The returned amounts are non-negative and — when `iwl` was produced by
+/// [`compute_iwl`] for the same inputs — sum to the total number of arrivals
+/// (up to floating-point round-off).
+///
+/// # Panics
+/// Panics if `queues` and `rates` have different lengths.
+///
+/// # Example
+/// ```
+/// use scd_core::iwl::{compute_iwl, ideal_assignment};
+/// let queues = [2u64, 1, 3, 1];
+/// let rates = [5.0, 2.0, 1.0, 1.0];
+/// let iwl = compute_iwl(&queues, &rates, 7.0);
+/// let assignment = ideal_assignment(&queues, &rates, iwl);
+/// // Figure 1b of the paper: [4.875, 1.75, 0, 0.375].
+/// assert!((assignment[0] - 4.875).abs() < 1e-9);
+/// assert!((assignment[2] - 0.0).abs() < 1e-9);
+/// ```
+pub fn ideal_assignment(queues: &[u64], rates: &[f64], iwl: f64) -> Vec<f64> {
+    assert_eq!(queues.len(), rates.len(), "queues and rates must have equal length");
+    queues
+        .iter()
+        .zip(rates)
+        .map(|(&q, &mu)| {
+            let load = q as f64 / mu;
+            mu * load.max(iwl) - q as f64
+        })
+        .collect()
+}
+
+/// The post-assignment workload of every server under the ideally balanced
+/// assignment: `max(q_s/µ_s, iwl)`.
+pub fn ideal_workloads(queues: &[u64], rates: &[f64], iwl: f64) -> Vec<f64> {
+    assert_eq!(queues.len(), rates.len(), "queues and rates must have equal length");
+    queues
+        .iter()
+        .zip(rates)
+        .map(|(&q, &mu)| (q as f64 / mu).max(iwl))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn figure1_ideal_workload_and_assignment() {
+        let queues = [2u64, 1, 3, 1];
+        let rates = [5.0, 2.0, 1.0, 1.0];
+        let iwl = compute_iwl(&queues, &rates, 7.0);
+        assert!((iwl - 1.375).abs() < EPS);
+
+        let assignment = ideal_assignment(&queues, &rates, iwl);
+        let expected = [4.875, 1.75, 0.0, 0.375];
+        for (got, want) in assignment.iter().zip(expected) {
+            assert!((got - want).abs() < EPS, "got {got}, want {want}");
+        }
+        let total: f64 = assignment.iter().sum();
+        assert!((total - 7.0).abs() < EPS);
+
+        let workloads = ideal_workloads(&queues, &rates, iwl);
+        assert!((workloads[0] - 1.375).abs() < EPS);
+        assert!((workloads[2] - 3.0).abs() < EPS, "overloaded server keeps its load");
+    }
+
+    #[test]
+    fn figure2_ideal_workload() {
+        // One fast server (µ=10) with 9 queued jobs, eight idle slow servers
+        // (µ=1), 7 incoming jobs → IWL = 0.875.
+        let mut queues = vec![9u64];
+        queues.extend(std::iter::repeat(0).take(8));
+        let mut rates = vec![10.0];
+        rates.extend(std::iter::repeat(1.0).take(8));
+        let iwl = compute_iwl(&queues, &rates, 7.0);
+        assert!((iwl - 0.875).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_arrivals_keep_minimum_load() {
+        let queues = [4u64, 2, 0];
+        let rates = [2.0, 2.0, 1.0];
+        let iwl = compute_iwl(&queues, &rates, 0.0);
+        assert!((iwl - 0.0).abs() < EPS);
+        let assignment = ideal_assignment(&queues, &rates, iwl);
+        assert!(assignment.iter().all(|&a| a.abs() < EPS));
+    }
+
+    #[test]
+    fn single_server_gets_everything() {
+        let iwl = compute_iwl(&[3], &[2.0], 5.0);
+        assert!((iwl - 4.0).abs() < EPS, "(3 + 5) / 2 = 4");
+        let assignment = ideal_assignment(&[3], &[2.0], iwl);
+        assert!((assignment[0] - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn homogeneous_empty_cluster_splits_evenly() {
+        let queues = [0u64; 4];
+        let rates = [1.0; 4];
+        let iwl = compute_iwl(&queues, &rates, 8.0);
+        assert!((iwl - 2.0).abs() < EPS);
+        let assignment = ideal_assignment(&queues, &rates, iwl);
+        assert!(assignment.iter().all(|&a| (a - 2.0).abs() < EPS));
+    }
+
+    #[test]
+    fn heavily_loaded_servers_receive_nothing() {
+        let queues = [100u64, 0, 0];
+        let rates = [1.0, 1.0, 1.0];
+        let iwl = compute_iwl(&queues, &rates, 10.0);
+        assert!((iwl - 5.0).abs() < EPS);
+        let assignment = ideal_assignment(&queues, &rates, iwl);
+        assert!((assignment[0] - 0.0).abs() < EPS);
+        assert!((assignment[1] - 5.0).abs() < EPS);
+        assert!((assignment[2] - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn fractional_arrivals_are_supported() {
+        // The SCD policy feeds the *estimated* arrivals, which can be any
+        // positive real number.
+        let iwl = compute_iwl(&[0, 0], &[1.0, 3.0], 2.5);
+        assert!((iwl - 0.625).abs() < EPS);
+    }
+
+    #[test]
+    fn conservation_holds_on_random_instances() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2021);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..40);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..20.0)).collect();
+            let arrivals = rng.gen_range(0..200) as f64;
+            let iwl = compute_iwl(&queues, &rates, arrivals);
+            let assignment = ideal_assignment(&queues, &rates, iwl);
+            let total: f64 = assignment.iter().sum();
+            assert!(
+                (total - arrivals).abs() < 1e-6 * (1.0 + arrivals),
+                "conservation violated: assigned {total}, arrived {arrivals}"
+            );
+            assert!(assignment.iter().all(|&a| a >= -1e-9));
+            // IWL is at least the pre-assignment minimum load.
+            let min_load = queues
+                .iter()
+                .zip(&rates)
+                .map(|(&q, &mu)| q as f64 / mu)
+                .fold(f64::INFINITY, f64::min);
+            assert!(iwl >= min_load - 1e-9);
+        }
+    }
+
+    #[test]
+    fn presorted_variant_matches_sorting_variant() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..30);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..10.0)).collect();
+            let arrivals = rng.gen_range(0.0..50.0);
+            let order = sorted_by_load(&queues, &rates);
+            let a = compute_iwl(&queues, &rates, arrivals);
+            let b = compute_iwl_with_order(&queues, &rates, arrivals, &order);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn iwl_is_monotone_in_arrivals() {
+        let queues = [5u64, 1, 0, 7];
+        let rates = [2.0, 1.0, 4.0, 3.0];
+        let mut last = 0.0;
+        for a in 0..60 {
+            let iwl = compute_iwl(&queues, &rates, a as f64);
+            assert!(iwl + 1e-12 >= last, "IWL must not decrease as arrivals grow");
+            last = iwl;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_inputs_panic() {
+        compute_iwl(&[1, 2], &[1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_cluster_panics() {
+        compute_iwl(&[], &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_arrivals_panic() {
+        compute_iwl(&[1], &[1.0], -1.0);
+    }
+}

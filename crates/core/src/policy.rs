@@ -1,0 +1,294 @@
+//! The complete SCD dispatching procedure (Algorithm 2) packaged as a
+//! [`DispatchPolicy`].
+//!
+//! Every round, each dispatcher independently:
+//!
+//! 1. observes the queue lengths `q_s(t)`;
+//! 2. estimates the total arrivals `a_est` from its own batch (Eq. 18);
+//! 3. computes the ideal workload (Algorithm 3);
+//! 4. computes the optimal dispatching probabilities (Algorithm 1 or 4);
+//! 5. draws an i.i.d. destination from `P` for every job in its batch.
+//!
+//! The struct is deliberately allocation-light: the probability vector and
+//! the alias table are rebuilt each round (they depend on the fresh queue
+//! state), but no state is carried across rounds — SCD is memoryless, which
+//! is what makes it robust to dispatcher churn.
+
+use crate::estimator::ArrivalEstimator;
+use crate::iwl::compute_iwl;
+use crate::solver::{solve_with_iwl, SolverKind};
+use rand::RngCore;
+use scd_model::{
+    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
+    PolicyFactory, ServerId,
+};
+
+/// The Stochastically Coordinated Dispatching policy of the paper.
+///
+/// # Example
+/// ```
+/// use scd_core::policy::ScdPolicy;
+/// use scd_model::{DispatchContext, DispatchPolicy};
+/// use rand::SeedableRng;
+///
+/// let mut policy = ScdPolicy::new();
+/// let queues = vec![9u64, 0, 0, 0, 0, 0, 0, 0, 0];
+/// let rates = vec![10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let destinations = policy.dispatch_batch(&ctx, 7, &mut rng);
+/// assert_eq!(destinations.len(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScdPolicy {
+    estimator: ArrivalEstimator,
+    solver: SolverKind,
+    name: String,
+}
+
+impl ScdPolicy {
+    /// SCD with the paper's defaults: estimator `a_est = m·a(d)` and the
+    /// `O(n log n)` solver (Algorithm 4).
+    pub fn new() -> Self {
+        Self::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast)
+    }
+
+    /// SCD with an explicit estimator and solver choice.
+    pub fn with_options(estimator: ArrivalEstimator, solver: SolverKind) -> Self {
+        let name = match solver {
+            SolverKind::Fast => "SCD".to_string(),
+            SolverKind::Quadratic => "SCD(alg1)".to_string(),
+        };
+        ScdPolicy {
+            estimator,
+            solver,
+            name,
+        }
+    }
+
+    /// Overrides the display name (used by ablation experiments that run
+    /// several SCD variants side by side).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The estimator in use.
+    pub fn estimator(&self) -> ArrivalEstimator {
+        self.estimator
+    }
+
+    /// The solver in use.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
+    }
+
+    /// Computes this round's dispatching distribution without sampling —
+    /// exposed for tests, examples and the decision-time benchmarks.
+    pub fn distribution(&self, ctx: &DispatchContext<'_>, batch: usize) -> Vec<f64> {
+        let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
+        let queues = ctx.queue_lengths();
+        let rates = ctx.rates();
+        let iwl = compute_iwl(queues, rates, a_est);
+        solve_with_iwl(queues, rates, a_est, iwl, self.solver)
+            .expect("cluster state from the engine is always valid")
+            .probabilities
+    }
+}
+
+impl Default for ScdPolicy {
+    fn default() -> Self {
+        ScdPolicy::new()
+    }
+}
+
+impl DispatchPolicy for ScdPolicy {
+    fn policy_name(&self) -> &str {
+        &self.name
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId> {
+        if batch == 0 {
+            return Vec::new();
+        }
+        let probabilities = self.distribution(ctx, batch);
+        let sampler = AliasSampler::new(&probabilities)
+            .expect("solver output is a valid probability vector");
+        (0..batch)
+            .map(|_| ServerId::new(sampler.sample(rng)))
+            .collect()
+    }
+}
+
+/// Factory that equips every dispatcher with its own [`ScdPolicy`] instance.
+#[derive(Debug, Clone)]
+pub struct ScdFactory {
+    estimator: ArrivalEstimator,
+    solver: SolverKind,
+    name: String,
+}
+
+impl ScdFactory {
+    /// SCD with the paper's defaults.
+    pub fn new() -> Self {
+        Self::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast)
+    }
+
+    /// SCD with an explicit estimator and solver choice.
+    pub fn with_options(estimator: ArrivalEstimator, solver: SolverKind) -> Self {
+        let name = match solver {
+            SolverKind::Fast => "SCD".to_string(),
+            SolverKind::Quadratic => "SCD(alg1)".to_string(),
+        };
+        ScdFactory {
+            estimator,
+            solver,
+            name,
+        }
+    }
+
+    /// Overrides the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl Default for ScdFactory {
+    fn default() -> Self {
+        ScdFactory::new()
+    }
+}
+
+impl PolicyFactory for ScdFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
+        Box::new(
+            ScdPolicy::with_options(self.estimator, self.solver).with_name(self.name.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn figure2_cluster() -> (Vec<u64>, Vec<f64>) {
+        let mut queues = vec![9u64];
+        queues.extend(std::iter::repeat(0).take(8));
+        let mut rates = vec![10.0];
+        rates.extend(std::iter::repeat(1.0).take(8));
+        (queues, rates)
+    }
+
+    #[test]
+    fn empty_batch_dispatches_nothing() {
+        let (queues, rates) = figure2_cluster();
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = ScdPolicy::new();
+        assert!(policy.dispatch_batch(&ctx, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn dispatch_produces_valid_destinations() {
+        let (queues, rates) = figure2_cluster();
+        let ctx = DispatchContext::new(&queues, &rates, 4, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = ScdPolicy::new();
+        let out = policy.dispatch_batch(&ctx, 50, &mut rng);
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|s| s.index() < queues.len()));
+    }
+
+    #[test]
+    fn empirical_distribution_matches_solver_output() {
+        let (queues, rates) = figure2_cluster();
+        // Single dispatcher so a_est = batch exactly.
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let policy = ScdPolicy::new();
+        let expected = policy.distribution(&ctx, 7);
+        let mut policy = policy;
+        let mut rng = StdRng::seed_from_u64(12345);
+        let mut counts = vec![0usize; queues.len()];
+        let trials = 40_000;
+        for _ in 0..trials {
+            for s in policy.dispatch_batch(&ctx, 7, &mut rng) {
+                counts[s.index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, trials * 7);
+        for (s, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / total as f64;
+            assert!(
+                (freq - expected[s]).abs() < 0.01,
+                "server {s}: empirical {freq}, expected {}",
+                expected[s]
+            );
+        }
+    }
+
+    #[test]
+    fn estimator_affects_the_distribution() {
+        let (queues, rates) = figure2_cluster();
+        let ctx = DispatchContext::new(&queues, &rates, 10, 0);
+        let own_only = ScdPolicy::with_options(ArrivalEstimator::OwnOnly, SolverKind::Fast);
+        let scaled = ScdPolicy::new();
+        let p_own = own_only.distribution(&ctx, 2);
+        let p_scaled = scaled.distribution(&ctx, 2);
+        // With a larger estimated total, mass spreads onto more servers
+        // (including the fast one that is above the IWL).
+        assert!(p_scaled[0] > 0.0);
+        assert!(p_own.iter().filter(|&&p| p > 0.0).count()
+            <= p_scaled.iter().filter(|&&p| p > 0.0).count());
+    }
+
+    #[test]
+    fn both_solver_kinds_produce_the_same_distribution() {
+        let (queues, rates) = figure2_cluster();
+        let ctx = DispatchContext::new(&queues, &rates, 5, 0);
+        let fast = ScdPolicy::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast);
+        let quad =
+            ScdPolicy::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Quadratic);
+        let pf = fast.distribution(&ctx, 3);
+        let pq = quad.distribution(&ctx, 3);
+        for (a, b) in pf.iter().zip(&pq) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(fast.policy_name(), "SCD");
+        assert_eq!(quad.policy_name(), "SCD(alg1)");
+    }
+
+    #[test]
+    fn factory_builds_named_policies() {
+        let spec = ClusterSpec::from_rates(vec![1.0, 2.0]).unwrap();
+        let factory = ScdFactory::new();
+        assert_eq!(factory.name(), "SCD");
+        let policy = factory.build(DispatcherId::new(0), &spec);
+        assert_eq!(policy.policy_name(), "SCD");
+
+        let renamed = ScdFactory::with_options(ArrivalEstimator::OwnOnly, SolverKind::Fast)
+            .with_name("SCD[own]");
+        assert_eq!(renamed.name(), "SCD[own]");
+        let policy = renamed.build(DispatcherId::new(1), &spec);
+        assert_eq!(policy.policy_name(), "SCD[own]");
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let p = ScdPolicy::with_options(ArrivalEstimator::Constant(8.0), SolverKind::Quadratic);
+        assert_eq!(p.estimator(), ArrivalEstimator::Constant(8.0));
+        assert_eq!(p.solver(), SolverKind::Quadratic);
+    }
+}

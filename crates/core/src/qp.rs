@@ -1,0 +1,320 @@
+//! Reference machinery for the stochastic-coordination quadratic program.
+//!
+//! Nothing in this module is used on the dispatching hot path; it exists so
+//! that the `O(n log n)` production solver can be validated against
+//! first-principles implementations:
+//!
+//! * [`objective`] — the raw objective `f(P)` of Eq. 10.
+//! * [`expected_error`] — the full expected error of Eq. 8 (objective plus
+//!   the constant terms dropped in the derivation), useful for sanity checks
+//!   against Monte-Carlo estimates.
+//! * [`exhaustive_solution`] — the brute-force active-set search over all
+//!   `2ⁿ − 1` candidate probable sets described (and rejected as infeasible
+//!   for production) in Section 4.1.
+//! * [`check_kkt`] — verifies the Karush-Kuhn-Tucker conditions (Eq. 12) for
+//!   a candidate solution.
+
+use std::error::Error;
+use std::fmt;
+
+/// The objective function `f(P)` of Eq. 10.
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn objective(probs: &[f64], queues: &[u64], rates: &[f64], arrivals: f64, iwl: f64) -> f64 {
+    assert_eq!(probs.len(), queues.len());
+    assert_eq!(probs.len(), rates.len());
+    let a = arrivals;
+    probs
+        .iter()
+        .zip(queues)
+        .zip(rates)
+        .map(|((&p, &q), &mu)| {
+            (a - 1.0) * p * p / mu + (2.0 * (q as f64 - mu * iwl) + 1.0) / mu * p
+        })
+        .sum()
+}
+
+/// The full expected error `E[error]` of Eq. 5/8 (including the constant
+/// terms that do not depend on `P`), assuming `ā_s ~ Binomial(a, p_s)`.
+///
+/// Used by tests that compare against Monte-Carlo simulation of the
+/// dispatching step.
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn expected_error(
+    probs: &[f64],
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+) -> f64 {
+    assert_eq!(probs.len(), queues.len());
+    assert_eq!(probs.len(), rates.len());
+    let a = arrivals;
+    probs
+        .iter()
+        .zip(queues)
+        .zip(rates)
+        .map(|((&p, &q), &mu)| {
+            let e_a = a * p;
+            let e_a2 = a * p * (1.0 - p) + a * a * p * p;
+            let c = q as f64 - mu * iwl;
+            (e_a2 + 2.0 * e_a * c + c * c) / mu
+        })
+        .sum()
+}
+
+/// Violation report produced by [`check_kkt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KktViolation {
+    /// Human-readable description of the violated condition.
+    pub condition: String,
+    /// Magnitude of the violation.
+    pub magnitude: f64,
+}
+
+impl fmt::Display for KktViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KKT violation ({}): magnitude {}", self.condition, self.magnitude)
+    }
+}
+
+impl Error for KktViolation {}
+
+/// Checks the KKT conditions (Eq. 12) for the problem of Eq. 10.
+///
+/// For the strictly convex case (`a > 1`) the KKT conditions are necessary
+/// and sufficient for optimality, so this function is a *certificate checker*
+/// for any candidate solution:
+///
+/// * primal feasibility: `p_s ≥ 0`, `Σ p_s = 1`;
+/// * stationarity on the support: the gradient component
+///   `2(a−1)p_s/µ_s + (2(q_s − µ_s·iwl)+1)/µ_s` is the same constant `−Λ₀`
+///   for every `s` with `p_s > 0`;
+/// * dual feasibility off the support: for `p_s = 0` the gradient component
+///   must be at least that constant.
+///
+/// # Errors
+/// Returns the first violated condition with its magnitude.
+///
+/// # Panics
+/// Panics if the slice lengths disagree or `arrivals ≤ 1`.
+pub fn check_kkt(
+    probs: &[f64],
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    tolerance: f64,
+) -> Result<(), KktViolation> {
+    assert_eq!(probs.len(), queues.len());
+    assert_eq!(probs.len(), rates.len());
+    assert!(arrivals > 1.0, "KKT analysis applies to the a > 1 case");
+    let a = arrivals;
+
+    // Primal feasibility.
+    let total: f64 = probs.iter().sum();
+    if (total - 1.0).abs() > tolerance {
+        return Err(KktViolation {
+            condition: "sum of probabilities equals one".into(),
+            magnitude: (total - 1.0).abs(),
+        });
+    }
+    if let Some((i, &p)) = probs.iter().enumerate().find(|(_, &p)| p < -tolerance) {
+        return Err(KktViolation {
+            condition: format!("probability {i} is non-negative"),
+            magnitude: -p,
+        });
+    }
+
+    // Gradient of the objective w.r.t. p_s.
+    let gradient = |s: usize| -> f64 {
+        2.0 * (a - 1.0) * probs[s] / rates[s]
+            + (2.0 * (queues[s] as f64 - rates[s] * iwl) + 1.0) / rates[s]
+    };
+
+    // Stationarity: the gradient must be constant over the support.
+    let support: Vec<usize> = (0..probs.len()).filter(|&s| probs[s] > tolerance).collect();
+    if support.is_empty() {
+        return Err(KktViolation {
+            condition: "support is non-empty".into(),
+            magnitude: 1.0,
+        });
+    }
+    let reference = gradient(support[0]);
+    // The gradient scale grows with queue lengths and 1/µ; use a relative
+    // tolerance so large instances are not rejected for harmless round-off.
+    let scale = 1.0 + reference.abs();
+    for &s in &support[1..] {
+        let g = gradient(s);
+        if (g - reference).abs() > tolerance * scale {
+            return Err(KktViolation {
+                condition: format!("stationarity on support server {s}"),
+                magnitude: (g - reference).abs(),
+            });
+        }
+    }
+
+    // Dual feasibility: off-support gradients must not be smaller.
+    for s in 0..probs.len() {
+        if probs[s] <= tolerance {
+            let g = gradient(s);
+            if g < reference - tolerance * scale {
+                return Err(KktViolation {
+                    condition: format!("dual feasibility for zero-probability server {s}"),
+                    magnitude: reference - g,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Brute-force reference solver: tries every non-empty subset of servers as
+/// the probable set, computes the closed-form solution (Eq. 14–16), keeps the
+/// feasible candidate with the smallest objective.
+///
+/// Exponential in `n`; intended for tests with `n ≤ 16`.
+///
+/// # Panics
+/// Panics if `n > 20` (the search would take far too long), if the slice
+/// lengths disagree, or if `arrivals ≤ 1`.
+pub fn exhaustive_solution(queues: &[u64], rates: &[f64], arrivals: f64, iwl: f64) -> Vec<f64> {
+    assert_eq!(queues.len(), rates.len());
+    let n = queues.len();
+    assert!(n <= 20, "exhaustive search is limited to n <= 20 (got {n})");
+    assert!(arrivals > 1.0, "exhaustive search applies to the a > 1 case");
+    let a = arrivals;
+
+    let mut best_val = f64::INFINITY;
+    let mut best: Option<Vec<f64>> = None;
+
+    for mask in 1u32..(1u32 << n) {
+        let members: Vec<usize> = (0..n).filter(|&s| mask & (1 << s) != 0).collect();
+        // Λ0 per Eq. 16.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &s in &members {
+            num += 2.0 * (rates[s] * iwl - queues[s] as f64) - 1.0;
+            den += rates[s];
+        }
+        num -= 2.0 * (a - 1.0);
+        let lambda0 = num / den;
+
+        let mut probs = vec![0.0; n];
+        let mut feasible = true;
+        for &s in &members {
+            let p = (-2.0 * (queues[s] as f64 - rates[s] * iwl) - 1.0 - rates[s] * lambda0)
+                / (2.0 * (a - 1.0));
+            if p < -1e-9 {
+                feasible = false;
+                break;
+            }
+            probs[s] = p.max(0.0);
+        }
+        if !feasible {
+            continue;
+        }
+        let val = objective(&probs, queues, rates, a, iwl);
+        if val < best_val {
+            best_val = val;
+            best = Some(probs);
+        }
+    }
+
+    let mut probs = best.expect("at least one subset is feasible");
+    let total: f64 = probs.iter().sum();
+    if total > 0.0 {
+        for p in probs.iter_mut() {
+            *p /= total;
+        }
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iwl::compute_iwl;
+
+    #[test]
+    fn objective_matches_hand_computation() {
+        // Two servers, a = 3, iwl = 1: f(P) = 2(p0²/2 + p1²) + [(2(1−2)+1)/2]p0 + [(2(0−1)+1)/1]p1
+        let probs = [0.25, 0.75];
+        let queues = [1u64, 0];
+        let rates = [2.0, 1.0];
+        let val = objective(&probs, &queues, &rates, 3.0, 1.0);
+        let expected = 2.0 * (0.25f64.powi(2) / 2.0 + 0.75f64.powi(2))
+            + (-0.5) * 0.25
+            + (-1.0) * 0.75;
+        assert!((val - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_error_dominates_objective_by_constants() {
+        // E[error] = a·f(P)·? — not exactly; instead verify that optimizing
+        // f also optimizes E[error]: for two candidate distributions the
+        // ordering is identical.
+        let queues = [3u64, 0, 1];
+        let rates = [2.0, 1.0, 1.0];
+        let a = 5.0;
+        let iwl = compute_iwl(&queues, &rates, a);
+        let p1 = [0.2, 0.5, 0.3];
+        let p2 = [0.6, 0.2, 0.2];
+        let f1 = objective(&p1, &queues, &rates, a, iwl);
+        let f2 = objective(&p2, &queues, &rates, a, iwl);
+        let e1 = expected_error(&p1, &queues, &rates, a, iwl);
+        let e2 = expected_error(&p2, &queues, &rates, a, iwl);
+        assert_eq!(f1 < f2, e1 < e2, "objective and expected error must rank identically");
+        // And the difference of expected errors equals a times the difference
+        // of objectives (the dropped terms are constant in P).
+        assert!(((e1 - e2) - a * (f1 - f2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kkt_accepts_optimal_and_rejects_suboptimal() {
+        let queues = [9u64, 0, 0, 0, 0, 0, 0, 0, 0];
+        let rates = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let a = 7.0;
+        let iwl = compute_iwl(&queues, &rates, a);
+        // Analytical optimum from Figure 2.
+        let mut optimal = vec![2.0 / 9.0];
+        optimal.extend(std::iter::repeat(7.0 / 72.0).take(8));
+        check_kkt(&optimal, &queues, &rates, a, iwl, 1e-9).unwrap();
+
+        // A clearly suboptimal distribution: everything to the fast server.
+        let mut bad = vec![1.0];
+        bad.extend(std::iter::repeat(0.0).take(8));
+        assert!(check_kkt(&bad, &queues, &rates, a, iwl, 1e-9).is_err());
+
+        // A vector that does not sum to one.
+        let mut unnormalized = optimal.clone();
+        unnormalized[0] += 0.1;
+        let err = check_kkt(&unnormalized, &queues, &rates, a, iwl, 1e-9).unwrap_err();
+        assert!(err.condition.contains("sum"));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn exhaustive_matches_known_closed_form() {
+        let queues = [9u64, 0, 0, 0, 0, 0, 0, 0, 0];
+        let rates = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let a = 7.0;
+        let iwl = compute_iwl(&queues, &rates, a);
+        let sol = exhaustive_solution(&queues, &rates, a, iwl);
+        assert!((sol[0] - 2.0 / 9.0).abs() < 1e-9);
+        for s in 1..9 {
+            assert!((sol[s] - 7.0 / 72.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 20")]
+    fn exhaustive_refuses_large_instances() {
+        let queues = vec![0u64; 21];
+        let rates = vec![1.0; 21];
+        exhaustive_solution(&queues, &rates, 2.0, 0.0);
+    }
+}

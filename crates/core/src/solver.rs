@@ -1,0 +1,710 @@
+//! Solvers for the stochastic-coordination optimization problem (Eq. 10 of
+//! the paper).
+//!
+//! Given queue lengths `q_s`, rates `µ_s`, an (estimated) total number of
+//! arrivals `a` and the ideal workload `iwl`, the problem is
+//!
+//! ```text
+//!   minimize_P  f(P) = (a−1) Σ_s p_s²/µ_s + Σ_s (2(q_s − µ_s·iwl) + 1)/µ_s · p_s
+//!   subject to  Σ_s p_s = 1,  p_s ≥ 0
+//! ```
+//!
+//! The KKT analysis of Section 4 shows that the *probable set* `S⁺` (servers
+//! with positive probability) is always a prefix of the servers sorted by
+//! `(2q_s + 1)/µ_s` (Lemma 1 / Corollary 1), and that for a known `S⁺` the
+//! solution is closed-form (Eq. 14–16). Two solvers exploit this:
+//!
+//! * [`compute_probabilities_quadratic`] — Algorithm 1: evaluates every
+//!   prefix from scratch, `O(n²)`.
+//! * [`compute_probabilities_fast`] — Algorithm 4: maintains running sums so
+//!   each prefix costs `O(1)` (Lemma 2), `O(n log n)` total (or `O(n)` when
+//!   the caller supplies the sorted order).
+//!
+//! Both return identical results (verified against each other and against an
+//! exhaustive subset search in this module's tests and in `qp.rs`).
+
+use crate::iwl::compute_iwl;
+use std::error::Error;
+use std::fmt;
+
+/// Numerical slack used when testing primal feasibility (`p_s ≥ 0`).
+const FEASIBILITY_TOLERANCE: f64 = 1e-9;
+
+/// Arrivals within this distance of 1.0 take the closed-form single-job path
+/// (Eq. 9), which avoids dividing by `a − 1 ≈ 0`.
+const SINGLE_JOB_THRESHOLD: f64 = 1.0 + 1e-9;
+
+/// Which algorithm computes the dispatching probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Algorithm 4 — `O(n log n)` (optimal); the default used by SCD.
+    Fast,
+    /// Algorithm 1 — `O(n²)`; kept for the run-time comparison of Fig. 5/8.
+    Quadratic,
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverKind::Fast => write!(f, "algorithm-4"),
+            SolverKind::Quadratic => write!(f, "algorithm-1"),
+        }
+    }
+}
+
+/// Errors produced by the probability solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// `queues` and `rates` differ in length, or the cluster is empty.
+    InvalidCluster {
+        /// Number of queue-length entries.
+        queues: usize,
+        /// Number of rate entries.
+        rates: usize,
+    },
+    /// The arrival count was not a finite number `≥ 1`.
+    InvalidArrivals(f64),
+    /// No prefix of the candidate ordering was primal-feasible. This cannot
+    /// happen for valid inputs (Corollary 1 guarantees a feasible prefix) and
+    /// indicates catastrophic floating-point trouble.
+    NoFeasiblePrefix,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidCluster { queues, rates } => write!(
+                f,
+                "invalid cluster description: {queues} queue lengths vs {rates} rates (both must be equal and non-zero)"
+            ),
+            SolverError::InvalidArrivals(a) => {
+                write!(f, "estimated arrivals must be a finite number >= 1, got {a}")
+            }
+            SolverError::NoFeasiblePrefix => {
+                write!(f, "no feasible prefix found; inputs are numerically degenerate")
+            }
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+/// The full output of solving the SCD optimization problem for one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScdSolution {
+    /// The optimal dispatching probabilities `P* = [p_1, …, p_n]`.
+    pub probabilities: Vec<f64>,
+    /// The ideal workload used as the balancing target.
+    pub iwl: f64,
+    /// The Lagrange multiplier `Λ₀` of the equality constraint; `None` when
+    /// the single-job closed form (Eq. 9) was used.
+    pub lambda0: Option<f64>,
+    /// Size of the probable set `S⁺` (servers with positive probability).
+    pub probable_set_size: usize,
+    /// The value of the objective `f(P*)` (Eq. 10); 0.0 for the single-job
+    /// closed form, whose objective is a different linear function.
+    pub objective: f64,
+}
+
+/// Returns the server indices sorted in non-decreasing order of the key
+/// `(2q_s + 1)/µ_s` — the candidate order of Corollary 1.
+pub fn sorted_by_key(queues: &[u64], rates: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..queues.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = (2.0 * queues[a] as f64 + 1.0) / rates[a];
+        let kb = (2.0 * queues[b] as f64 + 1.0) / rates[b];
+        ka.partial_cmp(&kb).expect("keys are finite")
+    });
+    order
+}
+
+fn validate(queues: &[u64], rates: &[f64], arrivals: f64) -> Result<(), SolverError> {
+    if queues.is_empty() || queues.len() != rates.len() {
+        return Err(SolverError::InvalidCluster {
+            queues: queues.len(),
+            rates: rates.len(),
+        });
+    }
+    if !arrivals.is_finite() || arrivals < 1.0 {
+        return Err(SolverError::InvalidArrivals(arrivals));
+    }
+    Ok(())
+}
+
+/// Solves the full per-round problem: computes the IWL (Algorithm 3) and then
+/// the optimal probabilities with the requested solver.
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn solve(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    kind: SolverKind,
+) -> Result<ScdSolution, SolverError> {
+    validate(queues, rates, arrivals)?;
+    let iwl = compute_iwl(queues, rates, arrivals);
+    solve_with_iwl(queues, rates, arrivals, iwl, kind)
+}
+
+/// Like [`solve`] but with a caller-supplied ideal workload (useful when the
+/// IWL is computed once and reused, as Algorithm 2 does).
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn solve_with_iwl(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    kind: SolverKind,
+) -> Result<ScdSolution, SolverError> {
+    validate(queues, rates, arrivals)?;
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        return Ok(single_job_solution(queues, rates, iwl));
+    }
+    match kind {
+        SolverKind::Fast => {
+            let order = sorted_by_key(queues, rates);
+            fast_with_order(queues, rates, arrivals, iwl, &order)
+        }
+        SolverKind::Quadratic => quadratic(queues, rates, arrivals, iwl),
+    }
+}
+
+/// Computes only the probability vector (convenience wrapper over
+/// [`solve_with_iwl`]).
+///
+/// # Errors
+/// See [`SolverError`].
+///
+/// # Example
+/// ```
+/// use scd_core::solver::{compute_probabilities, SolverKind};
+/// use scd_core::iwl::compute_iwl;
+/// let queues = [9u64, 0, 0, 0, 0, 0, 0, 0, 0];
+/// let rates = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// let iwl = compute_iwl(&queues, &rates, 7.0);
+/// let p = compute_probabilities(&queues, &rates, 7.0, iwl, SolverKind::Fast).unwrap();
+/// // Figure 2b: the fast server is above the IWL yet keeps probability ≈ 0.222.
+/// assert!((p[0] - 2.0 / 9.0).abs() < 1e-6);
+/// ```
+pub fn compute_probabilities(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    kind: SolverKind,
+) -> Result<Vec<f64>, SolverError> {
+    solve_with_iwl(queues, rates, arrivals, iwl, kind).map(|s| s.probabilities)
+}
+
+/// Algorithm 1: evaluates every candidate prefix from scratch (`O(n²)`).
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn compute_probabilities_quadratic(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+) -> Result<ScdSolution, SolverError> {
+    validate(queues, rates, arrivals)?;
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        return Ok(single_job_solution(queues, rates, iwl));
+    }
+    quadratic(queues, rates, arrivals, iwl)
+}
+
+/// Algorithm 4: maintains running sums so every prefix costs `O(1)`
+/// (`O(n log n)` including the sort).
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn compute_probabilities_fast(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+) -> Result<ScdSolution, SolverError> {
+    validate(queues, rates, arrivals)?;
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        return Ok(single_job_solution(queues, rates, iwl));
+    }
+    let order = sorted_by_key(queues, rates);
+    fast_with_order(queues, rates, arrivals, iwl, &order)
+}
+
+/// Algorithm 4 given a pre-computed candidate order (`O(n)`), as used by
+/// Algorithm 2 when the sorted order is maintained incrementally.
+///
+/// `order` must list all server indices sorted by `(2q_s + 1)/µ_s`, e.g. as
+/// produced by [`sorted_by_key`].
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn compute_probabilities_fast_with_order(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    order: &[usize],
+) -> Result<ScdSolution, SolverError> {
+    validate(queues, rates, arrivals)?;
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        return Ok(single_job_solution(queues, rates, iwl));
+    }
+    fast_with_order(queues, rates, arrivals, iwl, order)
+}
+
+/// Eq. 9: with a single arriving job no coordination is needed — all the
+/// probability mass goes to the servers minimizing `(2q_s + 1)/µ_s`.
+/// The mass may be split arbitrarily among ties; we split it uniformly, which
+/// keeps the solution deterministic.
+fn single_job_solution(queues: &[u64], rates: &[f64], iwl: f64) -> ScdSolution {
+    let n = queues.len();
+    let key = |i: usize| (2.0 * queues[i] as f64 + 1.0) / rates[i];
+    let min_key = (0..n).map(key).fold(f64::INFINITY, f64::min);
+    let winners: Vec<usize> = (0..n)
+        .filter(|&i| (key(i) - min_key).abs() <= 1e-12 * (1.0 + min_key.abs()))
+        .collect();
+    let mut probabilities = vec![0.0; n];
+    let share = 1.0 / winners.len() as f64;
+    for &w in &winners {
+        probabilities[w] = share;
+    }
+    let probable_set_size = winners.len();
+    ScdSolution {
+        probabilities,
+        iwl,
+        lambda0: None,
+        probable_set_size,
+        objective: 0.0,
+    }
+}
+
+/// Shared closed-form pieces (Eq. 14 / Eq. 16).
+#[inline]
+fn probability_numerator(q: u64, mu: f64, iwl: f64, lambda0: f64) -> f64 {
+    -2.0 * (q as f64 - mu * iwl) - 1.0 - mu * lambda0
+}
+
+fn quadratic(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+) -> Result<ScdSolution, SolverError> {
+    let n = queues.len();
+    let a = arrivals;
+    let order = sorted_by_key(queues, rates);
+
+    let mut best_val = f64::INFINITY;
+    let mut best: Option<(Vec<f64>, f64, usize)> = None;
+
+    // Candidate set O grows one server at a time in key order (Corollary 1).
+    for j in 1..=n {
+        let candidate = &order[..j];
+        // Λ0 per Eq. 16, computed from scratch (this is what makes the
+        // algorithm quadratic).
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &s in candidate {
+            num += 2.0 * (rates[s] * iwl - queues[s] as f64) - 1.0;
+            den += rates[s];
+        }
+        num -= 2.0 * (a - 1.0);
+        let lambda0 = num / den;
+
+        // Probabilities per Eq. 14; reject the prefix if any is negative.
+        let mut probs = vec![0.0; n];
+        let mut feasible = true;
+        for &s in candidate {
+            let p = probability_numerator(queues[s], rates[s], iwl, lambda0) / (2.0 * (a - 1.0));
+            if p < -FEASIBILITY_TOLERANCE {
+                feasible = false;
+                break;
+            }
+            probs[s] = p.max(0.0);
+        }
+        if !feasible {
+            continue;
+        }
+
+        // Objective per Eq. 10 over the candidate set.
+        let mut val = 0.0;
+        for &s in candidate {
+            let p = probs[s];
+            val += (a - 1.0) * p * p / rates[s]
+                + (2.0 * (queues[s] as f64 - rates[s] * iwl) + 1.0) / rates[s] * p;
+        }
+        if val < best_val {
+            best_val = val;
+            best = Some((probs, lambda0, j));
+        }
+    }
+
+    let (mut probabilities, lambda0, prefix) = best.ok_or(SolverError::NoFeasiblePrefix)?;
+    normalize(&mut probabilities);
+    let _ = prefix;
+    let probable_set_size = probabilities.iter().filter(|&&p| p > 0.0).count();
+    Ok(ScdSolution {
+        probabilities,
+        iwl,
+        lambda0: Some(lambda0),
+        probable_set_size,
+        objective: best_val,
+    })
+}
+
+fn fast_with_order(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    order: &[usize],
+) -> Result<ScdSolution, SolverError> {
+    let n = queues.len();
+    if order.len() != n {
+        return Err(SolverError::InvalidCluster {
+            queues: n,
+            rates: order.len(),
+        });
+    }
+    let a = arrivals;
+
+    // Running sums for Λ0 (numerator / denominator of Eq. 16) and for the
+    // objective value via Lemma 2 (v1, v2).
+    let mut lambda_num = -2.0 * (a - 1.0);
+    let mut lambda_den = 0.0;
+    let mut v1 = 0.0;
+    let mut v2 = 0.0;
+
+    let mut best_val = f64::INFINITY;
+    let mut best_lambda0 = f64::NAN;
+    let mut found = false;
+
+    for &r in order {
+        let q = queues[r] as f64;
+        let mu = rates[r];
+        let key = (2.0 * q + 1.0) / mu;
+
+        lambda_num += 2.0 * (mu * iwl - q) - 1.0;
+        lambda_den += mu;
+        let lambda0 = lambda_num / lambda_den;
+
+        // NOTE: the paper's Algorithm 4 skips the v1/v2 update for infeasible
+        // prefixes; that would corrupt the objective of later (feasible)
+        // prefixes, so we accumulate unconditionally and only gate the
+        // comparison (see DESIGN.md, "Algorithm 4 accumulator fix").
+        v1 += mu / (4.0 * (a - 1.0));
+        v2 += (2.0 * (q - mu * iwl) + 1.0).powi(2) / (4.0 * mu * (a - 1.0));
+
+        // Primal feasibility needs testing only for the largest-key member of
+        // the prefix, i.e. the server just added (Eq. 17, corrected to 2·iwl).
+        let feasible = 2.0 * iwl - key >= lambda0 - FEASIBILITY_TOLERANCE;
+        if !feasible {
+            continue;
+        }
+        let val = v1 * lambda0 * lambda0 - v2;
+        if val < best_val {
+            best_val = val;
+            best_lambda0 = lambda0;
+            found = true;
+        }
+    }
+
+    if !found {
+        return Err(SolverError::NoFeasiblePrefix);
+    }
+
+    let mut probabilities = vec![0.0; n];
+    let mut probable_set_size = 0;
+    for s in 0..n {
+        let p = probability_numerator(queues[s], rates[s], iwl, best_lambda0)
+            / (2.0 * (a - 1.0));
+        if p > 0.0 {
+            probabilities[s] = p;
+            probable_set_size += 1;
+        }
+    }
+    normalize(&mut probabilities);
+
+    Ok(ScdSolution {
+        probabilities,
+        iwl,
+        lambda0: Some(best_lambda0),
+        probable_set_size,
+        objective: best_val,
+    })
+}
+
+/// Rescales the probabilities so they sum to exactly 1, absorbing
+/// floating-point drift. The drift is bounded by solver round-off and is
+/// asserted (in debug builds) to be tiny.
+fn normalize(probabilities: &mut [f64]) {
+    let total: f64 = probabilities.iter().sum();
+    debug_assert!(
+        (total - 1.0).abs() < 1e-6,
+        "solver produced probabilities summing to {total}"
+    );
+    if total > 0.0 {
+        for p in probabilities.iter_mut() {
+            *p /= total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iwl::compute_iwl;
+    use crate::qp::{check_kkt, exhaustive_solution, objective};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn both_solvers(queues: &[u64], rates: &[f64], a: f64) -> (ScdSolution, ScdSolution) {
+        let iwl = compute_iwl(queues, rates, a);
+        let fast = compute_probabilities_fast(queues, rates, a, iwl).unwrap();
+        let quad = compute_probabilities_quadratic(queues, rates, a, iwl).unwrap();
+        (fast, quad)
+    }
+
+    #[test]
+    fn figure2_fast_server_keeps_positive_probability() {
+        // One fast (µ=10, q=9) + eight slow (µ=1, q=0) servers, a = 7.
+        let mut queues = vec![9u64];
+        queues.extend(std::iter::repeat(0).take(8));
+        let mut rates = vec![10.0];
+        rates.extend(std::iter::repeat(1.0).take(8));
+
+        let (fast, quad) = both_solvers(&queues, &rates, 7.0);
+        for sol in [&fast, &quad] {
+            assert!((sol.iwl - 0.875).abs() < 1e-9);
+            // Analytical solution: p_fast = 2/9, p_slow = 7/72 each.
+            assert!(
+                (sol.probabilities[0] - 2.0 / 9.0).abs() < 1e-9,
+                "fast-server probability {} should be 2/9",
+                sol.probabilities[0]
+            );
+            for s in 1..9 {
+                assert!((sol.probabilities[s] - 7.0 / 72.0).abs() < 1e-9);
+            }
+            // The fast server is above the IWL (0.9 > 0.875) yet in S+.
+            assert_eq!(sol.probable_set_size, 9);
+            // Expected number of jobs it receives ≈ 1.55 (the paper's Figure 2b).
+            let expected_jobs = 7.0 * sol.probabilities[0];
+            assert!((expected_jobs - 1.5555).abs() < 1e-3);
+            // Expected post-dispatch workload of a slow server ≈ 0.68.
+            let slow_wl = 7.0 * sol.probabilities[1] / 1.0;
+            assert!((slow_wl - 0.68).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn homogeneous_probable_set_is_below_iwl_servers() {
+        // In a homogeneous system the probable set has the closed form
+        // {s : q_s/µ < iwl} whenever those servers can absorb the arrivals.
+        let queues = [0u64, 1, 2, 10, 10];
+        let rates = [1.0; 5];
+        let a = 6.0;
+        let iwl = compute_iwl(&queues, &rates, a);
+        assert!((iwl - 3.0).abs() < 1e-9);
+        let sol = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+        assert!(sol.probabilities[3] == 0.0 && sol.probabilities[4] == 0.0);
+        assert!(sol.probabilities[0] > sol.probabilities[1]);
+        assert!(sol.probabilities[1] > sol.probabilities[2]);
+        let total: f64 = sol.probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_job_goes_to_minimal_key_server() {
+        let queues = [5u64, 0, 3];
+        let rates = [10.0, 1.0, 4.0];
+        // keys: (2*5+1)/10 = 1.1, (2*0+1)/1 = 1.0, (2*3+1)/4 = 1.75.
+        let iwl = compute_iwl(&queues, &rates, 1.0);
+        let sol = solve_with_iwl(&queues, &rates, 1.0, iwl, SolverKind::Fast).unwrap();
+        assert_eq!(sol.probabilities, vec![0.0, 1.0, 0.0]);
+        assert_eq!(sol.lambda0, None);
+        assert_eq!(sol.probable_set_size, 1);
+        // The quadratic path takes the same branch.
+        let sol2 = solve_with_iwl(&queues, &rates, 1.0, iwl, SolverKind::Quadratic).unwrap();
+        assert_eq!(sol.probabilities, sol2.probabilities);
+    }
+
+    #[test]
+    fn single_job_ties_are_split_uniformly() {
+        let queues = [0u64, 0, 7];
+        let rates = [1.0, 1.0, 1.0];
+        let iwl = compute_iwl(&queues, &rates, 1.0);
+        let sol = solve_with_iwl(&queues, &rates, 1.0, iwl, SolverKind::Fast).unwrap();
+        assert!((sol.probabilities[0] - 0.5).abs() < 1e-12);
+        assert!((sol.probabilities[1] - 0.5).abs() < 1e-12);
+        assert_eq!(sol.probabilities[2], 0.0);
+    }
+
+    #[test]
+    fn two_jobs_on_empty_homogeneous_pair_split_evenly() {
+        let queues = [0u64, 0];
+        let rates = [1.0, 1.0];
+        let (fast, quad) = both_solvers(&queues, &rates, 2.0);
+        for sol in [fast, quad] {
+            assert!((sol.probabilities[0] - 0.5).abs() < 1e-12);
+            assert!((sol.probabilities[1] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fast_and_quadratic_agree_on_random_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..300 {
+            let n = rng.gen_range(1..60);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..20.0)).collect();
+            let a = rng.gen_range(2..200) as f64;
+            let iwl = compute_iwl(&queues, &rates, a);
+            let fast = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+            let quad = compute_probabilities_quadratic(&queues, &rates, a, iwl).unwrap();
+            for (pf, pq) in fast.probabilities.iter().zip(&quad.probabilities) {
+                assert!(
+                    (pf - pq).abs() < 1e-6,
+                    "solvers disagree: {pf} vs {pq} (n={n}, a={a})"
+                );
+            }
+            let of = objective(&fast.probabilities, &queues, &rates, a, iwl);
+            let oq = objective(&quad.probabilities, &queues, &rates, a, iwl);
+            assert!((of - oq).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn solvers_match_exhaustive_search_on_small_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for _ in 0..150 {
+            let n = rng.gen_range(1..9);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..10.0)).collect();
+            let a = rng.gen_range(2..40) as f64;
+            let iwl = compute_iwl(&queues, &rates, a);
+            let fast = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+            let reference = exhaustive_solution(&queues, &rates, a, iwl);
+            let fast_obj = objective(&fast.probabilities, &queues, &rates, a, iwl);
+            let ref_obj = objective(&reference, &queues, &rates, a, iwl);
+            assert!(
+                fast_obj <= ref_obj + 1e-7,
+                "fast solver is suboptimal: {fast_obj} vs exhaustive {ref_obj}"
+            );
+            for (pf, pr) in fast.probabilities.iter().zip(&reference) {
+                assert!((pf - pr).abs() < 1e-5, "probabilities differ: {pf} vs {pr}");
+            }
+        }
+    }
+
+    #[test]
+    fn solutions_satisfy_kkt_conditions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..40);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..15.0)).collect();
+            let a = rng.gen_range(2..100) as f64;
+            let iwl = compute_iwl(&queues, &rates, a);
+            let sol = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+            check_kkt(&sol.probabilities, &queues, &rates, a, iwl, 1e-6)
+                .expect("fast solution violates KKT");
+        }
+    }
+
+    #[test]
+    fn probable_set_is_a_prefix_of_the_key_order() {
+        // Lemma 1 / Corollary 1: S+ is a prefix of the servers sorted by
+        // (2q+1)/µ.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..30);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..10.0)).collect();
+            let a = rng.gen_range(2..60) as f64;
+            let iwl = compute_iwl(&queues, &rates, a);
+            let sol = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+            let order = sorted_by_key(&queues, &rates);
+            let mut seen_zero = false;
+            for &s in &order {
+                if sol.probabilities[s] <= 0.0 {
+                    seen_zero = true;
+                } else {
+                    assert!(
+                        !seen_zero,
+                        "positive probability after a zero in key order — S+ is not a prefix"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presorted_fast_variant_matches() {
+        let queues = [4u64, 0, 2, 9, 1];
+        let rates = [2.0, 1.0, 5.0, 3.0, 1.5];
+        let a = 11.0;
+        let iwl = compute_iwl(&queues, &rates, a);
+        let auto = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+        let order = sorted_by_key(&queues, &rates);
+        let manual =
+            compute_probabilities_fast_with_order(&queues, &rates, a, iwl, &order).unwrap();
+        assert_eq!(auto.probabilities, manual.probabilities);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(matches!(
+            solve(&[], &[], 2.0, SolverKind::Fast),
+            Err(SolverError::InvalidCluster { .. })
+        ));
+        assert!(matches!(
+            solve(&[1, 2], &[1.0], 2.0, SolverKind::Fast),
+            Err(SolverError::InvalidCluster { .. })
+        ));
+        assert!(matches!(
+            solve(&[1], &[1.0], 0.0, SolverKind::Fast),
+            Err(SolverError::InvalidArrivals(_))
+        ));
+        assert!(matches!(
+            solve(&[1], &[1.0], f64::NAN, SolverKind::Fast),
+            Err(SolverError::InvalidArrivals(_))
+        ));
+        // Mismatched order length.
+        let err = compute_probabilities_fast_with_order(&[1, 2], &[1.0, 1.0], 3.0, 1.0, &[0])
+            .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidCluster { .. }));
+    }
+
+    #[test]
+    fn solver_kind_display_names() {
+        assert_eq!(SolverKind::Fast.to_string(), "algorithm-4");
+        assert_eq!(SolverKind::Quadratic.to_string(), "algorithm-1");
+    }
+
+    #[test]
+    fn single_server_cluster_gets_probability_one() {
+        let (fast, quad) = both_solvers(&[42], &[3.0], 9.0);
+        assert_eq!(fast.probabilities, vec![1.0]);
+        assert_eq!(quad.probabilities, vec![1.0]);
+    }
+
+    #[test]
+    fn extreme_heterogeneity_remains_stable_numerically() {
+        let queues = [1000u64, 0, 0];
+        let rates = [1000.0, 0.001, 0.001];
+        let a = 50.0;
+        let iwl = compute_iwl(&queues, &rates, a);
+        let sol = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+        let total: f64 = sol.probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(sol.probabilities.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Virtually all mass must go to the fast server: the slow servers can
+        // barely serve anything.
+        assert!(sol.probabilities[0] > 0.9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Runtime checks backing the strong-stability analysis (Appendix D).
+//!
+//! The paper proves that SCD is strongly stable for any admissible arrival
+//! rate. Two ingredients of the proof are directly checkable at runtime and
+//! are used by the integration tests:
+//!
+//! * **Lemma 3** — the monotonicity relation between the optimal
+//!   probabilities and the server loads: if `p_s/µ_s ≤ p_s'/µ_s'` (both
+//!   positive) then `(q_s + a)/µ_s ≥ q_s'/µ_s'`. [`check_lemma3`] verifies it
+//!   for a concrete solution.
+//! * **Lyapunov drift** — the weighted backlog `Σ_s q_s²/µ_s` used in the
+//!   drift argument; [`weighted_backlog`] computes it so long-run simulations
+//!   can assert that it stays bounded under admissible load.
+
+use std::error::Error;
+use std::fmt;
+
+/// Violation of the Lemma 3 invariant, reported by [`check_lemma3`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma3Violation {
+    /// Index of the server `s` with the smaller probability-to-rate ratio.
+    pub smaller_ratio_server: usize,
+    /// Index of the server `s'` with the larger probability-to-rate ratio.
+    pub larger_ratio_server: usize,
+    /// Left-hand side `(q_s + a)/µ_s` that should dominate.
+    pub lhs: f64,
+    /// Right-hand side `q_s'/µ_s'`.
+    pub rhs: f64,
+}
+
+impl fmt::Display for Lemma3Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Lemma 3 violated for servers {} and {}: ({:.6} < {:.6})",
+            self.smaller_ratio_server, self.larger_ratio_server, self.lhs, self.rhs
+        )
+    }
+}
+
+impl Error for Lemma3Violation {}
+
+/// Checks the Lemma 3 invariant for a computed probability vector.
+///
+/// For every pair of servers `s, s'` with `p_s, p_s' > 0`:
+/// if `p_s/µ_s ≤ p_s'/µ_s'` then `(q_s + a)/µ_s ≥ q_s'/µ_s'`.
+///
+/// # Errors
+/// Returns the first violating pair.
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn check_lemma3(
+    probs: &[f64],
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+) -> Result<(), Lemma3Violation> {
+    assert_eq!(probs.len(), queues.len());
+    assert_eq!(probs.len(), rates.len());
+    let n = probs.len();
+    let support: Vec<usize> = (0..n).filter(|&s| probs[s] > 0.0).collect();
+    const TOL: f64 = 1e-9;
+    for &s in &support {
+        for &t in &support {
+            if s == t {
+                continue;
+            }
+            let ratio_s = probs[s] / rates[s];
+            let ratio_t = probs[t] / rates[t];
+            if ratio_s <= ratio_t + TOL {
+                let lhs = (queues[s] as f64 + arrivals) / rates[s];
+                let rhs = queues[t] as f64 / rates[t];
+                if lhs + TOL < rhs {
+                    return Err(Lemma3Violation {
+                        smaller_ratio_server: s,
+                        larger_ratio_server: t,
+                        lhs,
+                        rhs,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The weighted backlog `Σ_s q_s² / µ_s` — the Lyapunov function used in the
+/// strong-stability proof (Eq. 23–25).
+///
+/// # Panics
+/// Panics if the slice lengths disagree.
+pub fn weighted_backlog(queues: &[u64], rates: &[f64]) -> f64 {
+    assert_eq!(queues.len(), rates.len());
+    queues
+        .iter()
+        .zip(rates)
+        .map(|(&q, &mu)| (q as f64) * (q as f64) / mu)
+        .sum()
+}
+
+/// The offered load `ρ = Σ_d λ_d / Σ_s µ_s` of a system configuration; a
+/// system is admissible when `ρ < 1`.
+///
+/// # Panics
+/// Panics if `rates` is empty or sums to zero.
+pub fn offered_load(arrival_rates: &[f64], rates: &[f64]) -> f64 {
+    let capacity: f64 = rates.iter().sum();
+    assert!(capacity > 0.0, "total service capacity must be positive");
+    arrival_rates.iter().sum::<f64>() / capacity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iwl::compute_iwl;
+    use crate::solver::{compute_probabilities_fast, compute_probabilities_quadratic};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn optimal_solutions_satisfy_lemma3() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let n = rng.gen_range(2..30);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..25)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..12.0)).collect();
+            let a = rng.gen_range(2..80) as f64;
+            let iwl = compute_iwl(&queues, &rates, a);
+            let fast = compute_probabilities_fast(&queues, &rates, a, iwl).unwrap();
+            check_lemma3(&fast.probabilities, &queues, &rates, a)
+                .expect("fast solver output violates Lemma 3");
+            let quad = compute_probabilities_quadratic(&queues, &rates, a, iwl).unwrap();
+            check_lemma3(&quad.probabilities, &queues, &rates, a)
+                .expect("quadratic solver output violates Lemma 3");
+        }
+    }
+
+    #[test]
+    fn detects_a_violation_in_a_bad_distribution() {
+        // Two servers with equal rates. Putting most probability on the far
+        // more loaded server while the empty one also has positive mass
+        // violates the invariant when arrivals are small.
+        let queues = [100u64, 0];
+        let rates = [1.0, 1.0];
+        let probs = [0.9, 0.1];
+        // ratio_1 = 0.1 <= ratio_0 = 0.9, so we need (q_1 + a)/µ_1 >= q_0/µ_0,
+        // i.e. 0 + 2 >= 100 — false.
+        let err = check_lemma3(&probs, &queues, &rates, 2.0).unwrap_err();
+        assert_eq!(err.smaller_ratio_server, 1);
+        assert_eq!(err.larger_ratio_server, 0);
+        assert!(err.to_string().contains("Lemma 3"));
+    }
+
+    #[test]
+    fn weighted_backlog_formula() {
+        assert_eq!(weighted_backlog(&[2, 3], &[2.0, 1.0]), 2.0 + 9.0);
+        assert_eq!(weighted_backlog(&[0, 0], &[2.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn offered_load_is_ratio_of_totals() {
+        let rho = offered_load(&[2.0, 3.0], &[4.0, 4.0, 2.0]);
+        assert!((rho - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn offered_load_requires_capacity() {
+        offered_load(&[1.0], &[]);
+    }
+}

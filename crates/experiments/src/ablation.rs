@@ -1,0 +1,235 @@
+//! Ablation experiments called out in DESIGN.md.
+//!
+//! * **Arrival-estimator ablation** — the paper's estimator `a_est = m·a(d)`
+//!   versus using only the dispatcher's own arrivals (SED-like limit) and a
+//!   large constant (weighted-random-like limit). Section 5.2 of the paper
+//!   argues the paper's rule lands between the two extremes; this experiment
+//!   quantifies that on the simulator.
+//! * **Solver-equivalence spot check** — Algorithm 1 and Algorithm 4 run on
+//!   the *same* streams and must produce statistically identical dispatching
+//!   (their response-time histograms coincide exactly because they compute
+//!   the same probabilities and consume randomness identically).
+
+use crate::output::OutputSink;
+use crate::response::{cluster_for_system, mix_seed};
+use crate::sweep::parallel_map;
+use scd_core::estimator::ArrivalEstimator;
+use scd_core::policy::ScdFactory;
+use scd_core::solver::SolverKind;
+use scd_metrics::Table;
+use scd_model::RateProfile;
+use scd_sim::{ArrivalSpec, ServiceModel, SimConfig, Simulation};
+use std::io;
+
+/// Configuration of the estimator ablation.
+#[derive(Debug, Clone)]
+pub struct EstimatorAblation {
+    /// Heterogeneity profile used to draw the cluster.
+    pub profile: RateProfile,
+    /// Number of servers.
+    pub n: usize,
+    /// Number of dispatchers.
+    pub m: usize,
+    /// Offered loads to sweep.
+    pub loads: Vec<f64>,
+    /// Rounds per run.
+    pub rounds: u64,
+    /// Warm-up rounds.
+    pub warmup: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// One row of ablation output.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The offered load.
+    pub load: f64,
+    /// `(variant label, mean response time, p99 response time)` triples.
+    pub outcomes: Vec<(String, f64, u64)>,
+}
+
+impl EstimatorAblation {
+    /// The SCD variants compared by the ablation.
+    fn variants(&self) -> Vec<(String, ScdFactory)> {
+        let capacity_like = (self.n as f64) * 10.0;
+        vec![
+            (
+                "SCD[m*a(d)]".to_string(),
+                ScdFactory::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast)
+                    .with_name("SCD[m*a(d)]"),
+            ),
+            (
+                "SCD[a(d)]".to_string(),
+                ScdFactory::with_options(ArrivalEstimator::OwnOnly, SolverKind::Fast)
+                    .with_name("SCD[a(d)]"),
+            ),
+            (
+                "SCD[const]".to_string(),
+                ScdFactory::with_options(
+                    ArrivalEstimator::Constant(capacity_like),
+                    SolverKind::Fast,
+                )
+                .with_name("SCD[const]"),
+            ),
+        ]
+    }
+
+    /// Runs the ablation.
+    pub fn run(&self, threads: usize) -> Vec<AblationRow> {
+        let cluster = cluster_for_system(&self.profile, self.n, self.seed, 0);
+        let variants = self.variants();
+
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for (li, _) in self.loads.iter().enumerate() {
+            for (vi, _) in variants.iter().enumerate() {
+                jobs.push((li, vi));
+            }
+        }
+
+        let outcomes = parallel_map(jobs.clone(), threads, |&(li, vi)| {
+            let config = SimConfig {
+                spec: cluster.clone(),
+                num_dispatchers: self.m,
+                rounds: self.rounds,
+                warmup_rounds: self.warmup,
+                seed: mix_seed(self.seed, 7, li),
+                arrivals: ArrivalSpec::PoissonOfferedLoad {
+                    offered_load: self.loads[li],
+                },
+                services: ServiceModel::Geometric,
+                measure_decision_times: false,
+            };
+            let report = Simulation::new(config)
+                .expect("experiment configurations are valid")
+                .run(&variants[vi].1)
+                .expect("SCD never violates the protocol");
+            (
+                report.mean_response_time(),
+                report.response_time_percentile(0.99),
+            )
+        });
+
+        let mut rows: Vec<AblationRow> = self
+            .loads
+            .iter()
+            .map(|&load| AblationRow {
+                load,
+                outcomes: Vec::new(),
+            })
+            .collect();
+        for (&(li, vi), (mean, p99)) in jobs.iter().zip(outcomes) {
+            rows[li]
+                .outcomes
+                .push((variants[vi].0.clone(), mean, p99));
+        }
+        rows
+    }
+
+    /// Prints the ablation table.
+    ///
+    /// # Errors
+    /// Propagates output I/O failures.
+    pub fn emit(&self, rows: &[AblationRow], sink: &OutputSink) -> io::Result<()> {
+        let mut headers = vec!["rho".to_string()];
+        if let Some(first) = rows.first() {
+            for (label, _, _) in &first.outcomes {
+                headers.push(format!("{label} mean"));
+                headers.push(format!("{label} p99"));
+            }
+        }
+        let mut table = Table::new(headers);
+        for row in rows {
+            let mut cells = vec![format!("{:.2}", row.load)];
+            for (_, mean, p99) in &row.outcomes {
+                cells.push(format!("{mean:.3}"));
+                cells.push(p99.to_string());
+            }
+            table.add_row(cells);
+        }
+        sink.emit_table(
+            &format!(
+                "Estimator ablation [n={}, m={}, profile={:?}]",
+                self.n, self.m, self.profile
+            ),
+            "ablation_estimator",
+            &table,
+        )
+    }
+}
+
+/// Verifies that SCD via Algorithm 1 and via Algorithm 4 produce identical
+/// simulated behaviour on the same streams; returns `(alg4 mean, alg1 mean)`.
+pub fn solver_equivalence_check(
+    profile: &RateProfile,
+    n: usize,
+    m: usize,
+    offered_load: f64,
+    rounds: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let cluster = cluster_for_system(profile, n, seed, 3);
+    let config = SimConfig {
+        spec: cluster,
+        num_dispatchers: m,
+        rounds,
+        warmup_rounds: rounds / 10,
+        seed,
+        arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load },
+        services: ServiceModel::Geometric,
+        measure_decision_times: false,
+    };
+    let simulation = Simulation::new(config).expect("valid configuration");
+    let fast = ScdFactory::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast);
+    let quad =
+        ScdFactory::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Quadratic);
+    let fast_report = simulation.run(&fast).expect("SCD runs cleanly");
+    let quad_report = simulation.run(&quad).expect("SCD(alg1) runs cleanly");
+    (
+        fast_report.mean_response_time(),
+        quad_report.mean_response_time(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_and_reports_all_variants() {
+        let ablation = EstimatorAblation {
+            profile: RateProfile::paper_moderate(),
+            n: 12,
+            m: 4,
+            loads: vec![0.9],
+            rounds: 400,
+            warmup: 50,
+            seed: 9,
+        };
+        let rows = ablation.run(2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].outcomes.len(), 3);
+        for (label, mean, p99) in &rows[0].outcomes {
+            assert!(mean > &0.0, "{label} produced a zero mean");
+            assert!(*p99 >= 1);
+        }
+        ablation.emit(&rows, &OutputSink::stdout_only()).unwrap();
+    }
+
+    #[test]
+    fn solver_equivalence_holds_in_simulation() {
+        let (fast, quad) = solver_equivalence_check(
+            &RateProfile::paper_moderate(),
+            10,
+            3,
+            0.9,
+            500,
+            77,
+        );
+        // Identical probabilities + identical random streams → identical runs.
+        assert!(
+            (fast - quad).abs() < 1e-9,
+            "solver variants diverged: {fast} vs {quad}"
+        );
+    }
+}

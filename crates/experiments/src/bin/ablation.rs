@@ -1,0 +1,12 @@
+//! Runs the estimator and solver ablations described in DESIGN.md.
+
+use scd_experiments::figures::{run_figure, FigureKind};
+use scd_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    if let Err(err) = run_figure(FigureKind::Ablation, &options) {
+        eprintln!("ablation failed: {err}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Runs every figure reproduction back to back (Figures 3-8 plus the
+//! ablations). Intended to be used with `--quick` or `--csv` for a full
+//! regeneration pass.
+
+use scd_experiments::figures::{run_figure, FigureKind};
+use scd_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    let figures = [
+        FigureKind::Fig3,
+        FigureKind::Fig4,
+        FigureKind::Fig5,
+        FigureKind::Fig6,
+        FigureKind::Fig7,
+        FigureKind::Fig8,
+        FigureKind::Ablation,
+    ];
+    for kind in figures {
+        if let Err(err) = run_figure(kind, &options) {
+            eprintln!("{kind:?} failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 7 of the paper. See `--help` for flags.
+
+use scd_experiments::figures::{run_figure, FigureKind};
+use scd_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    if let Err(err) = run_figure(FigureKind::Fig7, &options) {
+        eprintln!("figure 7 failed: {err}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 8 of the paper. See `--help` for flags.
+
+use scd_experiments::figures::{run_figure, FigureKind};
+use scd_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    if let Err(err) = run_figure(FigureKind::Fig8, &options) {
+        eprintln!("figure 8 failed: {err}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal command-line option parsing shared by all figure binaries.
+//!
+//! A hand-rolled parser keeps the workspace free of an argument-parsing
+//! dependency; the flag surface is tiny and identical across binaries.
+
+use std::path::PathBuf;
+
+/// Options common to every figure binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Number of simulated rounds per run (None → the figure's default).
+    pub rounds: Option<u64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Offered loads to sweep (None → the figure's default).
+    pub loads: Option<Vec<f64>>,
+    /// `(n, m)` systems to simulate (None → the figure's default).
+    pub systems: Option<Vec<(usize, usize)>>,
+    /// Use the paper's full-scale setup (10⁵ rounds, all four systems).
+    pub paper: bool,
+    /// Use a smoke-test-sized setup (few hundred rounds, one small system).
+    pub quick: bool,
+    /// Directory to which CSV series are written.
+    pub csv: Option<PathBuf>,
+    /// Also run the response-time-tail part of the figure.
+    pub tail: bool,
+    /// Number of worker threads (None → all available cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            rounds: None,
+            seed: 2021,
+            loads: None,
+            systems: None,
+            paper: false,
+            quick: false,
+            csv: None,
+            tail: false,
+            threads: None,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses options from an iterator of argument strings (without the
+    /// program name).
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut options = CliOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--rounds" => {
+                    let value = iter.next().ok_or("--rounds requires a value")?;
+                    options.rounds = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("invalid --rounds value: {value}"))?,
+                    );
+                }
+                "--seed" => {
+                    let value = iter.next().ok_or("--seed requires a value")?;
+                    options.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid --seed value: {value}"))?;
+                }
+                "--loads" => {
+                    let value = iter.next().ok_or("--loads requires a value")?;
+                    options.loads = Some(parse_loads(&value)?);
+                }
+                "--systems" => {
+                    let value = iter.next().ok_or("--systems requires a value")?;
+                    options.systems = Some(parse_systems(&value)?);
+                }
+                "--threads" => {
+                    let value = iter.next().ok_or("--threads requires a value")?;
+                    options.threads = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| format!("invalid --threads value: {value}"))?,
+                    );
+                }
+                "--csv" => {
+                    let value = iter.next().ok_or("--csv requires a directory")?;
+                    options.csv = Some(PathBuf::from(value));
+                }
+                "--paper" => options.paper = true,
+                "--quick" => options.quick = true,
+                "--tail" => options.tail = true,
+                "--help" | "-h" => {
+                    return Err(usage());
+                }
+                other => return Err(format!("unknown flag {other}\n{}", usage())),
+            }
+        }
+        if options.paper && options.quick {
+            return Err("--paper and --quick are mutually exclusive".to_string());
+        }
+        Ok(options)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The usage string shared by all binaries.
+pub fn usage() -> String {
+    "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
+     [--systems 100x10,200x20] [--threads T] [--csv DIR] [--paper | --quick] [--tail]"
+        .to_string()
+}
+
+fn parse_loads(value: &str) -> Result<Vec<f64>, String> {
+    let loads: Result<Vec<f64>, _> = value.split(',').map(|s| s.trim().parse::<f64>()).collect();
+    let loads = loads.map_err(|_| format!("invalid --loads value: {value}"))?;
+    if loads.is_empty() || loads.iter().any(|&l| l <= 0.0 || l >= 1.5) {
+        return Err(format!("loads must be in (0, 1.5): {value}"));
+    }
+    Ok(loads)
+}
+
+fn parse_systems(value: &str) -> Result<Vec<(usize, usize)>, String> {
+    value
+        .split(',')
+        .map(|pair| {
+            let (n, m) = pair
+                .trim()
+                .split_once(['x', 'X'])
+                .ok_or_else(|| format!("invalid --systems entry (expected NxM): {pair}"))?;
+            let n = n
+                .parse::<usize>()
+                .map_err(|_| format!("invalid server count in {pair}"))?;
+            let m = m
+                .parse::<usize>()
+                .map_err(|_| format!("invalid dispatcher count in {pair}"))?;
+            if n == 0 || m == 0 {
+                return Err(format!("systems must be non-empty: {pair}"));
+            }
+            Ok((n, m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_arguments() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options, CliOptions::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let options = parse(&[
+            "--rounds", "5000", "--seed", "7", "--loads", "0.7,0.9", "--systems", "100x10,200x20",
+            "--threads", "4", "--csv", "/tmp/out", "--paper", "--tail",
+        ])
+        .unwrap();
+        assert_eq!(options.rounds, Some(5000));
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.loads, Some(vec![0.7, 0.9]));
+        assert_eq!(options.systems, Some(vec![(100, 10), (200, 20)]));
+        assert_eq!(options.threads, Some(4));
+        assert_eq!(options.csv, Some(PathBuf::from("/tmp/out")));
+        assert!(options.paper);
+        assert!(options.tail);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--rounds"]).is_err());
+        assert!(parse(&["--rounds", "abc"]).is_err());
+        assert!(parse(&["--loads", "2.7"]).is_err());
+        assert!(parse(&["--systems", "100-10"]).is_err());
+        assert!(parse(&["--systems", "0x10"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--paper", "--quick"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure-reproduction harness for the SCD paper.
+//!
+//! Every figure in the paper's evaluation (Section 6 and Appendix E) has a
+//! corresponding binary in this crate:
+//!
+//! | Binary | Paper figure | What it prints |
+//! |---|---|---|
+//! | `fig3` | Fig. 3a/3b | mean response time vs offered load and response-time tails, `µ_s ~ U[1,10]`, competitive policies |
+//! | `fig4` | Fig. 4a/4b | same with `µ_s ~ U[1,100]` |
+//! | `fig5` | Fig. 5 | per-decision computation-time distribution vs cluster size, `µ_s ~ U[1,10]` |
+//! | `fig6` | Fig. 6a/6b | SCD vs the less competitive baselines (JSQ(2), JIQ, LSQ, WR), `µ_s ~ U[1,10]` |
+//! | `fig7` | Fig. 7a/7b | same with `µ_s ~ U[1,100]` |
+//! | `fig8` | Fig. 8 | computation-time distribution with `µ_s ~ U[1,100]` |
+//! | `ablation` | — | estimator and solver ablations called out in DESIGN.md |
+//! | `all_figures` | — | runs everything back to back |
+//!
+//! All binaries accept `--rounds N`, `--seed S`, `--loads a,b,c`,
+//! `--systems nxm,nxm`, `--paper` (the full 10⁵-round setup of the paper),
+//! `--quick` (a smoke-test-sized run), `--csv DIR` (dump the plotted series
+//! as CSV) and `--threads T`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cli;
+pub mod figures;
+pub mod output;
+pub mod response;
+pub mod runtime;
+pub mod sweep;
+pub mod tail;
+
+pub use cli::CliOptions;
+pub use figures::{FigureKind, FigureSpec};

@@ -1,0 +1,103 @@
+//! Result presentation: printing tables and (optionally) writing CSV files.
+
+use scd_metrics::Table;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where experiment output goes: always to stdout, optionally also to CSV
+/// files in a directory.
+#[derive(Debug, Clone, Default)]
+pub struct OutputSink {
+    csv_dir: Option<PathBuf>,
+}
+
+impl OutputSink {
+    /// Output to stdout only.
+    pub fn stdout_only() -> Self {
+        OutputSink { csv_dir: None }
+    }
+
+    /// Output to stdout and CSV files under `dir` (created if missing).
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn with_csv_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(OutputSink {
+            csv_dir: Some(dir.as_ref().to_path_buf()),
+        })
+    }
+
+    /// Creates the sink from an optional directory (the CLI's `--csv` flag).
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn from_option(dir: Option<&Path>) -> io::Result<Self> {
+        match dir {
+            Some(d) => Self::with_csv_dir(d),
+            None => Ok(Self::stdout_only()),
+        }
+    }
+
+    /// True when CSV output is enabled.
+    pub fn writes_csv(&self) -> bool {
+        self.csv_dir.is_some()
+    }
+
+    /// Prints a titled table to stdout and, when enabled, writes it as
+    /// `<name>.csv`.
+    ///
+    /// # Errors
+    /// Propagates file-write failures.
+    pub fn emit_table(&self, title: &str, name: &str, table: &Table) -> io::Result<()> {
+        println!("\n== {title} ==");
+        println!("{table}");
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            fs::write(&path, table.to_csv())?;
+            println!("[csv written to {}]", path.display());
+        }
+        Ok(())
+    }
+
+    /// Prints a free-form note.
+    pub fn note(&self, text: &str) {
+        println!("{text}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdout_only_never_touches_disk() {
+        let sink = OutputSink::stdout_only();
+        assert!(!sink.writes_csv());
+        let mut table = Table::with_headers(&["a"]);
+        table.add_row(vec!["1".into()]);
+        sink.emit_table("demo", "demo", &table).unwrap();
+    }
+
+    #[test]
+    fn csv_files_are_written() {
+        let dir = std::env::temp_dir().join(format!("scd-output-test-{}", std::process::id()));
+        let sink = OutputSink::with_csv_dir(&dir).unwrap();
+        assert!(sink.writes_csv());
+        let mut table = Table::with_headers(&["x", "y"]);
+        table.add_row(vec!["1".into(), "2".into()]);
+        sink.emit_table("demo", "series", &table).unwrap();
+        let written = fs::read_to_string(dir.join("series.csv")).unwrap();
+        assert!(written.starts_with("x,y\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn from_option_dispatches() {
+        assert!(!OutputSink::from_option(None).unwrap().writes_csv());
+        let dir = std::env::temp_dir().join(format!("scd-output-opt-{}", std::process::id()));
+        assert!(OutputSink::from_option(Some(dir.as_path())).unwrap().writes_csv());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,108 @@
+//! A small parallel sweep executor built on crossbeam's scoped threads.
+//!
+//! Figure reproductions are embarrassingly parallel over
+//! `(system, offered load, policy)` tuples; this module distributes those
+//! runs over a fixed number of worker threads while preserving the input
+//! order of the results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `worker` on every item of `inputs`, using up to `threads` OS threads,
+/// and returns the outputs in input order.
+///
+/// A `threads` value of 0 or 1 runs everything on the calling thread, which
+/// is also the fallback for a single input.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, threads: usize, worker: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    let count = inputs.len();
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(count);
+    if threads == 1 {
+        return inputs.iter().map(|item| worker(item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let inputs_ref = &inputs;
+    let worker_ref = &worker;
+    let next_ref = &next;
+    let results_ref = &results;
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let index = next_ref.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let output = worker_ref(&inputs_ref[index]);
+                *results_ref[index].lock().expect("no poisoned locks") = Some(output);
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned locks")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+/// The number of worker threads to use given an optional user override.
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..97).collect();
+        let outputs = parallel_map(inputs.clone(), 8, |&x| x * x);
+        let expected: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn single_threaded_path_matches() {
+        let inputs: Vec<i32> = (0..10).collect();
+        let a = parallel_map(inputs.clone(), 1, |&x| x + 1);
+        let b = parallel_map(inputs, 4, |&x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let outputs: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let outputs = parallel_map(vec![1, 2], 64, |&x| x * 10);
+        assert_eq!(outputs, vec![10, 20]);
+    }
+
+    #[test]
+    fn effective_threads_defaults_to_available_parallelism() {
+        assert_eq!(effective_threads(Some(3)), 3);
+        assert!(effective_threads(None) >= 1);
+    }
+}

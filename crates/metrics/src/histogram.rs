@@ -1,0 +1,336 @@
+//! Exact integer-valued response-time histogram.
+//!
+//! Response times in the paper's model are measured in whole rounds (a job
+//! arrives at a dispatcher in round `t0` and departs from its server at the
+//! end of round `t1 ≥ t0`; its response time is `t1 - t0 + 1`). Because the
+//! support is small integers, we can afford to store the *exact* distribution
+//! as a dense vector of counts, which makes means, arbitrary percentiles and
+//! CCDF extraction exact rather than approximate — important when the paper
+//! compares policies at the 1e-4 .. 1e-6 tail probabilities.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact histogram of integer response times (in rounds).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseTimeHistogram {
+    /// `counts[r]` = number of jobs whose response time was exactly `r` rounds.
+    counts: Vec<u64>,
+    /// Total number of recorded jobs.
+    total: u64,
+    /// Sum of all recorded response times (for the exact mean).
+    sum: u128,
+}
+
+impl ResponseTimeHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ResponseTimeHistogram::default()
+    }
+
+    /// Records one job with the given response time (in rounds).
+    pub fn record(&mut self, response_time: u64) {
+        let idx = response_time as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(response_time);
+    }
+
+    /// Records `count` jobs with the same response time.
+    pub fn record_many(&mut self, response_time: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = response_time as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += count;
+        self.total += count;
+        self.sum += u128::from(response_time) * u128::from(count);
+    }
+
+    /// Number of recorded jobs.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no job has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean response time; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded response time; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map(|(r, _)| r as u64)
+            .unwrap_or(0)
+    }
+
+    /// Smallest recorded response time; 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .find(|(_, &c)| c > 0)
+            .map(|(r, _)| r as u64)
+            .unwrap_or(0)
+    }
+
+    /// Number of jobs whose response time was exactly `response_time`.
+    pub fn count_at(&self, response_time: u64) -> u64 {
+        self.counts
+            .get(response_time as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`) of the recorded response times,
+    /// using the "smallest value with CDF ≥ p" convention so that
+    /// `percentile(1.0) == max()`.
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} must be in [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (p * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (r, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= threshold {
+                return r as u64;
+            }
+        }
+        self.max()
+    }
+
+    /// The complementary cumulative distribution function evaluated at `r`:
+    /// `P[response time > r]`. Returns 0.0 for an empty histogram.
+    pub fn ccdf_at(&self, r: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| *v as u64 > r)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / self.total as f64
+    }
+
+    /// The full CCDF as `(response time, P[RT > response time])` pairs for
+    /// every response time value in the support, in increasing order. This is
+    /// exactly the series plotted in Figures 3b, 4b, 6b and 7b of the paper.
+    pub fn ccdf(&self) -> Vec<(u64, f64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut above = self.total;
+        for (r, &c) in self.counts.iter().enumerate() {
+            above -= c;
+            if c > 0 || r == 0 {
+                out.push((r as u64, above as f64 / self.total as f64));
+            }
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ResponseTimeHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// A compact numeric summary (mean, p50, p95, p99, p999, max, count).
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.total,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            max: self.max(),
+        }
+    }
+}
+
+/// A compact summary of a [`ResponseTimeHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of jobs recorded.
+    pub count: u64,
+    /// Mean response time (rounds).
+    pub mean: f64,
+    /// Median response time.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum recorded response time.
+    pub max: u64,
+}
+
+impl std::fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={} p95={} p99={} p99.9={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.p999, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_from(values: &[u64]) -> ResponseTimeHistogram {
+        let mut h = ResponseTimeHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = ResponseTimeHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.ccdf_at(3), 0.0);
+        assert!(h.ccdf().is_empty());
+    }
+
+    #[test]
+    fn mean_and_extremes_are_exact() {
+        let h = hist_from(&[1, 1, 2, 3, 10]);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.4).abs() < 1e-12);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.count_at(1), 2);
+        assert_eq!(h.count_at(7), 0);
+    }
+
+    #[test]
+    fn percentiles_match_naive_definition() {
+        let values = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let h = hist_from(&values);
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        for &(p, _) in &[(0.0, 0usize), (0.1, 0), (0.5, 4), (0.9, 8), (1.0, 9)] {
+            let expected = {
+                let rank = ((p * values.len() as f64).ceil().max(1.0) as usize) - 1;
+                sorted[rank.min(values.len() - 1)]
+            };
+            assert_eq!(h.percentile(p), expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_one_equals_max() {
+        let h = hist_from(&[2, 2, 100]);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(0.5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn percentile_out_of_range_panics() {
+        hist_from(&[1]).percentile(1.5);
+    }
+
+    #[test]
+    fn ccdf_is_a_proper_tail_function() {
+        let h = hist_from(&[1, 1, 2, 4]);
+        assert!((h.ccdf_at(0) - 1.0).abs() < 1e-12);
+        assert!((h.ccdf_at(1) - 0.5).abs() < 1e-12);
+        assert!((h.ccdf_at(2) - 0.25).abs() < 1e-12);
+        assert!((h.ccdf_at(3) - 0.25).abs() < 1e-12);
+        assert!((h.ccdf_at(4) - 0.0).abs() < 1e-12);
+
+        let series = h.ccdf();
+        // Monotonically non-increasing tail probabilities.
+        for w in series.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Last point has zero tail mass.
+        assert_eq!(series.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn record_many_matches_repeated_record() {
+        let mut a = ResponseTimeHistogram::new();
+        a.record_many(5, 1000);
+        a.record_many(2, 0);
+        let mut b = ResponseTimeHistogram::new();
+        for _ in 0..1000 {
+            b.record(5);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_sums() {
+        let mut a = hist_from(&[1, 2, 3]);
+        let b = hist_from(&[3, 4, 100]);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.count_at(3), 2);
+        assert_eq!(a.max(), 100);
+        let expected_mean = (1 + 2 + 3 + 3 + 4 + 100) as f64 / 6.0;
+        assert!((a.mean() - expected_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let h = hist_from(&(1..=1000u64).collect::<Vec<_>>());
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, 500);
+        assert_eq!(s.p99, 990);
+        assert_eq!(s.p999, 999);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        let text = s.to_string();
+        assert!(text.contains("p99=990"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Metrics substrate for the SCD load-balancing reproduction.
+//!
+//! The paper's evaluation (Section 6) reports two families of quantities:
+//!
+//! * **Response-time statistics** — mean response time and the tail
+//!   (CCDF / high percentiles) of the number of rounds a job spends in the
+//!   system. [`ResponseTimeHistogram`] stores the full integer-valued
+//!   distribution so both can be extracted exactly.
+//! * **Execution run-time distributions** — the CDF of per-decision
+//!   computation times (Figures 5 and 8). [`SampleSet`] keeps raw `f64`
+//!   samples and extracts percentiles / CDF points.
+//!
+//! Supporting types: [`StreamingStats`] (Welford online mean/variance used
+//! for queue-length tracking), [`QueueLengthTracker`] (per-server time-average
+//! queue statistics used by the stability tests) and [`Table`] (plain-text and
+//! CSV rendering used by the experiment harness).
+//!
+//! # Example
+//!
+//! ```
+//! use scd_metrics::ResponseTimeHistogram;
+//! let mut hist = ResponseTimeHistogram::new();
+//! for rt in [1u64, 1, 2, 3, 10] {
+//!     hist.record(rt);
+//! }
+//! assert_eq!(hist.count(), 5);
+//! assert!((hist.mean() - 3.4).abs() < 1e-12);
+//! assert_eq!(hist.percentile(0.99), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod queue;
+pub mod samples;
+pub mod streaming;
+pub mod table;
+
+pub use histogram::{HistogramSummary, ResponseTimeHistogram};
+pub use queue::QueueLengthTracker;
+pub use samples::SampleSet;
+pub use streaming::StreamingStats;
+pub use table::Table;

@@ -1,0 +1,174 @@
+//! Per-server queue-length tracking.
+//!
+//! The strong-stability analysis (Appendix D of the paper) is about the
+//! long-run time average of the total queue length,
+//! `1/T · Σ_t Σ_s E[q_s(t)]`. [`QueueLengthTracker`] records exactly that
+//! quantity (plus per-server maxima and idle fractions) so the stability
+//! integration tests and the herding demonstrations can make quantitative
+//! assertions.
+
+use crate::streaming::StreamingStats;
+use serde::{Deserialize, Serialize};
+
+/// Tracks queue-length statistics over the course of a simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueLengthTracker {
+    /// Per-server streaming statistics of the queue length at round starts.
+    per_server: Vec<StreamingStats>,
+    /// Streaming statistics of the *total* backlog (summed over servers).
+    total: StreamingStats,
+    /// Per-server count of rounds in which the server was idle (empty queue).
+    idle_rounds: Vec<u64>,
+    /// Number of observed rounds.
+    rounds: u64,
+}
+
+impl QueueLengthTracker {
+    /// Creates a tracker for `num_servers` servers.
+    pub fn new(num_servers: usize) -> Self {
+        QueueLengthTracker {
+            per_server: vec![StreamingStats::new(); num_servers],
+            total: StreamingStats::new(),
+            idle_rounds: vec![0; num_servers],
+            rounds: 0,
+        }
+    }
+
+    /// Records the queue lengths observed at the beginning of one round.
+    ///
+    /// # Panics
+    /// Panics if `queue_lengths.len()` differs from the number of servers the
+    /// tracker was created for.
+    pub fn observe(&mut self, queue_lengths: &[u64]) {
+        assert_eq!(
+            queue_lengths.len(),
+            self.per_server.len(),
+            "tracker was created for a different cluster size"
+        );
+        let mut sum = 0u64;
+        for (s, &q) in queue_lengths.iter().enumerate() {
+            self.per_server[s].push(q as f64);
+            if q == 0 {
+                self.idle_rounds[s] += 1;
+            }
+            sum += q;
+        }
+        self.total.push(sum as f64);
+        self.rounds += 1;
+    }
+
+    /// Number of servers being tracked.
+    pub fn num_servers(&self) -> usize {
+        self.per_server.len()
+    }
+
+    /// Number of observed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Time-average of the total backlog `Σ_s q_s(t)` — the quantity bounded
+    /// by the strong-stability theorem.
+    pub fn mean_total_backlog(&self) -> f64 {
+        self.total.mean()
+    }
+
+    /// Largest total backlog seen in any round.
+    pub fn max_total_backlog(&self) -> f64 {
+        if self.total.is_empty() {
+            0.0
+        } else {
+            self.total.max()
+        }
+    }
+
+    /// Time-average queue length of one server.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn mean_queue(&self, server: usize) -> f64 {
+        self.per_server[server].mean()
+    }
+
+    /// Maximum queue length of one server across all observed rounds.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn max_queue(&self, server: usize) -> f64 {
+        if self.per_server[server].is_empty() {
+            0.0
+        } else {
+            self.per_server[server].max()
+        }
+    }
+
+    /// Fraction of rounds in which the server's queue was empty — a proxy for
+    /// wasted capacity on fast servers (the instability mode described in the
+    /// paper's footnote 1).
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn idle_fraction(&self, server: usize) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.idle_rounds[server] as f64 / self.rounds as f64
+        }
+    }
+
+    /// The largest per-server time-average queue length — useful for spotting
+    /// a single unstable queue in an otherwise healthy system.
+    pub fn worst_mean_queue(&self) -> f64 {
+        self.per_server
+            .iter()
+            .map(|s| s.mean())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observes_and_averages() {
+        let mut t = QueueLengthTracker::new(3);
+        t.observe(&[0, 2, 4]);
+        t.observe(&[2, 2, 0]);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.num_servers(), 3);
+        assert!((t.mean_total_backlog() - 5.0).abs() < 1e-12);
+        assert_eq!(t.max_total_backlog(), 6.0);
+        assert!((t.mean_queue(0) - 1.0).abs() < 1e-12);
+        assert!((t.mean_queue(2) - 2.0).abs() < 1e-12);
+        assert_eq!(t.max_queue(2), 4.0);
+        assert!((t.worst_mean_queue() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fraction_counts_empty_rounds() {
+        let mut t = QueueLengthTracker::new(2);
+        t.observe(&[0, 1]);
+        t.observe(&[0, 0]);
+        t.observe(&[3, 0]);
+        assert!((t.idle_fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.idle_fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_is_zeroed() {
+        let t = QueueLengthTracker::new(4);
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.mean_total_backlog(), 0.0);
+        assert_eq!(t.max_total_backlog(), 0.0);
+        assert_eq!(t.idle_fraction(0), 0.0);
+        assert_eq!(t.worst_mean_queue(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cluster size")]
+    fn wrong_width_observation_panics() {
+        let mut t = QueueLengthTracker::new(2);
+        t.observe(&[1, 2, 3]);
+    }
+}

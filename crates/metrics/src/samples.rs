@@ -1,0 +1,252 @@
+//! Raw-sample collections with percentile and CDF extraction.
+//!
+//! Used for continuous-valued measurements — chiefly the per-decision
+//! computation times of Figures 5 and 8, where the paper reports the full
+//! CDF of microsecond-scale latencies.
+
+use serde::{Deserialize, Serialize};
+
+/// A growable set of `f64` samples supporting exact percentiles and CDF
+/// extraction.
+///
+/// Samples are kept unsorted while recording (O(1) push) and sorted lazily on
+/// first query; subsequent pushes invalidate the cached order.
+///
+/// # Example
+/// ```
+/// use scd_metrics::SampleSet;
+/// let mut s = SampleSet::new();
+/// for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.percentile(0.5), 3.0);
+/// assert_eq!(s.percentile(1.0), 5.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Creates an empty sample set with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SampleSet {
+            samples: Vec::with_capacity(capacity),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    /// Panics if the sample is NaN — a NaN measurement indicates a harness
+    /// bug and would poison every subsequent percentile query.
+    pub fn push(&mut self, sample: f64) {
+        assert!(!sample.is_nan(), "samples must not be NaN");
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Records every sample from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-quantile (`p ∈ [0, 1]`), "nearest rank" convention.
+    ///
+    /// Returns 0.0 for an empty set.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p * self.samples.len() as f64).ceil().max(1.0) as usize) - 1;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Minimum sample; 0.0 when empty.
+    pub fn min(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Maximum sample; 0.0 when empty.
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().expect("non-empty")
+    }
+
+    /// Extracts `points` evenly spaced CDF points `(value, P[X ≤ value])`.
+    ///
+    /// This is the series plotted in Figures 5 and 8 (computation-time CDFs).
+    /// Returns an empty vector when no samples were recorded.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                let rank = ((q * n as f64).ceil().max(1.0) as usize) - 1;
+                (self.samples[rank.min(n - 1)], q)
+            })
+            .collect()
+    }
+
+    /// The empirical CDF evaluated at `x`: fraction of samples `≤ x`.
+    pub fn cdf_at(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.samples.partition_point(|&s| s <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Merges another sample set into this one.
+    pub fn merge(&mut self, other: &SampleSet) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Read-only access to the raw samples (in unspecified order).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for SampleSet {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = SampleSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_harmless() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.cdf(10).is_empty());
+        assert_eq!(s.cdf_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut s: SampleSet = [15.0, 20.0, 35.0, 40.0, 50.0].into_iter().collect();
+        assert_eq!(s.percentile(0.05), 15.0);
+        assert_eq!(s.percentile(0.30), 20.0);
+        assert_eq!(s.percentile(0.40), 20.0);
+        assert_eq!(s.percentile(0.50), 35.0);
+        assert_eq!(s.percentile(1.00), 50.0);
+        assert_eq!(s.min(), 15.0);
+        assert_eq!(s.max(), 50.0);
+    }
+
+    #[test]
+    fn pushes_after_queries_are_reflected() {
+        let mut s = SampleSet::new();
+        s.push(10.0);
+        assert_eq!(s.percentile(1.0), 10.0);
+        s.push(100.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let mut s: SampleSet = (1..=100).map(|i| i as f64).collect();
+        let cdf = s.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, 100.0);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_counts_inclusive() {
+        let mut s: SampleSet = [1.0, 2.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.cdf_at(0.5), 0.0);
+        assert_eq!(s.cdf_at(2.0), 0.75);
+        assert_eq!(s.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a: SampleSet = [1.0, 5.0].into_iter().collect();
+        let b: SampleSet = [3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.percentile(0.5), 3.0);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_samples_are_rejected() {
+        SampleSet::new().push(f64::NAN);
+    }
+}

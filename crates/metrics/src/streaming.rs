@@ -1,0 +1,229 @@
+//! Online (single-pass) statistics using Welford's algorithm.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming mean / variance / extrema accumulator.
+///
+/// Used for quantities we do not want to store in full (per-round total queue
+/// lengths over 10⁵ rounds, per-server backlog, ...).
+///
+/// # Example
+/// ```
+/// use scd_metrics::StreamingStats;
+/// let mut s = StreamingStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no observation has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (dividing by `n`); 0.0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (dividing by `n - 1`); 0.0 with fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        let new_m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = new_mean;
+        self.m2 = new_m2;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for StreamingStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = StreamingStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = StreamingStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn matches_textbook_values() {
+        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = StreamingStats::new();
+        s.push(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let whole: StreamingStats = values.iter().copied().collect();
+        let mut left: StreamingStats = values[..300].iter().copied().collect();
+        let right: StreamingStats = values[300..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: StreamingStats = [1.0, 2.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&StreamingStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = StreamingStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offsets() {
+        // Classic catastrophic-cancellation test: large mean, small variance.
+        let offset = 1e9;
+        let s: StreamingStats = (0..10_000)
+            .map(|i| offset + (i % 2) as f64)
+            .collect();
+        assert!((s.mean() - (offset + 0.5)).abs() < 1e-3);
+        assert!((s.population_variance() - 0.25).abs() < 1e-6);
+    }
+}

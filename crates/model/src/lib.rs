@@ -1,0 +1,66 @@
+//! Shared model types for the SCD load-balancing reproduction.
+//!
+//! This crate defines the vocabulary that every other crate in the workspace
+//! speaks:
+//!
+//! * [`ServerId`] / [`DispatcherId`] — typed identifiers for the two kinds of
+//!   participants in the system model of the paper (Section 2).
+//! * [`ClusterSpec`] — the static description of a heterogeneous cluster,
+//!   i.e. the per-server processing rates `µ_s`.
+//! * [`DispatchContext`] — the information a dispatcher observes at the
+//!   beginning of a round (true queue lengths, rates, number of dispatchers).
+//! * [`DispatchPolicy`] / [`PolicyFactory`] — the trait every dispatching
+//!   policy implements, and the factory used by the simulator to instantiate
+//!   one (stateful) policy object per dispatcher.
+//! * [`ProbabilityVector`] and [`AliasSampler`] — utilities for policies that
+//!   are defined by a per-round probability distribution over servers (SCD,
+//!   TWF, weighted random).
+//!
+//! # Example
+//!
+//! ```
+//! use scd_model::{ClusterSpec, DispatchContext, DispatchPolicy, ServerId};
+//! use rand::SeedableRng;
+//!
+//! /// A toy policy that always picks the first server.
+//! struct AlwaysFirst;
+//!
+//! impl DispatchPolicy for AlwaysFirst {
+//!     fn policy_name(&self) -> &str { "always-first" }
+//!     fn dispatch_batch(
+//!         &mut self,
+//!         _ctx: &DispatchContext<'_>,
+//!         batch: usize,
+//!         _rng: &mut dyn rand::RngCore,
+//!     ) -> Vec<ServerId> {
+//!         vec![ServerId::new(0); batch]
+//!     }
+//! }
+//!
+//! let spec = ClusterSpec::from_rates(vec![4.0, 1.0]).unwrap();
+//! let queues = vec![3u64, 0u64];
+//! let ctx = DispatchContext::new(&queues, spec.rates(), 2, 0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut policy = AlwaysFirst;
+//! let targets = policy.dispatch_batch(&ctx, 3, &mut rng);
+//! assert_eq!(targets.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod policy;
+pub mod probability;
+pub mod sampler;
+pub mod snapshot;
+pub mod spec;
+
+pub use error::ModelError;
+pub use ids::{DispatcherId, ServerId};
+pub use policy::{BoxedPolicy, DispatchPolicy, PolicyFactory};
+pub use probability::ProbabilityVector;
+pub use sampler::{AliasSampler, CdfSampler};
+pub use snapshot::DispatchContext;
+pub use spec::{ClusterSpec, RateProfile};

@@ -1,0 +1,213 @@
+//! The dispatching-policy abstraction.
+//!
+//! A *policy* is the per-dispatcher decision procedure of the paper's model:
+//! given the round's [`DispatchContext`] and the number of jobs that arrived
+//! at this dispatcher, it must immediately and independently pick a
+//! destination server for each job. Policies are stateful objects (LSQ keeps
+//! a local queue-length array, JIQ variants may cache idle sets, SCD caches
+//! sorted orders), so the simulator instantiates **one policy object per
+//! dispatcher** through a [`PolicyFactory`].
+
+use crate::error::ModelError;
+use crate::ids::{DispatcherId, ServerId};
+use crate::snapshot::DispatchContext;
+use crate::spec::ClusterSpec;
+use rand::RngCore;
+
+/// A boxed, heap-allocated policy object as handed out by a factory.
+pub type BoxedPolicy = Box<dyn DispatchPolicy>;
+
+/// A per-dispatcher dispatching policy.
+///
+/// Implementations must be deterministic given the RNG passed in: all
+/// randomness must flow through `rng` so that simulations are reproducible
+/// from a single seed.
+///
+/// The simulator drives a policy as follows in every round `t`:
+///
+/// 1. [`observe_round`](DispatchPolicy::observe_round) is called exactly once
+///    with the round's context, *before* any jobs are dispatched. Policies
+///    that maintain local state across rounds (LSQ's local array, JIQ's idle
+///    cache) refresh it here.
+/// 2. If the dispatcher received `a(d) > 0` jobs,
+///    [`dispatch_batch`](DispatchPolicy::dispatch_batch) is called once with
+///    the batch size and must return one destination per job.
+///
+/// # Example
+///
+/// ```
+/// use scd_model::{DispatchContext, DispatchPolicy, ServerId};
+///
+/// /// Round-robin over servers, ignoring all state.
+/// struct RoundRobin { next: usize }
+///
+/// impl DispatchPolicy for RoundRobin {
+///     fn policy_name(&self) -> &str { "round-robin" }
+///     fn dispatch_batch(
+///         &mut self,
+///         ctx: &DispatchContext<'_>,
+///         batch: usize,
+///         _rng: &mut dyn rand::RngCore,
+///     ) -> Vec<ServerId> {
+///         (0..batch)
+///             .map(|_| {
+///                 let s = ServerId::new(self.next % ctx.num_servers());
+///                 self.next += 1;
+///                 s
+///             })
+///             .collect()
+///     }
+/// }
+/// ```
+pub trait DispatchPolicy: Send {
+    /// Human-readable name of the policy ("SCD", "JSQ", "hLSQ", ...). Used in
+    /// experiment output and legends.
+    fn policy_name(&self) -> &str;
+
+    /// Called once at the start of every round with the fresh queue-length
+    /// snapshot, before any dispatching happens.
+    ///
+    /// The default implementation does nothing; policies without cross-round
+    /// state do not need to override it.
+    fn observe_round(&mut self, ctx: &DispatchContext<'_>, rng: &mut dyn RngCore) {
+        let _ = (ctx, rng);
+    }
+
+    /// Chooses a destination server for each of the `batch` jobs that arrived
+    /// at this dispatcher in the current round.
+    ///
+    /// Must return exactly `batch` destinations; the engine validates this
+    /// via [`validate_assignment`].
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId>;
+}
+
+/// Validates an assignment returned by a policy against the batch size and
+/// cluster size.
+///
+/// # Errors
+/// Returns [`ModelError::AssignmentArity`] when the number of destinations
+/// does not equal the batch size and [`ModelError::UnknownServer`] when any
+/// destination is out of range.
+pub fn validate_assignment(
+    assignment: &[ServerId],
+    batch: usize,
+    num_servers: usize,
+) -> Result<(), ModelError> {
+    if assignment.len() != batch {
+        return Err(ModelError::AssignmentArity {
+            got: assignment.len(),
+            expected: batch,
+        });
+    }
+    for dest in assignment {
+        if dest.index() >= num_servers {
+            return Err(ModelError::UnknownServer {
+                server: dest.index(),
+                num_servers,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Creates one [`DispatchPolicy`] instance per dispatcher.
+///
+/// Factories are what experiment configurations name: "run this system with
+/// SCD", "with hLSQ", etc. The factory sees the cluster specification so it
+/// can pre-compute static data (e.g. the weighted-random sampler of WR, the
+/// rate-proportional probe distribution of the `h*` policies).
+pub trait PolicyFactory: Send + Sync {
+    /// Name of the policy family produced by this factory.
+    fn name(&self) -> &str;
+
+    /// Builds the policy instance used by dispatcher `dispatcher`.
+    fn build(&self, dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy;
+}
+
+impl<F> PolicyFactory for F
+where
+    F: Fn(DispatcherId, &ClusterSpec) -> BoxedPolicy + Send + Sync,
+{
+    fn name(&self) -> &str {
+        "closure-policy"
+    }
+
+    fn build(&self, dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
+        self(dispatcher, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct ToFirst;
+
+    impl DispatchPolicy for ToFirst {
+        fn policy_name(&self) -> &str {
+            "to-first"
+        }
+
+        fn dispatch_batch(
+            &mut self,
+            _ctx: &DispatchContext<'_>,
+            batch: usize,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<ServerId> {
+            vec![ServerId::new(0); batch]
+        }
+    }
+
+    #[test]
+    fn default_observe_round_is_a_no_op() {
+        let queues = vec![0u64, 0];
+        let rates = vec![1.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = ToFirst;
+        p.observe_round(&ctx, &mut rng);
+        let out = p.dispatch_batch(&ctx, 5, &mut rng);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|s| s.index() == 0));
+    }
+
+    #[test]
+    fn validate_assignment_accepts_correct_output() {
+        let out = vec![ServerId::new(0), ServerId::new(1)];
+        assert!(validate_assignment(&out, 2, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_assignment_rejects_wrong_arity() {
+        let out = vec![ServerId::new(0)];
+        assert_eq!(
+            validate_assignment(&out, 2, 4),
+            Err(ModelError::AssignmentArity { got: 1, expected: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_assignment_rejects_out_of_range_server() {
+        let out = vec![ServerId::new(7)];
+        assert_eq!(
+            validate_assignment(&out, 1, 4),
+            Err(ModelError::UnknownServer { server: 7, num_servers: 4 })
+        );
+    }
+
+    #[test]
+    fn closures_act_as_factories() {
+        let factory = |_d: DispatcherId, _spec: &ClusterSpec| -> BoxedPolicy { Box::new(ToFirst) };
+        let spec = ClusterSpec::homogeneous(2, 1.0).unwrap();
+        let policy = factory.build(DispatcherId::new(0), &spec);
+        assert_eq!(policy.policy_name(), "to-first");
+        assert_eq!(PolicyFactory::name(&factory), "closure-policy");
+    }
+}

@@ -1,0 +1,288 @@
+//! Validated probability vectors over servers.
+//!
+//! Policies based on stochastic coordination (SCD, TWF) and weighted random
+//! compute a per-round distribution `P = [p_1, …, p_n]` over servers and then
+//! draw every job's destination from it. [`ProbabilityVector`] is the checked
+//! representation of such a distribution: entries are finite, non-negative,
+//! and sum to one (after an explicit, tolerance-bounded normalization step
+//! that absorbs accumulated floating-point error from the solver).
+
+use crate::error::ModelError;
+use crate::ids::ServerId;
+use crate::sampler::AliasSampler;
+use serde::{Deserialize, Serialize};
+
+/// Relative tolerance accepted when validating that probabilities sum to one.
+pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
+
+/// A probability distribution over the servers of a cluster.
+///
+/// # Example
+/// ```
+/// use scd_model::ProbabilityVector;
+/// let p = ProbabilityVector::new(vec![0.5, 0.25, 0.25]).unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert!((p.get(scd_model::ServerId::new(0)) - 0.5).abs() < 1e-12);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityVector {
+    probs: Vec<f64>,
+}
+
+impl ProbabilityVector {
+    /// Creates a probability vector, normalizing away floating-point drift.
+    ///
+    /// The input may deviate from summing to exactly 1 by at most
+    /// [`NORMALIZATION_TOLERANCE`] (relative); larger deviations are rejected
+    /// because they indicate a solver bug rather than round-off.
+    ///
+    /// # Errors
+    /// * [`ModelError::EmptyCluster`] for an empty vector;
+    /// * [`ModelError::InvalidProbability`] for negative/NaN/infinite entries
+    ///   (tiny negative values above `-1e-12` are clamped to zero);
+    /// * [`ModelError::UnnormalizableProbabilities`] if the mass is zero or
+    ///   too far from one.
+    pub fn new(probs: Vec<f64>) -> Result<Self, ModelError> {
+        Self::with_tolerance(probs, NORMALIZATION_TOLERANCE)
+    }
+
+    /// Like [`ProbabilityVector::new`] but with a caller-chosen tolerance on
+    /// the deviation of the total mass from 1.
+    ///
+    /// # Errors
+    /// See [`ProbabilityVector::new`].
+    pub fn with_tolerance(mut probs: Vec<f64>, tolerance: f64) -> Result<Self, ModelError> {
+        if probs.is_empty() {
+            return Err(ModelError::EmptyCluster);
+        }
+        for (index, p) in probs.iter_mut().enumerate() {
+            if !p.is_finite() {
+                return Err(ModelError::InvalidProbability { index, value: *p });
+            }
+            if *p < 0.0 {
+                // Clamp only round-off-sized negatives; anything larger is a bug.
+                if *p > -1e-12 {
+                    *p = 0.0;
+                } else {
+                    return Err(ModelError::InvalidProbability { index, value: *p });
+                }
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(ModelError::UnnormalizableProbabilities { total });
+        }
+        if (total - 1.0).abs() > tolerance {
+            return Err(ModelError::UnnormalizableProbabilities { total });
+        }
+        for p in probs.iter_mut() {
+            *p /= total;
+        }
+        Ok(ProbabilityVector { probs })
+    }
+
+    /// Builds the distribution proportional to the given non-negative weights
+    /// (they need not sum to one). Used by weighted-random and by the
+    /// rate-proportional sampling of the `h*` policies.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::DegenerateWeights`] if no weight is strictly
+    /// positive, and [`ModelError::InvalidProbability`] for negative or
+    /// non-finite weights.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, ModelError> {
+        if weights.is_empty() {
+            return Err(ModelError::EmptyCluster);
+        }
+        for (index, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ModelError::InvalidProbability { index, value: w });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ModelError::DegenerateWeights);
+        }
+        Ok(ProbabilityVector {
+            probs: weights.iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// The distribution that puts all mass on a single server.
+    pub fn degenerate(n: usize, server: ServerId) -> Result<Self, ModelError> {
+        if n == 0 {
+            return Err(ModelError::EmptyCluster);
+        }
+        if server.index() >= n {
+            return Err(ModelError::UnknownServer {
+                server: server.index(),
+                num_servers: n,
+            });
+        }
+        let mut probs = vec![0.0; n];
+        probs[server.index()] = 1.0;
+        Ok(ProbabilityVector { probs })
+    }
+
+    /// The uniform distribution over `n` servers.
+    pub fn uniform(n: usize) -> Result<Self, ModelError> {
+        if n == 0 {
+            return Err(ModelError::EmptyCluster);
+        }
+        Ok(ProbabilityVector {
+            probs: vec![1.0 / n as f64; n],
+        })
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when there are no entries (never the case for a constructed
+    /// vector; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability assigned to a server.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn get(&self, server: ServerId) -> f64 {
+        self.probs[server.index()]
+    }
+
+    /// Iterates over the probabilities in server order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.probs.iter().copied()
+    }
+
+    /// The probabilities as a slice, indexed by server.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Consumes the vector and returns the raw probabilities.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.probs
+    }
+
+    /// Servers with strictly positive probability — the "probable set" `S+`
+    /// of the paper.
+    pub fn support(&self) -> Vec<ServerId> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(i, _)| ServerId::new(i))
+            .collect()
+    }
+
+    /// Builds an O(1)-per-draw alias sampler for this distribution.
+    ///
+    /// # Errors
+    /// Propagates [`ModelError::DegenerateWeights`] (cannot happen for a
+    /// validated distribution, but the signature is fallible for uniformity).
+    pub fn sampler(&self) -> Result<AliasSampler, ModelError> {
+        AliasSampler::new(&self.probs)
+    }
+}
+
+impl AsRef<[f64]> for ProbabilityVector {
+    fn as_ref(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_and_normalizes_nearly_normalized_input() {
+        let p = ProbabilityVector::new(vec![0.5, 0.5 + 2e-7]).unwrap();
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_badly_normalized_input() {
+        let err = ProbabilityVector::new(vec![0.5, 0.4]).unwrap_err();
+        assert!(matches!(err, ModelError::UnnormalizableProbabilities { .. }));
+    }
+
+    #[test]
+    fn rejects_nan_and_large_negative_entries() {
+        assert!(matches!(
+            ProbabilityVector::new(vec![f64::NAN, 1.0]).unwrap_err(),
+            ModelError::InvalidProbability { index: 0, .. }
+        ));
+        assert!(matches!(
+            ProbabilityVector::new(vec![-0.2, 1.2]).unwrap_err(),
+            ModelError::InvalidProbability { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn clamps_round_off_negatives() {
+        let p = ProbabilityVector::new(vec![1.0, -1e-15]).unwrap();
+        assert_eq!(p.get(ServerId::new(1)), 0.0);
+        assert_eq!(p.support(), vec![ServerId::new(0)]);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let p = ProbabilityVector::from_weights(&[5.0, 2.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!((p.get(ServerId::new(0)) - 0.5).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_rejects_all_zero() {
+        assert_eq!(
+            ProbabilityVector::from_weights(&[0.0, 0.0]).unwrap_err(),
+            ModelError::DegenerateWeights
+        );
+    }
+
+    #[test]
+    fn degenerate_and_uniform_constructors() {
+        let d = ProbabilityVector::degenerate(3, ServerId::new(1)).unwrap();
+        assert_eq!(d.as_slice(), &[0.0, 1.0, 0.0]);
+        assert_eq!(d.support(), vec![ServerId::new(1)]);
+
+        let u = ProbabilityVector::uniform(4).unwrap();
+        assert!(u.iter().all(|p| (p - 0.25).abs() < 1e-12));
+
+        assert!(ProbabilityVector::degenerate(2, ServerId::new(5)).is_err());
+        assert!(ProbabilityVector::uniform(0).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(
+            ProbabilityVector::new(vec![]).unwrap_err(),
+            ModelError::EmptyCluster
+        );
+        assert_eq!(
+            ProbabilityVector::from_weights(&[]).unwrap_err(),
+            ModelError::EmptyCluster
+        );
+    }
+
+    #[test]
+    fn sampler_construction_succeeds() {
+        let p = ProbabilityVector::from_weights(&[1.0, 3.0]).unwrap();
+        let sampler = p.sampler().unwrap();
+        assert_eq!(sampler.len(), 2);
+    }
+
+    #[test]
+    fn into_inner_round_trips() {
+        let p = ProbabilityVector::new(vec![0.25, 0.75]).unwrap();
+        let raw = p.clone().into_inner();
+        assert_eq!(raw, vec![0.25, 0.75]);
+        assert_eq!(p.as_ref(), &[0.25, 0.75]);
+    }
+}

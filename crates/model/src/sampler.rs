@@ -1,0 +1,305 @@
+//! Weighted sampling of server indices.
+//!
+//! Stochastic-coordination policies draw the destination of every arriving
+//! job from a freshly computed probability vector. With hundreds of servers
+//! and potentially hundreds of jobs per dispatcher per round, the sampling
+//! step itself matters for the "SCD is as cheap as JSQ" claim of the paper
+//! (Section 6.3). This module provides two samplers:
+//!
+//! * [`AliasSampler`] — Walker/Vose alias method: `O(n)` construction,
+//!   `O(1)` per draw. Used by the SCD/TWF/WR policies.
+//! * [`CdfSampler`] — cumulative-distribution binary search: `O(n)`
+//!   construction, `O(log n)` per draw. Kept as the ablation baseline for the
+//!   sampler micro-benchmark.
+
+use crate::error::ModelError;
+use rand::Rng;
+use rand::RngCore;
+
+/// Walker/Vose alias-method sampler over `0..n`.
+///
+/// # Example
+/// ```
+/// use scd_model::AliasSampler;
+/// use rand::SeedableRng;
+/// let sampler = AliasSampler::new(&[0.7, 0.2, 0.1]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let draw = sampler.sample(&mut rng);
+/// assert!(draw < 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    /// Probability of keeping column `i` (as opposed to its alias).
+    keep: Vec<f64>,
+    /// Alias column for each slot.
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    /// * [`ModelError::EmptyCluster`] for an empty weight vector;
+    /// * [`ModelError::InvalidProbability`] for negative or non-finite weights;
+    /// * [`ModelError::DegenerateWeights`] when every weight is zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ModelError> {
+        if weights.is_empty() {
+            return Err(ModelError::EmptyCluster);
+        }
+        for (index, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ModelError::InvalidProbability { index, value: w });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ModelError::DegenerateWeights);
+        }
+        let n = weights.len();
+        // Scaled probabilities: mean 1.0.
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+
+        let mut keep = vec![0.0f64; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        let mut remaining = scaled;
+        for (i, &p) in remaining.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            keep[s] = remaining[s];
+            alias[s] = l;
+            remaining[l] = (remaining[l] + remaining[s]) - 1.0;
+            if remaining[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever is left (numerically ~1.0) keeps itself with certainty.
+        for &l in large.iter() {
+            keep[l] = 1.0;
+            alias[l] = l;
+        }
+        for &s in small.iter() {
+            keep[s] = 1.0;
+            alias[s] = s;
+        }
+        Ok(AliasSampler { keep, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// True when the sampler has no categories (cannot happen for a
+    /// successfully constructed sampler).
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Draws one index in `O(1)`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let n = self.keep.len();
+        let column = rng.gen_range(0..n);
+        let toss: f64 = rng.gen::<f64>();
+        if toss < self.keep[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+
+    /// Draws `count` indices, reusing the table.
+    pub fn sample_many(&self, count: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Inverse-CDF sampler: binary search over the cumulative weights.
+///
+/// Retained as a baseline for the sampler ablation benchmark; behaviourally
+/// equivalent to [`AliasSampler`].
+#[derive(Debug, Clone)]
+pub struct CdfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Builds the cumulative table from non-negative weights.
+    ///
+    /// # Errors
+    /// Same error conditions as [`AliasSampler::new`].
+    pub fn new(weights: &[f64]) -> Result<Self, ModelError> {
+        if weights.is_empty() {
+            return Err(ModelError::EmptyCluster);
+        }
+        for (index, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ModelError::InvalidProbability { index, value: w });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ModelError::DegenerateWeights);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against round-off: the last entry must cover u = 1 - ε.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Ok(CdfSampler { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the sampler has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one index in `O(log n)`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_distribution(
+        sampler: &dyn Fn(&mut StdRng) -> usize,
+        n: usize,
+        draws: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[sampler(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn alias_rejects_bad_input() {
+        assert!(AliasSampler::new(&[]).is_err());
+        assert!(AliasSampler::new(&[0.0, 0.0]).is_err());
+        assert!(AliasSampler::new(&[1.0, -2.0]).is_err());
+        assert!(AliasSampler::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn cdf_rejects_bad_input() {
+        assert!(CdfSampler::new(&[]).is_err());
+        assert!(CdfSampler::new(&[0.0]).is_err());
+        assert!(CdfSampler::new(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn alias_matches_weights_empirically() {
+        let weights = [0.5, 0.3, 0.15, 0.05];
+        let sampler = AliasSampler::new(&weights).unwrap();
+        let freq = empirical_distribution(&|rng| sampler.sample(rng), 4, 200_000, 11);
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                (freq[i] - w).abs() < 0.01,
+                "category {i}: expected {w}, observed {}",
+                freq[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_matches_weights_empirically() {
+        let weights = [1.0, 4.0, 5.0];
+        let sampler = CdfSampler::new(&weights).unwrap();
+        let freq = empirical_distribution(&|rng| sampler.sample(rng), 3, 200_000, 5);
+        let expected = [0.1, 0.4, 0.5];
+        for i in 0..3 {
+            assert!(
+                (freq[i] - expected[i]).abs() < 0.01,
+                "category {i}: expected {}, observed {}",
+                expected[i],
+                freq[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_are_never_drawn() {
+        let weights = [0.0, 1.0, 0.0, 2.0];
+        let alias = AliasSampler::new(&weights).unwrap();
+        let cdf = CdfSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = alias.sample(&mut rng);
+            assert!(a == 1 || a == 3, "alias drew zero-weight category {a}");
+            let c = cdf.sample(&mut rng);
+            assert!(c == 1 || c == 3, "cdf drew zero-weight category {c}");
+        }
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let alias = AliasSampler::new(&[7.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(alias.sample(&mut rng), 0);
+        }
+        assert_eq!(alias.len(), 1);
+        assert!(!alias.is_empty());
+    }
+
+    #[test]
+    fn sample_many_length_and_range() {
+        let alias = AliasSampler::new(&[1.0, 1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws = alias.sample_many(500, &mut rng);
+        assert_eq!(draws.len(), 500);
+        assert!(draws.iter().all(|&d| d < 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let alias = AliasSampler::new(&[0.2, 0.8]).unwrap();
+        let a: Vec<usize> = alias.sample_many(50, &mut StdRng::seed_from_u64(4));
+        let b: Vec<usize> = alias.sample_many(50, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unnormalized_weights_are_accepted() {
+        // Weights that sum to 100, not 1.
+        let alias = AliasSampler::new(&[30.0, 70.0]).unwrap();
+        let freq = empirical_distribution(&|rng| alias.sample(rng), 2, 100_000, 2);
+        assert!((freq[1] - 0.7).abs() < 0.01);
+    }
+}

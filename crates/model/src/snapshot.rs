@@ -1,0 +1,196 @@
+//! Per-round view of the system that dispatchers observe.
+//!
+//! In the paper's model (Section 2) the queue lengths `q_s(t)` of all servers
+//! are available to all dispatchers at the beginning of round `t`. A
+//! [`DispatchContext`] is exactly that read-only view, plus the static
+//! information (rates, number of dispatchers) a policy needs to make its
+//! decision.
+
+use crate::ids::ServerId;
+
+/// Read-only information available to a dispatcher when it makes its
+/// dispatching decision for one round.
+///
+/// The context borrows the engine's state: constructing it is free and the
+/// same context is handed to every dispatcher in the round, which mirrors the
+/// paper's assumption that all dispatchers see identical queue-length
+/// information (this is what makes herding possible for naive policies).
+///
+/// # Example
+/// ```
+/// use scd_model::DispatchContext;
+/// let queues = vec![2u64, 0, 5];
+/// let rates = vec![4.0, 1.0, 2.0];
+/// let ctx = DispatchContext::new(&queues, &rates, 10, 42);
+/// assert_eq!(ctx.num_servers(), 3);
+/// assert_eq!(ctx.queue_len(scd_model::ServerId::new(2)), 5);
+/// assert!((ctx.expected_delay(scd_model::ServerId::new(0)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchContext<'a> {
+    queue_lengths: &'a [u64],
+    rates: &'a [f64],
+    num_dispatchers: usize,
+    round: u64,
+}
+
+impl<'a> DispatchContext<'a> {
+    /// Creates a new context.
+    ///
+    /// # Panics
+    /// Panics if `queue_lengths` and `rates` have different lengths — this is
+    /// an internal programming error of the simulation engine, not a user
+    /// input error.
+    pub fn new(
+        queue_lengths: &'a [u64],
+        rates: &'a [f64],
+        num_dispatchers: usize,
+        round: u64,
+    ) -> Self {
+        assert_eq!(
+            queue_lengths.len(),
+            rates.len(),
+            "queue-length and rate vectors must describe the same cluster"
+        );
+        DispatchContext {
+            queue_lengths,
+            rates,
+            num_dispatchers,
+            round,
+        }
+    }
+
+    /// Number of servers `n`.
+    pub fn num_servers(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of dispatchers `m` operating concurrently in the system.
+    ///
+    /// SCD uses this for its arrival estimation `a_est = m · a(d)`.
+    pub fn num_dispatchers(&self) -> usize {
+        self.num_dispatchers
+    }
+
+    /// The current round index `t`.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Queue length `q_s(t)` of one server at the beginning of the round.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn queue_len(&self, server: ServerId) -> u64 {
+        self.queue_lengths[server.index()]
+    }
+
+    /// All queue lengths, indexed by server.
+    pub fn queue_lengths(&self) -> &'a [u64] {
+        self.queue_lengths
+    }
+
+    /// Service rate `µ_s` of one server.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn rate(&self, server: ServerId) -> f64 {
+        self.rates[server.index()]
+    }
+
+    /// All service rates, indexed by server.
+    pub fn rates(&self) -> &'a [f64] {
+        self.rates
+    }
+
+    /// Total service capacity `Σ_s µ_s`.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Expected delay (normalized queue length) `q_s / µ_s` of a server — the
+    /// quantity SED-style policies rank servers by.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn expected_delay(&self, server: ServerId) -> f64 {
+        self.queue_lengths[server.index()] as f64 / self.rates[server.index()]
+    }
+
+    /// Iterator over `(ServerId, queue length, rate)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, u64, f64)> + 'a {
+        let queues = self.queue_lengths;
+        let rates = self.rates;
+        (0..queues.len()).map(move |i| (ServerId::new(i), queues[i], rates[i]))
+    }
+
+    /// Servers with an empty queue (the set JIQ-style policies target).
+    pub fn idle_servers(&self) -> Vec<ServerId> {
+        self.queue_lengths
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q == 0)
+            .map(|(i, _)| ServerId::new(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(queues: &'a [u64], rates: &'a [f64]) -> DispatchContext<'a> {
+        DispatchContext::new(queues, rates, 4, 17)
+    }
+
+    #[test]
+    fn accessors_return_the_underlying_data() {
+        let queues = vec![2u64, 1, 3, 1];
+        let rates = vec![5.0, 2.0, 1.0, 1.0];
+        let c = ctx(&queues, &rates);
+        assert_eq!(c.num_servers(), 4);
+        assert_eq!(c.num_dispatchers(), 4);
+        assert_eq!(c.round(), 17);
+        assert_eq!(c.queue_lengths(), &queues[..]);
+        assert_eq!(c.rates(), &rates[..]);
+        assert_eq!(c.queue_len(ServerId::new(2)), 3);
+        assert_eq!(c.rate(ServerId::new(0)), 5.0);
+        assert_eq!(c.total_rate(), 9.0);
+    }
+
+    #[test]
+    fn expected_delay_divides_by_rate() {
+        let queues = vec![2u64, 1, 3, 1];
+        let rates = vec![5.0, 2.0, 1.0, 1.0];
+        let c = ctx(&queues, &rates);
+        assert!((c.expected_delay(ServerId::new(0)) - 0.4).abs() < 1e-12);
+        assert!((c.expected_delay(ServerId::new(2)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_servers_lists_empty_queues_only() {
+        let queues = vec![0u64, 4, 0, 1];
+        let rates = vec![1.0; 4];
+        let c = ctx(&queues, &rates);
+        let idle: Vec<usize> = c.idle_servers().into_iter().map(|s| s.index()).collect();
+        assert_eq!(idle, vec![0, 2]);
+    }
+
+    #[test]
+    fn iter_walks_servers_in_order() {
+        let queues = vec![1u64, 2];
+        let rates = vec![3.0, 4.0];
+        let c = ctx(&queues, &rates);
+        let triples: Vec<(usize, u64, f64)> =
+            c.iter().map(|(s, q, r)| (s.index(), q, r)).collect();
+        assert_eq!(triples, vec![(0, 1, 3.0), (1, 2, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same cluster")]
+    fn mismatched_lengths_panic() {
+        let queues = vec![1u64, 2];
+        let rates = vec![3.0];
+        let _ = DispatchContext::new(&queues, &rates, 1, 0);
+    }
+}

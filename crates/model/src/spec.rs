@@ -1,0 +1,330 @@
+//! Static description of a heterogeneous cluster: the per-server service
+//! rates `µ_s` of the paper's model (Section 2) and helpers for generating
+//! the heterogeneity profiles used in the evaluation (Section 6.2).
+
+use crate::error::ModelError;
+use crate::ids::ServerId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The static configuration of a cluster: one processing rate per server.
+///
+/// A rate `µ_s` is the *expected* number of jobs server `s` completes per
+/// round (`E[c_s(t)] = µ_s` in the paper). Rates must be finite and strictly
+/// positive; the constructor validates this so that downstream algorithms can
+/// divide by `µ_s` without checks.
+///
+/// # Example
+/// ```
+/// use scd_model::ClusterSpec;
+/// let spec = ClusterSpec::from_rates(vec![5.0, 2.0, 1.0, 1.0]).unwrap();
+/// assert_eq!(spec.num_servers(), 4);
+/// assert_eq!(spec.total_rate(), 9.0);
+/// assert_eq!(spec.rate(scd_model::ServerId::new(0)), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    rates: Vec<f64>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster specification from explicit per-server rates.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::EmptyCluster`] if `rates` is empty and
+    /// [`ModelError::InvalidRate`] if any rate is not finite and strictly
+    /// positive.
+    pub fn from_rates(rates: Vec<f64>) -> Result<Self, ModelError> {
+        if rates.is_empty() {
+            return Err(ModelError::EmptyCluster);
+        }
+        for (server, &rate) in rates.iter().enumerate() {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err(ModelError::InvalidRate { server, rate });
+            }
+        }
+        Ok(ClusterSpec { rates })
+    }
+
+    /// Builds a homogeneous cluster of `n` servers, all with rate `rate`.
+    ///
+    /// # Errors
+    /// Returns an error if `n == 0` or the rate is invalid.
+    pub fn homogeneous(n: usize, rate: f64) -> Result<Self, ModelError> {
+        Self::from_rates(vec![rate; n])
+    }
+
+    /// Number of servers `n` in the cluster.
+    pub fn num_servers(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The rate `µ_s` of a particular server.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn rate(&self, server: ServerId) -> f64 {
+        self.rates[server.index()]
+    }
+
+    /// All rates, indexed by server.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Total processing capacity `Σ_s µ_s` of the cluster.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Smallest rate in the cluster (`µ_min` in the stability analysis).
+    pub fn min_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest rate in the cluster.
+    pub fn max_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Ratio between the fastest and the slowest server — a convenient scalar
+    /// measure of how heterogeneous the cluster is (1.0 means homogeneous).
+    pub fn heterogeneity_ratio(&self) -> f64 {
+        self.max_rate() / self.min_rate()
+    }
+
+    /// Iterates over `(ServerId, rate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, f64)> + '_ {
+        self.rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (ServerId::new(i), r))
+    }
+
+    /// Returns a copy of this specification with every rate replaced by 1.0.
+    ///
+    /// This is how the heterogeneity-oblivious TWF policy of the companion
+    /// paper is expressed in this workspace: the same stochastic-coordination
+    /// pipeline, run as if the cluster were homogeneous.
+    pub fn rate_oblivious(&self) -> ClusterSpec {
+        ClusterSpec {
+            rates: vec![1.0; self.rates.len()],
+        }
+    }
+}
+
+/// A recipe for drawing the per-server rates of a cluster.
+///
+/// The paper evaluates two heterogeneity levels: rates drawn uniformly from
+/// `[1, 10]` (moderate, different CPU generations) and from `[1, 100]` (high,
+/// accelerators present). [`RateProfile`] captures those plus a few additional
+/// profiles that are useful for tests and examples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// Every server has the same rate.
+    Homogeneous {
+        /// The common service rate.
+        rate: f64,
+    },
+    /// Each rate is drawn independently and uniformly from `[low, high]`.
+    Uniform {
+        /// Lower bound of the rate interval.
+        low: f64,
+        /// Upper bound of the rate interval.
+        high: f64,
+    },
+    /// A two-class cluster: a fraction of fast servers and the rest slow.
+    Bimodal {
+        /// Rate of the fast class.
+        fast_rate: f64,
+        /// Rate of the slow class.
+        slow_rate: f64,
+        /// Fraction of servers (0..=1) that belong to the fast class.
+        fast_fraction: f64,
+    },
+    /// Explicit rates; the cluster size must match the vector length.
+    Explicit {
+        /// The explicit per-server rates.
+        rates: Vec<f64>,
+    },
+}
+
+impl RateProfile {
+    /// The moderate-heterogeneity profile of the paper: `µ_s ~ U[1, 10]`.
+    pub fn paper_moderate() -> Self {
+        RateProfile::Uniform { low: 1.0, high: 10.0 }
+    }
+
+    /// The high-heterogeneity profile of the paper: `µ_s ~ U[1, 100]`.
+    pub fn paper_high() -> Self {
+        RateProfile::Uniform { low: 1.0, high: 100.0 }
+    }
+
+    /// Materializes a [`ClusterSpec`] with `n` servers using the supplied RNG
+    /// for any random draws.
+    ///
+    /// # Errors
+    /// Returns an error if the profile produces invalid rates (e.g. an
+    /// explicit vector of the wrong length is reported as
+    /// [`ModelError::EmptyCluster`] / [`ModelError::InvalidRate`] as
+    /// appropriate) or if `n == 0`.
+    pub fn materialize<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<ClusterSpec, ModelError> {
+        if n == 0 {
+            return Err(ModelError::EmptyCluster);
+        }
+        let rates = match self {
+            RateProfile::Homogeneous { rate } => vec![*rate; n],
+            RateProfile::Uniform { low, high } => {
+                (0..n).map(|_| rng.gen_range(*low..=*high)).collect()
+            }
+            RateProfile::Bimodal {
+                fast_rate,
+                slow_rate,
+                fast_fraction,
+            } => {
+                let fast_count = ((n as f64) * fast_fraction).round() as usize;
+                let fast_count = fast_count.min(n);
+                let mut rates = vec![*fast_rate; fast_count];
+                rates.extend(std::iter::repeat(*slow_rate).take(n - fast_count));
+                rates
+            }
+            RateProfile::Explicit { rates } => {
+                if rates.len() != n {
+                    // Surface a mismatch as an invalid-rate error on the first
+                    // missing/extra position so the caller gets a precise hint.
+                    return Err(ModelError::ProbabilityLength {
+                        got: rates.len(),
+                        expected: n,
+                    });
+                }
+                rates.clone()
+            }
+        };
+        ClusterSpec::from_rates(rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_cluster() {
+        assert_eq!(ClusterSpec::from_rates(vec![]), Err(ModelError::EmptyCluster));
+    }
+
+    #[test]
+    fn rejects_non_positive_and_non_finite_rates() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ClusterSpec::from_rates(vec![1.0, bad, 2.0]).unwrap_err();
+            match err {
+                ModelError::InvalidRate { server, .. } => assert_eq!(server, 1),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_match_figure_one_cluster() {
+        // Figure 1 of the paper: rates [5, 2, 1, 1].
+        let spec = ClusterSpec::from_rates(vec![5.0, 2.0, 1.0, 1.0]).unwrap();
+        assert_eq!(spec.num_servers(), 4);
+        assert_eq!(spec.total_rate(), 9.0);
+        assert_eq!(spec.min_rate(), 1.0);
+        assert_eq!(spec.max_rate(), 5.0);
+        assert_eq!(spec.heterogeneity_ratio(), 5.0);
+    }
+
+    #[test]
+    fn homogeneous_constructor_and_rate_oblivious() {
+        let spec = ClusterSpec::homogeneous(3, 4.0).unwrap();
+        assert_eq!(spec.rates(), &[4.0, 4.0, 4.0]);
+        let flat = spec.rate_oblivious();
+        assert_eq!(flat.rates(), &[1.0, 1.0, 1.0]);
+
+        let hetero = ClusterSpec::from_rates(vec![10.0, 1.0]).unwrap();
+        assert_eq!(hetero.rate_oblivious().rates(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let spec = ClusterSpec::from_rates(vec![3.0, 1.0]).unwrap();
+        let collected: Vec<(usize, f64)> =
+            spec.iter().map(|(id, r)| (id.index(), r)).collect();
+        assert_eq!(collected, vec![(0, 3.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn uniform_profile_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = RateProfile::paper_moderate().materialize(200, &mut rng).unwrap();
+        assert_eq!(spec.num_servers(), 200);
+        for (_, rate) in spec.iter() {
+            assert!((1.0..=10.0).contains(&rate), "rate {rate} out of bounds");
+        }
+        let spec_high = RateProfile::paper_high().materialize(50, &mut rng).unwrap();
+        assert!(spec_high.max_rate() <= 100.0);
+        assert!(spec_high.min_rate() >= 1.0);
+    }
+
+    #[test]
+    fn uniform_profile_is_deterministic_per_seed() {
+        let a = RateProfile::paper_moderate()
+            .materialize(32, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = RateProfile::paper_moderate()
+            .materialize(32, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bimodal_profile_splits_classes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = RateProfile::Bimodal {
+            fast_rate: 10.0,
+            slow_rate: 1.0,
+            fast_fraction: 0.25,
+        }
+        .materialize(8, &mut rng)
+        .unwrap();
+        let fast = spec.rates().iter().filter(|&&r| r == 10.0).count();
+        assert_eq!(fast, 2);
+        assert_eq!(spec.num_servers(), 8);
+    }
+
+    #[test]
+    fn explicit_profile_checks_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = RateProfile::Explicit { rates: vec![1.0, 2.0] };
+        assert!(profile.materialize(2, &mut rng).is_ok());
+        assert!(profile.materialize(3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_sized_cluster_is_rejected_by_profiles() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            RateProfile::Homogeneous { rate: 1.0 }.materialize(0, &mut rng),
+            Err(ModelError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn paper_profiles_have_expected_bounds() {
+        assert_eq!(
+            RateProfile::paper_moderate(),
+            RateProfile::Uniform { low: 1.0, high: 10.0 }
+        );
+        assert_eq!(
+            RateProfile::paper_high(),
+            RateProfile::Uniform { low: 1.0, high: 100.0 }
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the model crate's probability utilities.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scd_model::{AliasSampler, CdfSampler, ClusterSpec, ProbabilityVector, RateProfile};
+
+/// A strategy producing small vectors of non-negative weights with at least
+/// one strictly positive entry.
+fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10.0, 1..40).prop_filter(
+        "at least one strictly positive weight",
+        |w| w.iter().any(|&x| x > 1e-9),
+    )
+}
+
+proptest! {
+    #[test]
+    fn probability_vector_from_weights_is_normalized(weights in weights_strategy()) {
+        let p = ProbabilityVector::from_weights(&weights).unwrap();
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|x| (0.0..=1.0 + 1e-12).contains(&x)));
+        prop_assert_eq!(p.len(), weights.len());
+    }
+
+    #[test]
+    fn support_matches_positive_weights(weights in weights_strategy()) {
+        let p = ProbabilityVector::from_weights(&weights).unwrap();
+        let support: Vec<usize> = p.support().into_iter().map(|s| s.index()).collect();
+        let expected: Vec<usize> = weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(support, expected);
+    }
+
+    #[test]
+    fn alias_sampler_only_draws_positive_weight_categories(
+        weights in weights_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let sampler = AliasSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let draw = sampler.sample(&mut rng);
+            prop_assert!(draw < weights.len());
+            prop_assert!(
+                weights[draw] > 0.0,
+                "alias sampler drew zero-weight category {} from {:?}",
+                draw,
+                weights
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_sampler_only_draws_positive_weight_categories(
+        weights in weights_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let sampler = CdfSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let draw = sampler.sample(&mut rng);
+            prop_assert!(draw < weights.len());
+            prop_assert!(weights[draw] > 0.0);
+        }
+    }
+
+    #[test]
+    fn cluster_spec_aggregates_are_consistent(
+        rates in prop::collection::vec(0.01f64..100.0, 1..64),
+    ) {
+        let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
+        prop_assert_eq!(spec.num_servers(), rates.len());
+        let total: f64 = rates.iter().sum();
+        prop_assert!((spec.total_rate() - total).abs() < 1e-9);
+        prop_assert!(spec.min_rate() <= spec.max_rate());
+        prop_assert!(spec.heterogeneity_ratio() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn uniform_profile_materializes_within_bounds(
+        n in 1usize..128,
+        seed in 0u64..u64::MAX,
+        low in 0.5f64..2.0,
+        span in 0.1f64..50.0,
+    ) {
+        let high = low + span;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = RateProfile::Uniform { low, high }.materialize(n, &mut rng).unwrap();
+        prop_assert_eq!(spec.num_servers(), n);
+        for (_, rate) in spec.iter() {
+            prop_assert!(rate >= low && rate <= high);
+        }
+    }
+}

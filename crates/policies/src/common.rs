@@ -1,0 +1,188 @@
+//! Shared helpers for the baseline policies.
+
+use rand::Rng;
+use rand::RngCore;
+use scd_model::{BoxedPolicy, ClusterSpec, DispatcherId, PolicyFactory};
+use std::sync::Arc;
+
+/// A [`PolicyFactory`] defined by a name and a boxed closure — removes the
+/// boilerplate of writing a dedicated factory struct for every policy
+/// variant.
+///
+/// # Example
+/// ```
+/// use scd_policies::NamedFactory;
+/// use scd_policies::jsq::JsqPolicy;
+/// use scd_model::PolicyFactory;
+///
+/// let factory = NamedFactory::new("my-jsq", |_d, _spec| Box::new(JsqPolicy::new()));
+/// assert_eq!(factory.name(), "my-jsq");
+/// ```
+#[derive(Clone)]
+pub struct NamedFactory {
+    name: String,
+    builder: Arc<dyn Fn(DispatcherId, &ClusterSpec) -> BoxedPolicy + Send + Sync>,
+}
+
+impl NamedFactory {
+    /// Creates a factory from a display name and a builder closure.
+    pub fn new<F>(name: impl Into<String>, builder: F) -> Self
+    where
+        F: Fn(DispatcherId, &ClusterSpec) -> BoxedPolicy + Send + Sync + 'static,
+    {
+        NamedFactory {
+            name: name.into(),
+            builder: Arc::new(builder),
+        }
+    }
+}
+
+impl std::fmt::Debug for NamedFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamedFactory").field("name", &self.name).finish()
+    }
+}
+
+impl PolicyFactory for NamedFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
+        (self.builder)(dispatcher, spec)
+    }
+}
+
+/// Returns the index minimizing `score`, breaking ties uniformly at random.
+///
+/// Random tie-breaking matters: with many dispatchers sharing the same
+/// queue-length view, deterministic tie-breaking (e.g. lowest index) would
+/// systematically overload low-index servers.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn argmin_random_ties<F>(n: usize, score: F, rng: &mut dyn RngCore) -> usize
+where
+    F: Fn(usize) -> f64,
+{
+    assert!(n > 0, "argmin over an empty range");
+    let mut best = 0usize;
+    let mut best_score = score(0);
+    let mut ties = 1u32;
+    for i in 1..n {
+        let s = score(i);
+        if s < best_score {
+            best = i;
+            best_score = s;
+            ties = 1;
+        } else if s == best_score {
+            // Reservoir sampling over the tied set: replace with prob 1/ties.
+            ties += 1;
+            if rng.gen_range(0..ties) == 0 {
+                best = i;
+            }
+        }
+    }
+    best
+}
+
+/// Samples `count` *distinct* indices uniformly from `0..n` (partial
+/// Fisher-Yates). When `count >= n` every index is returned.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn sample_distinct(n: usize, count: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    assert!(n > 0, "cannot sample from an empty range");
+    if count >= n {
+        return (0..n).collect();
+    }
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn argmin_finds_unique_minimum() {
+        let scores = [5.0, 2.0, 7.0, 2.5];
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = argmin_random_ties(4, |i| scores[i], &mut rng);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn argmin_breaks_ties_roughly_uniformly() {
+        let scores = [1.0, 3.0, 1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..30_000 {
+            counts[argmin_random_ties(4, |i| scores[i], &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for &i in &[0usize, 2, 3] {
+            let freq = counts[i] as f64 / 30_000.0;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "index {i}: {freq}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn argmin_on_empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        argmin_random_ties(0, |_| 0.0, &mut rng);
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_indices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let picks = sample_distinct(10, 4, &mut rng);
+            assert_eq!(picks.len(), 4);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicates in {picks:?}");
+            assert!(picks.iter().all(|&p| p < 10));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_saturates_at_population_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks = sample_distinct(3, 10, &mut rng);
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sample_distinct_covers_all_indices_over_time() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            for p in sample_distinct(6, 2, &mut rng) {
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn named_factory_builds_and_reports_name() {
+        let factory = NamedFactory::new("test-jsq", |_d, _s| {
+            Box::new(crate::jsq::JsqPolicy::new()) as BoxedPolicy
+        });
+        assert_eq!(factory.name(), "test-jsq");
+        let spec = ClusterSpec::homogeneous(3, 1.0).unwrap();
+        let policy = factory.build(DispatcherId::new(0), &spec);
+        assert_eq!(policy.policy_name(), "JSQ");
+        assert!(format!("{factory:?}").contains("test-jsq"));
+    }
+}

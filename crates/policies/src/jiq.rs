@@ -1,0 +1,262 @@
+//! Join-the-Idle-Queue (JIQ) and its heterogeneity-aware variant `hJIQ`.
+//!
+//! JIQ sends every job to an idle server (empty queue) when one exists, and
+//! to a random server otherwise. It excels at low load (there is almost
+//! always an idle server) and degrades towards random dispatching — possibly
+//! becoming unstable — at high load (Section 1.1). The `hJIQ` variant samples
+//! both the idle server and the fallback server proportionally to the service
+//! rates (footnote 6).
+
+use crate::common::NamedFactory;
+use rand::Rng;
+use rand::RngCore;
+use scd_model::{
+    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
+    PolicyFactory, ServerId,
+};
+
+/// Sampling flavour for JIQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JiqVariant {
+    /// Uniform sampling of idle servers and of the random fallback.
+    Uniform,
+    /// Rate-proportional sampling of idle servers and of the fallback.
+    Heterogeneous,
+}
+
+/// The JIQ policy.
+#[derive(Debug, Clone)]
+pub struct JiqPolicy {
+    variant: JiqVariant,
+    name: &'static str,
+    rates: Vec<f64>,
+    /// Local queue view for intra-batch updates (a server stops being idle
+    /// once this dispatcher sends it a job in the current round).
+    local: Vec<u64>,
+}
+
+impl JiqPolicy {
+    /// Classic JIQ (uniform sampling).
+    pub fn uniform() -> Self {
+        JiqPolicy {
+            variant: JiqVariant::Uniform,
+            name: "JIQ",
+            rates: Vec::new(),
+            local: Vec::new(),
+        }
+    }
+
+    /// Heterogeneity-aware JIQ (rate-proportional sampling).
+    pub fn heterogeneous(spec: &ClusterSpec) -> Self {
+        JiqPolicy {
+            variant: JiqVariant::Heterogeneous,
+            name: "hJIQ",
+            rates: spec.rates().to_vec(),
+            local: Vec::new(),
+        }
+    }
+
+    /// The sampling variant.
+    pub fn variant(&self) -> JiqVariant {
+        self.variant
+    }
+
+    fn pick_idle(&self, idle: &[usize], rng: &mut dyn RngCore) -> usize {
+        match self.variant {
+            JiqVariant::Uniform => idle[rng.gen_range(0..idle.len())],
+            JiqVariant::Heterogeneous => {
+                let weights: Vec<f64> = idle.iter().map(|&s| self.rates[s]).collect();
+                let sampler =
+                    AliasSampler::new(&weights).expect("idle set is non-empty with positive rates");
+                idle[sampler.sample(rng)]
+            }
+        }
+    }
+
+    fn pick_fallback(&self, n: usize, rng: &mut dyn RngCore) -> usize {
+        match self.variant {
+            JiqVariant::Uniform => rng.gen_range(0..n),
+            JiqVariant::Heterogeneous => {
+                let sampler =
+                    AliasSampler::new(&self.rates).expect("rates are strictly positive");
+                sampler.sample(rng)
+            }
+        }
+    }
+}
+
+impl DispatchPolicy for JiqPolicy {
+    fn policy_name(&self) -> &str {
+        self.name
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId> {
+        self.local.clear();
+        self.local.extend_from_slice(ctx.queue_lengths());
+        if self.variant == JiqVariant::Heterogeneous && self.rates.len() != ctx.num_servers() {
+            // Defensive refresh in case the factory was bypassed.
+            self.rates = ctx.rates().to_vec();
+        }
+        let n = self.local.len();
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let idle: Vec<usize> = (0..n).filter(|&s| self.local[s] == 0).collect();
+            let target = if idle.is_empty() {
+                self.pick_fallback(n, rng)
+            } else {
+                self.pick_idle(&idle, rng)
+            };
+            self.local[target] += 1;
+            out.push(ServerId::new(target));
+        }
+        out
+    }
+}
+
+/// Factory for [`JiqPolicy`].
+#[derive(Debug, Clone)]
+pub struct JiqFactory {
+    variant: JiqVariant,
+}
+
+impl JiqFactory {
+    /// Classic JIQ.
+    pub fn new() -> Self {
+        JiqFactory {
+            variant: JiqVariant::Uniform,
+        }
+    }
+
+    /// Heterogeneity-aware JIQ.
+    pub fn heterogeneous() -> Self {
+        JiqFactory {
+            variant: JiqVariant::Heterogeneous,
+        }
+    }
+
+    /// The same configuration wrapped in a [`NamedFactory`].
+    pub fn named(self) -> NamedFactory {
+        let name = PolicyFactory::name(&self).to_string();
+        NamedFactory::new(name, move |d, spec| self.build(d, spec))
+    }
+}
+
+impl Default for JiqFactory {
+    fn default() -> Self {
+        JiqFactory::new()
+    }
+}
+
+impl PolicyFactory for JiqFactory {
+    fn name(&self) -> &str {
+        match self.variant {
+            JiqVariant::Uniform => "JIQ",
+            JiqVariant::Heterogeneous => "hJIQ",
+        }
+    }
+
+    fn build(&self, _dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
+        match self.variant {
+            JiqVariant::Uniform => Box::new(JiqPolicy::uniform()),
+            JiqVariant::Heterogeneous => Box::new(JiqPolicy::heterogeneous(spec)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefers_idle_servers() {
+        let queues = vec![4u64, 0, 7, 0];
+        let rates = vec![1.0; 4];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = JiqPolicy::uniform();
+        for _ in 0..100 {
+            let out = policy.dispatch_batch(&ctx, 1, &mut rng);
+            let s = out[0].index();
+            assert!(s == 1 || s == 3, "JIQ must pick an idle server, got {s}");
+        }
+    }
+
+    #[test]
+    fn batch_exhausts_idle_servers_before_falling_back() {
+        let queues = vec![3u64, 0, 0];
+        let rates = vec![1.0; 3];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut policy = JiqPolicy::uniform();
+        let out = policy.dispatch_batch(&ctx, 2, &mut rng);
+        let mut targets: Vec<usize> = out.iter().map(|s| s.index()).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![1, 2], "both idle servers get exactly one job first");
+    }
+
+    #[test]
+    fn falls_back_to_random_when_no_server_is_idle() {
+        let queues = vec![5u64, 9];
+        let rates = vec![1.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut policy = JiqPolicy::uniform();
+        let picks = policy.dispatch_batch(&ctx, 5_000, &mut rng);
+        let to_zero = picks.iter().filter(|s| s.index() == 0).count() as f64 / 5_000.0;
+        assert!((to_zero - 0.5).abs() < 0.05, "fallback is uniform, got {to_zero}");
+    }
+
+    #[test]
+    fn heterogeneous_fallback_is_rate_proportional() {
+        let queues = vec![5u64, 9];
+        let rates = vec![4.0, 1.0];
+        let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut policy = JiqPolicy::heterogeneous(&spec);
+        assert_eq!(policy.policy_name(), "hJIQ");
+        assert_eq!(policy.variant(), JiqVariant::Heterogeneous);
+        let picks = policy.dispatch_batch(&ctx, 5_000, &mut rng);
+        let to_fast = picks.iter().filter(|s| s.index() == 0).count() as f64 / 5_000.0;
+        assert!((to_fast - 0.8).abs() < 0.05, "fallback should be ∝ µ, got {to_fast}");
+    }
+
+    #[test]
+    fn heterogeneous_idle_choice_is_rate_proportional() {
+        let queues = vec![0u64, 0, 10];
+        let rates = vec![9.0, 1.0, 1.0];
+        let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut policy = JiqPolicy::heterogeneous(&spec);
+        let mut to_fast = 0usize;
+        let trials = 5_000;
+        for _ in 0..trials {
+            let out = policy.dispatch_batch(&ctx, 1, &mut rng);
+            if out[0].index() == 0 {
+                to_fast += 1;
+            }
+        }
+        let share = to_fast as f64 / trials as f64;
+        assert!((share - 0.9).abs() < 0.03, "idle choice should be ∝ µ, got {share}");
+    }
+
+    #[test]
+    fn factories_build_the_right_variant() {
+        let spec = ClusterSpec::from_rates(vec![1.0, 2.0]).unwrap();
+        let f = JiqFactory::new();
+        assert_eq!(f.name(), "JIQ");
+        assert_eq!(f.build(DispatcherId::new(0), &spec).policy_name(), "JIQ");
+        let h = JiqFactory::heterogeneous();
+        assert_eq!(h.name(), "hJIQ");
+        assert_eq!(h.build(DispatcherId::new(0), &spec).policy_name(), "hJIQ");
+        assert_eq!(JiqFactory::heterogeneous().named().name(), "hJIQ");
+    }
+}

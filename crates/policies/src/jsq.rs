@@ -1,0 +1,158 @@
+//! Join-the-Shortest-Queue (JSQ) with full queue-length information.
+//!
+//! Each dispatcher sees the true queue lengths at the start of the round and
+//! greedily sends every job in its batch to the currently shortest queue,
+//! updating only its *local copy* of the queue lengths as it goes (it cannot
+//! see the concurrent decisions of the other dispatchers). With a single
+//! dispatcher this is the classic optimal JSQ; with many dispatchers all of
+//! them pile onto the same few short queues — the *herding* phenomenon that
+//! motivates the paper.
+
+use crate::common::{argmin_random_ties, NamedFactory};
+use rand::RngCore;
+use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
+
+/// The JSQ policy (heterogeneity-oblivious, full information).
+#[derive(Debug, Clone, Default)]
+pub struct JsqPolicy {
+    /// Scratch buffer holding this dispatcher's local view of the queues
+    /// while it places its batch.
+    local: Vec<u64>,
+}
+
+impl JsqPolicy {
+    /// Creates a JSQ policy instance.
+    pub fn new() -> Self {
+        JsqPolicy { local: Vec::new() }
+    }
+}
+
+impl DispatchPolicy for JsqPolicy {
+    fn policy_name(&self) -> &str {
+        "JSQ"
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId> {
+        self.local.clear();
+        self.local.extend_from_slice(ctx.queue_lengths());
+        let n = self.local.len();
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let target = argmin_random_ties(n, |i| self.local[i] as f64, rng);
+            self.local[target] += 1;
+            out.push(ServerId::new(target));
+        }
+        out
+    }
+}
+
+/// Factory producing one [`JsqPolicy`] per dispatcher.
+#[derive(Debug, Clone, Default)]
+pub struct JsqFactory;
+
+impl JsqFactory {
+    /// Creates the factory.
+    pub fn new() -> Self {
+        JsqFactory
+    }
+
+    /// The same policy wrapped in a [`NamedFactory`] (convenience for the
+    /// registry).
+    pub fn named() -> NamedFactory {
+        NamedFactory::new("JSQ", |_d, _spec| Box::new(JsqPolicy::new()))
+    }
+}
+
+impl PolicyFactory for JsqFactory {
+    fn name(&self) -> &str {
+        "JSQ"
+    }
+
+    fn build(
+        &self,
+        _dispatcher: scd_model::DispatcherId,
+        _spec: &scd_model::ClusterSpec,
+    ) -> scd_model::BoxedPolicy {
+        Box::new(JsqPolicy::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scd_model::{ClusterSpec, DispatcherId};
+
+    #[test]
+    fn sends_every_job_to_the_shortest_queue() {
+        let queues = vec![3u64, 0, 5];
+        let rates = vec![1.0, 1.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = JsqPolicy::new();
+        let out = policy.dispatch_batch(&ctx, 1, &mut rng);
+        assert_eq!(out, vec![ServerId::new(1)]);
+    }
+
+    #[test]
+    fn local_updates_spread_a_large_batch() {
+        // 2 servers with queues [0, 0]; a batch of 4 must be split 2/2
+        // because the local copy is incremented after every job.
+        let queues = vec![0u64, 0];
+        let rates = vec![1.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut policy = JsqPolicy::new();
+        let out = policy.dispatch_batch(&ctx, 4, &mut rng);
+        let to_first = out.iter().filter(|s| s.index() == 0).count();
+        assert_eq!(to_first, 2);
+    }
+
+    #[test]
+    fn ignores_rates_entirely() {
+        // A fast server with a slightly longer queue is ignored — this is
+        // exactly the heterogeneity blindness the paper criticises.
+        let queues = vec![2u64, 1];
+        let rates = vec![100.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut policy = JsqPolicy::new();
+        let out = policy.dispatch_batch(&ctx, 1, &mut rng);
+        assert_eq!(out[0].index(), 1, "JSQ picks the shorter queue even if it is slow");
+    }
+
+    #[test]
+    fn consecutive_rounds_restart_from_the_snapshot() {
+        let rates = vec![1.0, 1.0];
+        let mut policy = JsqPolicy::new();
+        let mut rng = StdRng::seed_from_u64(9);
+
+        let queues1 = vec![0u64, 10];
+        let ctx1 = DispatchContext::new(&queues1, &rates, 1, 0);
+        let out1 = policy.dispatch_batch(&ctx1, 3, &mut rng);
+        assert!(out1.iter().all(|s| s.index() == 0));
+
+        // New round, new snapshot: the stale local view must not leak.
+        let queues2 = vec![10u64, 0];
+        let ctx2 = DispatchContext::new(&queues2, &rates, 1, 1);
+        let out2 = policy.dispatch_batch(&ctx2, 3, &mut rng);
+        assert!(out2.iter().all(|s| s.index() == 1));
+    }
+
+    #[test]
+    fn factory_builds_jsq() {
+        let spec = ClusterSpec::homogeneous(2, 1.0).unwrap();
+        let factory = JsqFactory::new();
+        assert_eq!(factory.name(), "JSQ");
+        let p = factory.build(DispatcherId::new(0), &spec);
+        assert_eq!(p.policy_name(), "JSQ");
+        let named = JsqFactory::named();
+        assert_eq!(named.name(), "JSQ");
+    }
+}

@@ -1,0 +1,265 @@
+//! A Local-Estimation-Driven (LED) policy in the spirit of Zhou et al. [60].
+//!
+//! LED, like LSQ, gives every dispatcher a persistent local *estimate* of
+//! each server's backlog. Unlike LSQ it also *evolves* the estimate between
+//! probes using the known service rates: every round the estimate is reduced
+//! by the server's expected departures (`µ_s`) and increased by the jobs this
+//! dispatcher sent. Occasional probes re-anchor the estimate to the truth.
+//!
+//! The paper lists LED among the recent state-of-the-art techniques in its
+//! related-work section but does not plot it in the main figures; we include
+//! it as an extension baseline for completeness and for the ablation
+//! experiments.
+
+use crate::common::{argmin_random_ties, NamedFactory};
+use rand::Rng;
+use rand::RngCore;
+use scd_model::{
+    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
+    PolicyFactory, ServerId,
+};
+
+/// Probing / ranking flavour for LED.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedVariant {
+    /// Uniform probing, estimated-queue-length ranking.
+    Uniform,
+    /// Rate-proportional probing, estimated-expected-delay ranking.
+    Heterogeneous,
+}
+
+/// The LED policy.
+#[derive(Debug, Clone)]
+pub struct LedPolicy {
+    variant: LedVariant,
+    name: &'static str,
+    probes_per_round: usize,
+    /// Local backlog estimates (fractional because of the rate decay).
+    estimates: Vec<f64>,
+    rates: Vec<f64>,
+    rate_sampler: Option<AliasSampler>,
+}
+
+impl LedPolicy {
+    /// Uniform-probing LED.
+    pub fn uniform(num_servers: usize, probes_per_round: usize) -> Self {
+        LedPolicy {
+            variant: LedVariant::Uniform,
+            name: "LED",
+            probes_per_round,
+            estimates: vec![0.0; num_servers],
+            rates: vec![1.0; num_servers],
+            rate_sampler: None,
+        }
+    }
+
+    /// Heterogeneity-aware LED.
+    pub fn heterogeneous(spec: &ClusterSpec, probes_per_round: usize) -> Self {
+        let sampler =
+            AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive");
+        LedPolicy {
+            variant: LedVariant::Heterogeneous,
+            name: "hLED",
+            probes_per_round,
+            estimates: vec![0.0; spec.num_servers()],
+            rates: spec.rates().to_vec(),
+            rate_sampler: Some(sampler),
+        }
+    }
+
+    /// The current local estimates (exposed for tests).
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    fn sync_dimensions(&mut self, ctx: &DispatchContext<'_>) {
+        let n = ctx.num_servers();
+        if self.estimates.len() != n {
+            self.estimates = vec![0.0; n];
+            self.rates = ctx.rates().to_vec();
+        }
+    }
+
+    fn probe_target(&self, n: usize, rng: &mut dyn RngCore) -> usize {
+        match self.variant {
+            LedVariant::Uniform => rng.gen_range(0..n),
+            LedVariant::Heterogeneous => self
+                .rate_sampler
+                .as_ref()
+                .expect("heterogeneous variant carries a sampler")
+                .sample(rng),
+        }
+    }
+}
+
+impl DispatchPolicy for LedPolicy {
+    fn policy_name(&self) -> &str {
+        self.name
+    }
+
+    fn observe_round(&mut self, ctx: &DispatchContext<'_>, rng: &mut dyn RngCore) {
+        self.sync_dimensions(ctx);
+        let rates = ctx.rates();
+        // Evolve the estimates by the expected departures of one round.
+        for (est, &mu) in self.estimates.iter_mut().zip(rates) {
+            *est = (*est - mu).max(0.0);
+        }
+        // Re-anchor a few entries with the ground truth.
+        let n = ctx.num_servers();
+        for _ in 0..self.probes_per_round {
+            let target = self.probe_target(n, rng);
+            self.estimates[target] = ctx.queue_len(ServerId::new(target)) as f64;
+        }
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId> {
+        self.sync_dimensions(ctx);
+        let rates = ctx.rates();
+        let n = ctx.num_servers();
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let target = match self.variant {
+                LedVariant::Uniform => argmin_random_ties(n, |i| self.estimates[i], rng),
+                LedVariant::Heterogeneous => {
+                    argmin_random_ties(n, |i| (self.estimates[i] + 1.0) / rates[i], rng)
+                }
+            };
+            self.estimates[target] += 1.0;
+            out.push(ServerId::new(target));
+        }
+        out
+    }
+}
+
+/// Factory for [`LedPolicy`].
+#[derive(Debug, Clone)]
+pub struct LedFactory {
+    variant: LedVariant,
+    probes_per_round: usize,
+}
+
+impl LedFactory {
+    /// Uniform-probing LED with one probe per round.
+    pub fn new() -> Self {
+        LedFactory {
+            variant: LedVariant::Uniform,
+            probes_per_round: 1,
+        }
+    }
+
+    /// Heterogeneity-aware LED with one probe per round.
+    pub fn heterogeneous() -> Self {
+        LedFactory {
+            variant: LedVariant::Heterogeneous,
+            probes_per_round: 1,
+        }
+    }
+
+    /// Overrides the number of probes per round.
+    pub fn with_probes(mut self, probes_per_round: usize) -> Self {
+        self.probes_per_round = probes_per_round;
+        self
+    }
+
+    /// The same configuration wrapped in a [`NamedFactory`].
+    pub fn named(self) -> NamedFactory {
+        let name = PolicyFactory::name(&self).to_string();
+        NamedFactory::new(name, move |d, spec| self.build(d, spec))
+    }
+}
+
+impl Default for LedFactory {
+    fn default() -> Self {
+        LedFactory::new()
+    }
+}
+
+impl PolicyFactory for LedFactory {
+    fn name(&self) -> &str {
+        match self.variant {
+            LedVariant::Uniform => "LED",
+            LedVariant::Heterogeneous => "hLED",
+        }
+    }
+
+    fn build(&self, _dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
+        match self.variant {
+            LedVariant::Uniform => Box::new(LedPolicy::uniform(
+                spec.num_servers(),
+                self.probes_per_round,
+            )),
+            LedVariant::Heterogeneous => {
+                Box::new(LedPolicy::heterogeneous(spec, self.probes_per_round))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimates_decay_by_the_service_rate() {
+        let queues = vec![0u64, 0];
+        let rates = vec![2.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = LedPolicy::uniform(2, 0);
+        // Seed some backlog estimate by dispatching.
+        let _ = policy.dispatch_batch(&ctx, 6, &mut rng);
+        let before: f64 = policy.estimates().iter().sum();
+        assert!((before - 6.0).abs() < 1e-12);
+        policy.observe_round(&ctx, &mut rng);
+        let after: f64 = policy.estimates().iter().sum();
+        assert!(after < before, "estimates must decay between rounds");
+        assert!(policy.estimates().iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn probes_reanchor_to_truth() {
+        let queues = vec![50u64, 0];
+        let rates = vec![1.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut policy = LedPolicy::uniform(2, 10);
+        policy.observe_round(&ctx, &mut rng);
+        assert!((policy.estimates()[0] - 50.0).abs() < 1e-12);
+        let out = policy.dispatch_batch(&ctx, 1, &mut rng);
+        assert_eq!(out[0].index(), 1);
+    }
+
+    #[test]
+    fn heterogeneous_variant_prefers_fast_servers() {
+        let queues = vec![0u64, 0];
+        let rates = vec![10.0, 1.0];
+        let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut policy = LedPolicy::heterogeneous(&spec, 2);
+        assert_eq!(policy.policy_name(), "hLED");
+        policy.observe_round(&ctx, &mut rng);
+        let out = policy.dispatch_batch(&ctx, 10, &mut rng);
+        let to_fast = out.iter().filter(|s| s.index() == 0).count();
+        assert!(to_fast >= 8, "fast server received only {to_fast} of 10");
+    }
+
+    #[test]
+    fn factories_build_the_right_variant() {
+        let spec = ClusterSpec::from_rates(vec![1.0, 2.0]).unwrap();
+        let f = LedFactory::new();
+        assert_eq!(f.name(), "LED");
+        assert_eq!(f.build(DispatcherId::new(0), &spec).policy_name(), "LED");
+        let h = LedFactory::heterogeneous().with_probes(4);
+        assert_eq!(h.name(), "hLED");
+        assert_eq!(h.build(DispatcherId::new(0), &spec).policy_name(), "hLED");
+        assert_eq!(LedFactory::new().named().name(), "LED");
+    }
+}

@@ -1,0 +1,54 @@
+//! Baseline dispatching policies for the SCD reproduction.
+//!
+//! The paper's evaluation (Section 6.1) compares SCD against ten other
+//! dispatching techniques; this crate implements all of them plus a few
+//! extras used in ablations and examples:
+//!
+//! | Paper name | Type | Heterogeneity aware? |
+//! |---|---|---|
+//! | `JSQ` | [`jsq::JsqFactory`] | no |
+//! | `SED` | [`sed::SedFactory`] | yes (ranks by `q/µ`) |
+//! | `JSQ(d)` | [`power_of_d::PowerOfDFactory`] | no |
+//! | `hJSQ(d)` | [`power_of_d::PowerOfDFactory::heterogeneous`] | yes |
+//! | `JIQ` | [`jiq::JiqFactory`] | no |
+//! | `hJIQ` | [`jiq::JiqFactory::heterogeneous`] | yes |
+//! | `LSQ` | [`lsq::LsqFactory`] | no |
+//! | `hLSQ` | [`lsq::LsqFactory::heterogeneous`] | yes |
+//! | `WR` (weighted random) | [`random::WeightedRandomFactory`] | yes |
+//! | `TWF` | [`twf::TwfFactory`] | no (by design — it is the rate-oblivious stochastic-coordination policy of [22]) |
+//!
+//! Extras: uniform random, round robin ([`random`]) and a local-estimation
+//! driven policy ([`led`]) in the spirit of LED [60].
+//!
+//! All heterogeneity-aware (`h*`) variants follow footnote 6 of the paper:
+//! servers are *ranked* by their expected delay `q_s/µ_s` instead of their
+//! queue length, and random *sampling* of servers is proportional to `µ_s`
+//! instead of uniform.
+//!
+//! The [`registry`] module maps policy names (as used in the paper's figures)
+//! to factories, which is how the experiment harness selects policies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod jiq;
+pub mod jsq;
+pub mod led;
+pub mod lsq;
+pub mod power_of_d;
+pub mod random;
+pub mod registry;
+pub mod sed;
+pub mod twf;
+
+pub use common::NamedFactory;
+pub use jiq::JiqFactory;
+pub use jsq::JsqFactory;
+pub use led::LedFactory;
+pub use lsq::LsqFactory;
+pub use power_of_d::PowerOfDFactory;
+pub use random::{RoundRobinFactory, UniformRandomFactory, WeightedRandomFactory};
+pub use registry::{all_standard_factories, factory_by_name, standard_policy_names};
+pub use sed::SedFactory;
+pub use twf::TwfFactory;

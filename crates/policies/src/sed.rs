@@ -1,0 +1,138 @@
+//! Shortest-Expected-Delay (SED) dispatching.
+//!
+//! SED is the heterogeneity-aware analogue of JSQ: instead of ranking servers
+//! by queue length, it ranks them by the expected delay a new job would see,
+//! `(q_s + 1)/µ_s`, and greedily sends each job to the minimizer while
+//! updating a local copy of the queues. In a single-dispatcher system SED is
+//! excellent; with many dispatchers it herds exactly like JSQ (Section 1.1).
+
+use crate::common::{argmin_random_ties, NamedFactory};
+use rand::RngCore;
+use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
+
+/// The SED policy (heterogeneity-aware ranking, full information).
+#[derive(Debug, Clone, Default)]
+pub struct SedPolicy {
+    local: Vec<u64>,
+}
+
+impl SedPolicy {
+    /// Creates a SED policy instance.
+    pub fn new() -> Self {
+        SedPolicy { local: Vec::new() }
+    }
+}
+
+impl DispatchPolicy for SedPolicy {
+    fn policy_name(&self) -> &str {
+        "SED"
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId> {
+        self.local.clear();
+        self.local.extend_from_slice(ctx.queue_lengths());
+        let rates = ctx.rates();
+        let n = self.local.len();
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let target =
+                argmin_random_ties(n, |i| (self.local[i] as f64 + 1.0) / rates[i], rng);
+            self.local[target] += 1;
+            out.push(ServerId::new(target));
+        }
+        out
+    }
+}
+
+/// Factory producing one [`SedPolicy`] per dispatcher.
+#[derive(Debug, Clone, Default)]
+pub struct SedFactory;
+
+impl SedFactory {
+    /// Creates the factory.
+    pub fn new() -> Self {
+        SedFactory
+    }
+
+    /// The same policy wrapped in a [`NamedFactory`].
+    pub fn named() -> NamedFactory {
+        NamedFactory::new("SED", |_d, _spec| Box::new(SedPolicy::new()))
+    }
+}
+
+impl PolicyFactory for SedFactory {
+    fn name(&self) -> &str {
+        "SED"
+    }
+
+    fn build(
+        &self,
+        _dispatcher: scd_model::DispatcherId,
+        _spec: &scd_model::ClusterSpec,
+    ) -> scd_model::BoxedPolicy {
+        Box::new(SedPolicy::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scd_model::{ClusterSpec, DispatcherId};
+
+    #[test]
+    fn prefers_fast_server_despite_longer_queue() {
+        // Expected delays: (2+1)/100 = 0.03 vs (1+1)/1 = 2.0.
+        let queues = vec![2u64, 1];
+        let rates = vec![100.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = SedPolicy::new();
+        let out = policy.dispatch_batch(&ctx, 1, &mut rng);
+        assert_eq!(out[0].index(), 0);
+    }
+
+    #[test]
+    fn splits_batches_proportionally_to_rates() {
+        // Empty queues, rates 3:1 → a batch of 8 should go roughly 6:2
+        // (exactly: greedy fills the fast server until its expected delay
+        // exceeds the slow one).
+        let queues = vec![0u64, 0];
+        let rates = vec![3.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut policy = SedPolicy::new();
+        let out = policy.dispatch_batch(&ctx, 8, &mut rng);
+        let to_fast = out.iter().filter(|s| s.index() == 0).count();
+        assert!(to_fast >= 5 && to_fast <= 7, "fast server got {to_fast} of 8");
+    }
+
+    #[test]
+    fn reduces_to_jsq_in_homogeneous_clusters() {
+        use crate::jsq::JsqPolicy;
+        let queues = vec![4u64, 1, 2, 1];
+        let rates = vec![2.0; 4];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut sed = SedPolicy::new();
+        let mut jsq = JsqPolicy::new();
+        // Same seed → identical tie-breaking decisions → identical output.
+        let a = sed.dispatch_batch(&ctx, 6, &mut StdRng::seed_from_u64(8));
+        let b = jsq.dispatch_batch(&ctx, 6, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn factory_builds_sed() {
+        let spec = ClusterSpec::homogeneous(2, 1.0).unwrap();
+        let factory = SedFactory::new();
+        assert_eq!(factory.name(), "SED");
+        assert_eq!(factory.build(DispatcherId::new(0), &spec).policy_name(), "SED");
+        assert_eq!(SedFactory::named().name(), "SED");
+    }
+}

@@ -1,0 +1,177 @@
+//! Tidal-Water-Filling (TWF) — the stochastic-coordination policy of the
+//! companion paper [22], which assumes a homogeneous cluster.
+//!
+//! TWF runs the very same pipeline as SCD (estimate the total arrivals,
+//! compute the water level, solve the coordination problem, sample i.i.d.
+//! destinations) but is *oblivious to service rates*: it balances the number
+//! of jobs per server rather than the expected work. In a homogeneous system
+//! the two coincide; under heterogeneity TWF keeps fast servers underutilized
+//! and overloads slow ones, which is exactly the degradation the paper's
+//! Figures 3–4 display. We implement it by feeding the SCD solver a cluster
+//! whose rates are all 1.
+
+use crate::common::NamedFactory;
+use rand::RngCore;
+use scd_core::estimator::ArrivalEstimator;
+use scd_core::iwl::compute_iwl;
+use scd_core::solver::{solve_with_iwl, SolverKind};
+use scd_model::{
+    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
+    PolicyFactory, ServerId,
+};
+
+/// The TWF policy (rate-oblivious stochastic coordination).
+#[derive(Debug, Clone)]
+pub struct TwfPolicy {
+    estimator: ArrivalEstimator,
+    /// Scratch vector of all-ones "rates" (resized lazily to the cluster).
+    unit_rates: Vec<f64>,
+}
+
+impl TwfPolicy {
+    /// TWF with the paper's arrival estimator `a_est = m·a(d)`.
+    pub fn new() -> Self {
+        TwfPolicy {
+            estimator: ArrivalEstimator::ScaledByDispatchers,
+            unit_rates: Vec::new(),
+        }
+    }
+
+    /// TWF with an explicit arrival estimator.
+    pub fn with_estimator(estimator: ArrivalEstimator) -> Self {
+        TwfPolicy {
+            estimator,
+            unit_rates: Vec::new(),
+        }
+    }
+
+    /// Computes this round's (rate-oblivious) dispatching distribution
+    /// without sampling — exposed for tests and examples.
+    pub fn distribution(&mut self, ctx: &DispatchContext<'_>, batch: usize) -> Vec<f64> {
+        let n = ctx.num_servers();
+        if self.unit_rates.len() != n {
+            self.unit_rates = vec![1.0; n];
+        }
+        let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
+        let queues = ctx.queue_lengths();
+        let water_level = compute_iwl(queues, &self.unit_rates, a_est);
+        solve_with_iwl(queues, &self.unit_rates, a_est, water_level, SolverKind::Fast)
+            .expect("unit-rate cluster state is always valid")
+            .probabilities
+    }
+}
+
+impl Default for TwfPolicy {
+    fn default() -> Self {
+        TwfPolicy::new()
+    }
+}
+
+impl DispatchPolicy for TwfPolicy {
+    fn policy_name(&self) -> &str {
+        "TWF"
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<ServerId> {
+        if batch == 0 {
+            return Vec::new();
+        }
+        let probabilities = self.distribution(ctx, batch);
+        let sampler = AliasSampler::new(&probabilities)
+            .expect("solver output is a valid probability vector");
+        (0..batch)
+            .map(|_| ServerId::new(sampler.sample(rng)))
+            .collect()
+    }
+}
+
+/// Factory for [`TwfPolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct TwfFactory;
+
+impl TwfFactory {
+    /// Creates the factory.
+    pub fn new() -> Self {
+        TwfFactory
+    }
+
+    /// The same policy wrapped in a [`NamedFactory`].
+    pub fn named() -> NamedFactory {
+        NamedFactory::new("TWF", |_d, _spec| Box::new(TwfPolicy::new()))
+    }
+}
+
+impl PolicyFactory for TwfFactory {
+    fn name(&self) -> &str {
+        "TWF"
+    }
+
+    fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
+        Box::new(TwfPolicy::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scd_core::policy::ScdPolicy;
+
+    #[test]
+    fn matches_scd_on_homogeneous_clusters() {
+        // With all rates equal to 1 the two policies solve the same problem.
+        let queues = vec![4u64, 0, 2, 7, 1];
+        let rates = vec![1.0; 5];
+        let ctx = DispatchContext::new(&queues, &rates, 3, 0);
+        let mut twf = TwfPolicy::new();
+        let scd = ScdPolicy::new();
+        let p_twf = twf.distribution(&ctx, 4);
+        let p_scd = scd.distribution(&ctx, 4);
+        for (a, b) in p_twf.iter().zip(&p_scd) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ignores_rates_in_heterogeneous_clusters() {
+        // Two servers, same queue length, wildly different rates: TWF splits
+        // evenly, SCD sends (almost) everything to the fast server.
+        let queues = vec![0u64, 0];
+        let rates = vec![100.0, 1.0];
+        let ctx = DispatchContext::new(&queues, &rates, 1, 0);
+        let mut twf = TwfPolicy::new();
+        let scd = ScdPolicy::new();
+        let p_twf = twf.distribution(&ctx, 10);
+        let p_scd = scd.distribution(&ctx, 10);
+        assert!((p_twf[0] - 0.5).abs() < 1e-9, "TWF is rate-oblivious");
+        assert!(p_scd[0] > 0.9, "SCD routes to the fast server");
+    }
+
+    #[test]
+    fn dispatches_valid_destinations() {
+        let queues = vec![3u64, 1, 0];
+        let rates = vec![2.0, 1.0, 4.0];
+        let ctx = DispatchContext::new(&queues, &rates, 2, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut twf = TwfPolicy::with_estimator(ArrivalEstimator::OwnOnly);
+        let out = twf.dispatch_batch(&ctx, 25, &mut rng);
+        assert_eq!(out.len(), 25);
+        assert!(out.iter().all(|s| s.index() < 3));
+        assert!(twf.dispatch_batch(&ctx, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn factory_builds_twf() {
+        let spec = ClusterSpec::from_rates(vec![1.0, 5.0]).unwrap();
+        let factory = TwfFactory::new();
+        assert_eq!(factory.name(), "TWF");
+        assert_eq!(factory.build(DispatcherId::new(0), &spec).policy_name(), "TWF");
+        assert_eq!(TwfFactory::named().name(), "TWF");
+    }
+}

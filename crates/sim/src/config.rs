@@ -1,0 +1,248 @@
+//! Simulation configuration.
+
+use crate::arrivals::ArrivalSpec;
+use crate::services::ServiceModel;
+use scd_model::{ClusterSpec, ModelError, RateProfile};
+use serde::{Deserialize, Serialize};
+
+/// Complete description of one simulation run (one cluster, one arrival
+/// pattern, one policy will be plugged in by the engine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The cluster (per-server service rates).
+    pub spec: ClusterSpec,
+    /// Number of dispatchers `m`.
+    pub num_dispatchers: usize,
+    /// Total number of simulated rounds.
+    pub rounds: u64,
+    /// Rounds at the beginning of the run excluded from all statistics
+    /// (transient warm-up).
+    pub warmup_rounds: u64,
+    /// Master seed; every stochastic stream in the run derives from it.
+    pub seed: u64,
+    /// The arrival process.
+    pub arrivals: ArrivalSpec,
+    /// The service process.
+    pub services: ServiceModel,
+    /// When true the engine wall-clock-times every dispatching decision
+    /// (needed for the Figure 5/8 reproductions; adds measurement overhead).
+    pub measure_decision_times: bool,
+}
+
+impl SimConfig {
+    /// Starts a builder for the given cluster.
+    pub fn builder(spec: ClusterSpec) -> SimConfigBuilder {
+        SimConfigBuilder::new(spec)
+    }
+
+    /// Convenience constructor matching the paper's evaluation setup: `n`
+    /// servers with rates drawn from `profile`, `m` dispatchers with equal
+    /// Poisson arrival rates calibrated to the offered load `ρ`, geometric
+    /// services.
+    ///
+    /// The cluster draw uses a seed derived from `seed` so that the same
+    /// `(n, profile, seed)` triple always produces the same cluster while
+    /// different seeds produce different clusters.
+    ///
+    /// # Errors
+    /// Returns an error if the profile produces an invalid cluster.
+    pub fn paper_setup(
+        n: usize,
+        m: usize,
+        offered_load: f64,
+        profile: &RateProfile,
+        rounds: u64,
+        seed: u64,
+    ) -> Result<SimConfig, ModelError> {
+        use rand::SeedableRng;
+        let mut cluster_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC1_05_7E_12);
+        let spec = profile.materialize(n, &mut cluster_rng)?;
+        Ok(SimConfig {
+            spec,
+            num_dispatchers: m,
+            rounds,
+            warmup_rounds: 0,
+            seed,
+            arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load },
+            services: ServiceModel::Geometric,
+            measure_decision_times: false,
+        })
+    }
+
+    /// The offered load `ρ` this configuration induces.
+    pub fn offered_load(&self) -> f64 {
+        self.arrivals
+            .offered_load(self.num_dispatchers, self.spec.total_rate())
+    }
+
+    /// Number of servers `n`.
+    pub fn num_servers(&self) -> usize {
+        self.spec.num_servers()
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    spec: ClusterSpec,
+    num_dispatchers: usize,
+    rounds: u64,
+    warmup_rounds: u64,
+    seed: u64,
+    arrivals: ArrivalSpec,
+    services: ServiceModel,
+    measure_decision_times: bool,
+}
+
+impl SimConfigBuilder {
+    /// Creates a builder with sensible defaults: one dispatcher, 10 000
+    /// rounds, no warm-up, seed 0, offered load 0.9, geometric services.
+    pub fn new(spec: ClusterSpec) -> Self {
+        SimConfigBuilder {
+            spec,
+            num_dispatchers: 1,
+            rounds: 10_000,
+            warmup_rounds: 0,
+            seed: 0,
+            arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 },
+            services: ServiceModel::Geometric,
+            measure_decision_times: false,
+        }
+    }
+
+    /// Sets the number of dispatchers.
+    pub fn dispatchers(mut self, m: usize) -> Self {
+        self.num_dispatchers = m;
+        self
+    }
+
+    /// Sets the number of simulated rounds.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the number of warm-up rounds excluded from statistics.
+    pub fn warmup_rounds(mut self, warmup: u64) -> Self {
+        self.warmup_rounds = warmup;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the arrival specification.
+    pub fn arrivals(mut self, arrivals: ArrivalSpec) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the service model.
+    pub fn services(mut self, services: ServiceModel) -> Self {
+        self.services = services;
+        self
+    }
+
+    /// Enables wall-clock timing of every dispatching decision.
+    pub fn measure_decision_times(mut self, enable: bool) -> Self {
+        self.measure_decision_times = enable;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`](crate::engine::SimError) when the
+    /// system has zero dispatchers, zero rounds, or a warm-up at least as
+    /// long as the run.
+    pub fn build(self) -> Result<SimConfig, crate::engine::SimError> {
+        use crate::engine::SimError;
+        if self.num_dispatchers == 0 {
+            return Err(SimError::InvalidConfig(
+                "the system must contain at least one dispatcher".into(),
+            ));
+        }
+        if self.rounds == 0 {
+            return Err(SimError::InvalidConfig(
+                "the simulation must run for at least one round".into(),
+            ));
+        }
+        if self.warmup_rounds >= self.rounds {
+            return Err(SimError::InvalidConfig(format!(
+                "warm-up ({}) must be shorter than the run ({})",
+                self.warmup_rounds, self.rounds
+            )));
+        }
+        Ok(SimConfig {
+            spec: self.spec,
+            num_dispatchers: self.num_dispatchers,
+            rounds: self.rounds,
+            warmup_rounds: self.warmup_rounds,
+            seed: self.seed,
+            arrivals: self.arrivals,
+            services: self.services,
+            measure_decision_times: self.measure_decision_times,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::from_rates(vec![4.0, 2.0, 1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn builder_produces_requested_configuration() {
+        let config = SimConfig::builder(spec())
+            .dispatchers(3)
+            .rounds(500)
+            .warmup_rounds(100)
+            .seed(99)
+            .arrivals(ArrivalSpec::Deterministic { jobs_per_round: 2 })
+            .services(ServiceModel::Deterministic)
+            .measure_decision_times(true)
+            .build()
+            .unwrap();
+        assert_eq!(config.num_dispatchers, 3);
+        assert_eq!(config.rounds, 500);
+        assert_eq!(config.warmup_rounds, 100);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.services, ServiceModel::Deterministic);
+        assert!(config.measure_decision_times);
+        assert_eq!(config.num_servers(), 4);
+        // Deterministic 2 jobs × 3 dispatchers = 6 jobs/round vs capacity 8.
+        assert!((config.offered_load() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_configurations() {
+        assert!(SimConfig::builder(spec()).dispatchers(0).build().is_err());
+        assert!(SimConfig::builder(spec()).rounds(0).build().is_err());
+        assert!(SimConfig::builder(spec())
+            .rounds(10)
+            .warmup_rounds(10)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn paper_setup_matches_requested_shape() {
+        let profile = RateProfile::paper_moderate();
+        let config = SimConfig::paper_setup(100, 10, 0.95, &profile, 1000, 7).unwrap();
+        assert_eq!(config.num_servers(), 100);
+        assert_eq!(config.num_dispatchers, 10);
+        assert_eq!(config.rounds, 1000);
+        assert!((config.offered_load() - 0.95).abs() < 1e-12);
+        // Same seed → same cluster; different seed → (almost surely) different.
+        let again = SimConfig::paper_setup(100, 10, 0.95, &profile, 1000, 7).unwrap();
+        assert_eq!(config.spec, again.spec);
+        let other = SimConfig::paper_setup(100, 10, 0.95, &profile, 1000, 8).unwrap();
+        assert_ne!(config.spec, other.spec);
+    }
+}

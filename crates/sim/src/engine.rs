@@ -1,0 +1,456 @@
+//! The three-phase round engine (Section 2 of the paper).
+
+use crate::config::SimConfig;
+use crate::report::{QueueSummary, SimReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scd_metrics::{QueueLengthTracker, ResponseTimeHistogram, SampleSet};
+use scd_model::{
+    policy::validate_assignment, DispatchContext, DispatcherId, ModelError, PolicyFactory,
+};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors produced when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// A policy returned an invalid assignment (wrong arity or unknown
+    /// server).
+    PolicyViolation {
+        /// Name of the offending policy.
+        policy: String,
+        /// The dispatcher that produced the bad assignment.
+        dispatcher: usize,
+        /// The underlying validation error.
+        source: ModelError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+            SimError::PolicyViolation {
+                policy,
+                dispatcher,
+                source,
+            } => write!(
+                f,
+                "policy {policy} misbehaved at dispatcher {dispatcher}: {source}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidConfig(_) => None,
+            SimError::PolicyViolation { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Seed-stream separation constants: each stochastic stream of the run is
+/// seeded from the master seed XOR a distinct tag, so that the arrival and
+/// departure processes are identical across policies while policy-internal
+/// randomness stays independent per dispatcher.
+const ARRIVAL_STREAM_TAG: u64 = 0x41_52_52_49_56_41_4C_53; // "ARRIVALS"
+const SERVICE_STREAM_TAG: u64 = 0x53_45_52_56_49_43_45_53; // "SERVICES"
+const POLICY_STREAM_TAG: u64 = 0x50_4F_4C_49_43_59_00_00; // "POLICY"
+
+/// A configured simulation, ready to run any number of policies on identical
+/// stochastic inputs.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Validates the configuration and creates the simulation.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for degenerate configurations
+    /// (zero dispatchers, zero rounds, warm-up at least as long as the run).
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        if config.num_dispatchers == 0 {
+            return Err(SimError::InvalidConfig(
+                "the system must contain at least one dispatcher".into(),
+            ));
+        }
+        if config.rounds == 0 {
+            return Err(SimError::InvalidConfig(
+                "the simulation must run for at least one round".into(),
+            ));
+        }
+        if config.warmup_rounds >= config.rounds {
+            return Err(SimError::InvalidConfig(format!(
+                "warm-up ({}) must be shorter than the run ({})",
+                config.warmup_rounds, config.rounds
+            )));
+        }
+        Ok(Simulation { config })
+    }
+
+    /// The configuration this simulation runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the configured system under the given policy and collects the
+    /// result.
+    ///
+    /// For a fixed configuration (and therefore fixed seed) the arrival and
+    /// service processes are identical across calls, so reports for
+    /// different policies are directly comparable (the paper's methodology).
+    ///
+    /// # Errors
+    /// Returns [`SimError::PolicyViolation`] if the policy returns an
+    /// assignment with the wrong number of destinations or an out-of-range
+    /// server.
+    pub fn run(&self, factory: &dyn PolicyFactory) -> Result<SimReport, SimError> {
+        let config = &self.config;
+        let spec = &config.spec;
+        let n = spec.num_servers();
+        let m = config.num_dispatchers;
+        let rates = spec.rates();
+
+        // Independent RNG streams (see the constants above).
+        let mut arrival_rng = StdRng::seed_from_u64(config.seed ^ ARRIVAL_STREAM_TAG);
+        let mut service_rng = StdRng::seed_from_u64(config.seed ^ SERVICE_STREAM_TAG);
+        let mut policy_rngs: Vec<StdRng> = (0..m)
+            .map(|d| StdRng::seed_from_u64(config.seed ^ POLICY_STREAM_TAG ^ (d as u64) << 32))
+            .collect();
+
+        let arrival_processes = config.arrivals.build(m, spec.total_rate());
+        let service_processes = config.services.build(rates);
+
+        let mut policies: Vec<_> = (0..m)
+            .map(|d| factory.build(DispatcherId::new(d), spec))
+            .collect();
+
+        // Per-server FIFO queues holding the arrival round of every queued job.
+        let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+        let mut queue_lengths: Vec<u64> = vec![0; n];
+
+        let mut response_times = ResponseTimeHistogram::new();
+        let mut tracker = QueueLengthTracker::new(n);
+        let mut decision_times = if config.measure_decision_times {
+            Some(SampleSet::new())
+        } else {
+            None
+        };
+        let mut jobs_dispatched = 0u64;
+        let mut jobs_completed = 0u64;
+
+        let warmup = config.warmup_rounds;
+
+        for round in 0..config.rounds {
+            let measured_round = round >= warmup;
+            // The queue-length snapshot every dispatcher observes this round.
+            let snapshot = queue_lengths.clone();
+            if measured_round {
+                tracker.observe(&snapshot);
+            }
+            let ctx = DispatchContext::new(&snapshot, rates, m, round);
+
+            // Phase 1: arrivals.
+            let arrivals: Vec<u64> = arrival_processes
+                .iter()
+                .map(|p| p.sample(&mut arrival_rng))
+                .collect();
+
+            // Phase 2: dispatching. All dispatchers see the same snapshot and
+            // act independently.
+            for d in 0..m {
+                policies[d].observe_round(&ctx, &mut policy_rngs[d]);
+            }
+            for d in 0..m {
+                let batch = arrivals[d] as usize;
+                if batch == 0 {
+                    continue;
+                }
+                let assignment = if let Some(samples) = decision_times.as_mut() {
+                    let start = Instant::now();
+                    let assignment = policies[d].dispatch_batch(&ctx, batch, &mut policy_rngs[d]);
+                    if measured_round {
+                        samples.push(start.elapsed().as_secs_f64() * 1e6);
+                    }
+                    assignment
+                } else {
+                    policies[d].dispatch_batch(&ctx, batch, &mut policy_rngs[d])
+                };
+                validate_assignment(&assignment, batch, n).map_err(|source| {
+                    SimError::PolicyViolation {
+                        policy: factory.name().to_string(),
+                        dispatcher: d,
+                        source,
+                    }
+                })?;
+                for server in assignment {
+                    queues[server.index()].push_back(round);
+                    queue_lengths[server.index()] += 1;
+                }
+                if measured_round {
+                    jobs_dispatched += batch as u64;
+                }
+            }
+
+            // Phase 3: departures. Capacities are drawn for every server every
+            // round (even idle ones) so the service stream does not depend on
+            // the policy under test.
+            for s in 0..n {
+                let capacity = service_processes[s].sample(&mut service_rng);
+                let completions = capacity.min(queue_lengths[s]);
+                for _ in 0..completions {
+                    let arrival_round = queues[s]
+                        .pop_front()
+                        .expect("queue length bookkeeping is consistent");
+                    queue_lengths[s] -= 1;
+                    if arrival_round >= warmup {
+                        response_times.record(round - arrival_round + 1);
+                        jobs_completed += 1;
+                    }
+                }
+            }
+        }
+
+        let jobs_in_flight = jobs_dispatched.saturating_sub(jobs_completed);
+        let mean_idle_fraction = if n == 0 {
+            0.0
+        } else {
+            (0..n).map(|s| tracker.idle_fraction(s)).sum::<f64>() / n as f64
+        };
+
+        Ok(SimReport {
+            policy: factory.name().to_string(),
+            rounds: config.rounds,
+            warmup_rounds: warmup,
+            offered_load: config.offered_load(),
+            jobs_dispatched,
+            jobs_completed,
+            jobs_in_flight,
+            response_times,
+            queues: QueueSummary {
+                mean_total_backlog: tracker.mean_total_backlog(),
+                max_total_backlog: tracker.max_total_backlog(),
+                worst_mean_queue: tracker.worst_mean_queue(),
+                mean_idle_fraction,
+            },
+            decision_times_us: decision_times,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalSpec;
+    use crate::services::ServiceModel;
+    use scd_model::{BoxedPolicy, ClusterSpec, DispatchPolicy, ServerId};
+
+    /// A policy that always targets server 0 — turns the engine into an
+    /// easily checkable deterministic queueing system.
+    struct AllToFirst;
+
+    impl DispatchPolicy for AllToFirst {
+        fn policy_name(&self) -> &str {
+            "all-to-first"
+        }
+        fn dispatch_batch(
+            &mut self,
+            _ctx: &DispatchContext<'_>,
+            batch: usize,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Vec<ServerId> {
+            vec![ServerId::new(0); batch]
+        }
+    }
+
+    /// A policy that returns garbage, to exercise the validation path.
+    struct Broken;
+
+    impl DispatchPolicy for Broken {
+        fn policy_name(&self) -> &str {
+            "broken"
+        }
+        fn dispatch_batch(
+            &mut self,
+            _ctx: &DispatchContext<'_>,
+            _batch: usize,
+            _rng: &mut dyn rand::RngCore,
+        ) -> Vec<ServerId> {
+            vec![ServerId::new(999)]
+        }
+    }
+
+    fn factory_of<P: DispatchPolicy + Default + 'static>(name: &'static str) -> impl PolicyFactory {
+        struct F<P> {
+            name: &'static str,
+            _marker: std::marker::PhantomData<fn() -> P>,
+        }
+        impl<P: DispatchPolicy + Default + 'static> PolicyFactory for F<P> {
+            fn name(&self) -> &str {
+                self.name
+            }
+            fn build(&self, _d: DispatcherId, _s: &ClusterSpec) -> BoxedPolicy {
+                Box::new(P::default())
+            }
+        }
+        F::<P> {
+            name,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Default for AllToFirst {
+        fn default() -> Self {
+            AllToFirst
+        }
+    }
+    impl Default for Broken {
+        fn default() -> Self {
+            Broken
+        }
+    }
+
+    fn deterministic_config() -> SimConfig {
+        SimConfig {
+            spec: ClusterSpec::from_rates(vec![2.0, 1.0]).unwrap(),
+            num_dispatchers: 1,
+            rounds: 10,
+            warmup_rounds: 0,
+            seed: 1,
+            arrivals: ArrivalSpec::Deterministic { jobs_per_round: 2 },
+            services: ServiceModel::Deterministic,
+            measure_decision_times: false,
+        }
+    }
+
+    #[test]
+    fn deterministic_single_server_pipeline() {
+        // 2 jobs arrive each round, all go to server 0 which serves exactly 2
+        // per round → every job finishes in the round it arrived (RT = 1).
+        let sim = Simulation::new(deterministic_config()).unwrap();
+        let report = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        assert_eq!(report.policy, "all-to-first");
+        assert_eq!(report.jobs_dispatched, 20);
+        assert_eq!(report.jobs_completed, 20);
+        assert_eq!(report.jobs_in_flight, 0);
+        assert_eq!(report.response_times.max(), 1);
+        assert!((report.mean_response_time() - 1.0).abs() < 1e-12);
+        assert_eq!(report.queues.max_total_backlog, 0.0, "queues observed at round start");
+    }
+
+    #[test]
+    fn overload_builds_a_backlog() {
+        // 3 jobs/round onto a server that serves 2/round → 1 job/round backlog.
+        let mut config = deterministic_config();
+        config.arrivals = ArrivalSpec::Deterministic { jobs_per_round: 3 };
+        config.rounds = 20;
+        let sim = Simulation::new(config).unwrap();
+        let report = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        assert_eq!(report.jobs_dispatched, 60);
+        assert!(report.jobs_in_flight >= 18, "backlog should accumulate");
+        // Queue at the start of round t is t (one unserved job per past round).
+        assert_eq!(report.queues.max_total_backlog, 19.0);
+    }
+
+    #[test]
+    fn warmup_rounds_are_excluded_from_statistics() {
+        let mut config = deterministic_config();
+        config.rounds = 10;
+        config.warmup_rounds = 5;
+        let sim = Simulation::new(config).unwrap();
+        let report = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        // Only rounds 5..10 are measured: 2 jobs per round.
+        assert_eq!(report.jobs_dispatched, 10);
+        assert_eq!(report.response_times.count(), 10);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports() {
+        let spec = ClusterSpec::from_rates(vec![3.0, 1.0, 2.0]).unwrap();
+        let config = SimConfig::builder(spec)
+            .dispatchers(3)
+            .rounds(300)
+            .seed(42)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.8 })
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config).unwrap();
+        let a = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        let b = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        assert_eq!(a.jobs_dispatched, b.jobs_dispatched);
+        assert_eq!(a.response_times, b.response_times);
+    }
+
+    #[test]
+    fn arrival_stream_is_policy_independent() {
+        // Two different policies under the same seed must see the same total
+        // number of dispatched jobs (the arrival stream does not depend on
+        // dispatching decisions).
+        use scd_core::policy::ScdFactory;
+        let spec = ClusterSpec::from_rates(vec![3.0, 1.0, 2.0]).unwrap();
+        let config = SimConfig::builder(spec)
+            .dispatchers(2)
+            .rounds(200)
+            .seed(11)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.7 })
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config).unwrap();
+        let a = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        let b = sim.run(&ScdFactory::new()).unwrap();
+        assert_eq!(a.jobs_dispatched, b.jobs_dispatched);
+    }
+
+    #[test]
+    fn policy_violations_are_reported_not_panicked() {
+        let sim = Simulation::new(deterministic_config()).unwrap();
+        let err = sim.run(&factory_of::<Broken>("broken")).unwrap_err();
+        match &err {
+            SimError::PolicyViolation { policy, dispatcher, .. } => {
+                assert_eq!(policy, "broken");
+                assert_eq!(*dispatcher, 0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("broken"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut config = deterministic_config();
+        config.num_dispatchers = 0;
+        assert!(matches!(
+            Simulation::new(config),
+            Err(SimError::InvalidConfig(_))
+        ));
+
+        let mut config = deterministic_config();
+        config.rounds = 0;
+        assert!(Simulation::new(config).is_err());
+
+        let mut config = deterministic_config();
+        config.warmup_rounds = config.rounds;
+        assert!(Simulation::new(config).is_err());
+    }
+
+    #[test]
+    fn decision_times_are_collected_when_requested() {
+        let mut config = deterministic_config();
+        config.measure_decision_times = true;
+        config.rounds = 50;
+        let sim = Simulation::new(config).unwrap();
+        let report = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        let samples = report.decision_times_us.expect("decision times requested");
+        assert_eq!(samples.len(), 50, "one timed decision per round (batch > 0)");
+        assert!(samples.as_slice().iter().all(|&t| t >= 0.0));
+    }
+}

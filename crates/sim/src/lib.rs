@@ -1,0 +1,57 @@
+//! Round-based multi-dispatcher / multi-server queueing simulator.
+//!
+//! This crate is the substrate on which the paper's evaluation (Section 6)
+//! runs. It implements the system model of Section 2 exactly:
+//!
+//! * the system operates in discrete, synchronous rounds;
+//! * each round has three phases — **arrivals** (each dispatcher receives a
+//!   stochastic batch of jobs), **dispatching** (each dispatcher immediately
+//!   and independently forwards every job to a server, all dispatchers seeing
+//!   the same queue-length snapshot), and **departures** (each server
+//!   completes a stochastic number of jobs from the front of its FIFO queue);
+//! * arrivals are Poisson per dispatcher, service capacities are Geometric
+//!   with mean `µ_s` (Section 6.1), but deterministic processes are also
+//!   provided for tests.
+//!
+//! Reproducibility is central: for a fixed seed the arrival and departure
+//! processes are *identical across policies*, because they are drawn from
+//! dedicated RNG streams whose consumption does not depend on dispatching
+//! decisions. This mirrors the paper's "same random seed across all
+//! algorithms" methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use scd_sim::{ArrivalSpec, ServiceModel, SimConfig, Simulation};
+//! use scd_model::{ClusterSpec, PolicyFactory};
+//! use scd_core::policy::ScdFactory;
+//!
+//! let spec = ClusterSpec::from_rates(vec![4.0, 2.0, 1.0, 1.0]).unwrap();
+//! let config = SimConfig::builder(spec)
+//!     .dispatchers(2)
+//!     .rounds(200)
+//!     .warmup_rounds(50)
+//!     .seed(7)
+//!     .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 })
+//!     .build()
+//!     .unwrap();
+//! let report = Simulation::new(config).unwrap().run(&ScdFactory::new()).unwrap();
+//! assert!(report.response_times.count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod runner;
+pub mod services;
+
+pub use arrivals::ArrivalSpec;
+pub use config::{SimConfig, SimConfigBuilder};
+pub use engine::{SimError, Simulation};
+pub use report::{QueueSummary, SimReport};
+pub use runner::{run_comparison, ComparisonResult};
+pub use services::ServiceModel;

@@ -1,0 +1,138 @@
+//! Results produced by a simulation run.
+
+use scd_metrics::{HistogramSummary, ResponseTimeHistogram, SampleSet};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate queue-length statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueSummary {
+    /// Time-average of the total backlog `Σ_s q_s(t)` (post-warm-up rounds).
+    pub mean_total_backlog: f64,
+    /// Largest total backlog observed in any round.
+    pub max_total_backlog: f64,
+    /// Largest per-server time-average queue length.
+    pub worst_mean_queue: f64,
+    /// Mean fraction of rounds in which a server was idle, averaged over
+    /// servers (wasted capacity indicator).
+    pub mean_idle_fraction: f64,
+}
+
+/// The result of simulating one policy on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Display name of the policy that produced this report.
+    pub policy: String,
+    /// Number of simulated rounds.
+    pub rounds: u64,
+    /// Warm-up rounds excluded from statistics.
+    pub warmup_rounds: u64,
+    /// The offered load of the configuration.
+    pub offered_load: f64,
+    /// Number of jobs dispatched during measured (post-warm-up) rounds.
+    pub jobs_dispatched: u64,
+    /// Number of measured jobs that completed before the run ended.
+    pub jobs_completed: u64,
+    /// Jobs still queued at the end of the run (censored response times).
+    pub jobs_in_flight: u64,
+    /// Exact distribution of job response times, in rounds.
+    pub response_times: ResponseTimeHistogram,
+    /// Queue-length statistics.
+    pub queues: QueueSummary,
+    /// Wall-clock times (in microseconds) of individual dispatching
+    /// decisions, present when the run was configured with
+    /// `measure_decision_times`.
+    pub decision_times_us: Option<SampleSet>,
+}
+
+impl SimReport {
+    /// Mean response time in rounds.
+    pub fn mean_response_time(&self) -> f64 {
+        self.response_times.mean()
+    }
+
+    /// A quantile of the response-time distribution.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn response_time_percentile(&self, p: f64) -> u64 {
+        self.response_times.percentile(p)
+    }
+
+    /// Compact summary of the response-time distribution.
+    pub fn summary(&self) -> HistogramSummary {
+        self.response_times.summary()
+    }
+
+    /// Fraction of measured jobs that were still queued when the simulation
+    /// ended (their response times are censored and not part of the
+    /// histogram). Large values indicate an unstable or overloaded system.
+    pub fn censored_fraction(&self) -> f64 {
+        if self.jobs_dispatched == 0 {
+            0.0
+        } else {
+            self.jobs_in_flight as f64 / self.jobs_dispatched as f64
+        }
+    }
+
+    /// One-line human-readable description used by examples and binaries.
+    pub fn one_liner(&self) -> String {
+        format!(
+            "{:<10} load={:.2} mean={:.3} p99={:<4} backlog(avg)={:.1} censored={:.3}%",
+            self.policy,
+            self.offered_load,
+            self.mean_response_time(),
+            self.response_time_percentile(0.99),
+            self.queues.mean_total_backlog,
+            100.0 * self.censored_fraction(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report() -> SimReport {
+        let mut hist = ResponseTimeHistogram::new();
+        for rt in [1u64, 2, 2, 3, 50] {
+            hist.record(rt);
+        }
+        SimReport {
+            policy: "TEST".into(),
+            rounds: 100,
+            warmup_rounds: 10,
+            offered_load: 0.9,
+            jobs_dispatched: 10,
+            jobs_completed: 5,
+            jobs_in_flight: 5,
+            response_times: hist,
+            queues: QueueSummary {
+                mean_total_backlog: 4.0,
+                max_total_backlog: 9.0,
+                worst_mean_queue: 2.5,
+                mean_idle_fraction: 0.25,
+            },
+            decision_times_us: None,
+        }
+    }
+
+    #[test]
+    fn derived_statistics_are_consistent() {
+        let report = dummy_report();
+        assert!((report.mean_response_time() - 11.6).abs() < 1e-9);
+        assert_eq!(report.response_time_percentile(1.0), 50);
+        assert_eq!(report.summary().count, 5);
+        assert!((report.censored_fraction() - 0.5).abs() < 1e-12);
+        let line = report.one_liner();
+        assert!(line.contains("TEST"));
+        assert!(line.contains("p99"));
+    }
+
+    #[test]
+    fn censored_fraction_handles_empty_runs() {
+        let mut report = dummy_report();
+        report.jobs_dispatched = 0;
+        report.jobs_in_flight = 0;
+        assert_eq!(report.censored_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Demonstrates the herding phenomenon that motivates the paper.
+//!
+//! JSQ and SED are excellent with a *single* dispatcher but degrade badly
+//! when many dispatchers share the same queue-length view: they all identify
+//! the same short queues and pile onto them. SCD keeps the same full
+//! information but coordinates stochastically, so it keeps improving as the
+//! cluster and dispatcher count grow.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example herding_demo
+//! ```
+
+use scd::prelude::*;
+
+fn run_with_dispatchers(
+    spec: &ClusterSpec,
+    dispatchers: usize,
+    policy: &dyn PolicyFactory,
+) -> SimReport {
+    let config = SimConfig::builder(spec.clone())
+        .dispatchers(dispatchers)
+        .rounds(8_000)
+        .warmup_rounds(800)
+        .seed(99)
+        .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 })
+        .build()
+        .expect("valid configuration");
+    Simulation::new(config)
+        .expect("valid configuration")
+        .run(policy)
+        .expect("policies run cleanly")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let spec = RateProfile::paper_moderate().materialize(40, &mut rng)?;
+    println!(
+        "cluster: 40 servers, capacity {:.0} jobs/round, offered load fixed at 0.90\n",
+        spec.total_rate()
+    );
+
+    let mut table = Table::with_headers(&[
+        "policy",
+        "dispatchers",
+        "mean RT",
+        "p99 RT",
+        "max backlog",
+    ]);
+
+    for &m in &[1usize, 5, 20] {
+        for name in ["JSQ", "SED", "SCD"] {
+            let factory = factory_by_name(name).expect("registered policy");
+            let report = run_with_dispatchers(&spec, m, factory.as_ref());
+            table.add_row(vec![
+                name.to_string(),
+                m.to_string(),
+                format!("{:.2}", report.mean_response_time()),
+                report.response_time_percentile(0.99).to_string(),
+                format!("{:.0}", report.queues.max_total_backlog),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!(
+        "Reading the table: with one dispatcher JSQ/SED are fine; as the number of\n\
+         dispatchers grows their tail latencies and backlogs blow up (herding), while\n\
+         SCD keeps both low because each dispatcher randomizes against the others."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Herding integration test: the phenomenon of Section 1 reproduced on the
+//! simulator — JSQ/SED get *worse* as dispatchers are added (at fixed offered
+//! load), while SCD does not.
+
+use scd::prelude::*;
+
+fn cluster(seed: u64) -> ClusterSpec {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    RateProfile::paper_moderate().materialize(40, &mut rng).unwrap()
+}
+
+fn p99_with_dispatchers(spec: &ClusterSpec, policy: &str, m: usize) -> u64 {
+    let config = SimConfig::builder(spec.clone())
+        .dispatchers(m)
+        .rounds(6_000)
+        .warmup_rounds(600)
+        .seed(123)
+        .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 })
+        .build()
+        .unwrap();
+    let factory = factory_by_name(policy).unwrap();
+    Simulation::new(config)
+        .unwrap()
+        .run(factory.as_ref())
+        .unwrap()
+        .response_time_percentile(0.99)
+}
+
+#[test]
+fn jsq_degrades_with_more_dispatchers_while_scd_does_not() {
+    let spec = cluster(31);
+
+    let jsq_single = p99_with_dispatchers(&spec, "JSQ", 1);
+    let jsq_many = p99_with_dispatchers(&spec, "JSQ", 20);
+    assert!(
+        jsq_many as f64 >= 1.5 * jsq_single as f64,
+        "JSQ should herd: p99 with 20 dispatchers ({jsq_many}) vs 1 dispatcher ({jsq_single})"
+    );
+
+    let scd_single = p99_with_dispatchers(&spec, "SCD", 1);
+    let scd_many = p99_with_dispatchers(&spec, "SCD", 20);
+    assert!(
+        (scd_many as f64) < 2.0 * (scd_single as f64).max(3.0),
+        "SCD should not herd: p99 with 20 dispatchers ({scd_many}) vs 1 dispatcher ({scd_single})"
+    );
+
+    // And with many dispatchers SCD clearly beats JSQ.
+    assert!(
+        scd_many < jsq_many,
+        "with 20 dispatchers SCD p99 ({scd_many}) must beat JSQ p99 ({jsq_many})"
+    );
+}
+
+#[test]
+fn sed_herds_too_but_scd_keeps_the_tail_low() {
+    let spec = cluster(32);
+    let sed_many = p99_with_dispatchers(&spec, "SED", 16);
+    let scd_many = p99_with_dispatchers(&spec, "SCD", 16);
+    assert!(
+        scd_many <= sed_many,
+        "SCD p99 ({scd_many}) should not exceed SED p99 ({sed_many}) with 16 dispatchers"
+    );
+}

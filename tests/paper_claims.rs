@@ -1,0 +1,139 @@
+//! Cross-crate integration tests asserting the paper's qualitative claims at
+//! reduced scale: who wins, and roughly where, on heterogeneous
+//! multi-dispatcher systems.
+
+use scd::prelude::*;
+
+/// Builds a moderately heterogeneous cluster (µ ~ U[1,10]) of `n` servers.
+fn moderate_cluster(n: usize, seed: u64) -> ClusterSpec {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    RateProfile::paper_moderate().materialize(n, &mut rng).unwrap()
+}
+
+/// Builds a highly heterogeneous cluster (µ ~ U[1,100]).
+fn high_cluster(n: usize, seed: u64) -> ClusterSpec {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    RateProfile::paper_high().materialize(n, &mut rng).unwrap()
+}
+
+fn run(spec: &ClusterSpec, m: usize, load: f64, rounds: u64, seed: u64, policy: &str) -> SimReport {
+    let config = SimConfig::builder(spec.clone())
+        .dispatchers(m)
+        .rounds(rounds)
+        .warmup_rounds(rounds / 10)
+        .seed(seed)
+        .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: load })
+        .build()
+        .unwrap();
+    let factory = factory_by_name(policy).expect("registered policy");
+    Simulation::new(config)
+        .unwrap()
+        .run(factory.as_ref())
+        .unwrap()
+}
+
+#[test]
+fn scd_beats_the_competitive_baselines_at_high_load() {
+    // Reduced-scale version of Figures 3a/4a: n=40, m=8, ρ=0.95.
+    let spec = moderate_cluster(40, 1);
+    let scd = run(&spec, 8, 0.95, 6_000, 7, "SCD");
+    for baseline in ["TWF", "JSQ", "SED", "hJSQ(2)", "hJIQ"] {
+        let other = run(&spec, 8, 0.95, 6_000, 7, baseline);
+        assert!(
+            scd.mean_response_time() <= other.mean_response_time() * 1.05,
+            "SCD mean {:.3} should not lose to {baseline} mean {:.3}",
+            scd.mean_response_time(),
+            other.mean_response_time()
+        );
+    }
+}
+
+#[test]
+fn scd_tail_beats_the_heterogeneity_oblivious_twf() {
+    // Figures 3b/4b headline: TWF's tail collapses under heterogeneity.
+    let spec = high_cluster(30, 2);
+    let scd = run(&spec, 6, 0.9, 6_000, 9, "SCD");
+    let twf = run(&spec, 6, 0.9, 6_000, 9, "TWF");
+    assert!(
+        scd.response_time_percentile(0.99) < twf.response_time_percentile(0.99),
+        "SCD p99 {} should beat TWF p99 {}",
+        scd.response_time_percentile(0.99),
+        twf.response_time_percentile(0.99)
+    );
+    assert!(scd.mean_response_time() < twf.mean_response_time());
+}
+
+#[test]
+fn heterogeneity_aware_variants_beat_their_oblivious_counterparts() {
+    // Appendix E.1 rationale: JSQ(2)/JIQ/LSQ ignore rates and lose to their
+    // h* variants on a heterogeneous cluster under load.
+    let spec = high_cluster(30, 3);
+    for (oblivious, aware) in [("JSQ(2)", "hJSQ(2)"), ("JIQ", "hJIQ"), ("LSQ", "hLSQ")] {
+        let plain = run(&spec, 5, 0.9, 5_000, 11, oblivious);
+        let hetero = run(&spec, 5, 0.9, 5_000, 11, aware);
+        assert!(
+            hetero.mean_response_time() < plain.mean_response_time(),
+            "{aware} mean {:.2} should beat {oblivious} mean {:.2}",
+            hetero.mean_response_time(),
+            plain.mean_response_time()
+        );
+    }
+}
+
+#[test]
+fn scd_and_twf_coincide_on_homogeneous_clusters() {
+    // TWF is exactly SCD with unit rates, so on a homogeneous cluster the two
+    // solve the same optimization problem and must be statistically
+    // indistinguishable. (They are not bit-identical: the common rate enters
+    // the floating-point computation differently, so a tiny fraction of
+    // sampling decisions can flip.)
+    let spec = ClusterSpec::homogeneous(20, 3.0).unwrap();
+    let scd = run(&spec, 4, 0.9, 3_000, 5, "SCD");
+    let twf = run(&spec, 4, 0.9, 3_000, 5, "TWF");
+    let mean_gap = (scd.mean_response_time() - twf.mean_response_time()).abs()
+        / scd.mean_response_time();
+    assert!(
+        mean_gap < 0.02,
+        "homogeneous SCD and TWF means diverge: {:.4} vs {:.4}",
+        scd.mean_response_time(),
+        twf.mean_response_time()
+    );
+    let p99_gap = scd
+        .response_time_percentile(0.99)
+        .abs_diff(twf.response_time_percentile(0.99));
+    assert!(p99_gap <= 1, "homogeneous SCD and TWF p99 diverge by {p99_gap}");
+}
+
+#[test]
+fn weighted_random_and_jiq_degrade_at_high_load() {
+    // Section 1.1: JIQ approaches random dispatching at high load, and WR
+    // ignores queue information; both are clearly worse than SCD at ρ = 0.95.
+    let spec = moderate_cluster(30, 4);
+    let scd = run(&spec, 6, 0.95, 5_000, 13, "SCD");
+    for weak in ["WR", "JIQ"] {
+        let other = run(&spec, 6, 0.95, 5_000, 13, weak);
+        assert!(
+            other.mean_response_time() > 1.3 * scd.mean_response_time(),
+            "{weak} mean {:.2} should be clearly worse than SCD mean {:.2}",
+            other.mean_response_time(),
+            scd.mean_response_time()
+        );
+    }
+}
+
+#[test]
+fn single_dispatcher_sed_is_a_tough_baseline_that_scd_matches() {
+    // With m = 1 there is no coordination problem: SED is near-optimal and
+    // SCD must essentially match it (the paper's SCD reduces to an
+    // SED-flavoured policy when a_est is small).
+    let spec = moderate_cluster(25, 6);
+    let scd = run(&spec, 1, 0.9, 6_000, 17, "SCD");
+    let sed = run(&spec, 1, 0.9, 6_000, 17, "SED");
+    let ratio = scd.mean_response_time() / sed.mean_response_time();
+    assert!(
+        ratio < 1.35,
+        "single-dispatcher SCD should be close to SED (ratio {ratio:.2})"
+    );
+}

@@ -1,0 +1,97 @@
+//! Cross-crate consistency of the SCD solver, exercised through the public
+//! API: the policy's sampled behaviour matches the solver's distribution, the
+//! optimality certificate holds, and the stability invariant (Lemma 3) holds
+//! for the distributions SCD actually uses during a simulation.
+
+use rand::SeedableRng;
+use scd::prelude::*;
+use scd_core::qp::check_kkt;
+use scd_core::stability::check_lemma3;
+
+#[test]
+fn policy_distribution_is_kkt_optimal_and_lemma3_safe_on_random_states() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    use rand::Rng;
+    for _ in 0..50 {
+        let n = rng.gen_range(2..40);
+        let m = rng.gen_range(1..20);
+        let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..100.0)).collect();
+        let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..200)).collect();
+        let batch = rng.gen_range(1..30usize);
+
+        let ctx = DispatchContext::new(&queues, &rates, m, 0);
+        let policy = ScdPolicy::new();
+        let probabilities = policy.distribution(&ctx, batch);
+
+        let total: f64 = probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+
+        let a_est = (batch as f64 * m as f64).max(1.0);
+        if a_est > 1.0 {
+            let iwl = compute_iwl(&queues, &rates, a_est);
+            check_kkt(&probabilities, &queues, &rates, a_est, iwl, 1e-6)
+                .expect("policy distribution must satisfy the KKT conditions");
+            check_lemma3(&probabilities, &queues, &rates, a_est)
+                .expect("policy distribution must satisfy Lemma 3");
+        }
+    }
+}
+
+#[test]
+fn sampled_dispatch_matches_the_computed_distribution() {
+    // Chi-squared-style check: empirical frequencies from dispatch_batch draw
+    // from exactly the distribution() vector.
+    let rates = vec![30.0, 10.0, 5.0, 1.0, 1.0];
+    let queues = vec![12u64, 4, 9, 0, 2];
+    let ctx = DispatchContext::new(&queues, &rates, 3, 0);
+    let policy = ScdPolicy::new();
+    let expected = policy.distribution(&ctx, 5);
+
+    let mut policy = policy;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut counts = vec![0usize; rates.len()];
+    let trials = 20_000;
+    for _ in 0..trials {
+        for server in policy.dispatch_batch(&ctx, 5, &mut rng) {
+            counts[server.index()] += 1;
+        }
+    }
+    let total: usize = counts.iter().sum();
+    for (s, &count) in counts.iter().enumerate() {
+        let freq = count as f64 / total as f64;
+        assert!(
+            (freq - expected[s]).abs() < 0.01,
+            "server {s}: empirical {freq:.4} vs solver {:.4}",
+            expected[s]
+        );
+    }
+}
+
+#[test]
+fn solver_kinds_agree_through_the_public_api() {
+    let rates = vec![50.0, 7.0, 3.0, 1.0];
+    let queues = vec![100u64, 3, 0, 9];
+    for a in [2.0, 5.0, 37.0, 400.0] {
+        let fast = solve(&queues, &rates, a, SolverKind::Fast).unwrap();
+        let quad = solve(&queues, &rates, a, SolverKind::Quadratic).unwrap();
+        assert!((fast.iwl - quad.iwl).abs() < 1e-12);
+        for (x, y) in fast.probabilities.iter().zip(&quad.probabilities) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+}
+
+#[test]
+fn ideal_assignment_is_conserved_for_policy_scale_inputs() {
+    // Larger, paper-scale instance: n = 400, arrivals comparable to capacity.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+    let spec = RateProfile::paper_high().materialize(400, &mut rng).unwrap();
+    use rand::Rng;
+    let queues: Vec<u64> = (0..400).map(|_| rng.gen_range(0..500)).collect();
+    let arrivals = spec.total_rate() * 0.99;
+    let iwl = compute_iwl(&queues, spec.rates(), arrivals);
+    let assignment = ideal_assignment(&queues, spec.rates(), iwl);
+    let total: f64 = assignment.iter().sum();
+    assert!((total - arrivals).abs() < 1e-6 * arrivals);
+    assert!(assignment.iter().all(|&x| x >= -1e-9));
+}

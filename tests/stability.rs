@@ -1,0 +1,115 @@
+//! Strong-stability integration tests (Appendix D of the paper).
+//!
+//! The theorem: for any admissible load (ρ < 1) the long-run average total
+//! queue length under SCD is bounded. At simulation scale we check the
+//! observable consequences: the backlog of a long run does not trend upwards,
+//! and this holds for every arrival-estimation rule with `1 ≤ a_est < ∞`.
+
+use scd::prelude::*;
+use scd_core::estimator::ArrivalEstimator;
+use scd_core::solver::SolverKind;
+
+fn heterogeneous_cluster(n: usize, seed: u64) -> ClusterSpec {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    RateProfile::paper_moderate().materialize(n, &mut rng).unwrap()
+}
+
+fn backlog_of(spec: &ClusterSpec, factory: &dyn PolicyFactory, rounds: u64, load: f64) -> (f64, f64) {
+    // Returns (mean backlog over the first half, mean backlog over the second
+    // half) — a growing gap indicates instability.
+    let half = rounds / 2;
+    let first = {
+        let config = SimConfig::builder(spec.clone())
+            .dispatchers(4)
+            .rounds(half)
+            .seed(33)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: load })
+            .build()
+            .unwrap();
+        Simulation::new(config).unwrap().run(factory).unwrap()
+    };
+    let full = {
+        let config = SimConfig::builder(spec.clone())
+            .dispatchers(4)
+            .rounds(rounds)
+            .seed(33)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: load })
+            .build()
+            .unwrap();
+        Simulation::new(config).unwrap().run(factory).unwrap()
+    };
+    (
+        first.queues.mean_total_backlog,
+        full.queues.mean_total_backlog,
+    )
+}
+
+#[test]
+fn scd_backlog_does_not_trend_upwards_at_admissible_load() {
+    let spec = heterogeneous_cluster(30, 10);
+    let scd = ScdFactory::new();
+    let (first_half, full) = backlog_of(&spec, &scd, 16_000, 0.9);
+    // A stable system's time-average backlog converges; allow generous slack
+    // for stochastic noise but reject anything resembling linear growth
+    // (which would roughly double the average).
+    assert!(
+        full < first_half * 1.5 + 20.0,
+        "backlog appears to grow: first half {first_half:.1}, full run {full:.1}"
+    );
+}
+
+#[test]
+fn scd_is_stable_for_every_reasonable_estimator() {
+    // Appendix D: the stability proof only needs 1 ≤ a_est < ∞.
+    let spec = heterogeneous_cluster(20, 11);
+    for (label, estimator) in [
+        ("m*a(d)", ArrivalEstimator::ScaledByDispatchers),
+        ("a(d)", ArrivalEstimator::OwnOnly),
+        ("const(50)", ArrivalEstimator::Constant(50.0)),
+    ] {
+        let factory = ScdFactory::with_options(estimator, SolverKind::Fast)
+            .with_name(format!("SCD[{label}]"));
+        let (first_half, full) = backlog_of(&spec, &factory, 10_000, 0.85);
+        assert!(
+            full < first_half * 1.6 + 25.0,
+            "estimator {label}: backlog grows from {first_half:.1} to {full:.1}"
+        );
+    }
+}
+
+#[test]
+fn overload_is_visibly_unstable() {
+    // Sanity check of the harness itself: at ρ > 1 no policy can be stable,
+    // so the backlog must grow roughly linearly with the horizon.
+    let spec = heterogeneous_cluster(15, 12);
+    let scd = ScdFactory::new();
+    let (first_half, full) = backlog_of(&spec, &scd, 6_000, 1.2);
+    assert!(
+        full > first_half * 1.5,
+        "overloaded system should show a growing backlog ({first_half:.1} → {full:.1})"
+    );
+}
+
+#[test]
+fn fast_servers_are_not_starved_by_scd() {
+    // The heterogeneous instability mode described in the paper's footnote 1
+    // is fast servers idling while slow servers drown. Under SCD at high load
+    // the fastest server must be busy most of the time.
+    let spec = ClusterSpec::from_rates(vec![20.0, 2.0, 2.0, 2.0, 2.0, 2.0]).unwrap();
+    let config = SimConfig::builder(spec)
+        .dispatchers(4)
+        .rounds(8_000)
+        .warmup_rounds(800)
+        .seed(21)
+        .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.95 })
+        .build()
+        .unwrap();
+    let report = Simulation::new(config).unwrap().run(&ScdFactory::new()).unwrap();
+    assert!(
+        report.queues.mean_idle_fraction < 0.6,
+        "servers idle {:.0}% of rounds on average at rho=0.95 — capacity is being wasted",
+        100.0 * report.queues.mean_idle_fraction
+    );
+    assert!(report.censored_fraction() < 0.05);
+}
