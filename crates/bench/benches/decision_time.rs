@@ -31,19 +31,15 @@ fn bench_policies(c: &mut Criterion, group_name: &str, lo: f64, hi: f64) {
 
         for policy_name in ["SCD", "SCD(alg1)", "JSQ", "SED"] {
             let factory = factory_by_name(policy_name).expect("registered policy");
-            group.bench_with_input(
-                BenchmarkId::new(policy_name, n),
-                &n,
-                |b, _| {
-                    let mut policy = factory.build(DispatcherId::new(0), &spec);
-                    let mut rng = StdRng::seed_from_u64(5);
-                    let ctx = DispatchContext::new(&queues, &rates, DISPATCHERS, 0);
-                    b.iter(|| {
-                        let out = policy.dispatch_batch(black_box(&ctx), black_box(batch), &mut rng);
-                        black_box(out)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy_name, n), &n, |b, _| {
+                let mut policy = factory.build(DispatcherId::new(0), &spec);
+                let mut rng = StdRng::seed_from_u64(5);
+                let ctx = DispatchContext::new(&queues, &rates, DISPATCHERS, 0);
+                b.iter(|| {
+                    let out = policy.dispatch_batch(black_box(&ctx), black_box(batch), &mut rng);
+                    black_box(out)
+                })
+            });
         }
     }
     group.finish();

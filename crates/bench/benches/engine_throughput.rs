@@ -1,0 +1,341 @@
+//! End-to-end engine throughput: rounds/second on the paper's 100-server /
+//! 10-dispatcher cluster at 0.99 offered load, comparing the allocation-free
+//! engine against a faithful reimplementation of the pre-refactor round loop.
+//!
+//! Run with `cargo bench --bench engine_throughput`. Writes the measurements
+//! to `BENCH_engine.json` at the workspace root so future PRs can compare
+//! against a recorded baseline (see `crates/bench/README.md` for the
+//! methodology).
+//!
+//! The baseline reproduces the engine as it existed before the
+//! allocation-free refactor, using only public APIs:
+//!
+//! * the queue-length snapshot is **cloned** every round;
+//! * arrivals fill a **fresh `Vec<u64>`** every round, each drawn with the
+//!   **O(λ) Knuth multiplication** Poisson sampler (the pre-refactor
+//!   implementation; the refactor replaced it with inverted-CDF tables);
+//! * service capacities recompute **`ln(1-p)` on every geometric draw**
+//!   (now precomputed per server);
+//! * every dispatch goes through the allocating `dispatch_batch` entry point
+//!   and materializes a **fresh `Vec<ServerId>`**;
+//! * per-server queues hold **one `VecDeque` entry per job**, and response
+//!   times are recorded **one histogram update per job** (now run-length
+//!   encoded segments + one bulk update per segment);
+//! * queue statistics are observed with the same tracker the modern engine
+//!   uses, on a cloned snapshot;
+//! * SCD recomputes its distribution into fresh vectors and builds a **fresh
+//!   alias table** per decision (the old `ScdPolicy::dispatch_batch` body);
+//! * stream seeds use the old `seed ^ TAG ^ (d << 32)` derivation.
+//!
+//! Both engines simulate exactly the same system (same cluster, load,
+//! distributions and metrics); they differ only in implementation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::Poisson;
+use scd_core::policy::{ScdFactory, ScdPolicy};
+use scd_metrics::{QueueLengthTracker, ResponseTimeHistogram};
+use scd_model::policy::validate_assignment;
+use scd_model::{
+    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
+    PolicyFactory, RateProfile, ServerId,
+};
+use scd_policies::{JsqFactory, WeightedRandomFactory};
+use scd_sim::{ArrivalSpec, ServiceModel, SimConfig, Simulation};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+const SERVERS: usize = 100;
+const DISPATCHERS: usize = 10;
+const OFFERED_LOAD: f64 = 0.99;
+const ROUNDS: u64 = 2_000;
+const SEED: u64 = 7;
+/// Interleaved measurement pairs per policy; `CRITERION_QUICK=1` drops to a
+/// single pair (CI smoke test).
+fn repetitions() -> usize {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        1
+    } else {
+        9
+    }
+}
+
+fn bench_config() -> SimConfig {
+    let mut cluster_rng = StdRng::seed_from_u64(SEED);
+    let spec = RateProfile::paper_moderate()
+        .materialize(SERVERS, &mut cluster_rng)
+        .expect("valid profile");
+    SimConfig {
+        spec,
+        num_dispatchers: DISPATCHERS,
+        rounds: ROUNDS,
+        warmup_rounds: 0,
+        seed: SEED,
+        arrivals: ArrivalSpec::PoissonOfferedLoad {
+            offered_load: OFFERED_LOAD,
+        },
+        services: ServiceModel::Geometric,
+        measure_decision_times: false,
+    }
+}
+
+/// The old SCD decision path: allocate the distribution, build a fresh alias
+/// table, collect a fresh destination vector — exactly the pre-refactor
+/// `ScdPolicy::dispatch_batch`.
+struct LegacyScdPolicy {
+    inner: ScdPolicy,
+}
+
+impl DispatchPolicy for LegacyScdPolicy {
+    fn policy_name(&self) -> &str {
+        "SCD(legacy)"
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<ServerId> {
+        if batch == 0 {
+            return Vec::new();
+        }
+        let probabilities = self.inner.distribution(ctx, batch);
+        let sampler =
+            AliasSampler::new(&probabilities).expect("solver output is a valid distribution");
+        (0..batch)
+            .map(|_| ServerId::new(sampler.sample(rng)))
+            .collect()
+    }
+}
+
+struct LegacyScdFactory;
+
+impl PolicyFactory for LegacyScdFactory {
+    fn name(&self) -> &str {
+        "SCD(legacy)"
+    }
+    fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
+        Box::new(LegacyScdPolicy {
+            inner: ScdPolicy::new(),
+        })
+    }
+}
+
+/// Faithful reimplementation of the pre-refactor round loop (see the module
+/// docs for the list of per-round costs it deliberately keeps). It collects
+/// the same statistics the real engine does — queue tracker, response-time
+/// histogram, dispatch/completion counters — so the comparison isolates the
+/// implementation, not the workload.
+fn run_legacy_engine(config: &SimConfig, factory: &dyn PolicyFactory) -> u64 {
+    const ARRIVAL_STREAM_TAG: u64 = 0x41_52_52_49_56_41_4C_53;
+    const SERVICE_STREAM_TAG: u64 = 0x53_45_52_56_49_43_45_53;
+    const POLICY_STREAM_TAG: u64 = 0x50_4F_4C_49_43_59_00_00;
+
+    let spec = &config.spec;
+    let n = spec.num_servers();
+    let m = config.num_dispatchers;
+    let rates = spec.rates();
+
+    let mut arrival_rng = StdRng::seed_from_u64(config.seed ^ ARRIVAL_STREAM_TAG);
+    let mut service_rng = StdRng::seed_from_u64(config.seed ^ SERVICE_STREAM_TAG);
+    let mut policy_rngs: Vec<StdRng> = (0..m)
+        .map(|d| StdRng::seed_from_u64(config.seed ^ POLICY_STREAM_TAG ^ ((d as u64) << 32)))
+        .collect();
+
+    // Pre-refactor samplers: O(λ) Knuth Poisson per dispatcher per round,
+    // geometric draws recomputing ln(1-p) every time.
+    let lambdas = config.arrivals.per_dispatcher_rates(m, spec.total_rate());
+    let arrival_dists: Vec<Option<Poisson>> = lambdas
+        .iter()
+        .map(|&l| (l > 0.0).then(|| Poisson::new(l).expect("positive rate")))
+        .collect();
+    let legacy_geometric = |mu: f64, rng: &mut StdRng| -> u64 {
+        let p = 1.0 / (1.0 + mu);
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let draws = (u.ln() / (1.0 - p).ln()).floor();
+        if draws < 0.0 {
+            0
+        } else {
+            draws as u64
+        }
+    };
+
+    let mut policies: Vec<_> = (0..m)
+        .map(|d| factory.build(DispatcherId::new(d), spec))
+        .collect();
+
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+    let mut queue_lengths: Vec<u64> = vec![0; n];
+    let mut response_times = ResponseTimeHistogram::new();
+    let mut tracker = QueueLengthTracker::new(n);
+    let mut jobs_dispatched = 0u64;
+    let mut jobs_completed = 0u64;
+    let warmup = config.warmup_rounds;
+
+    for round in 0..config.rounds {
+        let measured_round = round >= warmup;
+        let snapshot = queue_lengths.clone();
+        if measured_round {
+            tracker.observe(&snapshot);
+        }
+        let ctx = DispatchContext::new(&snapshot, rates, m, round);
+
+        let arrivals: Vec<u64> = arrival_dists
+            .iter()
+            .map(|dist| {
+                dist.as_ref()
+                    .map_or(0, |dist| dist.sample_knuth(&mut arrival_rng) as u64)
+            })
+            .collect();
+
+        for d in 0..m {
+            policies[d].observe_round(&ctx, &mut policy_rngs[d]);
+        }
+        for d in 0..m {
+            let batch = arrivals[d] as usize;
+            if batch == 0 {
+                continue;
+            }
+            let assignment = policies[d].dispatch_batch(&ctx, batch, &mut policy_rngs[d]);
+            validate_assignment(&assignment, batch, n).expect("policies are well-behaved");
+            for server in assignment {
+                queues[server.index()].push_back(round);
+                queue_lengths[server.index()] += 1;
+            }
+            if measured_round {
+                jobs_dispatched += batch as u64;
+            }
+        }
+
+        for s in 0..n {
+            let capacity = legacy_geometric(rates[s], &mut service_rng);
+            let completions = capacity.min(queue_lengths[s]);
+            for _ in 0..completions {
+                let arrival_round = queues[s].pop_front().expect("bookkeeping is consistent");
+                queue_lengths[s] -= 1;
+                if arrival_round >= warmup {
+                    response_times.record(round - arrival_round + 1);
+                    jobs_completed += 1;
+                }
+            }
+        }
+    }
+    std::hint::black_box(jobs_dispatched);
+    std::hint::black_box(tracker.mean_total_backlog());
+    std::hint::black_box(response_times.count());
+    jobs_completed
+}
+
+/// Best-of-N rounds/second for a pair of closures that each simulate
+/// `ROUNDS` rounds. The two candidates are measured in strict alternation
+/// (A, B, A, B, ...) so that drifting machine load hits both equally; the
+/// minimum elapsed time per candidate estimates its unloaded cost.
+fn measure_pair(
+    mut baseline: impl FnMut() -> u64,
+    mut optimized: impl FnMut() -> u64,
+) -> (f64, f64) {
+    // One untimed warm-up run each.
+    let mut checksum = baseline();
+    checksum = checksum.wrapping_add(optimized());
+    let mut best_baseline = f64::INFINITY;
+    let mut best_optimized = f64::INFINITY;
+    for _ in 0..repetitions() {
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(baseline());
+        best_baseline = best_baseline.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        checksum = checksum.wrapping_add(optimized());
+        best_optimized = best_optimized.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    (
+        ROUNDS as f64 / best_baseline,
+        ROUNDS as f64 / best_optimized,
+    )
+}
+
+struct PolicyResult {
+    policy: &'static str,
+    baseline: f64,
+    optimized: f64,
+}
+
+fn main() {
+    let config = bench_config();
+    println!(
+        "engine throughput: {SERVERS} servers, {DISPATCHERS} dispatchers, load {OFFERED_LOAD}, \
+         {ROUNDS} rounds, best of {}",
+        repetitions()
+    );
+
+    let mut results: Vec<PolicyResult> = Vec::new();
+
+    type Pair = (&'static str, Box<dyn PolicyFactory>, Box<dyn PolicyFactory>);
+    let pairs: Vec<Pair> = vec![
+        (
+            "SCD",
+            Box::new(LegacyScdFactory),
+            Box::new(ScdFactory::new()),
+        ),
+        (
+            "JSQ",
+            Box::new(JsqFactory::new()),
+            Box::new(JsqFactory::new()),
+        ),
+        (
+            "WR",
+            Box::new(WeightedRandomFactory::new()),
+            Box::new(WeightedRandomFactory::new()),
+        ),
+    ];
+
+    for (policy, legacy_factory, optimized_factory) in pairs {
+        let simulation = Simulation::new(config.clone()).expect("valid configuration");
+        let (baseline, optimized) = measure_pair(
+            || run_legacy_engine(&config, legacy_factory.as_ref()),
+            || {
+                simulation
+                    .run(optimized_factory.as_ref())
+                    .expect("clean run")
+                    .jobs_completed
+            },
+        );
+        println!(
+            "  {policy:<4} baseline {baseline:>12.0} rounds/s | optimized {optimized:>12.0} \
+             rounds/s | speedup {:.2}x",
+            optimized / baseline
+        );
+        results.push(PolicyResult {
+            policy,
+            baseline,
+            optimized,
+        });
+    }
+
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"baseline_rounds_per_sec\": {:.1}, \
+             \"optimized_rounds_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+            r.policy,
+            r.baseline,
+            r.optimized,
+            r.optimized / r.baseline
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"config\": {{\"servers\": {SERVERS}, \
+         \"dispatchers\": {DISPATCHERS}, \"offered_load\": {OFFERED_LOAD}, \"rounds\": {ROUNDS}, \
+         \"seed\": {SEED}, \"rate_profile\": \"U[1,10]\", \"services\": \"geometric\"}},\n  \
+         \"unit\": \"rounds_per_sec\",\n  \"repetitions\": {reps},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        reps = repetitions()
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 
 /// A rule for estimating the total number of arrivals in the current round
 /// from a dispatcher's own arrivals.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ArrivalEstimator {
     /// The paper's estimator (Eq. 18): `a_est = m · a(d)`.
+    #[default]
     ScaledByDispatchers,
     /// Use only the dispatcher's own arrivals: `a_est = a(d)`. With this
     /// estimator SCD degenerates towards SED-like behaviour (it behaves as if
@@ -25,12 +26,6 @@ pub enum ArrivalEstimator {
     /// A fixed estimate, independent of the actual arrivals. As the constant
     /// grows, SCD approaches weighted-random (Section 5.2).
     Constant(f64),
-}
-
-impl Default for ArrivalEstimator {
-    fn default() -> Self {
-        ArrivalEstimator::ScaledByDispatchers
-    }
 }
 
 impl ArrivalEstimator {
@@ -102,7 +97,10 @@ mod tests {
 
     #[test]
     fn default_is_the_paper_rule() {
-        assert_eq!(ArrivalEstimator::default(), ArrivalEstimator::ScaledByDispatchers);
+        assert_eq!(
+            ArrivalEstimator::default(),
+            ArrivalEstimator::ScaledByDispatchers
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub fn compute_iwl(queues: &[u64], rates: &[f64], arrivals: f64) -> f64 {
 /// Returns the server indices sorted in non-decreasing order of load
 /// `q_s / µ_s` — the order required by [`compute_iwl_with_order`].
 pub fn sorted_by_load(queues: &[u64], rates: &[f64]) -> Vec<usize> {
-    assert_eq!(queues.len(), rates.len(), "queues and rates must have equal length");
+    assert_eq!(
+        queues.len(),
+        rates.len(),
+        "queues and rates must have equal length"
+    );
     let mut order: Vec<usize> = (0..queues.len()).collect();
     order.sort_by(|&a, &b| {
         let la = queues[a] as f64 / rates[a];
@@ -137,7 +141,11 @@ pub fn compute_iwl_with_order(
 /// assert!((assignment[2] - 0.0).abs() < 1e-9);
 /// ```
 pub fn ideal_assignment(queues: &[u64], rates: &[f64], iwl: f64) -> Vec<f64> {
-    assert_eq!(queues.len(), rates.len(), "queues and rates must have equal length");
+    assert_eq!(
+        queues.len(),
+        rates.len(),
+        "queues and rates must have equal length"
+    );
     queues
         .iter()
         .zip(rates)
@@ -151,7 +159,11 @@ pub fn ideal_assignment(queues: &[u64], rates: &[f64], iwl: f64) -> Vec<f64> {
 /// The post-assignment workload of every server under the ideally balanced
 /// assignment: `max(q_s/µ_s, iwl)`.
 pub fn ideal_workloads(queues: &[u64], rates: &[f64], iwl: f64) -> Vec<f64> {
-    assert_eq!(queues.len(), rates.len(), "queues and rates must have equal length");
+    assert_eq!(
+        queues.len(),
+        rates.len(),
+        "queues and rates must have equal length"
+    );
     queues
         .iter()
         .zip(rates)
@@ -182,7 +194,10 @@ mod tests {
 
         let workloads = ideal_workloads(&queues, &rates, iwl);
         assert!((workloads[0] - 1.375).abs() < EPS);
-        assert!((workloads[2] - 3.0).abs() < EPS, "overloaded server keeps its load");
+        assert!(
+            (workloads[2] - 3.0).abs() < EPS,
+            "overloaded server keeps its load"
+        );
     }
 
     #[test]
@@ -190,9 +205,9 @@ mod tests {
         // One fast server (µ=10) with 9 queued jobs, eight idle slow servers
         // (µ=1), 7 incoming jobs → IWL = 0.875.
         let mut queues = vec![9u64];
-        queues.extend(std::iter::repeat(0).take(8));
+        queues.extend(std::iter::repeat_n(0, 8));
         let mut rates = vec![10.0];
-        rates.extend(std::iter::repeat(1.0).take(8));
+        rates.extend(std::iter::repeat_n(1.0, 8));
         let iwl = compute_iwl(&queues, &rates, 7.0);
         assert!((iwl - 0.875).abs() < EPS);
     }
@@ -297,7 +312,10 @@ mod tests {
         let mut last = 0.0;
         for a in 0..60 {
             let iwl = compute_iwl(&queues, &rates, a as f64);
-            assert!(iwl + 1e-12 >= last, "IWL must not decrease as arrivals grow");
+            assert!(
+                iwl + 1e-12 >= last,
+                "IWL must not decrease as arrivals grow"
+            );
             last = iwl;
         }
     }

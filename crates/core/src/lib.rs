@@ -53,4 +53,4 @@ pub mod stability;
 pub use estimator::ArrivalEstimator;
 pub use iwl::{compute_iwl, ideal_assignment};
 pub use policy::{ScdFactory, ScdPolicy};
-pub use solver::{compute_probabilities, ScdSolution, SolverKind};
+pub use solver::{compute_probabilities, solve_round_into, ScdScratch, ScdSolution, SolverKind};

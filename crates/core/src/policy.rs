@@ -9,14 +9,15 @@
 //! 4. computes the optimal dispatching probabilities (Algorithm 1 or 4);
 //! 5. draws an i.i.d. destination from `P` for every job in its batch.
 //!
-//! The struct is deliberately allocation-light: the probability vector and
-//! the alias table are rebuilt each round (they depend on the fresh queue
-//! state), but no state is carried across rounds — SCD is memoryless, which
-//! is what makes it robust to dispatcher churn.
+//! The struct is allocation-free in steady state: the probability vector and
+//! the alias table are recomputed each round (they depend on the fresh queue
+//! state) but into buffers that persist across rounds, and the solver runs
+//! sort-free trimming passes over cached load/key vectors. No *decision*
+//! state is carried across rounds — SCD stays memoryless, which is what
+//! makes it robust to dispatcher churn.
 
 use crate::estimator::ArrivalEstimator;
-use crate::iwl::compute_iwl;
-use crate::solver::{solve_with_iwl, SolverKind};
+use crate::solver::{solve_round_into, ScdScratch, SolverKind};
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
@@ -44,6 +45,12 @@ pub struct ScdPolicy {
     estimator: ArrivalEstimator,
     solver: SolverKind,
     name: String,
+    /// Reusable sort/key buffers for the per-round solve.
+    scratch: ScdScratch,
+    /// Reusable probability vector.
+    probabilities: Vec<f64>,
+    /// Reusable alias table for destination sampling.
+    sampler: AliasSampler,
 }
 
 impl ScdPolicy {
@@ -63,6 +70,9 @@ impl ScdPolicy {
             estimator,
             solver,
             name,
+            scratch: ScdScratch::default(),
+            probabilities: Vec::new(),
+            sampler: AliasSampler::default(),
         }
     }
 
@@ -85,14 +95,26 @@ impl ScdPolicy {
 
     /// Computes this round's dispatching distribution without sampling —
     /// exposed for tests, examples and the decision-time benchmarks.
+    ///
+    /// Runs the *same* solver pipeline as
+    /// [`dispatch_into`](DispatchPolicy::dispatch_into) (into a temporary
+    /// scratch), so the returned vector is exactly the distribution a
+    /// dispatch would sample from — including any last-ulp clipping at the
+    /// probable-set boundary.
     pub fn distribution(&self, ctx: &DispatchContext<'_>, batch: usize) -> Vec<f64> {
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
-        let queues = ctx.queue_lengths();
-        let rates = ctx.rates();
-        let iwl = compute_iwl(queues, rates, a_est);
-        solve_with_iwl(queues, rates, a_est, iwl, self.solver)
-            .expect("cluster state from the engine is always valid")
-            .probabilities
+        let mut scratch = ScdScratch::default();
+        let mut probabilities = Vec::new();
+        solve_round_into(
+            ctx.queue_lengths(),
+            ctx.rates(),
+            a_est,
+            self.solver,
+            &mut scratch,
+            &mut probabilities,
+        )
+        .expect("cluster state from the engine is always valid");
+        probabilities
     }
 }
 
@@ -113,15 +135,35 @@ impl DispatchPolicy for ScdPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         if batch == 0 {
-            return Vec::new();
+            return;
         }
-        let probabilities = self.distribution(ctx, batch);
-        let sampler = AliasSampler::new(&probabilities)
+        let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
+        solve_round_into(
+            ctx.queue_lengths(),
+            ctx.rates(),
+            a_est,
+            self.solver,
+            &mut self.scratch,
+            &mut self.probabilities,
+        )
+        .expect("cluster state from the engine is always valid");
+        self.sampler
+            .rebuild(&self.probabilities)
             .expect("solver output is a valid probability vector");
-        (0..batch)
-            .map(|_| ServerId::new(sampler.sample(rng)))
-            .collect()
+        out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng))));
     }
 }
 
@@ -171,9 +213,7 @@ impl PolicyFactory for ScdFactory {
     }
 
     fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
-        Box::new(
-            ScdPolicy::with_options(self.estimator, self.solver).with_name(self.name.clone()),
-        )
+        Box::new(ScdPolicy::with_options(self.estimator, self.solver).with_name(self.name.clone()))
     }
 }
 
@@ -185,9 +225,9 @@ mod tests {
 
     fn figure2_cluster() -> (Vec<u64>, Vec<f64>) {
         let mut queues = vec![9u64];
-        queues.extend(std::iter::repeat(0).take(8));
+        queues.extend(std::iter::repeat_n(0, 8));
         let mut rates = vec![10.0];
-        rates.extend(std::iter::repeat(1.0).take(8));
+        rates.extend(std::iter::repeat_n(1.0, 8));
         (queues, rates)
     }
 
@@ -250,8 +290,10 @@ mod tests {
         // With a larger estimated total, mass spreads onto more servers
         // (including the fast one that is above the IWL).
         assert!(p_scaled[0] > 0.0);
-        assert!(p_own.iter().filter(|&&p| p > 0.0).count()
-            <= p_scaled.iter().filter(|&&p| p > 0.0).count());
+        assert!(
+            p_own.iter().filter(|&&p| p > 0.0).count()
+                <= p_scaled.iter().filter(|&&p| p > 0.0).count()
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ pub struct KktViolation {
 
 impl fmt::Display for KktViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "KKT violation ({}): magnitude {}", self.condition, self.magnitude)
+        write!(
+            f,
+            "KKT violation ({}): magnitude {}",
+            self.condition, self.magnitude
+        )
     }
 }
 
@@ -158,8 +162,8 @@ pub fn check_kkt(
     }
 
     // Dual feasibility: off-support gradients must not be smaller.
-    for s in 0..probs.len() {
-        if probs[s] <= tolerance {
+    for (s, &p_s) in probs.iter().enumerate() {
+        if p_s <= tolerance {
             let g = gradient(s);
             if g < reference - tolerance * scale {
                 return Err(KktViolation {
@@ -185,7 +189,10 @@ pub fn exhaustive_solution(queues: &[u64], rates: &[f64], arrivals: f64, iwl: f6
     assert_eq!(queues.len(), rates.len());
     let n = queues.len();
     assert!(n <= 20, "exhaustive search is limited to n <= 20 (got {n})");
-    assert!(arrivals > 1.0, "exhaustive search applies to the a > 1 case");
+    assert!(
+        arrivals > 1.0,
+        "exhaustive search applies to the a > 1 case"
+    );
     let a = arrivals;
 
     let mut best_val = f64::INFINITY;
@@ -246,9 +253,7 @@ mod tests {
         let queues = [1u64, 0];
         let rates = [2.0, 1.0];
         let val = objective(&probs, &queues, &rates, 3.0, 1.0);
-        let expected = 2.0 * (0.25f64.powi(2) / 2.0 + 0.75f64.powi(2))
-            + (-0.5) * 0.25
-            + (-1.0) * 0.75;
+        let expected = 2.0 * (0.25f64.powi(2) / 2.0 + 0.75f64.powi(2)) + (-0.5) * 0.25 + -0.75;
         assert!((val - expected).abs() < 1e-12);
     }
 
@@ -267,7 +272,11 @@ mod tests {
         let f2 = objective(&p2, &queues, &rates, a, iwl);
         let e1 = expected_error(&p1, &queues, &rates, a, iwl);
         let e2 = expected_error(&p2, &queues, &rates, a, iwl);
-        assert_eq!(f1 < f2, e1 < e2, "objective and expected error must rank identically");
+        assert_eq!(
+            f1 < f2,
+            e1 < e2,
+            "objective and expected error must rank identically"
+        );
         // And the difference of expected errors equals a times the difference
         // of objectives (the dropped terms are constant in P).
         assert!(((e1 - e2) - a * (f1 - f2)).abs() < 1e-9);
@@ -281,12 +290,12 @@ mod tests {
         let iwl = compute_iwl(&queues, &rates, a);
         // Analytical optimum from Figure 2.
         let mut optimal = vec![2.0 / 9.0];
-        optimal.extend(std::iter::repeat(7.0 / 72.0).take(8));
+        optimal.extend(std::iter::repeat_n(7.0 / 72.0, 8));
         check_kkt(&optimal, &queues, &rates, a, iwl, 1e-9).unwrap();
 
         // A clearly suboptimal distribution: everything to the fast server.
         let mut bad = vec![1.0];
-        bad.extend(std::iter::repeat(0.0).take(8));
+        bad.extend(std::iter::repeat_n(0.0, 8));
         assert!(check_kkt(&bad, &queues, &rates, a, iwl, 1e-9).is_err());
 
         // A vector that does not sum to one.
@@ -305,8 +314,8 @@ mod tests {
         let iwl = compute_iwl(&queues, &rates, a);
         let sol = exhaustive_solution(&queues, &rates, a, iwl);
         assert!((sol[0] - 2.0 / 9.0).abs() < 1e-9);
-        for s in 1..9 {
-            assert!((sol[s] - 7.0 / 72.0).abs() < 1e-9);
+        for &p_slow in &sol[1..9] {
+            assert!((p_slow - 7.0 / 72.0).abs() < 1e-9);
         }
     }
 

@@ -108,14 +108,210 @@ pub struct ScdSolution {
 
 /// Returns the server indices sorted in non-decreasing order of the key
 /// `(2q_s + 1)/µ_s` — the candidate order of Corollary 1.
+///
+/// The keys are computed once and cached before sorting (the comparator
+/// previously recomputed both keys on every comparison, i.e. `O(n log n)`
+/// divisions instead of `O(n)`).
 pub fn sorted_by_key(queues: &[u64], rates: &[f64]) -> Vec<usize> {
+    let keys: Vec<f64> = queues
+        .iter()
+        .zip(rates)
+        .map(|(&q, &mu)| (2.0 * q as f64 + 1.0) / mu)
+        .collect();
     let mut order: Vec<usize> = (0..queues.len()).collect();
-    order.sort_by(|&a, &b| {
-        let ka = (2.0 * queues[a] as f64 + 1.0) / rates[a];
-        let kb = (2.0 * queues[b] as f64 + 1.0) / rates[b];
-        ka.partial_cmp(&kb).expect("keys are finite")
-    });
+    order.sort_unstable_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("keys are finite"));
     order
+}
+
+/// Reusable buffers for the per-round SCD pipeline (IWL + probabilities).
+///
+/// A dispatcher-resident policy keeps one of these across rounds so the
+/// steady-state decision path performs no heap allocations: the load/key
+/// vectors are refilled in place every round and the reciprocal rates are
+/// computed once per run. (Earlier iterations of this scratch also carried
+/// sort-order permutations across rounds; the sort-free trimming solvers
+/// below made them unnecessary.)
+#[derive(Debug, Clone, Default)]
+pub struct ScdScratch {
+    /// Cached loads `q_s/µ_s` (Algorithm 3's water-filling inputs).
+    loads: Vec<f64>,
+    /// Cached candidate keys `(2q_s + 1)/µ_s` (Corollary 1 keys).
+    keys: Vec<f64>,
+    /// The rates the reciprocals below were computed for (rates are static
+    /// per run, so this almost never changes after the first round).
+    rates_snapshot: Vec<f64>,
+    /// Cached reciprocal rates `1/µ_s`. Turning the solver's per-round
+    /// divisions (loads, keys, probability fill) into multiplications is a
+    /// large win: f64 division is several times the latency of
+    /// multiplication and the per-decision pipeline performs `O(n)` of them
+    /// per pass.
+    inv_rates: Vec<f64>,
+}
+
+impl ScdScratch {
+    /// Refreshes the cached reciprocal rates if `rates` changed (length or
+    /// contents). The comparison is a single cheap pass; rates are fixed for
+    /// the lifetime of a simulation run, so the rebuild happens once.
+    fn refresh_inv_rates(&mut self, rates: &[f64]) {
+        if self.rates_snapshot != rates {
+            self.rates_snapshot.clear();
+            self.rates_snapshot.extend_from_slice(rates);
+            self.inv_rates.clear();
+            self.inv_rates.extend(rates.iter().map(|&mu| 1.0 / mu));
+        }
+    }
+}
+
+/// Computes the ideal workload by Michelot-style iterative trimming instead
+/// of Algorithm 3's sort-and-scan: start from the water level of the full
+/// server set, drop every server whose load is already above the level,
+/// recompute, repeat.
+///
+/// Each removal can only lower the level (removing `x` with `load_x ≥ w`
+/// changes it by `µ_x·Σµ·(w − load_x) ≤ 0`), so dropped servers stay
+/// dropped, the loop terminates after at most `n` rounds — typically 2–4 —
+/// and the fixpoint satisfies exactly the water-filling conditions, i.e. it
+/// *is* the unique IWL of Algorithm 3. Unlike the sort, the passes are
+/// sequential, branch-predictable and allocation-free, which is what the
+/// engine hot path cares about.
+fn iwl_by_trimming(queues: &[u64], rates: &[f64], loads: &[f64], arrivals: f64) -> f64 {
+    debug_assert!(arrivals >= 1.0);
+    let n = loads.len();
+    // Full-set water level.
+    let sum_q: f64 = queues.iter().map(|&q| q as f64).sum();
+    let sum_mu: f64 = rates.iter().sum();
+    let mut level = (arrivals + sum_q) / sum_mu;
+    let mut active = n;
+    // In exact arithmetic the level is non-increasing and the active set
+    // shrinks every iteration, so at most `n` iterations are needed. In
+    // floating point a server sitting exactly on the water level can flip
+    // membership and bounce the level by an ulp forever; clamping the level
+    // to be non-increasing restores guaranteed termination (the membership
+    // set then shrinks monotonically), and the cap is pure defensiveness.
+    for _ in 0..=n {
+        let mut sq = 0.0;
+        let mut smu = 0.0;
+        let mut count = 0usize;
+        for s in 0..n {
+            if loads[s] < level {
+                sq += queues[s] as f64;
+                smu += rates[s];
+                count += 1;
+            }
+        }
+        if count == active || count == 0 {
+            break;
+        }
+        active = count;
+        level = level.min((arrivals + sq) / smu);
+    }
+    level
+}
+
+/// Computes the optimal Lagrange multiplier `Λ0` by the same iterative
+/// trimming, applied to the probability problem: with `t_s = 2·iwl − key_s`,
+/// the KKT solution is `p_s ∝ µ_s·(t_s − Λ0)⁺` with
+/// `Λ0 = (Σ_S µt − 2(a−1)) / Σ_S µ` over the probable set
+/// `S = {s : t_s > Λ0}`. Starting from all servers and dropping violators
+/// raises `Λ0` monotonically, so the loop terminates (at most `n` rounds,
+/// typically 2–4) at the unique KKT point — the same solution Algorithm 4
+/// finds by scanning sorted prefixes, without sorting.
+///
+/// `S` can never become empty: `Σ_S µ(t − Λ0) = 2(a−1) > 0` guarantees some
+/// member strictly exceeds `Λ0`.
+fn lambda0_by_trimming(rates: &[f64], keys: &[f64], arrivals: f64, iwl: f64) -> f64 {
+    debug_assert!(arrivals > 1.0);
+    let n = keys.len();
+    let c = 2.0 * iwl;
+    let mut num = -2.0 * (arrivals - 1.0);
+    let mut den = 0.0;
+    for s in 0..n {
+        num += rates[s] * (c - keys[s]);
+        den += rates[s];
+    }
+    let mut lambda0 = num / den;
+    let mut active = n;
+    // Mirror image of the IWL loop: `Λ0` is non-decreasing in exact
+    // arithmetic, so clamping it to be non-decreasing prevents ulp-level
+    // oscillation when a server's `t` lands exactly on `Λ0` (its probability
+    // is 0 either way); the iteration cap is pure defensiveness.
+    for _ in 0..=n {
+        let mut nm = -2.0 * (arrivals - 1.0);
+        let mut dn = 0.0;
+        let mut count = 0usize;
+        for s in 0..n {
+            let t = c - keys[s];
+            if t > lambda0 {
+                nm += rates[s] * t;
+                dn += rates[s];
+                count += 1;
+            }
+        }
+        if count == active || count == 0 {
+            break;
+        }
+        active = count;
+        lambda0 = lambda0.max(nm / dn);
+    }
+    lambda0
+}
+
+/// Solves one complete SCD round — ideal workload (Algorithm 3) plus optimal
+/// probabilities — writing the distribution into `probabilities` and reusing
+/// every intermediate buffer from `scratch`. Returns the ideal workload.
+///
+/// This is the engine-facing, allocation-free counterpart of [`solve`]; the
+/// results are identical.
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn solve_round_into(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    kind: SolverKind,
+    scratch: &mut ScdScratch,
+    probabilities: &mut Vec<f64>,
+) -> Result<f64, SolverError> {
+    validate(queues, rates, arrivals)?;
+    scratch.refresh_inv_rates(rates);
+
+    // Ideal workload by sort-free iterative trimming over cached loads.
+    scratch.loads.clear();
+    scratch.loads.extend(
+        queues
+            .iter()
+            .zip(&scratch.inv_rates)
+            .map(|(&q, &inv_mu)| q as f64 * inv_mu),
+    );
+    let iwl = iwl_by_trimming(queues, rates, &scratch.loads, arrivals);
+
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        single_job_probabilities_into(queues, rates, probabilities);
+        return Ok(iwl);
+    }
+
+    match kind {
+        SolverKind::Fast => {
+            scratch.keys.clear();
+            scratch.keys.extend(
+                queues
+                    .iter()
+                    .zip(&scratch.inv_rates)
+                    .map(|(&q, &inv_mu)| (2.0 * q as f64 + 1.0) * inv_mu),
+            );
+            let lambda0 = lambda0_by_trimming(rates, &scratch.keys, arrivals, iwl);
+            fill_probabilities_cached(rates, &scratch.keys, arrivals, iwl, lambda0, probabilities);
+        }
+        SolverKind::Quadratic => {
+            // Algorithm 1 is kept for run-time comparisons only; it allocates
+            // internally by design.
+            let solution = quadratic(queues, rates, arrivals, iwl)?;
+            probabilities.clear();
+            probabilities.extend_from_slice(&solution.probabilities);
+        }
+    }
+    Ok(iwl)
 }
 
 fn validate(queues: &[u64], rates: &[f64], arrivals: f64) -> Result<(), SolverError> {
@@ -262,18 +458,8 @@ pub fn compute_probabilities_fast_with_order(
 /// The mass may be split arbitrarily among ties; we split it uniformly, which
 /// keeps the solution deterministic.
 fn single_job_solution(queues: &[u64], rates: &[f64], iwl: f64) -> ScdSolution {
-    let n = queues.len();
-    let key = |i: usize| (2.0 * queues[i] as f64 + 1.0) / rates[i];
-    let min_key = (0..n).map(key).fold(f64::INFINITY, f64::min);
-    let winners: Vec<usize> = (0..n)
-        .filter(|&i| (key(i) - min_key).abs() <= 1e-12 * (1.0 + min_key.abs()))
-        .collect();
-    let mut probabilities = vec![0.0; n];
-    let share = 1.0 / winners.len() as f64;
-    for &w in &winners {
-        probabilities[w] = share;
-    }
-    let probable_set_size = winners.len();
+    let mut probabilities = Vec::with_capacity(queues.len());
+    let probable_set_size = single_job_probabilities_into(queues, rates, &mut probabilities);
     ScdSolution {
         probabilities,
         iwl,
@@ -281,6 +467,21 @@ fn single_job_solution(queues: &[u64], rates: &[f64], iwl: f64) -> ScdSolution {
         probable_set_size,
         objective: 0.0,
     }
+}
+
+/// Allocation-free body of the single-job closed form: two passes, one to
+/// find the minimal key and count its ties, one to spread the mass.
+/// Returns the probable-set size.
+fn single_job_probabilities_into(queues: &[u64], rates: &[f64], out: &mut Vec<f64>) -> usize {
+    let n = queues.len();
+    let key = |i: usize| (2.0 * queues[i] as f64 + 1.0) / rates[i];
+    let min_key = (0..n).map(key).fold(f64::INFINITY, f64::min);
+    let tie = |i: usize| (key(i) - min_key).abs() <= 1e-12 * (1.0 + min_key.abs());
+    let winners = (0..n).filter(|&i| tie(i)).count();
+    let share = 1.0 / winners as f64;
+    out.clear();
+    out.extend((0..n).map(|i| if tie(i) { share } else { 0.0 }));
+    winners
 }
 
 /// Shared closed-form pieces (Eq. 14 / Eq. 16).
@@ -357,13 +558,15 @@ fn quadratic(
     })
 }
 
-fn fast_with_order(
+/// The scan of Algorithm 4: returns the optimal `(Λ0, objective)` pair for a
+/// pre-sorted candidate order. Performs no heap allocations.
+fn fast_lambda0(
     queues: &[u64],
     rates: &[f64],
     arrivals: f64,
     iwl: f64,
     order: &[usize],
-) -> Result<ScdSolution, SolverError> {
+) -> Result<(f64, f64), SolverError> {
     let n = queues.len();
     if order.len() != n {
         return Err(SolverError::InvalidCluster {
@@ -417,19 +620,81 @@ fn fast_with_order(
     if !found {
         return Err(SolverError::NoFeasiblePrefix);
     }
+    Ok((best_lambda0, best_val))
+}
 
-    let mut probabilities = vec![0.0; n];
+/// Materializes the probability vector for a known `Λ0` into `out` (cleared
+/// first) and returns the probable-set size. Performs no heap allocations
+/// beyond growing `out` to the cluster size once.
+fn fill_probabilities(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    lambda0: f64,
+    out: &mut Vec<f64>,
+) -> usize {
+    let n = queues.len();
+    out.clear();
     let mut probable_set_size = 0;
     for s in 0..n {
-        let p = probability_numerator(queues[s], rates[s], iwl, best_lambda0)
-            / (2.0 * (a - 1.0));
+        let p = probability_numerator(queues[s], rates[s], iwl, lambda0) / (2.0 * (arrivals - 1.0));
         if p > 0.0 {
-            probabilities[s] = p;
             probable_set_size += 1;
+            out.push(p);
+        } else {
+            out.push(0.0);
         }
     }
-    normalize(&mut probabilities);
+    normalize(out);
+    probable_set_size
+}
 
+/// Division-light variant of [`fill_probabilities`] from cached keys:
+/// `p_s = µ_s·(2·iwl − λ0 − key_s) / (2(a−1))`, clipped at zero. Returns the
+/// probable-set size.
+fn fill_probabilities_cached(
+    rates: &[f64],
+    keys: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    lambda0: f64,
+    out: &mut Vec<f64>,
+) -> usize {
+    let inv_2a1 = 1.0 / (2.0 * (arrivals - 1.0));
+    let c = 2.0 * iwl - lambda0;
+    out.clear();
+    let mut probable_set_size = 0;
+    for (&mu, &key) in rates.iter().zip(keys) {
+        let p = mu * (c - key) * inv_2a1;
+        if p > 0.0 {
+            probable_set_size += 1;
+            out.push(p);
+        } else {
+            out.push(0.0);
+        }
+    }
+    normalize(out);
+    probable_set_size
+}
+
+fn fast_with_order(
+    queues: &[u64],
+    rates: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    order: &[usize],
+) -> Result<ScdSolution, SolverError> {
+    let (best_lambda0, best_val) = fast_lambda0(queues, rates, arrivals, iwl, order)?;
+    let mut probabilities = Vec::with_capacity(queues.len());
+    let probable_set_size = fill_probabilities(
+        queues,
+        rates,
+        arrivals,
+        iwl,
+        best_lambda0,
+        &mut probabilities,
+    );
     Ok(ScdSolution {
         probabilities,
         iwl,
@@ -449,8 +714,9 @@ fn normalize(probabilities: &mut [f64]) {
         "solver produced probabilities summing to {total}"
     );
     if total > 0.0 {
+        let inv_total = 1.0 / total;
         for p in probabilities.iter_mut() {
-            *p /= total;
+            *p *= inv_total;
         }
     }
 }
@@ -474,9 +740,9 @@ mod tests {
     fn figure2_fast_server_keeps_positive_probability() {
         // One fast (µ=10, q=9) + eight slow (µ=1, q=0) servers, a = 7.
         let mut queues = vec![9u64];
-        queues.extend(std::iter::repeat(0).take(8));
+        queues.extend(std::iter::repeat_n(0, 8));
         let mut rates = vec![10.0];
-        rates.extend(std::iter::repeat(1.0).take(8));
+        rates.extend(std::iter::repeat_n(1.0, 8));
 
         let (fast, quad) = both_solvers(&queues, &rates, 7.0);
         for sol in [&fast, &quad] {
@@ -678,6 +944,92 @@ mod tests {
         let err = compute_probabilities_fast_with_order(&[1, 2], &[1.0, 1.0], 3.0, 1.0, &[0])
             .unwrap_err();
         assert!(matches!(err, SolverError::InvalidCluster { .. }));
+    }
+
+    #[test]
+    fn solve_round_into_matches_allocating_path() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+        let mut scratch = ScdScratch::default();
+        let mut probs = Vec::new();
+        for case in 0..200 {
+            let n = rng.gen_range(1..50);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..20.0)).collect();
+            // Include the single-job closed form every few cases.
+            let a = if case % 5 == 0 {
+                1.0
+            } else {
+                rng.gen_range(2..150) as f64
+            };
+            for kind in [SolverKind::Fast, SolverKind::Quadratic] {
+                let reference = solve(&queues, &rates, a, kind).unwrap();
+                let iwl =
+                    solve_round_into(&queues, &rates, a, kind, &mut scratch, &mut probs).unwrap();
+                assert!(
+                    (iwl - reference.iwl).abs() < 1e-12,
+                    "case {case} ({kind}): iwl {iwl} vs {}",
+                    reference.iwl
+                );
+                assert_eq!(probs.len(), reference.probabilities.len());
+                for (got, want) in probs.iter().zip(&reference.probabilities) {
+                    assert!(
+                        (got - want).abs() < 1e-12,
+                        "case {case} ({kind}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trimming_terminates_on_boundary_oscillation_instance() {
+        // Regression: on this homogeneous-cluster state the Λ0 trimming
+        // fixpoint used to bounce between two adjacent representable values
+        // forever (servers with q = 5 sit exactly on the probable-set
+        // boundary). The monotonicity clamp must terminate and still match
+        // the sorted Algorithm 4 solution.
+        let queues: Vec<u64> = vec![10, 8, 7, 0, 8, 0, 9, 2, 0, 5, 11, 5, 5, 7, 7, 5, 9, 4, 9, 1];
+        let rates = vec![3.0f64; 20];
+        let a = 44.0;
+        let reference = solve(&queues, &rates, a, SolverKind::Fast).unwrap();
+        let mut scratch = ScdScratch::default();
+        let mut probs = Vec::new();
+        let iwl = solve_round_into(
+            &queues,
+            &rates,
+            a,
+            SolverKind::Fast,
+            &mut scratch,
+            &mut probs,
+        )
+        .unwrap();
+        assert!((iwl - reference.iwl).abs() < 1e-9);
+        for (got, want) in probs.iter().zip(&reference.probabilities) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_cluster_size_changes() {
+        let mut scratch = ScdScratch::default();
+        let mut probs = Vec::new();
+        for n in [5usize, 12, 3, 12, 40, 1] {
+            let queues: Vec<u64> = (0..n as u64).collect();
+            let rates: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let reference = solve(&queues, &rates, 9.0, SolverKind::Fast).unwrap();
+            solve_round_into(
+                &queues,
+                &rates,
+                9.0,
+                SolverKind::Fast,
+                &mut scratch,
+                &mut probs,
+            )
+            .unwrap();
+            for (got, want) in probs.iter().zip(&reference.probabilities) {
+                assert!((got - want).abs() < 1e-12, "n={n}: {got} vs {want}");
+            }
+        }
     }
 
     #[test]

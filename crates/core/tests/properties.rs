@@ -1,4 +1,4 @@
-//! Property-based tests for the SCD core algorithms.
+//! Randomized property tests for the SCD core algorithms.
 //!
 //! These encode the paper's mathematical claims as machine-checked
 //! properties over randomly generated instances:
@@ -8,14 +8,20 @@
 //!   optimality, the prefix structure of the probable set (Lemma 1), and the
 //!   Lemma 3 invariant used by the stability proof.
 //! * The solution is never worse than natural heuristic distributions.
+//!
+//! Cases are generated from a seeded [`StdRng`] (the build environment is
+//! offline, so no proptest); failure messages carry the case index.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use scd_core::iwl::{compute_iwl, ideal_assignment, sorted_by_load};
 use scd_core::qp::{check_kkt, exhaustive_solution, objective};
 use scd_core::solver::{
     compute_probabilities_fast, compute_probabilities_quadratic, sorted_by_key,
 };
 use scd_core::stability::check_lemma3;
+
+const CASES: usize = 128;
 
 /// A random heterogeneous instance: queue lengths, rates and total arrivals.
 #[derive(Debug, Clone)]
@@ -25,48 +31,38 @@ struct Instance {
     arrivals: f64,
 }
 
-fn instance(max_servers: usize) -> impl Strategy<Value = Instance> {
-    (2usize..=max_servers)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(0u64..60, n),
-                prop::collection::vec(0.5f64..50.0, n),
-                2u64..300,
-            )
-        })
-        .prop_map(|(queues, rates, arrivals)| Instance {
-            queues,
-            rates,
-            arrivals: arrivals as f64,
-        })
+fn instance(rng: &mut StdRng, max_servers: usize) -> Instance {
+    let n = rng.gen_range(2..=max_servers);
+    Instance {
+        queues: (0..n).map(|_| rng.gen_range(0..60u64)).collect(),
+        rates: (0..n).map(|_| rng.gen_range(0.5..50.0)).collect(),
+        arrivals: rng.gen_range(2..300u64) as f64,
+    }
 }
 
-fn small_instance() -> impl Strategy<Value = Instance> {
-    (2usize..=9)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(0u64..15, n),
-                prop::collection::vec(0.5f64..12.0, n),
-                2u64..40,
-            )
-        })
-        .prop_map(|(queues, rates, arrivals)| Instance {
-            queues,
-            rates,
-            arrivals: arrivals as f64,
-        })
+fn small_instance(rng: &mut StdRng) -> Instance {
+    let n = rng.gen_range(2..=9usize);
+    Instance {
+        queues: (0..n).map(|_| rng.gen_range(0..15u64)).collect(),
+        rates: (0..n).map(|_| rng.gen_range(0.5..12.0)).collect(),
+        arrivals: rng.gen_range(2..40u64) as f64,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn iwl_conserves_work_and_respects_bounds(inst in instance(64)) {
+#[test]
+fn iwl_conserves_work_and_respects_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x111);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 64);
         let iwl = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
         let assignment = ideal_assignment(&inst.queues, &inst.rates, iwl);
         let total: f64 = assignment.iter().sum();
-        prop_assert!((total - inst.arrivals).abs() < 1e-6 * (1.0 + inst.arrivals));
-        prop_assert!(assignment.iter().all(|&x| x >= -1e-9));
+        assert!(
+            (total - inst.arrivals).abs() < 1e-6 * (1.0 + inst.arrivals),
+            "case {case}: assigned {total}, arrived {}",
+            inst.arrivals
+        );
+        assert!(assignment.iter().all(|&x| x >= -1e-9), "case {case}");
 
         let loads: Vec<f64> = inst
             .queues
@@ -75,92 +71,185 @@ proptest! {
             .map(|(&q, &mu)| q as f64 / mu)
             .collect();
         let min_load = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_load = loads.iter().cloned().fold(0.0, f64::max);
         let capacity: f64 = inst.rates.iter().sum();
         // Lower bound: water level cannot be below the least-loaded server.
-        prop_assert!(iwl >= min_load - 1e-9);
+        assert!(iwl >= min_load - 1e-9, "case {case}");
         // Upper bound: spreading all work over all servers from the minimum.
-        prop_assert!(iwl <= min_load + inst.arrivals / capacity + loads.iter().cloned().fold(0.0, f64::max) + 1e-9);
+        assert!(
+            iwl <= min_load + inst.arrivals / capacity + max_load + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn iwl_is_monotone_in_arrivals(inst in instance(32), extra in 1u64..50) {
+#[test]
+fn iwl_is_monotone_in_arrivals() {
+    let mut rng = StdRng::seed_from_u64(0x222);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 32);
+        let extra = rng.gen_range(1..50u64);
         let base = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
         let more = compute_iwl(&inst.queues, &inst.rates, inst.arrivals + extra as f64);
-        prop_assert!(more + 1e-12 >= base);
+        assert!(more + 1e-12 >= base, "case {case}: {more} < {base}");
     }
+}
 
-    #[test]
-    fn iwl_presorted_matches_unsorted(inst in instance(48)) {
+#[test]
+fn iwl_presorted_matches_unsorted() {
+    let mut rng = StdRng::seed_from_u64(0x333);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 48);
         let order = sorted_by_load(&inst.queues, &inst.rates);
         let a = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
-        let b = scd_core::iwl::compute_iwl_with_order(&inst.queues, &inst.rates, inst.arrivals, &order);
-        prop_assert!((a - b).abs() < 1e-12);
+        let b =
+            scd_core::iwl::compute_iwl_with_order(&inst.queues, &inst.rates, inst.arrivals, &order);
+        assert!((a - b).abs() < 1e-12, "case {case}: {a} vs {b}");
     }
+}
 
-    #[test]
-    fn solvers_agree_and_are_feasible(inst in instance(64)) {
+#[test]
+fn solvers_agree_and_are_feasible() {
+    let mut rng = StdRng::seed_from_u64(0x444);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 64);
         let iwl = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
-        let fast = compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
-        let quad = compute_probabilities_quadratic(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
+        let fast =
+            compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
+        let quad =
+            compute_probabilities_quadratic(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
 
         let total: f64 = fast.probabilities.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(fast.probabilities.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: total {total}");
+        assert!(
+            fast.probabilities
+                .iter()
+                .all(|&p| (0.0..=1.0 + 1e-12).contains(&p)),
+            "case {case}"
+        );
 
         for (a, b) in fast.probabilities.iter().zip(&quad.probabilities) {
-            prop_assert!((a - b).abs() < 1e-6, "fast {a} vs quadratic {b}");
+            assert!(
+                (a - b).abs() < 1e-6,
+                "case {case}: fast {a} vs quadratic {b}"
+            );
         }
 
-        let of = objective(&fast.probabilities, &inst.queues, &inst.rates, inst.arrivals, iwl);
-        let oq = objective(&quad.probabilities, &inst.queues, &inst.rates, inst.arrivals, iwl);
-        prop_assert!((of - oq).abs() < 1e-6);
+        let of = objective(
+            &fast.probabilities,
+            &inst.queues,
+            &inst.rates,
+            inst.arrivals,
+            iwl,
+        );
+        let oq = objective(
+            &quad.probabilities,
+            &inst.queues,
+            &inst.rates,
+            inst.arrivals,
+            iwl,
+        );
+        assert!((of - oq).abs() < 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn solutions_satisfy_kkt_and_lemma3(inst in instance(48)) {
+#[test]
+fn solutions_satisfy_kkt_and_lemma3() {
+    let mut rng = StdRng::seed_from_u64(0x555);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 48);
         let iwl = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
-        let sol = compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
-        prop_assert!(check_kkt(&sol.probabilities, &inst.queues, &inst.rates, inst.arrivals, iwl, 1e-6).is_ok());
-        prop_assert!(check_lemma3(&sol.probabilities, &inst.queues, &inst.rates, inst.arrivals).is_ok());
+        let sol =
+            compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
+        assert!(
+            check_kkt(
+                &sol.probabilities,
+                &inst.queues,
+                &inst.rates,
+                inst.arrivals,
+                iwl,
+                1e-6
+            )
+            .is_ok(),
+            "case {case}: KKT violated"
+        );
+        assert!(
+            check_lemma3(&sol.probabilities, &inst.queues, &inst.rates, inst.arrivals).is_ok(),
+            "case {case}: Lemma 3 violated"
+        );
     }
+}
 
-    #[test]
-    fn probable_set_is_a_prefix_of_the_key_order(inst in instance(48)) {
+#[test]
+fn probable_set_is_a_prefix_of_the_key_order() {
+    let mut rng = StdRng::seed_from_u64(0x666);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 48);
         let iwl = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
-        let sol = compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
+        let sol =
+            compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
         let order = sorted_by_key(&inst.queues, &inst.rates);
         let mut seen_zero = false;
         for &s in &order {
             if sol.probabilities[s] <= 0.0 {
                 seen_zero = true;
             } else {
-                prop_assert!(!seen_zero, "Lemma 1 violated: S+ is not a prefix");
+                assert!(
+                    !seen_zero,
+                    "case {case}: Lemma 1 violated, S+ is not a prefix"
+                );
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             sol.probable_set_size,
-            sol.probabilities.iter().filter(|&&p| p > 0.0).count()
+            sol.probabilities.iter().filter(|&&p| p > 0.0).count(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn fast_solver_matches_exhaustive_on_small_instances(inst in small_instance()) {
+#[test]
+fn fast_solver_matches_exhaustive_on_small_instances() {
+    let mut rng = StdRng::seed_from_u64(0x777);
+    for case in 0..CASES {
+        let inst = small_instance(&mut rng);
         let iwl = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
-        let sol = compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
+        let sol =
+            compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
         let reference = exhaustive_solution(&inst.queues, &inst.rates, inst.arrivals, iwl);
-        let fast_obj = objective(&sol.probabilities, &inst.queues, &inst.rates, inst.arrivals, iwl);
+        let fast_obj = objective(
+            &sol.probabilities,
+            &inst.queues,
+            &inst.rates,
+            inst.arrivals,
+            iwl,
+        );
         let ref_obj = objective(&reference, &inst.queues, &inst.rates, inst.arrivals, iwl);
-        prop_assert!(fast_obj <= ref_obj + 1e-7);
+        assert!(
+            fast_obj <= ref_obj + 1e-7,
+            "case {case}: fast {fast_obj} vs exhaustive {ref_obj}"
+        );
         for (a, b) in sol.probabilities.iter().zip(&reference) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn optimal_solution_beats_natural_heuristics(inst in instance(48)) {
+#[test]
+fn optimal_solution_beats_natural_heuristics() {
+    let mut rng = StdRng::seed_from_u64(0x888);
+    for case in 0..CASES {
+        let inst = instance(&mut rng, 48);
         let iwl = compute_iwl(&inst.queues, &inst.rates, inst.arrivals);
-        let sol = compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
-        let optimal = objective(&sol.probabilities, &inst.queues, &inst.rates, inst.arrivals, iwl);
+        let sol =
+            compute_probabilities_fast(&inst.queues, &inst.rates, inst.arrivals, iwl).unwrap();
+        let optimal = objective(
+            &sol.probabilities,
+            &inst.queues,
+            &inst.rates,
+            inst.arrivals,
+            iwl,
+        );
 
         let n = inst.queues.len();
         // Heuristic 1: uniform.
@@ -179,9 +268,9 @@ proptest! {
 
         for heuristic in [uniform, wr, iba_probs] {
             let value = objective(&heuristic, &inst.queues, &inst.rates, inst.arrivals, iwl);
-            prop_assert!(
+            assert!(
                 optimal <= value + 1e-7,
-                "optimal {optimal} exceeds heuristic {value}"
+                "case {case}: optimal {optimal} exceeds heuristic {value}"
             );
         }
     }

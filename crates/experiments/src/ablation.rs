@@ -119,9 +119,7 @@ impl EstimatorAblation {
             })
             .collect();
         for (&(li, vi), (mean, p99)) in jobs.iter().zip(outcomes) {
-            rows[li]
-                .outcomes
-                .push((variants[vi].0.clone(), mean, p99));
+            rows[li].outcomes.push((variants[vi].0.clone(), mean, p99));
         }
         rows
     }
@@ -218,14 +216,8 @@ mod tests {
 
     #[test]
     fn solver_equivalence_holds_in_simulation() {
-        let (fast, quad) = solver_equivalence_check(
-            &RateProfile::paper_moderate(),
-            10,
-            3,
-            0.9,
-            500,
-            77,
-        );
+        let (fast, quad) =
+            solver_equivalence_check(&RateProfile::paper_moderate(), 10, 3, 0.9, 500, 77);
         // Identical probabilities + identical random streams → identical runs.
         assert!(
             (fast - quad).abs() < 1e-9,

@@ -175,8 +175,20 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let options = parse(&[
-            "--rounds", "5000", "--seed", "7", "--loads", "0.7,0.9", "--systems", "100x10,200x20",
-            "--threads", "4", "--csv", "/tmp/out", "--paper", "--tail",
+            "--rounds",
+            "5000",
+            "--seed",
+            "7",
+            "--loads",
+            "0.7,0.9",
+            "--systems",
+            "100x10,200x20",
+            "--threads",
+            "4",
+            "--csv",
+            "/tmp/out",
+            "--paper",
+            "--tail",
         ])
         .unwrap();
         assert_eq!(options.rounds, Some(5000));

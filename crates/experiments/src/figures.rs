@@ -254,7 +254,9 @@ mod tests {
         assert_eq!(FigureKind::Fig8.profile(), RateProfile::paper_high());
         assert!(FigureKind::Fig3.policies().contains(&"hLSQ".to_string()));
         assert!(FigureKind::Fig6.policies().contains(&"WR".to_string()));
-        assert!(FigureKind::Fig5.policies().contains(&"SCD(alg1)".to_string()));
+        assert!(FigureKind::Fig5
+            .policies()
+            .contains(&"SCD(alg1)".to_string()));
         assert_eq!(FigureKind::Fig7.label(), "fig7");
     }
 

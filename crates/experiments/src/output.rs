@@ -97,7 +97,9 @@ mod tests {
     fn from_option_dispatches() {
         assert!(!OutputSink::from_option(None).unwrap().writes_csv());
         let dir = std::env::temp_dir().join(format!("scd-output-opt-{}", std::process::id()));
-        assert!(OutputSink::from_option(Some(dir.as_path())).unwrap().writes_csv());
+        assert!(OutputSink::from_option(Some(dir.as_path()))
+            .unwrap()
+            .writes_csv());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

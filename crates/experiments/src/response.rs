@@ -221,7 +221,10 @@ mod tests {
         assert_eq!(series.mean[0].len(), 3);
         for row in &series.mean {
             for &value in row {
-                assert!(value > 0.0, "every cell must hold a positive mean, got {value}");
+                assert!(
+                    value > 0.0,
+                    "every cell must hold a positive mean, got {value}"
+                );
             }
         }
         assert!(series.mean_at(0, "SCD").unwrap() > 0.0);

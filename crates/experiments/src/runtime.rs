@@ -118,7 +118,12 @@ impl RuntimeExperiment {
     ///
     /// # Errors
     /// Propagates output I/O failures.
-    pub fn emit(&self, results: &mut [RuntimeResult], label: &str, sink: &OutputSink) -> io::Result<()> {
+    pub fn emit(
+        &self,
+        results: &mut [RuntimeResult],
+        label: &str,
+        sink: &OutputSink,
+    ) -> io::Result<()> {
         for result in results.iter_mut() {
             let mut table = Table::with_headers(&[
                 "policy", "samples", "mean us", "p50 us", "p90 us", "p99 us", "max us",

@@ -1,12 +1,11 @@
-//! A small parallel sweep executor built on crossbeam's scoped threads.
+//! A small parallel sweep executor over the simulator's thread fan-out.
 //!
 //! Figure reproductions are embarrassingly parallel over
 //! `(system, offered load, policy)` tuples; this module distributes those
 //! runs over a fixed number of worker threads while preserving the input
-//! order of the results.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! order of the results. The actual work-stealing pool is
+//! [`scd_sim::fan_out`] — the same primitive the parallel comparison and
+//! replication runners use.
 
 /// Runs `worker` on every item of `inputs`, using up to `threads` OS threads,
 /// and returns the outputs in input order.
@@ -19,44 +18,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Send + Sync,
 {
-    let count = inputs.len();
-    if count == 0 {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(count);
-    if threads == 1 {
-        return inputs.iter().map(|item| worker(item)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let inputs_ref = &inputs;
-    let worker_ref = &worker;
-    let next_ref = &next;
-    let results_ref = &results;
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move |_| loop {
-                let index = next_ref.fetch_add(1, Ordering::Relaxed);
-                if index >= count {
-                    break;
-                }
-                let output = worker_ref(&inputs_ref[index]);
-                *results_ref[index].lock().expect("no poisoned locks") = Some(output);
-            });
-        }
-    })
-    .expect("sweep workers do not panic");
-
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no poisoned locks")
-                .expect("every slot was filled")
-        })
-        .collect()
+    scd_sim::fan_out(inputs.len(), threads, |index| worker(&inputs[index]))
 }
 
 /// The number of worker threads to use given an optional user override.

@@ -135,7 +135,10 @@ impl TailExperiment {
                     "{label}: response-time tail [n={n}, m={m}, rho={:.2}]",
                     result.load
                 ),
-                &format!("{label}_tail_rho{:03}", (result.load * 100.0).round() as u32),
+                &format!(
+                    "{label}_tail_rho{:03}",
+                    (result.load * 100.0).round() as u32
+                ),
                 &table,
             )?;
 
@@ -153,7 +156,10 @@ impl TailExperiment {
                 }
                 sink.emit_table(
                     &format!("{label}: CCDF series [rho={:.2}]", result.load),
-                    &format!("{label}_ccdf_rho{:03}", (result.load * 100.0).round() as u32),
+                    &format!(
+                        "{label}_ccdf_rho{:03}",
+                        (result.load * 100.0).round() as u32
+                    ),
                     &ccdf_table,
                 )?;
             }

@@ -7,18 +7,28 @@
 //! integration tests and the herding demonstrations can make quantitative
 //! assertions.
 
-use crate::streaming::StreamingStats;
 use serde::{Deserialize, Serialize};
 
 /// Tracks queue-length statistics over the course of a simulation.
+///
+/// Queue lengths are integers, so the tracker accumulates exact integer sums
+/// and maxima instead of running floating-point statistics: `observe` is on
+/// the simulation engine's per-round hot path (one update per server per
+/// round) and integer adds are both faster and exact. Means are derived on
+/// demand.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueueLengthTracker {
-    /// Per-server streaming statistics of the queue length at round starts.
-    per_server: Vec<StreamingStats>,
-    /// Streaming statistics of the *total* backlog (summed over servers).
-    total: StreamingStats,
+    /// Per-server sum of observed queue lengths (`u128`: a u64 queue length
+    /// summed over arbitrarily many rounds cannot overflow).
+    per_server_sum: Vec<u128>,
+    /// Per-server maximum observed queue length.
+    per_server_max: Vec<u64>,
     /// Per-server count of rounds in which the server was idle (empty queue).
     idle_rounds: Vec<u64>,
+    /// Sum over rounds of the total backlog.
+    total_sum: u128,
+    /// Largest observed total backlog.
+    total_max: u64,
     /// Number of observed rounds.
     rounds: u64,
 }
@@ -27,9 +37,11 @@ impl QueueLengthTracker {
     /// Creates a tracker for `num_servers` servers.
     pub fn new(num_servers: usize) -> Self {
         QueueLengthTracker {
-            per_server: vec![StreamingStats::new(); num_servers],
-            total: StreamingStats::new(),
+            per_server_sum: vec![0; num_servers],
+            per_server_max: vec![0; num_servers],
             idle_rounds: vec![0; num_servers],
+            total_sum: 0,
+            total_max: 0,
             rounds: 0,
         }
     }
@@ -42,24 +54,30 @@ impl QueueLengthTracker {
     pub fn observe(&mut self, queue_lengths: &[u64]) {
         assert_eq!(
             queue_lengths.len(),
-            self.per_server.len(),
+            self.per_server_sum.len(),
             "tracker was created for a different cluster size"
         );
         let mut sum = 0u64;
         for (s, &q) in queue_lengths.iter().enumerate() {
-            self.per_server[s].push(q as f64);
+            self.per_server_sum[s] += u128::from(q);
+            if q > self.per_server_max[s] {
+                self.per_server_max[s] = q;
+            }
             if q == 0 {
                 self.idle_rounds[s] += 1;
             }
             sum += q;
         }
-        self.total.push(sum as f64);
+        self.total_sum += u128::from(sum);
+        if sum > self.total_max {
+            self.total_max = sum;
+        }
         self.rounds += 1;
     }
 
     /// Number of servers being tracked.
     pub fn num_servers(&self) -> usize {
-        self.per_server.len()
+        self.per_server_sum.len()
     }
 
     /// Number of observed rounds.
@@ -70,16 +88,16 @@ impl QueueLengthTracker {
     /// Time-average of the total backlog `Σ_s q_s(t)` — the quantity bounded
     /// by the strong-stability theorem.
     pub fn mean_total_backlog(&self) -> f64 {
-        self.total.mean()
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_sum as f64 / self.rounds as f64
+        }
     }
 
     /// Largest total backlog seen in any round.
     pub fn max_total_backlog(&self) -> f64 {
-        if self.total.is_empty() {
-            0.0
-        } else {
-            self.total.max()
-        }
+        self.total_max as f64
     }
 
     /// Time-average queue length of one server.
@@ -87,7 +105,11 @@ impl QueueLengthTracker {
     /// # Panics
     /// Panics if the server index is out of range.
     pub fn mean_queue(&self, server: usize) -> f64 {
-        self.per_server[server].mean()
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.per_server_sum[server] as f64 / self.rounds as f64
+        }
     }
 
     /// Maximum queue length of one server across all observed rounds.
@@ -95,11 +117,7 @@ impl QueueLengthTracker {
     /// # Panics
     /// Panics if the server index is out of range.
     pub fn max_queue(&self, server: usize) -> f64 {
-        if self.per_server[server].is_empty() {
-            0.0
-        } else {
-            self.per_server[server].max()
-        }
+        self.per_server_max[server] as f64
     }
 
     /// Fraction of rounds in which the server's queue was empty — a proxy for
@@ -119,9 +137,8 @@ impl QueueLengthTracker {
     /// The largest per-server time-average queue length — useful for spotting
     /// a single unstable queue in an otherwise healthy system.
     pub fn worst_mean_queue(&self) -> f64 {
-        self.per_server
-            .iter()
-            .map(|s| s.mean())
+        (0..self.per_server_sum.len())
+            .map(|s| self.mean_queue(s))
             .fold(0.0, f64::max)
     }
 }

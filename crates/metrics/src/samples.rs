@@ -30,6 +30,30 @@ pub struct SampleSet {
     sorted: bool,
 }
 
+/// Two sample sets are equal when they hold the same multiset of samples.
+///
+/// Order is deliberately ignored: percentile queries sort the backing vector
+/// lazily in place, so two sets built from identical recordings can hold the
+/// same values in different orders depending on which of them has been
+/// queried. Comparing as multisets keeps equality stable across queries
+/// (this is what the parallel-runner "bit-identical reports" guarantees are
+/// asserted with).
+impl PartialEq for SampleSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples.len() != other.samples.len() {
+            return false;
+        }
+        if self.samples == other.samples {
+            return true;
+        }
+        let mut a = self.samples.clone();
+        let mut b = other.samples.clone();
+        a.sort_unstable_by(f64::total_cmp);
+        b.sort_unstable_by(f64::total_cmp);
+        a == b
+    }
+}
+
 impl SampleSet {
     /// Creates an empty sample set.
     pub fn new() -> Self {
@@ -248,5 +272,20 @@ mod tests {
     #[should_panic(expected = "must not be NaN")]
     fn nan_samples_are_rejected() {
         SampleSet::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn equality_survives_lazy_sorting() {
+        // Percentile queries reorder the backing vector in place; equality
+        // must not depend on which side has been queried.
+        let mut a: SampleSet = [5.0, 1.0, 3.0].into_iter().collect();
+        let b: SampleSet = [5.0, 1.0, 3.0].into_iter().collect();
+        assert_eq!(a, b);
+        let _ = a.percentile(0.5);
+        assert_eq!(a, b, "querying one side must not break equality");
+        let c: SampleSet = [5.0, 1.0].into_iter().collect();
+        assert_ne!(a, c);
+        let d: SampleSet = [5.0, 1.0, 4.0].into_iter().collect();
+        assert_ne!(a, d);
     }
 }

@@ -128,8 +128,7 @@ impl StreamingStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
         let new_m2 = self.m2
             + other.m2
             + delta * delta * self.count as f64 * other.count as f64 / total as f64;
@@ -166,7 +165,9 @@ mod tests {
 
     #[test]
     fn matches_textbook_values() {
-        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);
@@ -220,9 +221,7 @@ mod tests {
     fn numerical_stability_with_large_offsets() {
         // Classic catastrophic-cancellation test: large mean, small variance.
         let offset = 1e9;
-        let s: StreamingStats = (0..10_000)
-            .map(|i| offset + (i % 2) as f64)
-            .collect();
+        let s: StreamingStats = (0..10_000).map(|i| offset + (i % 2) as f64).collect();
         assert!((s.mean() - (offset + 0.5)).abs() < 1e-3);
         assert!((s.population_variance() - 0.25).abs() < 1e-6);
     }

@@ -131,7 +131,8 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.headers, &widths))?;
-        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let total_width: usize =
+            widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
         writeln!(f, "{}", "-".repeat(total_width))?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row, &widths))?;

@@ -105,15 +105,24 @@ mod tests {
         let cases: Vec<(ModelError, &str)> = vec![
             (ModelError::EmptyCluster, "at least one server"),
             (
-                ModelError::InvalidRate { server: 3, rate: -1.0 },
+                ModelError::InvalidRate {
+                    server: 3,
+                    rate: -1.0,
+                },
                 "server 3",
             ),
             (
-                ModelError::ProbabilityLength { got: 2, expected: 5 },
+                ModelError::ProbabilityLength {
+                    got: 2,
+                    expected: 5,
+                },
                 "2 entries",
             ),
             (
-                ModelError::InvalidProbability { index: 1, value: f64::NAN },
+                ModelError::InvalidProbability {
+                    index: 1,
+                    value: f64::NAN,
+                },
                 "entry 1",
             ),
             (
@@ -122,11 +131,17 @@ mod tests {
             ),
             (ModelError::DegenerateWeights, "strictly positive weight"),
             (
-                ModelError::AssignmentArity { got: 1, expected: 4 },
+                ModelError::AssignmentArity {
+                    got: 1,
+                    expected: 4,
+                },
                 "batch of 4",
             ),
             (
-                ModelError::UnknownServer { server: 9, num_servers: 4 },
+                ModelError::UnknownServer {
+                    server: 9,
+                    num_servers: 4,
+                },
                 "server 9",
             ),
         ];
@@ -149,9 +164,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(ModelError::EmptyCluster, ModelError::EmptyCluster);
-        assert_ne!(
-            ModelError::EmptyCluster,
-            ModelError::DegenerateWeights
-        );
+        assert_ne!(ModelError::EmptyCluster, ModelError::DegenerateWeights);
     }
 }

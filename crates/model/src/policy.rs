@@ -84,6 +84,33 @@ pub trait DispatchPolicy: Send {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId>;
+
+    /// Allocation-free variant of
+    /// [`dispatch_batch`](DispatchPolicy::dispatch_batch): appends exactly
+    /// `batch` destinations to `out` instead of returning a fresh vector.
+    ///
+    /// The simulation engine calls this method in its hot loop with a scratch
+    /// buffer it clears and reuses across rounds, so policies that override
+    /// it (all built-in policies do) can keep the steady-state round loop
+    /// free of heap allocations.
+    ///
+    /// # Contract
+    ///
+    /// For any `(ctx, batch)` and identical RNG state, this method must
+    /// append the same destinations `dispatch_batch` would return **and**
+    /// leave the RNG in the same state — the engine treats the two entry
+    /// points as interchangeable. The default implementation trivially
+    /// satisfies this by delegating to `dispatch_batch`.
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
+        let assignment = self.dispatch_batch(ctx, batch, rng);
+        out.extend_from_slice(&assignment);
+    }
 }
 
 /// Validates an assignment returned by a policy against the batch size and
@@ -189,7 +216,10 @@ mod tests {
         let out = vec![ServerId::new(0)];
         assert_eq!(
             validate_assignment(&out, 2, 4),
-            Err(ModelError::AssignmentArity { got: 1, expected: 2 })
+            Err(ModelError::AssignmentArity {
+                got: 1,
+                expected: 2
+            })
         );
     }
 
@@ -198,7 +228,10 @@ mod tests {
         let out = vec![ServerId::new(7)];
         assert_eq!(
             validate_assignment(&out, 1, 4),
-            Err(ModelError::UnknownServer { server: 7, num_servers: 4 })
+            Err(ModelError::UnknownServer {
+                server: 7,
+                num_servers: 4
+            })
         );
     }
 

@@ -209,7 +209,10 @@ mod tests {
     #[test]
     fn rejects_badly_normalized_input() {
         let err = ProbabilityVector::new(vec![0.5, 0.4]).unwrap_err();
-        assert!(matches!(err, ModelError::UnnormalizableProbabilities { .. }));
+        assert!(matches!(
+            err,
+            ModelError::UnnormalizableProbabilities { .. }
+        ));
     }
 
     #[test]

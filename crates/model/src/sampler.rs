@@ -27,12 +27,17 @@ use rand::RngCore;
 /// let draw = sampler.sample(&mut rng);
 /// assert!(draw < 3);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AliasSampler {
     /// Probability of keeping column `i` (as opposed to its alias).
     keep: Vec<f64>,
     /// Alias column for each slot.
     alias: Vec<usize>,
+    /// Construction scratch (kept so [`rebuild`](AliasSampler::rebuild) is
+    /// allocation-free once the table has reached its steady-state size).
+    remaining: Vec<f64>,
+    small: Vec<usize>,
+    large: Vec<usize>,
 }
 
 impl AliasSampler {
@@ -44,6 +49,21 @@ impl AliasSampler {
     /// * [`ModelError::InvalidProbability`] for negative or non-finite weights;
     /// * [`ModelError::DegenerateWeights`] when every weight is zero.
     pub fn new(weights: &[f64]) -> Result<Self, ModelError> {
+        let mut sampler = AliasSampler::default();
+        sampler.rebuild(weights)?;
+        Ok(sampler)
+    }
+
+    /// Rebuilds the alias table in place from fresh weights, reusing the
+    /// existing buffers. After the first round at a given cluster size this
+    /// performs no heap allocations — it is the hot path of probability-based
+    /// policies (SCD, TWF) that redraw their distribution every round.
+    ///
+    /// On error the sampler is left unchanged.
+    ///
+    /// # Errors
+    /// Same conditions as [`AliasSampler::new`].
+    pub fn rebuild(&mut self, weights: &[f64]) -> Result<(), ModelError> {
         if weights.is_empty() {
             return Err(ModelError::EmptyCluster);
         }
@@ -57,43 +77,47 @@ impl AliasSampler {
             return Err(ModelError::DegenerateWeights);
         }
         let n = weights.len();
-        // Scaled probabilities: mean 1.0.
-        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
 
-        let mut keep = vec![0.0f64; n];
-        let mut alias = vec![0usize; n];
-        let mut small: Vec<usize> = Vec::with_capacity(n);
-        let mut large: Vec<usize> = Vec::with_capacity(n);
-        let mut remaining = scaled;
-        for (i, &p) in remaining.iter().enumerate() {
+        // Scaled probabilities: mean 1.0.
+        let scale = n as f64 / total;
+        self.remaining.clear();
+        self.remaining.extend(weights.iter().map(|w| w * scale));
+
+        self.keep.clear();
+        self.keep.resize(n, 0.0);
+        self.alias.clear();
+        self.alias.resize(n, 0);
+        self.small.clear();
+        self.large.clear();
+        for (i, &p) in self.remaining.iter().enumerate() {
             if p < 1.0 {
-                small.push(i);
+                self.small.push(i);
             } else {
-                large.push(i);
+                self.large.push(i);
             }
         }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
-            large.pop();
-            keep[s] = remaining[s];
-            alias[s] = l;
-            remaining[l] = (remaining[l] + remaining[s]) - 1.0;
-            if remaining[l] < 1.0 {
-                small.push(l);
+        while let (Some(&s), Some(&l)) = (self.small.last(), self.large.last()) {
+            self.small.pop();
+            self.large.pop();
+            self.keep[s] = self.remaining[s];
+            self.alias[s] = l;
+            self.remaining[l] = (self.remaining[l] + self.remaining[s]) - 1.0;
+            if self.remaining[l] < 1.0 {
+                self.small.push(l);
             } else {
-                large.push(l);
+                self.large.push(l);
             }
         }
         // Whatever is left (numerically ~1.0) keeps itself with certainty.
-        for &l in large.iter() {
-            keep[l] = 1.0;
-            alias[l] = l;
+        for &l in self.large.iter() {
+            self.keep[l] = 1.0;
+            self.alias[l] = l;
         }
-        for &s in small.iter() {
-            keep[s] = 1.0;
-            alias[s] = s;
+        for &s in self.small.iter() {
+            self.keep[s] = 1.0;
+            self.alias[s] = s;
         }
-        Ok(AliasSampler { keep, alias })
+        Ok(())
     }
 
     /// Number of categories.
@@ -293,6 +317,26 @@ mod tests {
         let a: Vec<usize> = alias.sample_many(50, &mut StdRng::seed_from_u64(4));
         let b: Vec<usize> = alias.sample_many(50, &mut StdRng::seed_from_u64(4));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let mut sampler = AliasSampler::new(&[1.0, 1.0]).unwrap();
+        let weights = [0.5, 0.3, 0.15, 0.05];
+        sampler.rebuild(&weights).unwrap();
+        let fresh = AliasSampler::new(&weights).unwrap();
+        // Identical tables → identical draws for identical RNG streams.
+        let a: Vec<usize> = sampler.sample_many(200, &mut StdRng::seed_from_u64(8));
+        let b: Vec<usize> = fresh.sample_many(200, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_eq!(sampler.len(), 4);
+        // Errors leave the previous table intact.
+        assert!(sampler.rebuild(&[]).is_err());
+        assert!(sampler.rebuild(&[0.0, 0.0]).is_err());
+        assert!(sampler.rebuild(&[1.0, -1.0]).is_err());
+        assert_eq!(sampler.len(), 4);
+        let c: Vec<usize> = sampler.sample_many(200, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, c);
     }
 
     #[test]

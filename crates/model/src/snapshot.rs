@@ -181,8 +181,7 @@ mod tests {
         let queues = vec![1u64, 2];
         let rates = vec![3.0, 4.0];
         let c = ctx(&queues, &rates);
-        let triples: Vec<(usize, u64, f64)> =
-            c.iter().map(|(s, q, r)| (s.index(), q, r)).collect();
+        let triples: Vec<(usize, u64, f64)> = c.iter().map(|(s, q, r)| (s.index(), q, r)).collect();
         assert_eq!(triples, vec![(0, 1, 3.0), (1, 2, 4.0)]);
     }
 

@@ -152,12 +152,18 @@ pub enum RateProfile {
 impl RateProfile {
     /// The moderate-heterogeneity profile of the paper: `µ_s ~ U[1, 10]`.
     pub fn paper_moderate() -> Self {
-        RateProfile::Uniform { low: 1.0, high: 10.0 }
+        RateProfile::Uniform {
+            low: 1.0,
+            high: 10.0,
+        }
     }
 
     /// The high-heterogeneity profile of the paper: `µ_s ~ U[1, 100]`.
     pub fn paper_high() -> Self {
-        RateProfile::Uniform { low: 1.0, high: 100.0 }
+        RateProfile::Uniform {
+            low: 1.0,
+            high: 100.0,
+        }
     }
 
     /// Materializes a [`ClusterSpec`] with `n` servers using the supplied RNG
@@ -189,7 +195,7 @@ impl RateProfile {
                 let fast_count = ((n as f64) * fast_fraction).round() as usize;
                 let fast_count = fast_count.min(n);
                 let mut rates = vec![*fast_rate; fast_count];
-                rates.extend(std::iter::repeat(*slow_rate).take(n - fast_count));
+                rates.extend(std::iter::repeat_n(*slow_rate, n - fast_count));
                 rates
             }
             RateProfile::Explicit { rates } => {
@@ -216,7 +222,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_cluster() {
-        assert_eq!(ClusterSpec::from_rates(vec![]), Err(ModelError::EmptyCluster));
+        assert_eq!(
+            ClusterSpec::from_rates(vec![]),
+            Err(ModelError::EmptyCluster)
+        );
     }
 
     #[test]
@@ -255,15 +264,16 @@ mod tests {
     #[test]
     fn iter_yields_ids_in_order() {
         let spec = ClusterSpec::from_rates(vec![3.0, 1.0]).unwrap();
-        let collected: Vec<(usize, f64)> =
-            spec.iter().map(|(id, r)| (id.index(), r)).collect();
+        let collected: Vec<(usize, f64)> = spec.iter().map(|(id, r)| (id.index(), r)).collect();
         assert_eq!(collected, vec![(0, 3.0), (1, 1.0)]);
     }
 
     #[test]
     fn uniform_profile_respects_bounds() {
         let mut rng = StdRng::seed_from_u64(42);
-        let spec = RateProfile::paper_moderate().materialize(200, &mut rng).unwrap();
+        let spec = RateProfile::paper_moderate()
+            .materialize(200, &mut rng)
+            .unwrap();
         assert_eq!(spec.num_servers(), 200);
         for (_, rate) in spec.iter() {
             assert!((1.0..=10.0).contains(&rate), "rate {rate} out of bounds");
@@ -302,7 +312,9 @@ mod tests {
     #[test]
     fn explicit_profile_checks_length() {
         let mut rng = StdRng::seed_from_u64(1);
-        let profile = RateProfile::Explicit { rates: vec![1.0, 2.0] };
+        let profile = RateProfile::Explicit {
+            rates: vec![1.0, 2.0],
+        };
         assert!(profile.materialize(2, &mut rng).is_ok());
         assert!(profile.materialize(3, &mut rng).is_err());
     }
@@ -320,11 +332,17 @@ mod tests {
     fn paper_profiles_have_expected_bounds() {
         assert_eq!(
             RateProfile::paper_moderate(),
-            RateProfile::Uniform { low: 1.0, high: 10.0 }
+            RateProfile::Uniform {
+                low: 1.0,
+                high: 10.0
+            }
         );
         assert_eq!(
             RateProfile::paper_high(),
-            RateProfile::Uniform { low: 1.0, high: 100.0 }
+            RateProfile::Uniform {
+                low: 1.0,
+                high: 100.0
+            }
         );
     }
 }

@@ -1,31 +1,56 @@
-//! Property-based tests for the model crate's probability utilities.
+//! Randomized property tests for the model crate's probability utilities.
+//!
+//! Cases are generated from a seeded [`StdRng`] (the build environment is
+//! offline, so no proptest); every failure message includes the case index so
+//! a failing instance can be reproduced deterministically.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use scd_model::{AliasSampler, CdfSampler, ClusterSpec, ProbabilityVector, RateProfile};
 
-/// A strategy producing small vectors of non-negative weights with at least
-/// one strictly positive entry.
-fn weights_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..10.0, 1..40).prop_filter(
-        "at least one strictly positive weight",
-        |w| w.iter().any(|&x| x > 1e-9),
-    )
+const CASES: usize = 96;
+
+/// A random vector of non-negative weights with at least one strictly
+/// positive entry.
+fn random_weights(rng: &mut StdRng) -> Vec<f64> {
+    loop {
+        let n = rng.gen_range(1..40usize);
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..10.0)
+                }
+            })
+            .collect();
+        if weights.iter().any(|&w| w > 1e-9) {
+            return weights;
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn probability_vector_from_weights_is_normalized(weights in weights_strategy()) {
+#[test]
+fn probability_vector_from_weights_is_normalized() {
+    let mut rng = StdRng::seed_from_u64(0xA11A5);
+    for case in 0..CASES {
+        let weights = random_weights(&mut rng);
         let p = ProbabilityVector::from_weights(&weights).unwrap();
         let total: f64 = p.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(p.iter().all(|x| (0.0..=1.0 + 1e-12).contains(&x)));
-        prop_assert_eq!(p.len(), weights.len());
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: total {total}");
+        assert!(
+            p.iter().all(|x| (0.0..=1.0 + 1e-12).contains(&x)),
+            "case {case}: out-of-range probability"
+        );
+        assert_eq!(p.len(), weights.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn support_matches_positive_weights(weights in weights_strategy()) {
+#[test]
+fn support_matches_positive_weights() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for case in 0..CASES {
+        let weights = random_weights(&mut rng);
         let p = ProbabilityVector::from_weights(&weights).unwrap();
         let support: Vec<usize> = p.support().into_iter().map(|s| s.index()).collect();
         let expected: Vec<usize> = weights
@@ -34,67 +59,77 @@ proptest! {
             .filter(|(_, &w)| w > 0.0)
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(support, expected);
+        assert_eq!(support, expected, "case {case}: weights {weights:?}");
     }
+}
 
-    #[test]
-    fn alias_sampler_only_draws_positive_weight_categories(
-        weights in weights_strategy(),
-        seed in 0u64..u64::MAX,
-    ) {
+#[test]
+fn alias_sampler_only_draws_positive_weight_categories() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let weights = random_weights(&mut rng);
         let sampler = AliasSampler::new(&weights).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..256 {
             let draw = sampler.sample(&mut rng);
-            prop_assert!(draw < weights.len());
-            prop_assert!(
+            assert!(draw < weights.len(), "case {case}");
+            assert!(
                 weights[draw] > 0.0,
-                "alias sampler drew zero-weight category {} from {:?}",
-                draw,
-                weights
+                "case {case}: alias sampler drew zero-weight category {draw} from {weights:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn cdf_sampler_only_draws_positive_weight_categories(
-        weights in weights_strategy(),
-        seed in 0u64..u64::MAX,
-    ) {
+#[test]
+fn cdf_sampler_only_draws_positive_weight_categories() {
+    let mut rng = StdRng::seed_from_u64(0xCDF);
+    for case in 0..CASES {
+        let weights = random_weights(&mut rng);
         let sampler = CdfSampler::new(&weights).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..256 {
             let draw = sampler.sample(&mut rng);
-            prop_assert!(draw < weights.len());
-            prop_assert!(weights[draw] > 0.0);
+            assert!(draw < weights.len(), "case {case}");
+            assert!(
+                weights[draw] > 0.0,
+                "case {case}: cdf sampler drew zero-weight category {draw} from {weights:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn cluster_spec_aggregates_are_consistent(
-        rates in prop::collection::vec(0.01f64..100.0, 1..64),
-    ) {
+#[test]
+fn cluster_spec_aggregates_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..64usize);
+        let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..100.0)).collect();
         let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
-        prop_assert_eq!(spec.num_servers(), rates.len());
+        assert_eq!(spec.num_servers(), rates.len(), "case {case}");
         let total: f64 = rates.iter().sum();
-        prop_assert!((spec.total_rate() - total).abs() < 1e-9);
-        prop_assert!(spec.min_rate() <= spec.max_rate());
-        prop_assert!(spec.heterogeneity_ratio() >= 1.0 - 1e-12);
+        assert!((spec.total_rate() - total).abs() < 1e-9, "case {case}");
+        assert!(spec.min_rate() <= spec.max_rate(), "case {case}");
+        assert!(spec.heterogeneity_ratio() >= 1.0 - 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn uniform_profile_materializes_within_bounds(
-        n in 1usize..128,
-        seed in 0u64..u64::MAX,
-        low in 0.5f64..2.0,
-        span in 0.1f64..50.0,
-    ) {
-        let high = low + span;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let spec = RateProfile::Uniform { low, high }.materialize(n, &mut rng).unwrap();
-        prop_assert_eq!(spec.num_servers(), n);
+#[test]
+fn uniform_profile_materializes_within_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..128usize);
+        let low = rng.gen_range(0.5..2.0);
+        let high = low + rng.gen_range(0.1..50.0);
+        let seed = rng.gen::<u64>();
+        let mut cluster_rng = StdRng::seed_from_u64(seed);
+        let spec = RateProfile::Uniform { low, high }
+            .materialize(n, &mut cluster_rng)
+            .unwrap();
+        assert_eq!(spec.num_servers(), n, "case {case}");
         for (_, rate) in spec.iter() {
-            prop_assert!(rate >= low && rate <= high);
+            assert!(
+                rate >= low && rate <= high,
+                "case {case}: rate {rate} outside [{low}, {high}]"
+            );
         }
     }
 }

@@ -5,6 +5,9 @@ use rand::RngCore;
 use scd_model::{BoxedPolicy, ClusterSpec, DispatcherId, PolicyFactory};
 use std::sync::Arc;
 
+/// The boxed builder closure a [`NamedFactory`] wraps.
+type BoxedBuilder = Arc<dyn Fn(DispatcherId, &ClusterSpec) -> BoxedPolicy + Send + Sync>;
+
 /// A [`PolicyFactory`] defined by a name and a boxed closure — removes the
 /// boilerplate of writing a dedicated factory struct for every policy
 /// variant.
@@ -21,7 +24,7 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct NamedFactory {
     name: String,
-    builder: Arc<dyn Fn(DispatcherId, &ClusterSpec) -> BoxedPolicy + Send + Sync>,
+    builder: BoxedBuilder,
 }
 
 impl NamedFactory {
@@ -39,7 +42,9 @@ impl NamedFactory {
 
 impl std::fmt::Debug for NamedFactory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NamedFactory").field("name", &self.name).finish()
+        f.debug_struct("NamedFactory")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -92,17 +97,29 @@ where
 /// # Panics
 /// Panics if `n == 0`.
 pub fn sample_distinct(n: usize, count: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    let mut pool = Vec::new();
+    sample_distinct_into(n, count, &mut pool, rng);
+    pool
+}
+
+/// Buffer-reusing variant of [`sample_distinct`]: fills `pool` with the
+/// sampled indices, reusing its allocation. Consumes the RNG identically to
+/// [`sample_distinct`].
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn sample_distinct_into(n: usize, count: usize, pool: &mut Vec<usize>, rng: &mut dyn RngCore) {
     assert!(n > 0, "cannot sample from an empty range");
+    pool.clear();
+    pool.extend(0..n);
     if count >= n {
-        return (0..n).collect();
+        return;
     }
-    let mut pool: Vec<usize> = (0..n).collect();
     for i in 0..count {
         let j = rng.gen_range(i..n);
         pool.swap(i, j);
     }
     pool.truncate(count);
-    pool
 }
 
 #[cfg(test)]

@@ -33,6 +33,14 @@ pub struct JiqPolicy {
     /// Local queue view for intra-batch updates (a server stops being idle
     /// once this dispatcher sends it a job in the current round).
     local: Vec<u64>,
+    /// Reusable per-job idle-set buffer.
+    idle: Vec<usize>,
+    /// Reusable idle-weight buffer and alias table (heterogeneous variant).
+    idle_weights: Vec<f64>,
+    idle_sampler: AliasSampler,
+    /// Cached rate-proportional fallback sampler (heterogeneous variant; the
+    /// rates are static per run, so this is built at most once).
+    fallback_sampler: Option<AliasSampler>,
 }
 
 impl JiqPolicy {
@@ -43,6 +51,10 @@ impl JiqPolicy {
             name: "JIQ",
             rates: Vec::new(),
             local: Vec::new(),
+            idle: Vec::new(),
+            idle_weights: Vec::new(),
+            idle_sampler: AliasSampler::default(),
+            fallback_sampler: None,
         }
     }
 
@@ -53,6 +65,10 @@ impl JiqPolicy {
             name: "hJIQ",
             rates: spec.rates().to_vec(),
             local: Vec::new(),
+            idle: Vec::new(),
+            idle_weights: Vec::new(),
+            idle_sampler: AliasSampler::default(),
+            fallback_sampler: None,
         }
     }
 
@@ -61,24 +77,29 @@ impl JiqPolicy {
         self.variant
     }
 
-    fn pick_idle(&self, idle: &[usize], rng: &mut dyn RngCore) -> usize {
+    fn pick_idle(&mut self, rng: &mut dyn RngCore) -> usize {
         match self.variant {
-            JiqVariant::Uniform => idle[rng.gen_range(0..idle.len())],
+            JiqVariant::Uniform => self.idle[rng.gen_range(0..self.idle.len())],
             JiqVariant::Heterogeneous => {
-                let weights: Vec<f64> = idle.iter().map(|&s| self.rates[s]).collect();
-                let sampler =
-                    AliasSampler::new(&weights).expect("idle set is non-empty with positive rates");
-                idle[sampler.sample(rng)]
+                self.idle_weights.clear();
+                self.idle_weights
+                    .extend(self.idle.iter().map(|&s| self.rates[s]));
+                self.idle_sampler
+                    .rebuild(&self.idle_weights)
+                    .expect("idle set is non-empty with positive rates");
+                self.idle[self.idle_sampler.sample(rng)]
             }
         }
     }
 
-    fn pick_fallback(&self, n: usize, rng: &mut dyn RngCore) -> usize {
+    fn pick_fallback(&mut self, n: usize, rng: &mut dyn RngCore) -> usize {
         match self.variant {
             JiqVariant::Uniform => rng.gen_range(0..n),
             JiqVariant::Heterogeneous => {
-                let sampler =
-                    AliasSampler::new(&self.rates).expect("rates are strictly positive");
+                let rates = &self.rates;
+                let sampler = self.fallback_sampler.get_or_insert_with(|| {
+                    AliasSampler::new(rates).expect("rates are strictly positive")
+                });
                 sampler.sample(rng)
             }
         }
@@ -96,25 +117,41 @@ impl DispatchPolicy for JiqPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         self.local.clear();
         self.local.extend_from_slice(ctx.queue_lengths());
         if self.variant == JiqVariant::Heterogeneous && self.rates.len() != ctx.num_servers() {
             // Defensive refresh in case the factory was bypassed.
             self.rates = ctx.rates().to_vec();
+            self.fallback_sampler = None;
         }
         let n = self.local.len();
-        let mut out = Vec::with_capacity(batch);
         for _ in 0..batch {
-            let idle: Vec<usize> = (0..n).filter(|&s| self.local[s] == 0).collect();
-            let target = if idle.is_empty() {
+            self.idle.clear();
+            for s in 0..n {
+                if self.local[s] == 0 {
+                    self.idle.push(s);
+                }
+            }
+            let target = if self.idle.is_empty() {
                 self.pick_fallback(n, rng)
             } else {
-                self.pick_idle(&idle, rng)
+                self.pick_idle(rng)
             };
             self.local[target] += 1;
             out.push(ServerId::new(target));
         }
-        out
     }
 }
 
@@ -198,7 +235,11 @@ mod tests {
         let out = policy.dispatch_batch(&ctx, 2, &mut rng);
         let mut targets: Vec<usize> = out.iter().map(|s| s.index()).collect();
         targets.sort_unstable();
-        assert_eq!(targets, vec![1, 2], "both idle servers get exactly one job first");
+        assert_eq!(
+            targets,
+            vec![1, 2],
+            "both idle servers get exactly one job first"
+        );
     }
 
     #[test]
@@ -210,7 +251,10 @@ mod tests {
         let mut policy = JiqPolicy::uniform();
         let picks = policy.dispatch_batch(&ctx, 5_000, &mut rng);
         let to_zero = picks.iter().filter(|s| s.index() == 0).count() as f64 / 5_000.0;
-        assert!((to_zero - 0.5).abs() < 0.05, "fallback is uniform, got {to_zero}");
+        assert!(
+            (to_zero - 0.5).abs() < 0.05,
+            "fallback is uniform, got {to_zero}"
+        );
     }
 
     #[test]
@@ -225,7 +269,10 @@ mod tests {
         assert_eq!(policy.variant(), JiqVariant::Heterogeneous);
         let picks = policy.dispatch_batch(&ctx, 5_000, &mut rng);
         let to_fast = picks.iter().filter(|s| s.index() == 0).count() as f64 / 5_000.0;
-        assert!((to_fast - 0.8).abs() < 0.05, "fallback should be ∝ µ, got {to_fast}");
+        assert!(
+            (to_fast - 0.8).abs() < 0.05,
+            "fallback should be ∝ µ, got {to_fast}"
+        );
     }
 
     #[test]
@@ -245,7 +292,10 @@ mod tests {
             }
         }
         let share = to_fast as f64 / trials as f64;
-        assert!((share - 0.9).abs() < 0.03, "idle choice should be ∝ µ, got {share}");
+        assert!(
+            (share - 0.9).abs() < 0.03,
+            "idle choice should be ∝ µ, got {share}"
+        );
     }
 
     #[test]

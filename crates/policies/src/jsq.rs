@@ -38,16 +38,26 @@ impl DispatchPolicy for JsqPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         self.local.clear();
         self.local.extend_from_slice(ctx.queue_lengths());
         let n = self.local.len();
-        let mut out = Vec::with_capacity(batch);
         for _ in 0..batch {
             let target = argmin_random_ties(n, |i| self.local[i] as f64, rng);
             self.local[target] += 1;
             out.push(ServerId::new(target));
         }
-        out
     }
 }
 
@@ -124,7 +134,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut policy = JsqPolicy::new();
         let out = policy.dispatch_batch(&ctx, 1, &mut rng);
-        assert_eq!(out[0].index(), 1, "JSQ picks the shorter queue even if it is slow");
+        assert_eq!(
+            out[0].index(),
+            1,
+            "JSQ picks the shorter queue even if it is slow"
+        );
     }
 
     #[test]

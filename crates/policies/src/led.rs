@@ -55,8 +55,7 @@ impl LedPolicy {
 
     /// Heterogeneity-aware LED.
     pub fn heterogeneous(spec: &ClusterSpec, probes_per_round: usize) -> Self {
-        let sampler =
-            AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive");
+        let sampler = AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive");
         LedPolicy {
             variant: LedVariant::Heterogeneous,
             name: "hLED",
@@ -118,10 +117,21 @@ impl DispatchPolicy for LedPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         self.sync_dimensions(ctx);
         let rates = ctx.rates();
         let n = ctx.num_servers();
-        let mut out = Vec::with_capacity(batch);
         for _ in 0..batch {
             let target = match self.variant {
                 LedVariant::Uniform => argmin_random_ties(n, |i| self.estimates[i], rng),
@@ -132,7 +142,6 @@ impl DispatchPolicy for LedPolicy {
             self.estimates[target] += 1.0;
             out.push(ServerId::new(target));
         }
-        out
     }
 }
 

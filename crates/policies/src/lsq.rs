@@ -61,8 +61,7 @@ impl LsqPolicy {
 
     /// Heterogeneity-aware LSQ.
     pub fn heterogeneous(spec: &ClusterSpec, probes_per_round: usize) -> Self {
-        let sampler =
-            AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive");
+        let sampler = AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive");
         LsqPolicy {
             variant: LsqVariant::Heterogeneous,
             name: "hLSQ",
@@ -121,18 +120,27 @@ impl DispatchPolicy for LsqPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         let n = ctx.num_servers();
         if self.local.len() != n {
             self.local = vec![0; n];
             self.rates = ctx.rates().to_vec();
         }
         let rates = ctx.rates();
-        let mut out = Vec::with_capacity(batch);
         for _ in 0..batch {
             let target = match self.variant {
-                LsqVariant::Uniform => {
-                    argmin_random_ties(n, |i| self.local[i] as f64, rng)
-                }
+                LsqVariant::Uniform => argmin_random_ties(n, |i| self.local[i] as f64, rng),
                 LsqVariant::Heterogeneous => {
                     argmin_random_ties(n, |i| (self.local[i] as f64 + 1.0) / rates[i], rng)
                 }
@@ -140,7 +148,6 @@ impl DispatchPolicy for LsqPolicy {
             self.local[target] += 1;
             out.push(ServerId::new(target));
         }
-        out
     }
 }
 

@@ -9,7 +9,7 @@
 //! the paper also evaluates `hJSQ(d)`: sampling proportional to the service
 //! rates and ranking by expected delay (footnote 6).
 
-use crate::common::{argmin_random_ties, sample_distinct, NamedFactory};
+use crate::common::{argmin_random_ties, sample_distinct_into, NamedFactory};
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
@@ -36,6 +36,8 @@ pub struct PowerOfDPolicy {
     rate_sampler: Option<AliasSampler>,
     /// Local copy of the queue lengths for intra-batch updates.
     local: Vec<u64>,
+    /// Reusable per-job candidate buffer.
+    candidates: Vec<usize>,
 }
 
 impl PowerOfDPolicy {
@@ -51,6 +53,7 @@ impl PowerOfDPolicy {
             name: format!("JSQ({d})"),
             rate_sampler: None,
             local: Vec::new(),
+            candidates: Vec::new(),
         }
     }
 
@@ -61,14 +64,14 @@ impl PowerOfDPolicy {
     /// Panics if `d == 0`.
     pub fn heterogeneous(d: usize, spec: &ClusterSpec) -> Self {
         assert!(d > 0, "power-of-d requires d >= 1");
-        let sampler = AliasSampler::new(spec.rates())
-            .expect("cluster rates are strictly positive");
+        let sampler = AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive");
         PowerOfDPolicy {
             d,
             variant: PowerOfDVariant::Heterogeneous,
             name: format!("hJSQ({d})"),
             rate_sampler: Some(sampler),
             local: Vec::new(),
+            candidates: Vec::new(),
         }
     }
 
@@ -82,9 +85,10 @@ impl PowerOfDPolicy {
         self.variant
     }
 
-    fn sample_candidates(&self, n: usize, rng: &mut dyn RngCore) -> Vec<usize> {
+    /// Fills `self.candidates` with this job's probe set, reusing the buffer.
+    fn sample_candidates(&mut self, n: usize, rng: &mut dyn RngCore) {
         match self.variant {
-            PowerOfDVariant::Uniform => sample_distinct(n, self.d, rng),
+            PowerOfDVariant::Uniform => sample_distinct_into(n, self.d, &mut self.candidates, rng),
             PowerOfDVariant::Heterogeneous => {
                 // Rate-proportional sampling with replacement (duplicates are
                 // harmless: the ranking step treats them as one candidate).
@@ -92,7 +96,10 @@ impl PowerOfDPolicy {
                     .rate_sampler
                     .as_ref()
                     .expect("heterogeneous variant always carries a sampler");
-                (0..self.d).map(|_| sampler.sample(rng)).collect()
+                self.candidates.clear();
+                for _ in 0..self.d {
+                    self.candidates.push(sampler.sample(rng));
+                }
             }
         }
     }
@@ -109,18 +116,32 @@ impl DispatchPolicy for PowerOfDPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         self.local.clear();
         self.local.extend_from_slice(ctx.queue_lengths());
         let rates = ctx.rates();
         let n = self.local.len();
-        let mut out = Vec::with_capacity(batch);
         for _ in 0..batch {
-            let candidates = self.sample_candidates(n, rng);
+            self.sample_candidates(n, rng);
+            let candidates = &self.candidates;
+            let local = &self.local;
+            let variant = self.variant;
             let score = |i: usize| -> f64 {
                 let s = candidates[i];
-                match self.variant {
-                    PowerOfDVariant::Uniform => self.local[s] as f64,
-                    PowerOfDVariant::Heterogeneous => (self.local[s] as f64 + 1.0) / rates[s],
+                match variant {
+                    PowerOfDVariant::Uniform => local[s] as f64,
+                    PowerOfDVariant::Heterogeneous => (local[s] as f64 + 1.0) / rates[s],
                 }
             };
             let winner_pos = argmin_random_ties(candidates.len(), score, rng);
@@ -128,7 +149,6 @@ impl DispatchPolicy for PowerOfDPolicy {
             self.local[target] += 1;
             out.push(ServerId::new(target));
         }
-        out
     }
 }
 
@@ -182,9 +202,7 @@ impl PolicyFactory for PowerOfDFactory {
     fn build(&self, _dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
         match self.variant {
             PowerOfDVariant::Uniform => Box::new(PowerOfDPolicy::uniform(self.d)),
-            PowerOfDVariant::Heterogeneous => {
-                Box::new(PowerOfDPolicy::heterogeneous(self.d, spec))
-            }
+            PowerOfDVariant::Heterogeneous => Box::new(PowerOfDPolicy::heterogeneous(self.d, spec)),
         }
     }
 }
@@ -264,7 +282,10 @@ mod tests {
         assert_eq!(u.build(DispatcherId::new(0), &spec).policy_name(), "JSQ(2)");
         let h = PowerOfDFactory::heterogeneous(2);
         assert_eq!(h.name(), "hJSQ(2)");
-        assert_eq!(h.build(DispatcherId::new(0), &spec).policy_name(), "hJSQ(2)");
+        assert_eq!(
+            h.build(DispatcherId::new(0), &spec).policy_name(),
+            "hJSQ(2)"
+        );
         let named = PowerOfDFactory::uniform(3).named();
         assert_eq!(named.name(), "JSQ(3)");
     }

@@ -26,8 +26,7 @@ impl WeightedRandomPolicy {
     /// Builds the policy for a given cluster.
     pub fn new(spec: &ClusterSpec) -> Self {
         WeightedRandomPolicy {
-            sampler: AliasSampler::new(spec.rates())
-                .expect("cluster rates are strictly positive"),
+            sampler: AliasSampler::new(spec.rates()).expect("cluster rates are strictly positive"),
         }
     }
 }
@@ -39,13 +38,23 @@ impl DispatchPolicy for WeightedRandomPolicy {
 
     fn dispatch_batch(
         &mut self,
-        _ctx: &DispatchContext<'_>,
+        ctx: &DispatchContext<'_>,
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
-        (0..batch)
-            .map(|_| ServerId::new(self.sampler.sample(rng)))
-            .collect()
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        _ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
+        out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng))));
     }
 }
 
@@ -97,10 +106,20 @@ impl DispatchPolicy for UniformRandomPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         let n = ctx.num_servers();
-        (0..batch)
-            .map(|_| ServerId::new(rng.gen_range(0..n)))
-            .collect()
+        out.extend((0..batch).map(|_| ServerId::new(rng.gen_range(0..n))));
     }
 }
 
@@ -149,16 +168,26 @@ impl DispatchPolicy for RoundRobinPolicy {
         &mut self,
         ctx: &DispatchContext<'_>,
         batch: usize,
-        _rng: &mut dyn RngCore,
+        rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        _rng: &mut dyn RngCore,
+    ) {
         let n = ctx.num_servers();
-        (0..batch)
-            .map(|_| {
-                let s = ServerId::new(self.next % n);
-                self.next = self.next.wrapping_add(1);
-                s
-            })
-            .collect()
+        out.extend((0..batch).map(|_| {
+            let s = ServerId::new(self.next % n);
+            self.next = self.next.wrapping_add(1);
+            s
+        }));
     }
 }
 

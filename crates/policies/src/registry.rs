@@ -95,8 +95,8 @@ mod tests {
     #[test]
     fn every_standard_name_resolves() {
         for name in standard_policy_names() {
-            let factory = factory_by_name(name)
-                .unwrap_or_else(|| panic!("policy {name} is not registered"));
+            let factory =
+                factory_by_name(name).unwrap_or_else(|| panic!("policy {name} is not registered"));
             assert_eq!(factory.name(), name);
         }
         assert!(factory_by_name("bogus").is_none());
@@ -107,10 +107,23 @@ mod tests {
         // The six competitive baselines of Figures 3–4 plus the four of
         // Figures 6–7 and the SCD variants of Figures 5/8.
         for name in [
-            "SCD", "SCD(alg1)", "TWF", "JSQ", "SED", "hJSQ(2)", "hJIQ", "hLSQ", "JSQ(2)", "JIQ",
-            "LSQ", "WR",
+            "SCD",
+            "SCD(alg1)",
+            "TWF",
+            "JSQ",
+            "SED",
+            "hJSQ(2)",
+            "hJIQ",
+            "hLSQ",
+            "JSQ(2)",
+            "JIQ",
+            "LSQ",
+            "WR",
         ] {
-            assert!(factory_by_name(name).is_some(), "{name} missing from registry");
+            assert!(
+                factory_by_name(name).is_some(),
+                "{name} missing from registry"
+            );
         }
     }
 
@@ -124,7 +137,12 @@ mod tests {
             let mut policy = factory.build(DispatcherId::new(0), &spec);
             policy.observe_round(&ctx, &mut rng);
             let out = policy.dispatch_batch(&ctx, 9, &mut rng);
-            assert_eq!(out.len(), 9, "policy {} returned a wrong batch", factory.name());
+            assert_eq!(
+                out.len(),
+                9,
+                "policy {} returned a wrong batch",
+                factory.name()
+            );
             assert!(
                 out.iter().all(|s| s.index() < 4),
                 "policy {} produced an out-of-range destination",

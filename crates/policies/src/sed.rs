@@ -34,18 +34,27 @@ impl DispatchPolicy for SedPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         self.local.clear();
         self.local.extend_from_slice(ctx.queue_lengths());
         let rates = ctx.rates();
         let n = self.local.len();
-        let mut out = Vec::with_capacity(batch);
         for _ in 0..batch {
-            let target =
-                argmin_random_ties(n, |i| (self.local[i] as f64 + 1.0) / rates[i], rng);
+            let target = argmin_random_ties(n, |i| (self.local[i] as f64 + 1.0) / rates[i], rng);
             self.local[target] += 1;
             out.push(ServerId::new(target));
         }
-        out
     }
 }
 
@@ -110,7 +119,7 @@ mod tests {
         let mut policy = SedPolicy::new();
         let out = policy.dispatch_batch(&ctx, 8, &mut rng);
         let to_fast = out.iter().filter(|s| s.index() == 0).count();
-        assert!(to_fast >= 5 && to_fast <= 7, "fast server got {to_fast} of 8");
+        assert!((5..=7).contains(&to_fast), "fast server got {to_fast} of 8");
     }
 
     #[test]
@@ -132,7 +141,10 @@ mod tests {
         let spec = ClusterSpec::homogeneous(2, 1.0).unwrap();
         let factory = SedFactory::new();
         assert_eq!(factory.name(), "SED");
-        assert_eq!(factory.build(DispatcherId::new(0), &spec).policy_name(), "SED");
+        assert_eq!(
+            factory.build(DispatcherId::new(0), &spec).policy_name(),
+            "SED"
+        );
         assert_eq!(SedFactory::named().name(), "SED");
     }
 }

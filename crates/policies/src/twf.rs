@@ -13,8 +13,7 @@
 use crate::common::NamedFactory;
 use rand::RngCore;
 use scd_core::estimator::ArrivalEstimator;
-use scd_core::iwl::compute_iwl;
-use scd_core::solver::{solve_with_iwl, SolverKind};
+use scd_core::solver::{solve_round_into, ScdScratch, SolverKind};
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
     PolicyFactory, ServerId,
@@ -26,15 +25,16 @@ pub struct TwfPolicy {
     estimator: ArrivalEstimator,
     /// Scratch vector of all-ones "rates" (resized lazily to the cluster).
     unit_rates: Vec<f64>,
+    /// Reusable solver buffers (same pipeline as SCD, unit rates).
+    scratch: ScdScratch,
+    probabilities: Vec<f64>,
+    sampler: AliasSampler,
 }
 
 impl TwfPolicy {
     /// TWF with the paper's arrival estimator `a_est = m·a(d)`.
     pub fn new() -> Self {
-        TwfPolicy {
-            estimator: ArrivalEstimator::ScaledByDispatchers,
-            unit_rates: Vec::new(),
-        }
+        Self::with_estimator(ArrivalEstimator::ScaledByDispatchers)
     }
 
     /// TWF with an explicit arrival estimator.
@@ -42,22 +42,35 @@ impl TwfPolicy {
         TwfPolicy {
             estimator,
             unit_rates: Vec::new(),
+            scratch: ScdScratch::default(),
+            probabilities: Vec::new(),
+            sampler: AliasSampler::default(),
         }
     }
 
     /// Computes this round's (rate-oblivious) dispatching distribution
     /// without sampling — exposed for tests and examples.
+    ///
+    /// Runs the same solver pipeline as
+    /// [`dispatch_into`](DispatchPolicy::dispatch_into), so the returned
+    /// vector is exactly the distribution a dispatch would sample from.
     pub fn distribution(&mut self, ctx: &DispatchContext<'_>, batch: usize) -> Vec<f64> {
         let n = ctx.num_servers();
         if self.unit_rates.len() != n {
             self.unit_rates = vec![1.0; n];
         }
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
-        let queues = ctx.queue_lengths();
-        let water_level = compute_iwl(queues, &self.unit_rates, a_est);
-        solve_with_iwl(queues, &self.unit_rates, a_est, water_level, SolverKind::Fast)
-            .expect("unit-rate cluster state is always valid")
-            .probabilities
+        let mut probabilities = Vec::new();
+        solve_round_into(
+            ctx.queue_lengths(),
+            &self.unit_rates,
+            a_est,
+            SolverKind::Fast,
+            &mut self.scratch,
+            &mut probabilities,
+        )
+        .expect("unit-rate cluster state is always valid");
+        probabilities
     }
 }
 
@@ -78,15 +91,39 @@ impl DispatchPolicy for TwfPolicy {
         batch: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(batch);
+        self.dispatch_into(ctx, batch, &mut out, rng);
+        out
+    }
+
+    fn dispatch_into(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        out: &mut Vec<ServerId>,
+        rng: &mut dyn RngCore,
+    ) {
         if batch == 0 {
-            return Vec::new();
+            return;
         }
-        let probabilities = self.distribution(ctx, batch);
-        let sampler = AliasSampler::new(&probabilities)
+        let n = ctx.num_servers();
+        if self.unit_rates.len() != n {
+            self.unit_rates = vec![1.0; n];
+        }
+        let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
+        solve_round_into(
+            ctx.queue_lengths(),
+            &self.unit_rates,
+            a_est,
+            SolverKind::Fast,
+            &mut self.scratch,
+            &mut self.probabilities,
+        )
+        .expect("unit-rate cluster state is always valid");
+        self.sampler
+            .rebuild(&self.probabilities)
             .expect("solver output is a valid probability vector");
-        (0..batch)
-            .map(|_| ServerId::new(sampler.sample(rng)))
-            .collect()
+        out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng))));
     }
 }
 
@@ -171,7 +208,10 @@ mod tests {
         let spec = ClusterSpec::from_rates(vec![1.0, 5.0]).unwrap();
         let factory = TwfFactory::new();
         assert_eq!(factory.name(), "TWF");
-        assert_eq!(factory.build(DispatcherId::new(0), &spec).policy_name(), "TWF");
+        assert_eq!(
+            factory.build(DispatcherId::new(0), &spec).policy_name(),
+            "TWF"
+        );
         assert_eq!(TwfFactory::named().name(), "TWF");
     }
 }

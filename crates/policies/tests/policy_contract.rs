@@ -1,33 +1,36 @@
 //! Contract tests: every registered policy must behave like a well-formed
 //! dispatcher for arbitrary cluster states — correct arity, in-range
-//! destinations, determinism under a fixed RNG, and tolerance of edge-case
-//! contexts (idle cluster, saturated cluster, single server).
+//! destinations, determinism under a fixed RNG, agreement between the
+//! allocating (`dispatch_batch`) and buffer-reusing (`dispatch_into`) entry
+//! points, and tolerance of edge-case contexts (idle cluster, saturated
+//! cluster, single server).
+//!
+//! Cases are generated from a seeded [`StdRng`] (the build environment is
+//! offline, so no proptest); failure messages carry the case index.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use scd_model::{ClusterSpec, DispatchContext, DispatcherId, PolicyFactory};
+use rand::{Rng, SeedableRng};
+use scd_model::{ClusterSpec, DispatchContext, DispatcherId, ServerId};
 use scd_policies::{all_standard_factories, factory_by_name, standard_policy_names};
 
-fn context_strategy() -> impl Strategy<Value = (Vec<u64>, Vec<f64>, usize, usize)> {
-    (1usize..30).prop_flat_map(|n| {
-        (
-            prop::collection::vec(0u64..100, n),
-            prop::collection::vec(0.5f64..50.0, n),
-            1usize..16,
-            0usize..40,
-        )
-    })
+const CASES: usize = 48;
+
+/// A random `(queues, rates, dispatchers, batch, seed)` case.
+fn random_case(rng: &mut StdRng) -> (Vec<u64>, Vec<f64>, usize, usize, u64) {
+    let n = rng.gen_range(1..30usize);
+    let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100u64)).collect();
+    let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..50.0)).collect();
+    let dispatchers = rng.gen_range(1..16usize);
+    let batch = rng.gen_range(0..40usize);
+    let seed = rng.gen::<u64>();
+    (queues, rates, dispatchers, batch, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_policy_returns_valid_assignments(
-        (queues, rates, dispatchers, batch) in context_strategy(),
-        seed in 0u64..u64::MAX,
-    ) {
+#[test]
+fn every_policy_returns_valid_assignments() {
+    let mut case_rng = StdRng::seed_from_u64(0xC0477AC7);
+    for case in 0..CASES {
+        let (queues, rates, dispatchers, batch, seed) = random_case(&mut case_rng);
         let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
         let ctx = DispatchContext::new(&queues, &rates, dispatchers, 0);
         for factory in all_standard_factories() {
@@ -35,20 +38,26 @@ proptest! {
             let mut rng = StdRng::seed_from_u64(seed);
             policy.observe_round(&ctx, &mut rng);
             let out = policy.dispatch_batch(&ctx, batch, &mut rng);
-            prop_assert_eq!(out.len(), batch, "policy {} arity", factory.name());
-            prop_assert!(
+            assert_eq!(
+                out.len(),
+                batch,
+                "case {case}: policy {} arity",
+                factory.name()
+            );
+            assert!(
                 out.iter().all(|s| s.index() < queues.len()),
-                "policy {} produced an out-of-range destination",
+                "case {case}: policy {} produced an out-of-range destination",
                 factory.name()
             );
         }
     }
+}
 
-    #[test]
-    fn policies_are_deterministic_given_the_rng(
-        (queues, rates, dispatchers, batch) in context_strategy(),
-        seed in 0u64..u64::MAX,
-    ) {
+#[test]
+fn policies_are_deterministic_given_the_rng() {
+    let mut case_rng = StdRng::seed_from_u64(0xDE7E2);
+    for case in 0..CASES {
+        let (queues, rates, dispatchers, batch, seed) = random_case(&mut case_rng);
         let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
         let ctx = DispatchContext::new(&queues, &rates, dispatchers, 0);
         for name in standard_policy_names() {
@@ -59,7 +68,84 @@ proptest! {
                 policy.observe_round(&ctx, &mut rng);
                 policy.dispatch_batch(&ctx, batch, &mut rng)
             };
-            prop_assert_eq!(run(seed), run(seed), "policy {} is not deterministic", name);
+            assert_eq!(
+                run(seed),
+                run(seed),
+                "case {case}: policy {name} is not deterministic"
+            );
+        }
+    }
+}
+
+/// The allocation-free entry point must consume the RNG identically to the
+/// allocating one and append exactly the same destinations. This is the
+/// contract the engine's hot path relies on.
+#[test]
+fn dispatch_into_matches_dispatch_batch_for_every_policy() {
+    let mut case_rng = StdRng::seed_from_u64(0x1A70);
+    for case in 0..CASES {
+        let (queues, rates, dispatchers, batch, seed) = random_case(&mut case_rng);
+        let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
+        let ctx = DispatchContext::new(&queues, &rates, dispatchers, 0);
+        for name in standard_policy_names() {
+            let factory = factory_by_name(name).unwrap();
+
+            let mut batch_policy = factory.build(DispatcherId::new(0), &spec);
+            let mut batch_rng = StdRng::seed_from_u64(seed);
+            batch_policy.observe_round(&ctx, &mut batch_rng);
+            let allocated = batch_policy.dispatch_batch(&ctx, batch, &mut batch_rng);
+
+            let mut into_policy = factory.build(DispatcherId::new(0), &spec);
+            let mut into_rng = StdRng::seed_from_u64(seed);
+            into_policy.observe_round(&ctx, &mut into_rng);
+            let mut reused: Vec<ServerId> = Vec::new();
+            // Pre-poison the buffer to verify policies append to a cleared
+            // buffer the way the engine does.
+            reused.push(ServerId::new(usize::MAX));
+            reused.clear();
+            into_policy.dispatch_into(&ctx, batch, &mut reused, &mut into_rng);
+
+            assert_eq!(
+                allocated, reused,
+                "case {case}: policy {name}: dispatch_into diverges from dispatch_batch"
+            );
+            // The two paths must also leave the RNG in the same state, or
+            // subsequent rounds would diverge between engine versions.
+            assert_eq!(
+                batch_rng.gen::<u64>(),
+                into_rng.gen::<u64>(),
+                "case {case}: policy {name}: RNG consumption differs between entry points"
+            );
+        }
+    }
+}
+
+/// Repeated rounds through `dispatch_into` with a reused buffer must match a
+/// fresh policy driven through `dispatch_batch` — i.e. buffer reuse must not
+/// leak state across rounds.
+#[test]
+fn dispatch_into_buffer_reuse_is_stateless_across_rounds() {
+    let mut case_rng = StdRng::seed_from_u64(0x2B31);
+    for _ in 0..8 {
+        let (queues, rates, dispatchers, _, seed) = random_case(&mut case_rng);
+        let spec = ClusterSpec::from_rates(rates.clone()).unwrap();
+        for name in standard_policy_names() {
+            let factory = factory_by_name(name).unwrap();
+            let mut a = factory.build(DispatcherId::new(0), &spec);
+            let mut b = factory.build(DispatcherId::new(0), &spec);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut buffer = Vec::new();
+            for round in 0..5u64 {
+                let ctx = DispatchContext::new(&queues, &rates, dispatchers, round);
+                let batch = (round as usize * 3 + 1) % 7;
+                a.observe_round(&ctx, &mut rng_a);
+                b.observe_round(&ctx, &mut rng_b);
+                let allocated = a.dispatch_batch(&ctx, batch, &mut rng_a);
+                buffer.clear();
+                b.dispatch_into(&ctx, batch, &mut buffer, &mut rng_b);
+                assert_eq!(allocated, buffer, "policy {name} round {round}");
+            }
         }
     }
 }

@@ -61,7 +61,10 @@ impl ArrivalSpec {
             }
         };
         for &r in &rates {
-            assert!(r.is_finite() && r >= 0.0, "arrival rates must be non-negative");
+            assert!(
+                r.is_finite() && r >= 0.0,
+                "arrival rates must be non-negative"
+            );
         }
         rates
     }
@@ -70,7 +73,12 @@ impl ArrivalSpec {
     pub fn build(&self, num_dispatchers: usize, total_capacity: f64) -> Vec<ArrivalProcess> {
         match self {
             ArrivalSpec::Deterministic { jobs_per_round } => {
-                vec![ArrivalProcess::Deterministic { jobs_per_round: *jobs_per_round }; num_dispatchers]
+                vec![
+                    ArrivalProcess::Deterministic {
+                        jobs_per_round: *jobs_per_round
+                    };
+                    num_dispatchers
+                ]
             }
             _ => self
                 .per_dispatcher_rates(num_dispatchers, total_capacity)
@@ -94,9 +102,14 @@ impl ArrivalSpec {
 #[derive(Debug, Clone)]
 pub enum ArrivalProcess {
     /// `a(d)(t) ~ Poisson(λ)`.
+    ///
+    /// The distribution (and therefore its inverted-CDF sampling table) is
+    /// prepared once at construction — the engine samples it every round, so
+    /// per-draw setup would dominate the arrival phase. `None` encodes a
+    /// zero rate.
     Poisson {
-        /// Mean arrivals per round.
-        lambda: f64,
+        /// The prepared distribution; `None` for `λ = 0` (no arrivals).
+        dist: Option<Poisson>,
     },
     /// Exactly `jobs_per_round` arrivals every round.
     Deterministic {
@@ -108,14 +121,26 @@ pub enum ArrivalProcess {
 impl ArrivalProcess {
     /// A Poisson process with the given mean (a mean of zero yields no
     /// arrivals).
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or not finite.
     pub fn poisson(lambda: f64) -> Self {
-        ArrivalProcess::Poisson { lambda }
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "arrival rate must be finite and non-negative, got {lambda}"
+        );
+        let dist = if lambda > 0.0 {
+            Some(Poisson::new(lambda).expect("lambda is positive and finite"))
+        } else {
+            None
+        };
+        ArrivalProcess::Poisson { dist }
     }
 
     /// The mean number of arrivals per round.
     pub fn mean(&self) -> f64 {
         match self {
-            ArrivalProcess::Poisson { lambda } => *lambda,
+            ArrivalProcess::Poisson { dist } => dist.as_ref().map_or(0.0, Poisson::lambda),
             ArrivalProcess::Deterministic { jobs_per_round } => *jobs_per_round as f64,
         }
     }
@@ -123,13 +148,8 @@ impl ArrivalProcess {
     /// Draws the number of arrivals for one round.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match self {
-            ArrivalProcess::Poisson { lambda } => {
-                if *lambda <= 0.0 {
-                    0
-                } else {
-                    let dist = Poisson::new(*lambda).expect("lambda is positive and finite");
-                    dist.sample(rng) as u64
-                }
+            ArrivalProcess::Poisson { dist } => {
+                dist.as_ref().map_or(0, |dist| dist.sample(rng) as u64)
             }
             ArrivalProcess::Deterministic { jobs_per_round } => *jobs_per_round,
         }
@@ -155,7 +175,9 @@ mod tests {
 
     #[test]
     fn explicit_rates_are_used_verbatim() {
-        let spec = ArrivalSpec::PoissonRates { rates: vec![1.0, 2.0] };
+        let spec = ArrivalSpec::PoissonRates {
+            rates: vec![1.0, 2.0],
+        };
         assert_eq!(spec.per_dispatcher_rates(2, 10.0), vec![1.0, 2.0]);
         assert!((spec.offered_load(2, 10.0) - 0.3).abs() < 1e-12);
     }

@@ -1,14 +1,14 @@
 //! The three-phase round engine (Section 2 of the paper).
 
 use crate::config::SimConfig;
+use crate::queues::SegmentQueue;
 use crate::report::{QueueSummary, SimReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scd_metrics::{QueueLengthTracker, ResponseTimeHistogram, SampleSet};
 use scd_model::{
-    policy::validate_assignment, DispatchContext, DispatcherId, ModelError, PolicyFactory,
+    policy::validate_assignment, DispatchContext, DispatcherId, ModelError, PolicyFactory, ServerId,
 };
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -56,12 +56,38 @@ impl Error for SimError {
 }
 
 /// Seed-stream separation constants: each stochastic stream of the run is
-/// seeded from the master seed XOR a distinct tag, so that the arrival and
-/// departure processes are identical across policies while policy-internal
-/// randomness stays independent per dispatcher.
+/// seeded from the master seed and a distinct tag (plus a per-dispatcher
+/// index for the policy streams), so that the arrival and departure processes
+/// are identical across policies while policy-internal randomness stays
+/// independent per dispatcher.
 const ARRIVAL_STREAM_TAG: u64 = 0x41_52_52_49_56_41_4C_53; // "ARRIVALS"
 const SERVICE_STREAM_TAG: u64 = 0x53_45_52_56_49_43_45_53; // "SERVICES"
 const POLICY_STREAM_TAG: u64 = 0x50_4F_4C_49_43_59_00_00; // "POLICY"
+
+/// The splitmix64 output (finalization) function — a full-avalanche 64-bit
+/// mixer.
+#[inline]
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of one stochastic stream from the master seed.
+///
+/// The previous scheme (`seed ^ TAG ^ (d << 32)`) was a linear function of
+/// its inputs: adversarial master seeds could cancel the tag bits and make
+/// two streams collide, or leave streams differing in a single bit and
+/// therefore correlated for weak generators. Absorbing the tag and index
+/// through two rounds of the splitmix64 finalizer makes every derived seed a
+/// full-avalanche hash of `(master, tag, index)`, so distinct streams are
+/// decorrelated for *every* choice of master seed.
+fn derive_stream_seed(master: u64, tag: u64, index: u64) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = splitmix64_mix(master.wrapping_add(GOLDEN).wrapping_add(tag));
+    z = splitmix64_mix(z.wrapping_add(GOLDEN).wrapping_add(index));
+    z
+}
 
 /// A configured simulation, ready to run any number of policies on identical
 /// stochastic inputs.
@@ -119,11 +145,15 @@ impl Simulation {
         let m = config.num_dispatchers;
         let rates = spec.rates();
 
-        // Independent RNG streams (see the constants above).
-        let mut arrival_rng = StdRng::seed_from_u64(config.seed ^ ARRIVAL_STREAM_TAG);
-        let mut service_rng = StdRng::seed_from_u64(config.seed ^ SERVICE_STREAM_TAG);
+        // Independent RNG streams (see `derive_stream_seed` above).
+        let mut arrival_rng =
+            StdRng::seed_from_u64(derive_stream_seed(config.seed, ARRIVAL_STREAM_TAG, 0));
+        let mut service_rng =
+            StdRng::seed_from_u64(derive_stream_seed(config.seed, SERVICE_STREAM_TAG, 0));
         let mut policy_rngs: Vec<StdRng> = (0..m)
-            .map(|d| StdRng::seed_from_u64(config.seed ^ POLICY_STREAM_TAG ^ (d as u64) << 32))
+            .map(|d| {
+                StdRng::seed_from_u64(derive_stream_seed(config.seed, POLICY_STREAM_TAG, d as u64))
+            })
             .collect();
 
         let arrival_processes = config.arrivals.build(m, spec.total_rate());
@@ -133,9 +163,16 @@ impl Simulation {
             .map(|d| factory.build(DispatcherId::new(d), spec))
             .collect();
 
-        // Per-server FIFO queues holding the arrival round of every queued job.
-        let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
-        let mut queue_lengths: Vec<u64> = vec![0; n];
+        // Per-server FIFO queues, run-length encoded by arrival round; each
+        // queue tracks its own length, so no separate length mirror exists
+        // to drift out of sync.
+        let mut queues: Vec<SegmentQueue> = vec![SegmentQueue::new(); n];
+
+        // Buffers reused across rounds — after warm-up the loop below
+        // performs no heap allocations.
+        let mut snapshot: Vec<u64> = vec![0; n];
+        let mut arrivals: Vec<u64> = Vec::with_capacity(m);
+        let mut assignment: Vec<ServerId> = Vec::new();
 
         let mut response_times = ResponseTimeHistogram::new();
         let mut tracker = QueueLengthTracker::new(n);
@@ -152,17 +189,17 @@ impl Simulation {
         for round in 0..config.rounds {
             let measured_round = round >= warmup;
             // The queue-length snapshot every dispatcher observes this round.
-            let snapshot = queue_lengths.clone();
+            for (slot, queue) in snapshot.iter_mut().zip(&queues) {
+                *slot = queue.len();
+            }
             if measured_round {
                 tracker.observe(&snapshot);
             }
             let ctx = DispatchContext::new(&snapshot, rates, m, round);
 
             // Phase 1: arrivals.
-            let arrivals: Vec<u64> = arrival_processes
-                .iter()
-                .map(|p| p.sample(&mut arrival_rng))
-                .collect();
+            arrivals.clear();
+            arrivals.extend(arrival_processes.iter().map(|p| p.sample(&mut arrival_rng)));
 
             // Phase 2: dispatching. All dispatchers see the same snapshot and
             // act independently.
@@ -174,16 +211,16 @@ impl Simulation {
                 if batch == 0 {
                     continue;
                 }
-                let assignment = if let Some(samples) = decision_times.as_mut() {
+                assignment.clear();
+                if let Some(samples) = decision_times.as_mut() {
                     let start = Instant::now();
-                    let assignment = policies[d].dispatch_batch(&ctx, batch, &mut policy_rngs[d]);
+                    policies[d].dispatch_into(&ctx, batch, &mut assignment, &mut policy_rngs[d]);
                     if measured_round {
                         samples.push(start.elapsed().as_secs_f64() * 1e6);
                     }
-                    assignment
                 } else {
-                    policies[d].dispatch_batch(&ctx, batch, &mut policy_rngs[d])
-                };
+                    policies[d].dispatch_into(&ctx, batch, &mut assignment, &mut policy_rngs[d]);
+                }
                 validate_assignment(&assignment, batch, n).map_err(|source| {
                     SimError::PolicyViolation {
                         policy: factory.name().to_string(),
@@ -191,9 +228,8 @@ impl Simulation {
                         source,
                     }
                 })?;
-                for server in assignment {
-                    queues[server.index()].push_back(round);
-                    queue_lengths[server.index()] += 1;
+                for &server in &assignment {
+                    queues[server.index()].push(round, 1);
                 }
                 if measured_round {
                     jobs_dispatched += batch as u64;
@@ -202,20 +238,16 @@ impl Simulation {
 
             // Phase 3: departures. Capacities are drawn for every server every
             // round (even idle ones) so the service stream does not depend on
-            // the policy under test.
+            // the policy under test. Whole segments complete at once, so this
+            // phase costs O(segments touched), not O(jobs).
             for s in 0..n {
                 let capacity = service_processes[s].sample(&mut service_rng);
-                let completions = capacity.min(queue_lengths[s]);
-                for _ in 0..completions {
-                    let arrival_round = queues[s]
-                        .pop_front()
-                        .expect("queue length bookkeeping is consistent");
-                    queue_lengths[s] -= 1;
+                queues[s].pop(capacity, |arrival_round, count| {
                     if arrival_round >= warmup {
-                        response_times.record(round - arrival_round + 1);
-                        jobs_completed += 1;
+                        response_times.record_many(round - arrival_round + 1, count);
+                        jobs_completed += count;
                     }
-                }
+                });
             }
         }
 
@@ -343,7 +375,10 @@ mod tests {
         assert_eq!(report.jobs_in_flight, 0);
         assert_eq!(report.response_times.max(), 1);
         assert!((report.mean_response_time() - 1.0).abs() < 1e-12);
-        assert_eq!(report.queues.max_total_backlog, 0.0, "queues observed at round start");
+        assert_eq!(
+            report.queues.max_total_backlog, 0.0,
+            "queues observed at round start"
+        );
     }
 
     #[test]
@@ -414,7 +449,9 @@ mod tests {
         let sim = Simulation::new(deterministic_config()).unwrap();
         let err = sim.run(&factory_of::<Broken>("broken")).unwrap_err();
         match &err {
-            SimError::PolicyViolation { policy, dispatcher, .. } => {
+            SimError::PolicyViolation {
+                policy, dispatcher, ..
+            } => {
                 assert_eq!(policy, "broken");
                 assert_eq!(*dispatcher, 0);
             }
@@ -422,6 +459,48 @@ mod tests {
         }
         assert!(err.to_string().contains("broken"));
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn stream_seeds_never_collide_even_for_adversarial_masters() {
+        // Masters crafted to defeat the old linear `seed ^ TAG ^ (d << 32)`
+        // derivation, plus a few ordinary ones.
+        let masters = [
+            0u64,
+            1,
+            u64::MAX,
+            ARRIVAL_STREAM_TAG,
+            SERVICE_STREAM_TAG,
+            POLICY_STREAM_TAG,
+            ARRIVAL_STREAM_TAG ^ SERVICE_STREAM_TAG,
+            ARRIVAL_STREAM_TAG ^ POLICY_STREAM_TAG,
+            POLICY_STREAM_TAG ^ (1u64 << 32),
+            0xDEAD_BEEF_CAFE_BABE,
+        ];
+        for &master in &masters {
+            let mut seeds = std::collections::HashSet::new();
+            seeds.insert(derive_stream_seed(master, ARRIVAL_STREAM_TAG, 0));
+            seeds.insert(derive_stream_seed(master, SERVICE_STREAM_TAG, 0));
+            for d in 0..64u64 {
+                seeds.insert(derive_stream_seed(master, POLICY_STREAM_TAG, d));
+            }
+            assert_eq!(seeds.len(), 66, "collision for master {master:#x}");
+        }
+    }
+
+    #[test]
+    fn stream_seeds_avalanche_on_master_bit_flips() {
+        // Flipping any single master bit must flip roughly half the derived
+        // seed bits (the old XOR scheme flipped exactly one).
+        let base = derive_stream_seed(42, ARRIVAL_STREAM_TAG, 0);
+        for bit in 0..64 {
+            let flipped = derive_stream_seed(42 ^ (1u64 << bit), ARRIVAL_STREAM_TAG, 0);
+            let differing = (base ^ flipped).count_ones();
+            assert!(
+                (16..=48).contains(&differing),
+                "bit {bit}: only {differing} output bits changed"
+            );
+        }
     }
 
     #[test]
@@ -450,7 +529,11 @@ mod tests {
         let sim = Simulation::new(config).unwrap();
         let report = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
         let samples = report.decision_times_us.expect("decision times requested");
-        assert_eq!(samples.len(), 50, "one timed decision per round (batch > 0)");
+        assert_eq!(
+            samples.len(),
+            50,
+            "one timed decision per round (batch > 0)"
+        );
         assert!(samples.as_slice().iter().all(|&t| t >= 0.0));
     }
 }

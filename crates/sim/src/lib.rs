@@ -45,6 +45,7 @@
 pub mod arrivals;
 pub mod config;
 pub mod engine;
+pub mod queues;
 pub mod report;
 pub mod runner;
 pub mod services;
@@ -52,6 +53,9 @@ pub mod services;
 pub use arrivals::ArrivalSpec;
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{SimError, Simulation};
+pub use queues::SegmentQueue;
 pub use report::{QueueSummary, SimReport};
-pub use runner::{run_comparison, ComparisonResult};
+pub use runner::{
+    fan_out, run_comparison, run_comparison_parallel, run_replications, ComparisonResult,
+};
 pub use services::ServiceModel;

@@ -18,7 +18,11 @@ pub struct QueueSummary {
 }
 
 /// The result of simulating one policy on one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every collected statistic, which is what the
+/// parallel-runner equivalence guarantees ("bit-identical reports") are
+/// asserted with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Display name of the policy that produced this report.
     pub policy: String,

@@ -44,7 +44,15 @@ impl ComparisonResult {
     /// backlog, censored fraction).
     pub fn to_table(&self) -> Table {
         let mut table = Table::with_headers(&[
-            "policy", "mean", "p50", "p95", "p99", "p99.9", "max", "avg backlog", "censored %",
+            "policy",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "p99.9",
+            "max",
+            "avg backlog",
+            "censored %",
         ]);
         for r in &self.reports {
             let s = r.summary();
@@ -81,6 +89,116 @@ pub fn run_comparison(
     Ok(ComparisonResult { reports })
 }
 
+/// Like [`run_comparison`] but fans the policies out over up to `threads` OS
+/// threads.
+///
+/// Each run derives every stochastic stream from the configuration seed
+/// alone, so a parallel run is **bit-identical** to the sequential one — the
+/// reports come back in factory order and match [`run_comparison`] exactly.
+/// `threads` of 0 or 1 degrades to the sequential path.
+///
+/// The one exception is `measure_decision_times`: wall-clock timing samples
+/// are nondeterministic by nature (two *sequential* runs differ too), so
+/// reports from timed configurations are never comparable with `==`.
+///
+/// # Errors
+/// Propagates configuration and policy-violation errors from the engine.
+pub fn run_comparison_parallel(
+    config: &SimConfig,
+    factories: &[&dyn PolicyFactory],
+    threads: usize,
+) -> Result<ComparisonResult, SimError> {
+    let simulation = Simulation::new(config.clone())?;
+    let results = fan_out(factories.len(), threads, |index| {
+        simulation.run(factories[index])
+    });
+    let mut reports = Vec::with_capacity(factories.len());
+    for result in results {
+        reports.push(result?);
+    }
+    Ok(ComparisonResult { reports })
+}
+
+/// Runs one policy on `seeds.len()` statistically independent replications
+/// (the configuration re-seeded with each entry of `seeds`), fanning out over
+/// up to `threads` OS threads. Reports come back in seed order, each
+/// bit-identical to a sequential run of the same seed.
+///
+/// This is the building block for confidence intervals over response-time
+/// statistics: every replication redraws the arrival/service processes while
+/// the cluster and load stay fixed.
+///
+/// # Errors
+/// Propagates configuration and policy-violation errors from the engine.
+pub fn run_replications(
+    config: &SimConfig,
+    factory: &dyn PolicyFactory,
+    seeds: &[u64],
+    threads: usize,
+) -> Result<Vec<SimReport>, SimError> {
+    // Validate the base configuration once up front.
+    Simulation::new(config.clone())?;
+    let results = fan_out(seeds.len(), threads, |index| {
+        let mut replication = config.clone();
+        replication.seed = seeds[index];
+        Simulation::new(replication)?.run(factory)
+    });
+    results.into_iter().collect()
+}
+
+/// Work-stealing index fan-out over scoped threads: runs `worker` for every
+/// index in `0..count` on up to `threads` OS threads and returns the outputs
+/// in index order.
+///
+/// A `threads` value of 0 or 1 (or a single index) runs everything on the
+/// calling thread. This is the one thread-pool primitive of the workspace —
+/// the policy/seed runners above and `scd-experiments`' sweep executor are
+/// both built on it.
+pub fn fan_out<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(count);
+    if threads == 1 {
+        return (0..count).map(worker).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let worker_ref = &worker;
+    let next_ref = &next;
+    let slots_ref = &slots;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let index = next_ref.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let output = worker_ref(index);
+                *slots_ref[index].lock().expect("no poisoned locks") = Some(output);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned locks")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,12 +228,56 @@ mod tests {
         assert_eq!(result.reports.len(), 3);
         // Identical arrival streams → identical dispatched-job counts.
         let dispatched: Vec<u64> = result.reports.iter().map(|r| r.jobs_dispatched).collect();
-        assert!(dispatched.windows(2).all(|w| w[0] == w[1]), "{dispatched:?}");
+        assert!(
+            dispatched.windows(2).all(|w| w[0] == w[1]),
+            "{dispatched:?}"
+        );
         assert!(result.report("SCD").is_some());
         assert!(result.report("nope").is_none());
         let table = result.to_table();
         assert_eq!(table.num_rows(), 3);
         assert!(table.to_string().contains("SCD"));
+    }
+
+    #[test]
+    fn parallel_comparison_is_bit_identical_to_sequential() {
+        let scd = ScdFactory::new();
+        let jsq = JsqFactory::new();
+        let sed = SedFactory::new();
+        let factories: [&dyn scd_model::PolicyFactory; 3] = [&scd, &jsq, &sed];
+        let sequential = run_comparison(&config(), &factories).unwrap();
+        for threads in [1usize, 2, 8] {
+            let parallel = run_comparison_parallel(&config(), &factories, threads).unwrap();
+            assert_eq!(
+                sequential.reports, parallel.reports,
+                "threads={threads}: parallel runner diverged from the sequential path"
+            );
+        }
+    }
+
+    #[test]
+    fn replications_match_individually_seeded_runs() {
+        let scd = ScdFactory::new();
+        let seeds = [11u64, 22, 33, 44];
+        let reports = run_replications(&config(), &scd, &seeds, 4).unwrap();
+        assert_eq!(reports.len(), seeds.len());
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut solo_config = config();
+            solo_config.seed = seed;
+            let solo = Simulation::new(solo_config).unwrap().run(&scd).unwrap();
+            assert_eq!(reports[i], solo, "replication {i} (seed {seed}) diverged");
+        }
+        // Different seeds genuinely redraw the stochastic processes.
+        assert_ne!(reports[0].response_times, reports[1].response_times);
+    }
+
+    #[test]
+    fn empty_fan_outs_are_fine() {
+        let result = run_comparison_parallel(&config(), &[], 4).unwrap();
+        assert!(result.reports.is_empty());
+        let scd = ScdFactory::new();
+        let reports = run_replications(&config(), &scd, &[], 4).unwrap();
+        assert!(reports.is_empty());
     }
 
     #[test]

@@ -10,18 +10,13 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Declarative description of the service process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ServiceModel {
     /// `c_s(t) ~ Geometric` with mean `µ_s` (the paper's model).
+    #[default]
     Geometric,
     /// `c_s(t) = round(µ_s)` deterministically — useful for exact unit tests.
     Deterministic,
-}
-
-impl Default for ServiceModel {
-    fn default() -> Self {
-        ServiceModel::Geometric
-    }
 }
 
 impl ServiceModel {
@@ -45,6 +40,10 @@ pub enum ServiceProcess {
     Geometric {
         /// Mean capacity per round.
         mu: f64,
+        /// Precomputed `1/ln(1 - p)` for the inverse-CDF draw — the engine
+        /// samples every server every round, so recomputing the logarithm
+        /// per draw would double the cost of the departure phase.
+        inv_ln_q: f64,
     },
     /// Fixed capacity `round(µ)` every round.
     Deterministic {
@@ -59,8 +58,15 @@ impl ServiceProcess {
     /// # Panics
     /// Panics if `mu` is not finite and strictly positive.
     pub fn geometric(mu: f64) -> Self {
-        assert!(mu.is_finite() && mu > 0.0, "service rate must be positive, got {mu}");
-        ServiceProcess::Geometric { mu }
+        assert!(
+            mu.is_finite() && mu > 0.0,
+            "service rate must be positive, got {mu}"
+        );
+        let p = 1.0 / (1.0 + mu);
+        ServiceProcess::Geometric {
+            mu,
+            inv_ln_q: 1.0 / (1.0 - p).ln(),
+        }
     }
 
     /// Deterministic process completing `round(mu)` jobs per round.
@@ -73,7 +79,7 @@ impl ServiceProcess {
     /// The mean capacity per round.
     pub fn mean(&self) -> f64 {
         match self {
-            ServiceProcess::Geometric { mu } => *mu,
+            ServiceProcess::Geometric { mu, .. } => *mu,
             ServiceProcess::Deterministic { capacity } => *capacity as f64,
         }
     }
@@ -83,14 +89,13 @@ impl ServiceProcess {
     /// The geometric draw uses the inverse-CDF method
     /// `⌊ln(U)/ln(1−p)⌋` with success probability `p = 1/(1+µ)`, which gives
     /// the number of failures before the first success and therefore has mean
-    /// `(1−p)/p = µ`.
+    /// `(1−p)/p = µ`. The `1/ln(1−p)` factor is precomputed at construction.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match self {
-            ServiceProcess::Geometric { mu } => {
-                let p = 1.0 / (1.0 + mu);
+            ServiceProcess::Geometric { inv_ln_q, .. } => {
                 // U ∈ (0, 1); guard against a literal zero from the generator.
                 let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                let draws = (u.ln() / (1.0 - p).ln()).floor();
+                let draws = (u.ln() * inv_ln_q).floor();
                 if draws < 0.0 {
                     0
                 } else if draws > u64::MAX as f64 {
@@ -133,7 +138,9 @@ mod tests {
         let process = ServiceProcess::geometric(mu);
         let mut rng = StdRng::seed_from_u64(11);
         let draws = 120_000;
-        let samples: Vec<f64> = (0..draws).map(|_| process.sample(&mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..draws)
+            .map(|_| process.sample(&mut rng) as f64)
+            .collect();
         let mean: f64 = samples.iter().sum::<f64>() / draws as f64;
         let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws as f64;
         let expected = mu * (1.0 + mu);

@@ -88,13 +88,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.85 })
         .build()?;
 
-    let custom = StickyWeightedRandomFactory { sticky_threshold: 4 };
+    let custom = StickyWeightedRandomFactory {
+        sticky_threshold: 4,
+    };
     let scd = ScdFactory::new();
     let wr = WeightedRandomFactory::new();
     let result = run_comparison(&config, &[&scd, &custom, &wr])?;
 
     println!("custom policy vs SCD and plain weighted random (load 0.85):");
     println!("{}", result.to_table());
-    println!("winner on mean response time: {}", result.best_by_mean().unwrap_or("-"));
+    println!(
+        "winner on mean response time: {}",
+        result.best_by_mean().unwrap_or("-")
+    );
     Ok(())
 }

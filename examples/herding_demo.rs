@@ -41,13 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.total_rate()
     );
 
-    let mut table = Table::with_headers(&[
-        "policy",
-        "dispatchers",
-        "mean RT",
-        "p99 RT",
-        "max backlog",
-    ]);
+    let mut table =
+        Table::with_headers(&["policy", "dispatchers", "mean RT", "p99 RT", "max backlog"]);
 
     for &m in &[1usize, 5, 20] {
         for name in ["JSQ", "SED", "SCD"] {

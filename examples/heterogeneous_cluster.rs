@@ -17,7 +17,7 @@ use scd::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 accelerators (40 jobs/round each) + 36 CPU servers (2 jobs/round).
     let mut rates = vec![40.0; 4];
-    rates.extend(std::iter::repeat(2.0).take(36));
+    rates.extend(std::iter::repeat_n(2.0, 36));
     let spec = ClusterSpec::from_rates(rates)?;
     println!(
         "cluster: {} servers, {:.0}% of the capacity lives in 4 accelerators\n",

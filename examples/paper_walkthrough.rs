@@ -38,9 +38,9 @@ fn figure2() {
     println!("=== Figure 2: stochastic coordination on a skewed cluster ===");
     // One fast server (µ=10) with 9 queued jobs and eight idle slow servers.
     let mut queues = vec![9u64];
-    queues.extend(std::iter::repeat(0).take(8));
+    queues.extend(std::iter::repeat_n(0, 8));
     let mut rates = vec![10.0];
-    rates.extend(std::iter::repeat(1.0).take(8));
+    rates.extend(std::iter::repeat_n(1.0, 8));
     let arrivals = 7.0;
 
     let solution = solve(&queues, &rates, arrivals, SolverKind::Fast).expect("valid instance");
@@ -68,7 +68,13 @@ fn figure2() {
     );
     println!(
         "objective value f(P*) = {:.6}",
-        objective(&solution.probabilities, &queues, &rates, arrivals, solution.iwl)
+        objective(
+            &solution.probabilities,
+            &queues,
+            &rates,
+            arrivals,
+            solution.iwl
+        )
     );
     check_kkt(
         &solution.probabilities,

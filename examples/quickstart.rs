@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hlsq = LsqFactory::heterogeneous();
     let wr = WeightedRandomFactory::new();
 
-    let result = run_comparison(
-        &config,
-        &[&scd, &sed, &jsq, &twf, &hlsq, &wr],
-    )?;
+    let result = run_comparison(&config, &[&scd, &sed, &jsq, &twf, &hlsq, &wr])?;
 
     println!("\nresponse-time comparison at offered load 0.90:");
     println!("{}", result.to_table());

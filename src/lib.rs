@@ -71,8 +71,8 @@ pub mod prelude {
         PowerOfDFactory, SedFactory, TwfFactory, WeightedRandomFactory,
     };
     pub use scd_sim::{
-        run_comparison, ArrivalSpec, ComparisonResult, ServiceModel, SimConfig, SimReport,
-        Simulation,
+        run_comparison, run_comparison_parallel, run_replications, ArrivalSpec, ComparisonResult,
+        ServiceModel, SimConfig, SimReport, Simulation,
     };
 }
 

@@ -22,8 +22,14 @@ fn config_with_seed(seed: u64) -> SimConfig {
 #[test]
 fn same_seed_same_everything() {
     let factory = ScdFactory::new();
-    let a = Simulation::new(config_with_seed(5)).unwrap().run(&factory).unwrap();
-    let b = Simulation::new(config_with_seed(5)).unwrap().run(&factory).unwrap();
+    let a = Simulation::new(config_with_seed(5))
+        .unwrap()
+        .run(&factory)
+        .unwrap();
+    let b = Simulation::new(config_with_seed(5))
+        .unwrap()
+        .run(&factory)
+        .unwrap();
     assert_eq!(a.response_times, b.response_times);
     assert_eq!(a.jobs_dispatched, b.jobs_dispatched);
     assert_eq!(a.jobs_completed, b.jobs_completed);
@@ -33,8 +39,14 @@ fn same_seed_same_everything() {
 #[test]
 fn different_seeds_differ() {
     let factory = ScdFactory::new();
-    let a = Simulation::new(config_with_seed(5)).unwrap().run(&factory).unwrap();
-    let b = Simulation::new(config_with_seed(6)).unwrap().run(&factory).unwrap();
+    let a = Simulation::new(config_with_seed(5))
+        .unwrap()
+        .run(&factory)
+        .unwrap();
+    let b = Simulation::new(config_with_seed(6))
+        .unwrap()
+        .run(&factory)
+        .unwrap();
     assert_ne!(
         a.response_times, b.response_times,
         "different seeds should produce different sample paths"

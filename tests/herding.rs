@@ -7,7 +7,9 @@ use scd::prelude::*;
 fn cluster(seed: u64) -> ClusterSpec {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    RateProfile::paper_moderate().materialize(40, &mut rng).unwrap()
+    RateProfile::paper_moderate()
+        .materialize(40, &mut rng)
+        .unwrap()
 }
 
 fn p99_with_dispatchers(spec: &ClusterSpec, policy: &str, m: usize) -> u64 {

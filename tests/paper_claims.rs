@@ -8,7 +8,9 @@ use scd::prelude::*;
 fn moderate_cluster(n: usize, seed: u64) -> ClusterSpec {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    RateProfile::paper_moderate().materialize(n, &mut rng).unwrap()
+    RateProfile::paper_moderate()
+        .materialize(n, &mut rng)
+        .unwrap()
 }
 
 /// Builds a highly heterogeneous cluster (µ ~ U[1,100]).
@@ -92,8 +94,8 @@ fn scd_and_twf_coincide_on_homogeneous_clusters() {
     let spec = ClusterSpec::homogeneous(20, 3.0).unwrap();
     let scd = run(&spec, 4, 0.9, 3_000, 5, "SCD");
     let twf = run(&spec, 4, 0.9, 3_000, 5, "TWF");
-    let mean_gap = (scd.mean_response_time() - twf.mean_response_time()).abs()
-        / scd.mean_response_time();
+    let mean_gap =
+        (scd.mean_response_time() - twf.mean_response_time()).abs() / scd.mean_response_time();
     assert!(
         mean_gap < 0.02,
         "homogeneous SCD and TWF means diverge: {:.4} vs {:.4}",
@@ -103,7 +105,10 @@ fn scd_and_twf_coincide_on_homogeneous_clusters() {
     let p99_gap = scd
         .response_time_percentile(0.99)
         .abs_diff(twf.response_time_percentile(0.99));
-    assert!(p99_gap <= 1, "homogeneous SCD and TWF p99 diverge by {p99_gap}");
+    assert!(
+        p99_gap <= 1,
+        "homogeneous SCD and TWF p99 diverge by {p99_gap}"
+    );
 }
 
 #[test]

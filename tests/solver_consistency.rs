@@ -85,7 +85,9 @@ fn solver_kinds_agree_through_the_public_api() {
 fn ideal_assignment_is_conserved_for_policy_scale_inputs() {
     // Larger, paper-scale instance: n = 400, arrivals comparable to capacity.
     let mut rng = rand::rngs::StdRng::seed_from_u64(88);
-    let spec = RateProfile::paper_high().materialize(400, &mut rng).unwrap();
+    let spec = RateProfile::paper_high()
+        .materialize(400, &mut rng)
+        .unwrap();
     use rand::Rng;
     let queues: Vec<u64> = (0..400).map(|_| rng.gen_range(0..500)).collect();
     let arrivals = spec.total_rate() * 0.99;

@@ -12,10 +12,17 @@ use scd_core::solver::SolverKind;
 fn heterogeneous_cluster(n: usize, seed: u64) -> ClusterSpec {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    RateProfile::paper_moderate().materialize(n, &mut rng).unwrap()
+    RateProfile::paper_moderate()
+        .materialize(n, &mut rng)
+        .unwrap()
 }
 
-fn backlog_of(spec: &ClusterSpec, factory: &dyn PolicyFactory, rounds: u64, load: f64) -> (f64, f64) {
+fn backlog_of(
+    spec: &ClusterSpec,
+    factory: &dyn PolicyFactory,
+    rounds: u64,
+    load: f64,
+) -> (f64, f64) {
     // Returns (mean backlog over the first half, mean backlog over the second
     // half) — a growing gap indicates instability.
     let half = rounds / 2;
@@ -105,7 +112,10 @@ fn fast_servers_are_not_starved_by_scd() {
         .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.95 })
         .build()
         .unwrap();
-    let report = Simulation::new(config).unwrap().run(&ScdFactory::new()).unwrap();
+    let report = Simulation::new(config)
+        .unwrap()
+        .run(&ScdFactory::new())
+        .unwrap();
     assert!(
         report.queues.mean_idle_fraction < 0.6,
         "servers idle {:.0}% of rounds on average at rho=0.95 — capacity is being wasted",

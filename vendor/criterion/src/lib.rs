@@ -1,0 +1,268 @@
+//! Offline minimal benchmarking harness exposing the subset of the
+//! `criterion` API this workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are simple mean-of-samples timings printed to stdout — no
+//! statistics engine, plots or saved baselines. Set the environment variable
+//! `CRITERION_QUICK=1` to cap every benchmark at a handful of iterations
+//! (useful for smoke-testing that benches still run).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub use std::hint::black_box;
+
+/// An identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration of the last run.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times the closure, amortizing the clock overhead over batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let quick = std::env::var_os("CRITERION_QUICK").is_some();
+        let warm_up = if quick {
+            Duration::from_millis(1)
+        } else {
+            self.warm_up
+        };
+        let measurement = if quick {
+            Duration::from_millis(5)
+        } else {
+            self.measurement
+        };
+
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size batches so that `samples` batches roughly fill the
+        // measurement window.
+        let target_batch =
+            (measurement.as_secs_f64() / self.samples.max(1) as f64 / per_iter.max(1e-9)).ceil();
+        let batch = (target_batch as u64).clamp(1, 1 << 24);
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+            if total > measurement.saturating_mul(2) {
+                break;
+            }
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iterations.max(1) as f64;
+        self.iterations = iterations;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: GroupSettings,
+    _criterion: &'a mut Criterion,
+}
+
+#[derive(Clone, Copy)]
+struct GroupSettings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for GroupSettings {
+    fn default() -> Self {
+        GroupSettings {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement = duration;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.settings.sample_size,
+            warm_up: self.settings.warm_up,
+            measurement: self.settings.measurement,
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{:<40} time: {:>12}   ({} iterations)",
+            self.name,
+            label,
+            format_time(bencher.mean_ns),
+            bencher.iterations
+        );
+    }
+
+    /// Benchmarks a closure under a plain name.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let label = id.into();
+        self.run(&label, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.label();
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: GroupSettings::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut counter = 0u64;
+        group.bench_function("count", |b| b.iter(|| counter = counter.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(counter > 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Offline vendored subset of the `rand` crate.
+//!
+//! This workspace builds in environments without access to crates.io, so the
+//! small slice of the `rand` 0.8 API the simulator actually uses is
+//! reimplemented here: [`RngCore`], the [`Rng`] extension trait (`gen`,
+//! `gen_range`), [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`].
+//!
+//! `StdRng` is xoshiro256++ seeded through a splitmix64 expansion — a
+//! high-quality, fast, deterministic generator. It does **not** produce the
+//! same streams as upstream `rand`'s ChaCha-based `StdRng`; all seeds in this
+//! repository are interpreted relative to this implementation.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core interface of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with splitmix64 the way
+    /// upstream `rand` does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let out = splitmix64_mix(sm);
+            let bytes = out.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// The splitmix64 output (finalization) function.
+#[inline]
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Values that can be sampled uniformly from the generator's raw output
+/// (the subset of `rand`'s `Standard` distribution this workspace needs).
+pub trait StandardValue: Sized {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardValue for f64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardValue for u64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardValue for u32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardValue for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Draws a uniform value in `0..bound` without modulo bias (Lemire's method).
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+    let mut lo = m as u64;
+    if lo < bound {
+        // 2^64 mod bound, computed without 128-bit division.
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(bound);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Sized {
+    /// Draws one value from `[start, end)` (`inclusive = false`) or
+    /// `[start, end]` (`inclusive = true`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(
+        start: Self,
+        end: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                start: Self,
+                end: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let lo = start as i128;
+                let hi = end as i128 + if inclusive { 1 } else { 0 };
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi - lo) as u128;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full 64-bit domain.
+                    return (lo + rng.next_u64() as i128) as $t;
+                }
+                let offset = uniform_u64_below(rng, span as u64);
+                (lo + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                start: Self,
+                end: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(start <= end, "cannot sample empty range");
+                } else {
+                    assert!(start < end, "cannot sample empty range");
+                }
+                let unit = <$t as StandardValue>::standard_sample(rng);
+                let value = start + (end - start) * unit;
+                if !inclusive && value >= end {
+                    // Guard against round-up to the excluded endpoint: clamp
+                    // to the largest representable value below `end`
+                    // (subtracting a span-relative epsilon can itself round
+                    // back to `end` when the span is small relative to its
+                    // magnitude).
+                    <$t>::max(start, <$t>::next_down(end))
+                } else {
+                    value.clamp(start, end)
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_sample_uniform!(f32, f64);
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_range(start, end, true, rng)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard uniform distribution
+    /// (`[0, 1)` for floats, the full domain for integers).
+    #[inline]
+    fn gen<T: StandardValue>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64_mix, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s.iter().all(|&w| w == 0) {
+                s = [
+                    splitmix64_mix(0x9E37_79B9_7F4A_7C15),
+                    splitmix64_mix(0x3C6E_F372_FE94_F82A),
+                    splitmix64_mix(0xDAA6_6D2C_7DDF_743F),
+                    splitmix64_mix(0x78DD_E6E5_FD29_F054),
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_uniformly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0..6usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / 60_000.0;
+            assert!((freq - 1.0 / 6.0).abs() < 0.01, "bucket {i}: {freq}");
+        }
+    }
+
+    #[test]
+    fn inclusive_and_exclusive_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(5..10u64);
+            assert!((5..10).contains(&a));
+            let b = rng.gen_range(5..=10i32);
+            assert!((5..=10).contains(&b));
+            let f = rng.gen_range(1.0..=2.0f64);
+            assert!((1.0..=2.0).contains(&f));
+            let g = rng.gen_range(-3.0..4.0f64);
+            assert!((-3.0..4.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn exclusive_float_range_never_yields_the_endpoint() {
+        // At this magnitude the float spacing equals the span, so the
+        // product start + span*unit rounds up to `end` on roughly half of
+        // all draws — exactly the case the endpoint guard must catch.
+        let mut rng = StdRng::seed_from_u64(9);
+        let start = 1.0e16f64;
+        let end = 1.0e16 + 2.0;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(start..end);
+            assert!(v >= start && v < end, "{v} escaped [{start}, {end})");
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dynref: &mut dyn RngCore = &mut rng;
+        let v = dynref.gen_range(0..100usize);
+        assert!(v < 100);
+        let f: f64 = dynref.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        // With 13 random bytes the chance of all-zero is negligible.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

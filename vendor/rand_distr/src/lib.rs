@@ -1,0 +1,219 @@
+//! Offline vendored subset of the `rand_distr` crate: the [`Distribution`]
+//! trait and a [`Poisson`] sampler.
+//!
+//! [`Poisson::new`] precomputes the inverted CDF of the distribution (the
+//! rate is fixed per process in this workspace), so each draw costs one
+//! uniform plus a binary search — `O(log λ)` instead of the `O(λ)` of
+//! Knuth-style multiplication. The multiplication method is kept as
+//! [`Poisson::sample_knuth`]: it serves as the correctness reference in
+//! tests, as the pre-refactor baseline in the engine-throughput benchmark,
+//! and as the fallback for rates too large to tabulate (`λ > 700`, where
+//! `e^-λ` underflows the table recursion).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Types that describe a probability distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors produced when constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The shape parameter was not a finite positive number.
+    ShapeTooSmall,
+    /// The shape parameter was not finite.
+    ShapeNotFinite,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeTooSmall => write!(f, "distribution parameter must be positive"),
+            Error::ShapeNotFinite => write!(f, "distribution parameter must be finite"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Rates above this use the chunked Knuth fallback instead of a CDF table
+/// (the table recursion starts from `e^-λ`, which underflows past ~745).
+const MAX_TABLE_LAMBDA: f64 = 700.0;
+
+/// Tail mass left untabulated; draws landing there clamp to the last table
+/// entry.
+const TABLE_TAIL_EPSILON: f64 = 1e-12;
+
+/// The Poisson distribution `Poisson(λ)`.
+#[derive(Debug, Clone)]
+pub struct Poisson {
+    lambda: f64,
+    /// Inverted CDF table (`cdf[k] = P[X <= k]`); empty when the chunked
+    /// Knuth fallback is in use.
+    cdf: Vec<f64>,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`, precomputing its
+    /// inverted CDF (for `λ ≤ 700`).
+    ///
+    /// # Errors
+    /// Returns an error unless `lambda` is finite and strictly positive.
+    pub fn new(lambda: f64) -> Result<Poisson, Error> {
+        if !lambda.is_finite() {
+            return Err(Error::ShapeNotFinite);
+        }
+        if lambda <= 0.0 {
+            return Err(Error::ShapeTooSmall);
+        }
+        let cdf = if lambda <= MAX_TABLE_LAMBDA {
+            // pmf(0) = e^-λ, pmf(k) = pmf(k-1)·λ/k.
+            let mut table = Vec::with_capacity(16 + 2 * lambda as usize);
+            let mut pmf = (-lambda).exp();
+            let mut acc = pmf;
+            table.push(acc);
+            let mut k = 0.0f64;
+            while acc < 1.0 - TABLE_TAIL_EPSILON {
+                k += 1.0;
+                pmf *= lambda / k;
+                acc += pmf;
+                table.push(acc);
+                if pmf == 0.0 {
+                    break; // fully underflowed tail; nothing left to add
+                }
+            }
+            table
+        } else {
+            Vec::new()
+        };
+        Ok(Poisson { lambda, cdf })
+    }
+
+    /// The mean of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Knuth's multiplication method applied to chunks of the rate — exact
+    /// for arbitrarily large `λ` but `O(λ)` per draw. Kept as the reference
+    /// implementation, the large-`λ` fallback, and the pre-refactor baseline
+    /// for the engine-throughput benchmark.
+    pub fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Poisson(a + b) = Poisson(a) + Poisson(b) for independent draws, so
+        // large rates are split into chunks that keep e^-chunk well away from
+        // the subnormal range.
+        const CHUNK: f64 = 32.0;
+        let mut remaining = self.lambda;
+        let mut total = 0u64;
+        while remaining > CHUNK {
+            total += knuth_chunk(CHUNK, rng);
+            remaining -= CHUNK;
+        }
+        total += knuth_chunk(remaining, rng);
+        total as f64
+    }
+}
+
+/// Knuth's method for one chunk with `chunk <= CHUNK`: counts the uniform
+/// draws whose running product stays above `e^-chunk`.
+fn knuth_chunk<R: RngCore + ?Sized>(chunk: f64, rng: &mut R) -> u64 {
+    let limit = (-chunk).exp();
+    let mut product = 1.0f64;
+    let mut count = 0u64;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.cdf.is_empty() {
+            return self.sample_knuth(rng);
+        }
+        // Inversion: the smallest k with cdf[k] >= u. Draws beyond the
+        // tabulated mass (probability < 1e-12) clamp to the last entry.
+        let u: f64 = rng.gen();
+        let k = self.cdf.partition_point(|&c| c < u);
+        k.min(self.cdf.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert_eq!(Poisson::new(2.0).unwrap().lambda(), 2.0);
+    }
+
+    #[test]
+    fn small_lambda_mean_and_variance() {
+        let dist = Poisson::new(3.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 80_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn large_lambda_spans_chunks() {
+        let dist = Poisson::new(150.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 150.0).abs() < 0.5, "mean {mean}");
+        assert!((var / 150.0 - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn table_inversion_matches_knuth_distribution() {
+        // Compare empirical CDFs of the two samplers at a few checkpoints
+        // (they consume the RNG differently, so only distributions can be
+        // compared).
+        let lambda = 20.0;
+        let dist = Poisson::new(lambda).unwrap();
+        let n = 60_000;
+        let mut rng = StdRng::seed_from_u64(21);
+        let table: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let knuth: Vec<f64> = (0..n).map(|_| dist.sample_knuth(&mut rng)).collect();
+        for checkpoint in [10.0, 15.0, 20.0, 25.0, 30.0] {
+            let p_table = table.iter().filter(|&&x| x <= checkpoint).count() as f64 / n as f64;
+            let p_knuth = knuth.iter().filter(|&&x| x <= checkpoint).count() as f64 / n as f64;
+            assert!(
+                (p_table - p_knuth).abs() < 0.01,
+                "CDF at {checkpoint}: table {p_table} vs knuth {p_knuth}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_lambda_falls_back_to_chunked_knuth() {
+        let dist = Poisson::new(1_000.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 2_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1_000.0).abs() < 3.0, "mean {mean}");
+    }
+}

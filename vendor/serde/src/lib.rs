@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! This workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so they are ready for real serialization, but no code path
+//! currently serializes anything and the build environment has no access to
+//! crates.io. This crate keeps the annotations compiling: the traits are
+//! marker traits with blanket implementations and the derives (re-exported
+//! from the vendored `serde_derive`) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

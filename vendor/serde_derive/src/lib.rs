@@ -1,0 +1,19 @@
+//! Offline no-op replacements for serde's derive macros.
+//!
+//! The vendored `serde` crate provides blanket implementations of its marker
+//! traits, so these derives only need to exist (and accept `#[serde(...)]`
+//! helper attributes) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
