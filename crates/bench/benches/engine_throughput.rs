@@ -25,6 +25,12 @@
 //!   uses, on a cloned snapshot;
 //! * SCD recomputes its distribution into fresh vectors and builds a **fresh
 //!   alias table** per decision (the old `ScdPolicy::dispatch_batch` body);
+//! * JSQ and SED pick every job by the **`O(n)`-per-job reservoir-sampling
+//!   argmin scan** (the pre-indexed-queue-view dispatch loop; the current
+//!   policies answer each pick from a tournament tree in `O(log n)` after an
+//!   `O(n)` per-batch rebuild);
+//! * destination sampling draws **two RNG values per job** (`gen_range` +
+//!   `gen::<f64>()`; the current alias sampler splits a single `u64`);
 //! * stream seeds use the old `seed ^ TAG ^ (d << 32)` derivation.
 //!
 //! Both engines simulate exactly the same system (same cluster, load,
@@ -40,7 +46,7 @@ use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
     PolicyFactory, RateProfile, ServerId,
 };
-use scd_policies::{JsqFactory, WeightedRandomFactory};
+use scd_policies::{JsqFactory, SedFactory, WeightedRandomFactory};
 use scd_sim::{ArrivalSpec, ServiceModel, SimConfig, Simulation};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -50,6 +56,11 @@ const DISPATCHERS: usize = 10;
 const OFFERED_LOAD: f64 = 0.99;
 const ROUNDS: u64 = 2_000;
 const SEED: u64 = 7;
+/// Identifies this bench definition's run in the recorded history; bump it
+/// when the baseline or the optimized engine changes meaning, so earlier
+/// recordings stay auditable.
+const RUN_LABEL: &str =
+    "PR 2: indexed dispatch + round cache + single-draw alias vs pre-refactor loop with scan dispatch";
 /// Interleaved measurement pairs per policy; `CRITERION_QUICK=1` drops to a
 /// single pair (CI smoke test).
 fn repetitions() -> usize {
@@ -118,6 +129,89 @@ impl PolicyFactory for LegacyScdFactory {
     fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
         Box::new(LegacyScdPolicy {
             inner: ScdPolicy::new(),
+        })
+    }
+}
+
+/// The pre-indexed-queue-view JSQ/SED dispatch loop: one `O(n)` argmin scan
+/// with reservoir-sampled tie-breaking per job, over a local queue copy.
+struct LegacyArgminPolicy {
+    /// Rank servers by expected delay `(q+1)/µ` (SED) instead of queue
+    /// length (JSQ).
+    expected_delay: bool,
+    local: Vec<u64>,
+}
+
+impl DispatchPolicy for LegacyArgminPolicy {
+    fn policy_name(&self) -> &str {
+        if self.expected_delay {
+            "SED(legacy)"
+        } else {
+            "JSQ(legacy)"
+        }
+    }
+
+    fn dispatch_batch(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        batch: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<ServerId> {
+        use rand::Rng;
+        self.local.clear();
+        self.local.extend_from_slice(ctx.queue_lengths());
+        let rates = ctx.rates();
+        let n = self.local.len();
+        let mut out = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            // Inline argmin with reservoir-sampling tie-breaks — the exact
+            // shape of the PR 1 `argmin_random_ties` dispatch loop.
+            let score = |q: u64, s: usize| {
+                if self.expected_delay {
+                    (q as f64 + 1.0) / rates[s]
+                } else {
+                    q as f64
+                }
+            };
+            let mut best = 0usize;
+            let mut best_score = score(self.local[0], 0);
+            let mut ties = 1u32;
+            for s in 1..n {
+                let value = score(self.local[s], s);
+                if value < best_score {
+                    best = s;
+                    best_score = value;
+                    ties = 1;
+                } else if value == best_score {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        best = s;
+                    }
+                }
+            }
+            self.local[best] += 1;
+            out.push(ServerId::new(best));
+        }
+        out
+    }
+}
+
+struct LegacyArgminFactory {
+    expected_delay: bool,
+}
+
+impl PolicyFactory for LegacyArgminFactory {
+    fn name(&self) -> &str {
+        if self.expected_delay {
+            "SED(legacy)"
+        } else {
+            "JSQ(legacy)"
+        }
+    }
+    fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
+        Box::new(LegacyArgminPolicy {
+            expected_delay: self.expected_delay,
+            local: Vec::new(),
         })
     }
 }
@@ -280,8 +374,17 @@ fn main() {
         ),
         (
             "JSQ",
+            Box::new(LegacyArgminFactory {
+                expected_delay: false,
+            }),
             Box::new(JsqFactory::new()),
-            Box::new(JsqFactory::new()),
+        ),
+        (
+            "SED",
+            Box::new(LegacyArgminFactory {
+                expected_delay: true,
+            }),
+            Box::new(SedFactory::new()),
         ),
         (
             "WR",
@@ -313,13 +416,18 @@ fn main() {
         });
     }
 
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        println!("CRITERION_QUICK set: smoke run, not recording BENCH_engine.json");
+        return;
+    }
+
     let mut rows = String::new();
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             rows.push_str(",\n");
         }
         rows.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"baseline_rounds_per_sec\": {:.1}, \
+            "        {{\"policy\": \"{}\", \"baseline_rounds_per_sec\": {:.1}, \
              \"optimized_rounds_per_sec\": {:.1}, \"speedup\": {:.3}}}",
             r.policy,
             r.baseline,
@@ -327,15 +435,40 @@ fn main() {
             r.optimized / r.baseline
         ));
     }
-    let json = format!(
-        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"config\": {{\"servers\": {SERVERS}, \
+    let new_run = format!(
+        "    {{\n      \"label\": \"{RUN_LABEL}\",\n      \"config\": {{\"servers\": {SERVERS}, \
          \"dispatchers\": {DISPATCHERS}, \"offered_load\": {OFFERED_LOAD}, \"rounds\": {ROUNDS}, \
-         \"seed\": {SEED}, \"rate_profile\": \"U[1,10]\", \"services\": \"geometric\"}},\n  \
-         \"unit\": \"rounds_per_sec\",\n  \"repetitions\": {reps},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+         \"seed\": {SEED}, \"rate_profile\": \"U[1,10]\", \"services\": \"geometric\"}},\n      \
+         \"repetitions\": {reps},\n      \"results\": [\n{rows}\n      ]\n    }}",
         reps = repetitions()
     );
 
+    // Append to the recorded run history (`runs` array), replacing any
+    // earlier recording with this run's label so re-runs do not pile up.
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let previous_runs = std::fs::read_to_string(out_path).ok().and_then(|existing| {
+        let start = existing.find("\"runs\": [\n")? + "\"runs\": [\n".len();
+        let end = existing.rfind("\n  ]")?;
+        let mut inner = existing[start..end].to_string();
+        if let Some(stale) = inner.find(&format!("\"label\": \"{RUN_LABEL}\"")) {
+            // Drop the run object holding the stale label (it starts at the
+            // "    {" preceding the label) and everything after it.
+            let object_start = inner[..stale].rfind("    {")?;
+            inner.truncate(object_start);
+            let trimmed = inner.trim_end().trim_end_matches(',').to_string();
+            inner = trimmed;
+        }
+        let inner = inner.trim_end().to_string();
+        (!inner.is_empty()).then_some(inner)
+    });
+    let runs = match previous_runs {
+        Some(previous) => format!("{previous},\n{new_run}"),
+        None => new_run,
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"engine_throughput\",\n  \"unit\": \"rounds_per_sec\",\n  \
+         \"runs\": [\n{runs}\n  ]\n}}\n"
+    );
     std::fs::write(out_path, &json).expect("write BENCH_engine.json");
     println!("wrote {out_path}");
 }

@@ -1,0 +1,348 @@
+//! Incremental indexed queue views: a tournament tree (segment-tree min)
+//! over per-server keys.
+//!
+//! Argmin-family policies (JSQ, SED, LSQ, LED and their heterogeneity-aware
+//! variants) repeatedly ask "which server currently minimizes my key?" while
+//! placing a batch, updating a *single* server's key after every placement.
+//! The scan implementation answers each question in `O(n)`, making a batch of
+//! `b` jobs cost `O(b·n)`. The [`TournamentTree`] answers the same question
+//! from a binary tournament over the keys: rebuilding costs `O(n)` once per
+//! batch, each argmin query reads the root in `O(1)`, and each key update
+//! replays `O(log n)` internal matches — `O(n + b·log n)` per batch.
+//!
+//! # Total order and tie-breaking
+//!
+//! The tree (and its scan reference [`scan_argmin`]) minimizes the composite
+//! key `(key, priority, index)` lexicographically:
+//!
+//! * `key` is the policy's ranking value (queue length for JSQ, expected
+//!   delay `(q+1)/µ` for SED-style ranking) — a finite `f64`;
+//! * `priority` is a per-batch random `u64` drawn by the caller for every
+//!   server. Drawing fresh priorities per batch realizes a uniformly random
+//!   tie-breaking order among equal keys, which is what prevents many
+//!   dispatchers sharing one snapshot from herding onto low-index servers
+//!   (the role `argmin_random_ties` played in the scan implementation);
+//! * `index` is a deterministic last resort, reachable only if two servers
+//!   draw the same 64-bit priority.
+//!
+//! Because the indexed and scan paths minimize the *same* composite key and
+//! consume randomness identically (the priority draws), they pick identical
+//! servers for identical RNG streams — the property the `dispatch_into`
+//! equivalence tests pin down.
+//!
+//! # NaN discipline
+//!
+//! Keys must be finite: the comparisons use plain `<` / `==`, so a NaN key
+//! would poison the tournament. Policies derive keys from queue lengths and
+//! strictly positive rates, which cannot produce NaN; debug builds assert it.
+
+/// A tournament tree (segment-tree min) over `n` slots keyed by
+/// `(key, priority, index)`.
+///
+/// The tree is a flat array of `2·size` entries (`size` = `n` rounded up to a
+/// power of two). Leaves `size..size+n` represent the slots; every internal
+/// node stores the winning (minimal) leaf of its subtree; unused padding
+/// leaves carry `+∞` keys so they never win. All buffers are reused across
+/// [`rebuild`](TournamentTree::rebuild) calls, so a policy that owns a tree
+/// performs no steady-state heap allocations.
+///
+/// # Example
+/// ```
+/// use scd_core::index::TournamentTree;
+/// let mut tree = TournamentTree::new();
+/// let keys = [3.0, 1.0, 2.0];
+/// // Distinct priorities; ties are impossible with distinct keys.
+/// tree.rebuild(3, |i| keys[i], |_| 0);
+/// assert_eq!(tree.argmin(), 1);
+/// tree.update_key(1, 5.0);
+/// assert_eq!(tree.argmin(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TournamentTree {
+    /// Number of live slots.
+    n: usize,
+    /// Number of leaves (power of two, ≥ max(n, 1)).
+    size: usize,
+    /// Per-leaf keys (padding leaves hold `+∞`).
+    keys: Vec<f64>,
+    /// Per-leaf tie-breaking priorities (padding leaves hold `u64::MAX`).
+    prios: Vec<u64>,
+    /// `winners[size + i] = i`; every internal node holds the winning leaf of
+    /// its subtree; `winners[1]` (or the single leaf when `size == 1`) is the
+    /// overall argmin.
+    winners: Vec<u32>,
+}
+
+impl TournamentTree {
+    /// Creates an empty tree; call [`rebuild`](TournamentTree::rebuild)
+    /// before querying.
+    pub fn new() -> Self {
+        TournamentTree::default()
+    }
+
+    /// Number of live slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True before the first rebuild (or after a rebuild with `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `true` when leaf `a` beats (is strictly smaller than) leaf `b` in the
+    /// composite `(key, priority, index)` order.
+    #[inline]
+    fn beats(&self, a: u32, b: u32) -> bool {
+        let (ka, kb) = (self.keys[a as usize], self.keys[b as usize]);
+        if ka != kb {
+            return ka < kb;
+        }
+        let (pa, pb) = (self.prios[a as usize], self.prios[b as usize]);
+        if pa != pb {
+            return pa < pb;
+        }
+        a < b
+    }
+
+    #[inline]
+    fn play(&self, left: u32, right: u32) -> u32 {
+        if self.beats(right, left) {
+            right
+        } else {
+            left
+        }
+    }
+
+    /// Rebuilds the tournament over `n` slots in `O(n)`, reusing all buffers.
+    ///
+    /// `key` and `prio` are evaluated once per slot, in index order.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if a key is not finite.
+    pub fn rebuild<K, P>(&mut self, n: usize, mut key: K, mut prio: P)
+    where
+        K: FnMut(usize) -> f64,
+        P: FnMut(usize) -> u64,
+    {
+        self.n = n;
+        if n == 0 {
+            return;
+        }
+        let size = n.next_power_of_two();
+        if self.size != size {
+            self.size = size;
+            self.keys.clear();
+            self.keys.resize(size, f64::INFINITY);
+            self.prios.clear();
+            self.prios.resize(size, u64::MAX);
+            self.winners.clear();
+            self.winners.resize(2 * size, 0);
+            for (i, slot) in self.winners[size..].iter_mut().enumerate() {
+                *slot = i as u32;
+            }
+        }
+        for i in 0..n {
+            let k = key(i);
+            debug_assert!(k.is_finite(), "tournament keys must be finite, got {k}");
+            self.keys[i] = k;
+            self.prios[i] = prio(i);
+        }
+        // Padding leaves keep +∞ keys from the (re)allocation above; when the
+        // tree shrinks within the same power of two, re-pad the now-dead tail.
+        for i in n..size {
+            self.keys[i] = f64::INFINITY;
+            self.prios[i] = u64::MAX;
+        }
+        for node in (1..size).rev() {
+            self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
+        }
+    }
+
+    /// The slot minimizing `(key, priority, index)`, in `O(1)`.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty.
+    #[inline]
+    pub fn argmin(&self) -> usize {
+        assert!(self.n > 0, "argmin over an empty tournament");
+        // With size == 1 the single leaf lives at winners[1]; otherwise
+        // winners[1] is the root of the internal matches. Either way index 1.
+        self.winners[1] as usize
+    }
+
+    /// The current key of one slot.
+    ///
+    /// # Panics
+    /// Panics if `slot >= len()`.
+    pub fn key(&self, slot: usize) -> f64 {
+        assert!(slot < self.n, "slot {slot} out of range {}", self.n);
+        self.keys[slot]
+    }
+
+    /// Changes the key of one slot and replays its `O(log n)` matches.
+    ///
+    /// # Panics
+    /// Panics if `slot >= len()`; debug builds also reject non-finite keys.
+    pub fn update_key(&mut self, slot: usize, key: f64) {
+        assert!(slot < self.n, "slot {slot} out of range {}", self.n);
+        debug_assert!(key.is_finite(), "tournament keys must be finite, got {key}");
+        self.keys[slot] = key;
+        // Replay every match on the leaf-to-root path. (An early exit when a
+        // subtree's winner is unchanged would be wrong whenever that winner
+        // *is* the updated slot — its key changed, so ancestor matches can
+        // still flip — so we keep the unconditional O(log n) walk.)
+        let mut node = (self.size + slot) >> 1;
+        while node >= 1 {
+            self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
+            node >>= 1;
+        }
+    }
+}
+
+/// Reference scan over the same `(key, priority, index)` composite order the
+/// [`TournamentTree`] minimizes — `O(n)` per call.
+///
+/// This is both the fuzz-test oracle and the "scan mode" the argmin policies
+/// keep for equivalence testing: for identical keys and priorities it returns
+/// exactly the slot [`TournamentTree::argmin`] returns.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn scan_argmin<K, P>(n: usize, mut key: K, mut prio: P) -> usize
+where
+    K: FnMut(usize) -> f64,
+    P: FnMut(usize) -> u64,
+{
+    assert!(n > 0, "argmin over an empty range");
+    let mut best = 0usize;
+    let mut best_key = key(0);
+    let mut best_prio = prio(0);
+    for i in 1..n {
+        let k = key(i);
+        if k < best_key || (k == best_key && prio(i) < best_prio) {
+            best = i;
+            best_key = k;
+            best_prio = prio(i);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn finds_unique_minimum() {
+        let keys = [5.0, 2.0, 7.0, 2.5];
+        let mut tree = TournamentTree::new();
+        tree.rebuild(4, |i| keys[i], |_| 0);
+        assert_eq!(tree.argmin(), 1);
+        assert_eq!(tree.len(), 4);
+        assert!(!tree.is_empty());
+        assert_eq!(tree.key(1), 2.0);
+    }
+
+    #[test]
+    fn ties_resolve_by_priority_then_index() {
+        let keys = [1.0, 1.0, 1.0];
+        let prios = [7u64, 3, 3];
+        let mut tree = TournamentTree::new();
+        tree.rebuild(3, |i| keys[i], |i| prios[i]);
+        // Slots 1 and 2 tie on priority; the lower index wins.
+        assert_eq!(tree.argmin(), 1);
+        assert_eq!(scan_argmin(3, |i| keys[i], |i| prios[i]), 1);
+    }
+
+    #[test]
+    fn single_slot_tree_works() {
+        let mut tree = TournamentTree::new();
+        tree.rebuild(1, |_| 9.0, |_| 1);
+        assert_eq!(tree.argmin(), 0);
+        tree.update_key(0, 2.0);
+        assert_eq!(tree.argmin(), 0);
+        assert_eq!(tree.key(0), 2.0);
+    }
+
+    #[test]
+    fn updates_move_the_winner() {
+        let mut keys = [4.0, 1.0, 3.0, 2.0, 8.0];
+        let mut tree = TournamentTree::new();
+        tree.rebuild(5, |i| keys[i], |i| i as u64);
+        assert_eq!(tree.argmin(), 1);
+        keys[1] = 10.0;
+        tree.update_key(1, keys[1]);
+        assert_eq!(tree.argmin(), 3);
+        keys[4] = 0.5;
+        tree.update_key(4, keys[4]);
+        assert_eq!(tree.argmin(), 4);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_across_sizes() {
+        let mut tree = TournamentTree::new();
+        for n in [5usize, 8, 3, 8, 16, 1, 100] {
+            let keys: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % n) as f64).collect();
+            tree.rebuild(n, |i| keys[i], |i| i as u64);
+            let expect = scan_argmin(n, |i| keys[i], |i| i as u64);
+            assert_eq!(tree.argmin(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shrinking_within_a_power_of_two_repads_dead_leaves() {
+        let mut tree = TournamentTree::new();
+        tree.rebuild(8, |_| 0.0, |i| i as u64);
+        assert_eq!(tree.argmin(), 0);
+        // Shrink to 5 slots (same power of two = 8): old leaves 5..8 held
+        // key 0.0 and must not win.
+        tree.rebuild(5, |i| (i + 1) as f64, |i| i as u64);
+        assert_eq!(tree.argmin(), 0);
+        tree.update_key(0, 100.0);
+        assert_eq!(tree.argmin(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tournament")]
+    fn argmin_on_empty_tree_panics() {
+        let tree = TournamentTree::new();
+        let _ = tree.argmin();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        let mut tree = TournamentTree::new();
+        tree.rebuild(2, |_| 0.0, |i| i as u64);
+        tree.update_key(2, 1.0);
+    }
+
+    /// The core fuzz property: a tree driven by random rebuilds and random
+    /// incremental updates always agrees with the scan reference.
+    #[test]
+    fn fuzz_incremental_updates_match_scan_reference() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut tree = TournamentTree::new();
+        for case in 0..300 {
+            let n = rng.gen_range(1..70);
+            let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0..12) as f64).collect();
+            let prios: Vec<u64> = (0..n).map(|_| rng.gen_range(0..6) as u64).collect();
+            tree.rebuild(n, |i| keys[i], |i| prios[i]);
+            for step in 0..80 {
+                let expect = scan_argmin(n, |i| keys[i], |i| prios[i]);
+                assert_eq!(tree.argmin(), expect, "case {case} step {step}");
+                // Arrival (key up) or departure (key down) at a random slot.
+                let slot = rng.gen_range(0..n);
+                if rng.gen_range(0..2) == 0 {
+                    keys[slot] += 1.0;
+                } else {
+                    keys[slot] = (keys[slot] - 1.0).max(0.0);
+                }
+                tree.update_key(slot, keys[slot]);
+            }
+        }
+    }
+}

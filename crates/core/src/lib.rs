@@ -21,6 +21,10 @@
 //! * [`stability`] — runtime checks of the Lemma 3 invariant used by the
 //!   strong-stability analysis (Appendix D) and Lyapunov-drift helpers used
 //!   by the stability integration tests.
+//! * [`index`] — infrastructure shared with the baseline policies: the
+//!   [`TournamentTree`] indexed queue view that turns the `O(n)`-per-job
+//!   argmin scan of JSQ/SED-style dispatching into an `O(log n)` incremental
+//!   query (see `ARCHITECTURE.md`, "Indexed queue views").
 //!
 //! # Quickstart
 //!
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod estimator;
+pub mod index;
 pub mod iwl;
 pub mod policy;
 pub mod qp;
@@ -51,6 +56,10 @@ pub mod solver;
 pub mod stability;
 
 pub use estimator::ArrivalEstimator;
+pub use index::{scan_argmin, TournamentTree};
 pub use iwl::{compute_iwl, ideal_assignment};
 pub use policy::{ScdFactory, ScdPolicy};
-pub use solver::{compute_probabilities, solve_round_into, ScdScratch, ScdSolution, SolverKind};
+pub use solver::{
+    compute_probabilities, solve_round_cached, solve_round_into, ScdScratch, ScdSolution,
+    SolverKind,
+};

@@ -17,7 +17,7 @@
 //! makes it robust to dispatcher churn.
 
 use crate::estimator::ArrivalEstimator;
-use crate::solver::{solve_round_into, ScdScratch, SolverKind};
+use crate::solver::{solve_round_cached, solve_round_into, ScdScratch, SolverKind};
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
@@ -129,6 +129,12 @@ impl DispatchPolicy for ScdPolicy {
         &self.name
     }
 
+    fn round_cache_demand(&self) -> scd_model::CacheDemand {
+        // Loads and Corollary 1 keys come from the shared tables when the
+        // engine provides them (`solve_round_cached`).
+        scd_model::CacheDemand::SolverTables
+    }
+
     fn dispatch_batch(
         &mut self,
         ctx: &DispatchContext<'_>,
@@ -151,14 +157,27 @@ impl DispatchPolicy for ScdPolicy {
             return;
         }
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
-        solve_round_into(
-            ctx.queue_lengths(),
-            ctx.rates(),
-            a_est,
-            self.solver,
-            &mut self.scratch,
-            &mut self.probabilities,
-        )
+        // Prefer the engine's shared per-round tables (loads, solver keys)
+        // when present; both entry points are bit-identical, so direct policy
+        // invocations without a cache behave exactly like engine runs.
+        match ctx.cache() {
+            Some(cache) => solve_round_cached(
+                ctx.queue_lengths(),
+                ctx.rates(),
+                cache,
+                a_est,
+                self.solver,
+                &mut self.probabilities,
+            ),
+            None => solve_round_into(
+                ctx.queue_lengths(),
+                ctx.rates(),
+                a_est,
+                self.solver,
+                &mut self.scratch,
+                &mut self.probabilities,
+            ),
+        }
         .expect("cluster state from the engine is always valid");
         self.sampler
             .rebuild(&self.probabilities)

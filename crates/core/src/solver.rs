@@ -24,6 +24,7 @@
 //! exhaustive subset search in this module's tests and in `qp.rs`).
 
 use crate::iwl::compute_iwl;
+use scd_model::RoundCache;
 use std::error::Error;
 use std::fmt;
 
@@ -153,12 +154,7 @@ impl ScdScratch {
     /// contents). The comparison is a single cheap pass; rates are fixed for
     /// the lifetime of a simulation run, so the rebuild happens once.
     fn refresh_inv_rates(&mut self, rates: &[f64]) {
-        if self.rates_snapshot != rates {
-            self.rates_snapshot.clear();
-            self.rates_snapshot.extend_from_slice(rates);
-            self.inv_rates.clear();
-            self.inv_rates.extend(rates.iter().map(|&mu| 1.0 / mu));
-        }
+        scd_model::refresh_reciprocal_rates(&mut self.rates_snapshot, &mut self.inv_rates, rates);
     }
 }
 
@@ -306,6 +302,65 @@ pub fn solve_round_into(
         SolverKind::Quadratic => {
             // Algorithm 1 is kept for run-time comparisons only; it allocates
             // internally by design.
+            let solution = quadratic(queues, rates, arrivals, iwl)?;
+            probabilities.clear();
+            probabilities.extend_from_slice(&solution.probabilities);
+        }
+    }
+    Ok(iwl)
+}
+
+/// Like [`solve_round_into`] but reading the per-round tables (loads and
+/// Corollary 1 keys) from the engine's shared [`RoundCache`] instead of
+/// recomputing them into the policy's private scratch. With `m` dispatchers
+/// per round this amortizes the `O(n)` solver setup `m`-fold.
+///
+/// The cache computes its tables with exactly the arithmetic
+/// [`ScdScratch`] uses, so for any input the two entry points return
+/// **bit-identical** probabilities (asserted by this module's tests).
+///
+/// The cache must have been refreshed (`begin_round`) from exactly this
+/// `queues`/`rates` pair.
+///
+/// # Errors
+/// See [`SolverError`].
+pub fn solve_round_cached(
+    queues: &[u64],
+    rates: &[f64],
+    cache: &RoundCache,
+    arrivals: f64,
+    kind: SolverKind,
+    probabilities: &mut Vec<f64>,
+) -> Result<f64, SolverError> {
+    validate(queues, rates, arrivals)?;
+    // A stale, mismatched, or under-filled cache (e.g. one refreshed with a
+    // reciprocal-only demand) would yield a silently wrong distribution or
+    // an out-of-bounds panic, so reject it like any other malformed cluster
+    // description — in release builds too.
+    if cache.num_servers() != queues.len()
+        || cache.loads().len() != queues.len()
+        || cache.scd_keys().len() != queues.len()
+    {
+        return Err(SolverError::InvalidCluster {
+            queues: queues.len(),
+            rates: cache.loads().len().min(cache.num_servers()),
+        });
+    }
+
+    let iwl = iwl_by_trimming(queues, rates, cache.loads(), arrivals);
+
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        single_job_probabilities_into(queues, rates, probabilities);
+        return Ok(iwl);
+    }
+
+    match kind {
+        SolverKind::Fast => {
+            let keys = cache.scd_keys();
+            let lambda0 = lambda0_by_trimming(rates, keys, arrivals, iwl);
+            fill_probabilities_cached(rates, keys, arrivals, iwl, lambda0, probabilities);
+        }
+        SolverKind::Quadratic => {
             let solution = quadratic(queues, rates, arrivals, iwl)?;
             probabilities.clear();
             probabilities.extend_from_slice(&solution.probabilities);
@@ -979,6 +1034,66 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_tables_reproduce_the_scratch_path_bit_for_bit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5EED);
+        let mut scratch = ScdScratch::default();
+        let mut cache = RoundCache::new();
+        let mut probs_scratch = Vec::new();
+        let mut probs_cached = Vec::new();
+        for case in 0..200 {
+            let n = rng.gen_range(1..60);
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..20.0)).collect();
+            let a = if case % 7 == 0 {
+                1.0
+            } else {
+                rng.gen_range(2..150) as f64
+            };
+            cache.begin_round(&queues, &rates);
+            for kind in [SolverKind::Fast, SolverKind::Quadratic] {
+                let iwl_a =
+                    solve_round_into(&queues, &rates, a, kind, &mut scratch, &mut probs_scratch)
+                        .unwrap();
+                let iwl_b = solve_round_cached(&queues, &rates, &cache, a, kind, &mut probs_cached)
+                    .unwrap();
+                // Bit-identical, not merely close: the cached tables use the
+                // same arithmetic as the private scratch.
+                assert_eq!(
+                    iwl_a.to_bits(),
+                    iwl_b.to_bits(),
+                    "case {case} ({kind}): iwl"
+                );
+                assert_eq!(probs_scratch.len(), probs_cached.len());
+                for (s, (pa, pb)) in probs_scratch.iter().zip(&probs_cached).enumerate() {
+                    assert_eq!(
+                        pa.to_bits(),
+                        pb.to_bits(),
+                        "case {case} ({kind}): p[{s}] {pa} vs {pb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_solver_rejects_mismatched_caches() {
+        // The cache describes a 2-server cluster; the call a 3-server one.
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[1, 2], &[1.0, 2.0]);
+        let mut probs = Vec::new();
+        let err = solve_round_cached(
+            &[1, 2, 3],
+            &[1.0, 2.0, 3.0],
+            &cache,
+            5.0,
+            SolverKind::Fast,
+            &mut probs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolverError::InvalidCluster { .. }));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::output::OutputSink;
 use crate::response::{cluster_for_system, mix_seed};
-use crate::sweep::parallel_map;
+use crate::sweep::SweepGrid;
 use scd_core::estimator::ArrivalEstimator;
 use scd_core::policy::ScdFactory;
 use scd_core::solver::SolverKind;
@@ -80,29 +80,25 @@ impl EstimatorAblation {
         let cluster = cluster_for_system(&self.profile, self.n, self.seed, 0);
         let variants = self.variants();
 
-        let mut jobs: Vec<(usize, usize)> = Vec::new();
-        for (li, _) in self.loads.iter().enumerate() {
-            for (vi, _) in variants.iter().enumerate() {
-                jobs.push((li, vi));
-            }
-        }
-
-        let outcomes = parallel_map(jobs.clone(), threads, |&(li, vi)| {
+        // (1 × loads × variants) grid: the "policies" dimension holds the
+        // estimator variants here.
+        let grid = SweepGrid::new(1, self.loads.len(), variants.len());
+        let outcomes = grid.run(threads, |pt| {
             let config = SimConfig {
                 spec: cluster.clone(),
                 num_dispatchers: self.m,
                 rounds: self.rounds,
                 warmup_rounds: self.warmup,
-                seed: mix_seed(self.seed, 7, li),
+                seed: mix_seed(self.seed, 7, pt.load),
                 arrivals: ArrivalSpec::PoissonOfferedLoad {
-                    offered_load: self.loads[li],
+                    offered_load: self.loads[pt.load],
                 },
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
             };
             let report = Simulation::new(config)
                 .expect("experiment configurations are valid")
-                .run(&variants[vi].1)
+                .run(&variants[pt.policy].1)
                 .expect("SCD never violates the protocol");
             (
                 report.mean_response_time(),
@@ -118,8 +114,11 @@ impl EstimatorAblation {
                 outcomes: Vec::new(),
             })
             .collect();
-        for (&(li, vi), (mean, p99)) in jobs.iter().zip(outcomes) {
-            rows[li].outcomes.push((variants[vi].0.clone(), mean, p99));
+        for (index, (mean, p99)) in outcomes.into_iter().enumerate() {
+            let pt = grid.point(index);
+            rows[pt.load]
+                .outcomes
+                .push((variants[pt.policy].0.clone(), mean, p99));
         }
         rows
     }

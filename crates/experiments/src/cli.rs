@@ -26,6 +26,11 @@ pub struct CliOptions {
     pub tail: bool,
     /// Number of worker threads (None → all available cores).
     pub threads: Option<usize>,
+    /// Independent replications per sweep cell. Mean-response-time sweeps
+    /// average across them; tail sweeps merge the histograms (deeper CCDF
+    /// resolution); decision-time and ablation figures note and ignore the
+    /// flag.
+    pub replications: usize,
 }
 
 impl Default for CliOptions {
@@ -40,6 +45,7 @@ impl Default for CliOptions {
             csv: None,
             tail: false,
             threads: None,
+            replications: 1,
         }
     }
 }
@@ -89,6 +95,16 @@ impl CliOptions {
                             .map_err(|_| format!("invalid --threads value: {value}"))?,
                     );
                 }
+                "--replications" => {
+                    let value = iter.next().ok_or("--replications requires a value")?;
+                    let parsed = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid --replications value: {value}"))?;
+                    if parsed == 0 {
+                        return Err("--replications must be at least 1".to_string());
+                    }
+                    options.replications = parsed;
+                }
                 "--csv" => {
                     let value = iter.next().ok_or("--csv requires a directory")?;
                     options.csv = Some(PathBuf::from(value));
@@ -123,7 +139,8 @@ impl CliOptions {
 /// The usage string shared by all binaries.
 pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
-     [--systems 100x10,200x20] [--threads T] [--csv DIR] [--paper | --quick] [--tail]"
+     [--systems 100x10,200x20] [--threads T] [--replications R] [--csv DIR] \
+     [--paper | --quick] [--tail]"
         .to_string()
 }
 
@@ -185,6 +202,8 @@ mod tests {
             "100x10,200x20",
             "--threads",
             "4",
+            "--replications",
+            "5",
             "--csv",
             "/tmp/out",
             "--paper",
@@ -196,6 +215,7 @@ mod tests {
         assert_eq!(options.loads, Some(vec![0.7, 0.9]));
         assert_eq!(options.systems, Some(vec![(100, 10), (200, 20)]));
         assert_eq!(options.threads, Some(4));
+        assert_eq!(options.replications, 5);
         assert_eq!(options.csv, Some(PathBuf::from("/tmp/out")));
         assert!(options.paper);
         assert!(options.tail);
@@ -208,6 +228,8 @@ mod tests {
         assert!(parse(&["--loads", "2.7"]).is_err());
         assert!(parse(&["--systems", "100-10"]).is_err());
         assert!(parse(&["--systems", "0x10"]).is_err());
+        assert!(parse(&["--replications", "0"]).is_err());
+        assert!(parse(&["--replications", "x"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--paper", "--quick"]).is_err());
         assert!(parse(&["--help"]).is_err());

@@ -96,6 +96,8 @@ pub struct FigureSpec {
     pub include_tail: bool,
     /// Worker threads.
     pub threads: usize,
+    /// Independent replications per response-time sweep cell.
+    pub replications: usize,
 }
 
 impl FigureSpec {
@@ -152,6 +154,7 @@ impl FigureSpec {
             cluster_sizes,
             include_tail: options.tail || options.paper,
             threads: effective_threads(options.threads),
+            replications: options.replications.max(1),
         }
     }
 }
@@ -182,6 +185,7 @@ pub fn run_figure(kind: FigureKind, options: &CliOptions) -> io::Result<()> {
                 rounds: spec.rounds,
                 warmup: spec.warmup,
                 seed: spec.seed,
+                replications: spec.replications,
             };
             let results = experiment.run(spec.threads);
             experiment.emit(&results, kind.label(), &sink)?;
@@ -195,12 +199,19 @@ pub fn run_figure(kind: FigureKind, options: &CliOptions) -> io::Result<()> {
                     rounds: spec.rounds,
                     warmup: spec.warmup,
                     seed: spec.seed,
+                    replications: spec.replications,
                 };
                 let tail_results = tail.run(spec.threads);
                 tail.emit(&tail_results, kind.label(), &sink)?;
             }
         }
         FigureKind::Fig5 | FigureKind::Fig8 => {
+            if spec.replications > 1 {
+                sink.note(
+                    "--replications applies to response-time sweeps; \
+                     decision-time measurement runs a single replication",
+                );
+            }
             let experiment = RuntimeExperiment {
                 profile: kind.profile(),
                 cluster_sizes: spec.cluster_sizes.clone(),
@@ -214,6 +225,12 @@ pub fn run_figure(kind: FigureKind, options: &CliOptions) -> io::Result<()> {
             experiment.emit(&mut results, kind.label(), &sink)?;
         }
         FigureKind::Ablation => {
+            if spec.replications > 1 {
+                sink.note(
+                    "--replications applies to response-time sweeps; \
+                     the ablation runs a single replication",
+                );
+            }
             let (n, m) = spec.tail_system;
             let ablation = EstimatorAblation {
                 profile: kind.profile(),

@@ -17,7 +17,15 @@
 //! All binaries accept `--rounds N`, `--seed S`, `--loads a,b,c`,
 //! `--systems nxm,nxm`, `--paper` (the full 10⁵-round setup of the paper),
 //! `--quick` (a smoke-test-sized run), `--csv DIR` (dump the plotted series
-//! as CSV) and `--threads T`.
+//! as CSV), `--threads T` and `--replications R` (independent replications
+//! per sweep cell: averaged for mean-response-time sweeps, histogram-merged
+//! for tail sweeps; the decision-time and ablation figures note and ignore
+//! the flag).
+//!
+//! All experiments fan their `(system × load × policy × seed)` grids out on
+//! the unified [`SweepGrid`] executor (module [`sweep`]), which rides the
+//! same scoped-thread pool as the simulator's parallel runners; results are
+//! bit-identical regardless of the thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,3 +41,4 @@ pub mod tail;
 
 pub use cli::CliOptions;
 pub use figures::{FigureKind, FigureSpec};
+pub use sweep::{GridPoint, SweepGrid};

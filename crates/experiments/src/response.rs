@@ -7,7 +7,7 @@
 //! sanity indicators.
 
 use crate::output::OutputSink;
-use crate::sweep::parallel_map;
+use crate::sweep::SweepGrid;
 use scd_metrics::Table;
 use scd_model::{ClusterSpec, RateProfile};
 use scd_policies::factory_by_name;
@@ -31,6 +31,11 @@ pub struct ResponseTimeExperiment {
     pub warmup: u64,
     /// Master seed.
     pub seed: u64,
+    /// Statistically independent replications per `(system, load, policy)`
+    /// cell; the reported statistics are averaged across them. `0` and `1`
+    /// both mean a single run (whose results are identical to the
+    /// pre-replication harness).
+    pub replications: usize,
 }
 
 /// Results for one `(n, m)` system.
@@ -76,6 +81,24 @@ pub(crate) fn mix_seed(seed: u64, system_index: usize, load_index: usize) -> u64
     z ^ (z >> 31)
 }
 
+/// The engine seed of replication `rep` of one `(system, load)` cell.
+/// Replication 0 is `mix_seed(seed, si, li)` — exactly the seed the
+/// pre-replication harness used — so single-replication sweeps reproduce the
+/// historical results bit for bit; higher replications remix deterministically.
+pub(crate) fn replication_seed(
+    seed: u64,
+    system_index: usize,
+    load_index: usize,
+    rep: usize,
+) -> u64 {
+    let base = mix_seed(seed, system_index, load_index);
+    if rep == 0 {
+        base
+    } else {
+        mix_seed(base, rep, 0x0005_EED5)
+    }
+}
+
 /// Materializes the cluster for one system (identical across loads and
 /// policies for a fixed experiment seed).
 pub(crate) fn cluster_for_system(
@@ -98,14 +121,9 @@ impl ResponseTimeExperiment {
     /// Panics if a policy name is not registered or a simulation fails
     /// (both indicate a bug in the harness rather than user input).
     pub fn run(&self, threads: usize) -> Vec<SystemSeries> {
-        let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
-        for (si, _) in self.systems.iter().enumerate() {
-            for (li, _) in self.loads.iter().enumerate() {
-                for (pi, _) in self.policies.iter().enumerate() {
-                    jobs.push((si, li, pi));
-                }
-            }
-        }
+        let replications = self.replications.max(1);
+        let grid = SweepGrid::new(self.systems.len(), self.loads.len(), self.policies.len())
+            .with_seeds(replications);
 
         let clusters: Vec<ClusterSpec> = self
             .systems
@@ -114,16 +132,19 @@ impl ResponseTimeExperiment {
             .map(|(si, &(n, _))| cluster_for_system(&self.profile, n, self.seed, si))
             .collect();
 
-        let outcomes = parallel_map(jobs.clone(), threads, |&(si, li, pi)| {
-            let (_, m) = self.systems[si];
-            let load = self.loads[li];
-            let policy_name = &self.policies[pi];
+        // One engine run per grid cell, fanned out end-to-end on the shared
+        // scoped-thread pool: every (system, load, policy, replication) tuple
+        // is an independent unit of work.
+        let outcomes = grid.run(threads, |pt| {
+            let (_, m) = self.systems[pt.system];
+            let load = self.loads[pt.load];
+            let policy_name = &self.policies[pt.policy];
             let config = SimConfig {
-                spec: clusters[si].clone(),
+                spec: clusters[pt.system].clone(),
                 num_dispatchers: m,
                 rounds: self.rounds,
                 warmup_rounds: self.warmup,
-                seed: mix_seed(self.seed, si, li),
+                seed: replication_seed(self.seed, pt.system, pt.load, pt.seed),
                 arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: load },
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
@@ -155,10 +176,19 @@ impl ResponseTimeExperiment {
             })
             .collect();
 
-        for (&(si, li, pi), (mean, p99, censored)) in jobs.iter().zip(outcomes) {
-            results[si].mean[li][pi] = mean;
-            results[si].p99[li][pi] = p99;
-            results[si].censored[li][pi] = censored;
+        // Scatter, averaging across the replication dimension.
+        let scale = 1.0 / replications as f64;
+        let mut p99_sums = vec![0u64; grid.len() / replications];
+        for (index, (mean, p99, censored)) in outcomes.into_iter().enumerate() {
+            let pt = grid.point(index);
+            let series = &mut results[pt.system];
+            series.mean[pt.load][pt.policy] += mean * scale;
+            series.censored[pt.load][pt.policy] += censored * scale;
+            p99_sums[index / replications] += p99;
+        }
+        for (cell, sum) in p99_sums.into_iter().enumerate() {
+            let pt = grid.point(cell * replications);
+            results[pt.system].p99[pt.load][pt.policy] = (sum as f64 * scale).round() as u64;
         }
         results
     }
@@ -208,6 +238,7 @@ mod tests {
             rounds: 400,
             warmup: 50,
             seed: 5,
+            replications: 1,
         }
     }
 
@@ -238,6 +269,39 @@ mod tests {
         let b = experiment.run(4);
         assert_eq!(a[0].mean, b[0].mean, "thread count must not change results");
         assert_eq!(a[0].p99, b[0].p99);
+    }
+
+    #[test]
+    fn replicated_sweeps_are_deterministic_and_average_real_runs() {
+        let mut experiment = tiny_experiment();
+        experiment.replications = 3;
+        let a = experiment.run(1);
+        let b = experiment.run(8);
+        assert_eq!(
+            a[0].mean, b[0].mean,
+            "replicated grids must be bit-identical across thread counts"
+        );
+        assert_eq!(a[0].p99, b[0].p99);
+        // The averaged mean differs from the single-replication value (the
+        // replications genuinely redraw the stochastic processes)...
+        let single = tiny_experiment().run(1);
+        assert_ne!(a[0].mean, single[0].mean);
+        // ...but stays in a sane band around it.
+        for (avg_row, single_row) in a[0].mean.iter().zip(&single[0].mean) {
+            for (avg, one) in avg_row.iter().zip(single_row) {
+                assert!(avg > &0.0);
+                assert!((avg - one).abs() / one < 1.0, "avg {avg} vs single {one}");
+            }
+        }
+    }
+
+    #[test]
+    fn replication_zero_reproduces_the_unreplicated_seed() {
+        // Replication 0 must use exactly the historical per-cell seed so old
+        // results stay reproducible.
+        assert_eq!(replication_seed(42, 3, 5, 0), mix_seed(42, 3, 5));
+        assert_ne!(replication_seed(42, 3, 5, 1), mix_seed(42, 3, 5));
+        assert_ne!(replication_seed(42, 3, 5, 1), replication_seed(42, 3, 5, 2));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::output::OutputSink;
 use crate::response::{cluster_for_system, mix_seed};
-use crate::sweep::parallel_map;
-use scd_metrics::{SampleSet, Table};
+use crate::sweep::SweepGrid;
+use scd_metrics::{DecisionTimeHistogram, Table};
 use scd_model::RateProfile;
 use scd_policies::factory_by_name;
 use scd_sim::{ArrivalSpec, ServiceModel, SimConfig, Simulation};
@@ -37,18 +37,18 @@ pub struct RuntimeExperiment {
     pub seed: u64,
 }
 
-/// Decision-time samples for every policy at one cluster size.
+/// Decision-time distributions for every policy at one cluster size.
 #[derive(Debug, Clone)]
 pub struct RuntimeResult {
     /// Number of servers.
     pub n: usize,
-    /// `(policy name, decision-time samples in microseconds)` pairs.
-    pub samples: Vec<(String, SampleSet)>,
+    /// `(policy name, decision-time histogram in microseconds)` pairs.
+    pub samples: Vec<(String, DecisionTimeHistogram)>,
 }
 
 impl RuntimeResult {
     /// The samples of one policy.
-    pub fn samples_for(&self, policy: &str) -> Option<&SampleSet> {
+    pub fn samples_for(&self, policy: &str) -> Option<&DecisionTimeHistogram> {
         self.samples
             .iter()
             .find(|(name, _)| name == policy)
@@ -65,30 +65,26 @@ impl RuntimeExperiment {
     /// # Panics
     /// Panics on unregistered policy names (a harness bug).
     pub fn run(&self, threads: usize) -> Vec<RuntimeResult> {
-        let mut jobs: Vec<(usize, usize)> = Vec::new();
-        for (ni, _) in self.cluster_sizes.iter().enumerate() {
-            for (pi, _) in self.policies.iter().enumerate() {
-                jobs.push((ni, pi));
-            }
-        }
-
-        let outcomes = parallel_map(jobs.clone(), threads, |&(ni, pi)| {
-            let n = self.cluster_sizes[ni];
-            let cluster = cluster_for_system(&self.profile, n, self.seed, ni);
+        // (cluster sizes × 1 × policies) grid: the "systems" dimension holds
+        // the cluster sizes here.
+        let grid = SweepGrid::new(self.cluster_sizes.len(), 1, self.policies.len());
+        let outcomes = grid.run(threads, |pt| {
+            let n = self.cluster_sizes[pt.system];
+            let cluster = cluster_for_system(&self.profile, n, self.seed, pt.system);
             let config = SimConfig {
                 spec: cluster,
                 num_dispatchers: self.dispatchers,
                 rounds: self.rounds,
                 warmup_rounds: (self.rounds / 10).min(1_000),
-                seed: mix_seed(self.seed, ni, 0),
+                seed: mix_seed(self.seed, pt.system, 0),
                 arrivals: ArrivalSpec::PoissonOfferedLoad {
                     offered_load: self.offered_load,
                 },
                 services: ServiceModel::Geometric,
                 measure_decision_times: true,
             };
-            let factory = factory_by_name(&self.policies[pi])
-                .unwrap_or_else(|| panic!("unknown policy {}", self.policies[pi]));
+            let factory = factory_by_name(&self.policies[pt.policy])
+                .unwrap_or_else(|| panic!("unknown policy {}", self.policies[pt.policy]));
             Simulation::new(config)
                 .expect("experiment configurations are valid")
                 .run(factory.as_ref())
@@ -105,10 +101,11 @@ impl RuntimeExperiment {
                 samples: Vec::new(),
             })
             .collect();
-        for (&(ni, pi), samples) in jobs.iter().zip(outcomes) {
-            results[ni]
+        for (index, samples) in outcomes.into_iter().enumerate() {
+            let pt = grid.point(index);
+            results[pt.system]
                 .samples
-                .push((self.policies[pi].clone(), samples));
+                .push((self.policies[pt.policy].clone(), samples));
         }
         results
     }
@@ -128,7 +125,7 @@ impl RuntimeExperiment {
             let mut table = Table::with_headers(&[
                 "policy", "samples", "mean us", "p50 us", "p90 us", "p99 us", "max us",
             ]);
-            for (policy, samples) in result.samples.iter_mut() {
+            for (policy, samples) in result.samples.iter() {
                 table.add_row(vec![
                     policy.clone(),
                     samples.len().to_string(),
@@ -150,7 +147,7 @@ impl RuntimeExperiment {
 
             if sink.writes_csv() {
                 let mut cdf_table = Table::with_headers(&["policy", "time_us", "cdf"]);
-                for (policy, samples) in result.samples.iter_mut() {
+                for (policy, samples) in result.samples.iter() {
                     for (value, q) in samples.cdf(100) {
                         cdf_table.add_row(vec![
                             policy.clone(),

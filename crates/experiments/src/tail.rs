@@ -7,8 +7,8 @@
 //! percentile summary table and (optionally) the full CCDF as CSV.
 
 use crate::output::OutputSink;
-use crate::response::{cluster_for_system, mix_seed};
-use crate::sweep::parallel_map;
+use crate::response::{cluster_for_system, replication_seed};
+use crate::sweep::SweepGrid;
 use scd_metrics::{ResponseTimeHistogram, Table};
 use scd_model::RateProfile;
 use scd_policies::factory_by_name;
@@ -32,6 +32,11 @@ pub struct TailExperiment {
     pub warmup: u64,
     /// Master seed.
     pub seed: u64,
+    /// Statistically independent replications per `(load, policy)` cell;
+    /// their histograms are **merged**, which deepens the resolvable CCDF
+    /// tail (the paper plots down to 1e-8). `0` and `1` both mean a single
+    /// run, identical to the pre-replication harness.
+    pub replications: usize,
 }
 
 /// The tail distributions of every policy at one offered load.
@@ -62,28 +67,24 @@ impl TailExperiment {
         let (n, m) = self.system;
         let cluster = cluster_for_system(&self.profile, n, self.seed, 0);
 
-        let mut jobs: Vec<(usize, usize)> = Vec::new();
-        for (li, _) in self.loads.iter().enumerate() {
-            for (pi, _) in self.policies.iter().enumerate() {
-                jobs.push((li, pi));
-            }
-        }
-
-        let histograms = parallel_map(jobs.clone(), threads, |&(li, pi)| {
+        // (1 × loads × policies × replications) grid on the shared pool.
+        let grid = SweepGrid::new(1, self.loads.len(), self.policies.len())
+            .with_seeds(self.replications.max(1));
+        let histograms = grid.run(threads, |pt| {
             let config = SimConfig {
                 spec: cluster.clone(),
                 num_dispatchers: m,
                 rounds: self.rounds,
                 warmup_rounds: self.warmup,
-                seed: mix_seed(self.seed, 0, li),
+                seed: replication_seed(self.seed, 0, pt.load, pt.seed),
                 arrivals: ArrivalSpec::PoissonOfferedLoad {
-                    offered_load: self.loads[li],
+                    offered_load: self.loads[pt.load],
                 },
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
             };
-            let factory = factory_by_name(&self.policies[pi])
-                .unwrap_or_else(|| panic!("unknown policy {}", self.policies[pi]));
+            let factory = factory_by_name(&self.policies[pt.policy])
+                .unwrap_or_else(|| panic!("unknown policy {}", self.policies[pt.policy]));
             Simulation::new(config)
                 .expect("experiment configurations are valid")
                 .run(factory.as_ref())
@@ -99,10 +100,20 @@ impl TailExperiment {
                 histograms: Vec::new(),
             })
             .collect();
-        for (&(li, pi), histogram) in jobs.iter().zip(histograms) {
-            results[li]
-                .histograms
-                .push((self.policies[pi].clone(), histogram));
+        // Seeds are the innermost grid dimension, so replication 0 of a
+        // (load, policy) cell arrives first and later replications merge
+        // into the entry it pushed.
+        for (index, histogram) in histograms.into_iter().enumerate() {
+            let pt = grid.point(index);
+            let cell = &mut results[pt.load].histograms;
+            if pt.seed == 0 {
+                cell.push((self.policies[pt.policy].clone(), histogram));
+            } else {
+                cell.last_mut()
+                    .expect("replication 0 pushed this cell first")
+                    .1
+                    .merge(&histogram);
+            }
         }
         results
     }
@@ -181,7 +192,29 @@ mod tests {
             rounds: 400,
             warmup: 50,
             seed: 3,
+            replications: 1,
         }
+    }
+
+    #[test]
+    fn replications_merge_histograms_and_stay_deterministic() {
+        let mut experiment = tiny_experiment();
+        experiment.replications = 3;
+        let a = experiment.run(1);
+        let b = experiment.run(8);
+        assert_eq!(
+            a[0].histogram("SCD").unwrap(),
+            b[0].histogram("SCD").unwrap(),
+            "replicated tails must be bit-identical across thread counts"
+        );
+        // Three replications → roughly three times the single-run mass.
+        let single = tiny_experiment().run(1);
+        let merged_count = a[0].histogram("SCD").unwrap().count();
+        let single_count = single[0].histogram("SCD").unwrap().count();
+        assert!(
+            merged_count > 2 * single_count,
+            "merged {merged_count} vs single {single_count}"
+        );
     }
 
     #[test]

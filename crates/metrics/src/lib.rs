@@ -7,8 +7,10 @@
 //!   system. [`ResponseTimeHistogram`] stores the full integer-valued
 //!   distribution so both can be extracted exactly.
 //! * **Execution run-time distributions** — the CDF of per-decision
-//!   computation times (Figures 5 and 8). [`SampleSet`] keeps raw `f64`
-//!   samples and extracts percentiles / CDF points.
+//!   computation times (Figures 5 and 8). [`DecisionTimeHistogram`] records
+//!   them into fixed log-scale count buckets (`O(1)`, allocation-free — safe
+//!   to run on the timed hot path); [`SampleSet`] keeps raw `f64` samples for
+//!   offline analyses where exact percentiles matter.
 //!
 //! Supporting types: [`StreamingStats`] (Welford online mean/variance used
 //! for queue-length tracking), [`QueueLengthTracker`] (per-server time-average
@@ -36,9 +38,11 @@ pub mod queue;
 pub mod samples;
 pub mod streaming;
 pub mod table;
+pub mod timing;
 
 pub use histogram::{HistogramSummary, ResponseTimeHistogram};
 pub use queue::QueueLengthTracker;
 pub use samples::SampleSet;
 pub use streaming::StreamingStats;
 pub use table::Table;
+pub use timing::DecisionTimeHistogram;

@@ -9,6 +9,10 @@
 //!   i.e. the per-server processing rates `µ_s`.
 //! * [`DispatchContext`] — the information a dispatcher observes at the
 //!   beginning of a round (true queue lengths, rates, number of dispatchers).
+//! * [`RoundCache`] — derived per-round tables (reciprocal rates, loads,
+//!   solver keys) computed once by the engine and shared read-only by all
+//!   dispatchers of a round (see `ARCHITECTURE.md`, "Per-round shared
+//!   compute cache").
 //! * [`DispatchPolicy`] / [`PolicyFactory`] — the trait every dispatching
 //!   policy implements, and the factory used by the simulator to instantiate
 //!   one (stateful) policy object per dispatcher.
@@ -53,6 +57,7 @@ pub mod error;
 pub mod ids;
 pub mod policy;
 pub mod probability;
+pub mod round_cache;
 pub mod sampler;
 pub mod snapshot;
 pub mod spec;
@@ -61,6 +66,7 @@ pub use error::ModelError;
 pub use ids::{DispatcherId, ServerId};
 pub use policy::{BoxedPolicy, DispatchPolicy, PolicyFactory};
 pub use probability::ProbabilityVector;
+pub use round_cache::{reciprocal_rates, refresh_reciprocal_rates, CacheDemand, RoundCache};
 pub use sampler::{AliasSampler, CdfSampler};
 pub use snapshot::DispatchContext;
 pub use spec::{ClusterSpec, RateProfile};

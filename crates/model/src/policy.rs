@@ -19,9 +19,21 @@ pub type BoxedPolicy = Box<dyn DispatchPolicy>;
 
 /// A per-dispatcher dispatching policy.
 ///
+/// # Determinism contract
+///
 /// Implementations must be deterministic given the RNG passed in: all
 /// randomness must flow through `rng` so that simulations are reproducible
-/// from a single seed.
+/// from a single seed. Two consequences the engine and runners rely on:
+///
+/// * **No hidden entropy or wall-clock dependence.** Identical `(ctx, batch,
+///   RNG state)` must produce identical destinations *and* leave the RNG in
+///   an identical state, or parallel runs would diverge from sequential ones
+///   (the parallel runners promise bit-identical reports).
+/// * **Accelerators must be invisible.** When a policy exploits the optional
+///   shared [`RoundCache`](crate::RoundCache) on the context, or an internal
+///   index structure (e.g. the tournament-tree queue views of the argmin
+///   policies), decisions must be bit-identical to the plain implementation
+///   — caches and indexes may change *costs*, never *choices*.
 ///
 /// The simulator drives a policy as follows in every round `t`:
 ///
@@ -30,8 +42,11 @@ pub type BoxedPolicy = Box<dyn DispatchPolicy>;
 ///    that maintain local state across rounds (LSQ's local array, JIQ's idle
 ///    cache) refresh it here.
 /// 2. If the dispatcher received `a(d) > 0` jobs,
-///    [`dispatch_batch`](DispatchPolicy::dispatch_batch) is called once with
-///    the batch size and must return one destination per job.
+///    [`dispatch_into`](DispatchPolicy::dispatch_into) (or its allocating
+///    equivalent [`dispatch_batch`](DispatchPolicy::dispatch_batch)) is
+///    called once with the batch size and must produce one destination per
+///    job. A dispatcher with an empty batch gets no dispatch call at all, so
+///    policies must not rely on being invoked every round.
 ///
 /// # Example
 ///
@@ -73,6 +88,22 @@ pub trait DispatchPolicy: Send {
         let _ = (ctx, rng);
     }
 
+    /// How much of the shared per-round [`RoundCache`](crate::RoundCache)
+    /// this policy reads from the context. The engine refreshes only what
+    /// the most demanding policy of the run declares: policies that never
+    /// touch the cache cost nothing, reciprocal-only consumers (SED) skip
+    /// the per-round solver-table fills, and only solver consumers (SCD)
+    /// pay for the full tables.
+    ///
+    /// The declaration must not change decisions — the cache is a pure
+    /// accelerator (see the determinism contract above). Reading a table
+    /// beyond the declared demand yields an empty slice, which the
+    /// consumers reject loudly. The default is
+    /// [`CacheDemand::None`](crate::CacheDemand::None).
+    fn round_cache_demand(&self) -> crate::CacheDemand {
+        crate::CacheDemand::None
+    }
+
     /// Chooses a destination server for each of the `batch` jobs that arrived
     /// at this dispatcher in the current round.
     ///
@@ -89,17 +120,30 @@ pub trait DispatchPolicy: Send {
     /// [`dispatch_batch`](DispatchPolicy::dispatch_batch): appends exactly
     /// `batch` destinations to `out` instead of returning a fresh vector.
     ///
-    /// The simulation engine calls this method in its hot loop with a scratch
-    /// buffer it clears and reuses across rounds, so policies that override
-    /// it (all built-in policies do) can keep the steady-state round loop
-    /// free of heap allocations.
+    /// # Buffer-reuse rules
+    ///
+    /// The simulation engine calls this method in its hot loop with **one**
+    /// scratch buffer that it clears (`out.clear()`) before every call and
+    /// reuses across rounds and dispatchers, so policies that override it
+    /// (all built-in policies do) keep the steady-state round loop free of
+    /// heap allocations. Implementations must therefore:
+    ///
+    /// * only **append** to `out` — never read, assume, or clear existing
+    ///   contents (the engine owns the clearing);
+    /// * keep their own scratch state (local queue copies, priority buffers,
+    ///   tree nodes, probability vectors) inside `self`, sized lazily and
+    ///   reused, so repeated calls allocate nothing in steady state;
+    /// * never let scratch contents from a previous round influence
+    ///   decisions, unless carrying state across rounds is the policy's
+    ///   documented semantics (LSQ/LED local estimates).
     ///
     /// # Contract
     ///
     /// For any `(ctx, batch)` and identical RNG state, this method must
     /// append the same destinations `dispatch_batch` would return **and**
     /// leave the RNG in the same state — the engine treats the two entry
-    /// points as interchangeable. The default implementation trivially
+    /// points as interchangeable, and the policy contract tests assert it
+    /// for every registered policy. The default implementation trivially
     /// satisfies this by delegating to `dispatch_batch`.
     fn dispatch_into(
         &mut self,

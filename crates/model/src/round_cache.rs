@@ -1,0 +1,239 @@
+//! Per-round shared compute cache.
+//!
+//! Within one simulation round every dispatcher observes the *same* queue
+//! snapshot and the *same* (static) service rates, so the derived tables the
+//! decision procedures consume — reciprocal rates `1/µ_s`, loads `q_s/µ_s`
+//! (Algorithm 3's water-filling inputs) and the Corollary 1 candidate keys
+//! `(2q_s + 1)/µ_s` — are identical across all `m` dispatchers. Before this
+//! cache existed every policy instance recomputed them privately, paying the
+//! `O(n)` setup `m` times per round.
+//!
+//! A [`RoundCache`] is owned by the simulation engine, refreshed **once** at
+//! the start of each round ([`RoundCache::begin_round`]), and handed to every
+//! dispatcher as an immutable view through
+//! [`DispatchContext::with_cache`](crate::DispatchContext::with_cache).
+//! Dispatcher independence is preserved: policies only *read* the tables, and
+//! every per-dispatcher quantity (arrival estimates, local queue copies,
+//! RNG streams) stays inside the policy objects.
+//!
+//! The tables are computed with exactly the arithmetic the policies would use
+//! privately (`1.0/µ`, then multiplications by the reciprocal), so runs with
+//! and without the cache are **bit-identical** — the property the engine
+//! equivalence tests pin down.
+
+/// The reciprocal-rate table `inv[s] = 1.0/µ_s`, as a fresh vector.
+///
+/// Every reciprocal-rate table in the workspace (the [`RoundCache`], the SCD
+/// solver scratch, the SED/LSQ/LED key functions) is built from this one
+/// expression — the cached/uncached equivalence guarantees depend on every
+/// reciprocal being computed as exactly `1.0/µ`.
+pub fn reciprocal_rates(rates: &[f64]) -> Vec<f64> {
+    rates.iter().map(|&mu| 1.0 / mu).collect()
+}
+
+/// Refreshes a cached reciprocal-rate table (`inv[s] = 1.0/µ_s`) if `rates`
+/// changed since the last call, using `snapshot` as the change detector.
+/// Policies and scratches that keep a `(snapshot, inv)` pair across rounds
+/// ([`RoundCache`], the SCD solver scratch, the SED policy) all refresh it
+/// through here.
+pub fn refresh_reciprocal_rates(snapshot: &mut Vec<f64>, inv: &mut Vec<f64>, rates: &[f64]) {
+    if snapshot != rates {
+        snapshot.clear();
+        snapshot.extend_from_slice(rates);
+        inv.clear();
+        inv.extend(rates.iter().map(|&mu| 1.0 / mu));
+    }
+}
+
+/// How much of the shared per-round cache a policy consumes; the engine
+/// refreshes only what the most demanding policy of the run declares
+/// (ordering: `None < ReciprocalRates < SolverTables`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum CacheDemand {
+    /// The policy never reads the cache (the default).
+    #[default]
+    None,
+    /// Only [`RoundCache::inv_rates`] — static per run, refreshed for free.
+    ReciprocalRates,
+    /// The full per-round tables: [`RoundCache::loads`] and
+    /// [`RoundCache::scd_keys`] too (two `O(n)` fills per round).
+    SolverTables,
+}
+
+/// Derived per-round tables shared (read-only) by all dispatchers of a round.
+///
+/// All buffers are reused across rounds; after the first round at a given
+/// cluster size [`begin_round`](RoundCache::begin_round) performs no heap
+/// allocations. The reciprocal rates are recomputed only when the rates
+/// change, which happens once per simulation run.
+///
+/// # Example
+/// ```
+/// use scd_model::RoundCache;
+/// let mut cache = RoundCache::new();
+/// cache.begin_round(&[3, 0], &[2.0, 1.0]);
+/// assert_eq!(cache.inv_rates(), &[0.5, 1.0]);
+/// assert_eq!(cache.loads(), &[1.5, 0.0]);
+/// assert_eq!(cache.scd_keys(), &[3.5, 1.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundCache {
+    /// The rates the reciprocals were computed for (change detector).
+    rates_snapshot: Vec<f64>,
+    /// Reciprocal rates `1/µ_s`.
+    inv_rates: Vec<f64>,
+    /// Loads `q_s/µ_s` (computed as `q_s · (1/µ_s)`).
+    loads: Vec<f64>,
+    /// Corollary 1 candidate keys `(2q_s + 1)/µ_s` (same reciprocal trick).
+    scd_keys: Vec<f64>,
+}
+
+impl RoundCache {
+    /// Creates an empty cache; call
+    /// [`begin_round`](RoundCache::begin_round) before reading any table.
+    pub fn new() -> Self {
+        RoundCache::default()
+    }
+
+    /// Recomputes all per-round tables from this round's queue snapshot
+    /// (equivalent to [`begin_round_for`](RoundCache::begin_round_for) with
+    /// [`CacheDemand::SolverTables`]).
+    ///
+    /// # Panics
+    /// Panics if `queues` and `rates` differ in length.
+    pub fn begin_round(&mut self, queues: &[u64], rates: &[f64]) {
+        self.begin_round_for(queues, rates, CacheDemand::SolverTables);
+    }
+
+    /// Recomputes the per-round tables a run actually consumes: with
+    /// [`CacheDemand::ReciprocalRates`] only the (static) reciprocal rates
+    /// are kept fresh and the per-round solver tables are cleared, so a
+    /// policy reading beyond its declared demand fails loudly instead of
+    /// seeing stale data.
+    ///
+    /// # Panics
+    /// Panics if `queues` and `rates` differ in length.
+    pub fn begin_round_for(&mut self, queues: &[u64], rates: &[f64], demand: CacheDemand) {
+        assert_eq!(
+            queues.len(),
+            rates.len(),
+            "queue-length and rate vectors must describe the same cluster"
+        );
+        refresh_reciprocal_rates(&mut self.rates_snapshot, &mut self.inv_rates, rates);
+        self.loads.clear();
+        self.scd_keys.clear();
+        if demand < CacheDemand::SolverTables {
+            return;
+        }
+        self.loads.extend(
+            queues
+                .iter()
+                .zip(&self.inv_rates)
+                .map(|(&q, &inv_mu)| q as f64 * inv_mu),
+        );
+        self.scd_keys.extend(
+            queues
+                .iter()
+                .zip(&self.inv_rates)
+                .map(|(&q, &inv_mu)| (2.0 * q as f64 + 1.0) * inv_mu),
+        );
+    }
+
+    /// Number of servers the tables describe.
+    pub fn num_servers(&self) -> usize {
+        self.inv_rates.len()
+    }
+
+    /// Reciprocal rates `1/µ_s`.
+    pub fn inv_rates(&self) -> &[f64] {
+        &self.inv_rates
+    }
+
+    /// Loads `q_s/µ_s` of the current round's snapshot.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Corollary 1 candidate keys `(2q_s + 1)/µ_s` of the current snapshot.
+    pub fn scd_keys(&self) -> &[f64] {
+        &self.scd_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_match_the_private_computation() {
+        let queues = [4u64, 0, 7];
+        let rates = [2.0, 0.5, 7.0];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        assert_eq!(cache.num_servers(), 3);
+        for s in 0..3 {
+            let inv = 1.0 / rates[s];
+            // Bit-identical, not merely close: the cache must reproduce the
+            // exact expression policies used privately.
+            assert_eq!(cache.inv_rates()[s], inv);
+            assert_eq!(cache.loads()[s], queues[s] as f64 * inv);
+            assert_eq!(cache.scd_keys()[s], (2.0 * queues[s] as f64 + 1.0) * inv);
+        }
+    }
+
+    #[test]
+    fn rounds_refresh_loads_but_not_reciprocals() {
+        let rates = [2.0, 4.0];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[0, 0], &rates);
+        let inv_before = cache.inv_rates().to_vec();
+        cache.begin_round(&[5, 1], &rates);
+        assert_eq!(cache.inv_rates(), &inv_before[..]);
+        assert_eq!(cache.loads(), &[2.5, 0.25]);
+    }
+
+    #[test]
+    fn rate_changes_rebuild_the_reciprocals() {
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[1], &[2.0]);
+        assert_eq!(cache.inv_rates(), &[0.5]);
+        cache.begin_round(&[1, 1], &[2.0, 8.0]);
+        assert_eq!(cache.inv_rates(), &[0.5, 0.125]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same cluster")]
+    fn mismatched_lengths_panic() {
+        RoundCache::new().begin_round(&[1, 2], &[1.0]);
+    }
+
+    #[test]
+    fn reciprocal_only_demand_skips_and_clears_solver_tables() {
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[3, 1], &[2.0, 1.0]);
+        assert_eq!(cache.loads().len(), 2);
+        // A reciprocal-only round keeps inv_rates fresh but empties the
+        // per-round tables so out-of-contract reads fail loudly.
+        cache.begin_round_for(&[4, 2], &[2.0, 1.0], CacheDemand::ReciprocalRates);
+        assert_eq!(cache.inv_rates(), &[0.5, 1.0]);
+        assert!(cache.loads().is_empty());
+        assert!(cache.scd_keys().is_empty());
+    }
+
+    #[test]
+    fn cache_demand_orders_none_below_reciprocals_below_tables() {
+        assert!(CacheDemand::None < CacheDemand::ReciprocalRates);
+        assert!(CacheDemand::ReciprocalRates < CacheDemand::SolverTables);
+        assert_eq!(CacheDemand::default(), CacheDemand::None);
+    }
+
+    #[test]
+    fn reciprocal_helper_matches_the_refresh_path() {
+        let rates = [2.0, 0.5, 7.0];
+        let fresh = reciprocal_rates(&rates);
+        let mut snapshot = Vec::new();
+        let mut inv = Vec::new();
+        refresh_reciprocal_rates(&mut snapshot, &mut inv, &rates);
+        assert_eq!(fresh, inv);
+    }
+}

@@ -7,6 +7,7 @@
 //! decision.
 
 use crate::ids::ServerId;
+use crate::round_cache::RoundCache;
 
 /// Read-only information available to a dispatcher when it makes its
 /// dispatching decision for one round.
@@ -15,6 +16,12 @@ use crate::ids::ServerId;
 /// same context is handed to every dispatcher in the round, which mirrors the
 /// paper's assumption that all dispatchers see identical queue-length
 /// information (this is what makes herding possible for naive policies).
+///
+/// A context may additionally carry a [`RoundCache`] — derived tables
+/// (reciprocal rates, loads, solver keys) the engine computed once for the
+/// round so that all `m` dispatchers can share them instead of recomputing
+/// privately. Policies must treat the cache as an optional accelerator:
+/// decisions have to be bit-identical with and without it.
 ///
 /// # Example
 /// ```
@@ -25,6 +32,7 @@ use crate::ids::ServerId;
 /// assert_eq!(ctx.num_servers(), 3);
 /// assert_eq!(ctx.queue_len(scd_model::ServerId::new(2)), 5);
 /// assert!((ctx.expected_delay(scd_model::ServerId::new(0)) - 0.5).abs() < 1e-12);
+/// assert!(ctx.cache().is_none());
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct DispatchContext<'a> {
@@ -32,10 +40,11 @@ pub struct DispatchContext<'a> {
     rates: &'a [f64],
     num_dispatchers: usize,
     round: u64,
+    cache: Option<&'a RoundCache>,
 }
 
 impl<'a> DispatchContext<'a> {
-    /// Creates a new context.
+    /// Creates a new context (without a shared per-round cache).
     ///
     /// # Panics
     /// Panics if `queue_lengths` and `rates` have different lengths — this is
@@ -57,7 +66,38 @@ impl<'a> DispatchContext<'a> {
             rates,
             num_dispatchers,
             round,
+            cache: None,
         }
+    }
+
+    /// Creates a context carrying a shared per-round compute cache. The
+    /// cache must have been refreshed (`begin_round`) from exactly this
+    /// round's `queue_lengths` and `rates`.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths disagree (including the cache's).
+    pub fn with_cache(
+        queue_lengths: &'a [u64],
+        rates: &'a [f64],
+        num_dispatchers: usize,
+        round: u64,
+        cache: &'a RoundCache,
+    ) -> Self {
+        let mut ctx = DispatchContext::new(queue_lengths, rates, num_dispatchers, round);
+        assert_eq!(
+            cache.num_servers(),
+            queue_lengths.len(),
+            "round cache must describe the same cluster as the snapshot"
+        );
+        ctx.cache = Some(cache);
+        ctx
+    }
+
+    /// The shared per-round compute cache, when the engine provided one.
+    /// Direct policy invocations (tests, examples, micro-benchmarks)
+    /// typically construct contexts without it.
+    pub fn cache(&self) -> Option<&'a RoundCache> {
+        self.cache
     }
 
     /// Number of servers `n`.

@@ -2,6 +2,7 @@
 
 use rand::Rng;
 use rand::RngCore;
+use scd_core::index::{scan_argmin, TournamentTree};
 use scd_model::{BoxedPolicy, ClusterSpec, DispatcherId, PolicyFactory};
 use std::sync::Arc;
 
@@ -55,6 +56,96 @@ impl PolicyFactory for NamedFactory {
 
     fn build(&self, dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
         (self.builder)(dispatcher, spec)
+    }
+}
+
+/// How an argmin-family policy (JSQ, SED, LSQ, LED, …) answers its repeated
+/// "currently best server" queries while placing a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArgminMode {
+    /// Tournament-tree indexed queue view: `O(n)` rebuild per batch, then
+    /// `O(log n)` per placed job. The default.
+    #[default]
+    Indexed,
+    /// Reference `O(n)`-per-job scan over the same `(key, priority, index)`
+    /// order. Kept for equivalence testing and as the
+    /// `BENCH_engine.json` apples-to-apples baseline.
+    Scan,
+}
+
+/// The per-batch argmin engine shared by the argmin-family policies.
+///
+/// At the start of every batch, [`begin`](BatchArgmin::begin) draws one
+/// random `u64` priority per server from the dispatcher's RNG — a uniformly
+/// random tie-breaking order among equal keys, which plays the role
+/// [`argmin_random_ties`] played in the scan-only implementation (random
+/// tie-breaking prevents many dispatchers sharing one snapshot from
+/// systematically piling onto low-index servers). Both modes then minimize
+/// the identical composite key `(key, priority, index)` and consume the RNG
+/// identically, so **indexed and scan dispatch pick the same servers for
+/// equal seeds** — the engine-level reports are bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct BatchArgmin {
+    mode: ArgminMode,
+    n: usize,
+    prios: Vec<u64>,
+    tree: TournamentTree,
+}
+
+impl BatchArgmin {
+    /// Creates the engine in the given mode.
+    pub fn new(mode: ArgminMode) -> Self {
+        BatchArgmin {
+            mode,
+            ..BatchArgmin::default()
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> ArgminMode {
+        self.mode
+    }
+
+    /// Starts a batch over `n` servers: draws one priority per server (both
+    /// modes, so RNG consumption is identical) and, in indexed mode, rebuilds
+    /// the tournament from `key`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn begin<K>(&mut self, n: usize, key: K, rng: &mut dyn RngCore)
+    where
+        K: FnMut(usize) -> f64,
+    {
+        assert!(n > 0, "argmin over an empty cluster");
+        self.n = n;
+        self.prios.clear();
+        self.prios.extend((0..n).map(|_| rng.next_u64()));
+        if self.mode == ArgminMode::Indexed {
+            let prios = &self.prios;
+            self.tree.rebuild(n, key, |i| prios[i]);
+        }
+    }
+
+    /// The server currently minimizing `(key, priority, index)`. The `key`
+    /// closure is consulted only in scan mode (the tree already holds the
+    /// keys); it must agree with the keys passed to
+    /// [`begin`](BatchArgmin::begin) / [`update`](BatchArgmin::update).
+    pub fn pick<K>(&self, key: K) -> usize
+    where
+        K: FnMut(usize) -> f64,
+    {
+        match self.mode {
+            ArgminMode::Indexed => self.tree.argmin(),
+            ArgminMode::Scan => scan_argmin(self.n, key, |i| self.prios[i]),
+        }
+    }
+
+    /// Records that `slot`'s key changed (after the caller placed a job on
+    /// it). `O(log n)` in indexed mode, free in scan mode.
+    pub fn update(&mut self, slot: usize, key: f64) {
+        if self.mode == ArgminMode::Indexed {
+            self.tree.update_key(slot, key);
+        }
     }
 }
 
@@ -189,6 +280,58 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn batch_argmin_modes_agree_and_consume_rng_identically() {
+        let mut keys = vec![3.0f64, 1.0, 1.0, 4.0, 1.0, 2.0];
+        let mut keys2 = keys.clone();
+        let mut indexed = BatchArgmin::new(ArgminMode::Indexed);
+        let mut scan = BatchArgmin::new(ArgminMode::Scan);
+        assert_eq!(indexed.mode(), ArgminMode::Indexed);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for _round in 0..50 {
+            indexed.begin(keys.len(), |i| keys[i], &mut rng_a);
+            scan.begin(keys2.len(), |i| keys2[i], &mut rng_b);
+            for _job in 0..8 {
+                let a = indexed.pick(|i| keys[i]);
+                let b = scan.pick(|i| keys2[i]);
+                assert_eq!(a, b, "indexed and scan picks diverged");
+                keys[a] += 1.0;
+                keys2[b] += 1.0;
+                indexed.update(a, keys[a]);
+                scan.update(b, keys2[b]);
+            }
+            // Both modes must have consumed the RNG identically.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn batch_argmin_ties_spread_over_batches() {
+        // With all-equal keys the per-batch priorities act as a random
+        // permutation: over many batches every server must win sometimes.
+        let keys = [1.0f64; 5];
+        let mut picker = BatchArgmin::new(ArgminMode::Indexed);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut wins = [0usize; 5];
+        for _ in 0..2_000 {
+            picker.begin(5, |i| keys[i], &mut rng);
+            wins[picker.pick(|i| keys[i])] += 1;
+        }
+        for (i, &w) in wins.iter().enumerate() {
+            let freq = w as f64 / 2_000.0;
+            assert!((freq - 0.2).abs() < 0.04, "server {i} won {freq}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn batch_argmin_rejects_empty_clusters() {
+        let mut picker = BatchArgmin::new(ArgminMode::Indexed);
+        let mut rng = StdRng::seed_from_u64(0);
+        picker.begin(0, |_| 0.0, &mut rng);
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! dispatcher this is the classic optimal JSQ; with many dispatchers all of
 //! them pile onto the same few short queues — the *herding* phenomenon that
 //! motivates the paper.
+//!
+//! The repeated shortest-queue queries run over a [`BatchArgmin`] indexed
+//! queue view (tournament tree, `O(n + b·log n)` per batch of `b` jobs); the
+//! `O(b·n)` scan mode is retained via [`JsqPolicy::scan`] and picks exactly
+//! the same servers for equal seeds.
 
-use crate::common::{argmin_random_ties, NamedFactory};
+use crate::common::{ArgminMode, BatchArgmin, NamedFactory};
 use rand::RngCore;
 use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
 
@@ -18,12 +23,29 @@ pub struct JsqPolicy {
     /// Scratch buffer holding this dispatcher's local view of the queues
     /// while it places its batch.
     local: Vec<u64>,
+    /// The per-batch argmin engine (indexed or scan).
+    picker: BatchArgmin,
 }
 
 impl JsqPolicy {
-    /// Creates a JSQ policy instance.
+    /// Creates a JSQ policy instance (indexed argmin).
     pub fn new() -> Self {
-        JsqPolicy { local: Vec::new() }
+        Self::with_mode(ArgminMode::Indexed)
+    }
+
+    /// JSQ with the reference `O(n)`-per-job scan — bit-identical decisions
+    /// to [`JsqPolicy::new`] for equal seeds, kept for equivalence tests and
+    /// baselines.
+    pub fn scan() -> Self {
+        Self::with_mode(ArgminMode::Scan)
+    }
+
+    /// JSQ with an explicit argmin mode.
+    pub fn with_mode(mode: ArgminMode) -> Self {
+        JsqPolicy {
+            local: Vec::new(),
+            picker: BatchArgmin::new(mode),
+        }
     }
 }
 
@@ -50,12 +72,18 @@ impl DispatchPolicy for JsqPolicy {
         out: &mut Vec<ServerId>,
         rng: &mut dyn RngCore,
     ) {
+        if batch == 0 {
+            return;
+        }
         self.local.clear();
         self.local.extend_from_slice(ctx.queue_lengths());
-        let n = self.local.len();
+        let local = &mut self.local;
+        let n = local.len();
+        self.picker.begin(n, |i| local[i] as f64, rng);
         for _ in 0..batch {
-            let target = argmin_random_ties(n, |i| self.local[i] as f64, rng);
-            self.local[target] += 1;
+            let target = self.picker.pick(|i| local[i] as f64);
+            local[target] += 1;
+            self.picker.update(target, local[target] as f64);
             out.push(ServerId::new(target));
         }
     }
@@ -63,12 +91,23 @@ impl DispatchPolicy for JsqPolicy {
 
 /// Factory producing one [`JsqPolicy`] per dispatcher.
 #[derive(Debug, Clone, Default)]
-pub struct JsqFactory;
+pub struct JsqFactory {
+    mode: ArgminMode,
+}
 
 impl JsqFactory {
-    /// Creates the factory.
+    /// Creates the factory (indexed argmin).
     pub fn new() -> Self {
-        JsqFactory
+        JsqFactory::default()
+    }
+
+    /// Factory for the scan-mode reference (same decisions, `O(n)` per job).
+    /// Reports carry the same "JSQ" name so they compare equal to indexed
+    /// runs of the same seed.
+    pub fn scan() -> Self {
+        JsqFactory {
+            mode: ArgminMode::Scan,
+        }
     }
 
     /// The same policy wrapped in a [`NamedFactory`] (convenience for the
@@ -88,7 +127,7 @@ impl PolicyFactory for JsqFactory {
         _dispatcher: scd_model::DispatcherId,
         _spec: &scd_model::ClusterSpec,
     ) -> scd_model::BoxedPolicy {
-        Box::new(JsqPolicy::new())
+        Box::new(JsqPolicy::with_mode(self.mode))
     }
 }
 

@@ -1,4 +1,4 @@
-//! A Local-Estimation-Driven (LED) policy in the spirit of Zhou et al. [60].
+//! A Local-Estimation-Driven (LED) policy in the spirit of Zhou et al. \[60\].
 //!
 //! LED, like LSQ, gives every dispatcher a persistent local *estimate* of
 //! each server's backlog. Unlike LSQ it also *evolves* the estimate between
@@ -11,7 +11,7 @@
 //! it as an extension baseline for completeness and for the ablation
 //! experiments.
 
-use crate::common::{argmin_random_ties, NamedFactory};
+use crate::common::{ArgminMode, BatchArgmin, NamedFactory};
 use rand::Rng;
 use rand::RngCore;
 use scd_model::{
@@ -37,7 +37,11 @@ pub struct LedPolicy {
     /// Local backlog estimates (fractional because of the rate decay).
     estimates: Vec<f64>,
     rates: Vec<f64>,
+    /// Reciprocal rates for the expected-delay ranking.
+    inv_rates: Vec<f64>,
     rate_sampler: Option<AliasSampler>,
+    /// Per-batch argmin engine over the estimates.
+    picker: BatchArgmin,
 }
 
 impl LedPolicy {
@@ -49,7 +53,9 @@ impl LedPolicy {
             probes_per_round,
             estimates: vec![0.0; num_servers],
             rates: vec![1.0; num_servers],
+            inv_rates: vec![1.0; num_servers],
             rate_sampler: None,
+            picker: BatchArgmin::new(ArgminMode::Indexed),
         }
     }
 
@@ -62,7 +68,9 @@ impl LedPolicy {
             probes_per_round,
             estimates: vec![0.0; spec.num_servers()],
             rates: spec.rates().to_vec(),
+            inv_rates: scd_model::reciprocal_rates(spec.rates()),
             rate_sampler: Some(sampler),
+            picker: BatchArgmin::new(ArgminMode::Indexed),
         }
     }
 
@@ -76,6 +84,7 @@ impl LedPolicy {
         if self.estimates.len() != n {
             self.estimates = vec![0.0; n];
             self.rates = ctx.rates().to_vec();
+            self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
         }
     }
 
@@ -129,17 +138,23 @@ impl DispatchPolicy for LedPolicy {
         out: &mut Vec<ServerId>,
         rng: &mut dyn RngCore,
     ) {
+        if batch == 0 {
+            return;
+        }
         self.sync_dimensions(ctx);
-        let rates = ctx.rates();
         let n = ctx.num_servers();
+        let estimates = &mut self.estimates;
+        let inv = &self.inv_rates;
+        let variant = self.variant;
+        let key = |i: usize, est: f64| match variant {
+            LedVariant::Uniform => est,
+            LedVariant::Heterogeneous => (est + 1.0) * inv[i],
+        };
+        self.picker.begin(n, |i| key(i, estimates[i]), rng);
         for _ in 0..batch {
-            let target = match self.variant {
-                LedVariant::Uniform => argmin_random_ties(n, |i| self.estimates[i], rng),
-                LedVariant::Heterogeneous => {
-                    argmin_random_ties(n, |i| (self.estimates[i] + 1.0) / rates[i], rng)
-                }
-            };
-            self.estimates[target] += 1.0;
+            let target = self.picker.pick(|i| key(i, estimates[i]));
+            estimates[target] += 1.0;
+            self.picker.update(target, key(target, estimates[target]));
             out.push(ServerId::new(target));
         }
     }

@@ -15,10 +15,10 @@
 //! | `LSQ` | [`lsq::LsqFactory`] | no |
 //! | `hLSQ` | [`lsq::LsqFactory::heterogeneous`] | yes |
 //! | `WR` (weighted random) | [`random::WeightedRandomFactory`] | yes |
-//! | `TWF` | [`twf::TwfFactory`] | no (by design — it is the rate-oblivious stochastic-coordination policy of [22]) |
+//! | `TWF` | [`twf::TwfFactory`] | no (by design — it is the rate-oblivious stochastic-coordination policy of \[22\]) |
 //!
 //! Extras: uniform random, round robin ([`random`]) and a local-estimation
-//! driven policy ([`led`]) in the spirit of LED [60].
+//! driven policy ([`led`]) in the spirit of LED \[60\].
 //!
 //! All heterogeneity-aware (`h*`) variants follow footnote 6 of the paper:
 //! servers are *ranked* by their expected delay `q_s/µ_s` instead of their
@@ -27,6 +27,13 @@
 //!
 //! The [`registry`] module maps policy names (as used in the paper's figures)
 //! to factories, which is how the experiment harness selects policies.
+//!
+//! The argmin-family policies (JSQ, SED, LSQ, LED and variants) answer
+//! their per-job "best server" queries through the [`BatchArgmin`] indexed
+//! queue view ([`common`]) — a tournament tree with `O(log n)` incremental
+//! updates; a scan mode picking bit-identical servers for equal seeds is
+//! retained for equivalence testing (`"JSQ(scan)"` / `"SED(scan)"` in the
+//! registry).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +49,7 @@ pub mod registry;
 pub mod sed;
 pub mod twf;
 
-pub use common::NamedFactory;
+pub use common::{ArgminMode, BatchArgmin, NamedFactory};
 pub use jiq::JiqFactory;
 pub use jsq::JsqFactory;
 pub use led::LedFactory;

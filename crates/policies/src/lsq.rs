@@ -1,6 +1,6 @@
 //! Local-Shortest-Queue (LSQ) and its heterogeneity-aware variant `hLSQ`.
 //!
-//! LSQ ([54] in the paper) equips every dispatcher with a *persistent local
+//! LSQ (\[54\] in the paper) equips every dispatcher with a *persistent local
 //! array* of queue-length estimates. The array is refreshed lazily: each
 //! round the dispatcher probes a small number of randomly chosen servers and
 //! overwrites their entries with the true queue length; every job it
@@ -12,7 +12,7 @@
 //! `hLSQ` (footnote 6) probes servers proportionally to their service rate
 //! and ranks local entries by expected delay `(q̂ + 1)/µ`.
 
-use crate::common::{argmin_random_ties, NamedFactory};
+use crate::common::{ArgminMode, BatchArgmin, NamedFactory};
 use rand::Rng;
 use rand::RngCore;
 use scd_model::{
@@ -43,11 +43,16 @@ pub struct LsqPolicy {
     /// Rate-proportional probe sampler for the heterogeneous variant.
     rate_sampler: Option<AliasSampler>,
     rates: Vec<f64>,
+    /// Reciprocal rates for the expected-delay ranking (multiplying beats
+    /// dividing in the per-job key evaluations).
+    inv_rates: Vec<f64>,
+    /// Per-batch argmin engine over the local estimates.
+    picker: BatchArgmin,
 }
 
 impl LsqPolicy {
     /// Classic LSQ with the given number of probes per round (the paper and
-    /// [54] use one probe per time slot).
+    /// \[54\] use one probe per time slot).
     pub fn uniform(num_servers: usize, probes_per_round: usize) -> Self {
         LsqPolicy {
             variant: LsqVariant::Uniform,
@@ -56,6 +61,8 @@ impl LsqPolicy {
             local: vec![0; num_servers],
             rate_sampler: None,
             rates: vec![1.0; num_servers],
+            inv_rates: vec![1.0; num_servers],
+            picker: BatchArgmin::new(ArgminMode::Indexed),
         }
     }
 
@@ -69,6 +76,8 @@ impl LsqPolicy {
             local: vec![0; spec.num_servers()],
             rate_sampler: Some(sampler),
             rates: spec.rates().to_vec(),
+            inv_rates: scd_model::reciprocal_rates(spec.rates()),
+            picker: BatchArgmin::new(ArgminMode::Indexed),
         }
     }
 
@@ -107,6 +116,7 @@ impl DispatchPolicy for LsqPolicy {
             // constructor via registry); initialise lazily.
             self.local = vec![0; n];
             self.rates = ctx.rates().to_vec();
+            self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
         }
         for _ in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
@@ -132,20 +142,27 @@ impl DispatchPolicy for LsqPolicy {
         out: &mut Vec<ServerId>,
         rng: &mut dyn RngCore,
     ) {
+        if batch == 0 {
+            return;
+        }
         let n = ctx.num_servers();
         if self.local.len() != n {
             self.local = vec![0; n];
             self.rates = ctx.rates().to_vec();
+            self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
         }
-        let rates = ctx.rates();
+        let local = &mut self.local;
+        let inv = &self.inv_rates;
+        let variant = self.variant;
+        let key = |i: usize, q: u64| match variant {
+            LsqVariant::Uniform => q as f64,
+            LsqVariant::Heterogeneous => (q as f64 + 1.0) * inv[i],
+        };
+        self.picker.begin(n, |i| key(i, local[i]), rng);
         for _ in 0..batch {
-            let target = match self.variant {
-                LsqVariant::Uniform => argmin_random_ties(n, |i| self.local[i] as f64, rng),
-                LsqVariant::Heterogeneous => {
-                    argmin_random_ties(n, |i| (self.local[i] as f64 + 1.0) / rates[i], rng)
-                }
-            };
-            self.local[target] += 1;
+            let target = self.picker.pick(|i| key(i, local[i]));
+            local[target] += 1;
+            self.picker.update(target, key(target, local[target]));
             out.push(ServerId::new(target));
         }
     }

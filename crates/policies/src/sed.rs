@@ -5,8 +5,14 @@
 //! `(q_s + 1)/µ_s`, and greedily sends each job to the minimizer while
 //! updating a local copy of the queues. In a single-dispatcher system SED is
 //! excellent; with many dispatchers it herds exactly like JSQ (Section 1.1).
+//!
+//! Like JSQ, the per-job argmin runs over a [`BatchArgmin`] indexed queue
+//! view; [`SedPolicy::scan`] retains the `O(n)`-per-job reference, which
+//! picks exactly the same servers for equal seeds. The expected-delay keys
+//! multiply by cached reciprocal rates (shared per-round via the engine's
+//! [`scd_model::RoundCache`] when available) instead of dividing per query.
 
-use crate::common::{argmin_random_ties, NamedFactory};
+use crate::common::{ArgminMode, BatchArgmin, NamedFactory};
 use rand::RngCore;
 use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
 
@@ -14,18 +20,52 @@ use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
 #[derive(Debug, Clone, Default)]
 pub struct SedPolicy {
     local: Vec<u64>,
+    picker: BatchArgmin,
+    /// Reciprocal rates used when the round context carries no shared cache
+    /// (rates are static per run, so this is filled once).
+    inv_rates: Vec<f64>,
+    rates_snapshot: Vec<f64>,
 }
 
 impl SedPolicy {
-    /// Creates a SED policy instance.
+    /// Creates a SED policy instance (indexed argmin).
     pub fn new() -> Self {
-        SedPolicy { local: Vec::new() }
+        Self::with_mode(ArgminMode::Indexed)
+    }
+
+    /// SED with the reference `O(n)`-per-job scan — bit-identical decisions
+    /// to [`SedPolicy::new`] for equal seeds.
+    pub fn scan() -> Self {
+        Self::with_mode(ArgminMode::Scan)
+    }
+
+    /// SED with an explicit argmin mode.
+    pub fn with_mode(mode: ArgminMode) -> Self {
+        SedPolicy {
+            local: Vec::new(),
+            picker: BatchArgmin::new(mode),
+            inv_rates: Vec::new(),
+            rates_snapshot: Vec::new(),
+        }
+    }
+
+    /// Refreshes the private reciprocal-rate table if the rates changed
+    /// (engine runs provide the shared cache instead, so this only triggers
+    /// on direct policy invocations).
+    fn refresh_inv_rates(&mut self, rates: &[f64]) {
+        scd_model::refresh_reciprocal_rates(&mut self.rates_snapshot, &mut self.inv_rates, rates);
     }
 }
 
 impl DispatchPolicy for SedPolicy {
     fn policy_name(&self) -> &str {
         "SED"
+    }
+
+    fn round_cache_demand(&self) -> scd_model::CacheDemand {
+        // The expected-delay keys multiply by the shared reciprocal rates;
+        // the per-round solver tables are not needed.
+        scd_model::CacheDemand::ReciprocalRates
     }
 
     fn dispatch_batch(
@@ -46,13 +86,30 @@ impl DispatchPolicy for SedPolicy {
         out: &mut Vec<ServerId>,
         rng: &mut dyn RngCore,
     ) {
+        if batch == 0 {
+            return;
+        }
         self.local.clear();
         self.local.extend_from_slice(ctx.queue_lengths());
-        let rates = ctx.rates();
-        let n = self.local.len();
+        if ctx.cache().is_none() {
+            self.refresh_inv_rates(ctx.rates());
+        }
+        // Identical arithmetic on both branches ((q+1)·(1/µ), the reciprocal
+        // computed as 1.0/µ), so cached and cache-less dispatch decisions are
+        // bit-identical.
+        let inv: &[f64] = match ctx.cache() {
+            Some(cache) => cache.inv_rates(),
+            None => &self.inv_rates,
+        };
+        let local = &mut self.local;
+        let n = local.len();
+        self.picker
+            .begin(n, |i| (local[i] as f64 + 1.0) * inv[i], rng);
         for _ in 0..batch {
-            let target = argmin_random_ties(n, |i| (self.local[i] as f64 + 1.0) / rates[i], rng);
-            self.local[target] += 1;
+            let target = self.picker.pick(|i| (local[i] as f64 + 1.0) * inv[i]);
+            local[target] += 1;
+            self.picker
+                .update(target, (local[target] as f64 + 1.0) * inv[target]);
             out.push(ServerId::new(target));
         }
     }
@@ -60,12 +117,21 @@ impl DispatchPolicy for SedPolicy {
 
 /// Factory producing one [`SedPolicy`] per dispatcher.
 #[derive(Debug, Clone, Default)]
-pub struct SedFactory;
+pub struct SedFactory {
+    mode: ArgminMode,
+}
 
 impl SedFactory {
-    /// Creates the factory.
+    /// Creates the factory (indexed argmin).
     pub fn new() -> Self {
-        SedFactory
+        SedFactory::default()
+    }
+
+    /// Factory for the scan-mode reference (same decisions, `O(n)` per job).
+    pub fn scan() -> Self {
+        SedFactory {
+            mode: ArgminMode::Scan,
+        }
     }
 
     /// The same policy wrapped in a [`NamedFactory`].
@@ -84,7 +150,7 @@ impl PolicyFactory for SedFactory {
         _dispatcher: scd_model::DispatcherId,
         _spec: &scd_model::ClusterSpec,
     ) -> scd_model::BoxedPolicy {
-        Box::new(SedPolicy::new())
+        Box::new(SedPolicy::with_mode(self.mode))
     }
 }
 

@@ -1,5 +1,5 @@
 //! Tidal-Water-Filling (TWF) — the stochastic-coordination policy of the
-//! companion paper [22], which assumes a homogeneous cluster.
+//! companion paper \[22\], which assumes a homogeneous cluster.
 //!
 //! TWF runs the very same pipeline as SCD (estimate the total arrivals,
 //! compute the water level, solve the coordination problem, sample i.i.d.

@@ -19,6 +19,15 @@
 //! decisions. This mirrors the paper's "same random seed across all
 //! algorithms" methodology.
 //!
+//! Performance notes (see `ARCHITECTURE.md` for the full picture): the round
+//! loop is allocation-free in steady state; derived per-round tables that
+//! are identical across dispatchers (reciprocal rates, loads, solver keys)
+//! are computed **once** per round into a shared
+//! [`scd_model::RoundCache`] and handed to every policy through the context;
+//! and the [`runner::fan_out`] scoped-thread pool is the single parallelism
+//! primitive every higher layer (comparisons, replications, experiment
+//! sweep grids) builds on — all of them bit-identical to sequential runs.
+//!
 //! # Example
 //!
 //! ```

@@ -1,6 +1,6 @@
 //! Results produced by a simulation run.
 
-use scd_metrics::{HistogramSummary, ResponseTimeHistogram, SampleSet};
+use scd_metrics::{DecisionTimeHistogram, HistogramSummary, ResponseTimeHistogram};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate queue-length statistics of one run.
@@ -44,8 +44,9 @@ pub struct SimReport {
     pub queues: QueueSummary,
     /// Wall-clock times (in microseconds) of individual dispatching
     /// decisions, present when the run was configured with
-    /// `measure_decision_times`.
-    pub decision_times_us: Option<SampleSet>,
+    /// `measure_decision_times`. Recorded into a fixed log-bucketed
+    /// histogram so the measured hot path stays allocation-free.
+    pub decision_times_us: Option<DecisionTimeHistogram>,
 }
 
 impl SimReport {

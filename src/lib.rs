@@ -40,11 +40,16 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`model`](scd_model) | identifiers, cluster specs, snapshots, the [`DispatchPolicy`](scd_model::DispatchPolicy) trait, weighted samplers |
-//! | [`core`](scd_core) | IWL (Algorithm 3), the probability solvers (Algorithms 1 & 4), arrival estimation, the SCD policy |
-//! | [`policies`](scd_policies) | JSQ, SED, JSQ(d), hJSQ(d), JIQ, hJIQ, LSQ, hLSQ, WR, TWF, LED and friends |
-//! | [`sim`](scd_sim) | the three-phase round engine, arrival/service processes, reports |
-//! | [`metrics`](scd_metrics) | response-time histograms, percentiles, CCDF, tables |
+//! | [`model`] | identifiers, cluster specs, snapshots, the [`DispatchPolicy`](scd_model::DispatchPolicy) trait, weighted samplers, the shared [`RoundCache`](scd_model::RoundCache) |
+//! | [`core`] | IWL (Algorithm 3), the probability solvers (Algorithms 1 & 4), arrival estimation, the SCD policy, the tournament-tree queue index |
+//! | [`policies`] | JSQ, SED, JSQ(d), hJSQ(d), JIQ, hJIQ, LSQ, hLSQ, WR, TWF, LED and friends |
+//! | [`sim`] | the three-phase round engine, arrival/service processes, reports |
+//! | [`metrics`] | response-time histograms, decision-time histograms, percentiles, CCDF, tables |
+//!
+//! A prose tour of how the crates fit together — the round lifecycle, the
+//! scratch/cache ownership rules and where the indexed queue views sit — is
+//! in `ARCHITECTURE.md` at the repository root; `PAPER_MAP.md` maps paper
+//! sections and figures to modules and experiment binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,132 @@
+//! Markdown sanity and link checking for the repository documentation.
+//!
+//! CI runs this as part of the docs job (and it runs in every `cargo test`):
+//! the architecture documents reference concrete files and each other, and
+//! those references must not rot as the codebase grows.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The documents under contract.
+const DOCS: [&str; 4] = [
+    "ARCHITECTURE.md",
+    "PAPER_MAP.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(doc: &str) -> String {
+    fs::read_to_string(repo_root().join(doc))
+        .unwrap_or_else(|e| panic!("{doc} must exist and be readable: {e}"))
+}
+
+/// Extracts `[text](target)` markdown link targets, ignoring code spans.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = markdown.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            if let Some(end) = markdown[i + 2..].find(')') {
+                targets.push(markdown[i + 2..i + 2 + end].to_string());
+                i += end + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Extracts backticked repository paths like `crates/sim/src/engine.rs`.
+fn backticked_paths(markdown: &str) -> Vec<String> {
+    let mut paths = Vec::new();
+    for span in markdown.split('`').skip(1).step_by(2) {
+        let candidate = span.trim();
+        let looks_like_path = (candidate.starts_with("crates/")
+            || candidate.starts_with("tests/")
+            || candidate.starts_with("examples/")
+            || candidate.starts_with("vendor/")
+            || candidate.starts_with("src/"))
+            && (candidate.ends_with(".rs")
+                || candidate.ends_with(".md")
+                || candidate.ends_with(".toml")
+                || candidate.ends_with(".json"));
+        if looks_like_path && !candidate.contains(char::is_whitespace) && !candidate.contains('*') {
+            paths.push(candidate.to_string());
+        }
+    }
+    paths
+}
+
+#[test]
+fn all_contract_documents_exist() {
+    for doc in DOCS {
+        assert!(
+            repo_root().join(doc).is_file(),
+            "{doc} is missing from the repository root"
+        );
+    }
+    // The two documents this PR introduced must stay cross-linked from the
+    // architecture entry point.
+    let architecture = read("ARCHITECTURE.md");
+    assert!(architecture.contains("PAPER_MAP.md"));
+    assert!(architecture.contains("ROADMAP.md"));
+}
+
+#[test]
+fn markdown_structure_is_sane() {
+    for doc in DOCS {
+        let content = read(doc);
+        let fences = content
+            .lines()
+            .filter(|l| l.trim_start().starts_with("```"))
+            .count();
+        assert!(fences % 2 == 0, "{doc}: unbalanced code fences ({fences})");
+        let h1 = content.lines().filter(|l| l.starts_with("# ")).count();
+        assert_eq!(h1, 1, "{doc}: expected exactly one top-level heading");
+        assert!(
+            !content.contains("](TODO") && !content.to_lowercase().contains("tbd]"),
+            "{doc}: contains placeholder links"
+        );
+    }
+}
+
+#[test]
+fn relative_links_resolve() {
+    for doc in DOCS {
+        let content = read(doc);
+        for target in link_targets(&content) {
+            // External and intra-document links are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            let path = target.split('#').next().unwrap_or(&target);
+            assert!(
+                repo_root().join(path).exists(),
+                "{doc}: broken relative link to {target}"
+            );
+        }
+    }
+}
+
+#[test]
+fn referenced_repository_paths_exist() {
+    for doc in ["ARCHITECTURE.md", "PAPER_MAP.md", "ROADMAP.md"] {
+        let content = read(doc);
+        for path in backticked_paths(&content) {
+            assert!(
+                Path::new(&repo_root()).join(&path).exists(),
+                "{doc}: references `{path}`, which does not exist"
+            );
+        }
+    }
+}

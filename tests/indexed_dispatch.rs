@@ -1,0 +1,133 @@
+//! Equivalence guarantees of the indexed queue views and the per-round
+//! shared compute cache.
+//!
+//! The tournament-tree index (`scd_core::index`) and the `O(n)` scan both
+//! minimize the same `(key, priority, index)` composite order and consume
+//! the RNG identically, so indexed and scan dispatch must be **bit-identical**
+//! — at the single-decision level and over whole simulations. Likewise the
+//! engine's shared `RoundCache` computes its tables with exactly the
+//! arithmetic the policies' private scratch uses, so cached and cache-less
+//! decisions must coincide bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use scd::prelude::*;
+use scd_model::RoundCache;
+use scd_policies::jsq::JsqPolicy;
+use scd_policies::sed::SedPolicy;
+
+fn comparison_config(seed: u64) -> SimConfig {
+    let spec = ClusterSpec::from_rates(vec![9.0, 6.0, 4.0, 2.0, 1.0, 1.0, 1.0]).unwrap();
+    SimConfig::builder(spec)
+        .dispatchers(4)
+        .rounds(1_500)
+        .warmup_rounds(150)
+        .seed(seed)
+        .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.92 })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn indexed_and_scan_jsq_runs_are_bit_identical() {
+    for seed in [1u64, 7, 2021] {
+        let simulation = Simulation::new(comparison_config(seed)).unwrap();
+        let indexed = simulation.run(&JsqFactory::new()).unwrap();
+        let scan = simulation.run(&JsqFactory::scan()).unwrap();
+        assert_eq!(
+            indexed, scan,
+            "seed {seed}: indexed JSQ diverged from the scan reference"
+        );
+    }
+}
+
+#[test]
+fn indexed_and_scan_sed_runs_are_bit_identical() {
+    for seed in [1u64, 7, 2021] {
+        let simulation = Simulation::new(comparison_config(seed)).unwrap();
+        let indexed = simulation.run(&SedFactory::new()).unwrap();
+        let scan = simulation.run(&SedFactory::scan()).unwrap();
+        assert_eq!(
+            indexed, scan,
+            "seed {seed}: indexed SED diverged from the scan reference"
+        );
+    }
+}
+
+/// Single-decision fuzz: across random snapshots and batch sizes, indexed
+/// and scan JSQ/SED append the same destinations and leave the RNG in the
+/// same state.
+#[test]
+fn indexed_and_scan_policies_agree_per_decision() {
+    let mut case_rng = StdRng::seed_from_u64(0x1DE7);
+    for case in 0..150 {
+        let n = case_rng.gen_range(1..40usize);
+        let queues: Vec<u64> = (0..n).map(|_| case_rng.gen_range(0..25)).collect();
+        let rates: Vec<f64> = (0..n).map(|_| case_rng.gen_range(0.5..20.0)).collect();
+        let batch = case_rng.gen_range(0..60usize);
+        let seed = case_rng.gen::<u64>();
+        let ctx = DispatchContext::new(&queues, &rates, 3, 0);
+
+        let run = |policy: &mut dyn DispatchPolicy| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            policy.dispatch_into(&ctx, batch, &mut out, &mut rng);
+            (out, rng.next_u64())
+        };
+
+        let jsq_indexed = run(&mut JsqPolicy::new());
+        let jsq_scan = run(&mut JsqPolicy::scan());
+        assert_eq!(jsq_indexed, jsq_scan, "case {case}: JSQ modes diverged");
+
+        let sed_indexed = run(&mut SedPolicy::new());
+        let sed_scan = run(&mut SedPolicy::scan());
+        assert_eq!(sed_indexed, sed_scan, "case {case}: SED modes diverged");
+    }
+}
+
+/// The shared per-round cache is a pure accelerator: dispatching against a
+/// context that carries it must match dispatching without it, bit for bit,
+/// for every cache-aware policy (SCD reads loads/solver keys, SED reads the
+/// reciprocal rates).
+#[test]
+fn cached_and_cacheless_contexts_dispatch_identically() {
+    let mut case_rng = StdRng::seed_from_u64(0xCAC8E);
+    let mut cache = RoundCache::new();
+    for case in 0..100 {
+        let n = case_rng.gen_range(1..30usize);
+        let queues: Vec<u64> = (0..n).map(|_| case_rng.gen_range(0..20)).collect();
+        let rates: Vec<f64> = (0..n).map(|_| case_rng.gen_range(0.5..15.0)).collect();
+        let batch = case_rng.gen_range(1..40usize);
+        let seed = case_rng.gen::<u64>();
+        cache.begin_round(&queues, &rates);
+        let plain = DispatchContext::new(&queues, &rates, 5, 3);
+        let cached = DispatchContext::with_cache(&queues, &rates, 5, 3, &cache);
+
+        let run = |policy: &mut dyn DispatchPolicy, ctx: &DispatchContext<'_>| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            policy.dispatch_into(ctx, batch, &mut out, &mut rng);
+            (out, rng.next_u64())
+        };
+
+        for (name, a, b) in [
+            (
+                "SCD",
+                run(&mut ScdPolicy::new(), &plain),
+                run(&mut ScdPolicy::new(), &cached),
+            ),
+            (
+                "SED",
+                run(&mut SedPolicy::new(), &plain),
+                run(&mut SedPolicy::new(), &cached),
+            ),
+            (
+                "JSQ",
+                run(&mut JsqPolicy::new(), &plain),
+                run(&mut JsqPolicy::new(), &cached),
+            ),
+        ] {
+            assert_eq!(a, b, "case {case}: {name} diverged with the round cache");
+        }
+    }
+}
