@@ -35,6 +35,18 @@
 //!
 //! Both engines simulate exactly the same system (same cluster, load,
 //! distributions and metrics); they differ only in implementation.
+//!
+//! Two baselines that are *not* the legacy loop:
+//!
+//! * the **LSQ / LED rows** compare the warm-tree dispatch path (one
+//!   tournament per policy instance across rounds, dirty-key repair) against
+//!   the PR 2 per-batch-rebuild path on the *modern* engine — the two paths
+//!   consume the RNG differently (per-epoch vs per-batch priorities), so the
+//!   comparison is same-workload, not same-trajectory;
+//! * the **SWEEP row** runs a grid of many small simulation cells through
+//!   `fan_out` and compares the persistent worker pool against the previous
+//!   per-call scoped-thread implementation (`fan_out_scoped`), which is the
+//!   workload where thread-startup costs dominate.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,8 +58,8 @@ use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
     PolicyFactory, RateProfile, ServerId,
 };
-use scd_policies::{JsqFactory, SedFactory, WeightedRandomFactory};
-use scd_sim::{ArrivalSpec, ServiceModel, SimConfig, Simulation};
+use scd_policies::{JsqFactory, LedFactory, LsqFactory, SedFactory, WeightedRandomFactory};
+use scd_sim::{fan_out, fan_out_scoped, ArrivalSpec, ServiceModel, SimConfig, Simulation};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -60,7 +72,8 @@ const SEED: u64 = 7;
 /// when the baseline or the optimized engine changes meaning, so earlier
 /// recordings stay auditable.
 const RUN_LABEL: &str =
-    "PR 2: indexed dispatch + round cache + single-draw alias vs pre-refactor loop with scan dispatch";
+    "PR 3: warm-tree LSQ/LED (vs PR 2 per-batch rebuild) + memoized SCD solves \
+     + persistent fan-out pool (SWEEP row: pooled vs scoped, 60x12 small cells)";
 /// Interleaved measurement pairs per policy; `CRITERION_QUICK=1` drops to a
 /// single pair (CI smoke test).
 fn repetitions() -> usize {
@@ -322,10 +335,12 @@ fn run_legacy_engine(config: &SimConfig, factory: &dyn PolicyFactory) -> u64 {
 }
 
 /// Best-of-N rounds/second for a pair of closures that each simulate
-/// `ROUNDS` rounds. The two candidates are measured in strict alternation
-/// (A, B, A, B, ...) so that drifting machine load hits both equally; the
-/// minimum elapsed time per candidate estimates its unloaded cost.
+/// `total_rounds` rounds. The two candidates are measured in strict
+/// alternation (A, B, A, B, ...) so that drifting machine load hits both
+/// equally; the minimum elapsed time per candidate estimates its unloaded
+/// cost.
 fn measure_pair(
+    total_rounds: u64,
     mut baseline: impl FnMut() -> u64,
     mut optimized: impl FnMut() -> u64,
 ) -> (f64, f64) {
@@ -344,8 +359,8 @@ fn measure_pair(
     }
     std::hint::black_box(checksum);
     (
-        ROUNDS as f64 / best_baseline,
-        ROUNDS as f64 / best_optimized,
+        total_rounds as f64 / best_baseline,
+        total_rounds as f64 / best_optimized,
     )
 }
 
@@ -353,6 +368,66 @@ struct PolicyResult {
     policy: &'static str,
     baseline: f64,
     optimized: f64,
+}
+
+/// Which engine runs a row's baseline factory.
+enum BaselineEngine {
+    /// The faithful pre-refactor round loop (`run_legacy_engine`).
+    LegacyLoop,
+    /// The modern engine — used where the baseline is a *policy path* (the
+    /// PR 2 per-batch-rebuild LSQ/LED), not an engine generation.
+    Modern,
+}
+
+/// The SWEEP row's grid: `SWEEP_REPEATS` consecutive fan-outs over
+/// `SWEEP_CELLS` small simulations of `SWEEP_CELL_ROUNDS` rounds each —
+/// the many-small-cells shape where per-call thread startup dominates the
+/// scoped implementation.
+const SWEEP_CELLS: usize = 12;
+const SWEEP_CELL_ROUNDS: u64 = 30;
+const SWEEP_REPEATS: usize = 60;
+const SWEEP_THREADS: usize = 4;
+
+fn sweep_cell_config(cell: usize) -> SimConfig {
+    let mut cluster_rng = StdRng::seed_from_u64(SEED ^ cell as u64);
+    let spec = RateProfile::paper_moderate()
+        .materialize(20, &mut cluster_rng)
+        .expect("valid profile");
+    SimConfig {
+        spec,
+        num_dispatchers: 4,
+        rounds: SWEEP_CELL_ROUNDS,
+        warmup_rounds: 0,
+        seed: SEED.wrapping_add(cell as u64),
+        arrivals: ArrivalSpec::PoissonOfferedLoad {
+            offered_load: OFFERED_LOAD,
+        },
+        services: ServiceModel::Geometric,
+        measure_decision_times: false,
+    }
+}
+
+/// One SWEEP measurement: repeated small fan-outs, pooled or scoped.
+fn run_sweep(pooled: bool) -> u64 {
+    let configs: Vec<SimConfig> = (0..SWEEP_CELLS).map(sweep_cell_config).collect();
+    let factory = JsqFactory::new();
+    let worker = |cell: usize| {
+        Simulation::new(configs[cell].clone())
+            .expect("valid configuration")
+            .run(&factory)
+            .expect("clean run")
+            .jobs_completed
+    };
+    let mut checksum = 0u64;
+    for _ in 0..SWEEP_REPEATS {
+        let outputs = if pooled {
+            fan_out(SWEEP_CELLS, SWEEP_THREADS, worker)
+        } else {
+            fan_out_scoped(SWEEP_CELLS, SWEEP_THREADS, worker)
+        };
+        checksum = checksum.wrapping_add(outputs.iter().sum::<u64>());
+    }
+    checksum
 }
 
 fn main() {
@@ -365,12 +440,18 @@ fn main() {
 
     let mut results: Vec<PolicyResult> = Vec::new();
 
-    type Pair = (&'static str, Box<dyn PolicyFactory>, Box<dyn PolicyFactory>);
+    type Pair = (
+        &'static str,
+        Box<dyn PolicyFactory>,
+        Box<dyn PolicyFactory>,
+        BaselineEngine,
+    );
     let pairs: Vec<Pair> = vec![
         (
             "SCD",
             Box::new(LegacyScdFactory),
             Box::new(ScdFactory::new()),
+            BaselineEngine::LegacyLoop,
         ),
         (
             "JSQ",
@@ -378,6 +459,7 @@ fn main() {
                 expected_delay: false,
             }),
             Box::new(JsqFactory::new()),
+            BaselineEngine::LegacyLoop,
         ),
         (
             "SED",
@@ -385,27 +467,47 @@ fn main() {
                 expected_delay: true,
             }),
             Box::new(SedFactory::new()),
+            BaselineEngine::LegacyLoop,
+        ),
+        (
+            "LSQ",
+            Box::new(LsqFactory::new().per_batch_rebuild()),
+            Box::new(LsqFactory::new()),
+            BaselineEngine::Modern,
+        ),
+        (
+            "LED",
+            Box::new(LedFactory::new().per_batch_rebuild()),
+            Box::new(LedFactory::new()),
+            BaselineEngine::Modern,
         ),
         (
             "WR",
             Box::new(WeightedRandomFactory::new()),
             Box::new(WeightedRandomFactory::new()),
+            BaselineEngine::LegacyLoop,
         ),
     ];
 
-    for (policy, legacy_factory, optimized_factory) in pairs {
+    for (policy, baseline_factory, optimized_factory, baseline_engine) in pairs {
         let simulation = Simulation::new(config.clone()).expect("valid configuration");
-        let (baseline, optimized) = measure_pair(
-            || run_legacy_engine(&config, legacy_factory.as_ref()),
-            || {
+        let run_baseline = || match baseline_engine {
+            BaselineEngine::LegacyLoop => run_legacy_engine(&config, baseline_factory.as_ref()),
+            BaselineEngine::Modern => {
                 simulation
-                    .run(optimized_factory.as_ref())
+                    .run(baseline_factory.as_ref())
                     .expect("clean run")
                     .jobs_completed
-            },
-        );
+            }
+        };
+        let (baseline, optimized) = measure_pair(ROUNDS, run_baseline, || {
+            simulation
+                .run(optimized_factory.as_ref())
+                .expect("clean run")
+                .jobs_completed
+        });
         println!(
-            "  {policy:<4} baseline {baseline:>12.0} rounds/s | optimized {optimized:>12.0} \
+            "  {policy:<5} baseline {baseline:>12.0} rounds/s | optimized {optimized:>12.0} \
              rounds/s | speedup {:.2}x",
             optimized / baseline
         );
@@ -415,6 +517,22 @@ fn main() {
             optimized,
         });
     }
+
+    // The many-small-cells sweep: scoped threads (baseline) vs the
+    // persistent pool (optimized), identical outputs.
+    let sweep_rounds = (SWEEP_CELLS * SWEEP_REPEATS) as u64 * SWEEP_CELL_ROUNDS;
+    let (baseline, optimized) = measure_pair(sweep_rounds, || run_sweep(false), || run_sweep(true));
+    println!(
+        "  SWEEP baseline {baseline:>12.0} rounds/s | optimized {optimized:>12.0} rounds/s | \
+         speedup {:.2}x  ({SWEEP_REPEATS}x{SWEEP_CELLS} cells, {SWEEP_CELL_ROUNDS} rounds, \
+         {SWEEP_THREADS} threads)",
+        optimized / baseline
+    );
+    results.push(PolicyResult {
+        policy: "SWEEP",
+        baseline,
+        optimized,
+    });
 
     if std::env::var_os("CRITERION_QUICK").is_some() {
         println!("CRITERION_QUICK set: smoke run, not recording BENCH_engine.json");

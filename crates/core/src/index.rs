@@ -10,6 +10,14 @@
 //! batch, each argmin query reads the root in `O(1)`, and each key update
 //! replays `O(log n)` internal matches — `O(n + b·log n)` per batch.
 //!
+//! Policies whose keys change at only a few positions between batches
+//! (LSQ/LED: probes + their own placements) skip even the per-batch rebuild:
+//! they keep one *warm* tree per policy instance across rounds and repair the
+//! dirty keys through [`TournamentTree::apply_updates`] — `O(k·log n)` for
+//! `k` dirty slots, with an internal `O(n)` fallback when the dirty set is
+//! dense. The warm lifecycle (who owns the priorities, when they refresh) is
+//! managed by `scd_policies::common::BatchArgmin`.
+//!
 //! # Total order and tie-breaking
 //!
 //! The tree (and its scan reference [`scan_argmin`]) minimizes the composite
@@ -180,7 +188,17 @@ impl TournamentTree {
         self.keys[slot]
     }
 
-    /// Changes the key of one slot and replays its `O(log n)` matches.
+    /// Changes the key of one slot and replays its `O(log n)` matches, with
+    /// an early exit once the outcome can no longer change.
+    ///
+    /// The early exit is sound *only* because a single key changed: when a
+    /// replayed match keeps its previous winner `w` and `w` is not the
+    /// updated slot, every ancestor match compares exactly the operands it
+    /// compared before (same winners, unchanged keys), so the walk can stop.
+    /// When the winner *is* the updated slot the walk must continue — its
+    /// key changed, so ancestor matches can still flip. (Bulk repairs cannot
+    /// use this exit, because "unchanged winner" may itself be another
+    /// changed slot; see [`apply_updates`](TournamentTree::apply_updates).)
     ///
     /// # Panics
     /// Panics if `slot >= len()`; debug builds also reject non-finite keys.
@@ -188,14 +206,73 @@ impl TournamentTree {
         assert!(slot < self.n, "slot {slot} out of range {}", self.n);
         debug_assert!(key.is_finite(), "tournament keys must be finite, got {key}");
         self.keys[slot] = key;
-        // Replay every match on the leaf-to-root path. (An early exit when a
-        // subtree's winner is unchanged would be wrong whenever that winner
-        // *is* the updated slot — its key changed, so ancestor matches can
-        // still flip — so we keep the unconditional O(log n) walk.)
+        let slot = slot as u32;
+        let mut node = (self.size + slot as usize) >> 1;
+        while node >= 1 {
+            let winner = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
+            if winner == self.winners[node] && winner != slot {
+                return;
+            }
+            self.winners[node] = winner;
+            node >>= 1;
+        }
+    }
+
+    /// Replays every match on one leaf-to-root path. (An early exit when a
+    /// subtree's winner is unchanged would be wrong whenever that winner
+    /// *is* the updated slot — its key changed, so ancestor matches can
+    /// still flip — so the walk is an unconditional `O(log n)`.)
+    #[inline]
+    fn replay_path(&mut self, slot: usize) {
         let mut node = (self.size + slot) >> 1;
         while node >= 1 {
             self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
             node >>= 1;
+        }
+    }
+
+    /// Batch dirty-key repair: re-reads the key of every slot in `slots` and
+    /// restores the tournament invariant, leaving priorities untouched.
+    ///
+    /// This is the warm-tree counterpart of
+    /// [`rebuild`](TournamentTree::rebuild): a policy whose keys changed at
+    /// only `k` positions since the last batch (probes, estimate decay)
+    /// repairs those positions instead of rebuilding all `n`. Duplicate
+    /// slots are allowed and harmless. When the dirty set is large enough
+    /// that replaying `k` leaf-to-root paths would cost more than one linear
+    /// pass (`k·log₂(size) ≥ size`), the internal matches are rebuilt in
+    /// `O(n)` instead — both strategies produce identical winners, so the
+    /// choice is invisible to callers.
+    ///
+    /// # Panics
+    /// Panics if any slot is `>= len()`; debug builds also reject non-finite
+    /// keys.
+    pub fn apply_updates<K>(&mut self, slots: &[u32], mut key: K)
+    where
+        K: FnMut(usize) -> f64,
+    {
+        if slots.is_empty() {
+            return;
+        }
+        for &slot in slots {
+            let s = slot as usize;
+            assert!(s < self.n, "slot {s} out of range {}", self.n);
+            let k = key(s);
+            debug_assert!(k.is_finite(), "tournament keys must be finite, got {k}");
+            self.keys[s] = k;
+        }
+        if self.size <= 1 {
+            return;
+        }
+        let log = self.size.trailing_zeros() as usize;
+        if slots.len() * log >= self.size {
+            for node in (1..self.size).rev() {
+                self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
+            }
+        } else {
+            for &slot in slots {
+                self.replay_path(slot as usize);
+            }
         }
     }
 }
@@ -342,6 +419,98 @@ mod tests {
                     keys[slot] = (keys[slot] - 1.0).max(0.0);
                 }
                 tree.update_key(slot, keys[slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_updates_repairs_dirty_slots() {
+        let mut keys = [4.0, 1.0, 3.0, 2.0, 8.0, 0.5, 6.0];
+        let mut tree = TournamentTree::new();
+        tree.rebuild(7, |i| keys[i], |i| i as u64);
+        assert_eq!(tree.argmin(), 5);
+        keys[5] = 9.0;
+        keys[1] = 7.0;
+        // Duplicate dirty entries must be harmless.
+        tree.apply_updates(&[5, 1, 5], |i| keys[i]);
+        assert_eq!(tree.argmin(), 3);
+        assert_eq!(tree.key(5), 9.0);
+        // Empty updates are a no-op.
+        tree.apply_updates(&[], |_| unreachable!("no slots to read"));
+        assert_eq!(tree.argmin(), 3);
+    }
+
+    #[test]
+    fn apply_updates_on_single_slot_tree() {
+        let mut tree = TournamentTree::new();
+        tree.rebuild(1, |_| 5.0, |_| 0);
+        tree.apply_updates(&[0], |_| 1.0);
+        assert_eq!(tree.argmin(), 0);
+        assert_eq!(tree.key(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_updates_out_of_range_panics() {
+        let mut tree = TournamentTree::new();
+        tree.rebuild(2, |_| 0.0, |i| i as u64);
+        tree.apply_updates(&[2], |_| 1.0);
+    }
+
+    /// The warm-lifecycle fuzz oracle: interleave sparse `apply_updates`
+    /// repairs, dense repairs (forcing the internal `O(n)` fallback),
+    /// priority "epoch refreshes" (full rebuild with fresh priorities) and
+    /// plain rebuilds — after every operation the tree must agree with the
+    /// naive scan over the same keys and priorities.
+    #[test]
+    fn fuzz_warm_lifecycle_matches_scan_reference() {
+        let mut rng = StdRng::seed_from_u64(0x3A2B_11ED);
+        let mut tree = TournamentTree::new();
+        for case in 0..200 {
+            let mut n = rng.gen_range(1..80);
+            let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+            let mut prios: Vec<u64> = (0..n).map(|_| rng.gen_range(0..5) as u64).collect();
+            tree.rebuild(n, |i| keys[i], |i| prios[i]);
+            for step in 0..60 {
+                match rng.gen_range(0..10) {
+                    // Sparse dirty repair: a handful of keys drift.
+                    0..=4 => {
+                        let k = rng.gen_range(1..=4.min(n));
+                        let dirty: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n) as u32).collect();
+                        for &slot in &dirty {
+                            keys[slot as usize] = rng.gen_range(0..10) as f64;
+                        }
+                        tree.apply_updates(&dirty, |i| keys[i]);
+                    }
+                    // Dense dirty repair: most keys drift, exercising the
+                    // O(n) internal-rebuild fallback.
+                    5..=6 => {
+                        let dirty: Vec<u32> = (0..n)
+                            .filter(|_| rng.gen_range(0..4) != 0)
+                            .map(|i| i as u32)
+                            .collect();
+                        for &slot in &dirty {
+                            keys[slot as usize] = rng.gen_range(0..10) as f64;
+                        }
+                        tree.apply_updates(&dirty, |i| keys[i]);
+                    }
+                    // Priority epoch refresh: same keys, fresh priorities.
+                    7..=8 => {
+                        for p in prios.iter_mut() {
+                            *p = rng.gen_range(0..5) as u64;
+                        }
+                        tree.rebuild(n, |i| keys[i], |i| prios[i]);
+                    }
+                    // Full rebuild at a new size (cluster change).
+                    _ => {
+                        n = rng.gen_range(1..80);
+                        keys = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+                        prios = (0..n).map(|_| rng.gen_range(0..5) as u64).collect();
+                        tree.rebuild(n, |i| keys[i], |i| prios[i]);
+                    }
+                }
+                let expect = scan_argmin(n, |i| keys[i], |i| prios[i]);
+                assert_eq!(tree.argmin(), expect, "case {case} step {step}");
             }
         }
     }

@@ -53,6 +53,16 @@ impl fmt::Display for SolverKind {
     }
 }
 
+impl SolverKind {
+    /// Stable discriminant used as the [`RoundCache`] solver-memo tag.
+    fn memo_tag(self) -> u8 {
+        match self {
+            SolverKind::Fast => 0,
+            SolverKind::Quadratic => 1,
+        }
+    }
+}
+
 /// Errors produced by the probability solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolverError {
@@ -315,6 +325,15 @@ pub fn solve_round_into(
 /// recomputing them into the policy's private scratch. With `m` dispatchers
 /// per round this amortizes the `O(n)` solver setup `m`-fold.
 ///
+/// The solve is additionally **memoized** in the cache, keyed by
+/// `(arrivals, kind)`: within one round the remaining inputs (snapshot,
+/// rates) are fixed, so dispatchers whose batch-size estimates collide —
+/// the common case under the paper's `a_est = m·a(d)` estimator with
+/// equal-rate dispatchers — share one solve per distinct estimate. A memo
+/// hit copies back bit-for-bit the vector the fresh solve produced, so
+/// memoization never changes decisions, and since the memo is a pure
+/// function cache no dispatcher ever observes another's private state.
+///
 /// The cache computes its tables with exactly the arithmetic
 /// [`ScdScratch`] uses, so for any input the two entry points return
 /// **bit-identical** probabilities (asserted by this module's tests).
@@ -347,10 +366,15 @@ pub fn solve_round_cached(
         });
     }
 
+    if let Some(iwl) = cache.solver_memo_lookup(arrivals, kind.memo_tag(), probabilities) {
+        return Ok(iwl);
+    }
+
     let iwl = iwl_by_trimming(queues, rates, cache.loads(), arrivals);
 
     if arrivals <= SINGLE_JOB_THRESHOLD {
         single_job_probabilities_into(queues, rates, probabilities);
+        cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
         return Ok(iwl);
     }
 
@@ -366,6 +390,7 @@ pub fn solve_round_cached(
             probabilities.extend_from_slice(&solution.probabilities);
         }
     }
+    cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
     Ok(iwl)
 }
 
@@ -1076,6 +1101,108 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_solver_memoizes_equal_estimates_to_one_solve() {
+        // m = 10 dispatchers sharing one round snapshot with equal batch
+        // sizes: the first solve is a miss, the other nine are hits, and
+        // every hit returns bit-for-bit the missed solve's output.
+        let queues = [7u64, 0, 3, 1, 0, 9];
+        let rates = [4.0, 1.0, 2.5, 1.0, 8.0, 0.5];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let a_est = 30.0; // m·a(d) with equal a(d)
+        let mut scratch = ScdScratch::default();
+        let mut reference = Vec::new();
+        let ref_iwl = solve_round_into(
+            &queues,
+            &rates,
+            a_est,
+            SolverKind::Fast,
+            &mut scratch,
+            &mut reference,
+        )
+        .unwrap();
+        let mut probs = Vec::new();
+        for dispatcher in 0..10 {
+            let iwl =
+                solve_round_cached(&queues, &rates, &cache, a_est, SolverKind::Fast, &mut probs)
+                    .unwrap();
+            assert_eq!(iwl.to_bits(), ref_iwl.to_bits(), "dispatcher {dispatcher}");
+            assert_eq!(probs.len(), reference.len());
+            for (s, (got, want)) in probs.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "dispatcher {dispatcher}: p[{s}]"
+                );
+            }
+        }
+        assert_eq!(cache.solver_memo_stats(), (9, 1));
+    }
+
+    #[test]
+    fn cached_solver_memo_discriminates_estimates_and_kinds() {
+        let queues = [4u64, 0, 2];
+        let rates = [2.0, 1.0, 5.0];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let mut probs = Vec::new();
+        // Three distinct estimates, each solved twice: 3 misses + 3 hits.
+        for _ in 0..2 {
+            for a_est in [5.0, 10.0, 15.0] {
+                solve_round_cached(&queues, &rates, &cache, a_est, SolverKind::Fast, &mut probs)
+                    .unwrap();
+            }
+        }
+        assert_eq!(cache.solver_memo_stats(), (3, 3));
+        // A different solver kind must not hit the Fast entries.
+        solve_round_cached(
+            &queues,
+            &rates,
+            &cache,
+            5.0,
+            SolverKind::Quadratic,
+            &mut probs,
+        )
+        .unwrap();
+        assert_eq!(cache.solver_memo_stats(), (3, 4));
+        // A new round invalidates the entries: the same estimate re-solves
+        // against the fresh snapshot.
+        cache.begin_round(&[9, 9, 9], &rates);
+        let mut fresh = Vec::new();
+        solve_round_cached(
+            &[9, 9, 9],
+            &rates,
+            &cache,
+            5.0,
+            SolverKind::Fast,
+            &mut fresh,
+        )
+        .unwrap();
+        assert_eq!(cache.solver_memo_stats(), (3, 5));
+        let reference = solve(&[9, 9, 9], &rates, 5.0, SolverKind::Fast).unwrap();
+        for (got, want) in fresh.iter().zip(&reference.probabilities) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cached_solver_memo_covers_the_single_job_closed_form() {
+        let queues = [5u64, 0, 3];
+        let rates = [10.0, 1.0, 4.0];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let mut probs = Vec::new();
+        for _ in 0..3 {
+            let iwl =
+                solve_round_cached(&queues, &rates, &cache, 1.0, SolverKind::Fast, &mut probs)
+                    .unwrap();
+            assert_eq!(probs, vec![0.0, 1.0, 0.0]);
+            assert!(iwl.is_finite());
+        }
+        assert_eq!(cache.solver_memo_stats(), (2, 1));
     }
 
     #[test]

@@ -133,7 +133,7 @@ impl ResponseTimeExperiment {
             .collect();
 
         // One engine run per grid cell, fanned out end-to-end on the shared
-        // scoped-thread pool: every (system, load, policy, replication) tuple
+        // persistent worker pool: every (system, load, policy, replication) tuple
         // is an independent unit of work.
         let outcomes = grid.run(threads, |pt| {
             let (_, m) = self.systems[pt.system];

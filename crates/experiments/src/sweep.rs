@@ -4,7 +4,7 @@
 //! `(system × load × policy × seed)` tuples. Instead of every experiment
 //! hand-rolling its own job list and scatter logic, [`SweepGrid`] enumerates
 //! the full cross-product in a fixed row-major order and fans the cells out
-//! over [`scd_sim::fan_out`] — the same scoped-thread work-stealing pool that
+//! over [`scd_sim::fan_out`] — the same persistent work-stealing pool that
 //! backs `run_comparison_parallel` and `run_replications` — so experiment
 //! grids ride one pool end-to-end rather than each layer spawning its own.
 //!
@@ -32,7 +32,7 @@ pub struct GridPoint {
 }
 
 /// A `(system × load × policy × seed)` sweep grid executed on the simulator's
-/// scoped-thread pool.
+/// persistent worker pool.
 ///
 /// # Example
 /// ```

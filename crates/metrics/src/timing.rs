@@ -208,11 +208,17 @@ impl DecisionTimeHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Bucket and sample counts saturate at `u64::MAX` instead of wrapping:
+    /// the `--replications` tail sweeps merge one histogram per replication,
+    /// and a wrapped counter would silently corrupt every percentile of the
+    /// merged tail, whereas a saturated one only pins the (astronomically
+    /// unreachable) top of the range.
     pub fn merge(&mut self, other: &DecisionTimeHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -302,6 +308,32 @@ mod tests {
         assert_eq!(a.len(), 3);
         assert_eq!(a.max(), 50.0);
         assert!((a.mean() - 53.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping_on_count_overflow() {
+        let mut a = DecisionTimeHistogram::new();
+        let mut b = DecisionTimeHistogram::new();
+        a.record(2.0);
+        b.record(2.0);
+        b.record(4.0);
+        // Forge near-overflow counters (fields are module-visible): one more
+        // merge used to wrap them back to ~0 and corrupt every percentile.
+        let bucket = DecisionTimeHistogram::bucket_of(2.0);
+        a.counts[bucket] = u64::MAX - 1;
+        a.count = u64::MAX - 1;
+        a.merge(&b);
+        assert_eq!(a.counts[bucket], u64::MAX, "bucket count must saturate");
+        assert_eq!(a.count, u64::MAX, "sample count must saturate");
+        // The histogram stays ordered and usable after saturation: the
+        // median lands in the (bucket-quantized) 2 µs bucket, not near zero
+        // as it would after a wrap.
+        let p50 = a.percentile(0.5);
+        assert!(
+            (p50 - 2.0).abs() / 2.0 < 0.1,
+            "median {p50} should be ~2 µs"
+        );
+        assert_eq!(a.max(), 4.0);
     }
 
     #[test]

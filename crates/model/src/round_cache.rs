@@ -20,6 +20,22 @@
 //! privately (`1.0/µ`, then multiplications by the reciprocal), so runs with
 //! and without the cache are **bit-identical** — the property the engine
 //! equivalence tests pin down.
+//!
+//! # The per-round solver memo
+//!
+//! Beyond the derived tables, the cache carries a *solver memo*: within one
+//! round, a dispatcher's SCD solve is a pure function of `(queue snapshot,
+//! rates, a_est, solver kind)` — and the snapshot and rates are fixed for
+//! the round. With `m` dispatchers whose batch-size estimates collide (the
+//! common case under the paper's `a_est = m·a(d)` estimator at equal
+//! arrival rates), up to `m` identical Algorithm-1/4 solves per round dedupe
+//! to one solve per *distinct* estimate. The memo is engine-owned,
+//! invalidated by [`begin_round`](RoundCache::begin_round), and accessed
+//! through interior mutability ([`std::cell::RefCell`]) so policies can
+//! populate it through the same shared immutable view they read the tables
+//! from. Dispatcher independence is preserved: the memo is a pure function
+//! cache — a hit returns bit-for-bit the vector a fresh solve would produce,
+//! never any policy's private state.
 
 /// The reciprocal-rate table `inv[s] = 1.0/µ_s`, as a fresh vector.
 ///
@@ -60,6 +76,25 @@ pub enum CacheDemand {
     SolverTables,
 }
 
+/// Upper bound on live solver-memo entries per round. One entry exists per
+/// distinct `(a_est, kind)` pair, which is bounded by the dispatcher count;
+/// the cap keeps the linear memo scan cheap for very wide systems (excess
+/// distinct estimates simply solve unmemoized).
+const SOLVER_MEMO_CAP: usize = 32;
+
+/// One memoized per-round solver result.
+#[derive(Debug, Clone, Default)]
+struct SolverMemoEntry {
+    /// The estimate the solve was keyed by (compared bit-for-bit).
+    a_est: f64,
+    /// Caller-chosen discriminant for the solver algorithm.
+    kind: u8,
+    /// The ideal workload the solve produced.
+    iwl: f64,
+    /// The probability vector the solve produced.
+    probabilities: Vec<f64>,
+}
+
 /// Derived per-round tables shared (read-only) by all dispatchers of a round.
 ///
 /// All buffers are reused across rounds; after the first round at a given
@@ -86,6 +121,15 @@ pub struct RoundCache {
     loads: Vec<f64>,
     /// Corollary 1 candidate keys `(2q_s + 1)/µ_s` (same reciprocal trick).
     scd_keys: Vec<f64>,
+    /// Per-round solver memo (see the module docs). Entries beyond
+    /// `memo_live` are dead but keep their buffers for reuse.
+    memo: std::cell::RefCell<Vec<SolverMemoEntry>>,
+    /// Number of live memo entries this round.
+    memo_live: std::cell::Cell<usize>,
+    /// Cumulative (per cache lifetime, i.e. per run) memo hit counter.
+    memo_hits: std::cell::Cell<u64>,
+    /// Cumulative memo miss counter.
+    memo_misses: std::cell::Cell<u64>,
 }
 
 impl RoundCache {
@@ -120,6 +164,8 @@ impl RoundCache {
             "queue-length and rate vectors must describe the same cluster"
         );
         refresh_reciprocal_rates(&mut self.rates_snapshot, &mut self.inv_rates, rates);
+        // The memoized solves describe the previous round's snapshot.
+        self.memo_live.set(0);
         self.loads.clear();
         self.scd_keys.clear();
         if demand < CacheDemand::SolverTables {
@@ -157,6 +203,69 @@ impl RoundCache {
     /// Corollary 1 candidate keys `(2q_s + 1)/µ_s` of the current snapshot.
     pub fn scd_keys(&self) -> &[f64] {
         &self.scd_keys
+    }
+
+    /// Looks up a memoized solver result for this round.
+    ///
+    /// On a hit, copies the memoized probability vector into `out` (cleared
+    /// first) and returns the memoized ideal workload — bit-for-bit what the
+    /// corresponding fresh solve produced. `a_est` is compared by bit
+    /// pattern; `kind` is an opaque discriminant chosen by the caller (the
+    /// solver crate tags its algorithms). Hits and misses are counted; see
+    /// [`solver_memo_stats`](RoundCache::solver_memo_stats).
+    ///
+    /// Only valid between [`begin_round`](RoundCache::begin_round) calls:
+    /// the memo is keyed by `(a_est, kind)` alone because the remaining
+    /// solver inputs (snapshot, rates) are fixed within a round.
+    pub fn solver_memo_lookup(&self, a_est: f64, kind: u8, out: &mut Vec<f64>) -> Option<f64> {
+        let memo = self.memo.borrow();
+        for entry in &memo[..self.memo_live.get()] {
+            if entry.kind == kind && entry.a_est.to_bits() == a_est.to_bits() {
+                out.clear();
+                out.extend_from_slice(&entry.probabilities);
+                self.memo_hits.set(self.memo_hits.get() + 1);
+                return Some(entry.iwl);
+            }
+        }
+        self.memo_misses.set(self.memo_misses.get() + 1);
+        None
+    }
+
+    /// Stores one solver result in the per-round memo, reusing a dead
+    /// entry's buffer when available. Beyond a fixed cap of live entries
+    /// (32 — one entry exists per distinct estimate, bounded by the
+    /// dispatcher count) the store is silently dropped; later equal
+    /// estimates simply solve again.
+    pub fn solver_memo_store(&self, a_est: f64, kind: u8, iwl: f64, probabilities: &[f64]) {
+        let live = self.memo_live.get();
+        if live >= SOLVER_MEMO_CAP {
+            return;
+        }
+        let mut memo = self.memo.borrow_mut();
+        if live < memo.len() {
+            let entry = &mut memo[live];
+            entry.a_est = a_est;
+            entry.kind = kind;
+            entry.iwl = iwl;
+            entry.probabilities.clear();
+            entry.probabilities.extend_from_slice(probabilities);
+        } else {
+            memo.push(SolverMemoEntry {
+                a_est,
+                kind,
+                iwl,
+                probabilities: probabilities.to_vec(),
+            });
+        }
+        self.memo_live.set(live + 1);
+    }
+
+    /// Cumulative `(hits, misses)` of the solver memo over this cache's
+    /// lifetime (i.e. over a simulation run — the counters survive
+    /// [`begin_round`](RoundCache::begin_round), only the entries are
+    /// invalidated).
+    pub fn solver_memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits.get(), self.memo_misses.get())
     }
 }
 
@@ -225,6 +334,49 @@ mod tests {
         assert!(CacheDemand::None < CacheDemand::ReciprocalRates);
         assert!(CacheDemand::ReciprocalRates < CacheDemand::SolverTables);
         assert_eq!(CacheDemand::default(), CacheDemand::None);
+    }
+
+    #[test]
+    fn solver_memo_round_trips_and_counts() {
+        let cache = RoundCache::new();
+        let mut out = Vec::new();
+        assert_eq!(cache.solver_memo_lookup(6.0, 0, &mut out), None);
+        cache.solver_memo_store(6.0, 0, 1.25, &[0.5, 0.5]);
+        assert_eq!(cache.solver_memo_lookup(6.0, 0, &mut out), Some(1.25));
+        assert_eq!(out, vec![0.5, 0.5]);
+        // Different kind or different estimate: miss.
+        assert_eq!(cache.solver_memo_lookup(6.0, 1, &mut out), None);
+        assert_eq!(cache.solver_memo_lookup(7.0, 0, &mut out), None);
+        assert_eq!(cache.solver_memo_stats(), (1, 3));
+    }
+
+    #[test]
+    fn begin_round_invalidates_memo_entries_but_keeps_counters() {
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[1, 2], &[1.0, 2.0]);
+        cache.solver_memo_store(4.0, 0, 2.0, &[1.0, 0.0]);
+        let mut out = Vec::new();
+        assert!(cache.solver_memo_lookup(4.0, 0, &mut out).is_some());
+        cache.begin_round(&[3, 2], &[1.0, 2.0]);
+        // New round, same estimate: the old solve no longer applies.
+        assert_eq!(cache.solver_memo_lookup(4.0, 0, &mut out), None);
+        assert_eq!(cache.solver_memo_stats(), (1, 1));
+    }
+
+    #[test]
+    fn solver_memo_store_saturates_at_the_cap() {
+        let cache = RoundCache::new();
+        let mut out = Vec::new();
+        for i in 0..(SOLVER_MEMO_CAP + 5) {
+            cache.solver_memo_store(i as f64, 0, 0.0, &[1.0]);
+        }
+        // Entries within the cap are retrievable; the overflow was dropped.
+        assert!(cache
+            .solver_memo_lookup((SOLVER_MEMO_CAP - 1) as f64, 0, &mut out)
+            .is_some());
+        assert!(cache
+            .solver_memo_lookup(SOLVER_MEMO_CAP as f64, 0, &mut out)
+            .is_none());
     }
 
     #[test]

@@ -73,7 +73,21 @@ pub enum ArgminMode {
     Scan,
 }
 
-/// The per-batch argmin engine shared by the argmin-family policies.
+/// Number of batches a warm [`BatchArgmin`] keeps one set of tie-breaking
+/// priorities before redrawing them (the *priority epoch*).
+///
+/// Warm pickers draw their per-server priorities once per epoch instead of
+/// once per batch: the point of random priorities is to decorrelate the
+/// tie-breaking orders of *different dispatchers* (each has its own RNG
+/// stream, hence its own priority permutation), and that holds whether the
+/// permutation is redrawn every batch or every 64. Redrawing periodically
+/// still guarantees that, *within* one dispatcher, no server is favored among
+/// equal keys forever. Both warm modes (indexed and scan) apply the identical
+/// refresh rule, so RNG consumption — and therefore every pick — stays
+/// bit-identical between them.
+pub const PRIORITY_EPOCH_BATCHES: u32 = 64;
+
+/// The batch argmin engine shared by the argmin-family policies.
 ///
 /// At the start of every batch, [`begin`](BatchArgmin::begin) draws one
 /// random `u64` priority per server from the dispatcher's RNG — a uniformly
@@ -84,12 +98,33 @@ pub enum ArgminMode {
 /// the identical composite key `(key, priority, index)` and consume the RNG
 /// identically, so **indexed and scan dispatch pick the same servers for
 /// equal seeds** — the engine-level reports are bit-identical.
+///
+/// # Warm batches
+///
+/// Policies whose keys change at only `O(probes + batch)` positions between
+/// rounds (LSQ, LED) use [`begin_warm`](BatchArgmin::begin_warm) instead:
+/// the tournament tree survives across batches, priorities are per *instance*
+/// (redrawn every [`PRIORITY_EPOCH_BATCHES`] batches), and only the keys the
+/// policy [marked dirty](BatchArgmin::mark_dirty) since the previous batch
+/// are repaired — `O(dirty · log n)` instead of the `O(n)` per-batch rebuild.
+/// The scan mode follows the same priority lifecycle, so it remains the
+/// bit-identical oracle for the warm path too.
 #[derive(Debug, Clone, Default)]
 pub struct BatchArgmin {
     mode: ArgminMode,
     n: usize,
     prios: Vec<u64>,
     tree: TournamentTree,
+    /// True when the warm state (priorities + tree) describes the current
+    /// cluster; cleared by [`invalidate`](BatchArgmin::invalidate) and by any
+    /// per-batch [`begin`](BatchArgmin::begin).
+    warm_ready: bool,
+    /// Batches since the warm priorities were last drawn.
+    batches_in_epoch: u32,
+    /// Slots whose keys changed since the last warm batch (deduplicated via
+    /// `dirty_flags`).
+    dirty: Vec<u32>,
+    dirty_flags: Vec<bool>,
 }
 
 impl BatchArgmin {
@@ -118,12 +153,88 @@ impl BatchArgmin {
     {
         assert!(n > 0, "argmin over an empty cluster");
         self.n = n;
+        self.warm_ready = false;
+        self.dirty.clear();
         self.prios.clear();
         self.prios.extend((0..n).map(|_| rng.next_u64()));
         if self.mode == ArgminMode::Indexed {
             let prios = &self.prios;
             self.tree.rebuild(n, key, |i| prios[i]);
         }
+    }
+
+    /// Starts a *warm* batch over `n` servers.
+    ///
+    /// On the first call (or after [`invalidate`](BatchArgmin::invalidate), a
+    /// cluster-size change, or a completed priority epoch) this draws fresh
+    /// per-server priorities and, in indexed mode, rebuilds the tournament —
+    /// exactly like [`begin`](BatchArgmin::begin). On every other call it
+    /// consumes **no randomness** and repairs only the keys marked dirty
+    /// since the previous batch. The refresh decision depends only on
+    /// mode-independent state, so indexed and scan warm pickers consume the
+    /// RNG identically and pick identical servers for equal seeds.
+    ///
+    /// `key` must reflect the policy's *current* keys; between warm batches
+    /// the policy must [`mark_dirty`](BatchArgmin::mark_dirty) every slot
+    /// whose key it changed outside [`update`](BatchArgmin::update).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn begin_warm<K>(&mut self, n: usize, key: K, rng: &mut dyn RngCore)
+    where
+        K: FnMut(usize) -> f64,
+    {
+        assert!(n > 0, "argmin over an empty cluster");
+        let refresh =
+            !self.warm_ready || self.n != n || self.batches_in_epoch >= PRIORITY_EPOCH_BATCHES;
+        if refresh {
+            self.n = n;
+            self.prios.clear();
+            self.prios.extend((0..n).map(|_| rng.next_u64()));
+            self.batches_in_epoch = 0;
+            self.warm_ready = true;
+            self.dirty.clear();
+            self.dirty_flags.clear();
+            self.dirty_flags.resize(n, false);
+            if self.mode == ArgminMode::Indexed {
+                let prios = &self.prios;
+                self.tree.rebuild(n, key, |i| prios[i]);
+            }
+        } else {
+            if self.mode == ArgminMode::Indexed {
+                self.tree.apply_updates(&self.dirty, key);
+            }
+            for &slot in &self.dirty {
+                self.dirty_flags[slot as usize] = false;
+            }
+            self.dirty.clear();
+        }
+        self.batches_in_epoch += 1;
+    }
+
+    /// Records that `slot`'s key changed *between* warm batches (a probe
+    /// overwrote a local estimate, an estimate decayed, ...). The repair is
+    /// deferred to the next [`begin_warm`](BatchArgmin::begin_warm); marks
+    /// are deduplicated, so marking is `O(1)` and idempotent. A no-op before
+    /// the first warm batch or after an invalidation (the next warm batch
+    /// rebuilds everything anyway).
+    pub fn mark_dirty(&mut self, slot: usize) {
+        if !self.warm_ready || slot >= self.dirty_flags.len() {
+            return;
+        }
+        if !self.dirty_flags[slot] {
+            self.dirty_flags[slot] = true;
+            self.dirty.push(slot as u32);
+        }
+    }
+
+    /// Discards all warm state; the next
+    /// [`begin_warm`](BatchArgmin::begin_warm) redraws priorities and
+    /// rebuilds from scratch. Policies call this when the cluster (rates or
+    /// size) changes under them.
+    pub fn invalidate(&mut self) {
+        self.warm_ready = false;
+        self.dirty.clear();
     }
 
     /// The server currently minimizing `(key, priority, index)`. The `key`
@@ -332,6 +443,100 @@ mod tests {
         let mut picker = BatchArgmin::new(ArgminMode::Indexed);
         let mut rng = StdRng::seed_from_u64(0);
         picker.begin(0, |_| 0.0, &mut rng);
+    }
+
+    /// The warm path's core guarantee: warm-indexed and warm-scan pickers
+    /// driven through many batches — with out-of-batch key mutations marked
+    /// dirty, crossing several priority epochs — pick identical servers and
+    /// consume the RNG identically.
+    #[test]
+    fn warm_indexed_and_warm_scan_agree_across_epochs() {
+        let mut case_rng = StdRng::seed_from_u64(0x77A2);
+        for case in 0..20 {
+            let n = case_rng.gen_range(1..30usize);
+            let mut keys_a: Vec<f64> = (0..n).map(|_| case_rng.gen_range(0..6) as f64).collect();
+            let mut keys_b = keys_a.clone();
+            let seed = case_rng.gen::<u64>();
+            let mut indexed = BatchArgmin::new(ArgminMode::Indexed);
+            let mut scan = BatchArgmin::new(ArgminMode::Scan);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut mut_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            // 3 * PRIORITY_EPOCH_BATCHES batches → at least two refreshes.
+            for batch in 0..(3 * PRIORITY_EPOCH_BATCHES) {
+                // Out-of-batch mutations (probes / decay), marked dirty.
+                for _ in 0..mut_rng.gen_range(0..4usize) {
+                    let slot = mut_rng.gen_range(0..n);
+                    let value = mut_rng.gen_range(0..6) as f64;
+                    keys_a[slot] = value;
+                    keys_b[slot] = value;
+                    indexed.mark_dirty(slot);
+                    scan.mark_dirty(slot);
+                }
+                indexed.begin_warm(n, |i| keys_a[i], &mut rng_a);
+                scan.begin_warm(n, |i| keys_b[i], &mut rng_b);
+                for job in 0..mut_rng.gen_range(1..6usize) {
+                    let a = indexed.pick(|i| keys_a[i]);
+                    let b = scan.pick(|i| keys_b[i]);
+                    assert_eq!(a, b, "case {case} batch {batch} job {job}");
+                    keys_a[a] += 1.0;
+                    keys_b[b] += 1.0;
+                    indexed.update(a, keys_a[a]);
+                    scan.update(b, keys_b[b]);
+                }
+                assert_eq!(
+                    rng_a.gen::<u64>(),
+                    rng_b.gen::<u64>(),
+                    "case {case} batch {batch}: warm modes consumed the RNG differently"
+                );
+            }
+        }
+    }
+
+    /// Warm batches consume randomness only at epoch boundaries; every other
+    /// batch must leave the RNG untouched.
+    #[test]
+    fn warm_batches_draw_priorities_only_at_epoch_refresh() {
+        let keys = [2.0f64, 1.0, 3.0];
+        let mut picker = BatchArgmin::new(ArgminMode::Indexed);
+        let mut rng = StdRng::seed_from_u64(9);
+        picker.begin_warm(3, |i| keys[i], &mut rng);
+        let mut probe = rng.clone();
+        let expected = probe.gen::<u64>();
+        for batch in 1..PRIORITY_EPOCH_BATCHES {
+            picker.begin_warm(3, |i| keys[i], &mut rng);
+            let mut check = rng.clone();
+            assert_eq!(
+                check.gen::<u64>(),
+                expected,
+                "batch {batch} consumed randomness mid-epoch"
+            );
+        }
+        // The epoch is exhausted: the next warm batch redraws 3 priorities.
+        picker.begin_warm(3, |i| keys[i], &mut rng);
+        let mut check = rng.clone();
+        assert_ne!(check.gen::<u64>(), expected);
+    }
+
+    /// A cluster-size change or an explicit invalidation forces a refresh on
+    /// the next warm batch; dirty marks for the old cluster are discarded.
+    #[test]
+    fn warm_state_invalidation_forces_a_rebuild() {
+        let keys4 = [4.0f64, 3.0, 2.0, 1.0];
+        let keys2 = [5.0f64, 0.5];
+        let mut picker = BatchArgmin::new(ArgminMode::Indexed);
+        let mut rng = StdRng::seed_from_u64(11);
+        picker.begin_warm(4, |i| keys4[i], &mut rng);
+        assert_eq!(picker.pick(|i| keys4[i]), 3);
+        picker.mark_dirty(2);
+        // Shrink: the stale tree and the dirty mark must both be dropped.
+        picker.begin_warm(2, |i| keys2[i], &mut rng);
+        assert_eq!(picker.pick(|i| keys2[i]), 1);
+        picker.invalidate();
+        // mark_dirty after invalidation is a harmless no-op.
+        picker.mark_dirty(0);
+        picker.begin_warm(2, |i| keys2[i], &mut rng);
+        assert_eq!(picker.pick(|i| keys2[i]), 1);
     }
 
     #[test]

@@ -40,8 +40,12 @@ pub struct LedPolicy {
     /// Reciprocal rates for the expected-delay ranking.
     inv_rates: Vec<f64>,
     rate_sampler: Option<AliasSampler>,
-    /// Per-batch argmin engine over the estimates.
+    /// Warm argmin engine over the estimates: the tournament tree lives
+    /// across rounds; decayed/probed estimates are repaired as dirty keys.
     picker: BatchArgmin,
+    /// False only for the per-batch-rebuild reference configuration
+    /// ([`LedFactory::per_batch_rebuild`], the bench baseline).
+    warm: bool,
 }
 
 impl LedPolicy {
@@ -56,6 +60,7 @@ impl LedPolicy {
             inv_rates: vec![1.0; num_servers],
             rate_sampler: None,
             picker: BatchArgmin::new(ArgminMode::Indexed),
+            warm: true,
         }
     }
 
@@ -71,7 +76,24 @@ impl LedPolicy {
             inv_rates: scd_model::reciprocal_rates(spec.rates()),
             rate_sampler: Some(sampler),
             picker: BatchArgmin::new(ArgminMode::Indexed),
+            warm: true,
         }
+    }
+
+    /// Switches the argmin engine mode. [`ArgminMode::Scan`] is the
+    /// bit-identical oracle: it follows the same warm priority lifecycle, so
+    /// it picks exactly the servers the warm tree picks for equal seeds.
+    pub fn with_mode(mut self, mode: ArgminMode) -> Self {
+        self.picker = BatchArgmin::new(mode);
+        self
+    }
+
+    /// Reverts to the per-batch tree rebuild (fresh priorities and an `O(n)`
+    /// rebuild every batch) — the pre-warm-path reference configuration kept
+    /// for the engine-throughput baseline.
+    pub fn per_batch_rebuild(mut self) -> Self {
+        self.warm = false;
+        self
     }
 
     /// The current local estimates (exposed for tests).
@@ -79,12 +101,17 @@ impl LedPolicy {
         &self.estimates
     }
 
+    /// Lazy per-cluster (re)initialization, keyed on the cluster *size*
+    /// only: rates are static for a policy's lifetime (one run — the
+    /// `ClusterSpec` contract), so the warm path pays no per-round `O(n)`
+    /// change detection. A size change invalidates the warm tree.
     fn sync_dimensions(&mut self, ctx: &DispatchContext<'_>) {
         let n = ctx.num_servers();
         if self.estimates.len() != n {
             self.estimates = vec![0.0; n];
             self.rates = ctx.rates().to_vec();
             self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
+            self.picker.invalidate();
         }
     }
 
@@ -108,15 +135,24 @@ impl DispatchPolicy for LedPolicy {
     fn observe_round(&mut self, ctx: &DispatchContext<'_>, rng: &mut dyn RngCore) {
         self.sync_dimensions(ctx);
         let rates = ctx.rates();
-        // Evolve the estimates by the expected departures of one round.
-        for (est, &mu) in self.estimates.iter_mut().zip(rates) {
-            *est = (*est - mu).max(0.0);
+        // Evolve the estimates by the expected departures of one round. Only
+        // positive estimates actually change (zero stays zero), so only those
+        // dirty the warm tree — in a lightly loaded view most slots stay
+        // clean. (A mostly-positive view dirties ~n slots; `apply_updates`
+        // then falls back to its O(n) internal rebuild, no worse than the
+        // per-batch path.)
+        for (i, (est, &mu)) in self.estimates.iter_mut().zip(rates).enumerate() {
+            if *est > 0.0 {
+                *est = (*est - mu).max(0.0);
+                self.picker.mark_dirty(i);
+            }
         }
         // Re-anchor a few entries with the ground truth.
         let n = ctx.num_servers();
         for _ in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
             self.estimates[target] = ctx.queue_len(ServerId::new(target)) as f64;
+            self.picker.mark_dirty(target);
         }
     }
 
@@ -150,7 +186,11 @@ impl DispatchPolicy for LedPolicy {
             LedVariant::Uniform => est,
             LedVariant::Heterogeneous => (est + 1.0) * inv[i],
         };
-        self.picker.begin(n, |i| key(i, estimates[i]), rng);
+        if self.warm {
+            self.picker.begin_warm(n, |i| key(i, estimates[i]), rng);
+        } else {
+            self.picker.begin(n, |i| key(i, estimates[i]), rng);
+        }
         for _ in 0..batch {
             let target = self.picker.pick(|i| key(i, estimates[i]));
             estimates[target] += 1.0;
@@ -165,6 +205,8 @@ impl DispatchPolicy for LedPolicy {
 pub struct LedFactory {
     variant: LedVariant,
     probes_per_round: usize,
+    mode: ArgminMode,
+    warm: bool,
 }
 
 impl LedFactory {
@@ -173,6 +215,8 @@ impl LedFactory {
         LedFactory {
             variant: LedVariant::Uniform,
             probes_per_round: 1,
+            mode: ArgminMode::Indexed,
+            warm: true,
         }
     }
 
@@ -180,13 +224,28 @@ impl LedFactory {
     pub fn heterogeneous() -> Self {
         LedFactory {
             variant: LedVariant::Heterogeneous,
-            probes_per_round: 1,
+            ..LedFactory::new()
         }
     }
 
     /// Overrides the number of probes per round.
     pub fn with_probes(mut self, probes_per_round: usize) -> Self {
         self.probes_per_round = probes_per_round;
+        self
+    }
+
+    /// Factory for the scan-mode reference — bit-identical decisions to the
+    /// warm-tree default for equal seeds (same warm priority lifecycle).
+    pub fn scan(mut self) -> Self {
+        self.mode = ArgminMode::Scan;
+        self
+    }
+
+    /// Factory for the pre-warm-path reference: fresh priorities and an
+    /// `O(n)` tree rebuild every batch (the PR 2 dispatch path, kept as the
+    /// engine-throughput baseline).
+    pub fn per_batch_rebuild(mut self) -> Self {
+        self.warm = false;
         self
     }
 
@@ -212,15 +271,16 @@ impl PolicyFactory for LedFactory {
     }
 
     fn build(&self, _dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
-        match self.variant {
-            LedVariant::Uniform => Box::new(LedPolicy::uniform(
-                spec.num_servers(),
-                self.probes_per_round,
-            )),
-            LedVariant::Heterogeneous => {
-                Box::new(LedPolicy::heterogeneous(spec, self.probes_per_round))
-            }
-        }
+        let policy = match self.variant {
+            LedVariant::Uniform => LedPolicy::uniform(spec.num_servers(), self.probes_per_round),
+            LedVariant::Heterogeneous => LedPolicy::heterogeneous(spec, self.probes_per_round),
+        };
+        let policy = policy.with_mode(self.mode);
+        Box::new(if self.warm {
+            policy
+        } else {
+            policy.per_batch_rebuild()
+        })
     }
 }
 

@@ -49,7 +49,7 @@ pub mod registry;
 pub mod sed;
 pub mod twf;
 
-pub use common::{ArgminMode, BatchArgmin, NamedFactory};
+pub use common::{ArgminMode, BatchArgmin, NamedFactory, PRIORITY_EPOCH_BATCHES};
 pub use jiq::JiqFactory;
 pub use jsq::JsqFactory;
 pub use led::LedFactory;

@@ -46,8 +46,12 @@ pub struct LsqPolicy {
     /// Reciprocal rates for the expected-delay ranking (multiplying beats
     /// dividing in the per-job key evaluations).
     inv_rates: Vec<f64>,
-    /// Per-batch argmin engine over the local estimates.
+    /// Warm argmin engine over the local estimates: the tournament tree
+    /// lives across rounds and only probe/placement keys are repaired.
     picker: BatchArgmin,
+    /// False only for the per-batch-rebuild reference configuration
+    /// ([`LsqFactory::per_batch_rebuild`], the bench baseline).
+    warm: bool,
 }
 
 impl LsqPolicy {
@@ -63,6 +67,7 @@ impl LsqPolicy {
             rates: vec![1.0; num_servers],
             inv_rates: vec![1.0; num_servers],
             picker: BatchArgmin::new(ArgminMode::Indexed),
+            warm: true,
         }
     }
 
@@ -78,7 +83,27 @@ impl LsqPolicy {
             rates: spec.rates().to_vec(),
             inv_rates: scd_model::reciprocal_rates(spec.rates()),
             picker: BatchArgmin::new(ArgminMode::Indexed),
+            warm: true,
         }
+    }
+
+    /// Switches the argmin engine mode. [`ArgminMode::Scan`] is the
+    /// bit-identical oracle: it follows the same warm priority lifecycle, so
+    /// it picks exactly the servers the warm tree picks for equal seeds.
+    pub fn with_mode(mut self, mode: ArgminMode) -> Self {
+        self.picker = BatchArgmin::new(mode);
+        self
+    }
+
+    /// Reverts to the per-batch tree rebuild (fresh priorities and an `O(n)`
+    /// rebuild every batch) — the pre-warm-path reference configuration kept
+    /// for the engine-throughput baseline. Note: per-batch and warm
+    /// configurations consume the RNG differently, so their simulation
+    /// trajectories differ (each is internally bit-identical across its own
+    /// indexed/scan modes).
+    pub fn per_batch_rebuild(mut self) -> Self {
+        self.warm = false;
+        self
     }
 
     /// The probing/ranking variant.
@@ -102,6 +127,23 @@ impl LsqPolicy {
                 .sample(rng),
         }
     }
+
+    /// (Re)initializes the per-cluster state when the policy was built
+    /// without knowing the cluster size (uniform constructor via registry)
+    /// or the cluster size changed under it. A change also invalidates the
+    /// warm tree — its keys would describe the old cluster. Rates are static
+    /// for a policy's lifetime (one run — the `ClusterSpec` contract), so
+    /// only the length is checked; this keeps the warm path's steady state
+    /// free of `O(n)` change detection.
+    fn sync_dimensions(&mut self, ctx: &DispatchContext<'_>) {
+        let n = ctx.num_servers();
+        if self.local.len() != n {
+            self.local = vec![0; n];
+            self.rates = ctx.rates().to_vec();
+            self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
+            self.picker.invalidate();
+        }
+    }
 }
 
 impl DispatchPolicy for LsqPolicy {
@@ -110,17 +152,13 @@ impl DispatchPolicy for LsqPolicy {
     }
 
     fn observe_round(&mut self, ctx: &DispatchContext<'_>, rng: &mut dyn RngCore) {
+        self.sync_dimensions(ctx);
         let n = ctx.num_servers();
-        if self.local.len() != n {
-            // The policy was built without knowing the cluster size (uniform
-            // constructor via registry); initialise lazily.
-            self.local = vec![0; n];
-            self.rates = ctx.rates().to_vec();
-            self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
-        }
         for _ in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
             self.local[target] = ctx.queue_len(ServerId::new(target));
+            // The warm tree still holds the pre-probe key for this slot.
+            self.picker.mark_dirty(target);
         }
     }
 
@@ -145,12 +183,8 @@ impl DispatchPolicy for LsqPolicy {
         if batch == 0 {
             return;
         }
+        self.sync_dimensions(ctx);
         let n = ctx.num_servers();
-        if self.local.len() != n {
-            self.local = vec![0; n];
-            self.rates = ctx.rates().to_vec();
-            self.inv_rates = scd_model::reciprocal_rates(ctx.rates());
-        }
         let local = &mut self.local;
         let inv = &self.inv_rates;
         let variant = self.variant;
@@ -158,7 +192,11 @@ impl DispatchPolicy for LsqPolicy {
             LsqVariant::Uniform => q as f64,
             LsqVariant::Heterogeneous => (q as f64 + 1.0) * inv[i],
         };
-        self.picker.begin(n, |i| key(i, local[i]), rng);
+        if self.warm {
+            self.picker.begin_warm(n, |i| key(i, local[i]), rng);
+        } else {
+            self.picker.begin(n, |i| key(i, local[i]), rng);
+        }
         for _ in 0..batch {
             let target = self.picker.pick(|i| key(i, local[i]));
             local[target] += 1;
@@ -173,6 +211,8 @@ impl DispatchPolicy for LsqPolicy {
 pub struct LsqFactory {
     variant: LsqVariant,
     probes_per_round: usize,
+    mode: ArgminMode,
+    warm: bool,
 }
 
 impl LsqFactory {
@@ -181,6 +221,8 @@ impl LsqFactory {
         LsqFactory {
             variant: LsqVariant::Uniform,
             probes_per_round: 1,
+            mode: ArgminMode::Indexed,
+            warm: true,
         }
     }
 
@@ -188,13 +230,28 @@ impl LsqFactory {
     pub fn heterogeneous() -> Self {
         LsqFactory {
             variant: LsqVariant::Heterogeneous,
-            probes_per_round: 1,
+            ..LsqFactory::new()
         }
     }
 
     /// Overrides the number of probes per round.
     pub fn with_probes(mut self, probes_per_round: usize) -> Self {
         self.probes_per_round = probes_per_round;
+        self
+    }
+
+    /// Factory for the scan-mode reference — bit-identical decisions to the
+    /// warm-tree default for equal seeds (same warm priority lifecycle).
+    pub fn scan(mut self) -> Self {
+        self.mode = ArgminMode::Scan;
+        self
+    }
+
+    /// Factory for the pre-warm-path reference: fresh priorities and an
+    /// `O(n)` tree rebuild every batch (the PR 2 dispatch path, kept as the
+    /// engine-throughput baseline).
+    pub fn per_batch_rebuild(mut self) -> Self {
+        self.warm = false;
         self
     }
 
@@ -220,15 +277,16 @@ impl PolicyFactory for LsqFactory {
     }
 
     fn build(&self, _dispatcher: DispatcherId, spec: &ClusterSpec) -> BoxedPolicy {
-        match self.variant {
-            LsqVariant::Uniform => Box::new(LsqPolicy::uniform(
-                spec.num_servers(),
-                self.probes_per_round,
-            )),
-            LsqVariant::Heterogeneous => {
-                Box::new(LsqPolicy::heterogeneous(spec, self.probes_per_round))
-            }
-        }
+        let policy = match self.variant {
+            LsqVariant::Uniform => LsqPolicy::uniform(spec.num_servers(), self.probes_per_round),
+            LsqVariant::Heterogeneous => LsqPolicy::heterogeneous(spec, self.probes_per_round),
+        };
+        let policy = policy.with_mode(self.mode);
+        Box::new(if self.warm {
+            policy
+        } else {
+            policy.per_batch_rebuild()
+        })
     }
 }
 

@@ -1,0 +1,283 @@
+//! The persistent worker pool behind [`fan_out`](crate::runner::fan_out).
+//!
+//! The previous implementation spawned fresh scoped threads on every call.
+//! For long simulations that cost is noise, but sweep grids run *many small
+//! cells* (`SweepGrid` with tiny per-cell runs, `--replications` over short
+//! seeds), where per-call thread startup — stack allocation, kernel
+//! scheduling, TLS setup — dominates. This module keeps one process-wide set
+//! of parked workers alive across calls: posting a job is a mutex push plus
+//! a condvar broadcast, and an idle pool costs nothing but parked threads.
+//!
+//! # Execution model
+//!
+//! A *job* is `count` independent indices plus a type-erased closure to run
+//! on each. Indices are claimed work-stealing style from a single atomic
+//! counter (the same contract the scoped implementation had), the **caller
+//! participates** (so `fan_out` never deadlocks even if every pool worker is
+//! busy elsewhere), and completion is tracked by a countdown the last
+//! finisher signals. Results ride the caller's own buffers, so outputs come
+//! back in input order regardless of which thread ran what — pooled
+//! execution is bit-identical to sequential execution, asserted by the
+//! runner tests against [`fan_out_scoped`](crate::runner::fan_out_scoped).
+//!
+//! Multiple jobs may be live at once (concurrent tests, nested fan-outs):
+//! workers scan the active-job list and help whichever job still has
+//! unclaimed indices — bounded per job by its `threads - 1` helper cap, so
+//! a call asking for few threads is never drained by the larger worker set
+//! an earlier, wider call left parked.
+//!
+//! # Safety
+//!
+//! This is the one module in the workspace that needs `unsafe`: pool workers
+//! are `'static`, but the job closure borrows the caller's stack frame
+//! (factories, configs, result slots). The lifetime is erased through a raw
+//! pointer and re-asserted under this invariant:
+//!
+//! > The posting frame does not return before every claimed index has
+//! > finished running, and an index can only be claimed while `claimed <
+//! > count`.
+//!
+//! Concretely: `run_on_pool` blocks on the job's completion latch, and the
+//! latch opens only after all `count` indices have run to completion. A
+//! straggler worker that still holds the job after that can only observe
+//! `claimed >= count` and therefore never dereferences the closure again.
+//! The shared bookkeeping (`JobCore`) is reference-counted, so stragglers
+//! touching the *counters* after completion touch live heap memory, never
+//! the dead frame.
+
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool workers — far above any sensible `threads` request, but
+/// it bounds the damage of a caller passing e.g. `usize::MAX`.
+const MAX_WORKERS: usize = 512;
+
+/// Shared bookkeeping of one posted job. Heap-allocated and reference
+/// counted so that late workers can inspect the counters safely after the
+/// posting frame returned; only `task` points into the (then dead) frame,
+/// and the invariant above keeps it from being dereferenced late.
+struct JobCore {
+    /// Type-erased pointer to the caller's closure.
+    task: *const (),
+    /// Monomorphized trampoline re-asserting the closure's type.
+    call: unsafe fn(*const (), usize),
+    /// Total number of indices.
+    count: usize,
+    /// Next index to claim (work-stealing counter).
+    next: AtomicUsize,
+    /// Indices not yet finished; the worker taking this to zero opens the
+    /// completion latch.
+    pending: AtomicUsize,
+    /// Maximum pool workers allowed to attach (`threads - 1`; the posting
+    /// caller participates on top of this). Enforces the per-call `threads`
+    /// contract even when the pool holds more parked workers from earlier,
+    /// wider calls.
+    helper_cap: usize,
+    /// Pool workers currently attached. Reserved under the jobs lock in
+    /// `worker_loop` (so reservations cannot race past the cap), released
+    /// after the worker's drain returns — which only happens once every
+    /// index is claimed, so a released slot can never re-admit a helper.
+    helpers: AtomicUsize,
+    /// Set when any index's closure panicked (re-raised by the caller).
+    panicked: AtomicBool,
+    /// Completion latch.
+    done: Mutex<bool>,
+    done_signal: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced through `call` while the posting frame
+// is provably alive (see the module docs); everything else is Sync already.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+/// State shared by all pool workers.
+struct PoolShared {
+    /// Jobs with (potentially) unclaimed indices. Posted by callers, removed
+    /// by the posting caller when its job completes.
+    jobs: Mutex<Vec<Arc<JobCore>>>,
+    /// Signalled when a job is posted.
+    work_available: Condvar,
+}
+
+/// The process-wide pool: shared state plus the lazily-grown worker count.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+impl WorkerPool {
+    fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                jobs: Mutex::new(Vec::new()),
+                work_available: Condvar::new(),
+            }),
+            spawned: Mutex::new(0),
+        }
+    }
+
+    /// Grows the pool to at least `wanted` workers (capped). Workers are
+    /// never torn down; parked threads are cheap and the pool lives for the
+    /// process.
+    fn ensure_workers(&self, wanted: usize) {
+        let wanted = wanted.min(MAX_WORKERS);
+        let mut spawned = self.spawned.lock().expect("no poisoned locks");
+        while *spawned < wanted {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("scd-fanout-{spawned}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawning a pool worker succeeds");
+            *spawned += 1;
+        }
+    }
+}
+
+/// A pool worker: park until some job has unclaimed indices, help drain it,
+/// repeat forever.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut jobs = shared.jobs.lock().expect("no poisoned locks");
+            loop {
+                let open = jobs.iter().find(|job| {
+                    job.next.load(Ordering::Relaxed) < job.count
+                        && job.helpers.load(Ordering::Relaxed) < job.helper_cap
+                });
+                if let Some(job) = open {
+                    // Reserve a helper slot; the jobs lock is held, so
+                    // concurrent workers cannot race past the cap.
+                    job.helpers.fetch_add(1, Ordering::Relaxed);
+                    break Arc::clone(job);
+                }
+                jobs = shared.work_available.wait(jobs).expect("no poisoned locks");
+            }
+        };
+        drain_job(&job);
+        job.helpers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Claims and runs indices of one job until none are left. Run by pool
+/// workers and by the posting caller alike.
+fn drain_job(job: &JobCore) {
+    loop {
+        let index = job.next.fetch_add(1, Ordering::Relaxed);
+        if index >= job.count {
+            return;
+        }
+        // SAFETY: `index < count` implies the completion latch has not
+        // opened, so the posting frame (and with it `task`) is still alive —
+        // the module-level invariant.
+        let run = || unsafe { (job.call)(job.task, index) };
+        if catch_unwind(AssertUnwindSafe(run)).is_err() {
+            // Matches the scoped-thread semantics: remaining indices still
+            // run (other threads kept working there too) and the caller
+            // re-raises after completion.
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = job.done.lock().expect("no poisoned locks");
+            *done = true;
+            job.done_signal.notify_all();
+        }
+    }
+}
+
+/// Removes the posted job from the active list when the posting call exits,
+/// whatever the exit path, so stale entries can never accumulate.
+struct JobGuard<'a> {
+    shared: &'a PoolShared,
+    job: &'a Arc<JobCore>,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        let mut jobs = self.shared.jobs.lock().expect("no poisoned locks");
+        jobs.retain(|job| !Arc::ptr_eq(job, self.job));
+    }
+}
+
+/// Monomorphized trampoline: recover the closure type and run one index.
+unsafe fn call_erased<C: Fn(usize) + Sync>(task: *const (), index: usize) {
+    let task = unsafe { &*task.cast::<C>() };
+    task(index);
+}
+
+/// Runs `task` for every index in `0..count` on the persistent pool, using
+/// the calling thread plus up to `threads - 1` pool workers, and returns
+/// when every index has completed.
+///
+/// # Panics
+/// Panics if any `task` invocation panicked (after all indices finished).
+pub(crate) fn run_on_pool<C>(count: usize, threads: usize, task: &C)
+where
+    C: Fn(usize) + Sync,
+{
+    debug_assert!(count > 0 && threads > 1, "callers pre-filter trivial jobs");
+    let pool = POOL.get_or_init(WorkerPool::new);
+    pool.ensure_workers(threads.min(count).saturating_sub(1));
+
+    let job = Arc::new(JobCore {
+        task: (task as *const C).cast::<()>(),
+        call: call_erased::<C>,
+        count,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(count),
+        helper_cap: threads.min(count).saturating_sub(1),
+        helpers: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(false),
+        done_signal: Condvar::new(),
+    });
+    {
+        let mut jobs = pool.shared.jobs.lock().expect("no poisoned locks");
+        jobs.push(Arc::clone(&job));
+    }
+    // Wake only as many workers as this job can use — a broadcast would
+    // rouse every parked worker just for most to find the helper cap taken
+    // and re-park. A wakeup that finds no waiter (worker busy elsewhere) is
+    // not lost: workers re-scan the job list before parking again.
+    for _ in 0..job.helper_cap {
+        pool.shared.work_available.notify_one();
+    }
+    let _guard = JobGuard {
+        shared: &pool.shared,
+        job: &job,
+    };
+
+    // Participate, then wait for helpers still running claimed indices. A
+    // short spin-then-yield first: for the small jobs the pool exists for,
+    // the trailing index usually finishes within microseconds of the
+    // caller's drain, and sleeping on the latch would pay a full scheduler
+    // wake-up. The spin is kept tiny and followed by `yield_now` so that on
+    // saturated (or single-core) machines the caller hands the CPU to the
+    // helpers instead of burning it; only then does it park on the latch.
+    drain_job(&job);
+    let mut attempts = 0u32;
+    while job.pending.load(Ordering::Acquire) != 0 {
+        attempts += 1;
+        if attempts <= 100 {
+            std::hint::spin_loop();
+        } else if attempts <= 120 {
+            std::thread::yield_now();
+        } else {
+            let mut done = job.done.lock().expect("no poisoned locks");
+            while !*done {
+                done = job.done_signal.wait(done).expect("no poisoned locks");
+            }
+            break;
+        }
+    }
+    drop(_guard);
+
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("a fan_out worker panicked; see the captured panic output above");
+    }
+}

@@ -146,15 +146,62 @@ pub fn run_replications(
     results.into_iter().collect()
 }
 
-/// Work-stealing index fan-out over scoped threads: runs `worker` for every
-/// index in `0..count` on up to `threads` OS threads and returns the outputs
-/// in index order.
+/// Work-stealing index fan-out over the persistent worker pool: runs
+/// `worker` for every index in `0..count` on the calling thread plus up to
+/// `threads - 1` pool workers and returns the outputs in index order.
 ///
 /// A `threads` value of 0 or 1 (or a single index) runs everything on the
 /// calling thread. This is the one thread-pool primitive of the workspace —
 /// the policy/seed runners above and `scd-experiments`' sweep executor are
 /// both built on it.
+///
+/// The pool ([`crate::pool`]) is built lazily on first use and its workers
+/// park between calls, so short fan-outs (sweeps over many small cells) no
+/// longer pay per-call thread-startup costs. Scheduling is invisible in the
+/// results: outputs come back in index order and every unit of work derives
+/// its behavior from its index alone, so pooled execution is bit-identical
+/// to [`fan_out_scoped`] and to a sequential loop (asserted below and by the
+/// engine/sweep determinism tests).
 pub fn fan_out<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Send + Sync,
+{
+    use std::sync::Mutex;
+
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(count);
+    if threads == 1 {
+        return (0..count).map(worker).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let task = |index: usize| {
+        let output = worker(index);
+        *slots[index].lock().expect("no poisoned locks") = Some(output);
+    };
+    crate::pool::run_on_pool(count, threads, &task);
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned locks")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+/// The previous `fan_out` implementation — fresh scoped threads per call —
+/// retained as the reference the pooled path is benchmarked and
+/// equivalence-tested against (`BENCH_engine.json`'s "sweep" row records
+/// pooled vs scoped on a many-small-cells grid).
+///
+/// Semantics are identical to [`fan_out`]: same work-stealing index
+/// contract, same in-order results, bit-identical outputs.
+pub fn fan_out_scoped<R, F>(count: usize, threads: usize, worker: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Send + Sync,
@@ -278,6 +325,103 @@ mod tests {
         let scd = ScdFactory::new();
         let reports = run_replications(&config(), &scd, &[], 4).unwrap();
         assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn pooled_fan_out_matches_scoped_and_sequential() {
+        // Index-derived work: pooled, scoped and sequential execution must
+        // produce identical in-order outputs for every thread count.
+        let work = |index: usize| {
+            let mut acc = index as u64;
+            for _ in 0..50 {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            (index, acc)
+        };
+        let sequential: Vec<(usize, u64)> = (0..97).map(work).collect();
+        for threads in [2usize, 3, 8, 64] {
+            assert_eq!(
+                fan_out(97, threads, work),
+                sequential,
+                "pooled, {threads} threads"
+            );
+            assert_eq!(
+                fan_out_scoped(97, threads, work),
+                sequential,
+                "scoped, {threads} threads"
+            );
+        }
+        assert_eq!(fan_out(97, 1, work), sequential);
+        assert!(fan_out(0, 8, work).is_empty());
+        assert!(fan_out_scoped(0, 8, work).is_empty());
+    }
+
+    #[test]
+    fn pool_survives_many_small_fan_outs() {
+        // The motivating workload: lots of tiny jobs in quick succession.
+        // Each reuses the parked workers instead of spawning threads.
+        for round in 0..200usize {
+            let out = fan_out(3, 4, |i| i + round);
+            assert_eq!(out, vec![round, round + 1, round + 2]);
+        }
+    }
+
+    #[test]
+    fn fan_out_honors_the_thread_cap_despite_a_larger_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Grow the pool well past 2 workers with a wide call first.
+        let _ = fan_out(16, 8, |i| i);
+        // A threads=2 call may use the caller plus at most ONE pool helper,
+        // no matter how many workers are parked. The observed-concurrency
+        // bound is structural (helper cap), not timing-dependent.
+        let current = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let _ = fan_out(64, 2, |i| {
+            let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::hint::black_box((0..500).map(|x| x ^ i).sum::<usize>());
+            current.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "threads=2 ran {} ways parallel",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn nested_fan_outs_complete() {
+        // A pool worker posting its own job must not deadlock: every caller
+        // participates in draining its own indices.
+        let out = fan_out(4, 4, |outer| {
+            let inner = fan_out(3, 2, move |i| (outer * 10 + i) as u64);
+            inner.iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..4)
+            .map(|o| (0..3).map(|i| (o * 10 + i) as u64).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            fan_out(8, 4, |index| {
+                if index == 5 {
+                    panic!("boom at {index}");
+                }
+                index
+            })
+        });
+        assert!(
+            result.is_err(),
+            "a worker panic must re-raise in the caller"
+        );
+        // The pool must remain usable afterwards.
+        assert_eq!(fan_out(4, 4, |i| i * 2), vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -4,17 +4,21 @@
 //! The tournament-tree index (`scd_core::index`) and the `O(n)` scan both
 //! minimize the same `(key, priority, index)` composite order and consume
 //! the RNG identically, so indexed and scan dispatch must be **bit-identical**
-//! — at the single-decision level and over whole simulations. Likewise the
-//! engine's shared `RoundCache` computes its tables with exactly the
-//! arithmetic the policies' private scratch uses, so cached and cache-less
-//! decisions must coincide bit for bit.
+//! — at the single-decision level and over whole simulations. The same holds
+//! for the *warm* path (LSQ/LED keep one tree per instance across rounds and
+//! repair only dirty keys; the scan oracle follows the identical per-instance
+//! priority lifecycle). Likewise the engine's shared `RoundCache` computes
+//! its tables with exactly the arithmetic the policies' private scratch
+//! uses, so cached and cache-less decisions must coincide bit for bit.
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use scd::prelude::*;
+use scd_core::index::{scan_argmin, TournamentTree};
 use scd_model::RoundCache;
 use scd_policies::jsq::JsqPolicy;
 use scd_policies::sed::SedPolicy;
+use scd_policies::{LedFactory, LsqFactory};
 
 fn comparison_config(seed: u64) -> SimConfig {
     let spec = ClusterSpec::from_rates(vec![9.0, 6.0, 4.0, 2.0, 1.0, 1.0, 1.0]).unwrap();
@@ -82,6 +86,101 @@ fn indexed_and_scan_policies_agree_per_decision() {
         let sed_indexed = run(&mut SedPolicy::new());
         let sed_scan = run(&mut SedPolicy::scan());
         assert_eq!(sed_indexed, sed_scan, "case {case}: SED modes diverged");
+    }
+}
+
+/// Warm-tree LSQ/LED against the scan oracle, over whole simulations: the
+/// warm tournament tree survives across rounds (priorities per instance,
+/// dirty-key repair) and the scan mode follows the identical priority
+/// lifecycle, so the two must produce bit-identical reports for equal seeds.
+/// The runs are long enough to cross several priority epochs.
+#[test]
+fn warm_indexed_and_warm_scan_lsq_led_runs_are_bit_identical() {
+    for seed in [1u64, 7, 2021] {
+        let simulation = Simulation::new(comparison_config(seed)).unwrap();
+        for (name, warm, oracle) in [
+            ("LSQ", LsqFactory::new(), LsqFactory::new().scan()),
+            (
+                "hLSQ",
+                LsqFactory::heterogeneous(),
+                LsqFactory::heterogeneous().scan(),
+            ),
+        ] {
+            let indexed = simulation.run(&warm).unwrap();
+            let scan = simulation.run(&oracle).unwrap();
+            assert_eq!(
+                indexed, scan,
+                "seed {seed}: warm {name} diverged from the scan oracle"
+            );
+        }
+        for (name, warm, oracle) in [
+            ("LED", LedFactory::new(), LedFactory::new().scan()),
+            (
+                "hLED",
+                LedFactory::heterogeneous(),
+                LedFactory::heterogeneous().scan(),
+            ),
+        ] {
+            let indexed = simulation.run(&warm).unwrap();
+            let scan = simulation.run(&oracle).unwrap();
+            assert_eq!(
+                indexed, scan,
+                "seed {seed}: warm {name} diverged from the scan oracle"
+            );
+        }
+    }
+}
+
+/// Seeded cross-round structural equivalence: a warm tree repaired with
+/// `apply_updates` between batches must agree, batch after batch, with a
+/// tree rebuilt from scratch over the same keys and priorities — the
+/// invariant the warm dispatch path rests on, checked here directly against
+/// both the rebuilt tree and the naive scan.
+#[test]
+fn warm_tree_repair_matches_per_batch_rebuild_across_rounds() {
+    let mut rng = StdRng::seed_from_u64(0x5EEDED);
+    for case in 0..40 {
+        let n = rng.gen_range(1..50usize);
+        let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0..8) as f64).collect();
+        let mut prios: Vec<u64> = (0..n).map(|_| rng.gen::<u64>()).collect();
+        let mut warm = TournamentTree::new();
+        let mut rebuilt = TournamentTree::new();
+        warm.rebuild(n, |i| keys[i], |i| prios[i]);
+        let mut dirty: Vec<u32> = Vec::new();
+        for round in 0..120 {
+            // Between-round mutations (probes / decay), recorded as dirty.
+            for _ in 0..rng.gen_range(0..4usize) {
+                let slot = rng.gen_range(0..n);
+                keys[slot] = rng.gen_range(0..8) as f64;
+                dirty.push(slot as u32);
+            }
+            // Occasional priority epoch refresh: both trees rebuild fully.
+            if round % 40 == 39 {
+                for p in prios.iter_mut() {
+                    *p = rng.gen::<u64>();
+                }
+                warm.rebuild(n, |i| keys[i], |i| prios[i]);
+                dirty.clear();
+            } else {
+                warm.apply_updates(&dirty, |i| keys[i]);
+                dirty.clear();
+            }
+            rebuilt.rebuild(n, |i| keys[i], |i| prios[i]);
+            // One batch of placements, both trees updated incrementally.
+            for job in 0..rng.gen_range(1..6usize) {
+                let expect = scan_argmin(n, |i| keys[i], |i| prios[i]);
+                assert_eq!(warm.argmin(), expect, "case {case} round {round} job {job}");
+                assert_eq!(
+                    rebuilt.argmin(),
+                    expect,
+                    "case {case} round {round} job {job} (rebuilt)"
+                );
+                let target = warm.argmin();
+                keys[target] += 1.0;
+                warm.update_key(target, keys[target]);
+                rebuilt.update_key(target, keys[target]);
+            }
+        }
     }
 }
 
