@@ -46,7 +46,13 @@
 //! * the **SWEEP row** runs a grid of many small simulation cells through
 //!   `fan_out` and compares the persistent worker pool against the previous
 //!   per-call scoped-thread implementation (`fan_out_scoped`), which is the
-//!   workload where thread-startup costs dominate.
+//!   workload where thread-startup costs dominate;
+//! * the **SHARD row** runs the bench system on the sharded round engine,
+//!   comparing a single shard (bit-identical to the unsharded engine) against
+//!   a 4-way split of both servers and dispatchers executed on the worker
+//!   pool. The split wins even on a single core because per-round costs are
+//!   superlinear in `n` and `m` (solver and tree work shrink per shard);
+//!   real multi-core hardware adds parallel speedup on top.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,7 +65,9 @@ use scd_model::{
     PolicyFactory, RateProfile, ServerId,
 };
 use scd_policies::{JsqFactory, LedFactory, LsqFactory, SedFactory, WeightedRandomFactory};
-use scd_sim::{fan_out, fan_out_scoped, ArrivalSpec, ServiceModel, SimConfig, Simulation};
+use scd_sim::{
+    fan_out, fan_out_scoped, ArrivalSpec, ServiceModel, ShardedSimulation, SimConfig, Simulation,
+};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -72,8 +80,8 @@ const SEED: u64 = 7;
 /// when the baseline or the optimized engine changes meaning, so earlier
 /// recordings stay auditable.
 const RUN_LABEL: &str =
-    "PR 3: warm-tree LSQ/LED (vs PR 2 per-batch rebuild) + memoized SCD solves \
-     + persistent fan-out pool (SWEEP row: pooled vs scoped, 60x12 small cells)";
+    "PR 4: sharded round engine (SHARD row: k=1 sequential vs k=4 on the pool, \
+     SCD policy, single-core box) + re-seeded streams (tag-swap collision fix)";
 /// Interleaved measurement pairs per policy; `CRITERION_QUICK=1` drops to a
 /// single pair (CI smoke test).
 fn repetitions() -> usize {
@@ -530,6 +538,39 @@ fn main() {
     );
     results.push(PolicyResult {
         policy: "SWEEP",
+        baseline,
+        optimized,
+    });
+
+    // The sharded engine: one shard (bit-identical to the unsharded round
+    // loop, run sequentially) vs a 4-way striped split of servers and
+    // dispatchers fanned out on the worker pool.
+    const SHARDS: usize = 4;
+    let single = ShardedSimulation::new(config.clone(), 1).expect("valid configuration");
+    let split = ShardedSimulation::new(config.clone(), SHARDS).expect("valid configuration");
+    let shard_factory = ScdFactory::new();
+    let (baseline, optimized) = measure_pair(
+        ROUNDS,
+        || {
+            single
+                .run(&shard_factory)
+                .expect("clean run")
+                .jobs_completed
+        },
+        || {
+            split
+                .run_parallel(&shard_factory, SHARDS)
+                .expect("clean run")
+                .jobs_completed
+        },
+    );
+    println!(
+        "  SHARD baseline {baseline:>12.0} rounds/s | optimized {optimized:>12.0} rounds/s | \
+         speedup {:.2}x  (k=1 sequential vs k={SHARDS} on the pool, SCD)",
+        optimized / baseline
+    );
+    results.push(PolicyResult {
+        policy: "SHARD",
         baseline,
         optimized,
     });

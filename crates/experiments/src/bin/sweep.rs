@@ -1,0 +1,14 @@
+//! Sharded policy sweep: runs a `(system × load × policy)` grid on the
+//! sharded round engine (`--shards k`) and prints per-system comparison
+//! tables. See `--help` for flags.
+
+use scd_experiments::shard_sweep::run_from_options;
+use scd_experiments::CliOptions;
+
+fn main() {
+    let options = CliOptions::from_env();
+    if let Err(err) = run_from_options(&options) {
+        eprintln!("sweep failed: {err}");
+        std::process::exit(1);
+    }
+}

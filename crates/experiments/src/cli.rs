@@ -31,6 +31,11 @@ pub struct CliOptions {
     /// resolution); decision-time and ablation figures note and ignore the
     /// flag.
     pub replications: usize,
+    /// Number of server shards `k` per simulation (the `sweep` binary runs
+    /// every cell on the sharded round engine and merges the per-shard
+    /// reports; `1` is bit-identical to the unsharded engine). Figure
+    /// binaries note and ignore the flag.
+    pub shards: usize,
 }
 
 impl Default for CliOptions {
@@ -46,6 +51,7 @@ impl Default for CliOptions {
             tail: false,
             threads: None,
             replications: 1,
+            shards: 1,
         }
     }
 }
@@ -105,6 +111,16 @@ impl CliOptions {
                     }
                     options.replications = parsed;
                 }
+                "--shards" => {
+                    let value = iter.next().ok_or("--shards requires a value")?;
+                    let parsed = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid --shards value: {value}"))?;
+                    if parsed == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                    options.shards = parsed;
+                }
                 "--csv" => {
                     let value = iter.next().ok_or("--csv requires a directory")?;
                     options.csv = Some(PathBuf::from(value));
@@ -139,8 +155,8 @@ impl CliOptions {
 /// The usage string shared by all binaries.
 pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
-     [--systems 100x10,200x20] [--threads T] [--replications R] [--csv DIR] \
-     [--paper | --quick] [--tail]"
+     [--systems 100x10,200x20] [--threads T] [--replications R] [--shards K] \
+     [--csv DIR] [--paper | --quick] [--tail]"
         .to_string()
 }
 
@@ -204,6 +220,8 @@ mod tests {
             "4",
             "--replications",
             "5",
+            "--shards",
+            "4",
             "--csv",
             "/tmp/out",
             "--paper",
@@ -216,6 +234,7 @@ mod tests {
         assert_eq!(options.systems, Some(vec![(100, 10), (200, 20)]));
         assert_eq!(options.threads, Some(4));
         assert_eq!(options.replications, 5);
+        assert_eq!(options.shards, 4);
         assert_eq!(options.csv, Some(PathBuf::from("/tmp/out")));
         assert!(options.paper);
         assert!(options.tail);
@@ -230,6 +249,8 @@ mod tests {
         assert!(parse(&["--systems", "0x10"]).is_err());
         assert!(parse(&["--replications", "0"]).is_err());
         assert!(parse(&["--replications", "x"]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "x"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--paper", "--quick"]).is_err());
         assert!(parse(&["--help"]).is_err());

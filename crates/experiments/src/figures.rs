@@ -174,6 +174,9 @@ pub fn run_figure(kind: FigureKind, options: &CliOptions) -> io::Result<()> {
         spec.seed,
         spec.threads
     ));
+    if options.shards > 1 {
+        sink.note("--shards applies to the sweep binary; figure sweeps run the unsharded engine");
+    }
 
     match kind {
         FigureKind::Fig3 | FigureKind::Fig4 | FigureKind::Fig6 | FigureKind::Fig7 => {

@@ -13,6 +13,7 @@
 //! | `fig8` | Fig. 8 | computation-time distribution with `µ_s ~ U[1,100]` |
 //! | `ablation` | — | estimator and solver ablations called out in DESIGN.md |
 //! | `all_figures` | — | runs everything back to back |
+//! | `sweep` | — | `(system × load × policy)` comparison grid on the **sharded** round engine (`--shards k`) |
 //!
 //! All binaries accept `--rounds N`, `--seed S`, `--loads a,b,c`,
 //! `--systems nxm,nxm`, `--paper` (the full 10⁵-round setup of the paper),
@@ -20,7 +21,9 @@
 //! as CSV), `--threads T` and `--replications R` (independent replications
 //! per sweep cell: averaged for mean-response-time sweeps, histogram-merged
 //! for tail sweeps; the decision-time and ablation figures note and ignore
-//! the flag).
+//! the flag). The `sweep` binary additionally accepts `--shards K` to run
+//! every cell on the sharded round engine (`K = 1` is bit-identical to the
+//! unsharded engine).
 //!
 //! All experiments fan their `(system × load × policy × seed)` grids out on
 //! the unified [`SweepGrid`] executor (module [`sweep`]), which rides the
@@ -36,6 +39,7 @@ pub mod figures;
 pub mod output;
 pub mod response;
 pub mod runtime;
+pub mod shard_sweep;
 pub mod sweep;
 pub mod tail;
 

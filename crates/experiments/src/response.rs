@@ -68,29 +68,27 @@ impl SystemSeries {
 /// Mixes experiment coordinates into a per-run seed so that all policies of
 /// one `(system, load)` cell share arrival/service streams while different
 /// cells get independent streams.
-pub(crate) fn mix_seed(seed: u64, system_index: usize, load_index: usize) -> u64 {
-    // SplitMix64 over the packed coordinates.
-    let mut z = seed
-        ^ (0x9E37_79B9_7F4A_7C15u64
+pub fn mix_seed(seed: u64, system_index: usize, load_index: usize) -> u64 {
+    // SplitMix64 finalizer over the packed coordinates (bit-identical to
+    // the historical inline mixer, so recorded results stay reproducible).
+    scd_model::streams::splitmix64_mix(
+        seed ^ (0x9E37_79B9_7F4A_7C15u64
             .wrapping_mul((system_index as u64).wrapping_add(1))
             .wrapping_add(
                 0xBF58_476D_1CE4_E5B9u64.wrapping_mul((load_index as u64).wrapping_add(1)),
-            ));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+            )),
+    )
 }
 
 /// The engine seed of replication `rep` of one `(system, load)` cell.
 /// Replication 0 is `mix_seed(seed, si, li)` — exactly the seed the
 /// pre-replication harness used — so single-replication sweeps reproduce the
 /// historical results bit for bit; higher replications remix deterministically.
-pub(crate) fn replication_seed(
-    seed: u64,
-    system_index: usize,
-    load_index: usize,
-    rep: usize,
-) -> u64 {
+///
+/// Public (with [`mix_seed`]) so the shard/stream collision audit in
+/// `tests/sharded_engine.rs` can enumerate the *actual* masters the sweep
+/// harness feeds into the engine rather than a re-derived approximation.
+pub fn replication_seed(seed: u64, system_index: usize, load_index: usize, rep: usize) -> u64 {
     let base = mix_seed(seed, system_index, load_index);
     if rep == 0 {
         base

@@ -1,0 +1,329 @@
+//! The sharded policy sweep behind the `sweep` binary.
+//!
+//! Runs a `(system × load × policy × replication)` grid on the **sharded**
+//! round engine: every cell simulates its system as `--shards k` independent
+//! server shards (striped partition, per-shard RNG sub-streams) and merges
+//! the per-shard reports into one system-wide result. With `k = 1` every
+//! cell is bit-identical to the unsharded engine, so the binary doubles as
+//! an end-to-end smoke test of the shard/merge path in CI (`--quick
+//! --shards 4`) and as the harness for shard-count scaling studies.
+//!
+//! The grid itself rides [`SweepGrid`] — the same unified executor all
+//! figure experiments use — so cells are distributed over the persistent
+//! worker pool while each cell steps its shards sequentially (no nested
+//! oversubscription); results are bit-identical for every thread count.
+
+use crate::cli::CliOptions;
+use crate::output::OutputSink;
+use crate::response::{cluster_for_system, replication_seed};
+use crate::sweep::{effective_threads, SweepGrid};
+use scd_metrics::Table;
+use scd_model::RateProfile;
+use scd_policies::factory_by_name;
+use scd_sim::{ArrivalSpec, ServiceModel, ShardedSimulation, SimConfig};
+
+/// Resolved configuration of one sharded sweep.
+#[derive(Debug, Clone)]
+pub struct ShardSweepSpec {
+    /// Heterogeneity profile used to draw the clusters.
+    pub profile: RateProfile,
+    /// Policy names (must exist in the registry).
+    pub policies: Vec<String>,
+    /// `(n, m)` systems to simulate.
+    pub systems: Vec<(usize, usize)>,
+    /// Offered loads to sweep.
+    pub loads: Vec<f64>,
+    /// Rounds per run.
+    pub rounds: u64,
+    /// Warm-up rounds excluded from statistics.
+    pub warmup: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Independent replications per cell (statistics are averaged).
+    pub replications: usize,
+    /// Number of server shards per simulation.
+    pub shards: usize,
+    /// Worker threads for the cell grid.
+    pub threads: usize,
+}
+
+impl ShardSweepSpec {
+    /// Resolves CLI options into a sweep specification (scale presets
+    /// mirror the figure binaries: `--paper`, default, `--quick`).
+    pub fn resolve(options: &CliOptions) -> Self {
+        let (rounds, systems, loads) = if options.paper {
+            (
+                50_000,
+                vec![(100, 10), (200, 20)],
+                vec![0.5, 0.7, 0.9, 0.95, 0.99],
+            )
+        } else if options.quick {
+            // 4 dispatchers so the CI smoke run (`--quick --shards 4`) can
+            // give every shard at least one.
+            (400, vec![(16, 4)], vec![0.9])
+        } else {
+            (4_000, vec![(64, 4)], vec![0.7, 0.9, 0.95])
+        };
+        let rounds = options.rounds.unwrap_or(rounds);
+        ShardSweepSpec {
+            profile: RateProfile::paper_moderate(),
+            policies: vec!["SCD".into(), "JSQ".into(), "SED".into()],
+            systems: options.systems.clone().unwrap_or(systems),
+            loads: options.loads.clone().unwrap_or(loads),
+            rounds,
+            warmup: rounds / 10,
+            seed: options.seed,
+            replications: options.replications.max(1),
+            shards: options.shards,
+            threads: effective_threads(options.threads),
+        }
+    }
+}
+
+/// The averaged statistics of one `(system, load, policy)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSweepCell {
+    /// Number of servers.
+    pub n: usize,
+    /// Number of dispatchers `m` (split across the shards).
+    pub m: usize,
+    /// Offered load.
+    pub load: f64,
+    /// Policy name.
+    pub policy: String,
+    /// Mean response time (rounds), averaged over replications.
+    pub mean: f64,
+    /// 99th-percentile response time (rounds), averaged over replications.
+    pub p99: f64,
+    /// Mean total backlog, averaged over replications.
+    pub backlog: f64,
+    /// Censored-job fraction, averaged over replications.
+    pub censored: f64,
+}
+
+/// Runs the sweep grid and returns one averaged cell per
+/// `(system, load, policy)` in row-major order.
+///
+/// # Errors
+/// Returns a message for unknown policies, invalid shard counts (e.g. more
+/// shards than servers) and policy violations.
+pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, String> {
+    for policy in &spec.policies {
+        if factory_by_name(policy).is_none() {
+            return Err(format!("unknown policy {policy}"));
+        }
+    }
+    let replications = spec.replications.max(1);
+    let grid = SweepGrid::new(spec.systems.len(), spec.loads.len(), spec.policies.len())
+        .with_seeds(replications);
+    let runs: Vec<Result<(f64, f64, f64, f64), String>> = grid.run(spec.threads, |pt| {
+        let (n, m) = spec.systems[pt.system];
+        let cluster = cluster_for_system(&spec.profile, n, spec.seed, pt.system);
+        let config = SimConfig {
+            spec: cluster,
+            num_dispatchers: m,
+            rounds: spec.rounds,
+            warmup_rounds: spec.warmup,
+            seed: replication_seed(spec.seed, pt.system, pt.load, pt.seed),
+            arrivals: ArrivalSpec::PoissonOfferedLoad {
+                offered_load: spec.loads[pt.load],
+            },
+            services: ServiceModel::Geometric,
+            measure_decision_times: false,
+        };
+        let factory = factory_by_name(&spec.policies[pt.policy]).expect("validated above");
+        // Each cell steps its shards sequentially — the grid is the
+        // parallel dimension here (no nested oversubscription).
+        let report = ShardedSimulation::new(config, spec.shards)
+            .map_err(|e| e.to_string())?
+            .run(factory.as_ref())
+            .map_err(|e| e.to_string())?;
+        Ok((
+            report.mean_response_time(),
+            report.response_time_percentile(0.99) as f64,
+            report.queues.mean_total_backlog,
+            report.censored_fraction(),
+        ))
+    });
+
+    // Average the replication dimension (innermost in row-major order).
+    let mut cells = Vec::with_capacity(grid.len() / replications);
+    for (chunk_index, chunk) in runs.chunks(replications).enumerate() {
+        let mut mean = 0.0;
+        let mut p99 = 0.0;
+        let mut backlog = 0.0;
+        let mut censored = 0.0;
+        for run in chunk {
+            let (m, p, b, c) = run.clone()?;
+            mean += m;
+            p99 += p;
+            backlog += b;
+            censored += c;
+        }
+        let scale = 1.0 / replications as f64;
+        let pt = grid.point(chunk_index * replications);
+        let (n, m) = spec.systems[pt.system];
+        cells.push(ShardSweepCell {
+            n,
+            m,
+            load: spec.loads[pt.load],
+            policy: spec.policies[pt.policy].clone(),
+            mean: mean * scale,
+            p99: p99 * scale,
+            backlog: backlog * scale,
+            censored: censored * scale,
+        });
+    }
+    Ok(cells)
+}
+
+/// Renders the cells of one system as a text table.
+pub fn system_table(cells: &[ShardSweepCell], n: usize, m: usize) -> Table {
+    let mut table =
+        Table::with_headers(&["load", "policy", "mean", "p99", "backlog", "censored %"]);
+    for cell in cells.iter().filter(|c| c.n == n && c.m == m) {
+        table.add_row(vec![
+            format!("{:.2}", cell.load),
+            cell.policy.clone(),
+            format!("{:.3}", cell.mean),
+            format!("{:.1}", cell.p99),
+            format!("{:.1}", cell.backlog),
+            format!("{:.3}", 100.0 * cell.censored),
+        ]);
+    }
+    table
+}
+
+/// The `sweep` binary's entry point: resolve, run, print (and write CSV
+/// when `--csv` is given, one `sweep_n{n}m{m}_k{k}.csv` per system).
+///
+/// # Errors
+/// Propagates [`run_shard_sweep`] errors and CSV I/O failures as
+/// human-readable messages.
+pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
+    let spec = ShardSweepSpec::resolve(options);
+    let sink = OutputSink::from_option(options.csv.as_deref()).map_err(|e| e.to_string())?;
+    sink.note(&format!(
+        "[sweep] shards={} rounds={} seed={} replications={} threads={} profile={:?}",
+        spec.shards, spec.rounds, spec.seed, spec.replications, spec.threads, spec.profile
+    ));
+    if options.tail {
+        sink.note("--tail applies to the figure binaries; the sharded sweep reports p99 per cell");
+    }
+    let cells = run_shard_sweep(&spec)?;
+    for &(n, m) in &spec.systems {
+        sink.emit_table(
+            &format!(
+                "sweep: n={n} m={m}, {} shard(s) of ~{} servers",
+                spec.shards,
+                n.div_ceil(spec.shards)
+            ),
+            &format!("sweep_n{n}m{m}_k{}", spec.shards),
+            &system_table(&cells, n, m),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_sim::Simulation;
+
+    fn quick_spec(shards: usize) -> ShardSweepSpec {
+        ShardSweepSpec::resolve(&CliOptions {
+            quick: true,
+            shards,
+            threads: Some(2),
+            ..CliOptions::default()
+        })
+    }
+
+    #[test]
+    fn quick_sweep_produces_one_cell_per_coordinate() {
+        let spec = quick_spec(2);
+        let cells = run_shard_sweep(&spec).unwrap();
+        assert_eq!(
+            cells.len(),
+            spec.systems.len() * spec.loads.len() * spec.policies.len()
+        );
+        for cell in &cells {
+            assert!(cell.mean >= 1.0, "response times are at least one round");
+        }
+        let table = system_table(&cells, 16, 4);
+        assert_eq!(table.num_rows(), spec.policies.len());
+    }
+
+    #[test]
+    fn single_shard_sweep_matches_the_unsharded_engine() {
+        let spec = quick_spec(1);
+        let cells = run_shard_sweep(&spec).unwrap();
+        // Recompute the first cell directly on the unsharded engine.
+        let cluster = cluster_for_system(&spec.profile, 16, spec.seed, 0);
+        let config = SimConfig {
+            spec: cluster,
+            num_dispatchers: 4,
+            rounds: spec.rounds,
+            warmup_rounds: spec.warmup,
+            seed: replication_seed(spec.seed, 0, 0, 0),
+            arrivals: ArrivalSpec::PoissonOfferedLoad {
+                offered_load: spec.loads[0],
+            },
+            services: ServiceModel::Geometric,
+            measure_decision_times: false,
+        };
+        let factory = factory_by_name(&spec.policies[0]).unwrap();
+        let report = Simulation::new(config)
+            .unwrap()
+            .run(factory.as_ref())
+            .unwrap();
+        assert_eq!(cells[0].mean, report.mean_response_time());
+        assert_eq!(cells[0].p99, report.response_time_percentile(0.99) as f64);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let mut spec = quick_spec(2);
+        let a = run_shard_sweep(&spec).unwrap();
+        spec.threads = 1;
+        let b = run_shard_sweep(&spec).unwrap();
+        spec.threads = 8;
+        let c = run_shard_sweep(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn entry_point_writes_per_system_csv_when_requested() {
+        let dir = std::env::temp_dir().join(format!("scd-sweep-test-{}", std::process::id()));
+        let options = CliOptions {
+            quick: true,
+            shards: 2,
+            threads: Some(2),
+            csv: Some(dir.clone()),
+            tail: true, // noted and ignored, must not fail
+            ..CliOptions::default()
+        };
+        run_from_options(&options).unwrap();
+        let written = std::fs::read_to_string(dir.join("sweep_n16m4_k2.csv")).unwrap();
+        assert!(written.starts_with("load,policy,mean"), "{written}");
+        assert!(written.contains("SCD"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversharded_systems_report_an_error() {
+        let mut spec = quick_spec(64);
+        spec.systems = vec![(4, 2)];
+        let err = run_shard_sweep(&spec).unwrap_err();
+        assert!(err.contains("shards"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn unknown_policies_are_rejected_up_front() {
+        let mut spec = quick_spec(1);
+        spec.policies = vec!["NOPE".into()];
+        assert!(run_shard_sweep(&spec).unwrap_err().contains("NOPE"));
+    }
+}

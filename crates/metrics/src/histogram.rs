@@ -22,34 +22,56 @@ pub struct ResponseTimeHistogram {
 }
 
 impl ResponseTimeHistogram {
+    /// Largest individually tracked response time, in rounds. Anything at or
+    /// above this value is clamped into the capped overflow bucket at index
+    /// `MAX_RESPONSE_TIME` (and contributes the clamped value to the mean);
+    /// [`Self::count_at`]`(MAX_RESPONSE_TIME)` exposes the clamped mass.
+    ///
+    /// The dense `counts` vector used to be resized to `response_time + 1`,
+    /// so a single pathological censored response time (e.g. `u64::MAX` from
+    /// an upstream arithmetic bug) would try to allocate gigabytes. The cap
+    /// bounds the vector at ~8 MiB in the worst case (it still grows only
+    /// to the largest value actually recorded). A completed job's response
+    /// time is bounded by the run length, and paper-scale runs are `10⁵`
+    /// rounds — an order of magnitude below the cap — so at those scales
+    /// only corrupt values are clamped. Runs longer than the cap *can*
+    /// censor legitimate extreme tails into the overflow bucket;
+    /// [`Self::overflow_count`] exposes the clamped mass so that case is
+    /// detectable rather than silent.
+    pub const MAX_RESPONSE_TIME: u64 = 1 << 20;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         ResponseTimeHistogram::default()
     }
 
     /// Records one job with the given response time (in rounds).
+    ///
+    /// Response times at or above [`Self::MAX_RESPONSE_TIME`] are clamped
+    /// into the overflow bucket; counts saturate instead of wrapping
+    /// (matching the [`DecisionTimeHistogram`](crate::DecisionTimeHistogram)
+    /// merge convention), so a pathological input can pin the top of the
+    /// range but never corrupt the distribution below it.
     pub fn record(&mut self, response_time: u64) {
-        let idx = response_time as usize;
-        if idx >= self.counts.len() {
-            self.counts.resize(idx + 1, 0);
-        }
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum += u128::from(response_time);
+        self.record_many(response_time, 1);
     }
 
-    /// Records `count` jobs with the same response time.
+    /// Records `count` jobs with the same response time (same clamping and
+    /// saturation rules as [`Self::record`]).
     pub fn record_many(&mut self, response_time: u64, count: u64) {
         if count == 0 {
             return;
         }
-        let idx = response_time as usize;
+        let clamped = response_time.min(Self::MAX_RESPONSE_TIME);
+        let idx = clamped as usize;
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
-        self.counts[idx] += count;
-        self.total += count;
-        self.sum += u128::from(response_time) * u128::from(count);
+        self.counts[idx] = self.counts[idx].saturating_add(count);
+        self.total = self.total.saturating_add(count);
+        self.sum = self
+            .sum
+            .saturating_add(u128::from(clamped) * u128::from(count));
     }
 
     /// Number of recorded jobs.
@@ -92,6 +114,14 @@ impl ResponseTimeHistogram {
             .unwrap_or(0)
     }
 
+    /// Number of jobs clamped into the capped overflow bucket (response
+    /// times at or above [`Self::MAX_RESPONSE_TIME`]). Nonzero means the
+    /// recorded `max`/percentiles/mean under-report the true tail — either
+    /// a corrupt input or a run longer than the cap.
+    pub fn overflow_count(&self) -> u64 {
+        self.count_at(Self::MAX_RESPONSE_TIME)
+    }
+
     /// Number of jobs whose response time was exactly `response_time`.
     pub fn count_at(&self, response_time: u64) -> u64 {
         self.counts
@@ -116,7 +146,11 @@ impl ResponseTimeHistogram {
         let threshold = (p * self.total as f64).ceil().max(1.0) as u64;
         let mut acc = 0u64;
         for (r, &c) in self.counts.iter().enumerate() {
-            acc += c;
+            // Saturating: a bucket pinned at u64::MAX by the record/merge
+            // saturation rules must not wrap the running rank (a wrapped
+            // accumulator skips past the heavy bucket and mis-reports the
+            // percentile; debug builds would panic).
+            acc = acc.saturating_add(c);
             if acc >= threshold {
                 return r as u64;
             }
@@ -130,13 +164,12 @@ impl ResponseTimeHistogram {
         if self.total == 0 {
             return 0.0;
         }
-        let above: u64 = self
+        let above = self
             .counts
             .iter()
             .enumerate()
             .filter(|(v, _)| *v as u64 > r)
-            .map(|(_, &c)| c)
-            .sum();
+            .fold(0u64, |acc, (_, &c)| acc.saturating_add(c));
         above as f64 / self.total as f64
     }
 
@@ -150,7 +183,10 @@ impl ResponseTimeHistogram {
         let mut out = Vec::new();
         let mut above = self.total;
         for (r, &c) in self.counts.iter().enumerate() {
-            above -= c;
+            // Saturating: once counters have saturated, `total` may be
+            // smaller than the sum of buckets — clamp at zero rather than
+            // underflowing.
+            above = above.saturating_sub(c);
             if c > 0 || r == 0 {
                 out.push((r as u64, above as f64 / self.total as f64));
             }
@@ -159,15 +195,20 @@ impl ResponseTimeHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Bucket and total counts saturate at `u64::MAX` instead of wrapping —
+    /// the sharded engine and the `--replications` sweeps merge one
+    /// histogram per shard/replication, and a wrapped counter would silently
+    /// corrupt every percentile of the merged distribution.
     pub fn merge(&mut self, other: &ResponseTimeHistogram) {
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
         for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
+            self.counts[i] = self.counts[i].saturating_add(c);
         }
-        self.total += other.total;
-        self.sum += other.sum;
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// A compact numeric summary (mean, p50, p95, p99, p999, max, count).
@@ -318,6 +359,85 @@ mod tests {
         assert_eq!(a.max(), 100);
         let expected_mean = (1 + 2 + 3 + 3 + 4 + 100) as f64 / 6.0;
         assert!((a.mean() - expected_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_response_times_land_in_the_overflow_bucket() {
+        // A censored/corrupted response time used to resize the dense counts
+        // vector to `response_time + 1` entries — `u64::MAX` meant an
+        // instant multi-gigabyte allocation. It must clamp instead.
+        let mut h = ResponseTimeHistogram::new();
+        h.record(u64::MAX);
+        h.record(ResponseTimeHistogram::MAX_RESPONSE_TIME + 123);
+        h.record_many(u64::MAX - 7, 3);
+        assert_eq!(h.count(), 5);
+        assert_eq!(
+            h.count_at(ResponseTimeHistogram::MAX_RESPONSE_TIME),
+            5,
+            "all pathological values share the capped overflow bucket"
+        );
+        assert_eq!(h.max(), ResponseTimeHistogram::MAX_RESPONSE_TIME);
+        assert_eq!(h.overflow_count(), 5, "clamped mass must be detectable");
+        assert!(
+            h.counts.len() <= ResponseTimeHistogram::MAX_RESPONSE_TIME as usize + 1,
+            "the dense vector must stay bounded"
+        );
+        // The clamped values contribute the cap to the (clamped) mean.
+        assert!((h.mean() - ResponseTimeHistogram::MAX_RESPONSE_TIME as f64).abs() < 1e-9);
+        // Ordinary values below the cap are untouched.
+        h.record(5);
+        assert_eq!(h.count_at(5), 1);
+        assert_eq!(h.min(), 5, "values below the cap are exact");
+    }
+
+    #[test]
+    fn record_saturates_instead_of_wrapping() {
+        // Debug builds used to panic (and release builds to wrap) when a
+        // bucket or the total crossed `u64::MAX`. Both must saturate now,
+        // matching the DecisionTimeHistogram merge convention.
+        let mut h = ResponseTimeHistogram::new();
+        h.record_many(2, u64::MAX - 1);
+        h.record_many(2, 5);
+        assert_eq!(h.count_at(2), u64::MAX);
+        assert_eq!(h.count(), u64::MAX);
+        // The distribution stays ordered and usable after saturation.
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.max(), 2);
+    }
+
+    #[test]
+    fn queries_survive_a_saturated_bucket_after_a_nonzero_one() {
+        // Regression: percentile()/ccdf_at()/ccdf() accumulated bucket
+        // counts with unchecked adds, so a saturated bucket *after* an
+        // earlier nonzero bucket overflowed the accumulator (debug panic,
+        // release wrap → wrong percentile).
+        let mut h = ResponseTimeHistogram::new();
+        h.record(1);
+        h.record_many(3, u64::MAX);
+        assert_eq!(h.count_at(3), u64::MAX);
+        assert_eq!(h.percentile(0.99), 3, "the heavy bucket holds the tail");
+        assert_eq!(h.percentile(0.5), 3);
+        assert!(h.ccdf_at(0) > 0.99);
+        assert_eq!(h.ccdf_at(3), 0.0);
+        let series = h.ccdf();
+        assert_eq!(series.last().unwrap().1, 0.0);
+        for w in series.windows(2) {
+            assert!(w[0].1 >= w[1].1, "CCDF must stay monotone");
+        }
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = ResponseTimeHistogram::new();
+        let mut b = ResponseTimeHistogram::new();
+        a.record_many(3, u64::MAX - 1);
+        b.record_many(3, 10);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count_at(3), u64::MAX, "bucket count must saturate");
+        assert_eq!(a.count(), u64::MAX, "total must saturate");
+        assert_eq!(a.max(), 7);
+        assert_eq!(a.percentile(0.5), 3, "median must not wrap toward zero");
     }
 
     #[test]

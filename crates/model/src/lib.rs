@@ -19,6 +19,8 @@
 //! * [`ProbabilityVector`] and [`AliasSampler`] — utilities for policies that
 //!   are defined by a per-round probability distribution over servers (SCD,
 //!   TWF, weighted random).
+//! * [`streams`] — splitmix64 seed-stream derivation shared by the unsharded
+//!   and sharded engines (per-stream tags, per-shard sub-masters).
 //!
 //! # Example
 //!
@@ -61,6 +63,7 @@ pub mod round_cache;
 pub mod sampler;
 pub mod snapshot;
 pub mod spec;
+pub mod streams;
 
 pub use error::ModelError;
 pub use ids::{DispatcherId, ServerId};
@@ -70,3 +73,4 @@ pub use round_cache::{reciprocal_rates, refresh_reciprocal_rates, CacheDemand, R
 pub use sampler::{AliasSampler, CdfSampler};
 pub use snapshot::DispatchContext;
 pub use spec::{ClusterSpec, RateProfile};
+pub use streams::{derive_stream_seed, shard_master_seed, splitmix64_mix};

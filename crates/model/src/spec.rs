@@ -101,6 +101,19 @@ impl ClusterSpec {
             .map(|(i, &r)| (ServerId::new(i), r))
     }
 
+    /// The sub-cluster containing exactly the given servers, in the given
+    /// order — how the sharded engine splits one cluster into per-shard
+    /// specifications (each shard simulates the sub-cluster it owns).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::EmptyCluster`] for an empty selection.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn subset(&self, servers: &[usize]) -> Result<ClusterSpec, ModelError> {
+        ClusterSpec::from_rates(servers.iter().map(|&s| self.rates[s]).collect())
+    }
+
     /// Returns a copy of this specification with every rate replaced by 1.0.
     ///
     /// This is how the heterogeneity-oblivious TWF policy of the companion
@@ -259,6 +272,18 @@ mod tests {
 
         let hetero = ClusterSpec::from_rates(vec![10.0, 1.0]).unwrap();
         assert_eq!(hetero.rate_oblivious().rates(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn subset_selects_servers_in_order() {
+        let spec = ClusterSpec::from_rates(vec![5.0, 2.0, 1.0, 3.0]).unwrap();
+        let sub = spec.subset(&[3, 0]).unwrap();
+        assert_eq!(sub.rates(), &[3.0, 5.0]);
+        assert_eq!(spec.subset(&[]), Err(ModelError::EmptyCluster));
+        // A striped 2-way split covers every server exactly once.
+        let even = spec.subset(&[0, 2]).unwrap();
+        let odd = spec.subset(&[1, 3]).unwrap();
+        assert_eq!(even.total_rate() + odd.total_rate(), spec.total_rate());
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Seed-stream derivation shared by the round engine and the sharded engine.
+//!
+//! Every stochastic stream of a run (arrivals, services, one policy stream
+//! per dispatcher) is seeded from the master seed and a distinct tag, so the
+//! arrival and departure processes are identical across policies while
+//! policy-internal randomness stays independent per dispatcher. The sharded
+//! engine additionally derives one **sub-master** per shard, from which the
+//! shard's own arrival/service/policy streams are derived with the same
+//! scheme — a two-level splitmix64 tree whose leaves never collide (audited
+//! by the tests below and by `tests/sharded_engine.rs` over the full
+//! `(master, shards, shard, dispatcher)` grid).
+//!
+//! History: the original scheme (`seed ^ TAG ^ (d << 32)`) was a linear
+//! function of its inputs — adversarial master seeds could cancel the tag
+//! bits and make two streams collide, or leave streams differing in a single
+//! bit and therefore correlated for weak generators. Absorbing the tag and
+//! index through two rounds of the splitmix64 finalizer makes every derived
+//! seed a full-avalanche hash of `(master, tag, index)`, so distinct streams
+//! are decorrelated for *every* choice of master seed.
+//!
+//! The shard audit for this module then caught a second, subtler weakness
+//! in that scheme: it absorbed the master by *adding* it to the tag
+//! (`mix(master + G + tag)`), which is symmetric — run A with master
+//! `ARRIVAL_STREAM_TAG` and run B with master `POLICY_STREAM_TAG` shared
+//! whole stream families (`derive(A, B, i) == derive(B, A, i)` for every
+//! `i`). The master is now passed through the finalizer once *before* the
+//! tag is added, which breaks the commutativity while keeping the bijection
+//! on masters. This was a deliberate sample-path change; the golden
+//! constants in `tests/engine_golden.rs` were refreshed with it.
+
+/// Tag of the per-run arrival stream (`"ARRIVALS"`).
+pub const ARRIVAL_STREAM_TAG: u64 = 0x41_52_52_49_56_41_4C_53;
+/// Tag of the per-run service stream (`"SERVICES"`).
+pub const SERVICE_STREAM_TAG: u64 = 0x53_45_52_56_49_43_45_53;
+/// Tag of the per-dispatcher policy streams (`"POLICY"`).
+pub const POLICY_STREAM_TAG: u64 = 0x50_4F_4C_49_43_59_00_00;
+/// Tag of the per-shard sub-master seeds (`"SHARDS"`).
+pub const SHARD_STREAM_TAG: u64 = 0x53_48_41_52_44_53_00_00;
+
+/// The splitmix64 output (finalization) function — a full-avalanche 64-bit
+/// mixer.
+#[inline]
+#[must_use]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of one stochastic stream from a master seed: a
+/// full-avalanche hash of `(master, tag, index)` built from splitmix64
+/// finalizer rounds. The master is mixed once on its own before the tag is
+/// absorbed, so master and tag do not commute (see the module docs for the
+/// tag-swap collision this prevents).
+#[must_use]
+pub fn derive_stream_seed(master: u64, tag: u64, index: u64) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = splitmix64_mix(
+        splitmix64_mix(master)
+            .wrapping_add(GOLDEN)
+            .wrapping_add(tag),
+    );
+    z = splitmix64_mix(z.wrapping_add(GOLDEN).wrapping_add(index));
+    z
+}
+
+/// The sub-master seed of one shard of a sharded run.
+///
+/// A single-shard run (`num_shards == 1`) keeps the master seed unchanged,
+/// which is what makes the `k = 1` sharded engine **bit-identical** to the
+/// unsharded `Simulation::run` path in `scd-sim`:
+/// both derive exactly the same arrival/service/policy streams. For
+/// `num_shards > 1` each shard gets a full-avalanche sub-master keyed on
+/// *both* the shard index and the shard count, so the streams of a `k = 2`
+/// run share nothing with those of a `k = 4` run on the same master, and no
+/// shard sub-stream can collide with the unsharded run's per-dispatcher
+/// streams (they hash different masters).
+///
+/// # Panics
+/// Panics if `shard >= num_shards`, if `num_shards` is zero, or if
+/// `num_shards` does not fit in 32 bits (the shard and count are packed into
+/// one 64-bit derivation index).
+#[must_use]
+pub fn shard_master_seed(master: u64, num_shards: usize, shard: usize) -> u64 {
+    assert!(num_shards > 0, "a sharded run needs at least one shard");
+    assert!(
+        shard < num_shards,
+        "shard {shard} out of range for {num_shards} shards"
+    );
+    assert!(
+        num_shards <= u32::MAX as usize,
+        "shard counts beyond 2^32 are not supported"
+    );
+    if num_shards == 1 {
+        master
+    } else {
+        derive_stream_seed(
+            master,
+            SHARD_STREAM_TAG,
+            ((num_shards as u64) << 32) | shard as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_seeds_never_collide_even_for_adversarial_masters() {
+        // Masters crafted to defeat the old linear `seed ^ TAG ^ (d << 32)`
+        // derivation, plus a few ordinary ones.
+        let masters = [
+            0u64,
+            1,
+            u64::MAX,
+            ARRIVAL_STREAM_TAG,
+            SERVICE_STREAM_TAG,
+            POLICY_STREAM_TAG,
+            SHARD_STREAM_TAG,
+            ARRIVAL_STREAM_TAG ^ SERVICE_STREAM_TAG,
+            ARRIVAL_STREAM_TAG ^ POLICY_STREAM_TAG,
+            POLICY_STREAM_TAG ^ (1u64 << 32),
+            0xDEAD_BEEF_CAFE_BABE,
+        ];
+        for &master in &masters {
+            let mut seeds = HashSet::new();
+            seeds.insert(derive_stream_seed(master, ARRIVAL_STREAM_TAG, 0));
+            seeds.insert(derive_stream_seed(master, SERVICE_STREAM_TAG, 0));
+            for d in 0..64u64 {
+                seeds.insert(derive_stream_seed(master, POLICY_STREAM_TAG, d));
+            }
+            assert_eq!(seeds.len(), 66, "collision for master {master:#x}");
+        }
+    }
+
+    #[test]
+    fn stream_seeds_avalanche_on_master_bit_flips() {
+        // Flipping any single master bit must flip roughly half the derived
+        // seed bits (the old XOR scheme flipped exactly one).
+        let base = derive_stream_seed(42, ARRIVAL_STREAM_TAG, 0);
+        for bit in 0..64 {
+            let flipped = derive_stream_seed(42 ^ (1u64 << bit), ARRIVAL_STREAM_TAG, 0);
+            let differing = (base ^ flipped).count_ones();
+            assert!(
+                (16..=48).contains(&differing),
+                "bit {bit}: only {differing} output bits changed"
+            );
+        }
+    }
+
+    #[test]
+    fn master_and_tag_do_not_commute() {
+        // Regression: the previous derivation absorbed the master and the
+        // tag as a plain sum, so swapping them produced identical stream
+        // families — a run whose master happened to equal one tag shared
+        // streams with a run whose master was the other tag.
+        let tag_pairs = [
+            (ARRIVAL_STREAM_TAG, POLICY_STREAM_TAG),
+            (ARRIVAL_STREAM_TAG, SERVICE_STREAM_TAG),
+            (SERVICE_STREAM_TAG, POLICY_STREAM_TAG),
+            (SHARD_STREAM_TAG, ARRIVAL_STREAM_TAG),
+        ];
+        for (a, b) in tag_pairs {
+            for index in 0..4u64 {
+                assert_ne!(
+                    derive_stream_seed(a, b, index),
+                    derive_stream_seed(b, a, index),
+                    "master/tag swap ({a:#x}, {b:#x}) must not collide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_sub_master_is_the_master() {
+        for master in [0u64, 7, u64::MAX, SHARD_STREAM_TAG] {
+            assert_eq!(shard_master_seed(master, 1, 0), master);
+        }
+    }
+
+    #[test]
+    fn shard_sub_masters_depend_on_both_shard_and_count() {
+        let master = 2021;
+        // Shard 0 of a 2-shard run and shard 0 of a 4-shard run must differ;
+        // so must any two shards of the same run.
+        let mut seen = HashSet::new();
+        seen.insert(master); // the k = 1 sub-master
+        for k in 2..=8usize {
+            for j in 0..k {
+                assert!(
+                    seen.insert(shard_master_seed(master, k, j)),
+                    "sub-master collision at k={k}, shard={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_shard_panics() {
+        let _ = shard_master_seed(1, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = shard_master_seed(1, 0, 0);
+    }
+}

@@ -56,39 +56,16 @@ impl Error for SimError {
     }
 }
 
-/// Seed-stream separation constants: each stochastic stream of the run is
-/// seeded from the master seed and a distinct tag (plus a per-dispatcher
-/// index for the policy streams), so that the arrival and departure processes
-/// are identical across policies while policy-internal randomness stays
-/// independent per dispatcher.
-const ARRIVAL_STREAM_TAG: u64 = 0x41_52_52_49_56_41_4C_53; // "ARRIVALS"
-const SERVICE_STREAM_TAG: u64 = 0x53_45_52_56_49_43_45_53; // "SERVICES"
-const POLICY_STREAM_TAG: u64 = 0x50_4F_4C_49_43_59_00_00; // "POLICY"
-
-/// The splitmix64 output (finalization) function — a full-avalanche 64-bit
-/// mixer.
-#[inline]
-fn splitmix64_mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Derives the seed of one stochastic stream from the master seed.
-///
-/// The previous scheme (`seed ^ TAG ^ (d << 32)`) was a linear function of
-/// its inputs: adversarial master seeds could cancel the tag bits and make
-/// two streams collide, or leave streams differing in a single bit and
-/// therefore correlated for weak generators. Absorbing the tag and index
-/// through two rounds of the splitmix64 finalizer makes every derived seed a
-/// full-avalanche hash of `(master, tag, index)`, so distinct streams are
-/// decorrelated for *every* choice of master seed.
-fn derive_stream_seed(master: u64, tag: u64, index: u64) -> u64 {
-    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-    let mut z = splitmix64_mix(master.wrapping_add(GOLDEN).wrapping_add(tag));
-    z = splitmix64_mix(z.wrapping_add(GOLDEN).wrapping_add(index));
-    z
-}
+// Seed-stream separation: each stochastic stream of the run is seeded from
+// the master seed and a distinct tag (plus a per-dispatcher index for the
+// policy streams), so that the arrival and departure processes are identical
+// across policies while policy-internal randomness stays independent per
+// dispatcher. The derivation lives in `scd_model::streams` so the sharded
+// engine ([`crate::shard`]) can derive per-shard sub-masters with the same
+// splitmix64 scheme.
+use scd_model::streams::{
+    derive_stream_seed, ARRIVAL_STREAM_TAG, POLICY_STREAM_TAG, SERVICE_STREAM_TAG,
+};
 
 /// A configured simulation, ready to run any number of policies on identical
 /// stochastic inputs.
@@ -482,48 +459,6 @@ mod tests {
         }
         assert!(err.to_string().contains("broken"));
         assert!(err.source().is_some());
-    }
-
-    #[test]
-    fn stream_seeds_never_collide_even_for_adversarial_masters() {
-        // Masters crafted to defeat the old linear `seed ^ TAG ^ (d << 32)`
-        // derivation, plus a few ordinary ones.
-        let masters = [
-            0u64,
-            1,
-            u64::MAX,
-            ARRIVAL_STREAM_TAG,
-            SERVICE_STREAM_TAG,
-            POLICY_STREAM_TAG,
-            ARRIVAL_STREAM_TAG ^ SERVICE_STREAM_TAG,
-            ARRIVAL_STREAM_TAG ^ POLICY_STREAM_TAG,
-            POLICY_STREAM_TAG ^ (1u64 << 32),
-            0xDEAD_BEEF_CAFE_BABE,
-        ];
-        for &master in &masters {
-            let mut seeds = std::collections::HashSet::new();
-            seeds.insert(derive_stream_seed(master, ARRIVAL_STREAM_TAG, 0));
-            seeds.insert(derive_stream_seed(master, SERVICE_STREAM_TAG, 0));
-            for d in 0..64u64 {
-                seeds.insert(derive_stream_seed(master, POLICY_STREAM_TAG, d));
-            }
-            assert_eq!(seeds.len(), 66, "collision for master {master:#x}");
-        }
-    }
-
-    #[test]
-    fn stream_seeds_avalanche_on_master_bit_flips() {
-        // Flipping any single master bit must flip roughly half the derived
-        // seed bits (the old XOR scheme flipped exactly one).
-        let base = derive_stream_seed(42, ARRIVAL_STREAM_TAG, 0);
-        for bit in 0..64 {
-            let flipped = derive_stream_seed(42 ^ (1u64 << bit), ARRIVAL_STREAM_TAG, 0);
-            let differing = (base ^ flipped).count_ones();
-            assert!(
-                (16..=48).contains(&differing),
-                "bit {bit}: only {differing} output bits changed"
-            );
-        }
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! experiment sweep grids) builds on, all of them bit-identical to
 //! sequential runs.
 //!
+//! For the next order of magnitude, the [`shard`] module partitions the
+//! servers into `k` independent shards — each with its own queues, RNG
+//! sub-streams and policy instances — steps them concurrently on the same
+//! pool, and merges their serializable [`ShardReport`]s into one
+//! [`SimReport`] (bit-identical to [`Simulation::run`] for `k = 1`).
+//!
 //! # Example
 //!
 //! ```
@@ -64,6 +70,7 @@ pub mod queues;
 pub mod report;
 pub mod runner;
 pub mod services;
+pub mod shard;
 
 pub use arrivals::ArrivalSpec;
 pub use config::{SimConfig, SimConfigBuilder};
@@ -75,3 +82,4 @@ pub use runner::{
     ComparisonResult,
 };
 pub use services::ServiceModel;
+pub use shard::{merge_shard_reports, ShardPlan, ShardReport, ShardedSimulation};

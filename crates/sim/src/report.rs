@@ -17,6 +17,41 @@ pub struct QueueSummary {
     pub mean_idle_fraction: f64,
 }
 
+impl QueueSummary {
+    /// Folds the summary of a **disjoint** set of servers (observed over the
+    /// same rounds) into this one — the merge rule of the sharded engine's
+    /// report merge.
+    ///
+    /// * `mean_total_backlog` adds exactly: the time-average of a sum over
+    ///   disjoint server sets is the sum of the per-set time-averages.
+    /// * `max_total_backlog` adds per-shard maxima. The per-round global
+    ///   total is unavailable after shards run independently, so the merged
+    ///   value is an **upper bound** on the true instantaneous maximum
+    ///   (exact for a single shard, and exact whenever the shard maxima
+    ///   coincide in time).
+    /// * `worst_mean_queue` is a per-server maximum, so disjoint sets merge
+    ///   by `max`.
+    /// * `mean_idle_fraction` is a per-server average, so disjoint sets
+    ///   merge by a server-count-weighted mean (`self_servers` is the number
+    ///   of servers already folded into `self`).
+    pub fn fold_disjoint(
+        &mut self,
+        other: &QueueSummary,
+        self_servers: usize,
+        other_servers: usize,
+    ) {
+        self.mean_total_backlog += other.mean_total_backlog;
+        self.max_total_backlog += other.max_total_backlog;
+        self.worst_mean_queue = self.worst_mean_queue.max(other.worst_mean_queue);
+        let total = self_servers + other_servers;
+        if total > 0 {
+            self.mean_idle_fraction = (self.mean_idle_fraction * self_servers as f64
+                + other.mean_idle_fraction * other_servers as f64)
+                / total as f64;
+        }
+    }
+}
+
 /// The result of simulating one policy on one configuration.
 ///
 /// `PartialEq` compares every collected statistic, which is what the
@@ -131,6 +166,28 @@ mod tests {
         let line = report.one_liner();
         assert!(line.contains("TEST"));
         assert!(line.contains("p99"));
+    }
+
+    #[test]
+    fn fold_disjoint_applies_the_documented_merge_rules() {
+        let mut a = QueueSummary {
+            mean_total_backlog: 4.0,
+            max_total_backlog: 9.0,
+            worst_mean_queue: 2.5,
+            mean_idle_fraction: 0.25,
+        };
+        let b = QueueSummary {
+            mean_total_backlog: 6.0,
+            max_total_backlog: 1.0,
+            worst_mean_queue: 1.0,
+            mean_idle_fraction: 0.75,
+        };
+        a.fold_disjoint(&b, 3, 1);
+        assert!((a.mean_total_backlog - 10.0).abs() < 1e-12);
+        assert!((a.max_total_backlog - 10.0).abs() < 1e-12);
+        assert!((a.worst_mean_queue - 2.5).abs() < 1e-12);
+        // (0.25 · 3 + 0.75 · 1) / 4 = 0.375.
+        assert!((a.mean_idle_fraction - 0.375).abs() < 1e-12);
     }
 
     #[test]

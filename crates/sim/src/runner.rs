@@ -22,13 +22,32 @@ impl ComparisonResult {
 
     /// Name of the policy with the lowest mean response time.
     pub fn best_by_mean(&self) -> Option<&str> {
+        self.best_by(SimReport::mean_response_time)
+    }
+
+    /// Name of the policy minimizing an arbitrary report statistic.
+    ///
+    /// Keys are ordered with [`f64::total_cmp`]; NaN keys are first
+    /// normalized to positive NaN, which `total_cmp` orders after every
+    /// real number — so a NaN statistic (e.g. a mean derived from a corrupt
+    /// deserialized report) can neither panic the comparison (the previous
+    /// `partial_cmp(..).expect(..)` comparator did) nor beat a well-formed
+    /// report (a raw sign-negative NaN, the default quiet NaN x86 produces
+    /// for `0.0 / 0.0`, would order *before* all reals under `total_cmp`).
+    pub fn best_by<F: Fn(&SimReport) -> f64>(&self, key: F) -> Option<&str> {
+        // Collapse every NaN bit pattern onto positive NaN so "undefined"
+        // always loses to "defined", regardless of sign/payload bits.
+        let sanitized = |r: &SimReport| {
+            let k = key(r);
+            if k.is_nan() {
+                f64::NAN
+            } else {
+                k
+            }
+        };
         self.reports
             .iter()
-            .min_by(|a, b| {
-                a.mean_response_time()
-                    .partial_cmp(&b.mean_response_time())
-                    .expect("response times are finite")
-            })
+            .min_by(|a, b| sanitized(a).total_cmp(&sanitized(b)))
             .map(|r| r.policy.as_str())
     }
 
@@ -316,6 +335,58 @@ mod tests {
         }
         // Different seeds genuinely redraw the stochastic processes.
         assert_ne!(reports[0].response_times, reports[1].response_times);
+    }
+
+    #[test]
+    fn best_by_tolerates_nan_statistics() {
+        // Regression: `best_by_mean` used to panic via
+        // `partial_cmp(..).expect(..)` the moment any report statistic was
+        // NaN. With `total_cmp`, positive NaN orders after every real
+        // number, so a corrupt report can neither panic the comparison nor
+        // beat a well-formed one.
+        let scd = ScdFactory::new();
+        let jsq = JsqFactory::new();
+        let mut quick = config();
+        quick.rounds = 200;
+        quick.warmup_rounds = 0;
+        let result = run_comparison(&quick, &[&scd, &jsq]).unwrap();
+        let nan_for_scd = |r: &crate::report::SimReport| {
+            if r.policy == "SCD" {
+                f64::NAN
+            } else {
+                r.mean_response_time()
+            }
+        };
+        assert_eq!(
+            result.best_by(nan_for_scd),
+            Some("JSQ"),
+            "a NaN key must lose to every finite key"
+        );
+        // Sign-negative NaN (what x86 produces for 0.0/0.0) orders *before*
+        // all reals under a raw total_cmp — it must also lose.
+        let negative_nan = f64::NAN.copysign(-1.0);
+        assert_eq!(
+            result.best_by(|r| {
+                if r.policy == "SCD" {
+                    negative_nan
+                } else {
+                    r.mean_response_time()
+                }
+            }),
+            Some("JSQ"),
+            "a negative NaN key must lose to every finite key"
+        );
+        // All-NaN keys still produce a deterministic (first) winner.
+        assert_eq!(result.best_by(|_| f64::NAN), Some("SCD"));
+        // And the named helper stays consistent with the generic one.
+        assert_eq!(
+            result.best_by_mean(),
+            result.best_by(crate::report::SimReport::mean_response_time)
+        );
+        let empty = ComparisonResult {
+            reports: Vec::new(),
+        };
+        assert_eq!(empty.best_by_mean(), None);
     }
 
     #[test]

@@ -76,8 +76,9 @@ pub mod prelude {
         PowerOfDFactory, SedFactory, TwfFactory, WeightedRandomFactory,
     };
     pub use scd_sim::{
-        run_comparison, run_comparison_parallel, run_replications, ArrivalSpec, ComparisonResult,
-        ServiceModel, SimConfig, SimReport, Simulation,
+        merge_shard_reports, run_comparison, run_comparison_parallel, run_replications,
+        ArrivalSpec, ComparisonResult, ServiceModel, ShardPlan, ShardReport, ShardedSimulation,
+        SimConfig, SimReport, Simulation,
     };
 }
 
