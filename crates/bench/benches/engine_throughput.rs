@@ -23,8 +23,6 @@
 //!   encoded segments + one bulk update per segment);
 //! * queue statistics are observed with the same tracker the modern engine
 //!   uses, on a cloned snapshot;
-//! * SCD recomputes its distribution into fresh vectors and builds a **fresh
-//!   alias table** per decision (the old `ScdPolicy::dispatch_batch` body);
 //! * JSQ and SED pick every job by the **`O(n)`-per-job reservoir-sampling
 //!   argmin scan** (the pre-indexed-queue-view dispatch loop; the current
 //!   policies answer each pick from a tournament tree in `O(log n)` after an
@@ -36,8 +34,14 @@
 //! Both engines simulate exactly the same system (same cluster, load,
 //! distributions and metrics); they differ only in implementation.
 //!
-//! Two baselines that are *not* the legacy loop:
+//! Baselines that are *not* the legacy loop:
 //!
+//! * the **SCD row** compares the delta-aware decision path (engine dirty
+//!   sets, warm-started verified solver, in-memo alias tables, sorted
+//!   dispatch order) against the **PR 4 cold-solve path** reconstructed on
+//!   the modern engine (`with_delta_rounds(false)` + `cold_solve()`); the
+//!   two paths are bit-identical in decisions, so this is a same-trajectory
+//!   comparison;
 //! * the **LSQ / LED rows** compare the warm-tree dispatch path (one
 //!   tournament per policy instance across rounds, dirty-key repair) against
 //!   the PR 2 per-batch-rebuild path on the *modern* engine — the two paths
@@ -57,12 +61,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::Poisson;
-use scd_core::policy::{ScdFactory, ScdPolicy};
+use scd_core::policy::ScdFactory;
 use scd_metrics::{QueueLengthTracker, ResponseTimeHistogram};
 use scd_model::policy::validate_assignment;
 use scd_model::{
-    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
-    PolicyFactory, RateProfile, ServerId,
+    BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId, PolicyFactory,
+    RateProfile, ServerId,
 };
 use scd_policies::{JsqFactory, LedFactory, LsqFactory, SedFactory, WeightedRandomFactory};
 use scd_sim::{
@@ -80,8 +84,9 @@ const SEED: u64 = 7;
 /// when the baseline or the optimized engine changes meaning, so earlier
 /// recordings stay auditable.
 const RUN_LABEL: &str =
-    "PR 4: sharded round engine (SHARD row: k=1 sequential vs k=4 on the pool, \
-     SCD policy, single-core box) + re-seeded streams (tag-swap collision fix)";
+    "PR 5: delta-aware rounds (SCD row: warm-started verified solver + engine dirty sets vs the \
+     PR 4 cold-solve path on the modern engine; IWL row: incremental load-order repair vs full \
+     sort; JSQ/SED rows now warm trees vs the legacy loop)";
 /// Interleaved measurement pairs per policy; `CRITERION_QUICK=1` drops to a
 /// single pair (CI smoke test).
 fn repetitions() -> usize {
@@ -108,49 +113,6 @@ fn bench_config() -> SimConfig {
         },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
-    }
-}
-
-/// The old SCD decision path: allocate the distribution, build a fresh alias
-/// table, collect a fresh destination vector — exactly the pre-refactor
-/// `ScdPolicy::dispatch_batch`.
-struct LegacyScdPolicy {
-    inner: ScdPolicy,
-}
-
-impl DispatchPolicy for LegacyScdPolicy {
-    fn policy_name(&self) -> &str {
-        "SCD(legacy)"
-    }
-
-    fn dispatch_batch(
-        &mut self,
-        ctx: &DispatchContext<'_>,
-        batch: usize,
-        rng: &mut dyn rand::RngCore,
-    ) -> Vec<ServerId> {
-        if batch == 0 {
-            return Vec::new();
-        }
-        let probabilities = self.inner.distribution(ctx, batch);
-        let sampler =
-            AliasSampler::new(&probabilities).expect("solver output is a valid distribution");
-        (0..batch)
-            .map(|_| ServerId::new(sampler.sample(rng)))
-            .collect()
-    }
-}
-
-struct LegacyScdFactory;
-
-impl PolicyFactory for LegacyScdFactory {
-    fn name(&self) -> &str {
-        "SCD(legacy)"
-    }
-    fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
-        Box::new(LegacyScdPolicy {
-            inner: ScdPolicy::new(),
-        })
     }
 }
 
@@ -385,6 +347,10 @@ enum BaselineEngine {
     /// The modern engine — used where the baseline is a *policy path* (the
     /// PR 2 per-batch-rebuild LSQ/LED), not an engine generation.
     Modern,
+    /// The modern engine with round-to-round delta tracking disabled — the
+    /// PR 4-faithful round loop (full cache refresh, no dirty sets). Used
+    /// where the baseline is the PR 4 cold-solve decision path.
+    ModernNoDeltas,
 }
 
 /// The SWEEP row's grid: `SWEEP_REPEATS` consecutive fan-outs over
@@ -438,6 +404,48 @@ fn run_sweep(pooled: bool) -> u64 {
     checksum
 }
 
+/// The IWL row's trajectory: `IWL_ROUNDS` rounds, each mutating
+/// `IWL_DIRTY_PER_ROUND` of the `SERVERS` queues (an engine-style dirty
+/// set), re-deriving the sorted-by-load order either cold (full sort) or
+/// incrementally (`LoadOrder::repair`), then running Algorithm 3 proper
+/// over it.
+const IWL_ROUNDS: u64 = 40_000;
+const IWL_DIRTY_PER_ROUND: usize = 6;
+
+fn run_iwl_bench(incremental: bool) -> u64 {
+    use scd_core::iwl::{compute_iwl_with_order, sorted_by_load_into, LoadOrder};
+    let mut cluster_rng = StdRng::seed_from_u64(SEED);
+    let spec = RateProfile::paper_moderate()
+        .materialize(SERVERS, &mut cluster_rng)
+        .expect("valid profile");
+    let rates = spec.rates().to_vec();
+    let mut queues: Vec<u64> = (0..SERVERS as u64).map(|s| (s * 7) % 20).collect();
+    let mut drift_rng = StdRng::seed_from_u64(SEED ^ 0x1D1);
+    let mut order = LoadOrder::new();
+    order.rebuild(&queues, &rates);
+    let mut scratch: Vec<usize> = Vec::new();
+    let mut dirty: Vec<u32> = Vec::new();
+    let mut checksum = 0u64;
+    for round in 0..IWL_ROUNDS {
+        dirty.clear();
+        for _ in 0..IWL_DIRTY_PER_ROUND {
+            let s = drift_rng.gen_range(0..SERVERS);
+            queues[s] = drift_rng.gen_range(0..25u64);
+            dirty.push(s as u32);
+        }
+        let arrivals = (round % 50) as f64;
+        let iwl = if incremental {
+            order.repair(&queues, &rates, &dirty);
+            compute_iwl_with_order(&queues, &rates, arrivals, order.order())
+        } else {
+            sorted_by_load_into(&queues, &rates, &mut scratch);
+            compute_iwl_with_order(&queues, &rates, arrivals, &scratch)
+        };
+        checksum = checksum.wrapping_add(iwl.to_bits());
+    }
+    checksum
+}
+
 fn main() {
     let config = bench_config();
     println!(
@@ -456,10 +464,13 @@ fn main() {
     );
     let pairs: Vec<Pair> = vec![
         (
+            // The PR 5 headline row: warm-started (verified) solver + engine
+            // dirty sets against the PR 4 cold-solve path on the modern
+            // engine (deltas off, cold trimming every solve).
             "SCD",
-            Box::new(LegacyScdFactory),
+            Box::new(ScdFactory::new().cold_solve()),
             Box::new(ScdFactory::new()),
-            BaselineEngine::LegacyLoop,
+            BaselineEngine::ModernNoDeltas,
         ),
         (
             "JSQ",
@@ -499,10 +510,19 @@ fn main() {
 
     for (policy, baseline_factory, optimized_factory, baseline_engine) in pairs {
         let simulation = Simulation::new(config.clone()).expect("valid configuration");
+        let no_delta_simulation = Simulation::new(config.clone())
+            .expect("valid configuration")
+            .with_delta_rounds(false);
         let run_baseline = || match baseline_engine {
             BaselineEngine::LegacyLoop => run_legacy_engine(&config, baseline_factory.as_ref()),
             BaselineEngine::Modern => {
                 simulation
+                    .run(baseline_factory.as_ref())
+                    .expect("clean run")
+                    .jobs_completed
+            }
+            BaselineEngine::ModernNoDeltas => {
+                no_delta_simulation
                     .run(baseline_factory.as_ref())
                     .expect("clean run")
                     .jobs_completed
@@ -538,6 +558,24 @@ fn main() {
     );
     results.push(PolicyResult {
         policy: "SWEEP",
+        baseline,
+        optimized,
+    });
+
+    // The incremental load order: per-round full sort (allocation-free
+    // `sorted_by_load_into`) vs `LoadOrder::repair` over the engine-style
+    // dirty set, on identical drifting queue trajectories; both paths feed
+    // Algorithm 3 proper and must produce identical IWL bits.
+    let (baseline, optimized) =
+        measure_pair(IWL_ROUNDS, || run_iwl_bench(false), || run_iwl_bench(true));
+    println!(
+        "  IWL   baseline {baseline:>12.0} rounds/s | optimized {optimized:>12.0} rounds/s | \
+         speedup {:.2}x  (full sort vs dirty-set repair, {IWL_DIRTY_PER_ROUND} dirty of \
+         {SERVERS} per round)",
+        optimized / baseline
+    );
+    results.push(PolicyResult {
+        policy: "IWL",
         baseline,
         optimized,
     });

@@ -17,7 +17,7 @@
 //! makes it robust to dispatcher churn.
 
 use crate::estimator::ArrivalEstimator;
-use crate::solver::{solve_round_cached, solve_round_into, ScdScratch, SolverKind};
+use crate::solver::{scd_dispatch_cached, solve_round_into, ScdScratch, SolverKind};
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
@@ -51,6 +51,11 @@ pub struct ScdPolicy {
     probabilities: Vec<f64>,
     /// Reusable alias table for destination sampling.
     sampler: AliasSampler,
+    /// Warm-start the solver's trimming iterations from the previous
+    /// accepted solve (verified, bit-identical — see
+    /// [`solve_round_cached`]). False only for the cold-solve reference
+    /// configuration ([`ScdPolicy::cold_solve`], the bench baseline).
+    warm_start: bool,
 }
 
 impl ScdPolicy {
@@ -73,6 +78,7 @@ impl ScdPolicy {
             scratch: ScdScratch::default(),
             probabilities: Vec::new(),
             sampler: AliasSampler::default(),
+            warm_start: true,
         }
     }
 
@@ -81,6 +87,21 @@ impl ScdPolicy {
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Disables solver warm starting — every round re-derives the trimming
+    /// fixpoints from scratch (the PR 4 decision path). Decisions are
+    /// bit-identical to the warm default for equal seeds; only the cost
+    /// differs. Kept as the engine-throughput baseline and the equivalence
+    /// oracle.
+    pub fn cold_solve(mut self) -> Self {
+        self.warm_start = false;
+        self
+    }
+
+    /// Whether the solver warm-starts from the previous accepted solve.
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
     }
 
     /// The estimator in use.
@@ -105,11 +126,14 @@ impl ScdPolicy {
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
         let mut scratch = ScdScratch::default();
         let mut probabilities = Vec::new();
+        // A one-shot scratch carries no seed, so the warm flag is moot; pass
+        // the configured value anyway for symmetry.
         solve_round_into(
             ctx.queue_lengths(),
             ctx.rates(),
             a_est,
             self.solver,
+            self.warm_start,
             &mut scratch,
             &mut probabilities,
         )
@@ -161,28 +185,42 @@ impl DispatchPolicy for ScdPolicy {
         // when present; both entry points are bit-identical, so direct policy
         // invocations without a cache behave exactly like engine runs.
         match ctx.cache() {
-            Some(cache) => solve_round_cached(
-                ctx.queue_lengths(),
-                ctx.rates(),
-                cache,
-                a_est,
-                self.solver,
-                &mut self.probabilities,
-            ),
-            None => solve_round_into(
-                ctx.queue_lengths(),
-                ctx.rates(),
-                a_est,
-                self.solver,
-                &mut self.scratch,
-                &mut self.probabilities,
-            ),
+            // The one-call dispatch kernel: memoized solve + in-memo alias
+            // tables + sampling (warm mode) or the plain PR 4 decision path
+            // (cold mode) — bit-identical destinations either way.
+            Some(cache) => {
+                scd_dispatch_cached(
+                    ctx.queue_lengths(),
+                    ctx.rates(),
+                    cache,
+                    a_est,
+                    self.solver,
+                    self.warm_start,
+                    batch,
+                    &mut self.probabilities,
+                    &mut self.sampler,
+                    out,
+                    rng,
+                )
+                .expect("cluster state from the engine is always valid");
+            }
+            None => {
+                solve_round_into(
+                    ctx.queue_lengths(),
+                    ctx.rates(),
+                    a_est,
+                    self.solver,
+                    self.warm_start,
+                    &mut self.scratch,
+                    &mut self.probabilities,
+                )
+                .expect("cluster state from the engine is always valid");
+                self.sampler
+                    .rebuild(&self.probabilities)
+                    .expect("solver output is a valid probability vector");
+                out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng))));
+            }
         }
-        .expect("cluster state from the engine is always valid");
-        self.sampler
-            .rebuild(&self.probabilities)
-            .expect("solver output is a valid probability vector");
-        out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng))));
     }
 }
 
@@ -192,6 +230,7 @@ pub struct ScdFactory {
     estimator: ArrivalEstimator,
     solver: SolverKind,
     name: String,
+    warm_start: bool,
 }
 
 impl ScdFactory {
@@ -210,12 +249,22 @@ impl ScdFactory {
             estimator,
             solver,
             name,
+            warm_start: true,
         }
     }
 
     /// Overrides the display name.
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Builds cold-solve policies (see [`ScdPolicy::cold_solve`]) — the
+    /// PR 4 decision path, bit-identical to the warm default for equal
+    /// seeds. Reports carry the same name so warm and cold runs of one seed
+    /// compare equal.
+    pub fn cold_solve(mut self) -> Self {
+        self.warm_start = false;
         self
     }
 }
@@ -232,7 +281,13 @@ impl PolicyFactory for ScdFactory {
     }
 
     fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
-        Box::new(ScdPolicy::with_options(self.estimator, self.solver).with_name(self.name.clone()))
+        let policy =
+            ScdPolicy::with_options(self.estimator, self.solver).with_name(self.name.clone());
+        Box::new(if self.warm_start {
+            policy
+        } else {
+            policy.cold_solve()
+        })
     }
 }
 

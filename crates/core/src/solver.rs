@@ -24,7 +24,7 @@
 //! exhaustive subset search in this module's tests and in `qp.rs`).
 
 use crate::iwl::compute_iwl;
-use scd_model::RoundCache;
+use scd_model::{AliasSampler, RoundCache, WarmSeeds};
 use std::error::Error;
 use std::fmt;
 
@@ -55,7 +55,7 @@ impl fmt::Display for SolverKind {
 
 impl SolverKind {
     /// Stable discriminant used as the [`RoundCache`] solver-memo tag.
-    fn memo_tag(self) -> u8 {
+    pub(crate) fn memo_tag(self) -> u8 {
         match self {
             SolverKind::Fast => 0,
             SolverKind::Quadratic => 1,
@@ -157,6 +157,10 @@ pub struct ScdScratch {
     /// multiplication and the per-decision pipeline performs `O(n)` of them
     /// per pass.
     inv_rates: Vec<f64>,
+    /// Warm-start seeds (previous solve's level and multiplier) for the
+    /// cache-less entry point; the engine path keeps its seeds in the shared
+    /// [`RoundCache`] instead.
+    warm: WarmSeeds,
 }
 
 impl ScdScratch {
@@ -165,6 +169,12 @@ impl ScdScratch {
     /// the lifetime of a simulation run, so the rebuild happens once.
     fn refresh_inv_rates(&mut self, rates: &[f64]) {
         scd_model::refresh_reciprocal_rates(&mut self.rates_snapshot, &mut self.inv_rates, rates);
+    }
+
+    /// The warm-start seed store of this scratch (exposed for tests: the
+    /// `(accepts, fallbacks)` counters show whether the warm path ran).
+    pub fn warm_seeds(&self) -> &WarmSeeds {
+        &self.warm
     }
 }
 
@@ -262,12 +272,509 @@ fn lambda0_by_trimming(rates: &[f64], keys: &[f64], arrivals: f64, iwl: f64) -> 
     lambda0
 }
 
+/// How many verification/refinement passes a warm **water-level** attempt
+/// may spend before giving up. A candidate seeded from a *different*
+/// estimate's active set typically lands above the fixpoint (pouring the
+/// new arrival mass over the old set) and then descends monotonically, one
+/// boundary server per pass — exactly like the cold iteration but starting
+/// nearby instead of at the full set. Each refinement costs one pass, the
+/// same as a cold iteration, so a generous budget only converts would-be
+/// fallbacks (which pay the full cold restart) into successes.
+const WARM_IWL_REFINEMENTS: usize = 6;
+
+/// Refinement budget of the warm **multiplier** attempt. Its fused
+/// verification pass doubles as the probability fill, which makes failed
+/// passes pricier than cold iterations — and in practice the multiplier's
+/// probable set barely moves between nearby solves (first-pass acceptance
+/// dominates), so the budget stays small.
+const WARM_REFINEMENTS: usize = 2;
+
+/// Half-width of the near-boundary rejection window of the warm
+/// verification passes, as a fraction of the candidate's scale. A warm
+/// result is accepted only when **no** server's load (respectively key
+/// margin) lies this close to the verified level (multiplier): near the
+/// boundary the cold iteration's monotonicity clamps can bind, making the
+/// cold result trajectory-dependent rather than the pure fixpoint the warm
+/// path reproduces. The window is ~5 orders of magnitude wider than the
+/// worst-case accumulated rounding of the trimming sums, so clamp-binding
+/// states always fall back to the cold oracle; states this close to
+/// degeneracy are rare, so the fallback costs nothing measurable.
+const WARM_BOUNDARY_GUARD: f64 = 1e-9;
+
+/// The warm level candidate shared by [`warm_iwl`] and
+/// [`warm_fast_solve`]. Preferred source: the active-set sums of an earlier
+/// accepted solve of *this round* (same snapshot, different estimate — the
+/// set was verified as a threshold set of these very loads, so its
+/// index-order sums are exactly what the cold iteration would recompute
+/// over it), which makes the candidate `O(1)`. Otherwise pay one
+/// membership pass over the previous round's accepted level. Returns the
+/// candidate and its set size; `None` when no seed exists or the seed's
+/// set is empty.
+fn level_candidate(
+    queues: &[u64],
+    rates: &[f64],
+    loads: &[f64],
+    arrivals: f64,
+    seeds: &WarmSeeds,
+) -> Option<(f64, usize)> {
+    if let Some((sq, smu, cached_count)) = seeds.level_sums() {
+        return Some(((arrivals + sq) / smu, cached_count));
+    }
+    let seed = seeds.level()?;
+    let mut sq = 0.0;
+    let mut smu = 0.0;
+    let mut count = 0usize;
+    // Branchless membership (the mask multiplies are exactly 1.0 or 0.0,
+    // so the accumulated sums are bit-for-bit the branchy — i.e. cold —
+    // sums: `x + 0.0·y` never changes a non-negative float sum): the
+    // members are scattered in index order, so a data-dependent branch
+    // here mispredicts roughly half the time.
+    for ((&load, &q), &mu) in loads.iter().zip(queues).zip(rates) {
+        let member = load < seed;
+        let mask = member as u64 as f64;
+        sq += mask * (q as f64);
+        smu += mask * mu;
+        count += member as usize;
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(((arrivals + sq) / smu, count))
+}
+
+/// Attempts to reproduce the [`iwl_by_trimming`] fixpoint from the previous
+/// solve's water level instead of descending from the full-set level.
+///
+/// The cold iteration terminates at a *count-stable* pair `(S, L)`:
+/// `L = (a + Σ_S q)/(Σ_S µ)` with `S = {s : loads_s < L}` (its break
+/// condition compares only set sizes, but strict-threshold sets over one
+/// load vector are nested, so equal counts mean equal sets). This function
+/// seeds the membership test with the previous level, recomputes the level
+/// from that set **with the cold iteration's exact expressions and
+/// index-order sums**, and accepts only a verified count-stable fixpoint.
+/// Such a fixpoint is unique (removing a member with `load ≥ L` can only
+/// lower the level, adding one can only raise it — the standard
+/// water-filling exchange argument), so an accepted level is bit-for-bit
+/// the level the cold iteration returns.
+///
+/// Returns `None` — caller falls back to the cold solve — when the seed's
+/// set is empty, the refinement budget is exhausted, or any server sits
+/// *near* the candidate level (within [`WARM_BOUNDARY_GUARD`] of it,
+/// relative to the level's magnitude). Near-boundary servers are where the
+/// cold iteration's monotonicity clamp can bind, which makes its result
+/// trajectory-dependent and **not** a pure fixpoint; the guard window is
+/// many orders of magnitude wider than the accumulated rounding error of
+/// the sums (`n·ε ≈ 1e-14` at `n = 100` versus `1e-9`), so whenever the
+/// clamp could possibly have engaged, the warm path refuses to guess and
+/// lets the oracle decide.
+fn warm_iwl(
+    queues: &[u64],
+    rates: &[f64],
+    loads: &[f64],
+    arrivals: f64,
+    seeds: &WarmSeeds,
+) -> Option<f64> {
+    debug_assert!(arrivals >= 1.0);
+    debug_assert_eq!(loads.len(), queues.len());
+    let (mut level, mut count) = level_candidate(queues, rates, loads, arrivals, seeds)?;
+    for _ in 0..WARM_IWL_REFINEMENTS {
+        // Verification pass: the candidate is accepted iff its own threshold
+        // set is the set it was computed from (count equality suffices —
+        // nested sets) and no load sits near the level (see the guard
+        // constant; the loads and the level are sums of positives, so the
+        // level's rounding error is a small multiple of `ε·level`).
+        let guard = WARM_BOUNDARY_GUARD * (1.0 + level.abs());
+        let mut sq2 = 0.0;
+        let mut smu2 = 0.0;
+        let mut count2 = 0usize;
+        let mut boundary = 0usize;
+        for ((&load, &q), &mu) in loads.iter().zip(queues).zip(rates) {
+            boundary += ((load - level).abs() <= guard) as usize;
+            let member = load < level;
+            let mask = member as u64 as f64;
+            sq2 += mask * (q as f64);
+            smu2 += mask * mu;
+            count2 += member as usize;
+        }
+        if boundary > 0 || count2 == 0 {
+            return None;
+        }
+        if count2 == count {
+            // The verification pass's sums are over the accepted set:
+            // publish them so later solves of this round start O(1).
+            seeds.set_level_sums(sq2, smu2, count2);
+            return Some(level);
+        }
+        count = count2;
+        level = (arrivals + sq2) / smu2;
+    }
+    None
+}
+
+/// Attempts to reproduce the [`lambda0_by_trimming`] fixpoint from the
+/// previous solve's multiplier, filling `out` with the probability vector in
+/// the same pass the verification runs.
+///
+/// Mirror image of [`warm_iwl`]: the cold iteration terminates at a
+/// count-stable `(S, Λ0)` with `S = {s : 2·iwl − key_s > Λ0}` and
+/// `Λ0 = (Σ_S µ(2·iwl − key) − 2(a−1)) / Σ_S µ`, which is unique by the same
+/// exchange argument, so a verified candidate is bit-for-bit the cold
+/// result. The fill uses exactly [`fill_probabilities_cached`]'s arithmetic
+/// (including the final rescale — the running total skips only exact zeros,
+/// which never change a float sum), so an accepted solve's probabilities are
+/// indistinguishable from the cold solve's.
+///
+/// Returns `None` (cold fallback) on an empty seed set, exhausted
+/// refinements, or any margin `2·iwl − key_s` within the near-boundary
+/// guard window of `Λ0` (the multiplier's numerator can cancel, so the
+/// window is scaled by the terms feeding it, not just by `Λ0`).
+fn warm_lambda0_fill(
+    rates: &[f64],
+    keys: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    seed: f64,
+    out: &mut Vec<f64>,
+) -> Option<(f64, f64)> {
+    let (lambda0, dn, count) = lambda_candidate_from_seed(rates, keys, arrivals, 2.0 * iwl, seed)?;
+    warm_lambda_verify_fill(rates, keys, arrivals, iwl, lambda0, dn, count, out)
+}
+
+/// Λ0 pass 1: the candidate multiplier of the seed's probable set, with the
+/// cold iteration's exact accumulation. Returns `(Λ0, Σ_S µ, |S|)`, or
+/// `None` when the seed's set is empty.
+fn lambda_candidate_from_seed(
+    rates: &[f64],
+    keys: &[f64],
+    arrivals: f64,
+    c: f64,
+    seed: f64,
+) -> Option<(f64, f64, usize)> {
+    let mut nm = -2.0 * (arrivals - 1.0);
+    let mut dn = 0.0;
+    let mut count = 0usize;
+    // Branchless membership; the mask multiplies add exact ±0.0 for
+    // non-members, which never changes a float sum — bit-identical to the
+    // cold accumulation (see `warm_fast_solve` for why this matters here).
+    for (&key, &mu) in keys.iter().zip(rates) {
+        let t = c - key;
+        let member = t > seed;
+        let mask = member as u64 as f64;
+        nm += mask * (mu * t);
+        dn += mask * mu;
+        count += member as usize;
+    }
+    if count == 0 {
+        return None;
+    }
+    Some((nm / dn, dn, count))
+}
+
+/// The verification/refinement loop of the warm multiplier stage, starting
+/// from a caller-supplied candidate (`lambda_candidate_from_seed`, or the
+/// speculative fused pass inside [`warm_fast_solve`]). On acceptance `out`
+/// holds the normalized distribution and the returned pair is
+/// `(Λ0, exact index-order sum of out)`.
+#[allow(clippy::too_many_arguments)] // internal stage: the solve's full table set, not a config surface
+fn warm_lambda_verify_fill(
+    rates: &[f64],
+    keys: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    mut lambda0: f64,
+    mut dn: f64,
+    mut count: usize,
+    out: &mut Vec<f64>,
+) -> Option<(f64, f64)> {
+    debug_assert!(arrivals > 1.0);
+    debug_assert_eq!(keys.len(), rates.len());
+    let c = 2.0 * iwl;
+    let inv_2a1 = 1.0 / (2.0 * (arrivals - 1.0));
+    for _ in 0..WARM_REFINEMENTS {
+        // Fused verification + speculative fill: when the candidate
+        // verifies, `out` already holds the (unscaled) distribution. The
+        // guard scale accounts for the cancellation in the numerator: the
+        // member margins are bounded by |c| + |Λ0| and the constant term by
+        // 2(a−1)/Σµ, so the window dominates the sum's rounding error.
+        let guard =
+            WARM_BOUNDARY_GUARD * (1.0 + c.abs() + lambda0.abs() + 2.0 * (arrivals - 1.0) / dn);
+        let c2 = 2.0 * iwl - lambda0;
+        let mut nm2 = -2.0 * (arrivals - 1.0);
+        let mut dn2 = 0.0;
+        let mut count2 = 0usize;
+        let mut boundary = 0usize;
+        let mut total = 0.0;
+        out.clear();
+        // Branchless membership + select-based fill (clipped entries store
+        // and add exact 0.0, which never changes a float sum) — members and
+        // clipped servers are scattered in index order, so data-dependent
+        // branches here would mispredict heavily.
+        for (&key, &mu) in keys.iter().zip(rates) {
+            let t = c - key;
+            boundary += ((t - lambda0).abs() <= guard) as usize;
+            let member = t > lambda0;
+            let mask = member as u64 as f64;
+            nm2 += mask * (mu * t);
+            dn2 += mask * mu;
+            count2 += member as usize;
+            let p = mu * (c2 - key) * inv_2a1;
+            let kept = if p > 0.0 { p } else { 0.0 };
+            total += kept;
+            out.push(kept);
+        }
+        if boundary > 0 || count2 == 0 {
+            return None;
+        }
+        if count2 == count {
+            // Accepted: rescale exactly like `normalize` would, and
+            // accumulate the post-rescale sum in the same pass — the
+            // index-order sum of the stored values, i.e. bit-for-bit what
+            // `AliasSampler::rebuild` would recompute over them (adding
+            // exact zeros never changes a float sum), so the caller can
+            // hand the table construction a precomputed total.
+            debug_assert!(
+                (total - 1.0).abs() < 1e-6,
+                "solver produced probabilities summing to {total}"
+            );
+            let mut post_total = total;
+            if total > 0.0 {
+                let inv_total = 1.0 / total;
+                post_total = 0.0;
+                for p in out.iter_mut() {
+                    *p *= inv_total;
+                    post_total += *p;
+                }
+            }
+            return Some((lambda0, post_total));
+        }
+        count = count2;
+        dn = dn2;
+        lambda0 = nm2 / dn2;
+    }
+    None
+}
+
+/// The complete warm Fast-pipeline solve over shared per-round tables:
+/// verified warm water level with the **multiplier's candidate pass fused
+/// into the level's verification pass** (speculative — from the second
+/// verification on, the level candidate almost always verifies, so the
+/// extra per-element work is spent exactly when it pays), then the fused
+/// multiplier verification/fill.
+///
+/// Returns `None` only when the *level* stage cannot be warm-verified (the
+/// caller then runs the full cold solve). A verified level with a failed
+/// multiplier stage falls back to the cold multiplier internally and still
+/// returns the solve — `(iwl, Some(exact probability sum))` on a fully warm
+/// fill, `(iwl, None)` when the cold fill ran.
+fn warm_fast_solve(
+    queues: &[u64],
+    rates: &[f64],
+    loads: &[f64],
+    keys: &[f64],
+    arrivals: f64,
+    seeds: &WarmSeeds,
+    out: &mut Vec<f64>,
+) -> Option<(f64, Option<f64>)> {
+    debug_assert!(arrivals > SINGLE_JOB_THRESHOLD);
+    let (mut level, mut count) = level_candidate(queues, rates, loads, arrivals, seeds)?;
+    let lambda_seed = seeds.lambda();
+    // Λ0 candidate computed alongside an accepted level verification, when
+    // the fused pass ran: (Λ0, Σ_S µ, |S|).
+    let mut lambda_cand: Option<(f64, f64, usize)> = None;
+    let mut accepted = false;
+    for attempt in 0..WARM_IWL_REFINEMENTS {
+        // Verification pass: the candidate is accepted iff its own threshold
+        // set is the set it was computed from (count equality suffices —
+        // nested sets) and no load sits near the level (see the guard
+        // constant; the loads and the level are sums of positives, so the
+        // level's rounding error is a small multiple of `ε·level`).
+        let guard = WARM_BOUNDARY_GUARD * (1.0 + level.abs());
+        let mut sq2 = 0.0;
+        let mut smu2 = 0.0;
+        let mut count2 = 0usize;
+        let mut boundary = 0usize;
+        // Branchless membership everywhere in these sweeps: the mask
+        // multiplies contribute exactly `1.0·x` or `±0.0`, which never
+        // changes a non-negative (or any) float sum, so the accumulated
+        // values are bit-for-bit the branchy — i.e. cold — sums. Members
+        // are scattered in index order, so data-dependent branches would
+        // mispredict roughly half the time; the selects keep the sweeps
+        // superscalar.
+        //
+        // Speculative fusion: a first verification of a cross-estimate
+        // candidate usually fails even in sorted dispatch order (at high
+        // load the balanced queues pack tightly around the waterline, so
+        // nearly every estimate change moves the active set), but a
+        // *refined* candidate almost always verifies — so from the second
+        // pass on, accumulate the multiplier's seed-set sums (with the
+        // speculative `c = 2·level`) in the same sweep.
+        let speculate = lambda_seed.is_some() && attempt >= 1;
+        if speculate {
+            let lseed = lambda_seed.expect("speculation requires a multiplier seed");
+            let c = 2.0 * level;
+            let mut nm = -2.0 * (arrivals - 1.0);
+            let mut dn = 0.0;
+            let mut lcount = 0usize;
+            for (((&load, &q), &mu), &key) in loads.iter().zip(queues).zip(rates).zip(keys) {
+                boundary += ((load - level).abs() <= guard) as usize;
+                let member = load < level;
+                let mask = member as u64 as f64;
+                sq2 += mask * (q as f64);
+                smu2 += mask * mu;
+                count2 += member as usize;
+                let t = c - key;
+                let lmember = t > lseed;
+                let lmask = lmember as u64 as f64;
+                nm += lmask * (mu * t);
+                dn += lmask * mu;
+                lcount += lmember as usize;
+            }
+            if lcount > 0 {
+                lambda_cand = Some((nm / dn, dn, lcount));
+            }
+        } else {
+            for ((&load, &q), &mu) in loads.iter().zip(queues).zip(rates) {
+                boundary += ((load - level).abs() <= guard) as usize;
+                let member = load < level;
+                let mask = member as u64 as f64;
+                sq2 += mask * (q as f64);
+                smu2 += mask * mu;
+                count2 += member as usize;
+            }
+        }
+        if boundary > 0 || count2 == 0 {
+            return None;
+        }
+        if count2 == count {
+            // The verification pass's sums are over the accepted set:
+            // publish them so later solves of this round start O(1).
+            seeds.set_level_sums(sq2, smu2, count2);
+            accepted = true;
+            break;
+        }
+        lambda_cand = None; // computed against a rejected level
+        count = count2;
+        level = (arrivals + sq2) / smu2;
+    }
+    if !accepted {
+        return None;
+    }
+    seeds.record_accept();
+    seeds.set_level(level);
+    let iwl = level;
+
+    // Multiplier stage: speculative candidate, or a dedicated pass when the
+    // level verified before any fused pass ran.
+    let candidate = lambda_cand.or_else(|| {
+        lambda_seed
+            .and_then(|seed| lambda_candidate_from_seed(rates, keys, arrivals, 2.0 * iwl, seed))
+    });
+    if let Some((lambda0, dn, lcount)) = candidate {
+        if let Some((lambda0, post_total)) =
+            warm_lambda_verify_fill(rates, keys, arrivals, iwl, lambda0, dn, lcount, out)
+        {
+            seeds.record_accept();
+            seeds.set_lambda(lambda0);
+            #[cfg(debug_assertions)]
+            crate::qp::check_kkt(out, queues, rates, arrivals, iwl, 1e-6)
+                .expect("warm-started solve violates the KKT certificate");
+            return Some((iwl, Some(post_total)));
+        }
+        seeds.record_fallback();
+    }
+    let lambda0 = lambda0_by_trimming(rates, keys, arrivals, iwl);
+    fill_probabilities_cached(rates, keys, arrivals, iwl, lambda0, out);
+    seeds.set_lambda(lambda0);
+    Some((iwl, None))
+}
+
+/// The ideal-workload stage shared by the round solvers: warm-started and
+/// verified when `warm` is set and a seed exists, cold otherwise. Always
+/// deposits the accepted level as the next solve's seed (warm mode only).
+fn iwl_stage(
+    queues: &[u64],
+    rates: &[f64],
+    loads: &[f64],
+    arrivals: f64,
+    warm: bool,
+    seeds: &WarmSeeds,
+) -> f64 {
+    if !warm {
+        return iwl_by_trimming(queues, rates, loads, arrivals);
+    }
+    let attemptable = seeds.level_sums().is_some() || seeds.level().is_some();
+    if attemptable {
+        if let Some(level) = warm_iwl(queues, rates, loads, arrivals, seeds) {
+            seeds.record_accept();
+            seeds.set_level(level);
+            return level;
+        }
+        seeds.record_fallback();
+    }
+    let level = iwl_by_trimming(queues, rates, loads, arrivals);
+    seeds.set_level(level);
+    level
+}
+
+/// The multiplier-and-fill stage of the Fast pipeline: warm-started and
+/// verified when `warm` is set, cold otherwise. Returns the exact
+/// index-order sum of the filled probabilities when the pass computed one
+/// (warm accepts do, for free), so dispatch callers can skip the alias
+/// table's summation pass. In debug builds every warm-accepted distribution
+/// is additionally certified against the KKT conditions (`qp::check_kkt`,
+/// Eq. 12) — the release-mode gate is the *stronger* exact fixpoint
+/// verification, which guarantees bit-identity with the cold solve rather
+/// than mere toleranced optimality.
+#[allow(clippy::too_many_arguments)] // internal stage: the solve's full table set, not a config surface
+fn lambda_fill_stage(
+    queues: &[u64],
+    rates: &[f64],
+    keys: &[f64],
+    arrivals: f64,
+    iwl: f64,
+    warm: bool,
+    seeds: &WarmSeeds,
+    out: &mut Vec<f64>,
+) -> Option<f64> {
+    if warm {
+        if let Some(seed) = seeds.lambda() {
+            if let Some((lambda0, post_total)) =
+                warm_lambda0_fill(rates, keys, arrivals, iwl, seed, out)
+            {
+                seeds.record_accept();
+                seeds.set_lambda(lambda0);
+                #[cfg(debug_assertions)]
+                crate::qp::check_kkt(out, queues, rates, arrivals, iwl, 1e-6)
+                    .expect("warm-started solve violates the KKT certificate");
+                return Some(post_total);
+            }
+            seeds.record_fallback();
+        }
+    }
+    let lambda0 = lambda0_by_trimming(rates, keys, arrivals, iwl);
+    fill_probabilities_cached(rates, keys, arrivals, iwl, lambda0, out);
+    if warm {
+        seeds.set_lambda(lambda0);
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = queues;
+    None
+}
+
 /// Solves one complete SCD round — ideal workload (Algorithm 3) plus optimal
 /// probabilities — writing the distribution into `probabilities` and reusing
 /// every intermediate buffer from `scratch`. Returns the ideal workload.
 ///
 /// This is the engine-facing, allocation-free counterpart of [`solve`]; the
 /// results are identical.
+///
+/// With `warm` set, the [`SolverKind::Fast`] pipeline seeds its trimming
+/// iterations from the scratch's previous accepted solve and verifies the
+/// result as an exact fixpoint of the cold iteration (see the module's
+/// warm-verification helpers), falling back to the cold solve on any
+/// verification failure — so the output is **bit-identical** for either
+/// flag value; only the cost differs. [`SolverKind::Quadratic`] (the
+/// run-time comparison baseline) always solves cold.
 ///
 /// # Errors
 /// See [`SolverError`].
@@ -276,11 +783,17 @@ pub fn solve_round_into(
     rates: &[f64],
     arrivals: f64,
     kind: SolverKind,
+    warm: bool,
     scratch: &mut ScdScratch,
     probabilities: &mut Vec<f64>,
 ) -> Result<f64, SolverError> {
     validate(queues, rates, arrivals)?;
     scratch.refresh_inv_rates(rates);
+    let warm = warm && kind == SolverKind::Fast;
+    // The scratch path sees fresh queues on every call, so the in-round
+    // active-set sums can never be reused — advancing the generation keeps
+    // them invalid (only the engine's per-round cache shares them).
+    scratch.warm.advance_generation();
 
     // Ideal workload by sort-free iterative trimming over cached loads.
     scratch.loads.clear();
@@ -290,7 +803,7 @@ pub fn solve_round_into(
             .zip(&scratch.inv_rates)
             .map(|(&q, &inv_mu)| q as f64 * inv_mu),
     );
-    let iwl = iwl_by_trimming(queues, rates, &scratch.loads, arrivals);
+    let iwl = iwl_stage(queues, rates, &scratch.loads, arrivals, warm, &scratch.warm);
 
     if arrivals <= SINGLE_JOB_THRESHOLD {
         single_job_probabilities_into(queues, rates, probabilities);
@@ -306,8 +819,16 @@ pub fn solve_round_into(
                     .zip(&scratch.inv_rates)
                     .map(|(&q, &inv_mu)| (2.0 * q as f64 + 1.0) * inv_mu),
             );
-            let lambda0 = lambda0_by_trimming(rates, &scratch.keys, arrivals, iwl);
-            fill_probabilities_cached(rates, &scratch.keys, arrivals, iwl, lambda0, probabilities);
+            lambda_fill_stage(
+                queues,
+                rates,
+                &scratch.keys,
+                arrivals,
+                iwl,
+                warm,
+                &scratch.warm,
+                probabilities,
+            );
         }
         SolverKind::Quadratic => {
             // Algorithm 1 is kept for run-time comparisons only; it allocates
@@ -341,6 +862,15 @@ pub fn solve_round_into(
 /// The cache must have been refreshed (`begin_round`) from exactly this
 /// `queues`/`rates` pair.
 ///
+/// With `warm` set, the [`SolverKind::Fast`] pipeline additionally seeds its
+/// trimming iterations from the cache's [`WarmSeeds`] — the level and
+/// multiplier of the most recent accepted solve, whether from an earlier
+/// round or an earlier dispatcher of this round — and verifies each result
+/// as an exact fixpoint of the cold iteration, falling back to the cold
+/// solve whenever verification fails. Warm and cold are therefore
+/// **bit-identical** in output; the seeds, like the memo, are pure
+/// accelerators (the engine equivalence tests pin this down).
+///
 /// # Errors
 /// See [`SolverError`].
 pub fn solve_round_cached(
@@ -349,6 +879,7 @@ pub fn solve_round_cached(
     cache: &RoundCache,
     arrivals: f64,
     kind: SolverKind,
+    warm: bool,
     probabilities: &mut Vec<f64>,
 ) -> Result<f64, SolverError> {
     validate(queues, rates, arrivals)?;
@@ -370,19 +901,101 @@ pub fn solve_round_cached(
         return Ok(iwl);
     }
 
-    let iwl = iwl_by_trimming(queues, rates, cache.loads(), arrivals);
+    let (iwl, _total) = solve_round_cached_inner(
+        queues,
+        rates,
+        cache,
+        arrivals,
+        kind,
+        warm,
+        true,
+        probabilities,
+    )?;
+    Ok(iwl)
+}
+
+/// The memo-missed solve shared by [`solve_round_cached`] and
+/// [`scd_dispatch_cached`]: returns the ideal workload plus, when a warm
+/// fill computed it, the exact index-order sum of the probabilities.
+/// `store_probs` controls whether the result is recorded in the
+/// probability memo (the dispatch kernel records finished alias tables
+/// instead — storing the distribution too would be pure copying cost).
+#[allow(clippy::too_many_arguments)] // internal stage: the solve's full table set, not a config surface
+fn solve_round_cached_inner(
+    queues: &[u64],
+    rates: &[f64],
+    cache: &RoundCache,
+    arrivals: f64,
+    kind: SolverKind,
+    warm: bool,
+    store_probs: bool,
+    probabilities: &mut Vec<f64>,
+) -> Result<(f64, Option<f64>), SolverError> {
+    let warm = warm && kind == SolverKind::Fast;
+    let seeds = cache.warm_seeds();
+
+    // The warm cached Fast pipeline runs both stages through the fused
+    // `warm_fast_solve`; every other combination goes through the separate
+    // stages.
+    if warm && kind == SolverKind::Fast && arrivals > SINGLE_JOB_THRESHOLD {
+        // Fallbacks are counted only when a seed existed to attempt (the
+        // first solve of a run has nothing to fall back *from*).
+        let attemptable = seeds.level_sums().is_some() || seeds.level().is_some();
+        let solved = warm_fast_solve(
+            queues,
+            rates,
+            cache.loads(),
+            cache.scd_keys(),
+            arrivals,
+            seeds,
+            probabilities,
+        );
+        let (iwl, total) = match solved {
+            Some(result) => result,
+            None => {
+                // The level stage could not be warm-verified: full cold
+                // solve, re-seeding both stages for the next attempt.
+                if attemptable {
+                    seeds.record_fallback();
+                }
+                let iwl = iwl_by_trimming(queues, rates, cache.loads(), arrivals);
+                seeds.set_level(iwl);
+                let keys = cache.scd_keys();
+                let lambda0 = lambda0_by_trimming(rates, keys, arrivals, iwl);
+                fill_probabilities_cached(rates, keys, arrivals, iwl, lambda0, probabilities);
+                seeds.set_lambda(lambda0);
+                (iwl, None)
+            }
+        };
+        if store_probs {
+            cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
+        }
+        return Ok((iwl, total));
+    }
+
+    let iwl = iwl_stage(queues, rates, cache.loads(), arrivals, warm, seeds);
 
     if arrivals <= SINGLE_JOB_THRESHOLD {
         single_job_probabilities_into(queues, rates, probabilities);
-        cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
-        return Ok(iwl);
+        if store_probs {
+            cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
+        }
+        return Ok((iwl, None));
     }
 
+    let mut total = None;
     match kind {
         SolverKind::Fast => {
-            let keys = cache.scd_keys();
-            let lambda0 = lambda0_by_trimming(rates, keys, arrivals, iwl);
-            fill_probabilities_cached(rates, keys, arrivals, iwl, lambda0, probabilities);
+            total = lambda_fill_stage(
+                queues,
+                rates,
+                cache.scd_keys(),
+                arrivals,
+                iwl,
+                warm,
+                seeds,
+                probabilities,
+            );
         }
         SolverKind::Quadratic => {
             let solution = quadratic(queues, rates, arrivals, iwl)?;
@@ -390,7 +1003,111 @@ pub fn solve_round_cached(
             probabilities.extend_from_slice(&solution.probabilities);
         }
     }
-    cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
+    if store_probs {
+        cache.solver_memo_store(arrivals, kind.memo_tag(), iwl, probabilities);
+    }
+    Ok((iwl, total))
+}
+
+/// One-call dispatch kernel for the engine path: memoized solve,
+/// alias-table construction and destination sampling, with every sharing
+/// opportunity exploited.
+///
+/// * In warm mode the per-round memo holds **finished alias tables built in
+///   place**: the first dispatcher with a given `(a_est, kind)` solves and
+///   builds the table directly inside the memo entry; later equal-estimate
+///   dispatchers sample straight from it — no solve, no construction, no
+///   copying anywhere ([`RoundCache::sampler_memo_draw`]).
+/// * A warm-accepted fill already knows the exact index-order sum of the
+///   probabilities, so the table construction skips its validation and
+///   summation passes ([`AliasSampler::rebuild_with_total`]).
+/// * With `warm == false` the kernel is exactly the PR 4 decision path:
+///   probability memo, a full [`AliasSampler::rebuild`] into the policy's
+///   private `sampler`, then per-job draws. (`sampler` also serves as the
+///   warm path's fallback table when the memo is at capacity.)
+///
+/// The table is a deterministic function of the probability vector, the
+/// solve is bit-identical for either `warm` flag, and every path draws with
+/// the same per-job arithmetic from bit-identical tables, so the appended
+/// destinations are **bit-identical across all of these paths** — the
+/// engine equivalence tests pin this down end to end.
+///
+/// # Errors
+/// See [`SolverError`].
+#[allow(clippy::too_many_arguments)] // engine-facing kernel: the full decision state, not a config surface
+pub fn scd_dispatch_cached(
+    queues: &[u64],
+    rates: &[f64],
+    cache: &RoundCache,
+    arrivals: f64,
+    kind: SolverKind,
+    warm: bool,
+    batch: usize,
+    probabilities: &mut Vec<f64>,
+    sampler: &mut AliasSampler,
+    out: &mut Vec<scd_model::ServerId>,
+    rng: &mut dyn rand::RngCore,
+) -> Result<f64, SolverError> {
+    validate(queues, rates, arrivals)?;
+    if cache.num_servers() != queues.len()
+        || cache.loads().len() != queues.len()
+        || cache.scd_keys().len() != queues.len()
+    {
+        return Err(SolverError::InvalidCluster {
+            queues: queues.len(),
+            rates: cache.loads().len().min(cache.num_servers()),
+        });
+    }
+    let tag = kind.memo_tag();
+    if warm {
+        if let Some(iwl) = cache.sampler_memo_draw(arrivals, tag, batch, out, rng) {
+            return Ok(iwl);
+        }
+        let (iwl, total) = solve_round_cached_inner(
+            queues,
+            rates,
+            cache,
+            arrivals,
+            kind,
+            true,
+            false,
+            probabilities,
+        )?;
+        if !cache.sampler_memo_build_draw(arrivals, tag, iwl, probabilities, total, batch, out, rng)
+        {
+            // Memo at capacity: build a private table and draw from it —
+            // same table bits, same draw arithmetic.
+            match total {
+                Some(total) if total > 0.0 => sampler.rebuild_with_total(probabilities, total),
+                _ => sampler
+                    .rebuild(probabilities)
+                    .expect("solver output is a valid probability vector"),
+            }
+            out.extend((0..batch).map(|_| scd_model::ServerId::new(sampler.sample(rng))));
+        }
+        return Ok(iwl);
+    }
+    // Cold: the PR 4 decision path, verbatim.
+    let iwl = match cache.solver_memo_lookup(arrivals, tag, probabilities) {
+        Some(iwl) => iwl,
+        None => {
+            let (iwl, _total) = solve_round_cached_inner(
+                queues,
+                rates,
+                cache,
+                arrivals,
+                kind,
+                false,
+                true,
+                probabilities,
+            )?;
+            iwl
+        }
+    };
+    sampler
+        .rebuild(probabilities)
+        .expect("solver output is a valid probability vector");
+    out.extend((0..batch).map(|_| scd_model::ServerId::new(sampler.sample(rng))));
     Ok(iwl)
 }
 
@@ -1044,7 +1761,8 @@ mod tests {
             for kind in [SolverKind::Fast, SolverKind::Quadratic] {
                 let reference = solve(&queues, &rates, a, kind).unwrap();
                 let iwl =
-                    solve_round_into(&queues, &rates, a, kind, &mut scratch, &mut probs).unwrap();
+                    solve_round_into(&queues, &rates, a, kind, true, &mut scratch, &mut probs)
+                        .unwrap();
                 assert!(
                     (iwl - reference.iwl).abs() < 1e-12,
                     "case {case} ({kind}): iwl {iwl} vs {}",
@@ -1079,11 +1797,19 @@ mod tests {
             };
             cache.begin_round(&queues, &rates);
             for kind in [SolverKind::Fast, SolverKind::Quadratic] {
-                let iwl_a =
-                    solve_round_into(&queues, &rates, a, kind, &mut scratch, &mut probs_scratch)
+                let iwl_a = solve_round_into(
+                    &queues,
+                    &rates,
+                    a,
+                    kind,
+                    true,
+                    &mut scratch,
+                    &mut probs_scratch,
+                )
+                .unwrap();
+                let iwl_b =
+                    solve_round_cached(&queues, &rates, &cache, a, kind, true, &mut probs_cached)
                         .unwrap();
-                let iwl_b = solve_round_cached(&queues, &rates, &cache, a, kind, &mut probs_cached)
-                    .unwrap();
                 // Bit-identical, not merely close: the cached tables use the
                 // same arithmetic as the private scratch.
                 assert_eq!(
@@ -1120,15 +1846,23 @@ mod tests {
             &rates,
             a_est,
             SolverKind::Fast,
+            true,
             &mut scratch,
             &mut reference,
         )
         .unwrap();
         let mut probs = Vec::new();
         for dispatcher in 0..10 {
-            let iwl =
-                solve_round_cached(&queues, &rates, &cache, a_est, SolverKind::Fast, &mut probs)
-                    .unwrap();
+            let iwl = solve_round_cached(
+                &queues,
+                &rates,
+                &cache,
+                a_est,
+                SolverKind::Fast,
+                true,
+                &mut probs,
+            )
+            .unwrap();
             assert_eq!(iwl.to_bits(), ref_iwl.to_bits(), "dispatcher {dispatcher}");
             assert_eq!(probs.len(), reference.len());
             for (s, (got, want)) in probs.iter().zip(&reference).enumerate() {
@@ -1152,8 +1886,16 @@ mod tests {
         // Three distinct estimates, each solved twice: 3 misses + 3 hits.
         for _ in 0..2 {
             for a_est in [5.0, 10.0, 15.0] {
-                solve_round_cached(&queues, &rates, &cache, a_est, SolverKind::Fast, &mut probs)
-                    .unwrap();
+                solve_round_cached(
+                    &queues,
+                    &rates,
+                    &cache,
+                    a_est,
+                    SolverKind::Fast,
+                    true,
+                    &mut probs,
+                )
+                .unwrap();
             }
         }
         assert_eq!(cache.solver_memo_stats(), (3, 3));
@@ -1164,6 +1906,7 @@ mod tests {
             &cache,
             5.0,
             SolverKind::Quadratic,
+            true,
             &mut probs,
         )
         .unwrap();
@@ -1178,6 +1921,7 @@ mod tests {
             &cache,
             5.0,
             SolverKind::Fast,
+            true,
             &mut fresh,
         )
         .unwrap();
@@ -1196,9 +1940,16 @@ mod tests {
         cache.begin_round(&queues, &rates);
         let mut probs = Vec::new();
         for _ in 0..3 {
-            let iwl =
-                solve_round_cached(&queues, &rates, &cache, 1.0, SolverKind::Fast, &mut probs)
-                    .unwrap();
+            let iwl = solve_round_cached(
+                &queues,
+                &rates,
+                &cache,
+                1.0,
+                SolverKind::Fast,
+                true,
+                &mut probs,
+            )
+            .unwrap();
             assert_eq!(probs, vec![0.0, 1.0, 0.0]);
             assert!(iwl.is_finite());
         }
@@ -1217,6 +1968,7 @@ mod tests {
             &cache,
             5.0,
             SolverKind::Fast,
+            true,
             &mut probs,
         )
         .unwrap_err();
@@ -1241,6 +1993,7 @@ mod tests {
             &rates,
             a,
             SolverKind::Fast,
+            true,
             &mut scratch,
             &mut probs,
         )
@@ -1264,6 +2017,7 @@ mod tests {
                 &rates,
                 9.0,
                 SolverKind::Fast,
+                true,
                 &mut scratch,
                 &mut probs,
             )
@@ -1272,6 +2026,210 @@ mod tests {
                 assert!((got - want).abs() < 1e-12, "n={n}: {got} vs {want}");
             }
         }
+    }
+
+    /// The PR 5 warm-start guarantee, hammered at the unit level: over long
+    /// drifting queue trajectories (arrivals/departures mutate a few servers
+    /// per round, like the engine's rounds do), the warm-started cached
+    /// solver returns **bit-for-bit** the cold solver's output every round,
+    /// and the warm path actually engages (accept counter advances).
+    #[test]
+    fn warm_started_solves_are_bit_identical_to_cold_over_drifting_rounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5A3D);
+        for case in 0..30 {
+            let n = rng.gen_range(2..80);
+            // Mix of heterogeneous and homogeneous clusters — the latter
+            // produce exact key/load ties, the warm path's hardest inputs.
+            let rates: Vec<f64> = if case % 3 == 0 {
+                vec![rng.gen_range(1..5) as f64; n]
+            } else {
+                (0..n).map(|_| rng.gen_range(0.5..20.0)).collect()
+            };
+            let mut queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..15)).collect();
+            let mut warm_cache = RoundCache::new();
+            let mut cold_cache = RoundCache::new();
+            let mut warm_probs = Vec::new();
+            let mut cold_probs = Vec::new();
+            for round in 0..120 {
+                // Drift a handful of queues (including occasional spikes).
+                for _ in 0..rng.gen_range(0..n.div_ceil(8) + 1) {
+                    let s = rng.gen_range(0..n);
+                    queues[s] = if rng.gen_range(0..4) == 0 {
+                        rng.gen_range(0..30)
+                    } else {
+                        (queues[s] + rng.gen_range(0..3)).saturating_sub(rng.gen_range(0..3))
+                    };
+                }
+                warm_cache.begin_round(&queues, &rates);
+                cold_cache.begin_round(&queues, &rates);
+                // A couple of nearby estimates per round, like m dispatchers
+                // whose batch sizes fluctuate.
+                for _ in 0..3 {
+                    let a = if rng.gen_range(0..10) == 0 {
+                        1.0
+                    } else {
+                        rng.gen_range(2..60) as f64 + f64::from(rng.gen_range(0..2))
+                    };
+                    let warm_iwl = solve_round_cached(
+                        &queues,
+                        &rates,
+                        &warm_cache,
+                        a,
+                        SolverKind::Fast,
+                        true,
+                        &mut warm_probs,
+                    )
+                    .unwrap();
+                    let cold_iwl = solve_round_cached(
+                        &queues,
+                        &rates,
+                        &cold_cache,
+                        a,
+                        SolverKind::Fast,
+                        false,
+                        &mut cold_probs,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        warm_iwl.to_bits(),
+                        cold_iwl.to_bits(),
+                        "case {case} round {round}: iwl diverged"
+                    );
+                    assert_eq!(warm_probs.len(), cold_probs.len());
+                    for (s, (w, c)) in warm_probs.iter().zip(&cold_probs).enumerate() {
+                        assert_eq!(
+                            w.to_bits(),
+                            c.to_bits(),
+                            "case {case} round {round}: p[{s}] {w} vs {c}"
+                        );
+                    }
+                }
+            }
+            let (accepts, _fallbacks) = warm_cache.warm_seeds().stats();
+            assert!(
+                accepts > 0,
+                "case {case}: warm path never engaged over 120 drifting rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_scratch_path_matches_cold_scratch_path_bit_for_bit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB007);
+        let n = 40usize;
+        let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..10.0)).collect();
+        let mut queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+        let mut warm_scratch = ScdScratch::default();
+        let mut cold_scratch = ScdScratch::default();
+        let mut warm_probs = Vec::new();
+        let mut cold_probs = Vec::new();
+        for round in 0..200 {
+            let s = rng.gen_range(0..n);
+            queues[s] = rng.gen_range(0..12);
+            let a = rng.gen_range(2..40) as f64;
+            let warm_iwl = solve_round_into(
+                &queues,
+                &rates,
+                a,
+                SolverKind::Fast,
+                true,
+                &mut warm_scratch,
+                &mut warm_probs,
+            )
+            .unwrap();
+            let cold_iwl = solve_round_into(
+                &queues,
+                &rates,
+                a,
+                SolverKind::Fast,
+                false,
+                &mut cold_scratch,
+                &mut cold_probs,
+            )
+            .unwrap();
+            assert_eq!(warm_iwl.to_bits(), cold_iwl.to_bits(), "round {round}");
+            for (w, c) in warm_probs.iter().zip(&cold_probs) {
+                assert_eq!(w.to_bits(), c.to_bits(), "round {round}");
+            }
+        }
+        let (accepts, _) = warm_scratch.warm_seeds().stats();
+        assert!(accepts > 0, "warm scratch path never engaged");
+    }
+
+    #[test]
+    fn warm_path_survives_the_boundary_oscillation_instance() {
+        // The homogeneous regression state whose Λ0 fixpoint sits on an
+        // exact probable-set boundary: the warm path must either verify or
+        // fall back — and in both cases reproduce the cold bits.
+        let queues: Vec<u64> = vec![10, 8, 7, 0, 8, 0, 9, 2, 0, 5, 11, 5, 5, 7, 7, 5, 9, 4, 9, 1];
+        let rates = vec![3.0f64; 20];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let mut cold = Vec::new();
+        let cold_iwl = solve_round_cached(
+            &queues,
+            &rates,
+            &cache,
+            44.0,
+            SolverKind::Fast,
+            false,
+            &mut cold,
+        )
+        .unwrap();
+        // Seed the warm path with adversarial levels around the fixpoint —
+        // verification must reject any seed that would change the result.
+        for seed_shift in [-1.0, -1e-12, 0.0, 1e-12, 1.0] {
+            let warm_cache = {
+                let mut c = RoundCache::new();
+                c.begin_round(&queues, &rates);
+                c.warm_seeds().set_level(cold_iwl + seed_shift);
+                c.warm_seeds().set_lambda(-0.25 + seed_shift);
+                c
+            };
+            let mut warm = Vec::new();
+            let warm_iwl = solve_round_cached(
+                &queues,
+                &rates,
+                &warm_cache,
+                44.0,
+                SolverKind::Fast,
+                true,
+                &mut warm,
+            )
+            .unwrap();
+            assert_eq!(warm_iwl.to_bits(), cold_iwl.to_bits(), "shift {seed_shift}");
+            for (w, c) in warm.iter().zip(&cold) {
+                assert_eq!(w.to_bits(), c.to_bits(), "shift {seed_shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_kind_ignores_warm_seeds() {
+        let queues = [4u64, 0, 2];
+        let rates = [2.0, 1.0, 5.0];
+        let mut cache = RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        cache.warm_seeds().set_level(123.0);
+        cache.warm_seeds().set_lambda(-9.0);
+        let mut probs = Vec::new();
+        solve_round_cached(
+            &queues,
+            &rates,
+            &cache,
+            7.0,
+            SolverKind::Quadratic,
+            true,
+            &mut probs,
+        )
+        .unwrap();
+        let reference = solve(&queues, &rates, 7.0, SolverKind::Quadratic).unwrap();
+        for (got, want) in probs.iter().zip(&reference.probabilities) {
+            assert!((got - want).abs() < 1e-12);
+        }
+        // The quadratic baseline neither consumed nor updated the seeds.
+        assert_eq!(cache.warm_seeds().stats(), (0, 0));
+        assert_eq!(cache.warm_seeds().level(), Some(123.0));
     }
 
     #[test]

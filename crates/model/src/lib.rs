@@ -69,7 +69,9 @@ pub use error::ModelError;
 pub use ids::{DispatcherId, ServerId};
 pub use policy::{BoxedPolicy, DispatchPolicy, PolicyFactory};
 pub use probability::ProbabilityVector;
-pub use round_cache::{reciprocal_rates, refresh_reciprocal_rates, CacheDemand, RoundCache};
+pub use round_cache::{
+    reciprocal_rates, refresh_reciprocal_rates, CacheDemand, RoundCache, WarmSeeds,
+};
 pub use sampler::{AliasSampler, CdfSampler};
 pub use snapshot::DispatchContext;
 pub use spec::{ClusterSpec, RateProfile};

@@ -82,6 +82,113 @@ pub enum CacheDemand {
 /// distinct estimates simply solve unmemoized).
 const SOLVER_MEMO_CAP: usize = 32;
 
+/// Warm-start seeds for an iterative solver, plus accept/fallback counters.
+///
+/// The cells are opaque to this crate: the SCD solver (in `scd-core`) stores
+/// the previous solve's water level and Lagrange multiplier here and uses
+/// them to seed the next solve's trimming iterations. Seeds are **hints, not
+/// state**: every use is verified against the current inputs and discarded
+/// on verification failure, so a stale (or adversarial) seed can cost time
+/// but never change a result. They therefore survive
+/// [`RoundCache::begin_round`] deliberately — the previous round's level is
+/// exactly the warm start the next round wants.
+///
+/// Interior mutability (like the solver memo) lets the solver update the
+/// seeds through the shared immutable view policies hold.
+#[derive(Debug, Clone, Default)]
+pub struct WarmSeeds {
+    level: std::cell::Cell<Option<f64>>,
+    lambda: std::cell::Cell<Option<f64>>,
+    /// `(Σ_S q, Σ_S µ, |S|)` of the last accepted level's active set,
+    /// valid only within the round (generation) it was computed in: the
+    /// sums read the round's queue snapshot, which the next `begin_round*`
+    /// invalidates.
+    level_sums: std::cell::Cell<Option<(f64, f64, usize)>>,
+    /// The cache generation `level_sums` belongs to.
+    sums_generation: std::cell::Cell<u64>,
+    /// Bumped by the owner on every round refresh (see
+    /// [`RoundCache::begin_round_for`]).
+    generation: std::cell::Cell<u64>,
+    accepts: std::cell::Cell<u64>,
+    fallbacks: std::cell::Cell<u64>,
+}
+
+impl WarmSeeds {
+    /// Creates empty seeds (first use always takes the cold path).
+    pub fn new() -> Self {
+        WarmSeeds::default()
+    }
+
+    /// The previous solve's water level, if any.
+    pub fn level(&self) -> Option<f64> {
+        self.level.get()
+    }
+
+    /// Stores the accepted water level for the next solve.
+    pub fn set_level(&self, level: f64) {
+        self.level.set(Some(level));
+    }
+
+    /// The previous solve's Lagrange multiplier, if any.
+    pub fn lambda(&self) -> Option<f64> {
+        self.lambda.get()
+    }
+
+    /// Stores the accepted multiplier for the next solve.
+    pub fn set_lambda(&self, lambda: f64) {
+        self.lambda.set(Some(lambda));
+    }
+
+    /// The `(Σ_S q, Σ_S µ, |S|)` sums of the last accepted level's active
+    /// set, if they were recorded **in the current generation** (i.e. for
+    /// this round's snapshot). Within one round the snapshot is fixed, so a
+    /// later solve of the same round can derive its level candidate from
+    /// these sums in `O(1)` instead of a membership pass.
+    pub fn level_sums(&self) -> Option<(f64, f64, usize)> {
+        if self.sums_generation.get() == self.generation.get() {
+            self.level_sums.get()
+        } else {
+            None
+        }
+    }
+
+    /// Records the accepted level's active-set sums for the current
+    /// generation.
+    pub fn set_level_sums(&self, sq: f64, smu: f64, count: usize) {
+        self.level_sums.set(Some((sq, smu, count)));
+        self.sums_generation.set(self.generation.get());
+    }
+
+    /// Starts a new generation (round): in-round caches like
+    /// [`level_sums`](WarmSeeds::level_sums) become stale; the cross-round
+    /// seeds (level, lambda) stay.
+    pub fn advance_generation(&self) {
+        self.generation.set(self.generation.get().wrapping_add(1));
+    }
+
+    /// Counts one verified warm solve.
+    pub fn record_accept(&self) {
+        self.accepts.set(self.accepts.get() + 1);
+    }
+
+    /// Counts one rejected warm attempt (the solve fell back to cold).
+    pub fn record_fallback(&self) {
+        self.fallbacks.set(self.fallbacks.get() + 1);
+    }
+
+    /// Cumulative `(accepts, fallbacks)` over this seed store's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accepts.get(), self.fallbacks.get())
+    }
+
+    /// Drops the seeds (counters survive); the next solve runs cold.
+    pub fn clear(&self) {
+        self.level.set(None);
+        self.lambda.set(None);
+        self.level_sums.set(None);
+    }
+}
+
 /// One memoized per-round solver result.
 #[derive(Debug, Clone, Default)]
 struct SolverMemoEntry {
@@ -93,6 +200,13 @@ struct SolverMemoEntry {
     iwl: f64,
     /// The probability vector the solve produced.
     probabilities: Vec<f64>,
+    /// The alias table built from `probabilities`, once some dispatcher
+    /// attached it ([`RoundCache::sampler_memo_attach`]); later dispatchers
+    /// with the same estimate copy the finished table instead of rebuilding
+    /// it.
+    sampler: crate::sampler::AliasSampler,
+    /// Whether `sampler` holds the table for this entry's probabilities.
+    has_sampler: bool,
 }
 
 /// Derived per-round tables shared (read-only) by all dispatchers of a round.
@@ -121,6 +235,14 @@ pub struct RoundCache {
     loads: Vec<f64>,
     /// Corollary 1 candidate keys `(2q_s + 1)/µ_s` (same reciprocal trick).
     scd_keys: Vec<f64>,
+    /// The queue snapshot the tables were last refreshed from — the change
+    /// detector that lets [`begin_round_delta`](RoundCache::begin_round_delta)
+    /// repair only the servers the engine reports dirty.
+    queues_snapshot: Vec<u64>,
+    /// The demand level the last refresh actually filled tables for.
+    ready_demand: CacheDemand,
+    /// Warm-start seeds for the SCD solver (see [`WarmSeeds`]).
+    warm: WarmSeeds,
     /// Per-round solver memo (see the module docs). Entries beyond
     /// `memo_live` are dead but keep their buffers for reuse.
     memo: std::cell::RefCell<Vec<SolverMemoEntry>>,
@@ -164,8 +286,13 @@ impl RoundCache {
             "queue-length and rate vectors must describe the same cluster"
         );
         refresh_reciprocal_rates(&mut self.rates_snapshot, &mut self.inv_rates, rates);
-        // The memoized solves describe the previous round's snapshot.
+        // The memoized solves (and the warm in-round sums) describe the
+        // previous round's snapshot.
         self.memo_live.set(0);
+        self.warm.advance_generation();
+        self.queues_snapshot.clear();
+        self.queues_snapshot.extend_from_slice(queues);
+        self.ready_demand = demand;
         self.loads.clear();
         self.scd_keys.clear();
         if demand < CacheDemand::SolverTables {
@@ -183,6 +310,84 @@ impl RoundCache {
                 .zip(&self.inv_rates)
                 .map(|(&q, &inv_mu)| (2.0 * q as f64 + 1.0) * inv_mu),
         );
+    }
+
+    /// Delta refresh: repairs only the servers the engine reports dirty
+    /// instead of refilling every per-round table.
+    ///
+    /// `dirty` must be a superset of the servers whose queue length differs
+    /// from the snapshot of the previous `begin_round*` call (the engine's
+    /// round-to-round dirty set satisfies this by construction; duplicates
+    /// are harmless). The repaired entries are computed with exactly the
+    /// arithmetic of the full refresh over unchanged reciprocals, so a delta
+    /// round is **bit-identical** to [`begin_round_for`] — asserted in debug
+    /// builds by comparing the tracked snapshot against `queues`.
+    ///
+    /// Falls back to the full refresh whenever the incremental invariants do
+    /// not hold: first use, a cluster-size or rate change, or a demand wider
+    /// than the previous refresh filled.
+    ///
+    /// [`begin_round_for`]: RoundCache::begin_round_for
+    ///
+    /// # Panics
+    /// Panics if `queues` and `rates` differ in length or `dirty` names a
+    /// server out of range.
+    pub fn begin_round_delta(
+        &mut self,
+        queues: &[u64],
+        rates: &[f64],
+        dirty: &[u32],
+        demand: CacheDemand,
+    ) {
+        assert_eq!(
+            queues.len(),
+            rates.len(),
+            "queue-length and rate vectors must describe the same cluster"
+        );
+        if self.queues_snapshot.len() != queues.len()
+            || self.rates_snapshot != rates
+            || self.ready_demand != demand
+            || dirty.len() * 2 >= queues.len()
+        {
+            // First use, a cluster change, a demand change (wider demands
+            // need tables the last refresh skipped; narrower demands must
+            // clear tables so out-of-contract reads keep failing loudly) —
+            // or a dirty set dense enough that branchy per-entry repair
+            // costs more than the straight-line full refill.
+            self.begin_round_for(queues, rates, demand);
+            return;
+        }
+        self.memo_live.set(0);
+        self.warm.advance_generation();
+        if demand >= CacheDemand::SolverTables {
+            for &s in dirty {
+                let s = s as usize;
+                let q = queues[s];
+                if self.queues_snapshot[s] == q {
+                    continue;
+                }
+                let inv_mu = self.inv_rates[s];
+                self.loads[s] = q as f64 * inv_mu;
+                self.scd_keys[s] = (2.0 * q as f64 + 1.0) * inv_mu;
+                self.queues_snapshot[s] = q;
+            }
+        } else {
+            for &s in dirty {
+                let s = s as usize;
+                self.queues_snapshot[s] = queues[s];
+            }
+        }
+        debug_assert_eq!(
+            self.queues_snapshot, queues,
+            "dirty set missed a changed server — the engine's delta contract is broken"
+        );
+    }
+
+    /// The warm-start seed store the SCD solver shares across rounds (see
+    /// [`WarmSeeds`]). Seeds survive `begin_round*` on purpose — they are
+    /// verified hints, not per-round state.
+    pub fn warm_seeds(&self) -> &WarmSeeds {
+        &self.warm
     }
 
     /// Number of servers the tables describe.
@@ -221,6 +426,16 @@ impl RoundCache {
         let memo = self.memo.borrow();
         for entry in &memo[..self.memo_live.get()] {
             if entry.kind == kind && entry.a_est.to_bits() == a_est.to_bits() {
+                if entry.probabilities.is_empty() {
+                    // The entry was created by the dispatch-kernel path
+                    // ([`sampler_memo_build_draw`](RoundCache::sampler_memo_build_draw)),
+                    // which stores only the finished table: there is no
+                    // distribution to return, so report a miss and let the
+                    // caller re-solve instead of handing back an empty
+                    // vector. (A solved distribution always has one entry
+                    // per server, so emptiness is an unambiguous marker.)
+                    break;
+                }
                 out.clear();
                 out.extend_from_slice(&entry.probabilities);
                 self.memo_hits.set(self.memo_hits.get() + 1);
@@ -249,15 +464,112 @@ impl RoundCache {
             entry.iwl = iwl;
             entry.probabilities.clear();
             entry.probabilities.extend_from_slice(probabilities);
+            entry.has_sampler = false;
         } else {
             memo.push(SolverMemoEntry {
                 a_est,
                 kind,
                 iwl,
                 probabilities: probabilities.to_vec(),
+                sampler: crate::sampler::AliasSampler::default(),
+                has_sampler: false,
             });
         }
         self.memo_live.set(live + 1);
+    }
+
+    /// Draws `batch` destinations straight from the memoized **alias
+    /// table** for `(a_est, kind)`, with zero copying: the table lives
+    /// inside the memo entry ([`sampler_memo_build_draw`]) and the draws
+    /// are bit-identical to draws from any private rebuild of the same
+    /// probabilities. Returns the memoized ideal workload on a hit; `None`
+    /// when no entry (or no table) exists — the caller solves and calls
+    /// [`sampler_memo_build_draw`](RoundCache::sampler_memo_build_draw).
+    ///
+    /// Hits count toward [`solver_memo_stats`](RoundCache::solver_memo_stats);
+    /// misses are not counted here (the caller's fallback path counts its
+    /// own lookup).
+    ///
+    /// [`sampler_memo_build_draw`]: RoundCache::sampler_memo_build_draw
+    pub fn sampler_memo_draw(
+        &self,
+        a_est: f64,
+        kind: u8,
+        batch: usize,
+        out: &mut Vec<crate::ServerId>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<f64> {
+        let memo = self.memo.borrow();
+        for entry in &memo[..self.memo_live.get()] {
+            if entry.kind == kind && entry.a_est.to_bits() == a_est.to_bits() {
+                if !entry.has_sampler {
+                    return None;
+                }
+                out.extend((0..batch).map(|_| crate::ServerId::new(entry.sampler.sample(rng))));
+                self.memo_hits.set(self.memo_hits.get() + 1);
+                return Some(entry.iwl);
+            }
+        }
+        None
+    }
+
+    /// Builds the alias table for `(a_est, kind)` **in place inside a fresh
+    /// memo entry** — via [`AliasSampler::rebuild_with_total`] when the
+    /// caller knows the exact index-order weight sum, the validating
+    /// [`AliasSampler::rebuild`] otherwise — draws `batch` destinations
+    /// from it, and returns `true`. Returns `false` without drawing when
+    /// the memo is at capacity (the caller builds a private table instead).
+    ///
+    /// The created entry carries an **empty probability vector**: dispatch
+    /// consumers share finished tables, so storing the distribution twice
+    /// would be pure copying cost.
+    /// [`solver_memo_lookup`](RoundCache::solver_memo_lookup) treats such
+    /// an entry as a miss (emptiness is unambiguous — a solved
+    /// distribution always has one entry per server), so mixing the two
+    /// consumption styles under one key is safe, merely unshared.
+    ///
+    /// [`AliasSampler::rebuild_with_total`]: crate::AliasSampler::rebuild_with_total
+    /// [`AliasSampler::rebuild`]: crate::AliasSampler::rebuild
+    #[allow(clippy::too_many_arguments)] // engine-facing dispatch path: full decision state
+    pub fn sampler_memo_build_draw(
+        &self,
+        a_est: f64,
+        kind: u8,
+        iwl: f64,
+        weights: &[f64],
+        total: Option<f64>,
+        batch: usize,
+        out: &mut Vec<crate::ServerId>,
+        rng: &mut dyn rand::RngCore,
+    ) -> bool {
+        let live = self.memo_live.get();
+        if live >= SOLVER_MEMO_CAP {
+            return false;
+        }
+        let mut memo = self.memo.borrow_mut();
+        if live >= memo.len() {
+            memo.push(SolverMemoEntry::default());
+        }
+        let entry = &mut memo[live];
+        entry.a_est = a_est;
+        entry.kind = kind;
+        entry.iwl = iwl;
+        entry.probabilities.clear();
+        match total {
+            Some(total) if total > 0.0 => entry.sampler.rebuild_with_total(weights, total),
+            _ => {
+                if entry.sampler.rebuild(weights).is_err() {
+                    // Degenerate weights cannot come out of a successful
+                    // solve; refuse the entry and let the caller's private
+                    // rebuild surface the error.
+                    return false;
+                }
+            }
+        }
+        entry.has_sampler = true;
+        self.memo_live.set(live + 1);
+        out.extend((0..batch).map(|_| crate::ServerId::new(entry.sampler.sample(rng))));
+        true
     }
 
     /// Cumulative `(hits, misses)` of the solver memo over this cache's
@@ -377,6 +689,132 @@ mod tests {
         assert!(cache
             .solver_memo_lookup(SOLVER_MEMO_CAP as f64, 0, &mut out)
             .is_none());
+    }
+
+    #[test]
+    fn delta_refresh_matches_the_full_refresh_bit_for_bit() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD1217);
+        let n = 24usize;
+        let rates: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..12.0)).collect();
+        let mut queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+        let mut delta = RoundCache::new();
+        let mut full = RoundCache::new();
+        delta.begin_round_delta(&queues, &rates, &[], CacheDemand::SolverTables);
+        full.begin_round(&queues, &rates);
+        for _round in 0..200 {
+            // Mutate a few servers; the dirty set lists them (with a
+            // duplicate and an unchanged server to exercise both edges).
+            let k = rng.gen_range(0..5usize);
+            let mut dirty: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n) as u32).collect();
+            for &s in &dirty {
+                queues[s as usize] = rng.gen_range(0..20);
+            }
+            if k > 0 {
+                dirty.push(dirty[0]);
+            }
+            dirty.push(rng.gen_range(0..n) as u32); // possibly unchanged
+            let extra = *dirty.last().unwrap() as usize;
+            let _ = extra;
+            delta.begin_round_delta(&queues, &rates, &dirty, CacheDemand::SolverTables);
+            full.begin_round(&queues, &rates);
+            assert_eq!(delta.loads(), full.loads());
+            assert_eq!(delta.scd_keys(), full.scd_keys());
+            assert_eq!(delta.inv_rates(), full.inv_rates());
+        }
+    }
+
+    #[test]
+    fn delta_refresh_falls_back_on_shape_or_demand_changes() {
+        let mut cache = RoundCache::new();
+        // First use: no snapshot yet → full refresh despite the empty dirty
+        // set.
+        cache.begin_round_delta(&[3, 1], &[2.0, 1.0], &[], CacheDemand::SolverTables);
+        assert_eq!(cache.loads(), &[1.5, 1.0]);
+        // Cluster-size change → full refresh.
+        cache.begin_round_delta(&[1, 1, 1], &[1.0, 2.0, 4.0], &[], CacheDemand::SolverTables);
+        assert_eq!(cache.loads(), &[1.0, 0.5, 0.25]);
+        // A reciprocal-only refresh empties the tables; widening the demand
+        // afterwards must refill them in full.
+        cache.begin_round_delta(
+            &[2, 1, 1],
+            &[1.0, 2.0, 4.0],
+            &[0],
+            CacheDemand::ReciprocalRates,
+        );
+        assert!(cache.loads().is_empty());
+        cache.begin_round_delta(
+            &[4, 1, 1],
+            &[1.0, 2.0, 4.0],
+            &[0],
+            CacheDemand::SolverTables,
+        );
+        assert_eq!(cache.loads(), &[4.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn delta_refresh_invalidates_the_solver_memo() {
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[1, 2], &[1.0, 2.0]);
+        cache.solver_memo_store(4.0, 0, 2.0, &[1.0, 0.0]);
+        let mut out = Vec::new();
+        assert!(cache.solver_memo_lookup(4.0, 0, &mut out).is_some());
+        cache.begin_round_delta(&[1, 3], &[1.0, 2.0], &[1], CacheDemand::SolverTables);
+        assert_eq!(cache.solver_memo_lookup(4.0, 0, &mut out), None);
+    }
+
+    #[test]
+    fn warm_seeds_round_trip_and_survive_rounds() {
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[1, 2], &[1.0, 2.0]);
+        assert_eq!(cache.warm_seeds().level(), None);
+        cache.warm_seeds().set_level(1.25);
+        cache.warm_seeds().set_lambda(-0.5);
+        cache.warm_seeds().record_accept();
+        cache.warm_seeds().record_fallback();
+        // Seeds are verified hints: they deliberately survive the per-round
+        // invalidation that clears the solver memo.
+        cache.begin_round(&[5, 2], &[1.0, 2.0]);
+        assert_eq!(cache.warm_seeds().level(), Some(1.25));
+        assert_eq!(cache.warm_seeds().lambda(), Some(-0.5));
+        assert_eq!(cache.warm_seeds().stats(), (1, 1));
+        cache.warm_seeds().clear();
+        assert_eq!(cache.warm_seeds().level(), None);
+        assert_eq!(cache.warm_seeds().stats(), (1, 1), "counters survive clear");
+    }
+
+    #[test]
+    fn probability_lookup_misses_sampler_only_entries() {
+        // The dispatch kernel stores table-only entries (empty probability
+        // vector); a probability-memo consumer hitting the same key must
+        // see a miss and re-solve, never an empty distribution.
+        use rand::SeedableRng;
+        let mut cache = RoundCache::new();
+        cache.begin_round(&[3, 1], &[2.0, 1.0]);
+        let mut out = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut draws = Vec::new();
+        assert!(cache.sampler_memo_build_draw(
+            6.0,
+            0,
+            1.25,
+            &[0.5, 0.5],
+            None,
+            4,
+            &mut draws,
+            &mut rng
+        ));
+        assert_eq!(draws.len(), 4);
+        assert_eq!(
+            cache.solver_memo_lookup(6.0, 0, &mut out),
+            None,
+            "table-only entries must not satisfy probability lookups"
+        );
+        // The table itself keeps serving draws.
+        assert!(cache
+            .sampler_memo_draw(6.0, 0, 2, &mut draws, &mut rng)
+            .is_some());
     }
 
     #[test]

@@ -76,6 +76,103 @@ impl AliasSampler {
         if total <= 0.0 {
             return Err(ModelError::DegenerateWeights);
         }
+        self.rebuild_scaled(weights, total);
+        Ok(())
+    }
+
+    /// Like [`rebuild`](AliasSampler::rebuild) for a caller that already
+    /// knows the weights are valid **and** knows their sum: skips the
+    /// validation and summation passes. The resulting table is
+    /// **bit-identical** to `rebuild(weights)`'s provided `total` equals
+    /// `weights.iter().sum::<f64>()` bit-for-bit — e.g. a sum accumulated
+    /// in index order while the weights were being written (the SCD
+    /// solver's normalization pass does exactly that). Both contracts are
+    /// checked in debug builds.
+    pub fn rebuild_with_total(&mut self, weights: &[f64], total: f64) {
+        debug_assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "rebuild_with_total requires validated weights"
+        );
+        debug_assert_eq!(
+            total.to_bits(),
+            weights.iter().sum::<f64>().to_bits(),
+            "rebuild_with_total requires the exact index-order sum"
+        );
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "rebuild_with_total requires a non-empty, non-degenerate weight vector"
+        );
+        let n = weights.len();
+        // One fused pass: scale to mean 1.0 and classify small/large. The
+        // table slots are resized without zeroing — the pairing and
+        // leftover loops below write every slot exactly once (each index
+        // exits the worklists through exactly one of them).
+        let scale = n as f64 / total;
+        self.remaining.clear();
+        self.small.clear();
+        self.large.clear();
+        self.keep.resize(n, 0.0);
+        self.alias.resize(n, 0);
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w * scale;
+            self.remaining.push(p);
+            if p < 1.0 {
+                self.small.push(i);
+            } else {
+                self.large.push(i);
+            }
+        }
+        // Register-held pairing: [`pair_and_finish`] pops the active large
+        // column and pushes it back every iteration (it usually survives
+        // several pairings); holding it in a local until it drains performs
+        // the *identical pairing sequence* — the popped small is always the
+        // small stack's top, the active large is always what the large
+        // stack's top would have been — so the finished table is
+        // bit-identical, at a fraction of the stack traffic. The leftover
+        // writes are independent (`keep = 1`, self-alias), so their order
+        // does not matter either.
+        let mut large_top = self.large.len();
+        let mut active: Option<usize> = None;
+        while let Some(&s) = self.small.last() {
+            let l = match active {
+                Some(l) => l,
+                None => {
+                    if large_top == 0 {
+                        break;
+                    }
+                    large_top -= 1;
+                    self.large[large_top]
+                }
+            };
+            self.small.pop();
+            self.keep[s] = self.remaining[s];
+            self.alias[s] = l;
+            self.remaining[l] = (self.remaining[l] + self.remaining[s]) - 1.0;
+            if self.remaining[l] < 1.0 {
+                active = None;
+                self.small.push(l);
+            } else {
+                active = Some(l);
+            }
+        }
+        if let Some(l) = active {
+            self.keep[l] = 1.0;
+            self.alias[l] = l;
+        }
+        for &l in &self.large[..large_top] {
+            self.keep[l] = 1.0;
+            self.alias[l] = l;
+        }
+        for &s in self.small.iter() {
+            self.keep[s] = 1.0;
+            self.alias[s] = s;
+        }
+    }
+
+    /// The construction body shared by [`rebuild`](AliasSampler::rebuild)
+    /// and [`rebuild_with_total`](AliasSampler::rebuild_with_total):
+    /// everything after input validation and summation.
+    fn rebuild_scaled(&mut self, weights: &[f64], total: f64) {
         let n = weights.len();
 
         // Scaled probabilities: mean 1.0.
@@ -96,6 +193,12 @@ impl AliasSampler {
                 self.large.push(i);
             }
         }
+        self.pair_and_finish();
+    }
+
+    /// Walker/Vose pairing over the prepared `remaining`/`small`/`large`
+    /// state; writes every `keep`/`alias` slot exactly once.
+    fn pair_and_finish(&mut self) {
         while let (Some(&s), Some(&l)) = (self.small.last(), self.large.last()) {
             self.small.pop();
             self.large.pop();
@@ -117,7 +220,6 @@ impl AliasSampler {
             self.keep[s] = 1.0;
             self.alias[s] = s;
         }
-        Ok(())
     }
 
     /// Number of categories.
@@ -361,6 +463,36 @@ mod tests {
         assert_eq!(sampler.len(), 4);
         let c: Vec<usize> = sampler.sample_many(200, &mut StdRng::seed_from_u64(8));
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rebuild_with_total_matches_rebuild_bit_for_bit() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(0xA11A5);
+        let mut fast = AliasSampler::default();
+        let mut reference = AliasSampler::default();
+        for case in 0..300 {
+            let n = rng.gen_range(1..80);
+            let weights: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.gen_range(0..4) == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..2.0f64)
+                    }
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            reference.rebuild(&weights).unwrap();
+            fast.rebuild_with_total(&weights, total);
+            // Identical tables → identical draws for identical RNG streams.
+            let a = reference.sample_many(64, &mut StdRng::seed_from_u64(case));
+            let b = fast.sample_many(64, &mut StdRng::seed_from_u64(case));
+            assert_eq!(a, b, "case {case}: tables diverged");
+        }
     }
 
     #[test]

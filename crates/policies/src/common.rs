@@ -3,7 +3,7 @@
 use rand::Rng;
 use rand::RngCore;
 use scd_core::index::{scan_argmin, TournamentTree};
-use scd_model::{BoxedPolicy, ClusterSpec, DispatcherId, PolicyFactory};
+use scd_model::{BoxedPolicy, ClusterSpec, DispatchContext, DispatcherId, PolicyFactory};
 use std::sync::Arc;
 
 /// The boxed builder closure a [`NamedFactory`] wraps.
@@ -258,6 +258,91 @@ impl BatchArgmin {
             self.tree.update_key(slot, key);
         }
     }
+}
+
+/// Round tracker for a policy's persistent mirror of the engine's queue
+/// snapshot (see [`sync_snapshot_mirror`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotSync {
+    /// The round whose snapshot the mirror was last synced to.
+    synced_round: Option<u64>,
+}
+
+/// Repairs a policy's persistent local mirror of the true queue lengths from
+/// the engine's round-to-round dirty set, marking every changed slot dirty
+/// on the warm `picker`.
+///
+/// The mirror invariant this maintains: after syncing at round `t`, `local`
+/// equals the round-`t` snapshot. The policy may then overlay its own
+/// in-batch placements, **recording each touched slot in `touched`**: the
+/// engine's dirty set is the exact snapshot diff, so a slot the policy
+/// inflated whose true length did not change (the server completed as many
+/// jobs as it received) appears in `touched` but not in the dirty set — the
+/// sync re-checks both. The delta path applies only when the context
+/// carries a dirty set *and* the mirror was synced at round `t − 1` (an
+/// unbroken chain); otherwise — first round, direct invocations, delta
+/// tracking disabled, or a skipped round — a full compare-and-mark pass
+/// runs. `touched` is drained either way.
+///
+/// **Dirty availability is invisible to decisions**: both paths mark exactly
+/// the slots whose mirrored value changed (the delta path can do so because
+/// unlisted servers are guaranteed unchanged), neither consumes randomness,
+/// and the warm picker's priority epochs advance identically. Runs with and
+/// without engine delta tracking are therefore bit-identical — the engine
+/// equivalence tests pin this down.
+///
+/// A cluster-size change resets the mirror and invalidates the picker.
+/// Syncing twice in one round (observe + dispatch) is a no-op.
+pub fn sync_snapshot_mirror(
+    local: &mut Vec<u64>,
+    picker: &mut BatchArgmin,
+    sync: &mut SnapshotSync,
+    ctx: &DispatchContext<'_>,
+    touched: &mut Vec<u32>,
+) {
+    let queues = ctx.queue_lengths();
+    let round = ctx.round();
+    if local.len() != queues.len() {
+        local.clear();
+        local.extend_from_slice(queues);
+        picker.invalidate();
+        touched.clear();
+        sync.synced_round = Some(round);
+        return;
+    }
+    if sync.synced_round == Some(round) {
+        return;
+    }
+    let chained = sync
+        .synced_round
+        .is_some_and(|r| round == r.wrapping_add(1));
+    match ctx.dirty_servers() {
+        Some(dirty) if chained => {
+            for &s in touched.iter().chain(dirty) {
+                let s = s as usize;
+                if local[s] != queues[s] {
+                    local[s] = queues[s];
+                    picker.mark_dirty(s);
+                }
+            }
+            debug_assert_eq!(
+                local.as_slice(),
+                queues,
+                "dirty set + own touched slots missed a change — \
+                 the engine's delta contract is broken"
+            );
+        }
+        _ => {
+            for (s, (mine, &truth)) in local.iter_mut().zip(queues).enumerate() {
+                if *mine != truth {
+                    *mine = truth;
+                    picker.mark_dirty(s);
+                }
+            }
+        }
+    }
+    touched.clear();
+    sync.synced_round = Some(round);
 }
 
 /// Returns the index minimizing `score`, breaking ties uniformly at random.

@@ -147,12 +147,19 @@ impl DispatchPolicy for LedPolicy {
                 self.picker.mark_dirty(i);
             }
         }
-        // Re-anchor a few entries with the ground truth.
+        // Re-anchor a few entries with the ground truth. Like LSQ, only
+        // probes that actually move the estimate dirty the warm tree (LED's
+        // keys live on per-dispatcher estimates the engine cannot see, so
+        // the marks are policy-derived, not taken from the context's dirty
+        // set — that set describes the true queues, not this replica).
         let n = ctx.num_servers();
         for _ in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
-            self.estimates[target] = ctx.queue_len(ServerId::new(target)) as f64;
-            self.picker.mark_dirty(target);
+            let truth = ctx.queue_len(ServerId::new(target)) as f64;
+            if self.estimates[target] != truth {
+                self.estimates[target] = truth;
+                self.picker.mark_dirty(target);
+            }
         }
     }
 

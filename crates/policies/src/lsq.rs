@@ -156,9 +156,18 @@ impl DispatchPolicy for LsqPolicy {
         let n = ctx.num_servers();
         for _ in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
-            self.local[target] = ctx.queue_len(ServerId::new(target));
-            // The warm tree still holds the pre-probe key for this slot.
-            self.picker.mark_dirty(target);
+            let truth = ctx.queue_len(ServerId::new(target));
+            // Mark only probes that actually moved the estimate: a confirmed
+            // entry leaves the warm tree's key valid, so repairing it would
+            // be redundant work (near stationarity most probes confirm).
+            // LSQ's keys live on the *local* estimates — per-dispatcher
+            // state the engine cannot see — so the policy derives its own
+            // marks rather than consuming `ctx.dirty_servers()` (the dirty
+            // set speaks about the true queues, not about this replica).
+            if self.local[target] != truth {
+                self.local[target] = truth;
+                self.picker.mark_dirty(target);
+            }
         }
     }
 

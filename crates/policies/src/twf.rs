@@ -66,6 +66,10 @@ impl TwfPolicy {
             &self.unit_rates,
             a_est,
             SolverKind::Fast,
+            // Warm starting is a verified, bit-identical accelerator (see
+            // `solve_round_into`); TWF's queue states drift exactly like
+            // SCD's, so the same seeds apply.
+            true,
             &mut self.scratch,
             &mut probabilities,
         )
@@ -116,6 +120,10 @@ impl DispatchPolicy for TwfPolicy {
             &self.unit_rates,
             a_est,
             SolverKind::Fast,
+            // Warm starting is a verified, bit-identical accelerator (see
+            // `solve_round_into`); TWF's queue states drift exactly like
+            // SCD's, so the same seeds apply.
+            true,
             &mut self.scratch,
             &mut self.probabilities,
         )

@@ -72,6 +72,9 @@ use scd_model::streams::{
 #[derive(Debug, Clone)]
 pub struct Simulation {
     config: SimConfig,
+    /// Whether the round loop tracks round-to-round dirty sets and hands
+    /// them to policies/caches (see [`Simulation::with_delta_rounds`]).
+    delta_rounds: bool,
 }
 
 impl Simulation {
@@ -97,12 +100,30 @@ impl Simulation {
                 config.warmup_rounds, config.rounds
             )));
         }
-        Ok(Simulation { config })
+        Ok(Simulation {
+            config,
+            delta_rounds: true,
+        })
     }
 
     /// The configuration this simulation runs.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Enables or disables round-to-round delta tracking (default: enabled).
+    ///
+    /// With deltas enabled the engine collects each round's dirty set — the
+    /// dispatch targets plus the servers whose queues completed jobs — and
+    /// exposes it through [`DispatchContext::dirty_servers`] and the
+    /// [`RoundCache`] delta refresh, so warm per-round structures repair
+    /// only what changed. The dirty set is a **pure accelerator**: reports
+    /// are bit-identical for either setting (pinned by the engine
+    /// equivalence tests); disabling it reconstructs the PR 4 round loop
+    /// for apples-to-apples benchmarking.
+    pub fn with_delta_rounds(mut self, enabled: bool) -> Self {
+        self.delta_rounds = enabled;
+        self
     }
 
     /// Runs the configured system under the given policy and collects the
@@ -151,6 +172,23 @@ impl Simulation {
         let mut snapshot: Vec<u64> = vec![0; n];
         let mut arrivals: Vec<u64> = Vec::with_capacity(m);
         let mut assignment: Vec<ServerId> = Vec::new();
+        // Round-to-round dirty tracking (`with_delta_rounds`): `dirty` lists
+        // the servers whose queue length changed between the previous
+        // round's snapshot and this one's. The engine computes it **inside
+        // the snapshot pass it already performs** — one compare per server
+        // against the old snapshot value — so the set is exact (dispatch
+        // targets ∪ servers with completions, minus no-net-change servers),
+        // deduplicated, ascending, and costs one branch per server.
+        let track_deltas = self.delta_rounds;
+        let mut dirty: Vec<u32> = Vec::new();
+        // Delta mode dispatches in ascending batch-size order (engine-known
+        // before any dispatch): consecutive SCD estimates `m·a(d)` then
+        // differ minimally, which is exactly what the solver's in-round
+        // warm seeds want. Order is decision-invisible — each dispatcher
+        // owns its RNG stream and sees the same snapshot, and same-round
+        // pushes merge per server — so reports are bit-identical to the
+        // `0..m` order (pinned by the delta on/off equivalence tests).
+        let mut dispatch_order: Vec<u32> = (0..m as u32).collect();
         // Shared per-round compute cache: derived tables (reciprocal rates,
         // loads, solver keys) are identical across the m dispatchers of a
         // round, so the engine computes them once and hands out immutable
@@ -183,18 +221,42 @@ impl Simulation {
 
         for round in 0..config.rounds {
             let measured_round = round >= warmup;
-            // The queue-length snapshot every dispatcher observes this round.
-            for (slot, queue) in snapshot.iter_mut().zip(&queues) {
-                *slot = queue.len();
+            // The queue-length snapshot every dispatcher observes this
+            // round; with delta tracking the same pass diffs it against the
+            // previous round's values to produce the dirty set.
+            if track_deltas {
+                dirty.clear();
+                for (s, (slot, queue)) in snapshot.iter_mut().zip(&queues).enumerate() {
+                    let len = queue.len();
+                    if *slot != len {
+                        *slot = len;
+                        dirty.push(s as u32);
+                    }
+                }
+            } else {
+                for (slot, queue) in snapshot.iter_mut().zip(&queues) {
+                    *slot = queue.len();
+                }
             }
             if measured_round {
                 tracker.observe(&snapshot);
             }
+            // Round 0 has no predecessor snapshot, so no delta information.
+            let have_deltas = track_deltas && round > 0;
             let ctx = if cache_demand > CacheDemand::None {
-                round_cache.begin_round_for(&snapshot, rates, cache_demand);
+                if have_deltas {
+                    round_cache.begin_round_delta(&snapshot, rates, &dirty, cache_demand);
+                } else {
+                    round_cache.begin_round_for(&snapshot, rates, cache_demand);
+                }
                 DispatchContext::with_cache(&snapshot, rates, m, round, &round_cache)
             } else {
                 DispatchContext::new(&snapshot, rates, m, round)
+            };
+            let ctx = if have_deltas {
+                ctx.with_dirty(&dirty)
+            } else {
+                ctx
             };
 
             // Phase 1: arrivals.
@@ -202,34 +264,102 @@ impl Simulation {
             arrivals.extend(arrival_processes.iter().map(|p| p.sample(&mut arrival_rng)));
 
             // Phase 2: dispatching. All dispatchers see the same snapshot and
-            // act independently.
+            // act independently (so the iteration order is free — see
+            // `dispatch_order` above).
             for d in 0..m {
                 policies[d].observe_round(&ctx, &mut policy_rngs[d]);
             }
-            for d in 0..m {
+            if track_deltas {
+                dispatch_order.sort_unstable_by_key(|&d| (arrivals[d as usize], d));
+            }
+            // Without delta tracking `dispatch_order` stays `0..m` — the
+            // PR 4 iteration order.
+            for &d in &dispatch_order {
+                let d = d as usize;
                 let batch = arrivals[d] as usize;
                 if batch == 0 {
                     continue;
                 }
                 assignment.clear();
-                if let Some(samples) = decision_times.as_mut() {
-                    let start = Instant::now();
-                    policies[d].dispatch_into(&ctx, batch, &mut assignment, &mut policy_rngs[d]);
-                    if measured_round {
+                match decision_times.as_mut() {
+                    // Warm-up decisions are never recorded, so they skip the
+                    // two `Instant::now()` reads as well — warm-up rounds
+                    // run at full (unmeasured) speed.
+                    Some(samples) if measured_round => {
+                        let start = Instant::now();
+                        policies[d].dispatch_into(
+                            &ctx,
+                            batch,
+                            &mut assignment,
+                            &mut policy_rngs[d],
+                        );
                         samples.record(start.elapsed().as_secs_f64() * 1e6);
                     }
-                } else {
-                    policies[d].dispatch_into(&ctx, batch, &mut assignment, &mut policy_rngs[d]);
+                    _ => {
+                        policies[d].dispatch_into(
+                            &ctx,
+                            batch,
+                            &mut assignment,
+                            &mut policy_rngs[d],
+                        );
+                    }
                 }
-                validate_assignment(&assignment, batch, n).map_err(|source| {
-                    SimError::PolicyViolation {
+                if track_deltas {
+                    // Fused validate + coalesced push: a policy violation
+                    // aborts the whole run (partial pushes are discarded
+                    // with it), so validation and enqueueing can share one
+                    // pass, with the same error semantics as
+                    // `validate_assignment` (arity first, then the first
+                    // out-of-range destination in order). Same-server runs
+                    // collapse into one RLE segment push each — identical
+                    // queue state, since same-round pushes merge inside the
+                    // segment anyway. (Runs rather than full per-batch
+                    // counts on purpose: a scatter/gather count pass
+                    // measured *slower* than the back-merges it saves for
+                    // spread-out assignments like SCD's alias draws.)
+                    let violation = |source| SimError::PolicyViolation {
                         policy: factory.name().to_string(),
                         dispatcher: d,
                         source,
+                    };
+                    if assignment.len() != batch {
+                        return Err(violation(ModelError::AssignmentArity {
+                            got: assignment.len(),
+                            expected: batch,
+                        }));
                     }
-                })?;
-                for &server in &assignment {
-                    queues[server.index()].push(round, 1);
+                    let mut i = 0;
+                    while i < assignment.len() {
+                        let server = assignment[i];
+                        if server.index() >= n {
+                            return Err(violation(ModelError::UnknownServer {
+                                server: server.index(),
+                                num_servers: n,
+                            }));
+                        }
+                        let mut count = 1u64;
+                        while i + (count as usize) < assignment.len()
+                            && assignment[i + count as usize] == server
+                        {
+                            count += 1;
+                        }
+                        queues[server.index()].push(round, count);
+                        i += count as usize;
+                    }
+                } else {
+                    // The PR 4-faithful loop: validation pass, then one
+                    // push per job (same queue state — same-round pushes
+                    // merge inside the segment).
+                    validate_assignment(&assignment, batch, n).map_err(|source| {
+                        SimError::PolicyViolation {
+                            policy: factory.name().to_string(),
+                            dispatcher: d,
+                            source,
+                        }
+                    })?;
+                    for &server in &assignment {
+                        queues[server.index()].push(round, 1);
+                    }
                 }
                 if measured_round {
                     jobs_dispatched += batch as u64;
