@@ -113,6 +113,7 @@ fn bench_config() -> SimConfig {
         },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
+        scenario: scd_sim::ScenarioSpec::default(),
     }
 }
 
@@ -378,6 +379,7 @@ fn sweep_cell_config(cell: usize) -> SimConfig {
         },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
+        scenario: scd_sim::ScenarioSpec::default(),
     }
 }
 

@@ -35,6 +35,7 @@ fn bench_simulation(c: &mut Criterion) {
                     arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: 0.95 },
                     services: ServiceModel::Geometric,
                     measure_decision_times: false,
+                    scenario: scd_sim::ScenarioSpec::default(),
                 };
                 let simulation = Simulation::new(config).expect("valid configuration");
                 let factory = factory_by_name(policy_name).expect("registered policy");

@@ -127,7 +127,8 @@ impl TournamentTree {
     /// `key` and `prio` are evaluated once per slot, in index order.
     ///
     /// # Panics
-    /// Panics (debug builds) if a key is not finite.
+    /// Panics (debug builds) if a key is NaN. `+INFINITY` is a legal key
+    /// (availability masks use it to bench down servers).
     pub fn rebuild<K, P>(&mut self, n: usize, mut key: K, mut prio: P)
     where
         K: FnMut(usize) -> f64,
@@ -152,7 +153,7 @@ impl TournamentTree {
         }
         for i in 0..n {
             let k = key(i);
-            debug_assert!(k.is_finite(), "tournament keys must be finite, got {k}");
+            debug_assert!(!k.is_nan(), "tournament keys must not be NaN");
             self.keys[i] = k;
             self.prios[i] = prio(i);
         }
@@ -201,10 +202,10 @@ impl TournamentTree {
     /// changed slot; see [`apply_updates`](TournamentTree::apply_updates).)
     ///
     /// # Panics
-    /// Panics if `slot >= len()`; debug builds also reject non-finite keys.
+    /// Panics if `slot >= len()`; debug builds also reject NaN keys.
     pub fn update_key(&mut self, slot: usize, key: f64) {
         assert!(slot < self.n, "slot {slot} out of range {}", self.n);
-        debug_assert!(key.is_finite(), "tournament keys must be finite, got {key}");
+        debug_assert!(!key.is_nan(), "tournament keys must not be NaN");
         self.keys[slot] = key;
         let slot = slot as u32;
         let mut node = (self.size + slot as usize) >> 1;
@@ -245,7 +246,7 @@ impl TournamentTree {
     /// choice is invisible to callers.
     ///
     /// # Panics
-    /// Panics if any slot is `>= len()`; debug builds also reject non-finite
+    /// Panics if any slot is `>= len()`; debug builds also reject NaN
     /// keys.
     pub fn apply_updates<K>(&mut self, slots: &[u32], mut key: K)
     where
@@ -258,7 +259,7 @@ impl TournamentTree {
             let s = slot as usize;
             assert!(s < self.n, "slot {s} out of range {}", self.n);
             let k = key(s);
-            debug_assert!(k.is_finite(), "tournament keys must be finite, got {k}");
+            debug_assert!(!k.is_nan(), "tournament keys must not be NaN");
             self.keys[s] = k;
         }
         if self.size <= 1 {

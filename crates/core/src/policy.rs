@@ -51,6 +51,10 @@ pub struct ScdPolicy {
     probabilities: Vec<f64>,
     /// Reusable alias table for destination sampling.
     sampler: AliasSampler,
+    /// Reusable compacted queue/rate buffers for availability-masked rounds
+    /// (down servers are removed before the solve; see `dispatch_into`).
+    masked_queues: Vec<u64>,
+    masked_rates: Vec<f64>,
     /// Warm-start the solver's trimming iterations from the previous
     /// accepted solve (verified, bit-identical — see
     /// [`solve_round_cached`]). False only for the cold-solve reference
@@ -78,6 +82,8 @@ impl ScdPolicy {
             scratch: ScdScratch::default(),
             probabilities: Vec::new(),
             sampler: AliasSampler::default(),
+            masked_queues: Vec::new(),
+            masked_rates: Vec::new(),
             warm_start: true,
         }
     }
@@ -126,6 +132,35 @@ impl ScdPolicy {
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
         let mut scratch = ScdScratch::default();
         let mut probabilities = Vec::new();
+        if let Some(avail) = ctx.active_mask() {
+            // Same compact-solve-and-scatter as the masked dispatch path:
+            // down servers carry zero probability.
+            let queues = ctx.queue_lengths();
+            let rates = ctx.rates();
+            let compact_queues: Vec<u64> = avail
+                .up_list()
+                .iter()
+                .map(|&s| queues[s as usize])
+                .collect();
+            let compact_rates: Vec<f64> =
+                avail.up_list().iter().map(|&s| rates[s as usize]).collect();
+            let mut compact = Vec::new();
+            solve_round_into(
+                &compact_queues,
+                &compact_rates,
+                a_est,
+                self.solver,
+                self.warm_start,
+                &mut scratch,
+                &mut compact,
+            )
+            .expect("the up subset of an engine cluster state is always valid");
+            probabilities = vec![0.0; queues.len()];
+            for (pos, &s) in avail.up_list().iter().enumerate() {
+                probabilities[s as usize] = compact[pos];
+            }
+            return probabilities;
+        }
         // A one-shot scratch carries no seed, so the warm flag is moot; pass
         // the configured value anyway for symmetry.
         solve_round_into(
@@ -181,6 +216,40 @@ impl DispatchPolicy for ScdPolicy {
             return;
         }
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
+        if let Some(avail) = ctx.active_mask() {
+            // Availability-masked round: down servers must receive zero
+            // probability, which the water-filling solver expresses naturally
+            // when they are simply absent. Compact the up servers' (q, µ)
+            // into dense buffers, solve the reduced problem, and map sampled
+            // positions back through the up list. SCD stays memoryless, so
+            // the reduced problem is exactly SCD on the surviving cluster.
+            let queues = ctx.queue_lengths();
+            let rates = ctx.rates();
+            self.masked_queues.clear();
+            self.masked_rates.clear();
+            for &s in avail.up_list() {
+                self.masked_queues.push(queues[s as usize]);
+                self.masked_rates.push(rates[s as usize]);
+            }
+            solve_round_into(
+                &self.masked_queues,
+                &self.masked_rates,
+                a_est,
+                self.solver,
+                self.warm_start,
+                &mut self.scratch,
+                &mut self.probabilities,
+            )
+            .expect("the up subset of an engine cluster state is always valid");
+            self.sampler
+                .rebuild(&self.probabilities)
+                .expect("solver output is a valid probability vector");
+            out.extend(
+                (0..batch)
+                    .map(|_| ServerId::new(avail.up_list()[self.sampler.sample(rng)] as usize)),
+            );
+            return;
+        }
         // Prefer the engine's shared per-round tables (loads, solver keys)
         // when present; both entry points are bit-identical, so direct policy
         // invocations without a cache behave exactly like engine runs.

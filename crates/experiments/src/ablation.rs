@@ -95,6 +95,7 @@ impl EstimatorAblation {
                 },
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
+                scenario: scd_sim::ScenarioSpec::default(),
             };
             let report = Simulation::new(config)
                 .expect("experiment configurations are valid")
@@ -175,6 +176,7 @@ pub fn solver_equivalence_check(
         arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
+        scenario: scd_sim::ScenarioSpec::default(),
     };
     let simulation = Simulation::new(config).expect("valid configuration");
     let fast = ScdFactory::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast);

@@ -36,6 +36,17 @@ pub struct CliOptions {
     /// reports; `1` is bit-identical to the unsharded engine). Figure
     /// binaries note and ignore the flag.
     pub shards: usize,
+    /// Scenario file (`key = value` lines) describing faults, churn,
+    /// staleness and probe loss for the `sweep` binary. Figure binaries note
+    /// and ignore the flag.
+    pub scenario: Option<PathBuf>,
+    /// Fixed snapshot staleness `k` in rounds (overrides the scenario file's
+    /// staleness when both are given).
+    pub stale_k: Option<u64>,
+    /// Per-round per-server crash probability (overrides the scenario file's
+    /// `server_fail_rate`; a default repair rate of 0.1 is supplied when the
+    /// scenario would otherwise never repair).
+    pub fail_rate: Option<f64>,
 }
 
 impl Default for CliOptions {
@@ -52,6 +63,9 @@ impl Default for CliOptions {
             threads: None,
             replications: 1,
             shards: 1,
+            scenario: None,
+            stale_k: None,
+            fail_rate: None,
         }
     }
 }
@@ -125,6 +139,28 @@ impl CliOptions {
                     let value = iter.next().ok_or("--csv requires a directory")?;
                     options.csv = Some(PathBuf::from(value));
                 }
+                "--scenario" => {
+                    let value = iter.next().ok_or("--scenario requires a file")?;
+                    options.scenario = Some(PathBuf::from(value));
+                }
+                "--stale-k" => {
+                    let value = iter.next().ok_or("--stale-k requires a value")?;
+                    options.stale_k = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("invalid --stale-k value: {value}"))?,
+                    );
+                }
+                "--fail-rate" => {
+                    let value = iter.next().ok_or("--fail-rate requires a value")?;
+                    let parsed = value
+                        .parse::<f64>()
+                        .map_err(|_| format!("invalid --fail-rate value: {value}"))?;
+                    if !(0.0..1.0).contains(&parsed) {
+                        return Err(format!("--fail-rate must be in [0, 1): {value}"));
+                    }
+                    options.fail_rate = Some(parsed);
+                }
                 "--paper" => options.paper = true,
                 "--quick" => options.quick = true,
                 "--tail" => options.tail = true,
@@ -156,7 +192,8 @@ impl CliOptions {
 pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
      [--systems 100x10,200x20] [--threads T] [--replications R] [--shards K] \
-     [--csv DIR] [--paper | --quick] [--tail]"
+     [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
+     [--paper | --quick] [--tail]"
         .to_string()
 }
 
@@ -224,6 +261,12 @@ mod tests {
             "4",
             "--csv",
             "/tmp/out",
+            "--scenario",
+            "/tmp/faults.scn",
+            "--stale-k",
+            "3",
+            "--fail-rate",
+            "0.05",
             "--paper",
             "--tail",
         ])
@@ -236,6 +279,9 @@ mod tests {
         assert_eq!(options.replications, 5);
         assert_eq!(options.shards, 4);
         assert_eq!(options.csv, Some(PathBuf::from("/tmp/out")));
+        assert_eq!(options.scenario, Some(PathBuf::from("/tmp/faults.scn")));
+        assert_eq!(options.stale_k, Some(3));
+        assert_eq!(options.fail_rate, Some(0.05));
         assert!(options.paper);
         assert!(options.tail);
     }
@@ -251,6 +297,10 @@ mod tests {
         assert!(parse(&["--replications", "x"]).is_err());
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "x"]).is_err());
+        assert!(parse(&["--scenario"]).is_err());
+        assert!(parse(&["--stale-k", "x"]).is_err());
+        assert!(parse(&["--fail-rate", "1.0"]).is_err());
+        assert!(parse(&["--fail-rate", "-0.1"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--paper", "--quick"]).is_err());
         assert!(parse(&["--help"]).is_err());

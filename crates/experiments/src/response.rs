@@ -146,6 +146,7 @@ impl ResponseTimeExperiment {
                 arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: load },
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
+                scenario: scd_sim::ScenarioSpec::default(),
             };
             let factory = factory_by_name(policy_name)
                 .unwrap_or_else(|| panic!("unknown policy {policy_name}"));

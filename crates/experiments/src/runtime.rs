@@ -82,6 +82,7 @@ impl RuntimeExperiment {
                 },
                 services: ServiceModel::Geometric,
                 measure_decision_times: true,
+                scenario: scd_sim::ScenarioSpec::default(),
             };
             let factory = factory_by_name(&self.policies[pt.policy])
                 .unwrap_or_else(|| panic!("unknown policy {}", self.policies[pt.policy]));

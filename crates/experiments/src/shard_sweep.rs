@@ -20,7 +20,9 @@ use crate::sweep::{effective_threads, SweepGrid};
 use scd_metrics::Table;
 use scd_model::RateProfile;
 use scd_policies::factory_by_name;
-use scd_sim::{ArrivalSpec, ServiceModel, ShardedSimulation, SimConfig};
+use scd_sim::{
+    ArrivalSpec, ScenarioSpec, ServiceModel, ShardedSimulation, SimConfig, StalenessSpec,
+};
 
 /// Resolved configuration of one sharded sweep.
 #[derive(Debug, Clone)]
@@ -45,6 +47,9 @@ pub struct ShardSweepSpec {
     pub shards: usize,
     /// Worker threads for the cell grid.
     pub threads: usize,
+    /// Fault/churn/staleness scenario applied to every cell (the default is
+    /// inert: fair-weather runs, no degradation columns in the output).
+    pub scenario: ScenarioSpec,
 }
 
 impl ShardSweepSpec {
@@ -76,8 +81,37 @@ impl ShardSweepSpec {
             replications: options.replications.max(1),
             shards: options.shards,
             threads: effective_threads(options.threads),
+            scenario: ScenarioSpec::default(),
         }
     }
+}
+
+/// Resolves the `--scenario` / `--stale-k` / `--fail-rate` flags into one
+/// [`ScenarioSpec`]: the scenario file (if any) is the base, the explicit
+/// flags override on top. `--fail-rate` alone supplies a default repair rate
+/// of 0.1 so crashed servers do not stay down for the rest of the run.
+///
+/// # Errors
+/// Returns a message for unreadable files and malformed scenario keys.
+pub fn scenario_from_options(options: &CliOptions) -> Result<ScenarioSpec, String> {
+    let mut scenario = match &options.scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario file {}: {e}", path.display()))?;
+            ScenarioSpec::from_key_values(&text).map_err(|e| e.to_string())?
+        }
+        None => ScenarioSpec::default(),
+    };
+    if let Some(rate) = options.fail_rate {
+        scenario.server_fail_rate = rate;
+        if rate > 0.0 && scenario.server_repair_rate == 0.0 {
+            scenario.server_repair_rate = 0.1;
+        }
+    }
+    if let Some(k) = options.stale_k {
+        scenario.staleness = StalenessSpec::Fixed { k };
+    }
+    Ok(scenario)
 }
 
 /// The averaged statistics of one `(system, load, policy)` cell.
@@ -99,7 +133,15 @@ pub struct ShardSweepCell {
     pub backlog: f64,
     /// Censored-job fraction, averaged over replications.
     pub censored: f64,
+    /// Averaged degradation metrics, present only for non-inert scenarios
+    /// (order: server-down rounds, dispatcher-offline rounds, arrivals lost,
+    /// probes dropped, stale-decision rounds, herding rounds).
+    pub degradation: Option<[f64; 6]>,
 }
+
+/// Raw per-replication statistics: `(mean RT, p99 RT, backlog, censored,
+/// degradation columns)`.
+type CellStats = (f64, f64, f64, f64, Option<[f64; 6]>);
 
 /// Runs the sweep grid and returns one averaged cell per
 /// `(system, load, policy)` in row-major order.
@@ -116,7 +158,7 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
     let replications = spec.replications.max(1);
     let grid = SweepGrid::new(spec.systems.len(), spec.loads.len(), spec.policies.len())
         .with_seeds(replications);
-    let runs: Vec<Result<(f64, f64, f64, f64), String>> = grid.run(spec.threads, |pt| {
+    let runs: Vec<Result<CellStats, String>> = grid.run(spec.threads, |pt| {
         let (n, m) = spec.systems[pt.system];
         let cluster = cluster_for_system(&spec.profile, n, spec.seed, pt.system);
         let config = SimConfig {
@@ -130,6 +172,7 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
             },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            scenario: spec.scenario.clone(),
         };
         let factory = factory_by_name(&spec.policies[pt.policy]).expect("validated above");
         // Each cell steps its shards sequentially — the grid is the
@@ -143,6 +186,16 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
             report.response_time_percentile(0.99) as f64,
             report.queues.mean_total_backlog,
             report.censored_fraction(),
+            report.degradation.map(|d| {
+                [
+                    d.server_down_rounds as f64,
+                    d.dispatcher_offline_rounds as f64,
+                    d.arrivals_lost as f64,
+                    d.probes_dropped as f64,
+                    d.stale_decision_rounds as f64,
+                    d.herding_rounds as f64,
+                ]
+            }),
         ))
     });
 
@@ -153,12 +206,19 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
         let mut p99 = 0.0;
         let mut backlog = 0.0;
         let mut censored = 0.0;
+        let mut degradation: Option<[f64; 6]> = None;
         for run in chunk {
-            let (m, p, b, c) = run.clone()?;
+            let (m, p, b, c, d) = run.clone()?;
             mean += m;
             p99 += p;
             backlog += b;
             censored += c;
+            if let Some(d) = d {
+                let sums = degradation.get_or_insert([0.0; 6]);
+                for (sum, value) in sums.iter_mut().zip(d) {
+                    *sum += value;
+                }
+            }
         }
         let scale = 1.0 / replications as f64;
         let pt = grid.point(chunk_index * replications);
@@ -172,24 +232,45 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
             p99: p99 * scale,
             backlog: backlog * scale,
             censored: censored * scale,
+            degradation: degradation.map(|sums| sums.map(|s| s * scale)),
         });
     }
     Ok(cells)
 }
 
-/// Renders the cells of one system as a text table.
+/// Renders the cells of one system as a text table. Under a non-inert
+/// scenario six degradation columns are appended after the fair-weather
+/// statistics (the CSV header keeps its `load,policy,mean` prefix either
+/// way).
 pub fn system_table(cells: &[ShardSweepCell], n: usize, m: usize) -> Table {
-    let mut table =
-        Table::with_headers(&["load", "policy", "mean", "p99", "backlog", "censored %"]);
-    for cell in cells.iter().filter(|c| c.n == n && c.m == m) {
-        table.add_row(vec![
+    let system: Vec<&ShardSweepCell> = cells.iter().filter(|c| c.n == n && c.m == m).collect();
+    let degraded = system.iter().any(|c| c.degradation.is_some());
+    let mut headers = vec!["load", "policy", "mean", "p99", "backlog", "censored %"];
+    if degraded {
+        headers.extend([
+            "down rounds",
+            "offline rounds",
+            "arrivals lost",
+            "probes dropped",
+            "stale rounds",
+            "herding rounds",
+        ]);
+    }
+    let mut table = Table::with_headers(&headers);
+    for cell in system {
+        let mut row = vec![
             format!("{:.2}", cell.load),
             cell.policy.clone(),
             format!("{:.3}", cell.mean),
             format!("{:.1}", cell.p99),
             format!("{:.1}", cell.backlog),
             format!("{:.3}", 100.0 * cell.censored),
-        ]);
+        ];
+        if degraded {
+            let metrics = cell.degradation.unwrap_or([0.0; 6]);
+            row.extend(metrics.iter().map(|v| format!("{v:.1}")));
+        }
+        table.add_row(row);
     }
     table
 }
@@ -201,12 +282,19 @@ pub fn system_table(cells: &[ShardSweepCell], n: usize, m: usize) -> Table {
 /// Propagates [`run_shard_sweep`] errors and CSV I/O failures as
 /// human-readable messages.
 pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
-    let spec = ShardSweepSpec::resolve(options);
+    let mut spec = ShardSweepSpec::resolve(options);
+    spec.scenario = scenario_from_options(options)?;
     let sink = OutputSink::from_option(options.csv.as_deref()).map_err(|e| e.to_string())?;
     sink.note(&format!(
         "[sweep] shards={} rounds={} seed={} replications={} threads={} profile={:?}",
         spec.shards, spec.rounds, spec.seed, spec.replications, spec.threads, spec.profile
     ));
+    if !spec.scenario.is_inert() {
+        sink.note(&format!(
+            "[sweep] scenario: {}",
+            spec.scenario.to_key_values().replace('\n', " ")
+        ));
+    }
     if options.tail {
         sink.note("--tail applies to the figure binaries; the sharded sweep reports p99 per cell");
     }
@@ -272,6 +360,7 @@ mod tests {
             },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            scenario: scd_sim::ScenarioSpec::default(),
         };
         let factory = factory_by_name(&spec.policies[0]).unwrap();
         let report = Simulation::new(config)
@@ -309,6 +398,53 @@ mod tests {
         let written = std::fs::read_to_string(dir.join("sweep_n16m4_k2.csv")).unwrap();
         assert!(written.starts_with("load,policy,mean"), "{written}");
         assert!(written.contains("SCD"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_sweep_reports_degradation_columns() {
+        let mut spec = quick_spec(2);
+        spec.scenario.server_fail_rate = 0.05;
+        spec.scenario.server_repair_rate = 0.2;
+        spec.scenario.staleness = StalenessSpec::Fixed { k: 2 };
+        let cells = run_shard_sweep(&spec).unwrap();
+        assert!(cells.iter().all(|c| c.degradation.is_some()));
+        let [down, _, _, _, stale, _] = cells[0].degradation.unwrap();
+        assert!(down > 0.0, "a 5% fail rate over 400 rounds downs servers");
+        assert!(stale > 0.0, "k=2 staleness marks decision rounds");
+        let table = system_table(&cells, 16, 4);
+        assert_eq!(table.num_rows(), spec.policies.len());
+        // Degraded sweeps replay bit-exactly too.
+        assert_eq!(cells, run_shard_sweep(&spec).unwrap());
+    }
+
+    #[test]
+    fn scenario_flags_compose_file_and_overrides() {
+        let dir = std::env::temp_dir().join(format!("scd-scn-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.scn");
+        std::fs::write(&path, "server_fail_rate = 0.01\nserver_repair_rate = 0.5\n").unwrap();
+        let options = CliOptions {
+            scenario: Some(path),
+            fail_rate: Some(0.05),
+            stale_k: Some(2),
+            ..CliOptions::default()
+        };
+        let scenario = scenario_from_options(&options).unwrap();
+        assert_eq!(scenario.server_fail_rate, 0.05);
+        assert_eq!(scenario.server_repair_rate, 0.5, "file value survives");
+        assert_eq!(scenario.staleness, StalenessSpec::Fixed { k: 2 });
+        let bare = scenario_from_options(&CliOptions {
+            fail_rate: Some(0.05),
+            ..CliOptions::default()
+        })
+        .unwrap();
+        assert_eq!(bare.server_repair_rate, 0.1, "default repair is supplied");
+        assert!(scenario_from_options(&CliOptions {
+            scenario: Some(dir.join("missing.scn")),
+            ..CliOptions::default()
+        })
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

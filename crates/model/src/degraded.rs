@@ -1,0 +1,303 @@
+//! Degraded-information primitives of the scenario layer.
+//!
+//! The fair-weather engine promises every dispatcher a fresh snapshot of a
+//! fully-up cluster. The scenario layer (see `crates/sim/src/scenario.rs` and
+//! the "Scenario layer" section of `ARCHITECTURE.md`) weakens that promise
+//! deterministically: servers crash and repair, probes get lost, snapshots go
+//! stale. This module holds the two pieces of that machinery which policies
+//! observe through the [`DispatchContext`](crate::DispatchContext):
+//!
+//! * [`Availability`] — the round's server up/down mask, maintained by the
+//!   engine's fault phase and consulted by every mask-aware policy. Down
+//!   servers freeze their queues and leave the active set; dispatching to
+//!   one is a [`ModelError::ServerDown`](crate::ModelError) contract
+//!   violation.
+//! * [`ProbeLossOracle`] — a counter-mode oracle deciding, per `(dispatcher,
+//!   round, probe)`, whether a probe of the probe-marking policies (LSQ,
+//!   LED) was delivered. Being a pure function of the derived stream seeds,
+//!   its verdicts are identical for any sharding of the cluster.
+//!
+//! Both are **decision-invisible when inert**: with every server up and a
+//! zero loss rate, a context carrying them produces bit-identical policy
+//! behaviour to one without (the scenario equivalence tests pin this down).
+
+use crate::streams::{counter_draw, unit_f64};
+use std::cell::Cell;
+
+/// The per-round server availability mask of a scenario run.
+///
+/// The engine's fault phase drives it: [`begin_round`](Availability::begin_round)
+/// opens the round, [`set`](Availability::set) applies that round's
+/// crash/repair transitions (recording every flip), and
+/// [`refresh`](Availability::refresh) rebuilds the compact
+/// [`up_list`](Availability::up_list) that sampling policies draw from.
+/// Policies receive it read-only through the context and must treat a down
+/// server as non-existent: argmin families exclude it from the key order,
+/// sampling families renormalize over the up set, and the SCD/TWF solvers
+/// solve the compacted subproblem.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Availability {
+    up: Vec<bool>,
+    up_list: Vec<u32>,
+    changed: Vec<u32>,
+}
+
+impl Availability {
+    /// A mask over `n` servers with every server up.
+    pub fn all_up(n: usize) -> Self {
+        Availability {
+            up: vec![true; n],
+            up_list: (0..n as u32).collect(),
+            changed: Vec::new(),
+        }
+    }
+
+    /// Number of servers the mask describes.
+    pub fn num_servers(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Opens a new round: forgets the previous round's transition record.
+    pub fn begin_round(&mut self) {
+        self.changed.clear();
+    }
+
+    /// Applies one transition; a flip (up→down or down→up) is recorded in
+    /// [`changed`](Availability::changed). Call
+    /// [`refresh`](Availability::refresh) once all transitions of the round
+    /// are in.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn set(&mut self, server: usize, up: bool) {
+        if self.up[server] != up {
+            self.up[server] = up;
+            self.changed.push(server as u32);
+        }
+    }
+
+    /// Rebuilds the compact up-list after the round's transitions.
+    pub fn refresh(&mut self) {
+        self.up_list.clear();
+        self.up_list
+            .extend((0..self.up.len() as u32).filter(|&s| self.up[s as usize]));
+    }
+
+    /// Whether one server is up.
+    ///
+    /// # Panics
+    /// Panics if `server` is out of range.
+    pub fn is_up(&self, server: usize) -> bool {
+        self.up[server]
+    }
+
+    /// The indices of the up servers, ascending. Valid since the last
+    /// [`refresh`](Availability::refresh).
+    pub fn up_list(&self) -> &[u32] {
+        &self.up_list
+    }
+
+    /// The servers whose availability flipped this round (since
+    /// [`begin_round`](Availability::begin_round)), in application order.
+    /// Warm argmin structures use this to repair exactly the keys the mask
+    /// invalidated.
+    pub fn changed(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// Number of up servers.
+    pub fn num_up(&self) -> usize {
+        self.up_list.len()
+    }
+
+    /// Whether every server is up — the inert case in which mask-aware
+    /// policies must be bit-identical to their unmasked selves.
+    pub fn all_servers_up(&self) -> bool {
+        self.up_list.len() == self.up.len()
+    }
+}
+
+/// Counter-mode probe-loss oracle for the probe-marking policies (LSQ, LED).
+///
+/// Holds one derived stream seed per dispatcher (seeded from the scenario
+/// master under `PROBE_LOSS_STREAM_TAG` with the dispatcher's **global** id,
+/// so shards replay the identical loss schedule) and a loss probability.
+/// Each `(round, probe)` verdict is a pure function of the seed, which makes
+/// the schedule independent of the order in which dispatchers consult it.
+/// Losses are tallied internally (the policies that consult the oracle are
+/// the only witnesses of a loss) and drained into the report's degradation
+/// metrics by the engine.
+#[derive(Debug, Clone)]
+pub struct ProbeLossOracle {
+    seeds: Vec<u64>,
+    rate: f64,
+    dropped: Cell<u64>,
+}
+
+impl ProbeLossOracle {
+    /// Creates the oracle from per-dispatcher stream seeds and a loss
+    /// probability in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not a probability.
+    pub fn new(seeds: Vec<u64>, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "probe loss rate must be a probability, got {rate}"
+        );
+        ProbeLossOracle {
+            seeds,
+            rate,
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Whether probe number `probe` of `dispatcher` in `round` was lost;
+    /// a loss is tallied in [`dropped`](ProbeLossOracle::dropped).
+    ///
+    /// # Panics
+    /// Panics if `dispatcher` has no seed.
+    pub fn lost(&self, dispatcher: usize, round: u64, probe: u64) -> bool {
+        let round_seed = counter_draw(self.seeds[dispatcher], round);
+        let lost = unit_f64(counter_draw(round_seed, probe)) < self.rate;
+        if lost {
+            self.dropped.set(self.dropped.get().saturating_add(1));
+        }
+        lost
+    }
+
+    /// Total probes lost so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+/// The degraded-information view one dispatcher's context carries: the
+/// round's availability mask, the probe-loss oracle (when the scenario has
+/// one), and the slot identifying the dispatcher to the oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedView<'a> {
+    availability: &'a Availability,
+    probe_loss: Option<&'a ProbeLossOracle>,
+    dispatcher_slot: usize,
+}
+
+impl<'a> DegradedView<'a> {
+    /// Bundles the scenario state for one dispatcher's context.
+    pub fn new(
+        availability: &'a Availability,
+        probe_loss: Option<&'a ProbeLossOracle>,
+        dispatcher_slot: usize,
+    ) -> Self {
+        DegradedView {
+            availability,
+            probe_loss,
+            dispatcher_slot,
+        }
+    }
+
+    /// The round's availability mask.
+    pub fn availability(&self) -> &'a Availability {
+        self.availability
+    }
+
+    /// Whether probe number `probe` of this dispatcher in `round` reached an
+    /// up server and came back. The loss draw is consumed (and tallied)
+    /// before the target's availability is checked, so the loss schedule is
+    /// independent of dispatching decisions.
+    pub fn probe_delivered(&self, round: u64, probe: u64, target: usize) -> bool {
+        if let Some(oracle) = self.probe_loss {
+            if oracle.lost(self.dispatcher_slot, round, probe) {
+                return false;
+            }
+        }
+        self.availability.is_up(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::{derive_stream_seed, PROBE_LOSS_STREAM_TAG};
+
+    #[test]
+    fn availability_tracks_transitions_and_up_list() {
+        let mut avail = Availability::all_up(4);
+        assert!(avail.all_servers_up());
+        assert_eq!(avail.up_list(), &[0, 1, 2, 3]);
+        avail.begin_round();
+        avail.set(2, false);
+        avail.set(2, false); // repeated transition is not a flip
+        avail.set(0, false);
+        avail.refresh();
+        assert_eq!(avail.changed(), &[2, 0]);
+        assert_eq!(avail.up_list(), &[1, 3]);
+        assert_eq!(avail.num_up(), 2);
+        assert!(!avail.is_up(2) && avail.is_up(1));
+        assert!(!avail.all_servers_up());
+        avail.begin_round();
+        avail.set(2, true);
+        avail.refresh();
+        assert_eq!(avail.changed(), &[2]);
+        assert_eq!(avail.up_list(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn probe_loss_is_deterministic_and_tallied() {
+        let seeds: Vec<u64> = (0..3)
+            .map(|d| derive_stream_seed(2021, PROBE_LOSS_STREAM_TAG, d))
+            .collect();
+        let a = ProbeLossOracle::new(seeds.clone(), 0.3);
+        let b = ProbeLossOracle::new(seeds, 0.3);
+        let mut losses = 0u64;
+        for round in 0..200u64 {
+            for d in 0..3usize {
+                let verdict = a.lost(d, round, 0);
+                // Out-of-order replay on an independent oracle agrees.
+                assert_eq!(verdict, b.lost(d, round, 0));
+                losses += verdict as u64;
+            }
+        }
+        assert_eq!(a.dropped(), losses);
+        // ~30% of 600 probes; a deterministic schedule, loosely banded.
+        assert!(
+            (100..=260).contains(&losses),
+            "implausible loss count {losses}"
+        );
+    }
+
+    #[test]
+    fn zero_and_one_loss_rates_are_absolute() {
+        let seeds = vec![derive_stream_seed(7, PROBE_LOSS_STREAM_TAG, 0)];
+        let never = ProbeLossOracle::new(seeds.clone(), 0.0);
+        let always = ProbeLossOracle::new(seeds, 1.0);
+        for round in 0..64u64 {
+            assert!(!never.lost(0, round, 0));
+            assert!(always.lost(0, round, 0));
+        }
+        assert_eq!(never.dropped(), 0);
+        assert_eq!(always.dropped(), 64);
+    }
+
+    #[test]
+    fn degraded_view_gates_probes_on_loss_then_availability() {
+        let mut avail = Availability::all_up(2);
+        avail.begin_round();
+        avail.set(1, false);
+        avail.refresh();
+        let view = DegradedView::new(&avail, None, 0);
+        assert!(view.probe_delivered(0, 0, 0));
+        assert!(!view.probe_delivered(0, 0, 1));
+        let seeds = vec![derive_stream_seed(3, PROBE_LOSS_STREAM_TAG, 0)];
+        let oracle = ProbeLossOracle::new(seeds, 1.0);
+        let lossy = DegradedView::new(&avail, Some(&oracle), 0);
+        assert!(!lossy.probe_delivered(0, 0, 0));
+        assert_eq!(oracle.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn oracle_rejects_non_probability_rates() {
+        let _ = ProbeLossOracle::new(vec![1], 1.5);
+    }
+}

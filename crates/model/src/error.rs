@@ -57,6 +57,12 @@ pub enum ModelError {
         /// Number of servers in the cluster.
         num_servers: usize,
     },
+    /// A policy dispatched to a server that is down under the active
+    /// scenario's availability mask.
+    ServerDown {
+        /// The offending server index.
+        server: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -89,6 +95,10 @@ impl fmt::Display for ModelError {
             ModelError::UnknownServer { server, num_servers } => write!(
                 f,
                 "policy dispatched to server {server} but the cluster only has {num_servers} servers"
+            ),
+            ModelError::ServerDown { server } => write!(
+                f,
+                "policy dispatched to server {server}, which is down under the active scenario"
             ),
         }
     }
@@ -144,6 +154,7 @@ mod tests {
                 },
                 "server 9",
             ),
+            (ModelError::ServerDown { server: 2 }, "server 2"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degraded;
 pub mod error;
 pub mod ids;
 pub mod policy;
@@ -65,6 +66,7 @@ pub mod snapshot;
 pub mod spec;
 pub mod streams;
 
+pub use degraded::{Availability, DegradedView, ProbeLossOracle};
 pub use error::ModelError;
 pub use ids::{DispatcherId, ServerId};
 pub use policy::{BoxedPolicy, DispatchPolicy, PolicyFactory};
@@ -75,4 +77,4 @@ pub use round_cache::{
 pub use sampler::{AliasSampler, CdfSampler};
 pub use snapshot::DispatchContext;
 pub use spec::{ClusterSpec, RateProfile};
-pub use streams::{derive_stream_seed, shard_master_seed, splitmix64_mix};
+pub use streams::{counter_draw, derive_stream_seed, shard_master_seed, splitmix64_mix, unit_f64};

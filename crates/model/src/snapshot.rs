@@ -6,6 +6,7 @@
 //! information (rates, number of dispatchers) a policy needs to make its
 //! decision.
 
+use crate::degraded::{Availability, DegradedView};
 use crate::ids::ServerId;
 use crate::round_cache::RoundCache;
 
@@ -58,6 +59,7 @@ pub struct DispatchContext<'a> {
     round: u64,
     cache: Option<&'a RoundCache>,
     dirty: Option<&'a [u32]>,
+    degraded: Option<DegradedView<'a>>,
 }
 
 impl<'a> DispatchContext<'a> {
@@ -85,6 +87,7 @@ impl<'a> DispatchContext<'a> {
             round,
             cache: None,
             dirty: None,
+            degraded: None,
         }
     }
 
@@ -153,6 +156,69 @@ impl<'a> DispatchContext<'a> {
     /// describes the engine's queues.
     pub fn dirty_servers(&self) -> Option<&'a [u32]> {
         self.dirty
+    }
+
+    /// Attaches one dispatcher's degraded-information view (availability
+    /// mask + probe-loss oracle) — see [`crate::degraded`]. Contexts built
+    /// by the engine under an active scenario carry this; the fair-weather
+    /// engine never constructs it, and policies must behave bit-identically
+    /// when the view is present but inert (all servers up, zero loss).
+    ///
+    /// # Panics
+    /// Panics if the mask describes a different cluster size than the
+    /// snapshot.
+    pub fn with_degraded(mut self, view: DegradedView<'a>) -> Self {
+        assert_eq!(
+            view.availability().num_servers(),
+            self.rates.len(),
+            "availability mask must describe the same cluster as the snapshot"
+        );
+        self.degraded = Some(view);
+        self
+    }
+
+    /// The scenario's availability mask, when the engine attached one.
+    /// `None` (the fair-weather engine, direct invocations) means every
+    /// server is up.
+    pub fn availability(&self) -> Option<&'a Availability> {
+        self.degraded.as_ref().map(|v| v.availability())
+    }
+
+    /// The availability mask *only when it currently excludes a server* —
+    /// the branch point for mask-aware policies: `None` means the full
+    /// unmasked code path is correct (and, for bit-identity with the
+    /// fair-weather engine, mandatory).
+    pub fn active_mask(&self) -> Option<&'a Availability> {
+        self.availability().filter(|a| !a.all_servers_up())
+    }
+
+    /// Whether one server is up under the scenario (vacuously true without
+    /// one).
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn is_server_up(&self, server: ServerId) -> bool {
+        match self.availability() {
+            Some(avail) => avail.is_up(server.index()),
+            None => true,
+        }
+    }
+
+    /// Whether probe number `probe` of this round by this context's
+    /// dispatcher reached `target` and returned. Always true without a
+    /// degraded view; with one, a probe is lost either by the scenario's
+    /// probe-loss draw (consumed and tallied first, so the loss schedule
+    /// does not depend on the chosen target) or because the target is down.
+    /// Probe-marking policies must call this exactly once per probe, with a
+    /// per-round probe index.
+    ///
+    /// # Panics
+    /// Panics if the server index is out of range.
+    pub fn probe_delivered(&self, probe: u64, target: ServerId) -> bool {
+        match &self.degraded {
+            Some(view) => view.probe_delivered(self.round, probe, target.index()),
+            None => true,
+        }
     }
 
     /// Number of servers `n`.
@@ -297,6 +363,46 @@ mod tests {
         assert_eq!(c.dirty_servers(), Some(&dirty[..]));
         // Contexts without the engine's tracking report None.
         assert_eq!(ctx(&queues, &rates).dirty_servers(), None);
+    }
+
+    #[test]
+    fn degraded_view_round_trips_through_the_context() {
+        use crate::degraded::{Availability, DegradedView};
+        let queues = vec![1u64, 2, 3];
+        let rates = vec![1.0; 3];
+        let plain = ctx(&queues, &rates);
+        assert!(plain.availability().is_none());
+        assert!(plain.active_mask().is_none());
+        assert!(plain.is_server_up(ServerId::new(2)));
+        assert!(plain.probe_delivered(0, ServerId::new(1)));
+
+        let mut avail = Availability::all_up(3);
+        let c = DispatchContext::new(&queues, &rates, 1, 0)
+            .with_degraded(DegradedView::new(&avail, None, 0));
+        // Inert mask: availability is visible but the active mask is None.
+        assert!(c.availability().is_some());
+        assert!(c.active_mask().is_none());
+
+        avail.begin_round();
+        avail.set(1, false);
+        avail.refresh();
+        let c = DispatchContext::new(&queues, &rates, 1, 0)
+            .with_degraded(DegradedView::new(&avail, None, 0));
+        assert!(c.active_mask().is_some());
+        assert!(!c.is_server_up(ServerId::new(1)));
+        assert!(!c.probe_delivered(0, ServerId::new(1)));
+        assert!(c.probe_delivered(1, ServerId::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "same cluster")]
+    fn mismatched_availability_mask_panics() {
+        use crate::degraded::{Availability, DegradedView};
+        let queues = vec![1u64, 2];
+        let rates = vec![1.0; 2];
+        let avail = Availability::all_up(3);
+        let _ = DispatchContext::new(&queues, &rates, 1, 0)
+            .with_degraded(DegradedView::new(&avail, None, 0));
     }
 
     #[test]

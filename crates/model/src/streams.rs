@@ -36,6 +36,41 @@ pub const SERVICE_STREAM_TAG: u64 = 0x53_45_52_56_49_43_45_53;
 pub const POLICY_STREAM_TAG: u64 = 0x50_4F_4C_49_43_59_00_00;
 /// Tag of the per-shard sub-master seeds (`"SHARDS"`).
 pub const SHARD_STREAM_TAG: u64 = 0x53_48_41_52_44_53_00_00;
+/// Tag of the scenario fault streams — server crash/repair and dispatcher
+/// churn schedules (`"FAULTS"`). Servers use their global id as the
+/// derivation index; dispatchers use `(1 << 63) | global_id`, so the two
+/// entity families can never share a stream.
+pub const FAULT_STREAM_TAG: u64 = 0x46_41_55_4C_54_53_00_00;
+/// Tag of the per-dispatcher staleness-depth draw streams (`"STALE"`).
+pub const STALENESS_STREAM_TAG: u64 = 0x53_54_41_4C_45_00_00_00;
+/// Tag of the per-dispatcher probe-loss streams (`"PROBELOS"`).
+pub const PROBE_LOSS_STREAM_TAG: u64 = 0x50_52_4F_42_45_4C_4F_53;
+
+/// Every stream tag of the workspace, for exhaustive collision audits.
+pub const ALL_STREAM_TAGS: [u64; 7] = [
+    ARRIVAL_STREAM_TAG,
+    SERVICE_STREAM_TAG,
+    POLICY_STREAM_TAG,
+    SHARD_STREAM_TAG,
+    FAULT_STREAM_TAG,
+    STALENESS_STREAM_TAG,
+    PROBE_LOSS_STREAM_TAG,
+];
+
+// Compile-time proof that the stream tags are pairwise distinct: a new tag
+// that collides with an existing one fails the build, not a test run.
+const _: () = {
+    let tags = ALL_STREAM_TAGS;
+    let mut i = 0;
+    while i < tags.len() {
+        let mut j = i + 1;
+        while j < tags.len() {
+            assert!(tags[i] != tags[j], "stream tags must be pairwise distinct");
+            j += 1;
+        }
+        i += 1;
+    }
+};
 
 /// The splitmix64 output (finalization) function — a full-avalanche 64-bit
 /// mixer.
@@ -62,6 +97,33 @@ pub fn derive_stream_seed(master: u64, tag: u64, index: u64) -> u64 {
     );
     z = splitmix64_mix(z.wrapping_add(GOLDEN).wrapping_add(index));
     z
+}
+
+/// One draw of a *counter-mode* stream: a full-avalanche hash of
+/// `(stream_seed, step)`.
+///
+/// The scenario layer (fault schedules, staleness depths, probe loss) cannot
+/// use stateful generators: a shard must be able to reproduce the draw for
+/// round `t` of a *global* entity without having consumed rounds `0..t` of
+/// every other entity's stream. Counter mode makes each draw a pure function
+/// of the derived stream seed and a step counter, so any layout of the
+/// entities over shards replays the identical schedule. The step is offset
+/// by one and spread by the splitmix64 golden increment before mixing, so
+/// `counter_draw(s, 0) != splitmix64_mix(s)` and nearby steps share no
+/// arithmetic structure.
+#[inline]
+#[must_use]
+pub fn counter_draw(stream_seed: u64, step: u64) -> u64 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    splitmix64_mix(stream_seed.wrapping_add(step.wrapping_add(1).wrapping_mul(GOLDEN)))
+}
+
+/// Maps a 64-bit draw to a uniform `f64` in `[0, 1)` using the top 53 bits —
+/// the standard "53-bit mantissa" construction, exact for every draw.
+#[inline]
+#[must_use]
+pub fn unit_f64(draw: u64) -> f64 {
+    (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// The sub-master seed of one shard of a sharded run.
@@ -119,8 +181,12 @@ mod tests {
             SERVICE_STREAM_TAG,
             POLICY_STREAM_TAG,
             SHARD_STREAM_TAG,
+            FAULT_STREAM_TAG,
+            STALENESS_STREAM_TAG,
+            PROBE_LOSS_STREAM_TAG,
             ARRIVAL_STREAM_TAG ^ SERVICE_STREAM_TAG,
             ARRIVAL_STREAM_TAG ^ POLICY_STREAM_TAG,
+            FAULT_STREAM_TAG ^ STALENESS_STREAM_TAG,
             POLICY_STREAM_TAG ^ (1u64 << 32),
             0xDEAD_BEEF_CAFE_BABE,
         ];
@@ -130,9 +196,74 @@ mod tests {
             seeds.insert(derive_stream_seed(master, SERVICE_STREAM_TAG, 0));
             for d in 0..64u64 {
                 seeds.insert(derive_stream_seed(master, POLICY_STREAM_TAG, d));
+                seeds.insert(derive_stream_seed(master, STALENESS_STREAM_TAG, d));
+                seeds.insert(derive_stream_seed(master, PROBE_LOSS_STREAM_TAG, d));
+                // The fault tag hosts two entity families: servers at the
+                // plain index, dispatchers at `(1 << 63) | index`.
+                seeds.insert(derive_stream_seed(master, FAULT_STREAM_TAG, d));
+                seeds.insert(derive_stream_seed(
+                    master,
+                    FAULT_STREAM_TAG,
+                    (1u64 << 63) | d,
+                ));
             }
-            assert_eq!(seeds.len(), 66, "collision for master {master:#x}");
+            assert_eq!(seeds.len(), 2 + 64 * 5, "collision for master {master:#x}");
         }
+    }
+
+    #[test]
+    fn all_stream_tags_are_listed_and_distinct_at_runtime_too() {
+        let unique: HashSet<u64> = ALL_STREAM_TAGS.into_iter().collect();
+        assert_eq!(unique.len(), ALL_STREAM_TAGS.len());
+    }
+
+    #[test]
+    fn counter_draws_never_collide_across_nearby_streams_and_steps() {
+        // A grid of scenario streams (fault/staleness/probe-loss over a few
+        // entities) stepped through many rounds: every draw distinct.
+        let mut draws = HashSet::new();
+        let mut count = 0usize;
+        for tag in [
+            FAULT_STREAM_TAG,
+            STALENESS_STREAM_TAG,
+            PROBE_LOSS_STREAM_TAG,
+        ] {
+            for entity in 0..8u64 {
+                let seed = derive_stream_seed(2021, tag, entity);
+                for step in 0..256u64 {
+                    draws.insert(counter_draw(seed, step));
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(draws.len(), count, "counter-mode draw collision");
+    }
+
+    #[test]
+    fn counter_draws_are_pure_functions_of_seed_and_step() {
+        let seed = derive_stream_seed(7, FAULT_STREAM_TAG, 3);
+        // Replaying a step (out of order) reproduces the draw exactly.
+        let forward: Vec<u64> = (0..32).map(|t| counter_draw(seed, t)).collect();
+        for t in (0..32u64).rev() {
+            assert_eq!(counter_draw(seed, t), forward[t as usize]);
+        }
+        // Step 0 is not the bare finalizer of the seed.
+        assert_ne!(counter_draw(seed, 0), splitmix64_mix(seed));
+    }
+
+    #[test]
+    fn unit_f64_is_a_half_open_unit_uniform() {
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+        let seed = derive_stream_seed(11, PROBE_LOSS_STREAM_TAG, 0);
+        let mut sum = 0.0;
+        for step in 0..4_096u64 {
+            let u = unit_f64(counter_draw(seed, step));
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 4_096.0;
+        assert!((mean - 0.5).abs() < 0.02, "unit draws are biased: {mean}");
     }
 
     #[test]
@@ -161,6 +292,9 @@ mod tests {
             (ARRIVAL_STREAM_TAG, SERVICE_STREAM_TAG),
             (SERVICE_STREAM_TAG, POLICY_STREAM_TAG),
             (SHARD_STREAM_TAG, ARRIVAL_STREAM_TAG),
+            (FAULT_STREAM_TAG, ARRIVAL_STREAM_TAG),
+            (STALENESS_STREAM_TAG, POLICY_STREAM_TAG),
+            (PROBE_LOSS_STREAM_TAG, FAULT_STREAM_TAG),
         ];
         for (a, b) in tag_pairs {
             for index in 0..4u64 {

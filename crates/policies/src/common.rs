@@ -345,6 +345,22 @@ pub fn sync_snapshot_mirror(
     sync.synced_round = Some(round);
 }
 
+/// Propagates this round's availability flips into a warm picker's dirty
+/// set: a server that crashed or repaired changes its effective key (to or
+/// from `+∞`) without a queue-length change, which the snapshot-diff sync of
+/// [`sync_snapshot_mirror`] cannot see. Reads the **raw** availability mask
+/// (not [`DispatchContext::active_mask`]) on purpose — when the last down
+/// server repairs, the active mask disappears but the repaired slot still
+/// needs re-keying. A no-op on the fair-weather path (no mask attached) and
+/// before the first warm batch.
+pub fn mark_availability_flips(picker: &mut BatchArgmin, ctx: &DispatchContext<'_>) {
+    if let Some(avail) = ctx.availability() {
+        for &s in avail.changed() {
+            picker.mark_dirty(s as usize);
+        }
+    }
+}
+
 /// Returns the index minimizing `score`, breaking ties uniformly at random.
 ///
 /// Random tie-breaking matters: with many dispatchers sharing the same

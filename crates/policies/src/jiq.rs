@@ -11,8 +11,8 @@ use crate::common::NamedFactory;
 use rand::Rng;
 use rand::RngCore;
 use scd_model::{
-    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
-    PolicyFactory, ServerId,
+    AliasSampler, Availability, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy,
+    DispatcherId, PolicyFactory, ServerId,
 };
 
 /// Sampling flavour for JIQ.
@@ -92,15 +92,33 @@ impl JiqPolicy {
         }
     }
 
-    fn pick_fallback(&mut self, n: usize, rng: &mut dyn RngCore) -> usize {
+    fn pick_fallback(
+        &mut self,
+        n: usize,
+        mask: Option<&Availability>,
+        rng: &mut dyn RngCore,
+    ) -> usize {
         match self.variant {
-            JiqVariant::Uniform => rng.gen_range(0..n),
+            JiqVariant::Uniform => match mask {
+                Some(avail) => avail.up_list()[rng.gen_range(0..avail.num_up())] as usize,
+                None => rng.gen_range(0..n),
+            },
             JiqVariant::Heterogeneous => {
                 let rates = &self.rates;
                 let sampler = self.fallback_sampler.get_or_insert_with(|| {
                     AliasSampler::new(rates).expect("rates are strictly positive")
                 });
-                sampler.sample(rng)
+                match mask {
+                    // Rejection sampling keeps the fallback ∝ µ over the up
+                    // set; rates are strictly positive, so this terminates.
+                    Some(avail) => loop {
+                        let s = sampler.sample(rng);
+                        if avail.is_up(s) {
+                            break s;
+                        }
+                    },
+                    None => sampler.sample(rng),
+                }
             }
         }
     }
@@ -137,15 +155,29 @@ impl DispatchPolicy for JiqPolicy {
             self.fallback_sampler = None;
         }
         let n = self.local.len();
+        // Down servers are neither idle candidates nor fallback targets when
+        // an availability mask is active.
+        let mask = ctx.active_mask();
         for _ in 0..batch {
             self.idle.clear();
-            for s in 0..n {
-                if self.local[s] == 0 {
-                    self.idle.push(s);
+            match mask {
+                Some(avail) => {
+                    for &s in avail.up_list() {
+                        if self.local[s as usize] == 0 {
+                            self.idle.push(s as usize);
+                        }
+                    }
+                }
+                None => {
+                    for s in 0..n {
+                        if self.local[s] == 0 {
+                            self.idle.push(s);
+                        }
+                    }
                 }
             }
             let target = if self.idle.is_empty() {
-                self.pick_fallback(n, rng)
+                self.pick_fallback(n, mask, rng)
             } else {
                 self.pick_idle(rng)
             };

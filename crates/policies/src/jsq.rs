@@ -25,7 +25,10 @@
 //! path (the PR 4 configuration, kept as the bench baseline — it consumes
 //! the RNG differently, so its trajectories differ from the warm default).
 
-use crate::common::{sync_snapshot_mirror, ArgminMode, BatchArgmin, NamedFactory, SnapshotSync};
+use crate::common::{
+    mark_availability_flips, sync_snapshot_mirror, ArgminMode, BatchArgmin, NamedFactory,
+    SnapshotSync,
+};
 use rand::RngCore;
 use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
 
@@ -100,6 +103,7 @@ impl DispatchPolicy for JsqPolicy {
                 ctx,
                 &mut self.touched,
             );
+            mark_availability_flips(&mut self.picker, ctx);
         }
     }
 
@@ -125,6 +129,14 @@ impl DispatchPolicy for JsqPolicy {
             return;
         }
         let n = ctx.num_servers();
+        // Down servers are not candidates: their keys saturate to +∞ under
+        // an active availability mask (`None` on the fair-weather path, so
+        // the closure below is then the plain queue-length key).
+        let mask = ctx.active_mask();
+        let masked = move |i: usize, q: u64| match mask {
+            Some(avail) if !avail.is_up(i) => f64::INFINITY,
+            _ => q as f64,
+        };
         if self.warm {
             // No-op when observe_round already synced this round; direct
             // invocations (tests, examples) resync here.
@@ -135,19 +147,20 @@ impl DispatchPolicy for JsqPolicy {
                 ctx,
                 &mut self.touched,
             );
+            mark_availability_flips(&mut self.picker, ctx);
             let local = &self.local;
-            self.picker.begin_warm(n, |i| local[i] as f64, rng);
+            self.picker.begin_warm(n, |i| masked(i, local[i]), rng);
         } else {
             self.local.clear();
             self.local.extend_from_slice(ctx.queue_lengths());
             let local = &self.local;
-            self.picker.begin(n, |i| local[i] as f64, rng);
+            self.picker.begin(n, |i| masked(i, local[i]), rng);
         }
         let local = &mut self.local;
         for _ in 0..batch {
-            let target = self.picker.pick(|i| local[i] as f64);
+            let target = self.picker.pick(|i| masked(i, local[i]));
             local[target] += 1;
-            self.picker.update(target, local[target] as f64);
+            self.picker.update(target, masked(target, local[target]));
             if self.warm {
                 self.touched.push(target as u32);
             }

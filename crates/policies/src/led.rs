@@ -11,7 +11,7 @@
 //! it as an extension baseline for completeness and for the ablation
 //! experiments.
 
-use crate::common::{ArgminMode, BatchArgmin, NamedFactory};
+use crate::common::{mark_availability_flips, ArgminMode, BatchArgmin, NamedFactory};
 use rand::Rng;
 use rand::RngCore;
 use scd_model::{
@@ -153,14 +153,21 @@ impl DispatchPolicy for LedPolicy {
         // the marks are policy-derived, not taken from the context's dirty
         // set — that set describes the true queues, not this replica).
         let n = ctx.num_servers();
-        for _ in 0..self.probes_per_round {
+        for probe in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
+            // The target is always *drawn* (the policy stream must not
+            // depend on the scenario); a probe the scenario loses — or one
+            // sent to a down server — simply fails to re-anchor.
+            if !ctx.probe_delivered(probe as u64, ServerId::new(target)) {
+                continue;
+            }
             let truth = ctx.queue_len(ServerId::new(target)) as f64;
             if self.estimates[target] != truth {
                 self.estimates[target] = truth;
                 self.picker.mark_dirty(target);
             }
         }
+        mark_availability_flips(&mut self.picker, ctx);
     }
 
     fn dispatch_batch(
@@ -185,13 +192,19 @@ impl DispatchPolicy for LedPolicy {
             return;
         }
         self.sync_dimensions(ctx);
+        mark_availability_flips(&mut self.picker, ctx);
         let n = ctx.num_servers();
         let estimates = &mut self.estimates;
         let inv = &self.inv_rates;
         let variant = self.variant;
-        let key = |i: usize, est: f64| match variant {
-            LedVariant::Uniform => est,
-            LedVariant::Heterogeneous => (est + 1.0) * inv[i],
+        // Down servers are not candidates under an active availability mask.
+        let mask = ctx.active_mask();
+        let key = move |i: usize, est: f64| match mask {
+            Some(avail) if !avail.is_up(i) => f64::INFINITY,
+            _ => match variant {
+                LedVariant::Uniform => est,
+                LedVariant::Heterogeneous => (est + 1.0) * inv[i],
+            },
         };
         if self.warm {
             self.picker.begin_warm(n, |i| key(i, estimates[i]), rng);

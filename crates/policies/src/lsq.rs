@@ -12,7 +12,7 @@
 //! `hLSQ` (footnote 6) probes servers proportionally to their service rate
 //! and ranks local entries by expected delay `(q̂ + 1)/µ`.
 
-use crate::common::{ArgminMode, BatchArgmin, NamedFactory};
+use crate::common::{mark_availability_flips, ArgminMode, BatchArgmin, NamedFactory};
 use rand::Rng;
 use rand::RngCore;
 use scd_model::{
@@ -153,9 +153,16 @@ impl DispatchPolicy for LsqPolicy {
 
     fn observe_round(&mut self, ctx: &DispatchContext<'_>, rng: &mut dyn RngCore) {
         self.sync_dimensions(ctx);
+        mark_availability_flips(&mut self.picker, ctx);
         let n = ctx.num_servers();
-        for _ in 0..self.probes_per_round {
+        for probe in 0..self.probes_per_round {
             let target = self.probe_target(n, rng);
+            // The target is always *drawn* (the policy stream must not
+            // depend on the scenario); a probe the scenario loses — or one
+            // sent to a down server — simply fails to refresh the estimate.
+            if !ctx.probe_delivered(probe as u64, ServerId::new(target)) {
+                continue;
+            }
             let truth = ctx.queue_len(ServerId::new(target));
             // Mark only probes that actually moved the estimate: a confirmed
             // entry leaves the warm tree's key valid, so repairing it would
@@ -193,13 +200,21 @@ impl DispatchPolicy for LsqPolicy {
             return;
         }
         self.sync_dimensions(ctx);
+        mark_availability_flips(&mut self.picker, ctx);
         let n = ctx.num_servers();
         let local = &mut self.local;
         let inv = &self.inv_rates;
         let variant = self.variant;
-        let key = |i: usize, q: u64| match variant {
-            LsqVariant::Uniform => q as f64,
-            LsqVariant::Heterogeneous => (q as f64 + 1.0) * inv[i],
+        // Down servers are not candidates under an active availability mask
+        // (`None` on the fair-weather path — the closure is then the plain
+        // LSQ/hLSQ key).
+        let mask = ctx.active_mask();
+        let key = move |i: usize, q: u64| match mask {
+            Some(avail) if !avail.is_up(i) => f64::INFINITY,
+            _ => match variant {
+                LsqVariant::Uniform => q as f64,
+                LsqVariant::Heterogeneous => (q as f64 + 1.0) * inv[i],
+            },
         };
         if self.warm {
             self.picker.begin_warm(n, |i| key(i, local[i]), rng);

@@ -12,8 +12,8 @@
 use crate::common::{argmin_random_ties, sample_distinct_into, NamedFactory};
 use rand::RngCore;
 use scd_model::{
-    AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
-    PolicyFactory, ServerId,
+    AliasSampler, Availability, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy,
+    DispatcherId, PolicyFactory, ServerId,
 };
 
 /// How candidate servers are sampled and ranked.
@@ -86,9 +86,21 @@ impl PowerOfDPolicy {
     }
 
     /// Fills `self.candidates` with this job's probe set, reusing the buffer.
-    fn sample_candidates(&mut self, n: usize, rng: &mut dyn RngCore) {
+    /// Under an active availability mask only up servers are probed: the
+    /// uniform variant samples distinct positions of the up list, the
+    /// heterogeneous variant rejection-samples until the draw is up (rates
+    /// are strictly positive, so this terminates).
+    fn sample_candidates(&mut self, n: usize, mask: Option<&Availability>, rng: &mut dyn RngCore) {
         match self.variant {
-            PowerOfDVariant::Uniform => sample_distinct_into(n, self.d, &mut self.candidates, rng),
+            PowerOfDVariant::Uniform => match mask {
+                Some(avail) => {
+                    sample_distinct_into(avail.num_up(), self.d, &mut self.candidates, rng);
+                    for slot in &mut self.candidates {
+                        *slot = avail.up_list()[*slot] as usize;
+                    }
+                }
+                None => sample_distinct_into(n, self.d, &mut self.candidates, rng),
+            },
             PowerOfDVariant::Heterogeneous => {
                 // Rate-proportional sampling with replacement (duplicates are
                 // harmless: the ranking step treats them as one candidate).
@@ -98,7 +110,16 @@ impl PowerOfDPolicy {
                     .expect("heterogeneous variant always carries a sampler");
                 self.candidates.clear();
                 for _ in 0..self.d {
-                    self.candidates.push(sampler.sample(rng));
+                    let pick = match mask {
+                        Some(avail) => loop {
+                            let s = sampler.sample(rng);
+                            if avail.is_up(s) {
+                                break s;
+                            }
+                        },
+                        None => sampler.sample(rng),
+                    };
+                    self.candidates.push(pick);
                 }
             }
         }
@@ -132,8 +153,9 @@ impl DispatchPolicy for PowerOfDPolicy {
         self.local.extend_from_slice(ctx.queue_lengths());
         let rates = ctx.rates();
         let n = self.local.len();
+        let mask = ctx.active_mask();
         for _ in 0..batch {
-            self.sample_candidates(n, rng);
+            self.sample_candidates(n, mask, rng);
             let candidates = &self.candidates;
             let local = &self.local;
             let variant = self.variant;

@@ -49,12 +49,24 @@ impl DispatchPolicy for WeightedRandomPolicy {
 
     fn dispatch_into(
         &mut self,
-        _ctx: &DispatchContext<'_>,
+        ctx: &DispatchContext<'_>,
         batch: usize,
         out: &mut Vec<ServerId>,
         rng: &mut dyn RngCore,
     ) {
-        out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng))));
+        match ctx.active_mask() {
+            // Rejection sampling keeps `p_s ∝ µ_s` over the up set; rates are
+            // strictly positive, so this terminates.
+            Some(avail) => out.extend((0..batch).map(|_| {
+                ServerId::new(loop {
+                    let s = self.sampler.sample(rng);
+                    if avail.is_up(s) {
+                        break s;
+                    }
+                })
+            })),
+            None => out.extend((0..batch).map(|_| ServerId::new(self.sampler.sample(rng)))),
+        }
     }
 }
 
@@ -118,8 +130,15 @@ impl DispatchPolicy for UniformRandomPolicy {
         out: &mut Vec<ServerId>,
         rng: &mut dyn RngCore,
     ) {
-        let n = ctx.num_servers();
-        out.extend((0..batch).map(|_| ServerId::new(rng.gen_range(0..n))));
+        match ctx.active_mask() {
+            Some(avail) => out.extend((0..batch).map(|_| {
+                ServerId::new(avail.up_list()[rng.gen_range(0..avail.num_up())] as usize)
+            })),
+            None => {
+                let n = ctx.num_servers();
+                out.extend((0..batch).map(|_| ServerId::new(rng.gen_range(0..n))));
+            }
+        }
     }
 }
 
@@ -183,10 +202,18 @@ impl DispatchPolicy for RoundRobinPolicy {
         _rng: &mut dyn RngCore,
     ) {
         let n = ctx.num_servers();
+        let mask = ctx.active_mask();
         out.extend((0..batch).map(|_| {
-            let s = ServerId::new(self.next % n);
-            self.next = self.next.wrapping_add(1);
-            s
+            // Down servers are skipped without losing the dispatcher's place
+            // in the cycle; the engine guarantees at least one up server.
+            loop {
+                let s = self.next % n;
+                self.next = self.next.wrapping_add(1);
+                match mask {
+                    Some(avail) if !avail.is_up(s) => continue,
+                    _ => break ServerId::new(s),
+                }
+            }
         }));
     }
 }

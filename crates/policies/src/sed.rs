@@ -19,7 +19,10 @@
 //! cached reciprocal rates (shared per-round via the engine's
 //! [`scd_model::RoundCache`] when available) instead of dividing per query.
 
-use crate::common::{sync_snapshot_mirror, ArgminMode, BatchArgmin, NamedFactory, SnapshotSync};
+use crate::common::{
+    mark_availability_flips, sync_snapshot_mirror, ArgminMode, BatchArgmin, NamedFactory,
+    SnapshotSync,
+};
 use rand::RngCore;
 use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
 
@@ -103,6 +106,7 @@ impl DispatchPolicy for SedPolicy {
                 ctx,
                 &mut self.touched,
             );
+            mark_availability_flips(&mut self.picker, ctx);
         }
     }
 
@@ -137,6 +141,7 @@ impl DispatchPolicy for SedPolicy {
                 ctx,
                 &mut self.touched,
             );
+            mark_availability_flips(&mut self.picker, ctx);
         } else {
             self.local.clear();
             self.local.extend_from_slice(ctx.queue_lengths());
@@ -151,20 +156,23 @@ impl DispatchPolicy for SedPolicy {
             Some(cache) => cache.inv_rates(),
             None => &self.inv_rates,
         };
+        // Down servers are not candidates under an active availability mask.
+        let mask = ctx.active_mask();
+        let masked = move |i: usize, q: u64| match mask {
+            Some(avail) if !avail.is_up(i) => f64::INFINITY,
+            _ => (q as f64 + 1.0) * inv[i],
+        };
         let local = &mut self.local;
         let n = local.len();
         if self.warm {
-            self.picker
-                .begin_warm(n, |i| (local[i] as f64 + 1.0) * inv[i], rng);
+            self.picker.begin_warm(n, |i| masked(i, local[i]), rng);
         } else {
-            self.picker
-                .begin(n, |i| (local[i] as f64 + 1.0) * inv[i], rng);
+            self.picker.begin(n, |i| masked(i, local[i]), rng);
         }
         for _ in 0..batch {
-            let target = self.picker.pick(|i| (local[i] as f64 + 1.0) * inv[i]);
+            let target = self.picker.pick(|i| masked(i, local[i]));
             local[target] += 1;
-            self.picker
-                .update(target, (local[target] as f64 + 1.0) * inv[target]);
+            self.picker.update(target, masked(target, local[target]));
             if self.warm {
                 self.touched.push(target as u32);
             }

@@ -29,6 +29,10 @@ pub struct TwfPolicy {
     scratch: ScdScratch,
     probabilities: Vec<f64>,
     sampler: AliasSampler,
+    /// Reusable compacted queue buffer for availability-masked rounds (down
+    /// servers are removed before the solve; the unit-rate prefix of
+    /// `unit_rates` serves as the reduced rate vector).
+    masked_queues: Vec<u64>,
 }
 
 impl TwfPolicy {
@@ -45,6 +49,7 @@ impl TwfPolicy {
             scratch: ScdScratch::default(),
             probabilities: Vec::new(),
             sampler: AliasSampler::default(),
+            masked_queues: Vec::new(),
         }
     }
 
@@ -115,6 +120,33 @@ impl DispatchPolicy for TwfPolicy {
             self.unit_rates = vec![1.0; n];
         }
         let a_est = self.estimator.estimate(batch as u64, ctx.num_dispatchers());
+        if let Some(avail) = ctx.active_mask() {
+            // Availability-masked round: compact the up servers' queues,
+            // solve the reduced unit-rate problem, and map sampled positions
+            // back through the up list (mirrors SCD's masked dispatch path).
+            let queues = ctx.queue_lengths();
+            self.masked_queues.clear();
+            self.masked_queues
+                .extend(avail.up_list().iter().map(|&s| queues[s as usize]));
+            solve_round_into(
+                &self.masked_queues,
+                &self.unit_rates[..avail.num_up()],
+                a_est,
+                SolverKind::Fast,
+                true,
+                &mut self.scratch,
+                &mut self.probabilities,
+            )
+            .expect("unit-rate cluster state is always valid");
+            self.sampler
+                .rebuild(&self.probabilities)
+                .expect("solver output is a valid probability vector");
+            out.extend(
+                (0..batch)
+                    .map(|_| ServerId::new(avail.up_list()[self.sampler.sample(rng)] as usize)),
+            );
+            return;
+        }
         solve_round_into(
             ctx.queue_lengths(),
             &self.unit_rates,

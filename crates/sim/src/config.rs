@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::arrivals::ArrivalSpec;
+use crate::scenario::ScenarioSpec;
 use crate::services::ServiceModel;
 use scd_model::{ClusterSpec, ModelError, RateProfile};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,9 @@ pub struct SimConfig {
     /// When true the engine wall-clock-times every dispatching decision
     /// (needed for the Figure 5/8 reproductions; adds measurement overhead).
     pub measure_decision_times: bool,
+    /// The fault/churn/staleness scenario; the default is "no faults",
+    /// which runs the fair-weather fast path bit-for-bit.
+    pub scenario: ScenarioSpec,
 }
 
 impl SimConfig {
@@ -66,6 +70,7 @@ impl SimConfig {
             arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            scenario: ScenarioSpec::default(),
         })
     }
 
@@ -92,11 +97,13 @@ pub struct SimConfigBuilder {
     arrivals: ArrivalSpec,
     services: ServiceModel,
     measure_decision_times: bool,
+    scenario: ScenarioSpec,
 }
 
 impl SimConfigBuilder {
     /// Creates a builder with sensible defaults: one dispatcher, 10 000
-    /// rounds, no warm-up, seed 0, offered load 0.9, geometric services.
+    /// rounds, no warm-up, seed 0, offered load 0.9, geometric services,
+    /// no faults.
     pub fn new(spec: ClusterSpec) -> Self {
         SimConfigBuilder {
             spec,
@@ -107,6 +114,7 @@ impl SimConfigBuilder {
             arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            scenario: ScenarioSpec::default(),
         }
     }
 
@@ -152,12 +160,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the fault/churn/staleness scenario.
+    pub fn scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
     /// Returns [`SimError::InvalidConfig`](crate::engine::SimError) when the
-    /// system has zero dispatchers, zero rounds, or a warm-up at least as
-    /// long as the run.
+    /// system has zero dispatchers, zero rounds, a warm-up at least as long
+    /// as the run, or a scenario with out-of-range rates or mismatched id
+    /// maps — degenerate inputs fail here, at configuration time, not
+    /// inside `Simulation::new`.
     pub fn build(self) -> Result<SimConfig, crate::engine::SimError> {
         use crate::engine::SimError;
         if self.num_dispatchers == 0 {
@@ -176,6 +192,8 @@ impl SimConfigBuilder {
                 self.warmup_rounds, self.rounds
             )));
         }
+        self.scenario
+            .validate(self.spec.num_servers(), self.num_dispatchers)?;
         Ok(SimConfig {
             spec: self.spec,
             num_dispatchers: self.num_dispatchers,
@@ -185,6 +203,7 @@ impl SimConfigBuilder {
             arrivals: self.arrivals,
             services: self.services,
             measure_decision_times: self.measure_decision_times,
+            scenario: self.scenario,
         })
     }
 }
@@ -229,6 +248,40 @@ mod tests {
             .warmup_rounds(10)
             .build()
             .is_err());
+        // Scenario validation happens at build time too.
+        assert!(SimConfig::builder(spec())
+            .scenario(ScenarioSpec {
+                server_fail_rate: 1.5,
+                ..ScenarioSpec::default()
+            })
+            .build()
+            .is_err());
+        assert!(SimConfig::builder(spec())
+            .dispatchers(2)
+            .scenario(ScenarioSpec {
+                dispatcher_ids: Some(vec![0]),
+                ..ScenarioSpec::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_accepts_and_carries_a_scenario() {
+        let scenario = ScenarioSpec {
+            server_fail_rate: 0.01,
+            server_repair_rate: 0.2,
+            ..ScenarioSpec::default()
+        };
+        let config = SimConfig::builder(spec())
+            .dispatchers(2)
+            .scenario(scenario.clone())
+            .build()
+            .unwrap();
+        assert_eq!(config.scenario, scenario);
+        // The default is the inert scenario.
+        let plain = SimConfig::builder(spec()).build().unwrap();
+        assert!(plain.scenario.is_inert());
     }
 
     #[test]

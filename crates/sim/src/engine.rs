@@ -2,13 +2,14 @@
 
 use crate::config::SimConfig;
 use crate::queues::SegmentQueue;
-use crate::report::{QueueSummary, SimReport};
+use crate::report::{DegradationMetrics, QueueSummary, SimReport};
+use crate::scenario::StalenessSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scd_metrics::{DecisionTimeHistogram, QueueLengthTracker, ResponseTimeHistogram};
 use scd_model::{
-    policy::validate_assignment, CacheDemand, DispatchContext, DispatcherId, ModelError,
-    PolicyFactory, RoundCache, ServerId,
+    policy::validate_assignment, Availability, CacheDemand, DegradedView, DispatchContext,
+    DispatcherId, ModelError, PolicyFactory, ProbeLossOracle, RoundCache, ServerId,
 };
 use std::error::Error;
 use std::fmt;
@@ -64,8 +65,60 @@ impl Error for SimError {
 // engine ([`crate::shard`]) can derive per-shard sub-masters with the same
 // splitmix64 scheme.
 use scd_model::streams::{
-    derive_stream_seed, ARRIVAL_STREAM_TAG, POLICY_STREAM_TAG, SERVICE_STREAM_TAG,
+    counter_draw, derive_stream_seed, unit_f64, ARRIVAL_STREAM_TAG, FAULT_STREAM_TAG,
+    POLICY_STREAM_TAG, PROBE_LOSS_STREAM_TAG, SERVICE_STREAM_TAG, STALENESS_STREAM_TAG,
 };
+
+/// Per-round scenario state needed to build a **per-dispatcher** context:
+/// under an active scenario dispatchers may look at different (stale) queue
+/// views, so the single shared context of the fair-weather path is replaced
+/// by one built on demand per dispatcher. Availability and probe loss are
+/// always current — only the queue-length view goes stale (failure
+/// detection is modelled as out-of-band).
+struct ScenarioRound<'a> {
+    rates: &'a [f64],
+    snapshot: &'a [u64],
+    /// Ring buffer of the last `ring.len()` snapshots (indexed by
+    /// `round % ring.len()`), present only when staleness is possible.
+    ring: Option<&'a [Vec<u64>]>,
+    /// Per-dispatcher effective view age for this round (already clamped to
+    /// `round`, so the ring lookup never reaches before round 0).
+    k_effs: &'a [u64],
+    /// Whether each dispatcher's *previous* round view was stale — a
+    /// dispatcher returning to a fresh view must not trust the one-round
+    /// dirty diff, since its own last-seen view was older.
+    stale_prev: &'a [bool],
+    /// This round's dirty set, attachable only to fresh-view dispatchers.
+    dirty: Option<&'a [u32]>,
+    avail: &'a Availability,
+    oracle: Option<&'a ProbeLossOracle>,
+    m: usize,
+    round: u64,
+}
+
+impl<'a> ScenarioRound<'a> {
+    /// The context dispatcher `d` dispatches with this round.
+    fn ctx(&self, d: usize) -> DispatchContext<'a> {
+        let k_eff = self.k_effs[d];
+        let view: &'a [u64] = if k_eff == 0 {
+            self.snapshot
+        } else {
+            let ring = self
+                .ring
+                .expect("a snapshot ring exists whenever staleness is possible");
+            &ring[((self.round - k_eff) as usize) % ring.len()]
+        };
+        // `ctx.round()` stays the *current* round even for stale views:
+        // policies time-stamp their internal state with it, and the view age
+        // is an information defect, not time travel.
+        let ctx = DispatchContext::new(view, self.rates, self.m, self.round)
+            .with_degraded(DegradedView::new(self.avail, self.oracle, d));
+        match self.dirty {
+            Some(dirty) if k_eff == 0 && !self.stale_prev[d] => ctx.with_dirty(dirty),
+            _ => ctx,
+        }
+    }
+}
 
 /// A configured simulation, ready to run any number of policies on identical
 /// stochastic inputs.
@@ -100,6 +153,9 @@ impl Simulation {
                 config.warmup_rounds, config.rounds
             )));
         }
+        config
+            .scenario
+            .validate(config.spec.num_servers(), config.num_dispatchers)?;
         Ok(Simulation {
             config,
             delta_rounds: true,
@@ -217,10 +273,144 @@ impl Simulation {
         let mut jobs_dispatched = 0u64;
         let mut jobs_completed = 0u64;
 
+        // ---- Scenario layer (crates/sim/src/scenario.rs) ----
+        // With the default (inert) scenario none of this state is allocated
+        // or consulted and the round loop below is bit-identical to the
+        // pre-scenario engine. Every schedule is drawn in counter mode
+        // (`counter_draw`) from seeds keyed by *global* entity ids, so a
+        // sharded run replays the identical schedule regardless of layout.
+        let scenario = &config.scenario;
+        let scn_active = !scenario.is_inert();
+        let scn_seed = scenario.resolved_seed(config.seed);
+        let server_faults = scn_active && scenario.server_fail_rate > 0.0;
+        let server_fault_seeds: Vec<u64> = if server_faults {
+            (0..n)
+                .map(|s| {
+                    derive_stream_seed(scn_seed, FAULT_STREAM_TAG, scenario.server_global_id(s))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let dispatcher_faults = scn_active && scenario.dispatcher_fail_rate > 0.0;
+        let dispatcher_fault_seeds: Vec<u64> = if dispatcher_faults {
+            (0..m)
+                .map(|d| {
+                    // Dispatchers share the fault tag with servers but live
+                    // in the upper half of the index space.
+                    let index = (1u64 << 63) | scenario.dispatcher_global_id(d);
+                    derive_stream_seed(scn_seed, FAULT_STREAM_TAG, index)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let max_k = scenario.staleness.max_k();
+        let ring_depth = (max_k + 1) as usize;
+        let mut ring: Option<Vec<Vec<u64>>> = if scn_active && max_k > 0 {
+            Some(vec![vec![0u64; n]; ring_depth])
+        } else {
+            None
+        };
+        let stale_seeds: Vec<u64> = match scenario.staleness {
+            StalenessSpec::UniformPerRound { max_k } if scn_active && max_k > 0 => (0..m)
+                .map(|d| {
+                    derive_stream_seed(
+                        scn_seed,
+                        STALENESS_STREAM_TAG,
+                        scenario.dispatcher_global_id(d),
+                    )
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let oracle: Option<ProbeLossOracle> = if scn_active && scenario.probe_loss_rate > 0.0 {
+            let seeds = (0..m)
+                .map(|d| {
+                    derive_stream_seed(
+                        scn_seed,
+                        PROBE_LOSS_STREAM_TAG,
+                        scenario.dispatcher_global_id(d),
+                    )
+                })
+                .collect();
+            Some(ProbeLossOracle::new(seeds, scenario.probe_loss_rate))
+        } else {
+            None
+        };
+        let scn_len = |len: usize| if scn_active { len } else { 0 };
+        let mut avail = Availability::all_up(scn_len(n));
+        let mut dispatcher_up: Vec<bool> = vec![true; scn_len(m)];
+        let mut k_effs: Vec<u64> = vec![0; scn_len(m)];
+        let mut stale_prev: Vec<bool> = vec![false; scn_len(m)];
+        // Herding detector scratch: jobs received per server this round,
+        // cleared sparsely through the touched list.
+        let mut recv_counts: Vec<u64> = vec![0; scn_len(n)];
+        let mut recv_touched: Vec<u32> = Vec::new();
+        let mut degradation = DegradationMetrics::default();
+
         let warmup = config.warmup_rounds;
 
         for round in 0..config.rounds {
             let measured_round = round >= warmup;
+            if scn_active {
+                // Phase 0: faults and information defects. One counter-mode
+                // draw per entity per round; the draw itself is
+                // state-independent (only its *interpretation* depends on
+                // the current up/down state), so the schedule is a pure
+                // function of `(scenario seed, global id, round)`.
+                avail.begin_round();
+                if server_faults {
+                    for (s, &fault_seed) in server_fault_seeds.iter().enumerate() {
+                        let u = unit_f64(counter_draw(fault_seed, round));
+                        if avail.is_up(s) {
+                            if u < scenario.server_fail_rate {
+                                avail.set(s, false);
+                            }
+                        } else if u < scenario.server_repair_rate {
+                            avail.set(s, true);
+                        }
+                    }
+                }
+                avail.refresh();
+                degradation.server_down_rounds += (n - avail.num_up()) as u64;
+                if dispatcher_faults {
+                    for d in 0..m {
+                        let u = unit_f64(counter_draw(dispatcher_fault_seeds[d], round));
+                        if dispatcher_up[d] {
+                            if u < scenario.dispatcher_fail_rate {
+                                dispatcher_up[d] = false;
+                            }
+                        } else if u < scenario.dispatcher_repair_rate {
+                            dispatcher_up[d] = true;
+                        }
+                    }
+                }
+                degradation.dispatcher_offline_rounds +=
+                    dispatcher_up.iter().filter(|&&up| !up).count() as u64;
+                // Each dispatcher's view age for this round, clamped to the
+                // history that exists. `stale_prev` is recorded before the
+                // overwrite — see `ScenarioRound::stale_prev`.
+                for d in 0..m {
+                    stale_prev[d] = k_effs[d] > 0;
+                    let k = match scenario.staleness {
+                        StalenessSpec::Fresh => 0,
+                        StalenessSpec::Fixed { k } => k,
+                        StalenessSpec::UniformPerRound { max_k } => {
+                            if max_k == 0 {
+                                0
+                            } else {
+                                counter_draw(stale_seeds[d], round) % (max_k + 1)
+                            }
+                        }
+                    };
+                    let k_eff = k.min(round);
+                    k_effs[d] = k_eff;
+                    if k_eff > 0 && dispatcher_up[d] {
+                        degradation.stale_decision_rounds += 1;
+                    }
+                }
+            }
             // The queue-length snapshot every dispatcher observes this
             // round; with delta tracking the same pass diffs it against the
             // previous round's values to produce the dirty set.
@@ -241,32 +431,83 @@ impl Simulation {
             if measured_round {
                 tracker.observe(&snapshot);
             }
+            if let Some(ring) = ring.as_mut() {
+                ring[(round as usize) % ring_depth].copy_from_slice(&snapshot);
+            }
             // Round 0 has no predecessor snapshot, so no delta information.
             let have_deltas = track_deltas && round > 0;
-            let ctx = if cache_demand > CacheDemand::None {
-                if have_deltas {
-                    round_cache.begin_round_delta(&snapshot, rates, &dirty, cache_demand);
+            // Fair-weather fast path: one context (and one shared cache
+            // refresh) serves every dispatcher. Under an active scenario
+            // each dispatcher builds its own context (stale views differ
+            // per dispatcher, and a shared solver table would be computed
+            // against a view some dispatchers do not see); the cache is a
+            // pure accelerator, so skipping it is decision-invisible.
+            let shared_ctx: Option<DispatchContext<'_>> = if scn_active {
+                None
+            } else {
+                let ctx = if cache_demand > CacheDemand::None {
+                    if have_deltas {
+                        round_cache.begin_round_delta(&snapshot, rates, &dirty, cache_demand);
+                    } else {
+                        round_cache.begin_round_for(&snapshot, rates, cache_demand);
+                    }
+                    DispatchContext::with_cache(&snapshot, rates, m, round, &round_cache)
                 } else {
-                    round_cache.begin_round_for(&snapshot, rates, cache_demand);
-                }
-                DispatchContext::with_cache(&snapshot, rates, m, round, &round_cache)
-            } else {
-                DispatchContext::new(&snapshot, rates, m, round)
+                    DispatchContext::new(&snapshot, rates, m, round)
+                };
+                Some(if have_deltas {
+                    ctx.with_dirty(&dirty)
+                } else {
+                    ctx
+                })
             };
-            let ctx = if have_deltas {
-                ctx.with_dirty(&dirty)
+            let scn_round: Option<ScenarioRound<'_>> = if scn_active {
+                Some(ScenarioRound {
+                    rates,
+                    snapshot: &snapshot,
+                    ring: ring.as_deref(),
+                    k_effs: &k_effs,
+                    stale_prev: &stale_prev,
+                    dirty: if have_deltas { Some(&dirty) } else { None },
+                    avail: &avail,
+                    oracle: oracle.as_ref(),
+                    m,
+                    round,
+                })
             } else {
-                ctx
+                None
+            };
+            let ctx_for = |d: usize| match shared_ctx {
+                Some(ctx) => ctx,
+                None => scn_round
+                    .as_ref()
+                    .expect("a scenario round exists whenever there is no shared context")
+                    .ctx(d),
             };
 
-            // Phase 1: arrivals.
+            // Phase 1: arrivals. Arrivals are always *sampled* (the stream
+            // must not depend on the scenario), then jobs arriving at an
+            // offline dispatcher — or while no server is up — are lost.
             arrivals.clear();
             arrivals.extend(arrival_processes.iter().map(|p| p.sample(&mut arrival_rng)));
+            if scn_active {
+                let no_server_up = avail.num_up() == 0;
+                for d in 0..m {
+                    if (!dispatcher_up[d] || no_server_up) && arrivals[d] > 0 {
+                        degradation.arrivals_lost =
+                            degradation.arrivals_lost.saturating_add(arrivals[d]);
+                        arrivals[d] = 0;
+                    }
+                }
+            }
 
             // Phase 2: dispatching. All dispatchers see the same snapshot and
             // act independently (so the iteration order is free — see
-            // `dispatch_order` above).
+            // `dispatch_order` above). Under an active scenario the views may
+            // differ per dispatcher; offline dispatchers still observe (their
+            // failure silences their arrivals, not their bookkeeping).
             for d in 0..m {
+                let ctx = ctx_for(d);
                 policies[d].observe_round(&ctx, &mut policy_rngs[d]);
             }
             if track_deltas {
@@ -281,6 +522,7 @@ impl Simulation {
                     continue;
                 }
                 assignment.clear();
+                let ctx = ctx_for(d);
                 match decision_times.as_mut() {
                     // Warm-up decisions are never recorded, so they skip the
                     // two `Instant::now()` reads as well — warm-up rounds
@@ -337,6 +579,11 @@ impl Simulation {
                                 num_servers: n,
                             }));
                         }
+                        if scn_active && !avail.is_up(server.index()) {
+                            return Err(violation(ModelError::ServerDown {
+                                server: server.index(),
+                            }));
+                        }
                         let mut count = 1u64;
                         while i + (count as usize) < assignment.len()
                             && assignment[i + count as usize] == server
@@ -344,6 +591,13 @@ impl Simulation {
                             count += 1;
                         }
                         queues[server.index()].push(round, count);
+                        if scn_active {
+                            let slot = server.index();
+                            if recv_counts[slot] == 0 {
+                                recv_touched.push(slot as u32);
+                            }
+                            recv_counts[slot] += count;
+                        }
                         i += count as usize;
                     }
                 } else {
@@ -357,8 +611,26 @@ impl Simulation {
                             source,
                         }
                     })?;
+                    if scn_active {
+                        if let Some(&bad) = assignment.iter().find(|s| !avail.is_up(s.index())) {
+                            return Err(SimError::PolicyViolation {
+                                policy: factory.name().to_string(),
+                                dispatcher: d,
+                                source: ModelError::ServerDown {
+                                    server: bad.index(),
+                                },
+                            });
+                        }
+                    }
                     for &server in &assignment {
                         queues[server.index()].push(round, 1);
+                        if scn_active {
+                            let slot = server.index();
+                            if recv_counts[slot] == 0 {
+                                recv_touched.push(slot as u32);
+                            }
+                            recv_counts[slot] += 1;
+                        }
                     }
                 }
                 if measured_round {
@@ -366,12 +638,35 @@ impl Simulation {
                 }
             }
 
+            if scn_active {
+                // Herding indicator: a round where one server received a
+                // strict majority of the (at least two) dispatched jobs —
+                // the signature failure mode of stale uncoordinated views.
+                let mut total = 0u64;
+                let mut peak = 0u64;
+                for &s in &recv_touched {
+                    let c = recv_counts[s as usize];
+                    total += c;
+                    peak = peak.max(c);
+                    recv_counts[s as usize] = 0;
+                }
+                recv_touched.clear();
+                if total >= 2 && 2 * peak > total {
+                    degradation.herding_rounds += 1;
+                }
+            }
+
             // Phase 3: departures. Capacities are drawn for every server every
             // round (even idle ones) so the service stream does not depend on
-            // the policy under test. Whole segments complete at once, so this
-            // phase costs O(segments touched), not O(jobs).
+            // either the policy under test or the scenario; a down server's
+            // draw is then discarded — its queue freezes until repair. Whole
+            // segments complete at once, so this phase costs O(segments
+            // touched), not O(jobs).
             for s in 0..n {
                 let capacity = service_processes[s].sample(&mut service_rng);
+                if scn_active && !avail.is_up(s) {
+                    continue;
+                }
                 queues[s].pop(capacity, |arrival_round, count| {
                     if arrival_round >= warmup {
                         response_times.record_many(round - arrival_round + 1, count);
@@ -404,6 +699,11 @@ impl Simulation {
                 mean_idle_fraction,
             },
             decision_times_us: decision_times,
+            degradation: scn_active.then(|| {
+                let mut metrics = degradation;
+                metrics.probes_dropped = oracle.as_ref().map_or(0, |o| o.dropped());
+                metrics
+            }),
         })
     }
 }
@@ -490,6 +790,7 @@ mod tests {
             arrivals: ArrivalSpec::Deterministic { jobs_per_round: 2 },
             services: ServiceModel::Deterministic,
             measure_decision_times: false,
+            scenario: crate::scenario::ScenarioSpec::default(),
         }
     }
 

@@ -69,6 +69,7 @@ pub mod pool;
 pub mod queues;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod services;
 pub mod shard;
 
@@ -76,10 +77,11 @@ pub use arrivals::ArrivalSpec;
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{SimError, Simulation};
 pub use queues::SegmentQueue;
-pub use report::{QueueSummary, SimReport};
+pub use report::{DegradationMetrics, QueueSummary, SimReport};
 pub use runner::{
     fan_out, fan_out_scoped, run_comparison, run_comparison_parallel, run_replications,
     ComparisonResult,
 };
+pub use scenario::{ScenarioSpec, StalenessSpec, MAX_STALENESS};
 pub use services::ServiceModel;
 pub use shard::{merge_shard_reports, ShardPlan, ShardReport, ShardedSimulation};

@@ -52,6 +52,51 @@ impl QueueSummary {
     }
 }
 
+/// Degradation statistics of a run under an active fault/churn/staleness
+/// scenario (see `crates/sim/src/scenario.rs`). Counted over **all** rounds
+/// (warm-up included — the scenario does not pause while statistics do),
+/// with the same saturating, mergeable discipline as the run counters: the
+/// sharded engine merges per-shard metrics by saturating addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DegradationMetrics {
+    /// Total server-rounds spent down (summed over servers).
+    pub server_down_rounds: u64,
+    /// Total dispatcher-rounds spent offline (summed over dispatchers).
+    pub dispatcher_offline_rounds: u64,
+    /// Jobs that arrived at an offline dispatcher (or while no server was
+    /// up) and were lost.
+    pub arrivals_lost: u64,
+    /// Probes of the probe-marking policies (LSQ, LED) lost to the
+    /// scenario's probe-loss process.
+    pub probes_dropped: u64,
+    /// Dispatcher-rounds in which an online dispatcher decided on a stale
+    /// (at least one round old) queue view.
+    pub stale_decision_rounds: u64,
+    /// Rounds in which one server received a strict majority of the round's
+    /// dispatched jobs (of at least two) — the herding indicator the stale-
+    /// information experiments track.
+    pub herding_rounds: u64,
+}
+
+impl DegradationMetrics {
+    /// Accumulates another disjoint slice of the run (saturating, like the
+    /// shard merge of the run counters).
+    pub fn merge(&mut self, other: &DegradationMetrics) {
+        self.server_down_rounds = self
+            .server_down_rounds
+            .saturating_add(other.server_down_rounds);
+        self.dispatcher_offline_rounds = self
+            .dispatcher_offline_rounds
+            .saturating_add(other.dispatcher_offline_rounds);
+        self.arrivals_lost = self.arrivals_lost.saturating_add(other.arrivals_lost);
+        self.probes_dropped = self.probes_dropped.saturating_add(other.probes_dropped);
+        self.stale_decision_rounds = self
+            .stale_decision_rounds
+            .saturating_add(other.stale_decision_rounds);
+        self.herding_rounds = self.herding_rounds.saturating_add(other.herding_rounds);
+    }
+}
+
 /// The result of simulating one policy on one configuration.
 ///
 /// `PartialEq` compares every collected statistic, which is what the
@@ -82,6 +127,9 @@ pub struct SimReport {
     /// `measure_decision_times`. Recorded into a fixed log-bucketed
     /// histogram so the measured hot path stays allocation-free.
     pub decision_times_us: Option<DecisionTimeHistogram>,
+    /// Degradation statistics, present exactly when the run's scenario was
+    /// active (`None` on the fair-weather fast path).
+    pub degradation: Option<DegradationMetrics>,
 }
 
 impl SimReport {
@@ -153,7 +201,34 @@ mod tests {
                 mean_idle_fraction: 0.25,
             },
             decision_times_us: None,
+            degradation: None,
         }
+    }
+
+    #[test]
+    fn degradation_metrics_merge_saturating() {
+        let mut a = DegradationMetrics {
+            server_down_rounds: 5,
+            dispatcher_offline_rounds: 2,
+            arrivals_lost: 7,
+            probes_dropped: 1,
+            stale_decision_rounds: 3,
+            herding_rounds: u64::MAX,
+        };
+        let b = DegradationMetrics {
+            server_down_rounds: 1,
+            dispatcher_offline_rounds: 0,
+            arrivals_lost: 3,
+            probes_dropped: 9,
+            stale_decision_rounds: 0,
+            herding_rounds: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.server_down_rounds, 6);
+        assert_eq!(a.arrivals_lost, 10);
+        assert_eq!(a.probes_dropped, 10);
+        assert_eq!(a.herding_rounds, u64::MAX, "merge must saturate");
+        assert_eq!(DegradationMetrics::default(), DegradationMetrics::default());
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! Deterministic fault, churn, and stale-information scenarios.
+//!
+//! A [`ScenarioSpec`] describes everything that can go wrong in a run:
+//! seeded server crash/repair processes, dispatcher churn (an offline
+//! dispatcher contributes no arrivals), per-dispatcher stale snapshots
+//! (decisions taken on a `k`-round-old queue view), and probe loss for the
+//! probe-marking policies (LSQ, LED). The default spec is "no faults", and
+//! the engine promises that a default spec reconstructs the fair-weather
+//! round loop **bit for bit** — the goldens in `tests/engine_golden.rs` are
+//! the proof.
+//!
+//! Every stochastic element of a scenario derives from one scenario master
+//! seed (the run's master seed unless [`ScenarioSpec::seed`] pins one) via
+//! the counter-mode streams of `scd_model::streams`
+//! (`FAULT_STREAM_TAG`, `STALENESS_STREAM_TAG`, `PROBE_LOSS_STREAM_TAG`),
+//! keyed by each entity's **global** id. A sharded run therefore replays the
+//! exact schedule of the unsharded run: `ShardedSimulation` pins the
+//! scenario master and hands every shard the global ids of its servers and
+//! dispatchers through [`ScenarioSpec::server_ids`] /
+//! [`ScenarioSpec::dispatcher_ids`].
+//!
+//! Scenario files for the `sweep` binary's `--scenario` flag use a plain
+//! `key = value` format ([`ScenarioSpec::from_key_values`]); the types also
+//! carry the workspace-standard serde derives.
+
+use crate::engine::SimError;
+use serde::{Deserialize, Serialize};
+
+/// How stale each dispatcher's queue-length view is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StalenessSpec {
+    /// Every dispatcher sees the fresh round-`t` snapshot (the paper's
+    /// baseline information model, and the default).
+    #[default]
+    Fresh,
+    /// Every dispatcher decides on the snapshot of round `t − k` (clamped
+    /// to round 0 while the run is younger than `k`). `k = 0` exercises the
+    /// scenario code path with fresh information — bit-identical to
+    /// [`Fresh`](StalenessSpec::Fresh) by contract.
+    Fixed {
+        /// The snapshot age in rounds.
+        k: u64,
+    },
+    /// Each dispatcher independently draws its view's age uniformly from
+    /// `0..=max_k` every round, from the `STALENESS_STREAM_TAG` stream of
+    /// its global id.
+    UniformPerRound {
+        /// The largest possible snapshot age.
+        max_k: u64,
+    },
+}
+
+impl StalenessSpec {
+    /// The deepest snapshot age this spec can request — the engine sizes
+    /// its snapshot ring as `max_k() + 1`.
+    pub fn max_k(&self) -> u64 {
+        match self {
+            StalenessSpec::Fresh => 0,
+            StalenessSpec::Fixed { k } => *k,
+            StalenessSpec::UniformPerRound { max_k } => *max_k,
+        }
+    }
+}
+
+/// Upper bound on the staleness depth — bounds the engine's snapshot ring.
+pub const MAX_STALENESS: u64 = 4_096;
+
+/// Deterministic description of the failures a run is subjected to.
+///
+/// All probabilities are per entity per round: an up server crashes with
+/// probability `server_fail_rate` and a down one repairs with
+/// `server_repair_rate` (geometric up/down spans), and likewise for
+/// dispatchers. Every process starts in the up state at round 0.
+///
+/// The default value is the inert scenario — see
+/// [`is_inert`](ScenarioSpec::is_inert).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Per-round crash probability of an up server.
+    pub server_fail_rate: f64,
+    /// Per-round repair probability of a down server.
+    pub server_repair_rate: f64,
+    /// Per-round churn-out probability of an online dispatcher.
+    pub dispatcher_fail_rate: f64,
+    /// Per-round return probability of an offline dispatcher.
+    pub dispatcher_repair_rate: f64,
+    /// The staleness model of the dispatchers' queue views.
+    pub staleness: StalenessSpec,
+    /// Per-probe loss probability for probe-marking policies (LSQ, LED).
+    pub probe_loss_rate: f64,
+    /// The scenario master seed; `None` uses the run's master seed. The
+    /// sharded engine pins this to the base run's master so every shard
+    /// derives the identical schedule.
+    pub seed: Option<u64>,
+    /// Global id of each local server (`server_ids[local] = global`), for
+    /// shard slices of a larger run. `None` means local ids are global.
+    pub server_ids: Option<Vec<u32>>,
+    /// Global id of each local dispatcher; `None` means local ids are
+    /// global.
+    pub dispatcher_ids: Option<Vec<u32>>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            server_fail_rate: 0.0,
+            server_repair_rate: 0.0,
+            dispatcher_fail_rate: 0.0,
+            dispatcher_repair_rate: 0.0,
+            staleness: StalenessSpec::Fresh,
+            probe_loss_rate: 0.0,
+            seed: None,
+            server_ids: None,
+            dispatcher_ids: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Whether this scenario asks for nothing at all, in which case the
+    /// engine runs the fair-weather fast path (no fault phase, no snapshot
+    /// ring, shared per-round context and cache) and is bit-identical to
+    /// the pre-scenario engine.
+    ///
+    /// Note the asymmetry with [`StalenessSpec::Fresh`]: `Fixed { k: 0 }`
+    /// is *not* inert — it routes through the scenario code path (per-
+    /// dispatcher contexts reading the depth-0 ring slot), whose
+    /// bit-identity to the fast path is a tested contract rather than a
+    /// definition.
+    pub fn is_inert(&self) -> bool {
+        self.server_fail_rate == 0.0
+            && self.server_repair_rate == 0.0
+            && self.dispatcher_fail_rate == 0.0
+            && self.dispatcher_repair_rate == 0.0
+            && self.staleness == StalenessSpec::Fresh
+            && self.probe_loss_rate == 0.0
+    }
+
+    /// Whether any server/dispatcher fault process can ever fire.
+    pub fn has_faults(&self) -> bool {
+        self.server_fail_rate > 0.0 || self.dispatcher_fail_rate > 0.0
+    }
+
+    /// The scenario master seed for a run whose master seed is `master`.
+    pub fn resolved_seed(&self, master: u64) -> u64 {
+        self.seed.unwrap_or(master)
+    }
+
+    /// The global id of local server `local`.
+    ///
+    /// # Panics
+    /// Panics if an id map is present but shorter than `local` (prevented
+    /// by [`validate`](ScenarioSpec::validate)).
+    pub fn server_global_id(&self, local: usize) -> u64 {
+        match &self.server_ids {
+            Some(map) => map[local] as u64,
+            None => local as u64,
+        }
+    }
+
+    /// The global id of local dispatcher `local`.
+    ///
+    /// # Panics
+    /// Panics if an id map is present but shorter than `local` (prevented
+    /// by [`validate`](ScenarioSpec::validate)).
+    pub fn dispatcher_global_id(&self, local: usize) -> u64 {
+        match &self.dispatcher_ids {
+            Some(map) => map[local] as u64,
+            None => local as u64,
+        }
+    }
+
+    /// Validates the scenario against a cluster of `num_servers` servers
+    /// and `num_dispatchers` dispatchers.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] when a rate is not a probability,
+    /// the staleness depth exceeds [`MAX_STALENESS`], or an id map's length
+    /// does not match the cluster.
+    pub fn validate(&self, num_servers: usize, num_dispatchers: usize) -> Result<(), SimError> {
+        let rates = [
+            ("server fail rate", self.server_fail_rate),
+            ("server repair rate", self.server_repair_rate),
+            ("dispatcher fail rate", self.dispatcher_fail_rate),
+            ("dispatcher repair rate", self.dispatcher_repair_rate),
+            ("probe loss rate", self.probe_loss_rate),
+        ];
+        for (name, rate) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(SimError::InvalidConfig(format!(
+                    "scenario {name} must be a probability in [0, 1], got {rate}"
+                )));
+            }
+        }
+        let max_k = self.staleness.max_k();
+        if max_k > MAX_STALENESS {
+            return Err(SimError::InvalidConfig(format!(
+                "scenario staleness depth {max_k} exceeds the supported maximum {MAX_STALENESS}"
+            )));
+        }
+        if let Some(map) = &self.server_ids {
+            if map.len() != num_servers {
+                return Err(SimError::InvalidConfig(format!(
+                    "scenario server id map has {} entries for a cluster of {num_servers} servers",
+                    map.len()
+                )));
+            }
+        }
+        if let Some(map) = &self.dispatcher_ids {
+            if map.len() != num_dispatchers {
+                return Err(SimError::InvalidConfig(format!(
+                    "scenario dispatcher id map has {} entries for {num_dispatchers} dispatchers",
+                    map.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the `key = value` scenario-file format of the `sweep` binary:
+    /// one assignment per line, `#` comments, blank lines ignored.
+    ///
+    /// Recognized keys: `server_fail_rate`, `server_repair_rate`,
+    /// `dispatcher_fail_rate`, `dispatcher_repair_rate`, `probe_loss_rate`
+    /// (floats); `stale_k` (fixed staleness) or `stale_max_k` (per-round
+    /// uniform draw) — mutually exclusive; `seed` (pins the scenario
+    /// master). Id maps are engine-internal and have no file syntax.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for malformed lines, unknown
+    /// keys, unparsable values, or both staleness keys at once.
+    pub fn from_key_values(text: &str) -> Result<ScenarioSpec, SimError> {
+        let mut spec = ScenarioSpec::default();
+        let mut stale_fixed: Option<u64> = None;
+        let mut stale_uniform: Option<u64> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.split_once('#') {
+                Some((before, _comment)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "scenario line {}: expected `key = value`, got {raw:?}",
+                    lineno + 1
+                ))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad_value = |what: &str| {
+                SimError::InvalidConfig(format!(
+                    "scenario line {}: `{key}` needs {what}, got {value:?}",
+                    lineno + 1
+                ))
+            };
+            match key {
+                "server_fail_rate" => {
+                    spec.server_fail_rate = value.parse().map_err(|_| bad_value("a float"))?;
+                }
+                "server_repair_rate" => {
+                    spec.server_repair_rate = value.parse().map_err(|_| bad_value("a float"))?;
+                }
+                "dispatcher_fail_rate" => {
+                    spec.dispatcher_fail_rate = value.parse().map_err(|_| bad_value("a float"))?;
+                }
+                "dispatcher_repair_rate" => {
+                    spec.dispatcher_repair_rate =
+                        value.parse().map_err(|_| bad_value("a float"))?;
+                }
+                "probe_loss_rate" => {
+                    spec.probe_loss_rate = value.parse().map_err(|_| bad_value("a float"))?;
+                }
+                "stale_k" => {
+                    stale_fixed = Some(value.parse().map_err(|_| bad_value("an integer"))?);
+                }
+                "stale_max_k" => {
+                    stale_uniform = Some(value.parse().map_err(|_| bad_value("an integer"))?);
+                }
+                "seed" => {
+                    spec.seed = Some(value.parse().map_err(|_| bad_value("an integer"))?);
+                }
+                _ => {
+                    return Err(SimError::InvalidConfig(format!(
+                        "scenario line {}: unknown key {key:?}",
+                        lineno + 1
+                    )));
+                }
+            }
+        }
+        spec.staleness = match (stale_fixed, stale_uniform) {
+            (Some(_), Some(_)) => {
+                return Err(SimError::InvalidConfig(
+                    "scenario sets both `stale_k` and `stale_max_k`; pick one".into(),
+                ));
+            }
+            (Some(k), None) => StalenessSpec::Fixed { k },
+            (None, Some(max_k)) => StalenessSpec::UniformPerRound { max_k },
+            (None, None) => StalenessSpec::Fresh,
+        };
+        Ok(spec)
+    }
+
+    /// Renders the scenario back into the `key = value` file format —
+    /// [`from_key_values`](ScenarioSpec::from_key_values) of the result
+    /// reconstructs `self` exactly (id maps excepted; they have no file
+    /// syntax).
+    pub fn to_key_values(&self) -> String {
+        let mut out = String::new();
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(&value);
+            out.push('\n');
+        };
+        push("server_fail_rate", self.server_fail_rate.to_string());
+        push("server_repair_rate", self.server_repair_rate.to_string());
+        push(
+            "dispatcher_fail_rate",
+            self.dispatcher_fail_rate.to_string(),
+        );
+        push(
+            "dispatcher_repair_rate",
+            self.dispatcher_repair_rate.to_string(),
+        );
+        push("probe_loss_rate", self.probe_loss_rate.to_string());
+        match self.staleness {
+            StalenessSpec::Fresh => {}
+            StalenessSpec::Fixed { k } => push("stale_k", k.to_string()),
+            StalenessSpec::UniformPerRound { max_k } => push("stale_max_k", max_k.to_string()),
+        }
+        if let Some(seed) = self.seed {
+            push("seed", seed.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_is_inert() {
+        let spec = ScenarioSpec::default();
+        assert!(spec.is_inert());
+        assert!(!spec.has_faults());
+        assert_eq!(spec.staleness.max_k(), 0);
+        assert_eq!(spec.resolved_seed(42), 42);
+        assert_eq!(spec.server_global_id(3), 3);
+        assert_eq!(spec.dispatcher_global_id(1), 1);
+        spec.validate(8, 3).unwrap();
+    }
+
+    #[test]
+    fn stale_zero_is_active_but_fresh_is_not() {
+        let fixed0 = ScenarioSpec {
+            staleness: StalenessSpec::Fixed { k: 0 },
+            ..ScenarioSpec::default()
+        };
+        assert!(
+            !fixed0.is_inert(),
+            "Fixed {{ k: 0 }} must take the scenario path"
+        );
+        assert_eq!(fixed0.staleness.max_k(), 0);
+    }
+
+    #[test]
+    fn id_maps_override_global_ids() {
+        let spec = ScenarioSpec {
+            server_ids: Some(vec![4, 9]),
+            dispatcher_ids: Some(vec![7]),
+            ..ScenarioSpec::default()
+        };
+        assert_eq!(spec.server_global_id(1), 9);
+        assert_eq!(spec.dispatcher_global_id(0), 7);
+        spec.validate(2, 1).unwrap();
+        assert!(spec.validate(3, 1).is_err());
+        assert!(spec.validate(2, 2).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_probabilities_and_deep_staleness() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let spec = ScenarioSpec {
+                server_fail_rate: bad,
+                ..ScenarioSpec::default()
+            };
+            assert!(spec.validate(4, 2).is_err(), "accepted fail rate {bad}");
+            let spec = ScenarioSpec {
+                probe_loss_rate: bad,
+                ..ScenarioSpec::default()
+            };
+            assert!(spec.validate(4, 2).is_err(), "accepted loss rate {bad}");
+        }
+        let spec = ScenarioSpec {
+            staleness: StalenessSpec::Fixed {
+                k: MAX_STALENESS + 1,
+            },
+            ..ScenarioSpec::default()
+        };
+        assert!(spec.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn key_value_format_round_trips() {
+        let cases = [
+            ScenarioSpec::default(),
+            ScenarioSpec {
+                server_fail_rate: 0.05,
+                server_repair_rate: 0.25,
+                dispatcher_fail_rate: 0.01,
+                dispatcher_repair_rate: 0.5,
+                staleness: StalenessSpec::Fixed { k: 3 },
+                probe_loss_rate: 0.1,
+                seed: Some(77),
+                ..ScenarioSpec::default()
+            },
+            ScenarioSpec {
+                staleness: StalenessSpec::UniformPerRound { max_k: 8 },
+                ..ScenarioSpec::default()
+            },
+        ];
+        for spec in cases {
+            let text = spec.to_key_values();
+            let parsed = ScenarioSpec::from_key_values(&text).unwrap();
+            assert_eq!(parsed, spec, "round trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_comments_and_rejects_malformed_input() {
+        let spec = ScenarioSpec::from_key_values(
+            "# a herding scenario\n\nserver_fail_rate = 0.02 # trailing comment\nstale_k = 2\n",
+        )
+        .unwrap();
+        assert_eq!(spec.server_fail_rate, 0.02);
+        assert_eq!(spec.staleness, StalenessSpec::Fixed { k: 2 });
+
+        for bad in [
+            "no equals sign",
+            "unknown_key = 1",
+            "server_fail_rate = banana",
+            "stale_k = 1\nstale_max_k = 2",
+            "stale_k = -3",
+        ] {
+            assert!(
+                ScenarioSpec::from_key_values(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+}

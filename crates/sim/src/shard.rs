@@ -192,6 +192,12 @@ pub fn merge_shard_reports(reports: &[ShardReport]) -> SimReport {
             (mine @ None, Some(theirs)) => *mine = Some(theirs.clone()),
             (Some(_), None) => {}
         }
+        match (&mut merged.degradation, &report.degradation) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, None) => {}
+            (mine @ None, Some(theirs)) => *mine = Some(*theirs),
+            (Some(_), None) => {}
+        }
         servers_so_far += shard.num_servers;
     }
     merged
@@ -272,6 +278,39 @@ impl ShardedSimulation {
                     .spec
                     .subset(plan.servers(j))
                     .expect("striped shards are non-empty subsets of a valid cluster");
+                let num_dispatchers = striped_count(config.num_dispatchers, num_shards, j);
+                // An active scenario must replay the *same* global failure
+                // schedule regardless of layout, so the shard config pins
+                // the scenario seed to the base run's resolved seed and
+                // maps every shard-local entity to its global id (composed
+                // through any id maps the base scenario already carries).
+                // For k = 1 the config is left untouched — the single-shard
+                // path stays byte-identical to the base configuration.
+                let scenario = if num_shards > 1 && !config.scenario.is_inert() {
+                    let mut scenario = config.scenario.clone();
+                    scenario.seed = Some(config.scenario.resolved_seed(config.seed));
+                    scenario.server_ids = Some(
+                        plan.servers(j)
+                            .iter()
+                            .map(|&s| {
+                                u32::try_from(config.scenario.server_global_id(s))
+                                    .expect("global server ids fit in u32")
+                            })
+                            .collect(),
+                    );
+                    scenario.dispatcher_ids = Some(
+                        (j..config.num_dispatchers)
+                            .step_by(num_shards)
+                            .map(|d| {
+                                u32::try_from(config.scenario.dispatcher_global_id(d))
+                                    .expect("global dispatcher ids fit in u32")
+                            })
+                            .collect(),
+                    );
+                    scenario
+                } else {
+                    config.scenario.clone()
+                };
                 SimConfig {
                     spec,
                     // The dispatchers are striped like the servers (shard j
@@ -279,8 +318,9 @@ impl ShardedSimulation {
                     // sum to m and each shard keeps the system's
                     // dispatcher-to-server ratio (scaled copy, not a
                     // dispatcher-multiplied one).
-                    num_dispatchers: striped_count(config.num_dispatchers, num_shards, j),
+                    num_dispatchers,
                     seed: shard_master_seed(config.seed, num_shards, j),
+                    scenario,
                     ..config.clone()
                 }
             })

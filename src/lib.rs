@@ -77,8 +77,9 @@ pub mod prelude {
     };
     pub use scd_sim::{
         merge_shard_reports, run_comparison, run_comparison_parallel, run_replications,
-        ArrivalSpec, ComparisonResult, ServiceModel, ShardPlan, ShardReport, ShardedSimulation,
-        SimConfig, SimReport, Simulation,
+        ArrivalSpec, ComparisonResult, DegradationMetrics, ScenarioSpec, ServiceModel, ShardPlan,
+        ShardReport, ShardedSimulation, SimConfig, SimError, SimReport, Simulation, StalenessSpec,
+        MAX_STALENESS,
     };
 }
 
