@@ -114,6 +114,7 @@ fn bench_config() -> SimConfig {
         services: ServiceModel::Geometric,
         measure_decision_times: false,
         scenario: scd_sim::ScenarioSpec::default(),
+        workload: scd_sim::WorkloadSpec::default(),
     }
 }
 
@@ -223,7 +224,10 @@ fn run_legacy_engine(config: &SimConfig, factory: &dyn PolicyFactory) -> u64 {
 
     // Pre-refactor samplers: O(λ) Knuth Poisson per dispatcher per round,
     // geometric draws recomputing ln(1-p) every time.
-    let lambdas = config.arrivals.per_dispatcher_rates(m, spec.total_rate());
+    let lambdas = config
+        .arrivals
+        .per_dispatcher_rates(m, spec.total_rate())
+        .expect("benchmark arrival spec is valid");
     let arrival_dists: Vec<Option<Poisson>> = lambdas
         .iter()
         .map(|&l| (l > 0.0).then(|| Poisson::new(l).expect("positive rate")))
@@ -380,6 +384,7 @@ fn sweep_cell_config(cell: usize) -> SimConfig {
         services: ServiceModel::Geometric,
         measure_decision_times: false,
         scenario: scd_sim::ScenarioSpec::default(),
+        workload: scd_sim::WorkloadSpec::default(),
     }
 }
 

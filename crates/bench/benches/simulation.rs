@@ -36,6 +36,7 @@ fn bench_simulation(c: &mut Criterion) {
                     services: ServiceModel::Geometric,
                     measure_decision_times: false,
                     scenario: scd_sim::ScenarioSpec::default(),
+                    workload: scd_sim::WorkloadSpec::default(),
                 };
                 let simulation = Simulation::new(config).expect("valid configuration");
                 let factory = factory_by_name(policy_name).expect("registered policy");

@@ -96,6 +96,7 @@ impl EstimatorAblation {
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
                 scenario: scd_sim::ScenarioSpec::default(),
+                workload: scd_sim::WorkloadSpec::default(),
             };
             let report = Simulation::new(config)
                 .expect("experiment configurations are valid")
@@ -177,6 +178,7 @@ pub fn solver_equivalence_check(
         services: ServiceModel::Geometric,
         measure_decision_times: false,
         scenario: scd_sim::ScenarioSpec::default(),
+        workload: scd_sim::WorkloadSpec::default(),
     };
     let simulation = Simulation::new(config).expect("valid configuration");
     let fast = ScdFactory::with_options(ArrivalEstimator::ScaledByDispatchers, SolverKind::Fast);

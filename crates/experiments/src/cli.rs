@@ -47,6 +47,13 @@ pub struct CliOptions {
     /// `server_fail_rate`; a default repair rate of 0.1 is supplied when the
     /// scenario would otherwise never repair).
     pub fail_rate: Option<f64>,
+    /// Workload file (`key = value` lines) describing MMPP/diurnal/flash
+    /// modulation and job-size classes for the `sweep` binary. Figure
+    /// binaries note and ignore the flag.
+    pub workload: Option<PathBuf>,
+    /// File to which the `sweep` binary writes a Chrome/Perfetto
+    /// `trace_event` JSON timeline of one representative run.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -66,6 +73,8 @@ impl Default for CliOptions {
             scenario: None,
             stale_k: None,
             fail_rate: None,
+            workload: None,
+            trace_out: None,
         }
     }
 }
@@ -143,6 +152,14 @@ impl CliOptions {
                     let value = iter.next().ok_or("--scenario requires a file")?;
                     options.scenario = Some(PathBuf::from(value));
                 }
+                "--workload" => {
+                    let value = iter.next().ok_or("--workload requires a file")?;
+                    options.workload = Some(PathBuf::from(value));
+                }
+                "--trace-out" => {
+                    let value = iter.next().ok_or("--trace-out requires a file")?;
+                    options.trace_out = Some(PathBuf::from(value));
+                }
                 "--stale-k" => {
                     let value = iter.next().ok_or("--stale-k requires a value")?;
                     options.stale_k = Some(
@@ -193,7 +210,7 @@ pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
      [--systems 100x10,200x20] [--threads T] [--replications R] [--shards K] \
      [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
-     [--paper | --quick] [--tail]"
+     [--workload FILE] [--trace-out FILE] [--paper | --quick] [--tail]"
         .to_string()
 }
 
@@ -267,6 +284,10 @@ mod tests {
             "3",
             "--fail-rate",
             "0.05",
+            "--workload",
+            "/tmp/bursty.workload",
+            "--trace-out",
+            "/tmp/trace.json",
             "--paper",
             "--tail",
         ])
@@ -282,6 +303,11 @@ mod tests {
         assert_eq!(options.scenario, Some(PathBuf::from("/tmp/faults.scn")));
         assert_eq!(options.stale_k, Some(3));
         assert_eq!(options.fail_rate, Some(0.05));
+        assert_eq!(
+            options.workload,
+            Some(PathBuf::from("/tmp/bursty.workload"))
+        );
+        assert_eq!(options.trace_out, Some(PathBuf::from("/tmp/trace.json")));
         assert!(options.paper);
         assert!(options.tail);
     }
@@ -298,6 +324,8 @@ mod tests {
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "x"]).is_err());
         assert!(parse(&["--scenario"]).is_err());
+        assert!(parse(&["--workload"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
         assert!(parse(&["--stale-k", "x"]).is_err());
         assert!(parse(&["--fail-rate", "1.0"]).is_err());
         assert!(parse(&["--fail-rate", "-0.1"]).is_err());

@@ -147,6 +147,7 @@ impl ResponseTimeExperiment {
                 services: ServiceModel::Geometric,
                 measure_decision_times: false,
                 scenario: scd_sim::ScenarioSpec::default(),
+                workload: scd_sim::WorkloadSpec::default(),
             };
             let factory = factory_by_name(policy_name)
                 .unwrap_or_else(|| panic!("unknown policy {policy_name}"));

@@ -83,6 +83,7 @@ impl RuntimeExperiment {
                 services: ServiceModel::Geometric,
                 measure_decision_times: true,
                 scenario: scd_sim::ScenarioSpec::default(),
+                workload: scd_sim::WorkloadSpec::default(),
             };
             let factory = factory_by_name(&self.policies[pt.policy])
                 .unwrap_or_else(|| panic!("unknown policy {}", self.policies[pt.policy]));

@@ -21,7 +21,8 @@ use scd_metrics::Table;
 use scd_model::RateProfile;
 use scd_policies::factory_by_name;
 use scd_sim::{
-    ArrivalSpec, ScenarioSpec, ServiceModel, ShardedSimulation, SimConfig, StalenessSpec,
+    write_chrome_trace, ArrivalSpec, ScenarioSpec, ServiceModel, ShardedSimulation, SimConfig,
+    StalenessSpec, WorkloadSpec,
 };
 
 /// Resolved configuration of one sharded sweep.
@@ -50,6 +51,9 @@ pub struct ShardSweepSpec {
     /// Fault/churn/staleness scenario applied to every cell (the default is
     /// inert: fair-weather runs, no degradation columns in the output).
     pub scenario: ScenarioSpec,
+    /// Time-varying / trace-driven workload applied to every cell (the
+    /// default is inert: stationary Poisson arrivals).
+    pub workload: WorkloadSpec,
 }
 
 impl ShardSweepSpec {
@@ -82,6 +86,7 @@ impl ShardSweepSpec {
             shards: options.shards,
             threads: effective_threads(options.threads),
             scenario: ScenarioSpec::default(),
+            workload: WorkloadSpec::default(),
         }
     }
 }
@@ -112,6 +117,22 @@ pub fn scenario_from_options(options: &CliOptions) -> Result<ScenarioSpec, Strin
         scenario.staleness = StalenessSpec::Fixed { k };
     }
     Ok(scenario)
+}
+
+/// Resolves the `--workload` flag into a [`WorkloadSpec`] (inert when the
+/// flag is absent).
+///
+/// # Errors
+/// Returns a message for unreadable files and malformed workload keys.
+pub fn workload_from_options(options: &CliOptions) -> Result<WorkloadSpec, String> {
+    match &options.workload {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read workload file {}: {e}", path.display()))?;
+            WorkloadSpec::from_key_values(&text).map_err(|e| e.to_string())
+        }
+        None => Ok(WorkloadSpec::default()),
+    }
 }
 
 /// The averaged statistics of one `(system, load, policy)` cell.
@@ -173,6 +194,7 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
             services: ServiceModel::Geometric,
             measure_decision_times: false,
             scenario: spec.scenario.clone(),
+            workload: spec.workload.clone(),
         };
         let factory = factory_by_name(&spec.policies[pt.policy]).expect("validated above");
         // Each cell steps its shards sequentially — the grid is the
@@ -284,6 +306,7 @@ pub fn system_table(cells: &[ShardSweepCell], n: usize, m: usize) -> Table {
 pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
     let mut spec = ShardSweepSpec::resolve(options);
     spec.scenario = scenario_from_options(options)?;
+    spec.workload = workload_from_options(options)?;
     let sink = OutputSink::from_option(options.csv.as_deref()).map_err(|e| e.to_string())?;
     sink.note(&format!(
         "[sweep] shards={} rounds={} seed={} replications={} threads={} profile={:?}",
@@ -293,6 +316,12 @@ pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
         sink.note(&format!(
             "[sweep] scenario: {}",
             spec.scenario.to_key_values().replace('\n', " ")
+        ));
+    }
+    if !spec.workload.is_inert() {
+        sink.note(&format!(
+            "[sweep] workload: {}",
+            spec.workload.to_key_values().replace('\n', " ")
         ));
     }
     if options.tail {
@@ -311,7 +340,48 @@ pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
     }
+    if let Some(path) = &options.trace_out {
+        let events = write_first_cell_trace(&spec, path)?;
+        sink.note(&format!(
+            "[sweep] wrote a Chrome/Perfetto trace of the first cell ({events} events) to {}",
+            path.display()
+        ));
+    }
     Ok(())
+}
+
+/// Re-runs the sweep's first `(system, load, policy)` cell with event
+/// tracing and writes the Chrome `trace_event` JSON to `path` (the
+/// `--trace-out` flag). One representative timeline, not one per cell: a
+/// trace is an inspection artifact, and the first cell is deterministic.
+///
+/// # Errors
+/// Propagates engine errors and file I/O failures as messages.
+fn write_first_cell_trace(spec: &ShardSweepSpec, path: &std::path::Path) -> Result<usize, String> {
+    let (n, m) = spec.systems[0];
+    let cluster = cluster_for_system(&spec.profile, n, spec.seed, 0);
+    let config = SimConfig {
+        spec: cluster,
+        num_dispatchers: m,
+        rounds: spec.rounds,
+        warmup_rounds: spec.warmup,
+        seed: replication_seed(spec.seed, 0, 0, 0),
+        arrivals: ArrivalSpec::PoissonOfferedLoad {
+            offered_load: spec.loads[0],
+        },
+        services: ServiceModel::Geometric,
+        measure_decision_times: false,
+        scenario: spec.scenario.clone(),
+        workload: spec.workload.clone(),
+    };
+    let factory = factory_by_name(&spec.policies[0]).expect("validated by run_shard_sweep");
+    let (_report, trace) = ShardedSimulation::new(config, spec.shards)
+        .map_err(|e| e.to_string())?
+        .run_traced(factory.as_ref())
+        .map_err(|e| e.to_string())?;
+    write_chrome_trace(path, &trace)
+        .map_err(|e| format!("cannot write trace file {}: {e}", path.display()))?;
+    Ok(trace.events.len())
 }
 
 #[cfg(test)]
@@ -361,6 +431,7 @@ mod tests {
             services: ServiceModel::Geometric,
             measure_decision_times: false,
             scenario: scd_sim::ScenarioSpec::default(),
+            workload: scd_sim::WorkloadSpec::default(),
         };
         let factory = factory_by_name(&spec.policies[0]).unwrap();
         let report = Simulation::new(config)

@@ -45,9 +45,16 @@ pub const FAULT_STREAM_TAG: u64 = 0x46_41_55_4C_54_53_00_00;
 pub const STALENESS_STREAM_TAG: u64 = 0x53_54_41_4C_45_00_00_00;
 /// Tag of the per-dispatcher probe-loss streams (`"PROBELOS"`).
 pub const PROBE_LOSS_STREAM_TAG: u64 = 0x50_52_4F_42_45_4C_4F_53;
+/// Tag of the workload-layer streams — time-varying arrival modulation and
+/// per-dispatcher counter-mode arrival draws (`"WORKLOAD"`). Per-dispatcher
+/// arrival streams use the dispatcher's global id as the derivation index;
+/// the system-wide modulation chains (MMPP phase walk, flash-crowd offsets)
+/// use `(1 << 63) | chain`, so the two index families can never share a
+/// stream (the same split the fault tag uses for its two entity families).
+pub const WORKLOAD_STREAM_TAG: u64 = 0x57_4F_52_4B_4C_4F_41_44;
 
 /// Every stream tag of the workspace, for exhaustive collision audits.
-pub const ALL_STREAM_TAGS: [u64; 7] = [
+pub const ALL_STREAM_TAGS: [u64; 8] = [
     ARRIVAL_STREAM_TAG,
     SERVICE_STREAM_TAG,
     POLICY_STREAM_TAG,
@@ -55,6 +62,7 @@ pub const ALL_STREAM_TAGS: [u64; 7] = [
     FAULT_STREAM_TAG,
     STALENESS_STREAM_TAG,
     PROBE_LOSS_STREAM_TAG,
+    WORKLOAD_STREAM_TAG,
 ];
 
 // Compile-time proof that the stream tags are pairwise distinct: a new tag
@@ -184,6 +192,7 @@ mod tests {
             FAULT_STREAM_TAG,
             STALENESS_STREAM_TAG,
             PROBE_LOSS_STREAM_TAG,
+            WORKLOAD_STREAM_TAG,
             ARRIVAL_STREAM_TAG ^ SERVICE_STREAM_TAG,
             ARRIVAL_STREAM_TAG ^ POLICY_STREAM_TAG,
             FAULT_STREAM_TAG ^ STALENESS_STREAM_TAG,
@@ -199,15 +208,23 @@ mod tests {
                 seeds.insert(derive_stream_seed(master, STALENESS_STREAM_TAG, d));
                 seeds.insert(derive_stream_seed(master, PROBE_LOSS_STREAM_TAG, d));
                 // The fault tag hosts two entity families: servers at the
-                // plain index, dispatchers at `(1 << 63) | index`.
+                // plain index, dispatchers at `(1 << 63) | index`. The
+                // workload tag splits the same way: per-dispatcher arrival
+                // streams at the plain index, modulation chains above.
                 seeds.insert(derive_stream_seed(master, FAULT_STREAM_TAG, d));
                 seeds.insert(derive_stream_seed(
                     master,
                     FAULT_STREAM_TAG,
                     (1u64 << 63) | d,
                 ));
+                seeds.insert(derive_stream_seed(master, WORKLOAD_STREAM_TAG, d));
+                seeds.insert(derive_stream_seed(
+                    master,
+                    WORKLOAD_STREAM_TAG,
+                    (1u64 << 63) | d,
+                ));
             }
-            assert_eq!(seeds.len(), 2 + 64 * 5, "collision for master {master:#x}");
+            assert_eq!(seeds.len(), 2 + 64 * 7, "collision for master {master:#x}");
         }
     }
 
@@ -295,6 +312,8 @@ mod tests {
             (FAULT_STREAM_TAG, ARRIVAL_STREAM_TAG),
             (STALENESS_STREAM_TAG, POLICY_STREAM_TAG),
             (PROBE_LOSS_STREAM_TAG, FAULT_STREAM_TAG),
+            (WORKLOAD_STREAM_TAG, ARRIVAL_STREAM_TAG),
+            (WORKLOAD_STREAM_TAG, SHARD_STREAM_TAG),
         ];
         for (a, b) in tag_pairs {
             for index in 0..4u64 {

@@ -6,6 +6,7 @@
 //! equally across dispatchers. Deterministic arrivals are provided for unit
 //! tests and worked examples.
 
+use crate::engine::SimError;
 use rand::Rng;
 use rand_distr::{Distribution, Poisson};
 use serde::{Deserialize, Serialize};
@@ -34,67 +35,103 @@ pub enum ArrivalSpec {
 }
 
 impl ArrivalSpec {
+    /// Validates the specification against the dispatcher count without
+    /// resolving rates (sugar over
+    /// [`per_dispatcher_rates`](ArrivalSpec::per_dispatcher_rates) with a
+    /// unit capacity — every rejection is capacity-independent).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] under the same conditions as
+    /// [`per_dispatcher_rates`](ArrivalSpec::per_dispatcher_rates).
+    pub fn validate(&self, num_dispatchers: usize) -> Result<(), SimError> {
+        self.per_dispatcher_rates(num_dispatchers, 1.0).map(|_| ())
+    }
+
     /// Resolves the specification into per-dispatcher mean arrival rates.
     ///
-    /// # Panics
-    /// Panics if the explicit rate vector length does not match the number of
-    /// dispatchers, or if any rate is negative/non-finite.
-    pub fn per_dispatcher_rates(&self, num_dispatchers: usize, total_capacity: f64) -> Vec<f64> {
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] if the offered load is not
+    /// positive and finite, the explicit rate vector length does not match
+    /// the number of dispatchers, or any rate is negative/non-finite.
+    pub fn per_dispatcher_rates(
+        &self,
+        num_dispatchers: usize,
+        total_capacity: f64,
+    ) -> Result<Vec<f64>, SimError> {
         let rates = match self {
             ArrivalSpec::PoissonOfferedLoad { offered_load } => {
-                assert!(
-                    offered_load.is_finite() && *offered_load > 0.0,
-                    "offered load must be positive and finite, got {offered_load}"
-                );
+                if !offered_load.is_finite() || *offered_load <= 0.0 {
+                    return Err(SimError::InvalidConfig(format!(
+                        "offered load must be positive and finite, got {offered_load}"
+                    )));
+                }
                 vec![offered_load * total_capacity / num_dispatchers as f64; num_dispatchers]
             }
             ArrivalSpec::PoissonRates { rates } => {
-                assert_eq!(
-                    rates.len(),
-                    num_dispatchers,
-                    "arrival rate vector must have one entry per dispatcher"
-                );
+                if rates.len() != num_dispatchers {
+                    return Err(SimError::InvalidConfig(format!(
+                        "arrival rate vector must have one entry per dispatcher \
+                         ({num_dispatchers}), got {}",
+                        rates.len()
+                    )));
+                }
                 rates.clone()
             }
             ArrivalSpec::Deterministic { jobs_per_round } => {
                 vec![*jobs_per_round as f64; num_dispatchers]
             }
         };
-        for &r in &rates {
-            assert!(
-                r.is_finite() && r >= 0.0,
-                "arrival rates must be non-negative"
-            );
+        for (d, &r) in rates.iter().enumerate() {
+            if !r.is_finite() || r < 0.0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "arrival rates must be finite and non-negative, dispatcher {d} has {r}"
+                )));
+            }
         }
-        rates
+        Ok(rates)
     }
 
     /// Instantiates the per-dispatcher samplers.
-    pub fn build(&self, num_dispatchers: usize, total_capacity: f64) -> Vec<ArrivalProcess> {
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] under the same conditions as
+    /// [`per_dispatcher_rates`](ArrivalSpec::per_dispatcher_rates).
+    pub fn build(
+        &self,
+        num_dispatchers: usize,
+        total_capacity: f64,
+    ) -> Result<Vec<ArrivalProcess>, SimError> {
         match self {
-            ArrivalSpec::Deterministic { jobs_per_round } => {
-                vec![
-                    ArrivalProcess::Deterministic {
-                        jobs_per_round: *jobs_per_round
-                    };
-                    num_dispatchers
-                ]
-            }
-            _ => self
-                .per_dispatcher_rates(num_dispatchers, total_capacity)
+            ArrivalSpec::Deterministic { jobs_per_round } => Ok(vec![
+                ArrivalProcess::Deterministic {
+                    jobs_per_round: *jobs_per_round
+                };
+                num_dispatchers
+            ]),
+            _ => Ok(self
+                .per_dispatcher_rates(num_dispatchers, total_capacity)?
                 .into_iter()
                 .map(ArrivalProcess::poisson)
-                .collect(),
+                .collect()),
         }
     }
 
     /// The offered load this specification induces on a cluster with the
     /// given total capacity.
-    pub fn offered_load(&self, num_dispatchers: usize, total_capacity: f64) -> f64 {
-        self.per_dispatcher_rates(num_dispatchers, total_capacity)
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] under the same conditions as
+    /// [`per_dispatcher_rates`](ArrivalSpec::per_dispatcher_rates).
+    pub fn offered_load(
+        &self,
+        num_dispatchers: usize,
+        total_capacity: f64,
+    ) -> Result<f64, SimError> {
+        Ok(self
+            .per_dispatcher_rates(num_dispatchers, total_capacity)?
             .iter()
             .sum::<f64>()
-            / total_capacity
+            / total_capacity)
     }
 }
 
@@ -165,12 +202,12 @@ mod tests {
     #[test]
     fn offered_load_spec_splits_rate_equally() {
         let spec = ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 };
-        let rates = spec.per_dispatcher_rates(5, 100.0);
+        let rates = spec.per_dispatcher_rates(5, 100.0).unwrap();
         assert_eq!(rates.len(), 5);
         for r in &rates {
             assert!((r - 18.0).abs() < 1e-12);
         }
-        assert!((spec.offered_load(5, 100.0) - 0.9).abs() < 1e-12);
+        assert!((spec.offered_load(5, 100.0).unwrap() - 0.9).abs() < 1e-12);
     }
 
     #[test]
@@ -178,26 +215,56 @@ mod tests {
         let spec = ArrivalSpec::PoissonRates {
             rates: vec![1.0, 2.0],
         };
-        assert_eq!(spec.per_dispatcher_rates(2, 10.0), vec![1.0, 2.0]);
-        assert!((spec.offered_load(2, 10.0) - 0.3).abs() < 1e-12);
+        assert_eq!(spec.per_dispatcher_rates(2, 10.0).unwrap(), vec![1.0, 2.0]);
+        assert!((spec.offered_load(2, 10.0).unwrap() - 0.3).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "one entry per dispatcher")]
     fn explicit_rates_must_match_dispatcher_count() {
-        ArrivalSpec::PoissonRates { rates: vec![1.0] }.per_dispatcher_rates(2, 10.0);
+        let err = ArrivalSpec::PoissonRates { rates: vec![1.0] }
+            .per_dispatcher_rates(2, 10.0)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("one entry per dispatcher"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn non_finite_and_negative_rates_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = ArrivalSpec::PoissonRates {
+                rates: vec![1.0, bad],
+            }
+            .per_dispatcher_rates(2, 10.0)
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("finite and non-negative"),
+                "rate {bad}: unexpected error {err}"
+            );
+            assert!(ArrivalSpec::PoissonRates {
+                rates: vec![1.0, bad]
+            }
+            .validate(2)
+            .is_err());
+            assert!(ArrivalSpec::PoissonRates {
+                rates: vec![1.0, bad]
+            }
+            .build(2, 10.0)
+            .is_err());
+        }
     }
 
     #[test]
     fn deterministic_spec_is_exact() {
         let spec = ArrivalSpec::Deterministic { jobs_per_round: 4 };
-        let procs = spec.build(3, 10.0);
+        let procs = spec.build(3, 10.0).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         for p in &procs {
             assert_eq!(p.sample(&mut rng), 4);
             assert_eq!(p.mean(), 4.0);
         }
-        assert!((spec.offered_load(3, 10.0) - 1.2).abs() < 1e-12);
+        assert!((spec.offered_load(3, 10.0).unwrap() - 1.2).abs() < 1e-12);
     }
 
     #[test]
@@ -220,8 +287,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive and finite")]
     fn non_positive_offered_load_is_rejected() {
-        ArrivalSpec::PoissonOfferedLoad { offered_load: 0.0 }.per_dispatcher_rates(2, 10.0);
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let err = ArrivalSpec::PoissonOfferedLoad { offered_load: bad }
+                .per_dispatcher_rates(2, 10.0)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("positive and finite"),
+                "load {bad}: unexpected error {err}"
+            );
+        }
     }
 }

@@ -3,6 +3,7 @@
 use crate::arrivals::ArrivalSpec;
 use crate::scenario::ScenarioSpec;
 use crate::services::ServiceModel;
+use crate::workload::WorkloadSpec;
 use scd_model::{ClusterSpec, ModelError, RateProfile};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +32,9 @@ pub struct SimConfig {
     /// The fault/churn/staleness scenario; the default is "no faults",
     /// which runs the fair-weather fast path bit-for-bit.
     pub scenario: ScenarioSpec,
+    /// The time-varying / trace-driven workload; the default is inert
+    /// (stationary), which reproduces the plain arrival path bit-for-bit.
+    pub workload: WorkloadSpec,
 }
 
 impl SimConfig {
@@ -71,13 +75,20 @@ impl SimConfig {
             services: ServiceModel::Geometric,
             measure_decision_times: false,
             scenario: ScenarioSpec::default(),
+            workload: WorkloadSpec::default(),
         })
     }
 
     /// The offered load `ρ` this configuration induces.
+    ///
+    /// # Panics
+    /// Panics on an arrival spec that fails validation — configurations
+    /// produced by the builder or accepted by `Simulation::new` are always
+    /// valid here.
     pub fn offered_load(&self) -> f64 {
         self.arrivals
             .offered_load(self.num_dispatchers, self.spec.total_rate())
+            .expect("validated configuration")
     }
 
     /// Number of servers `n`.
@@ -98,6 +109,7 @@ pub struct SimConfigBuilder {
     services: ServiceModel,
     measure_decision_times: bool,
     scenario: ScenarioSpec,
+    workload: WorkloadSpec,
 }
 
 impl SimConfigBuilder {
@@ -115,6 +127,7 @@ impl SimConfigBuilder {
             services: ServiceModel::Geometric,
             measure_decision_times: false,
             scenario: ScenarioSpec::default(),
+            workload: WorkloadSpec::default(),
         }
     }
 
@@ -166,6 +179,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the time-varying / trace-driven workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -194,6 +213,13 @@ impl SimConfigBuilder {
         }
         self.scenario
             .validate(self.spec.num_servers(), self.num_dispatchers)?;
+        self.arrivals.validate(self.num_dispatchers)?;
+        self.workload.validate(
+            &self.arrivals,
+            self.num_dispatchers,
+            self.rounds,
+            self.spec.total_rate(),
+        )?;
         Ok(SimConfig {
             spec: self.spec,
             num_dispatchers: self.num_dispatchers,
@@ -204,6 +230,7 @@ impl SimConfigBuilder {
             services: self.services,
             measure_decision_times: self.measure_decision_times,
             scenario: self.scenario,
+            workload: self.workload,
         })
     }
 }
@@ -264,6 +291,58 @@ mod tests {
             })
             .build()
             .is_err());
+        // Arrival and workload validation happen at build time too.
+        assert!(SimConfig::builder(spec())
+            .dispatchers(2)
+            .arrivals(ArrivalSpec::PoissonRates { rates: vec![1.0] })
+            .build()
+            .is_err());
+        assert!(SimConfig::builder(spec())
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: -1.0 })
+            .build()
+            .is_err());
+        assert!(SimConfig::builder(spec())
+            .workload(WorkloadSpec {
+                modulation: crate::workload::ModulationSpec::Diurnal {
+                    period: 0,
+                    amplitude: 0.5,
+                },
+                ..WorkloadSpec::default()
+            })
+            .build()
+            .is_err());
+        // An active workload over deterministic arrivals is rejected.
+        assert!(SimConfig::builder(spec())
+            .arrivals(ArrivalSpec::Deterministic { jobs_per_round: 2 })
+            .workload(WorkloadSpec {
+                modulation: crate::workload::ModulationSpec::Diurnal {
+                    period: 100,
+                    amplitude: 0.5,
+                },
+                ..WorkloadSpec::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_accepts_and_carries_a_workload() {
+        let workload = WorkloadSpec {
+            modulation: crate::workload::ModulationSpec::Diurnal {
+                period: 200,
+                amplitude: 0.3,
+            },
+            ..WorkloadSpec::default()
+        };
+        let config = SimConfig::builder(spec())
+            .dispatchers(2)
+            .workload(workload.clone())
+            .build()
+            .unwrap();
+        assert_eq!(config.workload, workload);
+        // The default is the inert workload.
+        let plain = SimConfig::builder(spec()).build().unwrap();
+        assert!(plain.workload.is_inert());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::queues::SegmentQueue;
 use crate::report::{DegradationMetrics, QueueSummary, SimReport};
 use crate::scenario::StalenessSpec;
+use crate::trace::RunTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scd_metrics::{DecisionTimeHistogram, QueueLengthTracker, ResponseTimeHistogram};
@@ -156,6 +157,13 @@ impl Simulation {
         config
             .scenario
             .validate(config.spec.num_servers(), config.num_dispatchers)?;
+        config.arrivals.validate(config.num_dispatchers)?;
+        config.workload.validate(
+            &config.arrivals,
+            config.num_dispatchers,
+            config.rounds,
+            config.spec.total_rate(),
+        )?;
         Ok(Simulation {
             config,
             delta_rounds: true,
@@ -194,6 +202,37 @@ impl Simulation {
     /// assignment with the wrong number of destinations or an out-of-range
     /// server.
     pub fn run(&self, factory: &dyn PolicyFactory) -> Result<SimReport, SimError> {
+        self.run_inner(factory, None)
+    }
+
+    /// Like [`run`](Simulation::run), additionally recording a per-job event
+    /// trace: every raw sampled arrival count (replayable bit-exactly via
+    /// [`WorkloadSpec::replay`](crate::WorkloadSpec::replay)) plus
+    /// arrival/dispatch/service events renderable with
+    /// [`chrome_trace_json`](crate::chrome_trace_json). Tracing never
+    /// perturbs the run: the report is bit-identical to
+    /// [`run`](Simulation::run).
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Simulation::run).
+    pub fn run_traced(
+        &self,
+        factory: &dyn PolicyFactory,
+    ) -> Result<(SimReport, RunTrace), SimError> {
+        let mut trace = RunTrace::new(
+            self.config.num_dispatchers,
+            self.config.spec.num_servers(),
+            self.config.rounds,
+        );
+        let report = self.run_inner(factory, Some(&mut trace))?;
+        Ok((report, trace))
+    }
+
+    fn run_inner(
+        &self,
+        factory: &dyn PolicyFactory,
+        mut trace: Option<&mut RunTrace>,
+    ) -> Result<SimReport, SimError> {
         let config = &self.config;
         let spec = &config.spec;
         let n = spec.num_servers();
@@ -211,7 +250,31 @@ impl Simulation {
             })
             .collect();
 
-        let arrival_processes = config.arrivals.build(m, spec.total_rate());
+        // ---- Workload layer (crates/sim/src/workload.rs) ----
+        // An inert (default) workload leaves the stationary arrival path —
+        // and its RNG stream — untouched, bit for bit (the goldens in
+        // `tests/engine_golden.rs` pin this). An *active* workload replaces
+        // the arrival samplers entirely: the stateful `arrival_rng` is never
+        // consumed, and every draw is a counter-mode pure function of the
+        // workload seed, the dispatcher's **global** id and the round, so
+        // sharded and unsharded runs see one global schedule.
+        let wl_active = !config.workload.is_inert();
+        let wl_rates: Vec<f64> = if wl_active {
+            config.arrivals.per_dispatcher_rates(m, spec.total_rate())?
+        } else {
+            Vec::new()
+        };
+        let mut wl_sampler = if wl_active {
+            Some(config.workload.sampler(config.seed, &wl_rates))
+        } else {
+            None
+        };
+
+        let arrival_processes = if wl_active {
+            Vec::new()
+        } else {
+            config.arrivals.build(m, spec.total_rate())?
+        };
         let service_processes = config.services.build(rates);
 
         let mut policies: Vec<_> = (0..m)
@@ -489,7 +552,23 @@ impl Simulation {
             // must not depend on the scenario), then jobs arriving at an
             // offline dispatcher — or while no server is up — are lost.
             arrivals.clear();
-            arrivals.extend(arrival_processes.iter().map(|p| p.sample(&mut arrival_rng)));
+            match wl_sampler.as_mut() {
+                Some(sampler) => {
+                    let g = sampler.begin_round(round);
+                    sampler.sample_into(round, g, &mut arrivals);
+                }
+                None => {
+                    arrivals.extend(arrival_processes.iter().map(|p| p.sample(&mut arrival_rng)));
+                }
+            }
+            if let Some(trace) = trace.as_deref_mut() {
+                // Raw sampled counts, recorded *before* scenario zeroing:
+                // replaying the trace under the same scenario re-applies
+                // the identical losses.
+                for (d, &count) in arrivals.iter().enumerate() {
+                    trace.record_sampled_arrival(round, d, count);
+                }
+            }
             if scn_active {
                 let no_server_up = avail.num_up() == 0;
                 for d in 0..m {
@@ -498,6 +577,11 @@ impl Simulation {
                             degradation.arrivals_lost.saturating_add(arrivals[d]);
                         arrivals[d] = 0;
                     }
+                }
+            }
+            if let Some(trace) = trace.as_deref_mut() {
+                for (d, &count) in arrivals.iter().enumerate() {
+                    trace.record_arrival(round, d as u32, count);
                 }
             }
 
@@ -591,6 +675,9 @@ impl Simulation {
                             count += 1;
                         }
                         queues[server.index()].push(round, count);
+                        if let Some(trace) = trace.as_deref_mut() {
+                            trace.record_dispatch(round, d as u32, server.index() as u32, count);
+                        }
                         if scn_active {
                             let slot = server.index();
                             if recv_counts[slot] == 0 {
@@ -624,6 +711,9 @@ impl Simulation {
                     }
                     for &server in &assignment {
                         queues[server.index()].push(round, 1);
+                        if let Some(trace) = trace.as_deref_mut() {
+                            trace.record_dispatch(round, d as u32, server.index() as u32, 1);
+                        }
                         if scn_active {
                             let slot = server.index();
                             if recv_counts[slot] == 0 {
@@ -671,6 +761,9 @@ impl Simulation {
                     if arrival_round >= warmup {
                         response_times.record_many(round - arrival_round + 1, count);
                         jobs_completed += count;
+                    }
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.record_service(round, s as u32, arrival_round, count);
                     }
                 });
             }
@@ -791,6 +884,7 @@ mod tests {
             services: ServiceModel::Deterministic,
             measure_decision_times: false,
             scenario: crate::scenario::ScenarioSpec::default(),
+            workload: crate::workload::WorkloadSpec::default(),
         }
     }
 
@@ -908,6 +1002,65 @@ mod tests {
         let mut config = deterministic_config();
         config.warmup_rounds = config.rounds;
         assert!(Simulation::new(config).is_err());
+
+        // Arrival-spec defects surface as InvalidConfig, not panics.
+        let mut config = deterministic_config();
+        config.arrivals = ArrivalSpec::PoissonRates {
+            rates: vec![1.0, 2.0],
+        };
+        assert!(matches!(
+            Simulation::new(config),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let mut config = deterministic_config();
+        config.arrivals = ArrivalSpec::PoissonOfferedLoad {
+            offered_load: f64::NAN,
+        };
+        assert!(matches!(
+            Simulation::new(config),
+            Err(SimError::InvalidConfig(_))
+        ));
+
+        // Workload defects too.
+        let mut config = deterministic_config();
+        config.workload.modulation = crate::workload::ModulationSpec::Diurnal {
+            period: 100,
+            amplitude: 0.5,
+        };
+        // Deterministic arrivals cannot be modulated.
+        assert!(matches!(
+            Simulation::new(config),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_replays() {
+        let spec = ClusterSpec::from_rates(vec![3.0, 1.0, 2.0]).unwrap();
+        let config = SimConfig::builder(spec)
+            .dispatchers(2)
+            .rounds(200)
+            .seed(17)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.8 })
+            .build()
+            .unwrap();
+        let sim = Simulation::new(config.clone()).unwrap();
+        let plain = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
+        let (traced, trace) = sim
+            .run_traced(&factory_of::<AllToFirst>("all-to-first"))
+            .unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        assert_eq!(trace.rounds, 200);
+        assert!(!trace.events.is_empty());
+
+        // Replaying the recorded arrivals reproduces the report bit-exactly.
+        let mut replay_config = config;
+        replay_config.workload.replay = Some(trace.arrivals.clone());
+        let replay_sim = Simulation::new(replay_config).unwrap();
+        let replayed = replay_sim
+            .run(&factory_of::<AllToFirst>("all-to-first"))
+            .unwrap();
+        assert_eq!(plain, replayed);
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub mod runner;
 pub mod scenario;
 pub mod services;
 pub mod shard;
+pub mod trace;
+pub mod workload;
 
 pub use arrivals::ArrivalSpec;
 pub use config::{SimConfig, SimConfigBuilder};
@@ -85,3 +87,5 @@ pub use runner::{
 pub use scenario::{ScenarioSpec, StalenessSpec, MAX_STALENESS};
 pub use services::ServiceModel;
 pub use shard::{merge_shard_reports, ShardPlan, ShardReport, ShardedSimulation};
+pub use trace::{chrome_trace_json, write_chrome_trace, RunTrace, TraceEvent};
+pub use workload::{ArrivalTrace, JobClass, MmppPhase, ModulationSpec, WorkloadSpec};

@@ -53,6 +53,7 @@ use crate::config::SimConfig;
 use crate::engine::{SimError, Simulation};
 use crate::report::SimReport;
 use crate::runner::fan_out;
+use crate::trace::RunTrace;
 use scd_model::streams::shard_master_seed;
 use scd_model::PolicyFactory;
 use serde::{Deserialize, Serialize};
@@ -311,6 +312,28 @@ impl ShardedSimulation {
                 } else {
                     config.scenario.clone()
                 };
+                // The workload layer makes the same promise as the scenario
+                // layer: one *global* schedule regardless of shard layout.
+                // An active workload is pinned to the base run's resolved
+                // seed and told each local dispatcher's global id, so its
+                // counter-mode draws reproduce the unsharded schedule
+                // column-for-column.
+                let workload = if num_shards > 1 && !config.workload.is_inert() {
+                    let mut workload = config.workload.clone();
+                    workload.seed = Some(config.workload.resolved_seed(config.seed));
+                    workload.dispatcher_ids = Some(
+                        (j..config.num_dispatchers)
+                            .step_by(num_shards)
+                            .map(|d| {
+                                u32::try_from(config.workload.dispatcher_global_id(d))
+                                    .expect("global dispatcher ids fit in u32")
+                            })
+                            .collect(),
+                    );
+                    workload
+                } else {
+                    config.workload.clone()
+                };
                 SimConfig {
                     spec,
                     // The dispatchers are striped like the servers (shard j
@@ -321,6 +344,7 @@ impl ShardedSimulation {
                     num_dispatchers,
                     seed: shard_master_seed(config.seed, num_shards, j),
                     scenario,
+                    workload,
                     ..config.clone()
                 }
             })
@@ -413,6 +437,48 @@ impl ShardedSimulation {
         // load-calibrated arrivals required at k > 1).
         merged.offered_load = self.config.offered_load();
         Ok(merged)
+    }
+
+    /// Like [`Self::run`], additionally recording one **global** per-job
+    /// event trace: each shard records its own local trace and the shard
+    /// traces are remapped through the striping maps into global entity
+    /// ids, in shard order. The merged report is bit-identical to
+    /// [`Self::run`], and — because an active workload's schedule is pinned
+    /// globally — the recorded arrival matrix of a sharded run equals the
+    /// unsharded recording of the same configuration.
+    ///
+    /// # Errors
+    /// Propagates configuration and policy-violation errors from the
+    /// per-shard engines.
+    pub fn run_traced(
+        &self,
+        factory: &dyn PolicyFactory,
+    ) -> Result<(SimReport, RunTrace), SimError> {
+        let k = self.num_shards();
+        let mut trace = RunTrace::new(
+            self.config.num_dispatchers,
+            self.config.num_servers(),
+            self.config.rounds,
+        );
+        let mut reports = Vec::with_capacity(k);
+        for j in 0..k {
+            let config = self.shard_configs[j].clone();
+            let (report, local) = Simulation::new(config)?.run_traced(factory)?;
+            let dispatcher_ids: Vec<u32> = (j..self.config.num_dispatchers)
+                .step_by(k)
+                .map(|d| d as u32)
+                .collect();
+            let server_ids: Vec<u32> = self.plan.servers(j).iter().map(|&s| s as u32).collect();
+            trace.absorb_remapped(&local, &dispatcher_ids, &server_ids);
+            reports.push(ShardReport {
+                shard: j,
+                num_servers: self.plan.servers(j).len(),
+                report,
+            });
+        }
+        let mut merged = merge_shard_reports(&reports);
+        merged.offered_load = self.config.offered_load();
+        Ok((merged, trace))
     }
 }
 

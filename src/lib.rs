@@ -76,10 +76,11 @@ pub mod prelude {
         PowerOfDFactory, SedFactory, TwfFactory, WeightedRandomFactory,
     };
     pub use scd_sim::{
-        merge_shard_reports, run_comparison, run_comparison_parallel, run_replications,
-        ArrivalSpec, ComparisonResult, DegradationMetrics, ScenarioSpec, ServiceModel, ShardPlan,
-        ShardReport, ShardedSimulation, SimConfig, SimError, SimReport, Simulation, StalenessSpec,
-        MAX_STALENESS,
+        chrome_trace_json, merge_shard_reports, run_comparison, run_comparison_parallel,
+        run_replications, write_chrome_trace, ArrivalSpec, ArrivalTrace, ComparisonResult,
+        DegradationMetrics, JobClass, MmppPhase, ModulationSpec, RunTrace, ScenarioSpec,
+        ServiceModel, ShardPlan, ShardReport, ShardedSimulation, SimConfig, SimError, SimReport,
+        Simulation, StalenessSpec, TraceEvent, WorkloadSpec, MAX_STALENESS,
     };
 }
 
