@@ -36,6 +36,11 @@ pub struct CliOptions {
     /// reports; `1` is bit-identical to the unsharded engine). Figure
     /// binaries note and ignore the flag.
     pub shards: usize,
+    /// Run every simulation as this many supervised `shard_worker` OS
+    /// processes instead of in-process shards (the `sweep` binary only;
+    /// bit-identical to `--shards K` when no worker is lost). Figure
+    /// binaries note and ignore the flag.
+    pub processes: Option<usize>,
     /// Scenario file (`key = value` lines) describing faults, churn,
     /// staleness and probe loss for the `sweep` binary. Figure binaries note
     /// and ignore the flag.
@@ -70,6 +75,7 @@ impl Default for CliOptions {
             threads: None,
             replications: 1,
             shards: 1,
+            processes: None,
             scenario: None,
             stale_k: None,
             fail_rate: None,
@@ -144,6 +150,16 @@ impl CliOptions {
                     }
                     options.shards = parsed;
                 }
+                "--processes" => {
+                    let value = iter.next().ok_or("--processes requires a value")?;
+                    let parsed = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid --processes value: {value}"))?;
+                    if parsed == 0 {
+                        return Err("--processes must be at least 1".to_string());
+                    }
+                    options.processes = Some(parsed);
+                }
                 "--csv" => {
                     let value = iter.next().ok_or("--csv requires a directory")?;
                     options.csv = Some(PathBuf::from(value));
@@ -209,7 +225,7 @@ impl CliOptions {
 pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
      [--systems 100x10,200x20] [--threads T] [--replications R] [--shards K] \
-     [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
+     [--processes K] [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
      [--workload FILE] [--trace-out FILE] [--paper | --quick] [--tail]"
         .to_string()
 }
@@ -276,6 +292,8 @@ mod tests {
             "5",
             "--shards",
             "4",
+            "--processes",
+            "4",
             "--csv",
             "/tmp/out",
             "--scenario",
@@ -299,6 +317,7 @@ mod tests {
         assert_eq!(options.threads, Some(4));
         assert_eq!(options.replications, 5);
         assert_eq!(options.shards, 4);
+        assert_eq!(options.processes, Some(4));
         assert_eq!(options.csv, Some(PathBuf::from("/tmp/out")));
         assert_eq!(options.scenario, Some(PathBuf::from("/tmp/faults.scn")));
         assert_eq!(options.stale_k, Some(3));
@@ -323,6 +342,8 @@ mod tests {
         assert!(parse(&["--replications", "x"]).is_err());
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "x"]).is_err());
+        assert!(parse(&["--processes", "0"]).is_err());
+        assert!(parse(&["--processes", "x"]).is_err());
         assert!(parse(&["--scenario"]).is_err());
         assert!(parse(&["--workload"]).is_err());
         assert!(parse(&["--trace-out"]).is_err());

@@ -1,0 +1,582 @@
+//! CLI-side wiring of the multi-process shard fabric.
+//!
+//! The library half of the fabric (frame codec, worker body, supervising
+//! orchestrator) lives in [`scd_sim::fabric`] and is policy-agnostic. This
+//! module binds it to the experiments crate's policy registry and flag
+//! conventions, and is shared by two thin binaries:
+//!
+//! * `shard_worker` — one shard per process; parses the worker flag set
+//!   ([`parse_worker_args`]), reads its configuration from stdin, answers
+//!   with one report frame on stdout.
+//! * `orchestrate` — the supervisor; runs one configuration as
+//!   `--processes K` workers with retries and timeouts
+//!   ([`run_orchestrate`]), optionally injecting faults and verifying the
+//!   merged result against the in-process sharded engine.
+//!
+//! The `sweep` binary's `--processes K` flag reuses [`fabric_run`] to route
+//! every grid cell through worker processes instead of in-process shards.
+
+use crate::response::cluster_for_system;
+use scd_model::RateProfile;
+use scd_policies::factory_by_name;
+use scd_sim::fabric::{
+    run_fabric, run_worker, FabricOutcome, FabricSpec, InjectedFault, WorkerFaultPlan,
+    WorkerOutput, WorkerSpec,
+};
+use scd_sim::{ArrivalSpec, ShardedSimulation, SimConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Locates the `shard_worker` binary next to the running executable.
+///
+/// Binaries land in `target/<profile>/`, integration-test executables in
+/// `target/<profile>/deps/`, so the sibling directory and its parent are
+/// both probed.
+///
+/// # Errors
+/// Returns a message naming the probed locations when the worker is not
+/// found (it is built by any full `cargo build`/`cargo test` of the
+/// workspace).
+pub fn worker_binary_path() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate this binary: {e}"))?;
+    let name = format!("shard_worker{}", std::env::consts::EXE_SUFFIX);
+    let mut probed = Vec::new();
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        let Some(d) = dir else { break };
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        probed.push(candidate.display().to_string());
+        dir = d.parent();
+    }
+    Err(format!(
+        "shard_worker binary not found (probed {}); build it with `cargo build --bins`",
+        probed.join(", ")
+    ))
+}
+
+/// Runs one configuration across `processes` supervised worker processes
+/// and returns the fabric outcome — the sweep's per-cell fabric path.
+///
+/// # Errors
+/// Propagates worker-location and fabric errors as messages.
+pub fn fabric_run(
+    config: &SimConfig,
+    policy: &str,
+    processes: usize,
+    timeout: Duration,
+) -> Result<FabricOutcome, String> {
+    let mut spec = FabricSpec::new(worker_binary_path()?, policy, processes);
+    spec.timeout = timeout;
+    run_fabric(config, &spec).map_err(|e| e.to_string())
+}
+
+/// Parses the `shard_worker` flag set: `--shard N --shards K --policy NAME
+/// --expect-seed S --digest D` plus the fault-injection flags of
+/// [`WorkerFaultPlan`]. Returns the worker spec and the policy name.
+///
+/// # Errors
+/// Returns a human-readable message for unknown flags, malformed values,
+/// or missing required flags.
+pub fn parse_worker_args<I>(args: I) -> Result<(WorkerSpec, String), String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut shard: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut policy: Option<String> = None;
+    let mut expect_seed: Option<u64> = None;
+    let mut digest: Option<u64> = None;
+    let mut fault = WorkerFaultPlan::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--shard" => {
+                let v = value_of("--shard")?;
+                shard = Some(v.parse().map_err(|_| format!("invalid --shard: {v}"))?);
+            }
+            "--shards" => {
+                let v = value_of("--shards")?;
+                shards = Some(v.parse().map_err(|_| format!("invalid --shards: {v}"))?);
+            }
+            "--policy" => policy = Some(value_of("--policy")?),
+            "--expect-seed" => {
+                let v = value_of("--expect-seed")?;
+                expect_seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --expect-seed: {v}"))?,
+                );
+            }
+            "--digest" => {
+                let v = value_of("--digest")?;
+                digest = Some(v.parse().map_err(|_| format!("invalid --digest: {v}"))?);
+            }
+            "--fail-after-round" => {
+                let v = value_of("--fail-after-round")?;
+                fault.fail_after_round = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --fail-after-round: {v}"))?,
+                );
+            }
+            "--hang" => fault.hang = true,
+            "--corrupt-frame" => fault.corrupt_frame = true,
+            "--truncate-frame" => fault.truncate_frame = true,
+            "--exit-code" => {
+                let v = value_of("--exit-code")?;
+                fault.exit_code = Some(v.parse().map_err(|_| format!("invalid --exit-code: {v}"))?);
+            }
+            other => return Err(format!("unknown shard_worker flag {other}")),
+        }
+    }
+    fn require<T>(value: Option<T>, name: &str) -> Result<T, String> {
+        value.ok_or_else(|| format!("shard_worker requires {name}"))
+    }
+    let spec = WorkerSpec {
+        shard: require(shard, "--shard")?,
+        num_shards: require(shards, "--shards")?,
+        expect_seed: require(expect_seed, "--expect-seed")?,
+        config_digest: require(digest, "--digest")?,
+        fault,
+    };
+    Ok((spec, require(policy, "--policy")?))
+}
+
+/// The `shard_worker` binary's whole body: parse flags, read the
+/// configuration from stdin, run, act on the outcome. Returns the process
+/// exit code; [`WorkerOutput::Hang`] never returns.
+///
+/// # Errors
+/// Returns a message (for stderr) on flag, policy-name, configuration or
+/// simulation errors; the binary exits 2 on those.
+pub fn worker_main<I>(args: I) -> Result<i32, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    use std::io::{Read, Write};
+    let (spec, policy) = parse_worker_args(args)?;
+    let factory = factory_by_name(&policy).ok_or_else(|| format!("unknown policy {policy}"))?;
+    let mut config_text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut config_text)
+        .map_err(|e| format!("cannot read the shard configuration from stdin: {e}"))?;
+    match run_worker(&spec, &config_text, factory.as_ref()).map_err(|e| e.to_string())? {
+        WorkerOutput::Frame(frame) => {
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(&frame)
+                .and_then(|()| stdout.flush())
+                .map_err(|e| format!("cannot write the report frame: {e}"))?;
+            Ok(0)
+        }
+        WorkerOutput::Exit(code) => Ok(code),
+        WorkerOutput::Hang => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}
+
+/// Options of the `orchestrate` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchestrateOptions {
+    /// Worker process count `k` (the shard count).
+    pub processes: usize,
+    /// Policy name.
+    pub policy: String,
+    /// Smoke-test-sized run (16×4 system, 400 rounds).
+    pub quick: bool,
+    /// Rounds override.
+    pub rounds: Option<u64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-attempt timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Retries per shard after the first attempt.
+    pub retries: u32,
+    /// Shards whose first attempt is killed by an injected crash.
+    pub inject_crash: Vec<usize>,
+    /// Shards whose first attempt is an injected hang (killed by timeout).
+    pub inject_hang: Vec<usize>,
+    /// Shards whose first attempt emits a corrupted frame.
+    pub inject_corrupt: Vec<usize>,
+    /// Make the injected faults fire on *every* attempt (exhausts retries
+    /// and forces the partial merge).
+    pub persistent: bool,
+    /// Re-run the same configuration on the in-process sharded engine and
+    /// fail unless the merged reports are identical.
+    pub verify_inprocess: bool,
+    /// Explicit worker binary path (default: next to this binary).
+    pub worker: Option<PathBuf>,
+}
+
+impl Default for OrchestrateOptions {
+    fn default() -> Self {
+        OrchestrateOptions {
+            processes: 4,
+            policy: "SCD".into(),
+            quick: false,
+            rounds: None,
+            seed: 2021,
+            timeout_ms: 60_000,
+            retries: 2,
+            inject_crash: Vec::new(),
+            inject_hang: Vec::new(),
+            inject_corrupt: Vec::new(),
+            persistent: false,
+            verify_inprocess: false,
+            worker: None,
+        }
+    }
+}
+
+/// The `orchestrate` binary's usage string.
+pub fn orchestrate_usage() -> String {
+    "usage: orchestrate [--processes K] [--policy NAME] [--rounds N] [--seed S] \
+     [--timeout-ms MS] [--retries R] [--inject-crash SHARD]* [--inject-hang SHARD]* \
+     [--inject-corrupt SHARD]* [--persistent] [--verify-inprocess] [--worker PATH] \
+     [--quick]"
+        .to_string()
+}
+
+impl OrchestrateOptions {
+    /// Parses the `orchestrate` flag set.
+    ///
+    /// # Errors
+    /// Returns a human-readable message (or the usage string for
+    /// `--help`) on unknown flags and malformed values.
+    pub fn parse<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut options = OrchestrateOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value_of = |flag: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            let parse_shard = |flag: &str, v: String| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("invalid {flag} value: {v}"))
+            };
+            match arg.as_str() {
+                "--processes" => {
+                    let v = value_of("--processes")?;
+                    let parsed = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid --processes value: {v}"))?;
+                    if parsed == 0 {
+                        return Err("--processes must be at least 1".into());
+                    }
+                    options.processes = parsed;
+                }
+                "--policy" => options.policy = value_of("--policy")?,
+                "--rounds" => {
+                    let v = value_of("--rounds")?;
+                    options.rounds = Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid --rounds value: {v}"))?,
+                    );
+                }
+                "--seed" => {
+                    let v = value_of("--seed")?;
+                    options.seed = v
+                        .parse()
+                        .map_err(|_| format!("invalid --seed value: {v}"))?;
+                }
+                "--timeout-ms" => {
+                    let v = value_of("--timeout-ms")?;
+                    options.timeout_ms = v
+                        .parse()
+                        .map_err(|_| format!("invalid --timeout-ms value: {v}"))?;
+                }
+                "--retries" => {
+                    let v = value_of("--retries")?;
+                    options.retries = v
+                        .parse()
+                        .map_err(|_| format!("invalid --retries value: {v}"))?;
+                }
+                "--inject-crash" => {
+                    let v = value_of("--inject-crash")?;
+                    options.inject_crash.push(parse_shard("--inject-crash", v)?);
+                }
+                "--inject-hang" => {
+                    let v = value_of("--inject-hang")?;
+                    options.inject_hang.push(parse_shard("--inject-hang", v)?);
+                }
+                "--inject-corrupt" => {
+                    let v = value_of("--inject-corrupt")?;
+                    options
+                        .inject_corrupt
+                        .push(parse_shard("--inject-corrupt", v)?);
+                }
+                "--persistent" => options.persistent = true,
+                "--verify-inprocess" => options.verify_inprocess = true,
+                "--worker" => options.worker = Some(PathBuf::from(value_of("--worker")?)),
+                "--quick" => options.quick = true,
+                "--help" | "-h" => return Err(orchestrate_usage()),
+                other => return Err(format!("unknown flag {other}\n{}", orchestrate_usage())),
+            }
+        }
+        Ok(options)
+    }
+
+    /// The experiment configuration this invocation orchestrates: the
+    /// sweep's `paper_moderate` cluster draw at offered load 0.9, sized
+    /// 16×4/400 rounds under `--quick` and 64×8/4000 rounds otherwise.
+    ///
+    /// # Errors
+    /// Propagates configuration validation errors as messages.
+    pub fn config(&self) -> Result<SimConfig, String> {
+        let (n, m, rounds) = if self.quick {
+            (16, 4, 400)
+        } else {
+            (64, 8, 4_000)
+        };
+        let rounds = self.rounds.unwrap_or(rounds);
+        let cluster = cluster_for_system(&RateProfile::paper_moderate(), n, self.seed, 0);
+        SimConfig::builder(cluster)
+            .dispatchers(m)
+            .rounds(rounds)
+            .warmup_rounds(rounds / 10)
+            .seed(self.seed)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 })
+            .build()
+            .map_err(|e| e.to_string())
+    }
+
+    /// The fabric spec this invocation supervises with.
+    ///
+    /// # Errors
+    /// Propagates worker-location errors as messages.
+    pub fn fabric_spec(&self) -> Result<FabricSpec, String> {
+        let worker = match &self.worker {
+            Some(path) => path.clone(),
+            None => worker_binary_path()?,
+        };
+        let mut spec = FabricSpec::new(worker, self.policy.clone(), self.processes);
+        spec.max_retries = self.retries;
+        spec.timeout = Duration::from_millis(self.timeout_ms);
+        let inject = |shards: &[usize], fault: WorkerFaultPlan| {
+            shards
+                .iter()
+                .map(|&shard| InjectedFault {
+                    shard,
+                    fault: fault.clone(),
+                    persistent: self.persistent,
+                })
+                .collect::<Vec<_>>()
+        };
+        spec.injected.extend(inject(
+            &self.inject_crash,
+            WorkerFaultPlan {
+                fail_after_round: Some(0),
+                ..WorkerFaultPlan::default()
+            },
+        ));
+        spec.injected.extend(inject(
+            &self.inject_hang,
+            WorkerFaultPlan {
+                hang: true,
+                ..WorkerFaultPlan::default()
+            },
+        ));
+        spec.injected.extend(inject(
+            &self.inject_corrupt,
+            WorkerFaultPlan {
+                corrupt_frame: true,
+                ..WorkerFaultPlan::default()
+            },
+        ));
+        Ok(spec)
+    }
+}
+
+/// The `orchestrate` binary's entry point: build the configuration and
+/// fabric spec, run, report, optionally verify against the in-process
+/// engine.
+///
+/// # Errors
+/// Returns a message when the fabric run fails outright (every shard
+/// lost), the policy is unknown, or `--verify-inprocess` finds a
+/// divergence.
+pub fn run_orchestrate(options: &OrchestrateOptions) -> Result<(), String> {
+    if factory_by_name(&options.policy).is_none() {
+        return Err(format!("unknown policy {}", options.policy));
+    }
+    let config = options.config()?;
+    let spec = options.fabric_spec()?;
+    println!(
+        "[orchestrate] k={} policy={} rounds={} seed={} retries={} timeout={}ms worker={}",
+        spec.num_shards,
+        spec.policy,
+        config.rounds,
+        config.seed,
+        spec.max_retries,
+        options.timeout_ms,
+        spec.worker.display()
+    );
+    let outcome = run_fabric(&config, &spec).map_err(|e| e.to_string())?;
+    for attempt in &outcome.attempts {
+        match &attempt.failure {
+            None if attempt.attempt == 0 => {}
+            None => println!(
+                "[orchestrate] shard {} recovered on attempt {}",
+                attempt.shard, attempt.attempt
+            ),
+            Some(failure) => println!(
+                "[orchestrate] shard {} attempt {} failed: {failure}",
+                attempt.shard, attempt.attempt
+            ),
+        }
+    }
+    if outcome.lost_shards.is_empty() {
+        println!("[orchestrate] all {} shards merged", spec.num_shards);
+    } else {
+        println!(
+            "[orchestrate] PARTIAL merge: lost shards {:?} ({} of {})",
+            outcome.lost_shards,
+            outcome.lost_shards.len(),
+            spec.num_shards
+        );
+    }
+    println!("{}", outcome.report.one_liner());
+    if options.verify_inprocess {
+        let factory = factory_by_name(&options.policy).expect("checked above");
+        let in_process = ShardedSimulation::new(config, options.processes)
+            .map_err(|e| e.to_string())?
+            .run(factory.as_ref())
+            .map_err(|e| e.to_string())?;
+        if !outcome.lost_shards.is_empty() {
+            return Err(format!(
+                "--verify-inprocess requires a complete merge, but shards {:?} were lost",
+                outcome.lost_shards
+            ));
+        }
+        if outcome.report != in_process {
+            return Err("orchestrated report DIVERGES from the in-process sharded run".to_string());
+        }
+        println!("[orchestrate] verified: bit-identical to the in-process sharded run");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<OrchestrateOptions, String> {
+        OrchestrateOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn worker_args_round_trip_through_the_fault_plan() {
+        let fault = WorkerFaultPlan {
+            fail_after_round: Some(9),
+            corrupt_frame: true,
+            ..WorkerFaultPlan::default()
+        };
+        let mut args = vec![
+            "--shard".to_string(),
+            "2".to_string(),
+            "--shards".to_string(),
+            "4".to_string(),
+            "--policy".to_string(),
+            "SCD".to_string(),
+            "--expect-seed".to_string(),
+            "77".to_string(),
+            "--digest".to_string(),
+            "12345".to_string(),
+        ];
+        args.extend(fault.to_args());
+        let (spec, policy) = parse_worker_args(args).unwrap();
+        assert_eq!(policy, "SCD");
+        assert_eq!(spec.shard, 2);
+        assert_eq!(spec.num_shards, 4);
+        assert_eq!(spec.expect_seed, 77);
+        assert_eq!(spec.config_digest, 12345);
+        assert_eq!(spec.fault, fault);
+    }
+
+    #[test]
+    fn worker_args_reject_missing_and_unknown_flags() {
+        assert!(parse_worker_args(vec!["--shard".into()]).is_err());
+        assert!(parse_worker_args(vec!["--wat".into()]).is_err());
+        let err = parse_worker_args(vec!["--shard".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn orchestrate_options_parse_and_validate() {
+        let options = parse(&[
+            "--processes",
+            "4",
+            "--policy",
+            "JSQ",
+            "--rounds",
+            "200",
+            "--seed",
+            "5",
+            "--timeout-ms",
+            "2500",
+            "--retries",
+            "3",
+            "--inject-crash",
+            "1",
+            "--inject-hang",
+            "2",
+            "--inject-corrupt",
+            "0",
+            "--persistent",
+            "--verify-inprocess",
+            "--worker",
+            "/tmp/worker",
+            "--quick",
+        ])
+        .unwrap();
+        assert_eq!(options.processes, 4);
+        assert_eq!(options.policy, "JSQ");
+        assert_eq!(options.rounds, Some(200));
+        assert_eq!(options.timeout_ms, 2500);
+        assert_eq!(options.retries, 3);
+        assert_eq!(options.inject_crash, vec![1]);
+        assert_eq!(options.inject_hang, vec![2]);
+        assert_eq!(options.inject_corrupt, vec![0]);
+        assert!(options.persistent && options.verify_inprocess && options.quick);
+        assert_eq!(options.worker, Some(PathBuf::from("/tmp/worker")));
+        assert!(parse(&["--processes", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn fabric_spec_translates_injections() {
+        let options = parse(&[
+            "--quick",
+            "--worker",
+            "/tmp/worker",
+            "--inject-crash",
+            "1",
+            "--inject-hang",
+            "2",
+        ])
+        .unwrap();
+        let spec = options.fabric_spec().unwrap();
+        assert_eq!(spec.injected.len(), 2);
+        assert_eq!(spec.injected[0].shard, 1);
+        assert_eq!(spec.injected[0].fault.fail_after_round, Some(0));
+        assert!(!spec.injected[0].persistent);
+        assert_eq!(spec.injected[1].shard, 2);
+        assert!(spec.injected[1].fault.hang);
+        // The config is a valid quick-sized system.
+        let config = options.config().unwrap();
+        assert_eq!(config.num_servers(), 16);
+        assert_eq!(config.num_dispatchers, 4);
+        assert_eq!(config.rounds, 400);
+    }
+}

@@ -13,7 +13,9 @@
 //! | `fig8` | Fig. 8 | computation-time distribution with `µ_s ~ U[1,100]` |
 //! | `ablation` | — | estimator and solver ablations called out in DESIGN.md |
 //! | `all_figures` | — | runs everything back to back |
-//! | `sweep` | — | `(system × load × policy)` comparison grid on the **sharded** round engine (`--shards k`) |
+//! | `sweep` | — | `(system × load × policy)` comparison grid on the **sharded** round engine (`--shards k`, `--processes k`) |
+//! | `shard_worker` | — | one shard of one run, as a supervised OS process (spawned by `orchestrate`, not by hand) |
+//! | `orchestrate` | — | fault-tolerant multi-process run: spawns `--processes K` workers, retries crashes from seed, merges survivors |
 //!
 //! All binaries accept `--rounds N`, `--seed S`, `--loads a,b,c`,
 //! `--systems nxm,nxm`, `--paper` (the full 10⁵-round setup of the paper),
@@ -23,7 +25,9 @@
 //! for tail sweeps; the decision-time and ablation figures note and ignore
 //! the flag). The `sweep` binary additionally accepts `--shards K` to run
 //! every cell on the sharded round engine (`K = 1` is bit-identical to the
-//! unsharded engine).
+//! unsharded engine) and `--processes K` to run every cell through the
+//! supervised multi-process fabric (module [`fabric`]), which is
+//! bit-identical to `--shards K` when no worker is lost.
 //!
 //! All experiments fan their `(system × load × policy × seed)` grids out on
 //! the unified [`SweepGrid`] executor (module [`sweep`]), which rides the
@@ -35,6 +39,7 @@
 
 pub mod ablation;
 pub mod cli;
+pub mod fabric;
 pub mod figures;
 pub mod output;
 pub mod response;

@@ -46,6 +46,12 @@ pub struct ShardSweepSpec {
     pub replications: usize,
     /// Number of server shards per simulation.
     pub shards: usize,
+    /// When set, run every cell as this many supervised `shard_worker` OS
+    /// processes via the fabric orchestrator instead of in-process shards
+    /// (`--processes K`; bit-identical to `shards = K` when no worker is
+    /// lost). Overrides `shards` and pins the grid to one thread — the
+    /// worker processes are the parallel dimension then.
+    pub processes: Option<usize>,
     /// Worker threads for the cell grid.
     pub threads: usize,
     /// Fault/churn/staleness scenario applied to every cell (the default is
@@ -83,8 +89,13 @@ impl ShardSweepSpec {
             warmup: rounds / 10,
             seed: options.seed,
             replications: options.replications.max(1),
-            shards: options.shards,
-            threads: effective_threads(options.threads),
+            shards: options.processes.unwrap_or(options.shards),
+            processes: options.processes,
+            threads: if options.processes.is_some() {
+                1
+            } else {
+                effective_threads(options.threads)
+            },
             scenario: ScenarioSpec::default(),
             workload: WorkloadSpec::default(),
         }
@@ -196,13 +207,28 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
             scenario: spec.scenario.clone(),
             workload: spec.workload.clone(),
         };
-        let factory = factory_by_name(&spec.policies[pt.policy]).expect("validated above");
-        // Each cell steps its shards sequentially — the grid is the
-        // parallel dimension here (no nested oversubscription).
-        let report = ShardedSimulation::new(config, spec.shards)
-            .map_err(|e| e.to_string())?
-            .run(factory.as_ref())
-            .map_err(|e| e.to_string())?;
+        let report = match spec.processes {
+            // Fabric mode: the cell fans out over supervised worker
+            // processes (the grid runs single-threaded then).
+            Some(k) => {
+                crate::fabric::fabric_run(
+                    &config,
+                    &spec.policies[pt.policy],
+                    k,
+                    std::time::Duration::from_secs(120),
+                )?
+                .report
+            }
+            None => {
+                let factory = factory_by_name(&spec.policies[pt.policy]).expect("validated above");
+                // Each cell steps its shards sequentially — the grid is the
+                // parallel dimension here (no nested oversubscription).
+                ShardedSimulation::new(config, spec.shards)
+                    .map_err(|e| e.to_string())?
+                    .run(factory.as_ref())
+                    .map_err(|e| e.to_string())?
+            }
+        };
         Ok((
             report.mean_response_time(),
             report.response_time_percentile(0.99) as f64,
@@ -312,6 +338,11 @@ pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
         "[sweep] shards={} rounds={} seed={} replications={} threads={} profile={:?}",
         spec.shards, spec.rounds, spec.seed, spec.replications, spec.threads, spec.profile
     ));
+    if let Some(k) = spec.processes {
+        sink.note(&format!(
+            "[sweep] multi-process fabric: every cell runs as {k} supervised shard_worker processes"
+        ));
+    }
     if !spec.scenario.is_inert() {
         sink.note(&format!(
             "[sweep] scenario: {}",

@@ -211,6 +211,43 @@ impl ResponseTimeHistogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// The dense per-value bucket counts (`counts[r]` = jobs with response
+    /// time exactly `r`), exposed for wire codecs. The slice only extends to
+    /// the largest recorded value.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The exact sum of all recorded (clamped) response times, exposed for
+    /// wire codecs — `record_many` cannot reconstruct a saturated histogram,
+    /// so a codec must transport the accumulator verbatim.
+    pub fn raw_sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Reassembles a histogram from the raw parts a wire codec transports:
+    /// the dense bucket counts, the total job count and the response-time
+    /// sum. The inverse of reading [`Self::bucket_counts`], [`Self::count`]
+    /// and [`Self::raw_sum`] — `from_raw_parts(h.bucket_counts().to_vec(),
+    /// h.count(), h.raw_sum()) == h` bit for bit, saturated counters
+    /// included.
+    ///
+    /// # Errors
+    /// Returns a message when the counts vector extends beyond the
+    /// [`Self::MAX_RESPONSE_TIME`] overflow bucket (a well-formed histogram
+    /// can never grow past it, so longer input is corrupt, not merely
+    /// unusual).
+    pub fn from_raw_parts(counts: Vec<u64>, total: u64, sum: u128) -> Result<Self, String> {
+        if counts.len() > Self::MAX_RESPONSE_TIME as usize + 1 {
+            return Err(format!(
+                "response-time histogram has {} buckets, beyond the overflow cap {}",
+                counts.len(),
+                Self::MAX_RESPONSE_TIME + 1
+            ));
+        }
+        Ok(ResponseTimeHistogram { counts, total, sum })
+    }
+
     /// A compact numeric summary (mean, p50, p95, p99, p999, max, count).
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -438,6 +475,28 @@ mod tests {
         assert_eq!(a.count(), u64::MAX, "total must saturate");
         assert_eq!(a.max(), 7);
         assert_eq!(a.percentile(0.5), 3, "median must not wrap toward zero");
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_for_bit() {
+        let mut h = hist_from(&[1, 2, 2, 50]);
+        h.record_many(3, u64::MAX); // saturate a bucket and the total
+        let copy = ResponseTimeHistogram::from_raw_parts(
+            h.bucket_counts().to_vec(),
+            h.count(),
+            h.raw_sum(),
+        )
+        .unwrap();
+        assert_eq!(copy, h);
+        // The empty histogram round-trips too.
+        let empty = ResponseTimeHistogram::new();
+        assert_eq!(
+            ResponseTimeHistogram::from_raw_parts(Vec::new(), 0, 0).unwrap(),
+            empty
+        );
+        // Counts beyond the overflow cap are corrupt, not merely large.
+        let too_long = vec![0u64; ResponseTimeHistogram::MAX_RESPONSE_TIME as usize + 2];
+        assert!(ResponseTimeHistogram::from_raw_parts(too_long, 0, 0).is_err());
     }
 
     #[test]

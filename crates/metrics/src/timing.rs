@@ -207,6 +207,49 @@ impl DecisionTimeHistogram {
             .collect()
     }
 
+    /// The fixed-size bucket occupancy (`[underflow, interior...,
+    /// overflow]`), exposed for wire codecs.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The exact side-band accumulators `(count, sum, min, max)`, exposed
+    /// for wire codecs. `min`/`max` are the raw sentinel values (`+∞`/`-∞`
+    /// while empty), not the 0.0 the public `min()`/`max()` report for an
+    /// empty histogram — a codec must transport them verbatim to reassemble
+    /// the histogram bit for bit.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64) {
+        (self.count, self.sum, self.min, self.max)
+    }
+
+    /// Reassembles a histogram from the raw parts a wire codec transports.
+    /// The inverse of [`Self::bucket_counts`] + [`Self::raw_parts`]:
+    /// `from_raw_parts(h.bucket_counts().to_vec(), h.raw_parts()) == h` bit
+    /// for bit, empty-histogram sentinels and saturated counters included.
+    ///
+    /// # Errors
+    /// Returns a message when the counts vector does not have exactly the
+    /// fixed bucket layout length — the layout is a compile-time constant,
+    /// so any other length is a corrupt or incompatible frame.
+    pub fn from_raw_parts(
+        counts: Vec<u64>,
+        (count, sum, min, max): (u64, f64, f64, f64),
+    ) -> Result<Self, String> {
+        if counts.len() != BUCKETS {
+            return Err(format!(
+                "decision-time histogram has {} buckets, expected the fixed layout of {BUCKETS}",
+                counts.len()
+            ));
+        }
+        Ok(DecisionTimeHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// Merges another histogram into this one.
     ///
     /// Bucket and sample counts saturate at `u64::MAX` instead of wrapping:
@@ -334,6 +377,35 @@ mod tests {
             "median {p50} should be ~2 µs"
         );
         assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_bit_for_bit() {
+        let mut h = DecisionTimeHistogram::new();
+        for t in [0.0, 0.37, 12.25, 1e12] {
+            h.record(t);
+        }
+        let copy = DecisionTimeHistogram::from_raw_parts(h.bucket_counts().to_vec(), h.raw_parts())
+            .unwrap();
+        assert_eq!(copy, h);
+        // The empty histogram round-trips, infinite min/max sentinels and
+        // all — from_raw_parts must not normalize them to 0.0.
+        let empty = DecisionTimeHistogram::new();
+        let (count, sum, min, max) = empty.raw_parts();
+        assert_eq!(count, 0);
+        assert_eq!(sum, 0.0);
+        assert_eq!(min, f64::INFINITY);
+        assert_eq!(max, f64::NEG_INFINITY);
+        assert_eq!(
+            DecisionTimeHistogram::from_raw_parts(
+                empty.bucket_counts().to_vec(),
+                empty.raw_parts()
+            )
+            .unwrap(),
+            empty
+        );
+        // Any other bucket count is an incompatible layout.
+        assert!(DecisionTimeHistogram::from_raw_parts(vec![0; 7], (0, 0.0, 0.0, 0.0)).is_err());
     }
 
     #[test]

@@ -52,9 +52,16 @@ pub const PROBE_LOSS_STREAM_TAG: u64 = 0x50_52_4F_42_45_4C_4F_53;
 /// use `(1 << 63) | chain`, so the two index families can never share a
 /// stream (the same split the fault tag uses for its two entity families).
 pub const WORKLOAD_STREAM_TAG: u64 = 0x57_4F_52_4B_4C_4F_41_44;
+/// Tag of the process-fabric retry/backoff jitter streams (`"RETRY"`). The
+/// orchestrator derives one stream per shard (index = shard) and draws the
+/// jitter of retry attempt `a` with [`counter_draw`] at step `a`, so the
+/// whole backoff schedule of a run — like every other stochastic schedule in
+/// the workspace — is a pure function of the master seed and replays
+/// identically across reruns.
+pub const FABRIC_RETRY_STREAM_TAG: u64 = 0x52_45_54_52_59_00_00_00;
 
 /// Every stream tag of the workspace, for exhaustive collision audits.
-pub const ALL_STREAM_TAGS: [u64; 8] = [
+pub const ALL_STREAM_TAGS: [u64; 9] = [
     ARRIVAL_STREAM_TAG,
     SERVICE_STREAM_TAG,
     POLICY_STREAM_TAG,
@@ -63,6 +70,7 @@ pub const ALL_STREAM_TAGS: [u64; 8] = [
     STALENESS_STREAM_TAG,
     PROBE_LOSS_STREAM_TAG,
     WORKLOAD_STREAM_TAG,
+    FABRIC_RETRY_STREAM_TAG,
 ];
 
 // Compile-time proof that the stream tags are pairwise distinct: a new tag
@@ -193,6 +201,7 @@ mod tests {
             STALENESS_STREAM_TAG,
             PROBE_LOSS_STREAM_TAG,
             WORKLOAD_STREAM_TAG,
+            FABRIC_RETRY_STREAM_TAG,
             ARRIVAL_STREAM_TAG ^ SERVICE_STREAM_TAG,
             ARRIVAL_STREAM_TAG ^ POLICY_STREAM_TAG,
             FAULT_STREAM_TAG ^ STALENESS_STREAM_TAG,
@@ -223,8 +232,9 @@ mod tests {
                     WORKLOAD_STREAM_TAG,
                     (1u64 << 63) | d,
                 ));
+                seeds.insert(derive_stream_seed(master, FABRIC_RETRY_STREAM_TAG, d));
             }
-            assert_eq!(seeds.len(), 2 + 64 * 7, "collision for master {master:#x}");
+            assert_eq!(seeds.len(), 2 + 64 * 8, "collision for master {master:#x}");
         }
     }
 
@@ -314,6 +324,8 @@ mod tests {
             (PROBE_LOSS_STREAM_TAG, FAULT_STREAM_TAG),
             (WORKLOAD_STREAM_TAG, ARRIVAL_STREAM_TAG),
             (WORKLOAD_STREAM_TAG, SHARD_STREAM_TAG),
+            (FABRIC_RETRY_STREAM_TAG, SHARD_STREAM_TAG),
+            (FABRIC_RETRY_STREAM_TAG, POLICY_STREAM_TAG),
         ];
         for (a, b) in tag_pairs {
             for index in 0..4u64 {

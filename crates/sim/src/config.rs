@@ -95,6 +95,384 @@ impl SimConfig {
     pub fn num_servers(&self) -> usize {
         self.spec.num_servers()
     }
+
+    /// Renders the complete configuration in the workspace's `key = value`
+    /// file format — the wire form the process fabric sends to shard
+    /// workers over stdin. [`from_key_values`](SimConfig::from_key_values)
+    /// of the result reconstructs `self` **exactly** (Rust's shortest-repr
+    /// float `Display` round-trips every `f64` bit for bit), including the
+    /// scenario/workload id maps the sharded engine derives, which the
+    /// standalone scenario/workload file formats deliberately omit.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`](crate::engine::SimError) when
+    /// the workload carries a replay trace — the recorded arrival matrix
+    /// has no single-line wire syntax, so fabric runs do not support
+    /// trace-replay configurations.
+    pub fn to_key_values(&self) -> Result<String, crate::engine::SimError> {
+        use crate::engine::SimError;
+        if self.workload.replay.is_some() {
+            return Err(SimError::InvalidConfig(
+                "a workload replay trace has no key = value wire form; \
+                 fabric workers cannot receive trace-replay configurations"
+                    .into(),
+            ));
+        }
+        let mut out = String::new();
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(&value);
+            out.push('\n');
+        };
+        let join_f64 = |xs: &[f64]| {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let join_u32 = |xs: &[u32]| {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        push("rates", join_f64(self.spec.rates()));
+        push("dispatchers", self.num_dispatchers.to_string());
+        push("rounds", self.rounds.to_string());
+        push("warmup_rounds", self.warmup_rounds.to_string());
+        push("seed", self.seed.to_string());
+        match &self.arrivals {
+            ArrivalSpec::PoissonOfferedLoad { offered_load } => {
+                push("arrivals", format!("offered_load:{offered_load}"));
+            }
+            ArrivalSpec::PoissonRates { rates } => {
+                push("arrivals", format!("rates:{}", join_f64(rates)));
+            }
+            ArrivalSpec::Deterministic { jobs_per_round } => {
+                push("arrivals", format!("deterministic:{jobs_per_round}"));
+            }
+        }
+        match self.services {
+            ServiceModel::Geometric => push("services", "geometric".into()),
+            ServiceModel::Deterministic => push("services", "deterministic".into()),
+        }
+        push(
+            "measure_decision_times",
+            self.measure_decision_times.to_string(),
+        );
+        for line in self.scenario.to_key_values().lines() {
+            out.push_str("scenario.");
+            out.push_str(line);
+            out.push('\n');
+        }
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(&value);
+            out.push('\n');
+        };
+        if let Some(ids) = &self.scenario.server_ids {
+            push("scenario.server_ids", join_u32(ids));
+        }
+        if let Some(ids) = &self.scenario.dispatcher_ids {
+            push("scenario.dispatcher_ids", join_u32(ids));
+        }
+        for line in self.workload.to_key_values().lines() {
+            out.push_str("workload.");
+            out.push_str(line);
+            out.push('\n');
+        }
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(&value);
+            out.push('\n');
+        };
+        if let Some(ids) = &self.workload.dispatcher_ids {
+            push("workload.dispatcher_ids", join_u32(ids));
+        }
+        Ok(out)
+    }
+
+    /// Parses the `key = value` wire form produced by
+    /// [`to_key_values`](SimConfig::to_key_values): one assignment per
+    /// line, `#` comments and blank lines ignored. `scenario.*` /
+    /// `workload.*` keys are delegated to
+    /// [`ScenarioSpec::from_key_values`] / [`WorkloadSpec::from_key_values`]
+    /// after prefix stripping, with the id-map keys (`scenario.server_ids`,
+    /// `scenario.dispatcher_ids`, `workload.dispatcher_ids`) handled here —
+    /// they exist only on this wire format.
+    ///
+    /// The reconstructed configuration is **not** revalidated against the
+    /// builder: the wire format transports already-validated shard configs
+    /// verbatim (a shard config's id maps would fail the builder's
+    /// standalone validation against the *sub*-cluster shape, by design).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`](crate::engine::SimError) for
+    /// malformed lines, unknown keys, unparsable values, or missing
+    /// required keys (`rates`, `dispatchers`, `rounds`, `seed`,
+    /// `arrivals`).
+    pub fn from_key_values(text: &str) -> Result<SimConfig, crate::engine::SimError> {
+        use crate::engine::SimError;
+        let mut rates: Option<Vec<f64>> = None;
+        let mut dispatchers: Option<usize> = None;
+        let mut rounds: Option<u64> = None;
+        let mut warmup_rounds: u64 = 0;
+        let mut seed: Option<u64> = None;
+        let mut arrivals: Option<ArrivalSpec> = None;
+        let mut services = ServiceModel::Geometric;
+        let mut measure_decision_times = false;
+        let mut scenario_lines = String::new();
+        let mut workload_lines = String::new();
+        let mut scenario_server_ids: Option<Vec<u32>> = None;
+        let mut scenario_dispatcher_ids: Option<Vec<u32>> = None;
+        let mut workload_dispatcher_ids: Option<Vec<u32>> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.split_once('#') {
+                Some((before, _comment)) => before.trim(),
+                None => raw.trim(),
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "config line {}: expected `key = value`, got {raw:?}",
+                    lineno + 1
+                ))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad_value = |what: &str| {
+                SimError::InvalidConfig(format!(
+                    "config line {}: `{key}` needs {what}, got {value:?}",
+                    lineno + 1
+                ))
+            };
+            let parse_f64_list = |value: &str, what: &str| -> Result<Vec<f64>, SimError> {
+                value
+                    .split(',')
+                    .map(|x| x.trim().parse::<f64>().map_err(|_| bad_value(what)))
+                    .collect()
+            };
+            let parse_u32_list = |value: &str| -> Result<Vec<u32>, SimError> {
+                value
+                    .split(',')
+                    .map(|x| {
+                        x.trim()
+                            .parse::<u32>()
+                            .map_err(|_| bad_value("a comma-separated integer list"))
+                    })
+                    .collect()
+            };
+            match key {
+                "rates" => rates = Some(parse_f64_list(value, "a comma-separated float list")?),
+                "dispatchers" => {
+                    dispatchers = Some(value.parse().map_err(|_| bad_value("an integer"))?);
+                }
+                "rounds" => rounds = Some(value.parse().map_err(|_| bad_value("an integer"))?),
+                "warmup_rounds" => {
+                    warmup_rounds = value.parse().map_err(|_| bad_value("an integer"))?;
+                }
+                "seed" => seed = Some(value.parse().map_err(|_| bad_value("an integer"))?),
+                "arrivals" => {
+                    let (kind, arg) = value
+                        .split_once(':')
+                        .ok_or_else(|| bad_value("`kind:arguments`"))?;
+                    arrivals = Some(match kind.trim() {
+                        "offered_load" => ArrivalSpec::PoissonOfferedLoad {
+                            offered_load: arg
+                                .trim()
+                                .parse()
+                                .map_err(|_| bad_value("offered_load:<float>"))?,
+                        },
+                        "rates" => ArrivalSpec::PoissonRates {
+                            rates: parse_f64_list(arg, "rates:<float list>")?,
+                        },
+                        "deterministic" => ArrivalSpec::Deterministic {
+                            jobs_per_round: arg
+                                .trim()
+                                .parse()
+                                .map_err(|_| bad_value("deterministic:<integer>"))?,
+                        },
+                        _ => return Err(bad_value("offered_load / rates / deterministic")),
+                    });
+                }
+                "services" => {
+                    services = match value {
+                        "geometric" => ServiceModel::Geometric,
+                        "deterministic" => ServiceModel::Deterministic,
+                        _ => return Err(bad_value("`geometric` or `deterministic`")),
+                    };
+                }
+                "measure_decision_times" => {
+                    measure_decision_times =
+                        value.parse().map_err(|_| bad_value("`true` or `false`"))?;
+                }
+                "scenario.server_ids" => scenario_server_ids = Some(parse_u32_list(value)?),
+                "scenario.dispatcher_ids" => {
+                    scenario_dispatcher_ids = Some(parse_u32_list(value)?);
+                }
+                "workload.dispatcher_ids" => {
+                    workload_dispatcher_ids = Some(parse_u32_list(value)?);
+                }
+                _ if key.starts_with("scenario.") => {
+                    scenario_lines.push_str(&key["scenario.".len()..]);
+                    scenario_lines.push_str(" = ");
+                    scenario_lines.push_str(value);
+                    scenario_lines.push('\n');
+                }
+                _ if key.starts_with("workload.") => {
+                    workload_lines.push_str(&key["workload.".len()..]);
+                    workload_lines.push_str(" = ");
+                    workload_lines.push_str(value);
+                    workload_lines.push('\n');
+                }
+                _ => {
+                    return Err(SimError::InvalidConfig(format!(
+                        "config line {}: unknown key {key:?}",
+                        lineno + 1
+                    )));
+                }
+            }
+        }
+        let missing = |key: &str| {
+            SimError::InvalidConfig(format!("config is missing the required `{key}` key"))
+        };
+        let spec = ClusterSpec::from_rates(rates.ok_or_else(|| missing("rates"))?)
+            .map_err(|e| SimError::InvalidConfig(format!("config `rates`: {e}")))?;
+        let mut scenario = ScenarioSpec::from_key_values(&scenario_lines)?;
+        scenario.server_ids = scenario_server_ids;
+        scenario.dispatcher_ids = scenario_dispatcher_ids;
+        let mut workload = WorkloadSpec::from_key_values(&workload_lines)?;
+        workload.dispatcher_ids = workload_dispatcher_ids;
+        Ok(SimConfig {
+            spec,
+            num_dispatchers: dispatchers.ok_or_else(|| missing("dispatchers"))?,
+            rounds: rounds.ok_or_else(|| missing("rounds"))?,
+            warmup_rounds,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            arrivals: arrivals.ok_or_else(|| missing("arrivals"))?,
+            services,
+            measure_decision_times,
+            scenario,
+            workload,
+        })
+    }
+
+    /// A structural 64-bit digest of every field of the configuration,
+    /// computed by chaining splitmix64 finalizers over the field values
+    /// (floats by their IEEE bit patterns, enums by discriminant tag plus
+    /// payload, collections length-prefixed). The digest is a pure function
+    /// of the value — identical across processes, hosts, and compilations —
+    /// and is what the process fabric stamps into every shard-report frame
+    /// so the orchestrator can reject a report produced from a different
+    /// configuration than the one it distributed.
+    ///
+    /// Unlike the `key = value` wire form this covers replay traces too, so
+    /// in-process sharded runs can stamp any configuration.
+    pub fn digest(&self) -> u64 {
+        use crate::scenario::StalenessSpec;
+        use crate::workload::ModulationSpec;
+        use scd_model::streams::splitmix64_mix;
+        fn mix(h: u64, v: u64) -> u64 {
+            splitmix64_mix(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+        }
+        fn mix_f64(h: u64, v: f64) -> u64 {
+            mix(h, v.to_bits())
+        }
+        fn mix_opt_u64(h: u64, v: Option<u64>) -> u64 {
+            match v {
+                None => mix(h, 0),
+                Some(v) => mix(mix(h, 1), v),
+            }
+        }
+        fn mix_opt_ids(h: u64, ids: Option<&Vec<u32>>) -> u64 {
+            match ids {
+                None => mix(h, 0),
+                Some(ids) => ids
+                    .iter()
+                    .fold(mix(mix(h, 1), ids.len() as u64), |h, &id| mix(h, id as u64)),
+            }
+        }
+        let mut h = mix(0x5343_4446_4947_0001, self.spec.rates().len() as u64);
+        for &r in self.spec.rates() {
+            h = mix_f64(h, r);
+        }
+        h = mix(h, self.num_dispatchers as u64);
+        h = mix(h, self.rounds);
+        h = mix(h, self.warmup_rounds);
+        h = mix(h, self.seed);
+        h = match &self.arrivals {
+            ArrivalSpec::PoissonOfferedLoad { offered_load } => mix_f64(mix(h, 0), *offered_load),
+            ArrivalSpec::PoissonRates { rates } => rates
+                .iter()
+                .fold(mix(mix(h, 1), rates.len() as u64), |h, &r| mix_f64(h, r)),
+            ArrivalSpec::Deterministic { jobs_per_round } => mix(mix(h, 2), *jobs_per_round),
+        };
+        h = mix(
+            h,
+            match self.services {
+                ServiceModel::Geometric => 0,
+                ServiceModel::Deterministic => 1,
+            },
+        );
+        h = mix(h, self.measure_decision_times as u64);
+        let sc = &self.scenario;
+        h = mix_f64(h, sc.server_fail_rate);
+        h = mix_f64(h, sc.server_repair_rate);
+        h = mix_f64(h, sc.dispatcher_fail_rate);
+        h = mix_f64(h, sc.dispatcher_repair_rate);
+        h = match sc.staleness {
+            StalenessSpec::Fresh => mix(h, 0),
+            StalenessSpec::Fixed { k } => mix(mix(h, 1), k),
+            StalenessSpec::UniformPerRound { max_k } => mix(mix(h, 2), max_k),
+        };
+        h = mix_f64(h, sc.probe_loss_rate);
+        h = mix_opt_u64(h, sc.seed);
+        h = mix_opt_ids(h, sc.server_ids.as_ref());
+        h = mix_opt_ids(h, sc.dispatcher_ids.as_ref());
+        let wl = &self.workload;
+        h = match &wl.modulation {
+            ModulationSpec::None => mix(h, 0),
+            ModulationSpec::Mmpp { phases } => phases
+                .iter()
+                .fold(mix(mix(h, 1), phases.len() as u64), |h, p| {
+                    mix_f64(mix_f64(h, p.rate_multiplier), p.switch_prob)
+                }),
+            ModulationSpec::Diurnal { period, amplitude } => {
+                mix_f64(mix(mix(h, 2), *period), *amplitude)
+            }
+            ModulationSpec::FlashCrowd {
+                every,
+                duration,
+                magnitude,
+            } => mix_f64(mix(mix(mix(h, 3), *every), *duration), *magnitude),
+        };
+        h = mix(h, wl.classes.len() as u64);
+        for class in &wl.classes {
+            h = mix_f64(mix(h, class.size), class.weight);
+        }
+        h = match &wl.replay {
+            None => mix(h, 0),
+            Some(trace) => {
+                let mut h = mix(
+                    mix(mix(h, 1), trace.num_dispatchers() as u64),
+                    trace.rounds(),
+                );
+                for round in 0..trace.rounds() {
+                    for d in 0..trace.num_dispatchers() {
+                        h = mix(h, trace.count(round, d));
+                    }
+                }
+                h
+            }
+        };
+        h = mix_opt_u64(h, wl.seed);
+        h = mix_opt_ids(h, wl.dispatcher_ids.as_ref());
+        h
+    }
 }
 
 /// Builder for [`SimConfig`].
@@ -361,6 +739,141 @@ mod tests {
         // The default is the inert scenario.
         let plain = SimConfig::builder(spec()).build().unwrap();
         assert!(plain.scenario.is_inert());
+    }
+
+    #[test]
+    fn key_values_round_trip_is_exact() {
+        // A config exercising every wire-format branch: non-trivial floats
+        // (0.1 has no finite binary expansion — shortest-repr Display must
+        // still round-trip it bit for bit), an active scenario with id
+        // maps, and an active workload.
+        let config = SimConfig {
+            spec: ClusterSpec::from_rates(vec![4.0, 0.1, 1.0 / 3.0, 2.5]).unwrap(),
+            num_dispatchers: 3,
+            rounds: 500,
+            warmup_rounds: 100,
+            seed: 0xDEAD_BEEF_0BAD_F00D,
+            arrivals: ArrivalSpec::PoissonOfferedLoad {
+                offered_load: 0.855,
+            },
+            services: ServiceModel::Deterministic,
+            measure_decision_times: true,
+            scenario: ScenarioSpec {
+                server_fail_rate: 0.01,
+                server_repair_rate: 0.2,
+                staleness: crate::scenario::StalenessSpec::UniformPerRound { max_k: 3 },
+                probe_loss_rate: 0.05,
+                seed: Some(42),
+                server_ids: Some(vec![0, 4, 8, 12]),
+                dispatcher_ids: Some(vec![1, 4]),
+                ..ScenarioSpec::default()
+            },
+            workload: WorkloadSpec {
+                modulation: crate::workload::ModulationSpec::Diurnal {
+                    period: 200,
+                    amplitude: 0.3,
+                },
+                classes: vec![crate::workload::JobClass {
+                    size: 4,
+                    weight: 0.25,
+                }],
+                seed: Some(7),
+                dispatcher_ids: Some(vec![1, 4]),
+                ..WorkloadSpec::default()
+            },
+        };
+        let text = config.to_key_values().unwrap();
+        let back = SimConfig::from_key_values(&text).unwrap();
+        assert_eq!(back, config);
+        // The minimal config round-trips too (defaults omitted from text).
+        let plain = SimConfig::builder(spec()).build().unwrap();
+        let text = plain.to_key_values().unwrap();
+        assert_eq!(SimConfig::from_key_values(&text).unwrap(), plain);
+        // Other arrival kinds take the other wire branches.
+        for arrivals in [
+            ArrivalSpec::PoissonRates {
+                rates: vec![0.5, 1.25],
+            },
+            ArrivalSpec::Deterministic { jobs_per_round: 2 },
+        ] {
+            let c = SimConfig::builder(spec())
+                .dispatchers(2)
+                .arrivals(arrivals)
+                .build()
+                .unwrap();
+            let text = c.to_key_values().unwrap();
+            assert_eq!(SimConfig::from_key_values(&text).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn key_values_reject_malformed_input() {
+        let base = SimConfig::builder(spec()).build().unwrap();
+        let text = base.to_key_values().unwrap();
+        // Dropping a required key fails with a named-key error.
+        let without_rates: String = text
+            .lines()
+            .filter(|l| !l.starts_with("rates"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = SimConfig::from_key_values(&without_rates).unwrap_err();
+        assert!(err.to_string().contains("rates"), "{err}");
+        // Unknown keys, bad shapes, and bad nested keys are all rejected.
+        assert!(SimConfig::from_key_values("bogus = 1").is_err());
+        assert!(SimConfig::from_key_values("rates 1,2").is_err());
+        assert!(SimConfig::from_key_values(&format!("{text}arrivals = warp:9")).is_err());
+        assert!(SimConfig::from_key_values(&format!("{text}scenario.bogus = 1")).is_err());
+        assert!(SimConfig::from_key_values(&format!("{text}workload.bogus = 1")).is_err());
+        // A replay trace has no wire form.
+        let mut with_replay = base;
+        with_replay.workload.replay = Some(crate::workload::ArrivalTrace::new(1, 10_000));
+        assert!(with_replay.to_key_values().is_err());
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let base = SimConfig::builder(spec())
+            .dispatchers(2)
+            .rounds(100)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(base.digest(), base.clone().digest());
+        // Every field perturbation moves the digest.
+        let mut seed = base.clone();
+        seed.seed ^= 1;
+        let mut rounds = base.clone();
+        rounds.rounds += 1;
+        let mut load = base.clone();
+        load.arrivals = ArrivalSpec::PoissonOfferedLoad {
+            offered_load: 0.900000001,
+        };
+        let mut services = base.clone();
+        services.services = ServiceModel::Deterministic;
+        let mut scenario = base.clone();
+        scenario.scenario.server_ids = Some(vec![0, 1, 2, 3]);
+        let mut workload = base.clone();
+        workload.workload.seed = Some(0);
+        let mut replay = base.clone();
+        replay.workload.replay = Some(crate::workload::ArrivalTrace::new(2, 100));
+        let digests: Vec<u64> = [
+            &base, &seed, &rounds, &load, &services, &scenario, &workload, &replay,
+        ]
+        .iter()
+        .map(|c| c.digest())
+        .collect();
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(digests[i], digests[j], "configs {i} and {j} collide");
+            }
+        }
+        // The digest survives the wire: parse(to_key_values) has the same
+        // digest — the worker-side check the orchestrator relies on.
+        let text = base.to_key_values().unwrap();
+        assert_eq!(
+            SimConfig::from_key_values(&text).unwrap().digest(),
+            base.digest()
+        );
     }
 
     #[test]

@@ -31,6 +31,30 @@ pub enum SimError {
         /// The underlying validation error.
         source: ModelError,
     },
+    /// An I/O failure talking to a process-fabric worker (spawn, stdin
+    /// hand-off, pipe read, wait). Carries the worker's process id (0 when
+    /// the process never spawned) and the shard it was running, so a fleet
+    /// log line identifies the exact worker.
+    Io {
+        /// OS process id of the worker, or 0 if spawning itself failed.
+        worker: u32,
+        /// The shard the worker was assigned.
+        shard: usize,
+        /// Human-readable cause (the underlying `std::io::Error` text).
+        cause: String,
+    },
+    /// A process-fabric frame failed to decode (truncated, bad checksum,
+    /// wrong version, malformed payload).
+    Codec {
+        /// The shard whose frame was rejected.
+        shard: usize,
+        /// The typed codec failure.
+        cause: crate::fabric::CodecError,
+    },
+    /// Shard reports disagree on run identity (shard count, config digest,
+    /// policy or round clock) and were refused by the merge — merging
+    /// reports of different runs would silently produce nonsense statistics.
+    MergeMismatch(String),
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +69,15 @@ impl fmt::Display for SimError {
                 f,
                 "policy {policy} misbehaved at dispatcher {dispatcher}: {source}"
             ),
+            SimError::Io {
+                worker,
+                shard,
+                cause,
+            } => write!(f, "worker {worker} (shard {shard}) I/O failure: {cause}"),
+            SimError::Codec { shard, cause } => {
+                write!(f, "shard {shard} report frame rejected: {cause}")
+            }
+            SimError::MergeMismatch(msg) => write!(f, "refusing to merge shard reports: {msg}"),
         }
     }
 }
@@ -54,6 +87,9 @@ impl Error for SimError {
         match self {
             SimError::InvalidConfig(_) => None,
             SimError::PolicyViolation { source, .. } => Some(source),
+            SimError::Io { .. } => None,
+            SimError::Codec { cause, .. } => Some(cause),
+            SimError::MergeMismatch(_) => None,
         }
     }
 }

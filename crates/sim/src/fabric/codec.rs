@@ -1,0 +1,598 @@
+//! The shard-report frame codec: the only bytes that cross a fabric
+//! process boundary.
+//!
+//! A frame wraps exactly one [`ShardReport`]:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SCDF"
+//! 4       1     format version (FRAME_VERSION)
+//! 5       8     config digest (LE u64, SimConfig::digest of the base run)
+//! 13      4     payload length (LE u32)
+//! 17      len   payload (the ShardReport, field by field, LE)
+//! 17+len  8     FNV-1a 64 checksum (LE u64) over bytes 4 .. 17+len
+//! ```
+//!
+//! The payload encodes every field explicitly — counters and lengths as
+//! LE integers, floats by their IEEE-754 bit patterns (`to_bits`/
+//! `from_bits`, so the empty-histogram `±∞` sentinels and every
+//! shortest-repr-hostile value survive verbatim), strings and bucket
+//! arrays length-prefixed, `Option`s as a `0`/`1` tag byte. Decoding is
+//! **strict**: wrong magic, unknown version, bad checksum, truncated
+//! input, trailing bytes, over-long declared lengths and histogram shapes
+//! the metrics types reject all map to a distinct [`CodecError`] — the
+//! orchestrator's failure classification is built directly on these.
+//!
+//! The checksum is FNV-1a 64: not cryptographic (the fabric trusts its own
+//! workers; it defends against *torn pipes*, not adversaries), dependency-
+//! free, and strong enough that the corruption-injection tests can flip
+//! any single payload byte and be caught.
+
+use crate::report::{DegradationMetrics, QueueSummary, SimReport};
+use crate::shard::ShardReport;
+use scd_metrics::{DecisionTimeHistogram, ResponseTimeHistogram};
+use std::error::Error;
+use std::fmt;
+
+/// The 4-byte frame preamble.
+pub const FRAME_MAGIC: [u8; 4] = *b"SCDF";
+
+/// Current frame-format version; bumped on any payload layout change.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Upper bound on a frame's declared payload length. The largest legal
+/// payload (a saturated response-time histogram plus a decision-time
+/// histogram) is under 9 MiB; anything claiming more is rejected before a
+/// single payload byte is read, so a corrupt length field cannot trigger a
+/// giant allocation.
+pub const MAX_PAYLOAD_LEN: u32 = 32 << 20;
+
+/// Why a byte sequence was rejected as a shard-report frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the decoder read everything it needed.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes the input actually held.
+        got: usize,
+    },
+    /// The first four bytes are not [`FRAME_MAGIC`] — the stream does not
+    /// carry a frame at all (e.g. a worker's stray print on stdout).
+    BadMagic {
+        /// The four bytes found instead.
+        got: [u8; 4],
+    },
+    /// The version byte names a format this decoder does not speak.
+    UnsupportedVersion {
+        /// The version byte found.
+        got: u8,
+    },
+    /// The declared payload length exceeds [`MAX_PAYLOAD_LEN`].
+    Oversized {
+        /// The declared length.
+        len: u32,
+    },
+    /// Frame bytes extend past the declared end — two concatenated frames,
+    /// or garbage after a valid frame. One worker sends exactly one frame.
+    TrailingBytes {
+        /// Count of unexpected extra bytes.
+        extra: usize,
+    },
+    /// The stored checksum does not match the received bytes.
+    ChecksumMismatch {
+        /// Checksum recomputed from the received bytes.
+        computed: u64,
+        /// Checksum stored in the frame.
+        stored: u64,
+    },
+    /// The envelope was intact but the payload violates the layout (bad
+    /// option tag, non-UTF-8 policy name, histogram shape rejected by the
+    /// metrics types, …).
+    Malformed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            CodecError::BadMagic { got } => {
+                write!(
+                    f,
+                    "bad frame magic {got:02x?} (expected {FRAME_MAGIC:02x?})"
+                )
+            }
+            CodecError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported frame version {got} (this decoder speaks {FRAME_VERSION})"
+                )
+            }
+            CodecError::Oversized { len } => {
+                write!(
+                    f,
+                    "declared payload of {len} bytes exceeds the {MAX_PAYLOAD_LEN}-byte cap"
+                )
+            }
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} unexpected bytes after the frame")
+            }
+            CodecError::ChecksumMismatch { computed, stored } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame stores {stored:#018x}, bytes hash to {computed:#018x}"
+                )
+            }
+            CodecError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// FNV-1a 64 over a byte slice — the frame's integrity check.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Little-endian payload writer.
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// `usize` narrowed to the wire's u32; all encoded quantities (shard
+    /// indices, bucket counts, name lengths) are far below `u32::MAX`.
+    fn len(&mut self, v: usize) -> Result<(), CodecError> {
+        let v = u32::try_from(v)
+            .map_err(|_| CodecError::Malformed(format!("length {v} exceeds the u32 wire width")))?;
+        self.u32(v);
+        Ok(())
+    }
+
+    fn str(&mut self, s: &str) -> Result<(), CodecError> {
+        self.len(s.len())?;
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    fn counts(&mut self, counts: &[u64]) -> Result<(), CodecError> {
+        self.len(counts.len())?;
+        for &c in counts {
+            self.u64(c);
+        }
+        Ok(())
+    }
+}
+
+/// Little-endian payload reader over a borrowed slice.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated {
+            needed: usize::MAX,
+            got: self.bytes.len(),
+        })?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated {
+                needed: end,
+                got: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn len(&mut self) -> Result<usize, CodecError> {
+        Ok(self.u32()? as usize)
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Malformed("policy name is not UTF-8".into()))
+    }
+
+    fn counts(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.len()?;
+        // The envelope already bounds the payload, so `len` can at worst
+        // overstate what is left in the slice — caught by `take`.
+        let mut out = Vec::with_capacity(len.min(self.bytes.len() / 8 + 1));
+        for _ in 0..len {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+fn encode_payload(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
+    let mut w = ByteWriter::new();
+    w.len(report.shard)?;
+    w.len(report.num_shards)?;
+    w.len(report.num_servers)?;
+    let r = &report.report;
+    w.str(&r.policy)?;
+    w.u64(r.rounds);
+    w.u64(r.warmup_rounds);
+    w.f64(r.offered_load);
+    w.u64(r.jobs_dispatched);
+    w.u64(r.jobs_completed);
+    w.u64(r.jobs_in_flight);
+    w.u64(r.response_times.count());
+    w.u128(r.response_times.raw_sum());
+    w.counts(r.response_times.bucket_counts())?;
+    w.f64(r.queues.mean_total_backlog);
+    w.f64(r.queues.max_total_backlog);
+    w.f64(r.queues.worst_mean_queue);
+    w.f64(r.queues.mean_idle_fraction);
+    match &r.decision_times_us {
+        None => w.u8(0),
+        Some(hist) => {
+            w.u8(1);
+            let (count, sum, min, max) = hist.raw_parts();
+            w.u64(count);
+            w.f64(sum);
+            w.f64(min);
+            w.f64(max);
+            w.counts(hist.bucket_counts())?;
+        }
+    }
+    match &r.degradation {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            w.u64(d.server_down_rounds);
+            w.u64(d.dispatcher_offline_rounds);
+            w.u64(d.arrivals_lost);
+            w.u64(d.probes_dropped);
+            w.u64(d.stale_decision_rounds);
+            w.u64(d.herding_rounds);
+            w.u64(d.shards_lost);
+            w.u64(d.rounds_lost);
+        }
+    }
+    Ok(w.buf)
+}
+
+fn decode_payload(payload: &[u8], config_digest: u64) -> Result<ShardReport, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let shard = r.len()?;
+    let num_shards = r.len()?;
+    let num_servers = r.len()?;
+    let policy = r.str()?;
+    let rounds = r.u64()?;
+    let warmup_rounds = r.u64()?;
+    let offered_load = r.f64()?;
+    let jobs_dispatched = r.u64()?;
+    let jobs_completed = r.u64()?;
+    let jobs_in_flight = r.u64()?;
+    let rt_total = r.u64()?;
+    let rt_sum = r.u128()?;
+    let rt_counts = r.counts()?;
+    let response_times = ResponseTimeHistogram::from_raw_parts(rt_counts, rt_total, rt_sum)
+        .map_err(CodecError::Malformed)?;
+    let queues = QueueSummary {
+        mean_total_backlog: r.f64()?,
+        max_total_backlog: r.f64()?,
+        worst_mean_queue: r.f64()?,
+        mean_idle_fraction: r.f64()?,
+    };
+    let decision_times_us = match r.u8()? {
+        0 => None,
+        1 => {
+            let count = r.u64()?;
+            let sum = r.f64()?;
+            let min = r.f64()?;
+            let max = r.f64()?;
+            let counts = r.counts()?;
+            Some(
+                DecisionTimeHistogram::from_raw_parts(counts, (count, sum, min, max))
+                    .map_err(CodecError::Malformed)?,
+            )
+        }
+        tag => {
+            return Err(CodecError::Malformed(format!(
+                "decision-time option tag must be 0 or 1, got {tag}"
+            )));
+        }
+    };
+    let degradation = match r.u8()? {
+        0 => None,
+        1 => Some(DegradationMetrics {
+            server_down_rounds: r.u64()?,
+            dispatcher_offline_rounds: r.u64()?,
+            arrivals_lost: r.u64()?,
+            probes_dropped: r.u64()?,
+            stale_decision_rounds: r.u64()?,
+            herding_rounds: r.u64()?,
+            shards_lost: r.u64()?,
+            rounds_lost: r.u64()?,
+        }),
+        tag => {
+            return Err(CodecError::Malformed(format!(
+                "degradation option tag must be 0 or 1, got {tag}"
+            )));
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(CodecError::Malformed(format!(
+            "{} unread bytes after the last payload field",
+            r.remaining()
+        )));
+    }
+    Ok(ShardReport {
+        shard,
+        num_shards,
+        num_servers,
+        config_digest,
+        report: SimReport {
+            policy,
+            rounds,
+            warmup_rounds,
+            offered_load,
+            jobs_dispatched,
+            jobs_completed,
+            jobs_in_flight,
+            response_times,
+            queues,
+            decision_times_us,
+            degradation,
+        },
+    })
+}
+
+/// Encodes one [`ShardReport`] into a complete frame (header, payload,
+/// checksum). The header digest is the report's own
+/// [`config_digest`](ShardReport::config_digest).
+///
+/// # Errors
+/// Returns [`CodecError::Malformed`] only if a length field exceeds the
+/// u32 wire width — impossible for reports produced by the engine.
+pub fn encode_shard_report(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
+    let payload = encode_payload(report)?;
+    if payload.len() > MAX_PAYLOAD_LEN as usize {
+        return Err(CodecError::Oversized {
+            len: payload.len() as u32,
+        });
+    }
+    let mut frame = Vec::with_capacity(4 + 1 + 8 + 4 + payload.len() + 8);
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.push(FRAME_VERSION);
+    frame.extend_from_slice(&report.config_digest.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let checksum = fnv1a64(&frame[4..]);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    Ok(frame)
+}
+
+/// Decodes one complete frame back into a [`ShardReport`], verifying
+/// magic, version, declared length, checksum and payload layout. Strict:
+/// the slice must contain exactly one frame and nothing else.
+///
+/// # Errors
+/// Every rejection is a distinct [`CodecError`] variant; see the type.
+pub fn decode_shard_report(bytes: &[u8]) -> Result<ShardReport, CodecError> {
+    const HEADER_LEN: usize = 4 + 1 + 8 + 4;
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+    if magic != FRAME_MAGIC {
+        return Err(CodecError::BadMagic { got: magic });
+    }
+    let version = bytes[4];
+    if version != FRAME_VERSION {
+        return Err(CodecError::UnsupportedVersion { got: version });
+    }
+    let config_digest = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(CodecError::Oversized { len: payload_len });
+    }
+    let frame_len = HEADER_LEN + payload_len as usize + 8;
+    if bytes.len() < frame_len {
+        return Err(CodecError::Truncated {
+            needed: frame_len,
+            got: bytes.len(),
+        });
+    }
+    if bytes.len() > frame_len {
+        return Err(CodecError::TrailingBytes {
+            extra: bytes.len() - frame_len,
+        });
+    }
+    let stored = u64::from_le_bytes(bytes[frame_len - 8..frame_len].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[4..frame_len - 8]);
+    if computed != stored {
+        return Err(CodecError::ChecksumMismatch { computed, stored });
+    }
+    decode_payload(&bytes[HEADER_LEN..frame_len - 8], config_digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(shard: usize) -> ShardReport {
+        let mut hist = ResponseTimeHistogram::new();
+        for rt in [1u64, 2, 2, 7, 900] {
+            hist.record(rt);
+        }
+        let mut decisions = DecisionTimeHistogram::new();
+        decisions.record(0.25);
+        decisions.record(1500.0);
+        ShardReport {
+            shard,
+            num_shards: 4,
+            num_servers: 16,
+            config_digest: 0x0123_4567_89AB_CDEF,
+            report: SimReport {
+                policy: "SCD".into(),
+                rounds: 400,
+                warmup_rounds: 50,
+                offered_load: 0.85,
+                jobs_dispatched: 1000,
+                jobs_completed: 995,
+                jobs_in_flight: 5,
+                response_times: hist,
+                queues: QueueSummary {
+                    mean_total_backlog: 4.25,
+                    max_total_backlog: 19.0,
+                    worst_mean_queue: 2.5,
+                    mean_idle_fraction: 0.125,
+                },
+                decision_times_us: Some(decisions),
+                degradation: Some(DegradationMetrics {
+                    server_down_rounds: 3,
+                    rounds_lost: u64::MAX,
+                    ..DegradationMetrics::default()
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_bit_for_bit() {
+        let report = sample_report(2);
+        let frame = encode_shard_report(&report).unwrap();
+        assert_eq!(decode_shard_report(&frame).unwrap(), report);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let frame = encode_shard_report(&sample_report(0)).unwrap();
+        for len in 0..frame.len() {
+            let err = decode_shard_report(&frame[..len]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Malformed(_)),
+                "prefix of {len} bytes gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_flipped_payload_byte_is_caught() {
+        let frame = encode_shard_report(&sample_report(1)).unwrap();
+        // Flip one bit in every payload byte (skip the magic: flipping it
+        // is a BadMagic, tested separately).
+        for i in 4..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_shard_report(&bad).is_err(),
+                "flipped byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_violations_are_classified() {
+        let frame = encode_shard_report(&sample_report(3)).unwrap();
+        let mut wrong_magic = frame.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            decode_shard_report(&wrong_magic).unwrap_err(),
+            CodecError::BadMagic { .. }
+        ));
+        let mut wrong_version = frame.clone();
+        wrong_version[4] = FRAME_VERSION + 1;
+        assert!(matches!(
+            decode_shard_report(&wrong_version).unwrap_err(),
+            CodecError::UnsupportedVersion { got } if got == FRAME_VERSION + 1
+        ));
+        let mut oversized = frame.clone();
+        oversized[13..17].copy_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            decode_shard_report(&oversized).unwrap_err(),
+            CodecError::Oversized { .. }
+        ));
+        let mut trailing = frame.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_shard_report(&trailing).unwrap_err(),
+            CodecError::TrailingBytes { extra: 1 }
+        ));
+        let mut corrupt = frame;
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_shard_report(&corrupt).unwrap_err(),
+            CodecError::ChecksumMismatch { .. } | CodecError::Malformed(_)
+        ));
+    }
+}

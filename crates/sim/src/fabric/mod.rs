@@ -1,0 +1,50 @@
+//! The fault-tolerant multi-process shard fabric.
+//!
+//! [`ShardedSimulation`](crate::ShardedSimulation) splits a run into `k`
+//! independent sub-systems whose only cross-shard operation is the final
+//! report merge. This module takes the next step: run those shards in
+//! **separate OS processes** — supervised workers that can crash, hang, or
+//! corrupt their output without taking the experiment down — and merge
+//! whatever survives.
+//!
+//! Three layers, mirroring the classic supervisor tree:
+//!
+//! * [`codec`] — a versioned, length-prefixed, checksummed binary frame
+//!   around one [`ShardReport`](crate::ShardReport). Everything a worker
+//!   sends is either a provably intact frame or a classified rejection
+//!   ([`CodecError`]); a torn pipe can never smuggle half a histogram into
+//!   a merged report.
+//! * [`worker`] — the in-process body of the `shard_worker` binary: parse
+//!   one shard's configuration (the `key = value` wire form of
+//!   [`SimConfig`](crate::SimConfig) on stdin), check it against the
+//!   orchestrator's expectations (sub-master seed, config digest), run the
+//!   shard, emit one frame on stdout. A deterministic [`WorkerFaultPlan`]
+//!   injects crashes/hangs/corruption for the fault-tolerance tests — the
+//!   faults are part of the observable contract, not test-only hacks.
+//! * [`orchestrator`] — spawn `k` workers, supervise them under a
+//!   wall-clock timeout, classify every failure ([`WorkerFailure`]), retry
+//!   failed shards from their seeds with seeded exponential backoff, and
+//!   degrade to a **partial merge** (lost shards accounted in
+//!   [`DegradationMetrics::shards_lost`](crate::DegradationMetrics)) when
+//!   retries run out.
+//!
+//! # Determinism
+//!
+//! A shard's report is a pure function of its derived configuration, and
+//! retries re-run the *identical* configuration — so a retried crash is
+//! indistinguishable from a run that never crashed, and a clean or
+//! recovered orchestrated run is **bit-identical** to the in-process
+//! [`ShardedSimulation`](crate::ShardedSimulation) at the same `k` (pinned
+//! by `crates/experiments/tests/fabric_e2e.rs`). Backoff jitter draws from
+//! the dedicated `FABRIC_RETRY_STREAM_TAG` stream of
+//! [`scd_model::streams`], so even the retry schedule is reproducible.
+
+pub mod codec;
+pub mod orchestrator;
+pub mod worker;
+
+pub use codec::{decode_shard_report, encode_shard_report, CodecError, FRAME_VERSION};
+pub use orchestrator::{
+    run_fabric, FabricOutcome, FabricSpec, InjectedFault, ShardAttempt, WorkerFailure,
+};
+pub use worker::{run_worker, WorkerFaultPlan, WorkerOutput, WorkerSpec};

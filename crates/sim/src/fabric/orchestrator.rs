@@ -1,0 +1,554 @@
+//! The fabric supervisor: spawn, watch, classify, retry, merge.
+//!
+//! [`run_fabric`] drives one sharded experiment across `k` worker
+//! *processes*. Each shard's configuration is derived exactly as the
+//! in-process [`ShardedSimulation`] derives it —
+//! same striping, same sub-master seeds — and shipped to a worker over
+//! stdin in the `key = value` wire form. The worker answers with one
+//! checksummed report frame on stdout.
+//!
+//! Supervision is per attempt: a wall-clock timeout bounds every worker,
+//! and every way an attempt can go wrong maps to one [`WorkerFailure`]
+//! variant — spawn failure, nonzero exit (crash), frame rejection
+//! (truncation/corruption, via [`CodecError`]), a report for the wrong
+//! experiment (digest mismatch) or the wrong shard, or a timeout kill.
+//! Failed shards are retried up to [`FabricSpec::max_retries`] times with
+//! seeded exponential backoff; because a shard's report is a pure function
+//! of its (re-sent) configuration, a successful retry is **bit-identical**
+//! to a first-try success, and a clean or fully recovered fabric run
+//! equals the in-process sharded run exactly.
+//!
+//! When a shard exhausts its retries the run *degrades instead of dying*:
+//! the surviving shards merge (the hardened
+//! [`merge_shard_reports`] re-checks digests
+//! and shard counts), and the loss is recorded in
+//! [`DegradationMetrics::shards_lost`](crate::DegradationMetrics) /
+//! [`rounds_lost`](crate::DegradationMetrics::rounds_lost) so a partial
+//! result can never masquerade as a complete one. Only the loss of *every*
+//! shard is an error.
+
+use crate::config::SimConfig;
+use crate::engine::SimError;
+use crate::fabric::codec::{decode_shard_report, CodecError, MAX_PAYLOAD_LEN};
+use crate::fabric::worker::WorkerFaultPlan;
+use crate::report::DegradationMetrics;
+use crate::shard::{merge_shard_reports, ShardReport, ShardedSimulation};
+use crate::SimReport;
+use scd_model::streams::{counter_draw, derive_stream_seed, unit_f64, FABRIC_RETRY_STREAM_TAG};
+use std::fmt;
+use std::io::Read;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A fault the orchestrator injects into a worker's command line — the
+/// test/CI handle for exercising the supervision paths on real processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The shard whose worker gets the fault.
+    pub shard: usize,
+    /// The fault flags appended to that worker's arguments.
+    pub fault: WorkerFaultPlan,
+    /// When false (the default for recovery tests) the fault fires on the
+    /// first attempt only, so the retry runs clean and recovers the shard
+    /// bit-identically. When true every attempt gets the fault, which
+    /// exhausts the retries and forces the partial-merge path.
+    pub persistent: bool,
+}
+
+/// Everything [`run_fabric`] needs besides the simulation configuration.
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Path of the `shard_worker` binary.
+    pub worker: PathBuf,
+    /// Policy name passed to every worker (resolved there by the policy
+    /// registry; the orchestrator itself never instantiates a policy).
+    pub policy: String,
+    /// Shard count `k`.
+    pub num_shards: usize,
+    /// Retries per shard after the first attempt.
+    pub max_retries: u32,
+    /// Wall-clock budget per worker attempt; an attempt still running at
+    /// the deadline is killed and classified [`WorkerFailure::Timeout`].
+    pub timeout: Duration,
+    /// Backoff before retry `r` (counting from 1) starts from
+    /// `backoff_base · 2^(r−1)`…
+    pub backoff_base: Duration,
+    /// …capped here, then scaled by a deterministic jitter factor in
+    /// `[0.5, 1.5)` drawn from the `FABRIC_RETRY_STREAM_TAG` stream.
+    pub backoff_cap: Duration,
+    /// Faults to inject, if any.
+    pub injected: Vec<InjectedFault>,
+}
+
+impl FabricSpec {
+    /// A spec with production defaults: 2 retries, 60 s timeout, 50 ms
+    /// base backoff capped at 2 s, no injected faults.
+    pub fn new(worker: PathBuf, policy: impl Into<String>, num_shards: usize) -> Self {
+        FabricSpec {
+            worker,
+            policy: policy.into(),
+            num_shards,
+            max_retries: 2,
+            timeout: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            injected: Vec::new(),
+        }
+    }
+
+    /// The first injected fault matching this shard and attempt, if any.
+    fn fault_for(&self, shard: usize, attempt: u32) -> WorkerFaultPlan {
+        self.injected
+            .iter()
+            .find(|f| f.shard == shard && (attempt == 0 || f.persistent))
+            .map(|f| f.fault.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Why one worker attempt failed. Ordered like the classification itself:
+/// process-level verdicts (spawn, exit, timeout) are decided before the
+/// output stream is even looked at; frame and identity checks follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFailure {
+    /// The worker process could not be started at all.
+    Spawn(String),
+    /// The worker exited with a nonzero status (`None`: killed by a
+    /// signal). Whatever it wrote is discarded — an exit code is a
+    /// self-declared failure, even if a frame made it out first.
+    NonZeroExit(Option<i32>),
+    /// The worker exited cleanly but its output is not an intact frame
+    /// (truncated, corrupt, wrong version, trailing bytes, …).
+    Frame(CodecError),
+    /// An intact frame for a *different experiment*: the report's config
+    /// digest is not the one the orchestrator distributed.
+    DigestMismatch {
+        /// Digest of the configuration this orchestrator distributed.
+        expected: u64,
+        /// Digest the frame carried.
+        got: u64,
+    },
+    /// An intact frame of the right experiment but for the wrong shard
+    /// coordinates.
+    ShardMismatch {
+        /// The shard index the frame claims.
+        got_shard: usize,
+        /// The shard count the frame claims.
+        got_shards: usize,
+    },
+    /// The attempt outlived [`FabricSpec::timeout`] and was killed.
+    Timeout,
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFailure::Spawn(msg) => write!(f, "failed to spawn the worker: {msg}"),
+            WorkerFailure::NonZeroExit(Some(code)) => {
+                write!(f, "worker exited with status {code}")
+            }
+            WorkerFailure::NonZeroExit(None) => write!(f, "worker was killed by a signal"),
+            WorkerFailure::Frame(e) => write!(f, "report frame rejected: {e}"),
+            WorkerFailure::DigestMismatch { expected, got } => write!(
+                f,
+                "report is for config digest {got:#018x}, expected {expected:#018x}"
+            ),
+            WorkerFailure::ShardMismatch {
+                got_shard,
+                got_shards,
+            } => write!(
+                f,
+                "report claims shard {got_shard} of {got_shards}, which is not what was asked"
+            ),
+            WorkerFailure::Timeout => write!(f, "worker timed out and was killed"),
+        }
+    }
+}
+
+impl WorkerFailure {
+    /// The [`SimError`] a terminal (all-shards-lost) outcome surfaces.
+    fn into_sim_error(self, shard: usize) -> SimError {
+        let worker = shard as u32;
+        match self {
+            WorkerFailure::Frame(cause) => SimError::Codec { shard, cause },
+            WorkerFailure::DigestMismatch { .. } | WorkerFailure::ShardMismatch { .. } => {
+                SimError::MergeMismatch(format!("shard {shard}: {self}"))
+            }
+            other => SimError::Io {
+                worker,
+                shard,
+                cause: other.to_string(),
+            },
+        }
+    }
+}
+
+/// One row of the orchestrator's attempt log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAttempt {
+    /// The shard being attempted.
+    pub shard: usize,
+    /// Attempt number, 0 for the first try.
+    pub attempt: u32,
+    /// `None` on success, the classified failure otherwise.
+    pub failure: Option<WorkerFailure>,
+}
+
+/// The result of a fabric run that produced *something*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricOutcome {
+    /// The merged report. Complete when [`lost_shards`](Self::lost_shards)
+    /// is empty (and then bit-identical to the in-process sharded run);
+    /// otherwise a partial merge whose losses are accounted in
+    /// `report.degradation`.
+    pub report: SimReport,
+    /// Shards whose workers exhausted every retry.
+    pub lost_shards: Vec<usize>,
+    /// Every attempt made, in shard order then attempt order.
+    pub attempts: Vec<ShardAttempt>,
+}
+
+/// The deterministic pre-retry pause: exponential in the retry number,
+/// jittered by the shard's `FABRIC_RETRY_STREAM_TAG` stream so simultaneous
+/// retries of different shards (or of different masters) spread out — yet
+/// any re-run of the same experiment waits the exact same schedule.
+fn retry_backoff(spec: &FabricSpec, master: u64, shard: usize, attempt: u32) -> Duration {
+    let doubled = spec
+        .backoff_base
+        .checked_mul(1u32 << attempt.min(20))
+        .unwrap_or(spec.backoff_cap);
+    let capped = doubled.min(spec.backoff_cap);
+    let stream = derive_stream_seed(master, FABRIC_RETRY_STREAM_TAG, shard as u64);
+    let jitter = 0.5 + unit_f64(counter_draw(stream, u64::from(attempt)));
+    capped.mul_f64(jitter)
+}
+
+/// Spawns and supervises one worker attempt.
+fn run_attempt(
+    spec: &FabricSpec,
+    shard: usize,
+    sub_seed: u64,
+    digest: u64,
+    config_text: &str,
+    fault: &WorkerFaultPlan,
+) -> Result<ShardReport, WorkerFailure> {
+    let mut command = Command::new(&spec.worker);
+    command
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--shards")
+        .arg(spec.num_shards.to_string())
+        .arg("--policy")
+        .arg(&spec.policy)
+        .arg("--expect-seed")
+        .arg(sub_seed.to_string())
+        .arg("--digest")
+        .arg(digest.to_string())
+        .args(fault.to_args())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = command
+        .spawn()
+        .map_err(|e| WorkerFailure::Spawn(e.to_string()))?;
+    // Hand the shard its configuration and close the pipe. A worker that
+    // died before reading makes this write fail with EPIPE — ignored here,
+    // because the exit status classifies that death more precisely.
+    if let Some(mut stdin) = child.stdin.take() {
+        let _ = stdin.write_all(config_text.as_bytes());
+    }
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let (tx, rx) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        // Cap what a misbehaving worker can make us buffer; an over-long
+        // stream fails frame decoding as TrailingBytes.
+        let _ = stdout
+            .take(u64::from(MAX_PAYLOAD_LEN) + 64)
+            .read_to_end(&mut buf);
+        let _ = tx.send(buf);
+    });
+    let buf = match rx.recv_timeout(spec.timeout) {
+        Ok(buf) => buf,
+        Err(_) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = reader.join();
+            return Err(WorkerFailure::Timeout);
+        }
+    };
+    let _ = reader.join();
+    let status = match child.wait() {
+        Ok(status) => status,
+        Err(e) => return Err(WorkerFailure::Spawn(format!("wait failed: {e}"))),
+    };
+    if !status.success() {
+        return Err(WorkerFailure::NonZeroExit(status.code()));
+    }
+    let report = decode_shard_report(&buf).map_err(WorkerFailure::Frame)?;
+    if report.config_digest != digest {
+        return Err(WorkerFailure::DigestMismatch {
+            expected: digest,
+            got: report.config_digest,
+        });
+    }
+    if report.shard != shard || report.num_shards != spec.num_shards {
+        return Err(WorkerFailure::ShardMismatch {
+            got_shard: report.shard,
+            got_shards: report.num_shards,
+        });
+    }
+    Ok(report)
+}
+
+/// Runs one shard to success or retry exhaustion, logging every attempt.
+fn run_shard_supervised(
+    spec: &FabricSpec,
+    master: u64,
+    shard: usize,
+    sub_seed: u64,
+    digest: u64,
+    config_text: &str,
+) -> (Result<ShardReport, WorkerFailure>, Vec<ShardAttempt>) {
+    let mut attempts = Vec::new();
+    let mut last_failure = None;
+    for attempt in 0..=spec.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(retry_backoff(spec, master, shard, attempt - 1));
+        }
+        let fault = spec.fault_for(shard, attempt);
+        match run_attempt(spec, shard, sub_seed, digest, config_text, &fault) {
+            Ok(report) => {
+                attempts.push(ShardAttempt {
+                    shard,
+                    attempt,
+                    failure: None,
+                });
+                return (Ok(report), attempts);
+            }
+            Err(failure) => {
+                attempts.push(ShardAttempt {
+                    shard,
+                    attempt,
+                    failure: Some(failure.clone()),
+                });
+                last_failure = Some(failure);
+            }
+        }
+    }
+    (
+        Err(last_failure.expect("at least one attempt ran")),
+        attempts,
+    )
+}
+
+/// Runs the configuration as `spec.num_shards` supervised worker
+/// processes and merges what survives.
+///
+/// Shard derivation is delegated to
+/// [`ShardedSimulation`], so everything that
+/// holds for in-process sharded runs (validation, striping, sub-master
+/// seeds, global scenario/workload pinning) holds verbatim here — and a
+/// run in which every shard eventually succeeded returns a report
+/// bit-identical to [`ShardedSimulation::run`] at the same `k`.
+///
+/// # Errors
+/// Returns the base configuration's validation errors, the wire form's
+/// [`SimError::InvalidConfig`] for configurations that cannot be shipped
+/// (replay traces), and — only when **every** shard exhausted its retries —
+/// the first lost shard's classified failure as a [`SimError::Io`] /
+/// [`SimError::Codec`] / [`SimError::MergeMismatch`]. Losing some but not
+/// all shards is *not* an error; it is a partial [`FabricOutcome`].
+pub fn run_fabric(config: &SimConfig, spec: &FabricSpec) -> Result<FabricOutcome, SimError> {
+    let sharded = ShardedSimulation::new(config.clone(), spec.num_shards)?;
+    let digest = config.digest();
+    let k = spec.num_shards;
+    let texts: Vec<String> = (0..k)
+        .map(|j| sharded.shard_config(j).to_key_values())
+        .collect::<Result<_, _>>()?;
+    type ShardOutcome = (Result<ShardReport, WorkerFailure>, Vec<ShardAttempt>);
+    let mut outcomes: Vec<Option<ShardOutcome>> = (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(k);
+        for (j, text) in texts.iter().enumerate() {
+            let sub_seed = sharded.shard_config(j).seed;
+            let spec = &spec;
+            handles.push(
+                scope.spawn(move || {
+                    run_shard_supervised(spec, config.seed, j, sub_seed, digest, text)
+                }),
+            );
+        }
+        for (j, handle) in handles.into_iter().enumerate() {
+            outcomes[j] = Some(handle.join().expect("shard supervisor panicked"));
+        }
+    });
+    let mut survivors = Vec::with_capacity(k);
+    let mut lost_shards = Vec::new();
+    let mut attempts = Vec::new();
+    let mut first_loss: Option<WorkerFailure> = None;
+    for (j, outcome) in outcomes.into_iter().enumerate() {
+        let (result, shard_attempts) = outcome.expect("every shard ran");
+        attempts.extend(shard_attempts);
+        match result {
+            Ok(report) => survivors.push(report),
+            Err(failure) => {
+                if first_loss.is_none() {
+                    first_loss = Some(failure);
+                }
+                lost_shards.push(j);
+            }
+        }
+    }
+    if survivors.is_empty() {
+        let shard = lost_shards[0];
+        return Err(first_loss
+            .expect("a lost shard has a failure")
+            .into_sim_error(shard));
+    }
+    let mut report = merge_shard_reports(&survivors)?;
+    report.offered_load = config.offered_load();
+    if !lost_shards.is_empty() {
+        let d = report
+            .degradation
+            .get_or_insert(DegradationMetrics::default());
+        d.shards_lost = d.shards_lost.saturating_add(lost_shards.len() as u64);
+        d.rounds_lost = d
+            .rounds_lost
+            .saturating_add((lost_shards.len() as u64).saturating_mul(config.rounds));
+    }
+    Ok(FabricOutcome {
+        report,
+        lost_shards,
+        attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalSpec;
+    use scd_model::ClusterSpec;
+
+    fn base_config() -> SimConfig {
+        SimConfig::builder(ClusterSpec::from_rates(vec![2.0, 1.0, 1.0, 2.0]).unwrap())
+            .dispatchers(2)
+            .rounds(50)
+            .seed(5)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.7 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jitter_bounded() {
+        let spec = FabricSpec::new(PathBuf::from("worker"), "SCD", 4);
+        for shard in 0..4usize {
+            for attempt in 0..6u32 {
+                let a = retry_backoff(&spec, 9, shard, attempt);
+                let b = retry_backoff(&spec, 9, shard, attempt);
+                assert_eq!(a, b, "backoff must be reproducible");
+                let nominal = spec
+                    .backoff_base
+                    .checked_mul(1 << attempt)
+                    .unwrap_or(spec.backoff_cap)
+                    .min(spec.backoff_cap);
+                assert!(a >= nominal.mul_f64(0.5), "shard {shard} attempt {attempt}");
+                assert!(a < nominal.mul_f64(1.5), "shard {shard} attempt {attempt}");
+            }
+        }
+        // Different shards (and different masters) jitter differently.
+        let j0 = retry_backoff(&spec, 9, 0, 0);
+        let j1 = retry_backoff(&spec, 9, 1, 0);
+        let j2 = retry_backoff(&spec, 10, 0, 0);
+        assert!(j0 != j1 || j0 != j2, "jitter should depend on shard/master");
+    }
+
+    #[test]
+    fn injected_faults_select_by_shard_attempt_and_persistence() {
+        let mut spec = FabricSpec::new(PathBuf::from("worker"), "SCD", 4);
+        spec.injected = vec![
+            InjectedFault {
+                shard: 1,
+                fault: WorkerFaultPlan {
+                    exit_code: Some(9),
+                    ..WorkerFaultPlan::default()
+                },
+                persistent: false,
+            },
+            InjectedFault {
+                shard: 2,
+                fault: WorkerFaultPlan {
+                    hang: true,
+                    ..WorkerFaultPlan::default()
+                },
+                persistent: true,
+            },
+        ];
+        assert!(spec.fault_for(0, 0).is_clean());
+        assert_eq!(spec.fault_for(1, 0).exit_code, Some(9));
+        assert!(
+            spec.fault_for(1, 1).is_clean(),
+            "one-shot fault retries clean"
+        );
+        assert!(spec.fault_for(2, 0).hang);
+        assert!(spec.fault_for(2, 3).hang, "persistent fault never clears");
+    }
+
+    #[test]
+    fn unspawnable_worker_loses_every_shard_and_errors() {
+        let mut spec = FabricSpec::new(PathBuf::from("/nonexistent/scd-shard-worker"), "SCD", 2);
+        spec.max_retries = 1;
+        spec.backoff_base = Duration::from_millis(1);
+        spec.backoff_cap = Duration::from_millis(2);
+        let err = run_fabric(&base_config(), &spec).unwrap_err();
+        match err {
+            SimError::Io {
+                shard, ref cause, ..
+            } => {
+                assert_eq!(shard, 0);
+                assert!(cause.contains("spawn"), "{cause}");
+            }
+            other => panic!("expected Io spawn error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn failure_display_and_error_mapping_cover_every_variant() {
+        let cases: Vec<(WorkerFailure, &str)> = vec![
+            (WorkerFailure::Spawn("no such file".into()), "spawn"),
+            (WorkerFailure::NonZeroExit(Some(101)), "101"),
+            (WorkerFailure::NonZeroExit(None), "signal"),
+            (
+                WorkerFailure::Frame(CodecError::Truncated { needed: 9, got: 2 }),
+                "truncated",
+            ),
+            (
+                WorkerFailure::DigestMismatch {
+                    expected: 1,
+                    got: 2,
+                },
+                "digest",
+            ),
+            (
+                WorkerFailure::ShardMismatch {
+                    got_shard: 3,
+                    got_shards: 4,
+                },
+                "shard 3",
+            ),
+            (WorkerFailure::Timeout, "timed out"),
+        ];
+        for (failure, needle) in cases {
+            let shown = failure.to_string();
+            assert!(shown.contains(needle), "{shown} should contain {needle}");
+            // Every failure maps into some SimError whose Display carries
+            // the shard index.
+            let err = failure.into_sim_error(7);
+            assert!(err.to_string().contains('7'), "{err}");
+        }
+    }
+}

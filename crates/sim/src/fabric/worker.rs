@@ -1,0 +1,327 @@
+//! The in-process body of the `shard_worker` binary.
+//!
+//! A worker is intentionally dumb: it receives one *already derived* shard
+//! configuration (the `key = value` wire form of
+//! [`SimConfig`], produced by
+//! [`ShardedSimulation::shard_config`](crate::ShardedSimulation) on the
+//! orchestrator side) on stdin, cross-checks it against the orchestrator's
+//! expectations, runs the shard exactly like the in-process engine would,
+//! and emits a single checksummed report frame on stdout. Everything
+//! operational — supervision, timeouts, retries, merging — lives with the
+//! orchestrator; a worker that dies mid-run leaves nothing behind but a
+//! classifiable failure.
+//!
+//! The [`WorkerFaultPlan`] makes the failure modes *deterministic and
+//! injectable*: a crash before the frame, a hang, a corrupted or truncated
+//! frame, an arbitrary exit code. The fault-tolerance tests and the CI
+//! smoke job drive the orchestrator through every classification branch
+//! with these flags, on the real process boundary.
+
+use crate::config::SimConfig;
+use crate::engine::{SimError, Simulation};
+use crate::fabric::codec::encode_shard_report;
+use crate::shard::ShardReport;
+use scd_model::PolicyFactory;
+
+/// Deterministic fault injection for one worker invocation. The default
+/// plan is fault-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerFaultPlan {
+    /// Crash (exit code 101, no frame) once the run would have passed this
+    /// round. A value at or beyond the configured round count never fires,
+    /// so the same flag is safe on re-runs with longer horizons.
+    pub fail_after_round: Option<u64>,
+    /// Never produce output and never exit — simulate a wedged process.
+    /// The orchestrator's wall-clock timeout is the only way out.
+    pub hang: bool,
+    /// Emit the frame with one payload byte flipped, so the checksum
+    /// rejects it.
+    pub corrupt_frame: bool,
+    /// Emit only the first half of the frame.
+    pub truncate_frame: bool,
+    /// Exit with this code immediately, before reading the configuration —
+    /// simulate a worker that dies on startup.
+    pub exit_code: Option<i32>,
+}
+
+impl WorkerFaultPlan {
+    /// Whether this plan injects anything at all.
+    pub fn is_clean(&self) -> bool {
+        *self == WorkerFaultPlan::default()
+    }
+
+    /// Renders the plan as `shard_worker` command-line flags — the form
+    /// the orchestrator appends to an injected attempt's argument list.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = Vec::new();
+        if let Some(round) = self.fail_after_round {
+            args.push("--fail-after-round".into());
+            args.push(round.to_string());
+        }
+        if self.hang {
+            args.push("--hang".into());
+        }
+        if self.corrupt_frame {
+            args.push("--corrupt-frame".into());
+        }
+        if self.truncate_frame {
+            args.push("--truncate-frame".into());
+        }
+        if let Some(code) = self.exit_code {
+            args.push("--exit-code".into());
+            args.push(code.to_string());
+        }
+        args
+    }
+}
+
+/// Everything a worker invocation is told on its command line (the shard
+/// configuration itself arrives separately, on stdin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSpec {
+    /// Index of the shard this worker runs.
+    pub shard: usize,
+    /// Total shard count `k` of the run.
+    pub num_shards: usize,
+    /// The sub-master seed the orchestrator derived for this shard
+    /// ([`shard_master_seed`](scd_model::streams::shard_master_seed)). The
+    /// worker refuses a configuration whose seed disagrees — the
+    /// retry-from-seed guarantee hinges on running the exact seed the
+    /// orchestrator distributed.
+    pub expect_seed: u64,
+    /// Structural digest of the **base** configuration
+    /// ([`SimConfig::digest`](crate::SimConfig::digest)), echoed verbatim
+    /// into the report frame so the orchestrator can tie the report back
+    /// to the experiment it belongs to.
+    pub config_digest: u64,
+    /// Injected faults, if any.
+    pub fault: WorkerFaultPlan,
+}
+
+/// What the worker binary should do after [`run_worker`] returns — kept as
+/// data so the whole decision procedure (including every injected fault)
+/// is testable without a process boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerOutput {
+    /// Write these bytes to stdout and exit 0.
+    Frame(Vec<u8>),
+    /// Exit with this code without writing anything.
+    Exit(i32),
+    /// Park forever; the supervisor's timeout will kill the process.
+    Hang,
+}
+
+/// Runs one worker invocation: parse and cross-check the configuration,
+/// apply the fault plan, simulate the shard, encode the frame.
+///
+/// # Errors
+/// Returns [`SimError::InvalidConfig`] for an inconsistent spec (shard
+/// index out of range, stdin seed disagreeing with `expect_seed`), any
+/// parse error of the configuration text, and whatever the shard's own
+/// [`Simulation`] run reports. The binary maps errors to stderr plus a
+/// nonzero exit, which the orchestrator classifies like any other crash.
+pub fn run_worker(
+    spec: &WorkerSpec,
+    config_text: &str,
+    factory: &dyn PolicyFactory,
+) -> Result<WorkerOutput, SimError> {
+    if let Some(code) = spec.fault.exit_code {
+        return Ok(WorkerOutput::Exit(code));
+    }
+    if spec.shard >= spec.num_shards {
+        return Err(SimError::InvalidConfig(format!(
+            "worker told to run shard {} of a {}-shard run",
+            spec.shard, spec.num_shards
+        )));
+    }
+    let config = SimConfig::from_key_values(config_text)?;
+    if config.seed != spec.expect_seed {
+        return Err(SimError::InvalidConfig(format!(
+            "shard {} received a configuration seeded {:#018x}, but the \
+             orchestrator distributed sub-master {:#018x} — refusing to run \
+             a shard the retry contract could not reproduce",
+            spec.shard, config.seed, spec.expect_seed
+        )));
+    }
+    if spec.fault.hang {
+        return Ok(WorkerOutput::Hang);
+    }
+    if let Some(round) = spec.fault.fail_after_round {
+        if round < config.rounds {
+            // The injected crash kills the process before any output; how
+            // many rounds were actually computed is unobservable, so none
+            // are — byte-for-byte the same failure, without the wasted CPU.
+            return Ok(WorkerOutput::Exit(101));
+        }
+    }
+    let num_servers = config.num_servers();
+    let report = Simulation::new(config)?.run(factory)?;
+    let shard_report = ShardReport {
+        shard: spec.shard,
+        num_shards: spec.num_shards,
+        num_servers,
+        config_digest: spec.config_digest,
+        report,
+    };
+    let mut frame = encode_shard_report(&shard_report).map_err(|cause| SimError::Codec {
+        shard: spec.shard,
+        cause,
+    })?;
+    if spec.fault.corrupt_frame {
+        // Flip a bit in the first payload byte: past the header, so the
+        // envelope still parses and the *checksum* is what catches it.
+        frame[17] ^= 0x01;
+    }
+    if spec.fault.truncate_frame {
+        frame.truncate(frame.len() / 2);
+    }
+    Ok(WorkerOutput::Frame(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalSpec;
+    use crate::fabric::codec::decode_shard_report;
+    use crate::shard::ShardedSimulation;
+    use scd_model::ClusterSpec;
+    use scd_policies::JsqFactory;
+
+    fn base_config() -> SimConfig {
+        let rates: Vec<f64> = (0..8).map(|s| 1.0 + (s % 3) as f64).collect();
+        SimConfig::builder(ClusterSpec::from_rates(rates).unwrap())
+            .dispatchers(4)
+            .rounds(200)
+            .warmup_rounds(20)
+            .seed(11)
+            .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.8 })
+            .build()
+            .unwrap()
+    }
+
+    fn worker_spec(sharded: &ShardedSimulation, shard: usize) -> WorkerSpec {
+        WorkerSpec {
+            shard,
+            num_shards: sharded.num_shards(),
+            expect_seed: sharded.shard_config(shard).seed,
+            config_digest: sharded.config().digest(),
+            fault: WorkerFaultPlan::default(),
+        }
+    }
+
+    #[test]
+    fn worker_reproduces_the_in_process_shard_bit_for_bit() {
+        let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
+        let factory = JsqFactory::new();
+        let in_process = sharded.run_shards(&factory, 1).unwrap();
+        for (shard, expected) in in_process.iter().enumerate() {
+            let text = sharded.shard_config(shard).to_key_values().unwrap();
+            let spec = worker_spec(&sharded, shard);
+            match run_worker(&spec, &text, &factory).unwrap() {
+                WorkerOutput::Frame(frame) => {
+                    assert_eq!(&decode_shard_report(&frame).unwrap(), expected);
+                }
+                other => panic!("clean worker produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seed_disagreement_is_refused() {
+        let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
+        let text = sharded.shard_config(0).to_key_values().unwrap();
+        let mut spec = worker_spec(&sharded, 0);
+        spec.expect_seed ^= 1;
+        let err = run_worker(&spec, &text, &JsqFactory::new()).unwrap_err();
+        assert!(err.to_string().contains("sub-master"), "{err}");
+        let mut bad_index = worker_spec(&sharded, 0);
+        bad_index.shard = 5;
+        assert!(run_worker(&bad_index, &text, &JsqFactory::new()).is_err());
+    }
+
+    #[test]
+    fn fault_plan_controls_the_output() {
+        let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
+        let factory = JsqFactory::new();
+        let text = sharded.shard_config(1).to_key_values().unwrap();
+        let with = |fault: WorkerFaultPlan| {
+            let mut spec = worker_spec(&sharded, 1);
+            spec.fault = fault;
+            run_worker(&spec, &text, &factory).unwrap()
+        };
+        assert_eq!(
+            with(WorkerFaultPlan {
+                exit_code: Some(7),
+                ..WorkerFaultPlan::default()
+            }),
+            WorkerOutput::Exit(7)
+        );
+        assert_eq!(
+            with(WorkerFaultPlan {
+                hang: true,
+                ..WorkerFaultPlan::default()
+            }),
+            WorkerOutput::Hang
+        );
+        assert_eq!(
+            with(WorkerFaultPlan {
+                fail_after_round: Some(50),
+                ..WorkerFaultPlan::default()
+            }),
+            WorkerOutput::Exit(101)
+        );
+        // A crash point beyond the horizon never fires.
+        let clean = with(WorkerFaultPlan {
+            fail_after_round: Some(10_000),
+            ..WorkerFaultPlan::default()
+        });
+        let WorkerOutput::Frame(clean_frame) = clean else {
+            panic!("late crash point must not fire");
+        };
+        decode_shard_report(&clean_frame).unwrap();
+        // Corruption keeps the length but breaks the checksum; truncation
+        // cuts the frame short. Both must be rejected by the codec.
+        let WorkerOutput::Frame(corrupt) = with(WorkerFaultPlan {
+            corrupt_frame: true,
+            ..WorkerFaultPlan::default()
+        }) else {
+            panic!("corrupt-frame still emits bytes");
+        };
+        assert_eq!(corrupt.len(), clean_frame.len());
+        assert!(decode_shard_report(&corrupt).is_err());
+        let WorkerOutput::Frame(truncated) = with(WorkerFaultPlan {
+            truncate_frame: true,
+            ..WorkerFaultPlan::default()
+        }) else {
+            panic!("truncate-frame still emits bytes");
+        };
+        assert!(truncated.len() < clean_frame.len());
+        assert!(decode_shard_report(&truncated).is_err());
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_args() {
+        let plan = WorkerFaultPlan {
+            fail_after_round: Some(3),
+            hang: true,
+            corrupt_frame: true,
+            truncate_frame: true,
+            exit_code: Some(-2),
+        };
+        assert_eq!(
+            plan.to_args(),
+            vec![
+                "--fail-after-round",
+                "3",
+                "--hang",
+                "--corrupt-frame",
+                "--truncate-frame",
+                "--exit-code",
+                "-2"
+            ]
+        );
+        assert!(WorkerFaultPlan::default().is_clean());
+        assert!(WorkerFaultPlan::default().to_args().is_empty());
+        assert!(!plan.is_clean());
+    }
+}

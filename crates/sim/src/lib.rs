@@ -65,6 +65,7 @@
 pub mod arrivals;
 pub mod config;
 pub mod engine;
+pub mod fabric;
 pub mod pool;
 pub mod queues;
 pub mod report;
@@ -78,6 +79,10 @@ pub mod workload;
 pub use arrivals::ArrivalSpec;
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{SimError, Simulation};
+pub use fabric::{
+    decode_shard_report, encode_shard_report, CodecError, FabricOutcome, FabricSpec, InjectedFault,
+    WorkerFailure, WorkerFaultPlan,
+};
 pub use queues::SegmentQueue;
 pub use report::{DegradationMetrics, QueueSummary, SimReport};
 pub use runner::{

@@ -76,6 +76,15 @@ pub struct DegradationMetrics {
     /// dispatched jobs (of at least two) — the herding indicator the stale-
     /// information experiments track.
     pub herding_rounds: u64,
+    /// Shards of a process-fabric run whose workers exhausted their retries
+    /// and contributed nothing to the merged report. Zero for in-process
+    /// runs and clean fabric runs; nonzero marks a **partial** merge whose
+    /// statistics cover only the surviving sub-systems.
+    pub shards_lost: u64,
+    /// Simulated rounds forfeited with the lost shards (`shards_lost ×
+    /// rounds per shard`) — the work a rerun from the same seeds would have
+    /// to redo to complete the experiment.
+    pub rounds_lost: u64,
 }
 
 impl DegradationMetrics {
@@ -94,6 +103,8 @@ impl DegradationMetrics {
             .stale_decision_rounds
             .saturating_add(other.stale_decision_rounds);
         self.herding_rounds = self.herding_rounds.saturating_add(other.herding_rounds);
+        self.shards_lost = self.shards_lost.saturating_add(other.shards_lost);
+        self.rounds_lost = self.rounds_lost.saturating_add(other.rounds_lost);
     }
 }
 
@@ -214,6 +225,8 @@ mod tests {
             probes_dropped: 1,
             stale_decision_rounds: 3,
             herding_rounds: u64::MAX,
+            shards_lost: 1,
+            rounds_lost: u64::MAX - 3,
         };
         let b = DegradationMetrics {
             server_down_rounds: 1,
@@ -222,12 +235,16 @@ mod tests {
             probes_dropped: 9,
             stale_decision_rounds: 0,
             herding_rounds: 1,
+            shards_lost: 2,
+            rounds_lost: 800,
         };
         a.merge(&b);
         assert_eq!(a.server_down_rounds, 6);
         assert_eq!(a.arrivals_lost, 10);
         assert_eq!(a.probes_dropped, 10);
         assert_eq!(a.herding_rounds, u64::MAX, "merge must saturate");
+        assert_eq!(a.shards_lost, 3);
+        assert_eq!(a.rounds_lost, u64::MAX, "lost-round accounting saturates");
         assert_eq!(DegradationMetrics::default(), DegradationMetrics::default());
     }
 

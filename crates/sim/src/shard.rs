@@ -137,9 +137,18 @@ impl ShardPlan {
 pub struct ShardReport {
     /// Index of the shard that produced this report.
     pub shard: usize,
+    /// Shard count `k` of the run this report belongs to. Reports of runs
+    /// split differently are not mergeable (different sub-master seeds,
+    /// different striping), so the merge rejects disagreement here.
+    pub num_shards: usize,
     /// Number of servers the shard owns (the weight of its per-server
     /// averages in the merge).
     pub num_servers: usize,
+    /// Structural digest ([`SimConfig::digest`]) of the **base** (unsharded)
+    /// configuration the shard was derived from — the merge's proof that
+    /// all reports describe slices of one experiment, and the value the
+    /// process fabric checks a worker's report frame against.
+    pub config_digest: u64,
     /// The shard's run statistics. Queue statistics are over the shard's
     /// own servers (shard-local indices); response times are in rounds,
     /// directly mergeable across shards because all shards step the same
@@ -158,26 +167,45 @@ pub struct ShardReport {
 ///
 /// [`QueueSummary::fold_disjoint`]: crate::report::QueueSummary::fold_disjoint
 ///
-/// # Panics
-/// Panics if `reports` is empty or the shards disagree on policy, round
-/// count or warm-up length (all shards of a run share one configuration).
-pub fn merge_shard_reports(reports: &[ShardReport]) -> SimReport {
+/// # Errors
+/// Returns [`SimError::MergeMismatch`] if `reports` is empty or the shards
+/// disagree on shard count, configuration digest, policy, round count or
+/// warm-up length — all shards of a run share one configuration, so any
+/// disagreement means the inputs are slices of *different* experiments
+/// (the misdirected-report case the process fabric must never merge).
+pub fn merge_shard_reports(reports: &[ShardReport]) -> Result<SimReport, SimError> {
     let (first, rest) = reports
         .split_first()
-        .expect("cannot merge zero shard reports");
+        .ok_or_else(|| SimError::MergeMismatch("cannot merge zero shard reports".into()))?;
     let mut merged = first.report.clone();
     let mut servers_so_far = first.num_servers;
     for shard in rest {
         let report = &shard.report;
-        assert_eq!(
-            merged.policy, report.policy,
-            "shards of one run share a policy"
-        );
-        assert_eq!(
-            (merged.rounds, merged.warmup_rounds),
-            (report.rounds, report.warmup_rounds),
-            "shards of one run share the round clock"
-        );
+        if shard.num_shards != first.num_shards {
+            return Err(SimError::MergeMismatch(format!(
+                "shard {} reports a run of {} shards, shard {} one of {}",
+                first.shard, first.num_shards, shard.shard, shard.num_shards
+            )));
+        }
+        if shard.config_digest != first.config_digest {
+            return Err(SimError::MergeMismatch(format!(
+                "shard {} was configured with digest {:#018x}, shard {} with {:#018x}",
+                first.shard, first.config_digest, shard.shard, shard.config_digest
+            )));
+        }
+        if merged.policy != report.policy {
+            return Err(SimError::MergeMismatch(format!(
+                "shards of one run share a policy, got {:?} and {:?}",
+                merged.policy, report.policy
+            )));
+        }
+        if (merged.rounds, merged.warmup_rounds) != (report.rounds, report.warmup_rounds) {
+            return Err(SimError::MergeMismatch(format!(
+                "shards of one run share the round clock, got {:?} and {:?}",
+                (merged.rounds, merged.warmup_rounds),
+                (report.rounds, report.warmup_rounds)
+            )));
+        }
         merged.jobs_dispatched = merged
             .jobs_dispatched
             .saturating_add(report.jobs_dispatched);
@@ -201,7 +229,7 @@ pub fn merge_shard_reports(reports: &[ShardReport]) -> SimReport {
         }
         servers_so_far += shard.num_servers;
     }
-    merged
+    Ok(merged)
 }
 
 /// A simulation whose servers are partitioned into `k` independent shards.
@@ -394,12 +422,15 @@ impl ShardedSimulation {
         factory: &dyn PolicyFactory,
         threads: usize,
     ) -> Result<Vec<ShardReport>, SimError> {
+        let config_digest = self.config.digest();
         let results = fan_out(self.shard_configs.len(), threads, |shard| {
             let config = self.shard_configs[shard].clone();
             let report = Simulation::new(config)?.run(factory)?;
             Ok(ShardReport {
                 shard,
+                num_shards: self.num_shards(),
                 num_servers: self.plan.servers(shard).len(),
+                config_digest,
                 report,
             })
         });
@@ -431,7 +462,7 @@ impl ShardedSimulation {
         threads: usize,
     ) -> Result<SimReport, SimError> {
         let reports = self.run_shards(factory, threads)?;
-        let mut merged = merge_shard_reports(&reports);
+        let mut merged = merge_shard_reports(&reports)?;
         // The merged report describes the *global* system: restore the
         // system-wide offered load (identical across shards anyway for the
         // load-calibrated arrivals required at k > 1).
@@ -460,6 +491,7 @@ impl ShardedSimulation {
             self.config.num_servers(),
             self.config.rounds,
         );
+        let config_digest = self.config.digest();
         let mut reports = Vec::with_capacity(k);
         for j in 0..k {
             let config = self.shard_configs[j].clone();
@@ -472,11 +504,13 @@ impl ShardedSimulation {
             trace.absorb_remapped(&local, &dispatcher_ids, &server_ids);
             reports.push(ShardReport {
                 shard: j,
+                num_shards: k,
                 num_servers: self.plan.servers(j).len(),
+                config_digest,
                 report,
             });
         }
-        let mut merged = merge_shard_reports(&reports);
+        let mut merged = merge_shard_reports(&reports)?;
         merged.offered_load = self.config.offered_load();
         Ok((merged, trace))
     }
@@ -605,7 +639,7 @@ mod tests {
         let factory = JsqFactory::new();
         let shards = sharded.run_shards(&factory, 1).unwrap();
         assert_eq!(shards.len(), 4);
-        let merged = merge_shard_reports(&shards);
+        let merged = merge_shard_reports(&shards).unwrap();
         assert_eq!(
             merged.jobs_dispatched,
             shards.iter().map(|s| s.report.jobs_dispatched).sum::<u64>()
@@ -625,9 +659,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero shard reports")]
-    fn merging_nothing_panics() {
-        merge_shard_reports(&[]);
+    fn merging_nothing_is_an_error() {
+        let err = merge_shard_reports(&[]).unwrap_err();
+        assert!(matches!(err, SimError::MergeMismatch(_)));
+        assert!(err.to_string().contains("zero shard reports"), "{err}");
+    }
+
+    #[test]
+    fn merge_rejects_reports_of_different_experiments() {
+        let shards = ShardedSimulation::new(config(8, 3), 2)
+            .unwrap()
+            .run_shards(&JsqFactory::new(), 1)
+            .unwrap();
+        // A shard-count disagreement (a k=2 report next to a "k=3" one).
+        let mut wrong_k = shards.clone();
+        wrong_k[1].num_shards = 3;
+        let err = merge_shard_reports(&wrong_k).unwrap_err();
+        assert!(matches!(err, SimError::MergeMismatch(_)));
+        assert!(err.to_string().contains("shards"), "{err}");
+        // A config-digest disagreement (a report from another experiment).
+        let mut wrong_digest = shards.clone();
+        wrong_digest[1].config_digest ^= 1;
+        let err = merge_shard_reports(&wrong_digest).unwrap_err();
+        assert!(matches!(err, SimError::MergeMismatch(_)));
+        assert!(err.to_string().contains("digest"), "{err}");
+        // A policy disagreement.
+        let mut wrong_policy = shards.clone();
+        wrong_policy[1].report.policy = "OTHER".into();
+        assert!(merge_shard_reports(&wrong_policy).is_err());
+        // A round-clock disagreement.
+        let mut wrong_clock = shards;
+        wrong_clock[1].report.rounds += 1;
+        assert!(merge_shard_reports(&wrong_clock).is_err());
     }
 
     #[test]
@@ -638,6 +701,9 @@ mod tests {
         let sharded = ShardedSimulation::new(config(8, 3), 2).unwrap();
         let shards = sharded.run_shards(&JsqFactory::new(), 1).unwrap();
         let copy = shards.clone();
-        assert_eq!(merge_shard_reports(&copy), merge_shard_reports(&shards));
+        assert_eq!(
+            merge_shard_reports(&copy).unwrap(),
+            merge_shard_reports(&shards).unwrap()
+        );
     }
 }

@@ -1,0 +1,265 @@
+//! Property-style round-trip and rejection suite for the process-fabric
+//! frame codec.
+//!
+//! The unit tests in `crates/sim/src/fabric/codec.rs` pin the envelope
+//! rules on one representative report; this suite sweeps a deterministic
+//! family of *randomized* reports — saturated histograms, empty shards,
+//! maxed-out degradation counters, every optional section present and
+//! absent — and asserts that every one survives `encode → decode`
+//! byte-for-byte, while mutated frames are always classified rejections,
+//! never silent misdecodes.
+
+use scd::metrics::{DecisionTimeHistogram, ResponseTimeHistogram};
+use scd::model::streams::{counter_draw, derive_stream_seed, unit_f64};
+use scd::sim::fabric::{decode_shard_report, encode_shard_report, CodecError};
+use scd::sim::{DegradationMetrics, QueueSummary, ShardReport, SimReport};
+
+/// A tiny deterministic generator on top of the model's counter streams —
+/// the same splitmix machinery the engine uses, so the suite needs no RNG
+/// dependency and replays bit-exactly.
+struct Gen {
+    seed: u64,
+    step: u64,
+}
+
+impl Gen {
+    fn new(case: u64) -> Self {
+        Gen {
+            seed: derive_stream_seed(0xC0DE_C0DE_C0DE_C0DE, 0x46_41_42_43_4F_44_45_43, case),
+            step: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step += 1;
+        counter_draw(self.seed, self.step)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64()) * 1e4
+    }
+
+    fn next_in(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+fn random_report(case: u64) -> ShardReport {
+    let mut g = Gen::new(case);
+    let mut response_times = ResponseTimeHistogram::new();
+    for _ in 0..g.next_in(200) {
+        // Bounded support keeps the dense counts vector (and hence every
+        // frame) small enough for the quadratic mutation sweeps below; the
+        // 8 MiB overflow-bucket layout gets its own linear-time test.
+        response_times.record_many(g.next_in(5000), 1 + g.next_in(1_000_000));
+    }
+    let decision_times_us = if g.next_in(2) == 0 {
+        let mut hist = DecisionTimeHistogram::new();
+        for _ in 0..g.next_in(100) {
+            hist.record(unit_f64(g.next_u64()) * 1e6);
+        }
+        Some(hist)
+    } else {
+        None
+    };
+    let degradation = match g.next_in(3) {
+        0 => None,
+        1 => Some(DegradationMetrics {
+            server_down_rounds: g.next_u64(),
+            dispatcher_offline_rounds: g.next_u64(),
+            arrivals_lost: g.next_u64(),
+            probes_dropped: g.next_u64(),
+            stale_decision_rounds: g.next_u64(),
+            herding_rounds: g.next_u64(),
+            shards_lost: g.next_in(16),
+            rounds_lost: g.next_u64(),
+        }),
+        // Saturated counters — the merge's saturating discipline must
+        // survive the wire unclamped.
+        _ => Some(DegradationMetrics {
+            server_down_rounds: u64::MAX,
+            dispatcher_offline_rounds: u64::MAX,
+            arrivals_lost: u64::MAX,
+            probes_dropped: u64::MAX,
+            stale_decision_rounds: u64::MAX,
+            herding_rounds: u64::MAX,
+            shards_lost: u64::MAX,
+            rounds_lost: u64::MAX,
+        }),
+    };
+    let num_shards = 1 + g.next_in(8) as usize;
+    ShardReport {
+        shard: g.next_in(num_shards as u64) as usize,
+        num_shards,
+        num_servers: g.next_in(512) as usize,
+        config_digest: g.next_u64(),
+        report: SimReport {
+            policy: format!("P{}", g.next_in(1 << 20)),
+            rounds: g.next_u64(),
+            warmup_rounds: g.next_u64(),
+            offered_load: g.next_f64(),
+            jobs_dispatched: g.next_u64(),
+            jobs_completed: g.next_u64(),
+            jobs_in_flight: g.next_u64(),
+            response_times,
+            queues: QueueSummary {
+                mean_total_backlog: g.next_f64(),
+                max_total_backlog: g.next_f64(),
+                worst_mean_queue: g.next_f64(),
+                mean_idle_fraction: unit_f64(g.next_u64()),
+            },
+            decision_times_us,
+            degradation,
+        },
+    }
+}
+
+#[test]
+fn randomized_reports_round_trip_bit_for_bit() {
+    for case in 0..64 {
+        let report = random_report(case);
+        let frame = encode_shard_report(&report).unwrap();
+        let decoded = decode_shard_report(&frame).unwrap();
+        assert_eq!(decoded, report, "case {case} did not survive the wire");
+        // Encoding is deterministic: the same report yields the same bytes.
+        assert_eq!(frame, encode_shard_report(&decoded).unwrap());
+    }
+}
+
+#[test]
+fn saturated_overflow_bucket_round_trips() {
+    // Recording at the clamp value inflates the dense counts vector to its
+    // ~8 MiB worst case and saturates the top bucket — the largest legal
+    // frame the codec can meet. Round-trip only: the mutation sweeps above
+    // would be quadratic in this frame's size.
+    let mut report = random_report(99);
+    report
+        .report
+        .response_times
+        .record_many(ResponseTimeHistogram::MAX_RESPONSE_TIME + 12345, u64::MAX);
+    let frame = encode_shard_report(&report).unwrap();
+    assert!(frame.len() > 8 << 20, "overflow layout is the big one");
+    assert_eq!(decode_shard_report(&frame).unwrap(), report);
+}
+
+#[test]
+fn empty_shard_report_round_trips() {
+    // A shard that dispatched nothing: empty histogram, zero counters.
+    let report = ShardReport {
+        shard: 0,
+        num_shards: 1,
+        num_servers: 0,
+        config_digest: 0,
+        report: SimReport {
+            policy: String::new(),
+            rounds: 0,
+            warmup_rounds: 0,
+            offered_load: 0.0,
+            jobs_dispatched: 0,
+            jobs_completed: 0,
+            jobs_in_flight: 0,
+            response_times: ResponseTimeHistogram::new(),
+            queues: QueueSummary {
+                mean_total_backlog: 0.0,
+                max_total_backlog: 0.0,
+                worst_mean_queue: 0.0,
+                mean_idle_fraction: 0.0,
+            },
+            decision_times_us: None,
+            degradation: None,
+        },
+    };
+    let frame = encode_shard_report(&report).unwrap();
+    assert_eq!(decode_shard_report(&frame).unwrap(), report);
+}
+
+#[test]
+fn nonfinite_payload_floats_survive_the_wire() {
+    // min()/max() of an empty decision histogram are ±∞ sentinels; the
+    // codec ships raw bits, so they must come back exactly.
+    let mut report = random_report(7);
+    report.report.decision_times_us = Some(DecisionTimeHistogram::new());
+    report.report.offered_load = f64::INFINITY;
+    let frame = encode_shard_report(&report).unwrap();
+    let decoded = decode_shard_report(&frame).unwrap();
+    assert_eq!(decoded.report.offered_load, f64::INFINITY);
+    let decoded_hist = decoded.report.decision_times_us.as_ref().unwrap();
+    assert!(decoded_hist.is_empty());
+    assert_eq!(
+        decoded_hist.raw_parts(),
+        DecisionTimeHistogram::new().raw_parts()
+    );
+}
+
+#[test]
+fn every_prefix_of_every_frame_is_rejected() {
+    for case in [0u64, 3, 11] {
+        let frame = encode_shard_report(&random_report(case)).unwrap();
+        for len in 0..frame.len() {
+            assert!(
+                decode_shard_report(&frame[..len]).is_err(),
+                "case {case}: prefix of length {len} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_misdecode() {
+    let report = random_report(42);
+    let frame = encode_shard_report(&report).unwrap();
+    for index in 0..frame.len() {
+        let mut mutated = frame.clone();
+        mutated[index] ^= 0x10;
+        match decode_shard_report(&mutated) {
+            // Every mutation must either be rejected...
+            Err(_) => {}
+            // ...or (never, given the checksum) decode to the original.
+            Ok(decoded) => panic!(
+                "mutated byte {index} decoded silently (equal to original: {})",
+                decoded == report
+            ),
+        }
+    }
+}
+
+#[test]
+fn envelope_violations_are_classified_not_lumped() {
+    let frame = encode_shard_report(&random_report(1)).unwrap();
+
+    let mut wrong_magic = frame.clone();
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        decode_shard_report(&wrong_magic),
+        Err(CodecError::BadMagic { .. })
+    ));
+
+    let mut wrong_version = frame.clone();
+    wrong_version[4] = 99;
+    assert!(matches!(
+        decode_shard_report(&wrong_version),
+        Err(CodecError::UnsupportedVersion { got: 99 })
+    ));
+
+    let mut oversized = frame.clone();
+    oversized[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_shard_report(&oversized),
+        Err(CodecError::Oversized { .. })
+    ));
+
+    let mut trailing = frame.clone();
+    trailing.push(0);
+    assert!(matches!(
+        decode_shard_report(&trailing),
+        Err(CodecError::TrailingBytes { extra: 1 })
+    ));
+
+    let mut corrupt = frame;
+    let payload_start = 17;
+    corrupt[payload_start] ^= 0xFF;
+    assert!(matches!(
+        decode_shard_report(&corrupt),
+        Err(CodecError::ChecksumMismatch { .. })
+    ));
+}

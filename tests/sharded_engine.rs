@@ -78,7 +78,7 @@ fn single_shard_reports_survive_the_merge_untouched() {
     let shards = sharded.run_shards(&factory, 1).unwrap();
     assert_eq!(shards.len(), 1);
     assert_eq!(shards[0].num_servers, 64);
-    let merged = merge_shard_reports(&shards);
+    let merged = merge_shard_reports(&shards).unwrap();
     assert_eq!(merged, shards[0].report, "merging one report is identity");
 }
 
