@@ -84,9 +84,9 @@ const SEED: u64 = 7;
 /// when the baseline or the optimized engine changes meaning, so earlier
 /// recordings stay auditable.
 const RUN_LABEL: &str =
-    "PR 5: delta-aware rounds (SCD row: warm-started verified solver + engine dirty sets vs the \
-     PR 4 cold-solve path on the modern engine; IWL row: incremental load-order repair vs full \
-     sort; JSQ/SED rows now warm trees vs the legacy loop)";
+    "PR 9: mean-field scale (SCD@10K row: class-compressed sampler + grouped trimming vs the \
+     dense per-server fill/normalize/alias chain on a 10^4-server bimodal cluster; the PR 5 \
+     rows re-measured on the refactored solver core)";
 /// Interleaved measurement pairs per policy; `CRITERION_QUICK=1` drops to a
 /// single pair (CI smoke test).
 fn repetitions() -> usize {
@@ -113,6 +113,7 @@ fn bench_config() -> SimConfig {
         },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
+        histogram_metrics: false,
         scenario: scd_sim::ScenarioSpec::default(),
         workload: scd_sim::WorkloadSpec::default(),
     }
@@ -383,6 +384,7 @@ fn sweep_cell_config(cell: usize) -> SimConfig {
         },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
+        histogram_metrics: false,
         scenario: scd_sim::ScenarioSpec::default(),
         workload: scd_sim::WorkloadSpec::default(),
     }
@@ -616,6 +618,56 @@ fn main() {
     );
     results.push(PolicyResult {
         policy: "SHARD",
+        baseline,
+        optimized,
+    });
+
+    // The mean-field scale row: SCD on a 10⁴-server **bimodal** cluster
+    // (two rate classes — the shape the class-compressed sampler targets;
+    // a continuous rate profile would make every server its own class and
+    // disable compression). Baseline is the dense per-server
+    // fill/normalize/alias dispatch chain (`classic_sampler`, the PR 8
+    // path); optimized is the default compressed kernel. Same engine, same
+    // grouped-trimming solver — the row isolates the sampler
+    // representation, which is the per-round O(n) → O(C) term at scale.
+    const SCALE_SERVERS: usize = 10_000;
+    const SCALE_ROUNDS: u64 = 200;
+    let mut scale_rates = vec![1.0; SCALE_SERVERS / 2];
+    scale_rates.resize(SCALE_SERVERS, 4.0);
+    let scale_config = SimConfig {
+        spec: ClusterSpec::from_rates(scale_rates).expect("valid rates"),
+        num_dispatchers: DISPATCHERS,
+        rounds: SCALE_ROUNDS,
+        warmup_rounds: 0,
+        seed: SEED,
+        arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 },
+        services: ServiceModel::Geometric,
+        measure_decision_times: false,
+        histogram_metrics: true,
+        scenario: scd_sim::ScenarioSpec::default(),
+        workload: scd_sim::WorkloadSpec::default(),
+    };
+    let scale_sim = Simulation::new(scale_config).expect("valid configuration");
+    let dense = ScdFactory::new().classic_sampler();
+    let compressed = ScdFactory::new();
+    let (baseline, optimized) = measure_pair(
+        SCALE_ROUNDS,
+        || scale_sim.run(&dense).expect("clean run").jobs_completed,
+        || {
+            scale_sim
+                .run(&compressed)
+                .expect("clean run")
+                .jobs_completed
+        },
+    );
+    println!(
+        "  SCD@10K baseline {baseline:>10.0} rounds/s | optimized {optimized:>12.0} rounds/s | \
+         speedup {:.2}x  (dense per-server sampler vs compressed classes, {SCALE_SERVERS} \
+         servers bimodal, load 0.9)",
+        optimized / baseline
+    );
+    results.push(PolicyResult {
+        policy: "SCD@10K",
         baseline,
         optimized,
     });

@@ -192,14 +192,8 @@ impl TournamentTree {
     /// Changes the key of one slot and replays its `O(log n)` matches, with
     /// an early exit once the outcome can no longer change.
     ///
-    /// The early exit is sound *only* because a single key changed: when a
-    /// replayed match keeps its previous winner `w` and `w` is not the
-    /// updated slot, every ancestor match compares exactly the operands it
-    /// compared before (same winners, unchanged keys), so the walk can stop.
-    /// When the winner *is* the updated slot the walk must continue — its
-    /// key changed, so ancestor matches can still flip. (Bulk repairs cannot
-    /// use this exit, because "unchanged winner" may itself be another
-    /// changed slot; see [`apply_updates`](TournamentTree::apply_updates).)
+    /// See [`replay_path`](TournamentTree::replay_path) for why the exit is
+    /// sound — including during batch repairs.
     ///
     /// # Panics
     /// Panics if `slot >= len()`; debug builds also reject NaN keys.
@@ -207,6 +201,45 @@ impl TournamentTree {
         assert!(slot < self.n, "slot {slot} out of range {}", self.n);
         debug_assert!(!key.is_nan(), "tournament keys must not be NaN");
         self.keys[slot] = key;
+        self.replay_path(slot);
+    }
+
+    /// Replays the matches on one leaf-to-root path, stopping as soon as a
+    /// replayed match keeps its stored winner *and* that winner is not the
+    /// replaying slot itself.
+    ///
+    /// **Single update** (`update_key`): classic argument — an unchanged
+    /// winner that is not the updated slot means every ancestor match
+    /// compares exactly the operands it compared before, so the walk can
+    /// stop. When the winner *is* the updated slot the walk continues (its
+    /// key changed, so ancestor matches can still flip).
+    ///
+    /// **Batch repair** (`apply_updates` writes *all* dirty keys before
+    /// replaying any path): the exit stays sound, even though the stored
+    /// winner `w` at the exit node may itself be another dirty slot. Two
+    /// cases for how `w` is stored at node `X` when the current replay
+    /// exits there:
+    ///
+    /// * `w` still stored along its entire leaf→`X` chain (nobody dethroned
+    ///   it). Then `w`'s own replay (before or after this one — order is
+    ///   immaterial, keys are already final) cannot exit below `X`: every
+    ///   stored winner on that chain is `w` itself, which forces the walk to
+    ///   continue. It therefore re-plays `X` and everything above it with
+    ///   `w`'s final key.
+    /// * `w` was dethroned somewhere below `X` by an earlier replay of
+    ///   another dirty slot `v`. Impossible at exit time: above the
+    ///   dethroning node `w` can never be *recomputed* as a winner again
+    ///   (its leaf lies in the subtree that now reports `v`, and a winner
+    ///   pointer can only come from the subtree containing its leaf), and
+    ///   `v`'s replay rewrote every `w`-stored ancestor precisely because
+    ///   recomputed ≠ stored there — so the exit condition
+    ///   `recomputed == stored == w` cannot be met.
+    ///
+    /// So every node either ends correct directly or is re-played by the
+    /// dirty winner stored beneath it; the batch fuzz tests assert the full
+    /// winner array equals a cold rebuild's, not just the root.
+    #[inline]
+    fn replay_path(&mut self, slot: usize) {
         let slot = slot as u32;
         let mut node = (self.size + slot as usize) >> 1;
         while node >= 1 {
@@ -215,19 +248,6 @@ impl TournamentTree {
                 return;
             }
             self.winners[node] = winner;
-            node >>= 1;
-        }
-    }
-
-    /// Replays every match on one leaf-to-root path. (An early exit when a
-    /// subtree's winner is unchanged would be wrong whenever that winner
-    /// *is* the updated slot — its key changed, so ancestor matches can
-    /// still flip — so the walk is an unconditional `O(log n)`.)
-    #[inline]
-    fn replay_path(&mut self, slot: usize) {
-        let mut node = (self.size + slot) >> 1;
-        while node >= 1 {
-            self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
             node >>= 1;
         }
     }
@@ -265,8 +285,7 @@ impl TournamentTree {
         if self.size <= 1 {
             return;
         }
-        let log = self.size.trailing_zeros() as usize;
-        if slots.len() * log >= self.size {
+        if self.dense_repair_preferred(slots.len()) {
             for node in (1..self.size).rev() {
                 self.winners[node] = self.play(self.winners[2 * node], self.winners[2 * node + 1]);
             }
@@ -275,6 +294,18 @@ impl TournamentTree {
                 self.replay_path(slot as usize);
             }
         }
+    }
+
+    /// The crossover heuristic of
+    /// [`apply_updates`](TournamentTree::apply_updates): prefer the dense
+    /// `O(n)` internal rebuild once replaying `k` leaf-to-root paths
+    /// (`k·log₂(size)`, ignoring the early exits) would cost at least one
+    /// linear pass. Pure function of `(k, size)` so the choice — invisible
+    /// in the produced winners — is deterministic across replays.
+    #[inline]
+    fn dense_repair_preferred(&self, dirty: usize) -> bool {
+        let log = self.size.trailing_zeros() as usize;
+        dirty * log >= self.size
     }
 }
 
@@ -512,7 +543,104 @@ mod tests {
                 }
                 let expect = scan_argmin(n, |i| keys[i], |i| prios[i]);
                 assert_eq!(tree.argmin(), expect, "case {case} step {step}");
+                // Stronger than the root check: the entire internal winner
+                // array must equal a cold rebuild's — this is what certifies
+                // the batch early exit in `replay_path` (every node, not
+                // just the root, ends correct).
+                let mut cold = TournamentTree::new();
+                cold.rebuild(n, |i| keys[i], |i| prios[i]);
+                assert_eq!(
+                    tree.winners, cold.winners,
+                    "case {case} step {step}: repaired tree diverged from a cold rebuild"
+                );
             }
         }
+    }
+
+    /// The adversarial shape for the batch early exit: a dirty slot `w`
+    /// whose key *worsens* while it is the stored winner high up the tree,
+    /// plus a second dirty slot in a different subtree whose replay would
+    /// early-exit at a `w`-stored ancestor. The doc argument on
+    /// `replay_path` says `w`'s own replay must refresh those ancestors
+    /// regardless of replay order — exercise both orders explicitly.
+    #[test]
+    fn batch_early_exit_survives_dethroned_stored_winners() {
+        // 8 slots: slot 2 is the global winner stored at every level; slot 5
+        // lives in the other half of the tree.
+        let base = [7.0, 6.0, 1.0, 8.0, 9.0, 5.0, 7.5, 8.5];
+        for order in [[2u32, 5u32], [5u32, 2u32]] {
+            let mut keys = base;
+            let mut tree = TournamentTree::new();
+            tree.rebuild(8, |i| keys[i], |i| i as u64);
+            assert_eq!(tree.argmin(), 2);
+            // Slot 2's key worsens past everyone; slot 5 changes but stays a
+            // non-winner in its local match — its replay can early-exit
+            // while slot 2 is still stored above.
+            keys[2] = 20.0;
+            keys[5] = 6.5;
+            tree.apply_updates(&order, |i| keys[i]);
+            let mut cold = TournamentTree::new();
+            cold.rebuild(8, |i| keys[i], |i| i as u64);
+            assert_eq!(
+                tree.winners, cold.winners,
+                "order {order:?}: stale stored winner survived the batch repair"
+            );
+            assert_eq!(tree.argmin(), 1);
+        }
+    }
+
+    /// Satellite coverage at mean-field scale: at `n = 10^5` the sparse
+    /// dirty-repair path and the dense internal-rebuild fallback must agree
+    /// **bit-identically** (full winner arrays) with each other and with a
+    /// cold rebuild, on both sides of the crossover.
+    #[test]
+    fn apply_updates_paths_bit_identical_at_1e5() {
+        let n = 100_000usize;
+        let mut rng = StdRng::seed_from_u64(0x1E5);
+        let mut keys: Vec<f64> = (0..n).map(|_| rng.gen_range(0..50) as f64).collect();
+        let prios: Vec<u64> = (0..n).map(|_| rng.gen_range(0..u64::MAX)).collect();
+        let mut sparse = TournamentTree::new();
+        sparse.rebuild(n, |i| keys[i], |i| prios[i]);
+        let mut dense = sparse.clone();
+        // size = 2^17, log = 17 → the dense fallback engages at ≥ 7711
+        // dirty slots. A 500-slot dirty set repairs sparsely; replaying the
+        // same repair through a forced-dense clone must produce the same
+        // bits.
+        let dirty: Vec<u32> = (0..500).map(|_| rng.gen_range(0..n) as u32).collect();
+        for &s in &dirty {
+            keys[s as usize] = rng.gen_range(0..50) as f64;
+        }
+        assert!(!sparse.dense_repair_preferred(dirty.len()));
+        sparse.apply_updates(&dirty, |i| keys[i]);
+        // Forcing the dense path: a dirty list padded with duplicates past
+        // the crossover touches the same keys but rebuilds internally.
+        let mut padded = dirty.clone();
+        while !dense.dense_repair_preferred(padded.len()) {
+            padded.push(dirty[0]);
+        }
+        dense.apply_updates(&padded, |i| keys[i]);
+        assert_eq!(sparse.winners, dense.winners);
+        assert_eq!(sparse.keys, dense.keys);
+        let mut cold = TournamentTree::new();
+        cold.rebuild(n, |i| keys[i], |i| prios[i]);
+        assert_eq!(sparse.winners, cold.winners);
+        assert_eq!(sparse.argmin(), cold.argmin());
+    }
+
+    /// Crossover heuristic regression: the dense fallback must engage at
+    /// exactly `⌈size / log₂(size)⌉` dirty slots — drifting this boundary
+    /// silently trades the sub-linear quiet-round guarantee for linear
+    /// passes (or vice versa the dense batch for `k` slow path replays).
+    #[test]
+    fn dense_crossover_boundary_is_exact() {
+        let mut tree = TournamentTree::new();
+        // n = 100_000 → size = 131_072 = 2^17, crossover at ⌈2^17/17⌉ = 7711.
+        tree.rebuild(100_000, |_| 0.0, |i| i as u64);
+        assert!(!tree.dense_repair_preferred(7710));
+        assert!(tree.dense_repair_preferred(7711));
+        // n = 8 → size = 8, log = 3, crossover at ⌈8/3⌉ = 3.
+        tree.rebuild(8, |_| 0.0, |i| i as u64);
+        assert!(!tree.dense_repair_preferred(2));
+        assert!(tree.dense_repair_preferred(3));
     }
 }

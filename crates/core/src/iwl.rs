@@ -78,8 +78,9 @@ pub fn sorted_by_load_into(queues: &[u64], rates: &[f64], order: &mut Vec<usize>
 /// `O(n log n)` per round even though, between consecutive rounds, only the
 /// dirty servers (dispatch targets ∪ servers with completions) moved. A
 /// `LoadOrder` keeps the full permutation across rounds and repairs it by
-/// **removing and reinserting only the dirty servers** (binary search +
-/// bounded `memmove`), with the full sort as the cold/fallback path —
+/// **relocating only the dirty servers** (in-place binary search + a
+/// subrange rotation bounded by the displacement), with the full sort as
+/// the cold/fallback path —
 /// [`repair`](LoadOrder::repair) degrades to
 /// [`rebuild`](LoadOrder::rebuild) when the dirty set is dense enough that
 /// shifting would cost more than sorting.
@@ -160,9 +161,9 @@ impl LoadOrder {
     }
 
     /// Warm path: re-reads the load of every server in `dirty` and restores
-    /// the sort invariant by removing and reinserting only the servers whose
-    /// load actually changed — `O(k·(log n + d))` for `k` dirty servers
-    /// moving distance `d`, versus the full sort's `O(n log n)`.
+    /// the sort invariant by rotating only the servers whose load actually
+    /// changed into their new slots — `O(k·(log n + d))` for `k` dirty
+    /// servers moving distance `d`, versus the full sort's `O(n log n)`.
     ///
     /// `dirty` must list every server whose queue length changed since the
     /// last `rebuild`/`repair` (the engine's dirty set satisfies this);
@@ -191,28 +192,60 @@ impl LoadOrder {
             if load == self.loads[s] {
                 continue;
             }
-            // Remove s, then binary-search its new slot by (load, index) —
-            // the composite keys are distinct, so the slot is unique and
-            // equals the stable sort's placement.
+            // Binary-search the new slot by (load, index) *in place*: the
+            // two halves around `from` are each sorted, so the unique target
+            // slot (composite keys are distinct) falls out of at most two
+            // partition points — no removal, no `O(n)` memmove. The
+            // subrange rotation then shifts exactly the `d` displaced
+            // entries, making the per-server cost `O(log n + d)` — on quiet
+            // rounds loads barely move, so `d` stays tiny and the repair
+            // never touches `O(n)`.
             let from = self.pos[s];
             self.loads[s] = load;
-            self.order.remove(from);
-            let to = self
-                .order
-                .partition_point(|&r| (self.loads[r], r) < (load, s));
-            self.order.insert(to, s);
-            // Only positions in from..=to (or to..=from) shifted.
-            let (lo, hi) = if from <= to { (from, to) } else { (to, from) };
-            for i in lo..=hi {
-                self.pos[self.order[i]] = i;
+            let left = self.order[..from].partition_point(|&r| (self.loads[r], r) < (load, s));
+            if left < from {
+                // Target precedes `from`: rotate s back into place.
+                self.order[left..=from].rotate_right(1);
+                for i in left..=from {
+                    self.pos[self.order[i]] = i;
+                }
+            } else {
+                // Target is at or after `from`: search the right half (its
+                // indices shift down by one once s conceptually vacates
+                // `from`, which the left rotation below realizes).
+                let to = from
+                    + self.order[from + 1..].partition_point(|&r| (self.loads[r], r) < (load, s));
+                if to > from {
+                    self.order[from..=to].rotate_left(1);
+                    for i in from..=to {
+                        self.pos[self.order[i]] = i;
+                    }
+                }
             }
         }
-        debug_assert!(
-            self.order
-                .windows(2)
-                .all(|w| (self.loads[w[0]], w[0]) < (self.loads[w[1]], w[1])),
-            "load order invariant broken after repair"
-        );
+        // O(k) invariant spot-check around every dirty server (the cold
+        // full-order sweep would cost O(n) per repair even in debug runs at
+        // mean-field scale); the `repaired_order_is_identical_to_the_cold_
+        // sort` test pins down full equality with the stable sort.
+        #[cfg(debug_assertions)]
+        for &s in dirty {
+            let i = self.pos[s as usize];
+            let here = (self.loads[self.order[i]], self.order[i]);
+            if i > 0 {
+                let prev = self.order[i - 1];
+                debug_assert!(
+                    (self.loads[prev], prev) < here,
+                    "load order invariant broken before dirty server {s}"
+                );
+            }
+            if i + 1 < n {
+                let next = self.order[i + 1];
+                debug_assert!(
+                    here < (self.loads[next], next),
+                    "load order invariant broken after dirty server {s}"
+                );
+            }
+        }
     }
 }
 
@@ -277,6 +310,57 @@ pub fn compute_iwl_with_order(
         iwl = next_load;
     }
     iwl
+}
+
+/// Computes the ideal workload over a **class-compressed** snapshot by the
+/// same Michelot-style iterative trimming the dense solver path uses: all
+/// members of one `(q, µ)` equivalence class share a load, so they enter
+/// and leave the active set together and the water-filling fixpoint can be
+/// found over `C` classes instead of `n` servers.
+///
+/// `cq`, `cmu` and `loads` are the per-class aggregates
+/// `count·q`, `count·µ` and `q/µ` (see `scd_model::ClassPartition`), all of
+/// length `C`. The fixpoint solves exactly the dense water-filling
+/// conditions; only the summation *grouping* differs from the per-server
+/// sweep, so the result can differ from the dense level in the last ulps —
+/// which is why the compressed dispatch path that consumes it is a
+/// deliberate sample-path change, not a drop-in.
+///
+/// The sweeps are branchless (mask multiplies contribute exactly `1.0·x`
+/// or `±0.0`, which never changes a float sum — bit-identical to a branchy
+/// accumulation) because active classes are scattered in canonical class
+/// order, where a data-dependent branch would mispredict heavily.
+pub fn iwl_by_trimming_grouped(cq: &[f64], cmu: &[f64], loads: &[f64], arrivals: f64) -> f64 {
+    debug_assert!(arrivals >= 1.0);
+    debug_assert_eq!(cq.len(), cmu.len());
+    debug_assert_eq!(cq.len(), loads.len());
+    let c = loads.len();
+    let sum_q: f64 = cq.iter().sum();
+    let sum_mu: f64 = cmu.iter().sum();
+    let mut level = (arrivals + sum_q) / sum_mu;
+    let mut active = c;
+    // Same termination argument as the dense trimming loop: the level is
+    // non-increasing (clamped against ulp-level oscillation when a class
+    // sits exactly on the waterline), so the active set shrinks
+    // monotonically and at most `C` iterations are needed.
+    for _ in 0..=c {
+        let mut sq = 0.0;
+        let mut smu = 0.0;
+        let mut count = 0usize;
+        for ((&load, &q_mass), &mu_mass) in loads.iter().zip(cq).zip(cmu) {
+            let member = load < level;
+            let mask = member as u64 as f64;
+            sq += mask * q_mass;
+            smu += mask * mu_mass;
+            count += member as usize;
+        }
+        if count == active || count == 0 {
+            break;
+        }
+        active = count;
+        level = level.min((arrivals + sq) / smu);
+    }
+    level
 }
 
 /// The ideally balanced (fractional) assignment `ā_s` implied by an ideal

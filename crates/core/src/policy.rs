@@ -17,7 +17,9 @@
 //! makes it robust to dispatcher churn.
 
 use crate::estimator::ArrivalEstimator;
-use crate::solver::{scd_dispatch_cached, solve_round_into, ScdScratch, SolverKind};
+use crate::solver::{
+    scd_dispatch_cached, scd_dispatch_compressed, solve_round_into, ScdScratch, SolverKind,
+};
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
@@ -55,6 +57,14 @@ pub struct ScdPolicy {
     /// (down servers are removed before the solve; see `dispatch_into`).
     masked_queues: Vec<u64>,
     masked_rates: Vec<f64>,
+    /// Reusable per-class weight buffer for the compressed dispatch kernel.
+    class_weights: Vec<f64>,
+    /// Prefer the class-compressed dispatch kernel
+    /// ([`scd_dispatch_compressed`]) on engine rounds whose snapshot is
+    /// viable for compression, falling back to the dense kernel otherwise.
+    /// Samples the same per-round distribution through a different RNG
+    /// consumption pattern — see [`ScdPolicy::classic_sampler`].
+    compressed: bool,
     /// Warm-start the solver's trimming iterations from the previous
     /// accepted solve (verified, bit-identical — see
     /// [`solve_round_cached`]). False only for the cold-solve reference
@@ -84,6 +94,8 @@ impl ScdPolicy {
             sampler: AliasSampler::default(),
             masked_queues: Vec::new(),
             masked_rates: Vec::new(),
+            class_weights: Vec::new(),
+            compressed: true,
             warm_start: true,
         }
     }
@@ -103,6 +115,25 @@ impl ScdPolicy {
     pub fn cold_solve(mut self) -> Self {
         self.warm_start = false;
         self
+    }
+
+    /// Disables the class-compressed dispatch kernel: every engine round
+    /// runs the dense per-server fill/normalize/alias chain of PR 8, even
+    /// when the snapshot compresses. The compressed kernel samples the
+    /// *same* per-round distribution (exactly — class members are
+    /// interchangeable under the solver's closed form) but consumes two RNG
+    /// draws per job instead of one, so the two configurations produce
+    /// different sample paths for equal seeds. Kept as the engine-throughput
+    /// baseline and the distribution-equivalence oracle.
+    pub fn classic_sampler(mut self) -> Self {
+        self.compressed = false;
+        self
+    }
+
+    /// Whether the class-compressed dispatch kernel is preferred on viable
+    /// engine rounds.
+    pub fn compressed(&self) -> bool {
+        self.compressed
     }
 
     /// Whether the solver warm-starts from the previous accepted solve.
@@ -258,6 +289,24 @@ impl DispatchPolicy for ScdPolicy {
             // tables + sampling (warm mode) or the plain PR 4 decision path
             // (cold mode) — bit-identical destinations either way.
             Some(cache) => {
+                if self.compressed {
+                    let dispatched = scd_dispatch_compressed(
+                        ctx.queue_lengths(),
+                        ctx.rates(),
+                        cache,
+                        a_est,
+                        self.solver,
+                        batch,
+                        &mut self.class_weights,
+                        &mut self.sampler,
+                        out,
+                        rng,
+                    )
+                    .expect("cluster state from the engine is always valid");
+                    if dispatched.is_some() {
+                        return;
+                    }
+                }
                 scd_dispatch_cached(
                     ctx.queue_lengths(),
                     ctx.rates(),
@@ -300,6 +349,7 @@ pub struct ScdFactory {
     solver: SolverKind,
     name: String,
     warm_start: bool,
+    compressed: bool,
 }
 
 impl ScdFactory {
@@ -319,6 +369,7 @@ impl ScdFactory {
             solver,
             name,
             warm_start: true,
+            compressed: true,
         }
     }
 
@@ -336,6 +387,14 @@ impl ScdFactory {
         self.warm_start = false;
         self
     }
+
+    /// Builds classic-sampler policies (see [`ScdPolicy::classic_sampler`])
+    /// — the dense per-server dispatch chain, kept as the throughput
+    /// baseline and the sample-path reference for the compressed kernel.
+    pub fn classic_sampler(mut self) -> Self {
+        self.compressed = false;
+        self
+    }
 }
 
 impl Default for ScdFactory {
@@ -350,13 +409,15 @@ impl PolicyFactory for ScdFactory {
     }
 
     fn build(&self, _dispatcher: DispatcherId, _spec: &ClusterSpec) -> BoxedPolicy {
-        let policy =
+        let mut policy =
             ScdPolicy::with_options(self.estimator, self.solver).with_name(self.name.clone());
-        Box::new(if self.warm_start {
-            policy
-        } else {
-            policy.cold_solve()
-        })
+        if !self.warm_start {
+            policy = policy.cold_solve();
+        }
+        if !self.compressed {
+            policy = policy.classic_sampler();
+        }
+        Box::new(policy)
     }
 }
 
@@ -475,5 +536,42 @@ mod tests {
         let p = ScdPolicy::with_options(ArrivalEstimator::Constant(8.0), SolverKind::Quadratic);
         assert_eq!(p.estimator(), ArrivalEstimator::Constant(8.0));
         assert_eq!(p.solver(), SolverKind::Quadratic);
+        assert!(p.compressed());
+        assert!(!p.classic_sampler().compressed());
+    }
+
+    #[test]
+    fn compressed_engine_dispatch_matches_the_distribution() {
+        // A compressible cluster behind a shared round cache — the engine
+        // configuration the class kernel targets. The empirical destination
+        // frequencies must match the dense solver's distribution, which is
+        // what `distribution()` reports regardless of sampler choice.
+        let queues: Vec<u64> = (0..48).map(|s| ((s * 5 + 1) % 7) as u64).collect();
+        let rates: Vec<f64> = (0..48)
+            .map(|s| if s % 4 == 0 { 3.0 } else { 1.0 })
+            .collect();
+        let mut cache = scd_model::RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let ctx = DispatchContext::with_cache(&queues, &rates, 1, 0, &cache);
+        let mut policy = ScdPolicy::new();
+        assert!(policy.compressed());
+        let expected = policy.distribution(&ctx, 9);
+        let mut rng = StdRng::seed_from_u64(314);
+        let mut counts = vec![0usize; queues.len()];
+        let trials = 30_000;
+        for _ in 0..trials {
+            for s in policy.dispatch_batch(&ctx, 9, &mut rng) {
+                counts[s.index()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        for (s, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / total as f64;
+            assert!(
+                (freq - expected[s]).abs() < 0.01,
+                "server {s}: empirical {freq}, expected {}",
+                expected[s]
+            );
+        }
     }
 }

@@ -272,6 +272,50 @@ fn lambda0_by_trimming(rates: &[f64], keys: &[f64], arrivals: f64, iwl: f64) -> 
     lambda0
 }
 
+/// Computes `Λ0` over a **class-compressed** snapshot by the same iterative
+/// trimming as [`lambda0_by_trimming`]: members of one `(q, µ)` class share
+/// the margin `t = 2·iwl − key`, so they cross the multiplier threshold
+/// together and the KKT fixpoint can be found over `C` classes. `cmu` holds
+/// the per-class aggregate rates `count·µ` and `keys` the per-class
+/// Corollary 1 keys (see `scd_model::ClassPartition`). Like the grouped
+/// water level, only the summation grouping differs from the dense sweep,
+/// so the multiplier can differ in the last ulps.
+fn lambda0_by_trimming_grouped(cmu: &[f64], keys: &[f64], arrivals: f64, iwl: f64) -> f64 {
+    debug_assert!(arrivals > 1.0);
+    debug_assert_eq!(cmu.len(), keys.len());
+    let n = keys.len();
+    let c = 2.0 * iwl;
+    let mut num = -2.0 * (arrivals - 1.0);
+    let mut den = 0.0;
+    for (&mu_mass, &key) in cmu.iter().zip(keys) {
+        num += mu_mass * (c - key);
+        den += mu_mass;
+    }
+    let mut lambda0 = num / den;
+    let mut active = n;
+    // Same monotone-clamped termination argument as the dense loop; the
+    // sweeps are branchless for the same scattered-membership reason.
+    for _ in 0..=n {
+        let mut nm = -2.0 * (arrivals - 1.0);
+        let mut dn = 0.0;
+        let mut count = 0usize;
+        for (&mu_mass, &key) in cmu.iter().zip(keys) {
+            let t = c - key;
+            let member = t > lambda0;
+            let mask = member as u64 as f64;
+            nm += mask * (mu_mass * t);
+            dn += mask * mu_mass;
+            count += member as usize;
+        }
+        if count == active || count == 0 {
+            break;
+        }
+        active = count;
+        lambda0 = lambda0.max(nm / dn);
+    }
+    lambda0
+}
+
 /// How many verification/refinement passes a warm **water-level** attempt
 /// may spend before giving up. A candidate seeded from a *different*
 /// estimate's active set typically lands above the fixpoint (pouring the
@@ -1109,6 +1153,127 @@ pub fn scd_dispatch_cached(
         .expect("solver output is a valid probability vector");
     out.extend((0..batch).map(|_| scd_model::ServerId::new(sampler.sample(rng))));
     Ok(iwl)
+}
+
+/// Class-compressed dispatch kernel — the mean-field-scale counterpart of
+/// [`scd_dispatch_cached`]. Instead of materializing a per-server
+/// probability vector (`O(n)` fill + normalize + alias build per distinct
+/// estimate), it solves the round over the snapshot's `(q, µ)` equivalence
+/// classes (`scd_model::ClassPartition`, `O(C)` with `C ≪ n`), builds a
+/// class-level alias table once per distinct estimate, and samples each
+/// destination with two `u64` draws: an alias draw over classes followed by
+/// a uniform member pick inside the chosen class.
+///
+/// The sampled **distribution is exact**: all members of a class carry
+/// identical probability under the solver's closed form, so
+/// `P(s) = w_c/Σw · 1/count_c` equals the per-server probability of *this*
+/// solve. The grouped trimming fixpoints can differ from the dense sweeps
+/// in the last ulps, and each job consumes two RNG draws instead of one, so
+/// adopting this kernel is a deliberate sample-path change (the engine
+/// goldens were re-captured when it landed). The kernel itself is a pure
+/// function of the snapshot: delta-repaired, cold, and sharded rounds all
+/// make identical decisions for identical seeds.
+///
+/// Returns `Ok(None)` — caller falls back to the dense kernel — when the
+/// snapshot is not viable for compression (cell budget exceeded, see the
+/// partition docs) or `kind` is not [`SolverKind::Fast`] (the quadratic
+/// baseline exists to measure the dense algorithm). `Ok(Some(iwl))` means
+/// `batch` destinations were appended to `out`.
+///
+/// # Errors
+/// See [`SolverError`].
+#[allow(clippy::too_many_arguments)] // engine-facing kernel: the full decision state, not a config surface
+pub fn scd_dispatch_compressed(
+    queues: &[u64],
+    rates: &[f64],
+    cache: &RoundCache,
+    arrivals: f64,
+    kind: SolverKind,
+    batch: usize,
+    class_weights: &mut Vec<f64>,
+    sampler: &mut AliasSampler,
+    out: &mut Vec<scd_model::ServerId>,
+    rng: &mut dyn rand::RngCore,
+) -> Result<Option<f64>, SolverError> {
+    validate(queues, rates, arrivals)?;
+    if cache.num_servers() != queues.len() {
+        return Err(SolverError::InvalidCluster {
+            queues: queues.len(),
+            rates: cache.num_servers(),
+        });
+    }
+    if kind != SolverKind::Fast {
+        return Ok(None);
+    }
+    let tag = kind.memo_tag();
+    if let Some(iwl) = cache.class_sampler_memo_draw(arrivals, tag, batch, out, rng) {
+        return Ok(Some(iwl));
+    }
+    let Some(part) = cache.class_partition() else {
+        return Ok(None);
+    };
+
+    // Grouped solve over the canonical class tables: water level, then
+    // either the single-job closed form (Eq. 9) or the KKT multiplier with
+    // the per-class weight `w_c = count_c·p_member = count_c·µ·(2·iwl − Λ0
+    // − key_c)⁺ / (2(a−1))`, accumulated in class order so the alias build
+    // can skip its summation pass.
+    let iwl = crate::iwl::iwl_by_trimming_grouped(part.cq(), part.cmu(), part.loads(), arrivals);
+    class_weights.clear();
+    let mut total = 0.0;
+    if arrivals <= SINGLE_JOB_THRESHOLD {
+        // Single arriving job: all mass spreads uniformly over the servers
+        // minimizing the Corollary 1 key — i.e. class weight ∝ member count
+        // for the minimal-key classes (same tie tolerance as the dense
+        // closed form).
+        let min_key = part.keys().iter().copied().fold(f64::INFINITY, f64::min);
+        let tol = 1e-12 * (1.0 + min_key.abs());
+        for (&key, &count) in part.keys().iter().zip(part.counts()) {
+            let w = if (key - min_key).abs() <= tol {
+                count as f64
+            } else {
+                0.0
+            };
+            total += w;
+            class_weights.push(w);
+        }
+    } else {
+        let lambda0 = lambda0_by_trimming_grouped(part.cmu(), part.keys(), arrivals, iwl);
+        let inv_2a1 = 1.0 / (2.0 * (arrivals - 1.0));
+        let c2 = 2.0 * iwl - lambda0;
+        for (&mu_mass, &key) in part.cmu().iter().zip(part.keys()) {
+            let w = mu_mass * (c2 - key) * inv_2a1;
+            let kept = if w > 0.0 { w } else { 0.0 };
+            total += kept;
+            class_weights.push(kept);
+        }
+    }
+
+    if !cache.class_sampler_memo_build_draw(
+        arrivals,
+        tag,
+        iwl,
+        class_weights,
+        (total > 0.0).then_some(total),
+        batch,
+        out,
+        rng,
+    ) {
+        // Memo at capacity: build a private class table and run the same
+        // two-level draws against it.
+        if total > 0.0 {
+            sampler.rebuild_with_total(class_weights, total);
+        } else {
+            sampler
+                .rebuild(class_weights)
+                .expect("grouped solver output is a valid weight vector");
+        }
+        out.extend((0..batch).map(|_| {
+            let class = sampler.sample(rng);
+            scd_model::ServerId::new(part.member(class, rng.next_u64()) as usize)
+        }));
+    }
+    Ok(Some(iwl))
 }
 
 fn validate(queues: &[u64], rates: &[f64], arrivals: f64) -> Result<(), SolverError> {
@@ -2258,5 +2423,256 @@ mod tests {
         // Virtually all mass must go to the fast server: the slow servers can
         // barely serve anything.
         assert!(sol.probabilities[0] > 0.9);
+    }
+
+    /// A compressible heterogeneous snapshot: two hardware generations,
+    /// bounded queues — the case the class kernel exists for.
+    fn bimodal_cluster(n: usize) -> (Vec<u64>, Vec<f64>) {
+        let queues: Vec<u64> = (0..n).map(|s| ((s * 7 + 3) % 11) as u64).collect();
+        let rates: Vec<f64> = (0..n).map(|s| if s % 3 == 0 { 4.0 } else { 1.0 }).collect();
+        (queues, rates)
+    }
+
+    #[test]
+    fn compressed_kernel_samples_the_dense_distribution() {
+        use rand::rngs::StdRng;
+        let (queues, rates) = bimodal_cluster(60);
+        let a = 24.0;
+        let mut cache = scd_model::RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        // The dense reference distribution of the same round.
+        let mut dense = Vec::new();
+        solve_round_cached(
+            &queues,
+            &rates,
+            &cache,
+            a,
+            SolverKind::Fast,
+            false,
+            &mut dense,
+        )
+        .unwrap();
+        // Draw a large sample through the compressed kernel (memo build on
+        // the first call, memo hits afterwards — both paths draw).
+        let mut weights = Vec::new();
+        let mut sampler = AliasSampler::default();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let trials = 200_000usize;
+        let iwl = scd_dispatch_compressed(
+            &queues,
+            &rates,
+            &cache,
+            a,
+            SolverKind::Fast,
+            trials,
+            &mut weights,
+            &mut sampler,
+            &mut out,
+            &mut rng,
+        )
+        .unwrap()
+        .expect("bimodal snapshot must be viable for compression");
+        assert!((iwl - compute_iwl(&queues, &rates, a)).abs() < 1e-9);
+        assert_eq!(out.len(), trials);
+        let mut counts = vec![0u64; queues.len()];
+        for s in &out {
+            counts[s.index()] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - dense[s]).abs() < 0.01,
+                "server {s}: empirical {freq}, dense {}",
+                dense[s]
+            );
+        }
+        // Equal-probability servers (same class) must agree exactly in the
+        // underlying distribution: spot-check two same-class members.
+        let same: Vec<usize> = (0..queues.len())
+            .filter(|&s| queues[s] == queues[0] && rates[s] == rates[0])
+            .collect();
+        for &s in &same {
+            assert_eq!(dense[s].to_bits(), dense[same[0]].to_bits());
+        }
+    }
+
+    #[test]
+    fn compressed_kernel_memo_hits_replay_the_same_table() {
+        use rand::rngs::StdRng;
+        let (queues, rates) = bimodal_cluster(40);
+        let a = 12.0;
+        let mut cache = scd_model::RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let mut weights = Vec::new();
+        let mut sampler = AliasSampler::default();
+        // First call builds the class table into the memo; a second call
+        // with an identical RNG stream must replay identical destinations
+        // through the memoized entry.
+        let mut first = Vec::new();
+        scd_dispatch_compressed(
+            &queues,
+            &rates,
+            &cache,
+            a,
+            SolverKind::Fast,
+            500,
+            &mut weights,
+            &mut sampler,
+            &mut first,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap()
+        .unwrap();
+        let (hits_before, _) = cache.solver_memo_stats();
+        let mut second = Vec::new();
+        scd_dispatch_compressed(
+            &queues,
+            &rates,
+            &cache,
+            a,
+            SolverKind::Fast,
+            500,
+            &mut weights,
+            &mut sampler,
+            &mut second,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap()
+        .unwrap();
+        let (hits_after, _) = cache.solver_memo_stats();
+        assert_eq!(first, second);
+        assert_eq!(
+            hits_after,
+            hits_before + 1,
+            "second call must be a memo hit"
+        );
+    }
+
+    #[test]
+    fn compressed_kernel_declines_unviable_and_quadratic_rounds() {
+        use rand::rngs::StdRng;
+        // All-distinct rates with deep queues blow the cell budget.
+        let n = 64usize;
+        let queues: Vec<u64> = (0..n).map(|s| s as u64 * 9).collect();
+        let rates: Vec<f64> = (0..n).map(|s| 1.0 + s as f64 * 0.01).collect();
+        let mut cache = scd_model::RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let mut weights = Vec::new();
+        let mut sampler = AliasSampler::default();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let unviable = scd_dispatch_compressed(
+            &queues,
+            &rates,
+            &cache,
+            8.0,
+            SolverKind::Fast,
+            10,
+            &mut weights,
+            &mut sampler,
+            &mut out,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(unviable.is_none());
+        assert!(out.is_empty());
+        // The quadratic baseline measures the dense algorithm; the class
+        // kernel must stand aside even on a compressible snapshot.
+        let (q2, r2) = bimodal_cluster(30);
+        cache.begin_round(&q2, &r2);
+        let quad = scd_dispatch_compressed(
+            &q2,
+            &r2,
+            &cache,
+            8.0,
+            SolverKind::Quadratic,
+            10,
+            &mut weights,
+            &mut sampler,
+            &mut out,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(quad.is_none());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn compressed_single_job_spreads_uniformly_over_min_key_ties() {
+        use rand::rngs::StdRng;
+        // Four idle µ=2 servers share the minimal key; everyone else is
+        // excluded by the single-job closed form.
+        let queues = [0u64, 3, 0, 1, 0, 3, 0, 1];
+        let rates = [2.0, 2.0, 2.0, 1.0, 2.0, 2.0, 2.0, 1.0];
+        let mut cache = scd_model::RoundCache::new();
+        cache.begin_round(&queues, &rates);
+        let mut weights = Vec::new();
+        let mut sampler = AliasSampler::default();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let trials = 40_000usize;
+        scd_dispatch_compressed(
+            &queues,
+            &rates,
+            &cache,
+            1.0,
+            SolverKind::Fast,
+            trials,
+            &mut weights,
+            &mut sampler,
+            &mut out,
+            &mut rng,
+        )
+        .unwrap()
+        .unwrap();
+        let winners = [0usize, 2, 4, 6];
+        let mut counts = vec![0u64; queues.len()];
+        for s in &out {
+            counts[s.index()] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            if winners.contains(&s) {
+                assert!((freq - 0.25).abs() < 0.01, "winner {s} drew {freq}");
+            } else {
+                assert_eq!(c, 0, "non-minimal server {s} must never be drawn");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_trimming_matches_the_dense_fixpoints() {
+        use scd_model::ClassPartition;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x6E0);
+        let mut part = ClassPartition::new();
+        for case in 0..60 {
+            let n = rng.gen_range(2..80);
+            let rates: Vec<f64> = (0..n)
+                .map(|_| [1.0, 2.0, 4.0][rng.gen_range(0..3)])
+                .collect();
+            let queues: Vec<u64> = (0..n).map(|_| rng.gen_range(0..9)).collect();
+            let arrivals = rng.gen_range(1.5..40.0);
+            assert!(part.build(&queues, &rates), "case {case} must compress");
+            let dense_iwl = compute_iwl(&queues, &rates, arrivals);
+            let grouped_iwl =
+                crate::iwl::iwl_by_trimming_grouped(part.cq(), part.cmu(), part.loads(), arrivals);
+            assert!(
+                (dense_iwl - grouped_iwl).abs() < 1e-9 * (1.0 + dense_iwl.abs()),
+                "case {case}: dense IWL {dense_iwl} vs grouped {grouped_iwl}"
+            );
+            let keys: Vec<f64> = queues
+                .iter()
+                .zip(&rates)
+                .map(|(&q, &mu)| (2.0 * q as f64 + 1.0) / mu)
+                .collect();
+            let dense_lambda = lambda0_by_trimming(&rates, &keys, arrivals, dense_iwl);
+            let grouped_lambda =
+                lambda0_by_trimming_grouped(part.cmu(), part.keys(), arrivals, grouped_iwl);
+            assert!(
+                (dense_lambda - grouped_lambda).abs() < 1e-9 * (1.0 + dense_lambda.abs()),
+                "case {case}: dense Λ0 {dense_lambda} vs grouped {grouped_lambda}"
+            );
+        }
     }
 }

@@ -16,6 +16,12 @@ pub struct CliOptions {
     pub loads: Option<Vec<f64>>,
     /// `(n, m)` systems to simulate (None → the figure's default).
     pub systems: Option<Vec<(usize, usize)>>,
+    /// Override the server count `n` of every selected system, keeping each
+    /// system's dispatcher count `m`. This is the mean-field scale knob: it
+    /// composes with `--quick`/`--paper`/`--systems`, so
+    /// `sweep --quick --servers 100000` runs the quick grid at n = 10⁵. At
+    /// such sizes the sweep switches queue metrics to histogram-only mode.
+    pub servers: Option<usize>,
     /// Use the paper's full-scale setup (10⁵ rounds, all four systems).
     pub paper: bool,
     /// Use a smoke-test-sized setup (few hundred rounds, one small system).
@@ -68,6 +74,7 @@ impl Default for CliOptions {
             seed: 2021,
             loads: None,
             systems: None,
+            servers: None,
             paper: false,
             quick: false,
             csv: None,
@@ -121,6 +128,16 @@ impl CliOptions {
                 "--systems" => {
                     let value = iter.next().ok_or("--systems requires a value")?;
                     options.systems = Some(parse_systems(&value)?);
+                }
+                "--servers" => {
+                    let value = iter.next().ok_or("--servers requires a value")?;
+                    let parsed = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid --servers value: {value}"))?;
+                    if parsed == 0 {
+                        return Err("--servers must be at least 1".to_string());
+                    }
+                    options.servers = Some(parsed);
                 }
                 "--threads" => {
                     let value = iter.next().ok_or("--threads requires a value")?;
@@ -224,7 +241,7 @@ impl CliOptions {
 /// The usage string shared by all binaries.
 pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
-     [--systems 100x10,200x20] [--threads T] [--replications R] [--shards K] \
+     [--systems 100x10,200x20] [--servers N] [--threads T] [--replications R] [--shards K] \
      [--processes K] [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
      [--workload FILE] [--trace-out FILE] [--paper | --quick] [--tail]"
         .to_string()
@@ -286,6 +303,8 @@ mod tests {
             "0.7,0.9",
             "--systems",
             "100x10,200x20",
+            "--servers",
+            "100000",
             "--threads",
             "4",
             "--replications",
@@ -314,6 +333,7 @@ mod tests {
         assert_eq!(options.seed, 7);
         assert_eq!(options.loads, Some(vec![0.7, 0.9]));
         assert_eq!(options.systems, Some(vec![(100, 10), (200, 20)]));
+        assert_eq!(options.servers, Some(100_000));
         assert_eq!(options.threads, Some(4));
         assert_eq!(options.replications, 5);
         assert_eq!(options.shards, 4);
@@ -340,6 +360,8 @@ mod tests {
         assert!(parse(&["--systems", "0x10"]).is_err());
         assert!(parse(&["--replications", "0"]).is_err());
         assert!(parse(&["--replications", "x"]).is_err());
+        assert!(parse(&["--servers", "0"]).is_err());
+        assert!(parse(&["--servers", "x"]).is_err());
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "x"]).is_err());
         assert!(parse(&["--processes", "0"]).is_err());

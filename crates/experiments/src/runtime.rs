@@ -82,6 +82,7 @@ impl RuntimeExperiment {
                 },
                 services: ServiceModel::Geometric,
                 measure_decision_times: true,
+                histogram_metrics: false,
                 scenario: scd_sim::ScenarioSpec::default(),
                 workload: scd_sim::WorkloadSpec::default(),
             };

@@ -60,7 +60,18 @@ pub struct ShardSweepSpec {
     /// Time-varying / trace-driven workload applied to every cell (the
     /// default is inert: stationary Poisson arrivals).
     pub workload: WorkloadSpec,
+    /// Collect queue statistics in histogram-only mode (no per-server
+    /// vectors). Switched on automatically when any swept system reaches
+    /// [`HISTOGRAM_METRICS_THRESHOLD`] servers, so mean-field-scale runs
+    /// (`--servers 100000`) keep per-shard memory at `O(n)` state plus an
+    /// `O(max queue length)` histogram.
+    pub histogram_metrics: bool,
 }
+
+/// Server count at and above which the sweep collects queue statistics in
+/// histogram-only mode (the per-server `worst_mean_queue` column degrades
+/// to the across-server mean there).
+pub const HISTOGRAM_METRICS_THRESHOLD: usize = 10_000;
 
 impl ShardSweepSpec {
     /// Resolves CLI options into a sweep specification (scale presets
@@ -80,10 +91,23 @@ impl ShardSweepSpec {
             (4_000, vec![(64, 4)], vec![0.7, 0.9, 0.95])
         };
         let rounds = options.rounds.unwrap_or(rounds);
+        let mut systems = options.systems.clone().unwrap_or(systems);
+        if let Some(n) = options.servers {
+            // The mean-field scale knob: force every system to n servers,
+            // keeping its dispatcher count (and dropping duplicates the
+            // override may create).
+            for system in &mut systems {
+                system.0 = n;
+            }
+            systems.dedup();
+        }
+        let histogram_metrics = systems
+            .iter()
+            .any(|&(n, _)| n >= HISTOGRAM_METRICS_THRESHOLD);
         ShardSweepSpec {
             profile: RateProfile::paper_moderate(),
             policies: vec!["SCD".into(), "JSQ".into(), "SED".into()],
-            systems: options.systems.clone().unwrap_or(systems),
+            systems,
             loads: options.loads.clone().unwrap_or(loads),
             rounds,
             warmup: rounds / 10,
@@ -98,6 +122,7 @@ impl ShardSweepSpec {
             },
             scenario: ScenarioSpec::default(),
             workload: WorkloadSpec::default(),
+            histogram_metrics,
         }
     }
 }
@@ -204,6 +229,7 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
             },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            histogram_metrics: spec.histogram_metrics,
             scenario: spec.scenario.clone(),
             workload: spec.workload.clone(),
         };
@@ -343,6 +369,12 @@ pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
             "[sweep] multi-process fabric: every cell runs as {k} supervised shard_worker processes"
         ));
     }
+    if spec.histogram_metrics {
+        sink.note(
+            "[sweep] histogram-only queue metrics (mean-field scale): per-server vectors are \
+             not allocated; worst_mean_queue degrades to the across-server mean",
+        );
+    }
     if !spec.scenario.is_inert() {
         sink.note(&format!(
             "[sweep] scenario: {}",
@@ -402,6 +434,7 @@ fn write_first_cell_trace(spec: &ShardSweepSpec, path: &std::path::Path) -> Resu
         },
         services: ServiceModel::Geometric,
         measure_decision_times: false,
+        histogram_metrics: spec.histogram_metrics,
         scenario: spec.scenario.clone(),
         workload: spec.workload.clone(),
     };
@@ -461,6 +494,7 @@ mod tests {
             },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            histogram_metrics: false,
             scenario: scd_sim::ScenarioSpec::default(),
             workload: scd_sim::WorkloadSpec::default(),
         };
@@ -548,6 +582,50 @@ mod tests {
         })
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn servers_flag_overrides_n_and_enables_histogram_metrics_at_scale() {
+        let spec = ShardSweepSpec::resolve(&CliOptions {
+            paper: true,
+            servers: Some(50_000),
+            ..CliOptions::default()
+        });
+        // Both paper systems keep their dispatcher counts; n is forced.
+        assert_eq!(spec.systems, vec![(50_000, 10), (50_000, 20)]);
+        assert!(spec.histogram_metrics, "50k servers is past the threshold");
+
+        let small = ShardSweepSpec::resolve(&CliOptions {
+            quick: true,
+            servers: Some(32),
+            ..CliOptions::default()
+        });
+        assert_eq!(small.systems, vec![(32, 4)]);
+        assert!(
+            !small.histogram_metrics,
+            "small overrides keep full metrics"
+        );
+
+        // Duplicate systems created by the override collapse.
+        let deduped = ShardSweepSpec::resolve(&CliOptions {
+            systems: Some(vec![(100, 8), (200, 8)]),
+            servers: Some(64),
+            ..CliOptions::default()
+        });
+        assert_eq!(deduped.systems, vec![(64, 8)]);
+    }
+
+    #[test]
+    fn histogram_metrics_sweep_runs_and_matches_full_metrics_statistics() {
+        let mut full = quick_spec(1);
+        full.systems = vec![(16, 4)];
+        let mut histo = full.clone();
+        histo.histogram_metrics = true;
+        let a = run_shard_sweep(&full).unwrap();
+        let b = run_shard_sweep(&histo).unwrap();
+        // The sweep's output columns never touch per-server state, so the
+        // two metric modes agree exactly.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Shared helpers for dense `u64` count vectors.
+//!
+//! Every mergeable count structure in this crate (the response-time
+//! histogram's dense value buckets, the decision-time histogram's fixed
+//! log-scale buckets, the queue-occupancy histogram) follows the same merge
+//! convention: grow to the longer support, then add bucket-by-bucket with
+//! saturation instead of wrapping — a saturated counter pins the top of the
+//! range, a wrapped one silently corrupts every derived percentile. The
+//! convention lives here once instead of being re-implemented per type.
+
+/// Adds `src` into `dst` element-wise with saturating arithmetic, growing
+/// `dst` (zero-filled) when `src` has the longer support.
+///
+/// Equal-length inputs (fixed layouts like
+/// [`DecisionTimeHistogram`](crate::DecisionTimeHistogram)) never
+/// reallocate; ragged inputs (growable supports like
+/// [`ResponseTimeHistogram`](crate::ResponseTimeHistogram) or the
+/// queue-occupancy counts) extend to cover both.
+pub fn merge_saturating_counts(dst: &mut Vec<u64>, src: &[u64]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (mine, &theirs) in dst.iter_mut().zip(src) {
+        *mine = mine.saturating_add(theirs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_equal_length_in_place() {
+        let mut dst = vec![1, 2, 3];
+        merge_saturating_counts(&mut dst, &[10, 20, 30]);
+        assert_eq!(dst, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn grows_to_the_longer_support() {
+        let mut dst = vec![5];
+        merge_saturating_counts(&mut dst, &[1, 2, 3]);
+        assert_eq!(dst, vec![6, 2, 3]);
+        // A shorter source leaves the tail untouched.
+        merge_saturating_counts(&mut dst, &[1]);
+        assert_eq!(dst, vec![7, 2, 3]);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut dst = vec![u64::MAX - 1, 0];
+        merge_saturating_counts(&mut dst, &[5, u64::MAX]);
+        assert_eq!(dst, vec![u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn empty_inputs_are_no_ops() {
+        let mut dst: Vec<u64> = Vec::new();
+        merge_saturating_counts(&mut dst, &[]);
+        assert!(dst.is_empty());
+        merge_saturating_counts(&mut dst, &[4]);
+        assert_eq!(dst, vec![4]);
+    }
+}

@@ -201,12 +201,7 @@ impl ResponseTimeHistogram {
     /// histogram per shard/replication, and a wrapped counter would silently
     /// corrupt every percentile of the merged distribution.
     pub fn merge(&mut self, other: &ResponseTimeHistogram) {
-        if other.counts.len() > self.counts.len() {
-            self.counts.resize(other.counts.len(), 0);
-        }
-        for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] = self.counts[i].saturating_add(c);
-        }
+        crate::counts::merge_saturating_counts(&mut self.counts, &other.counts);
         self.total = self.total.saturating_add(other.total);
         self.sum = self.sum.saturating_add(other.sum);
     }

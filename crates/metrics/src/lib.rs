@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counts;
 pub mod histogram;
 pub mod queue;
 pub mod samples;
@@ -40,6 +41,7 @@ pub mod streaming;
 pub mod table;
 pub mod timing;
 
+pub use counts::merge_saturating_counts;
 pub use histogram::{HistogramSummary, ResponseTimeHistogram};
 pub use queue::QueueLengthTracker;
 pub use samples::SampleSet;

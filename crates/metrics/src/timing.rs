@@ -258,9 +258,7 @@ impl DecisionTimeHistogram {
     /// merged tail, whereas a saturated one only pins the (astronomically
     /// unreachable) top of the range.
     pub fn merge(&mut self, other: &DecisionTimeHistogram) {
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine = mine.saturating_add(*theirs);
-        }
+        crate::counts::merge_saturating_counts(&mut self.counts, &other.counts);
         self.count = self.count.saturating_add(other.count);
         self.sum += other.sum;
         self.min = self.min.min(other.min);

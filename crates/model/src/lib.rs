@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classes;
 pub mod degraded;
 pub mod error;
 pub mod ids;
@@ -66,6 +67,7 @@ pub mod snapshot;
 pub mod spec;
 pub mod streams;
 
+pub use classes::ClassPartition;
 pub use degraded::{Availability, DegradedView, ProbeLossOracle};
 pub use error::ModelError;
 pub use ids::{DispatcherId, ServerId};

@@ -207,6 +207,12 @@ struct SolverMemoEntry {
     sampler: crate::sampler::AliasSampler,
     /// Whether `sampler` holds the table for this entry's probabilities.
     has_sampler: bool,
+    /// Whether `sampler` is a **class-level** table over the round's
+    /// [`ClassPartition`](crate::ClassPartition) (its columns are class
+    /// indices, resolved to servers by a second uniform member draw) rather
+    /// than a per-server table. Per-server consumers must never draw from a
+    /// class table and vice versa — the lookup paths filter on this flag.
+    class_sampler: bool,
 }
 
 /// Derived per-round tables shared (read-only) by all dispatchers of a round.
@@ -252,6 +258,15 @@ pub struct RoundCache {
     memo_hits: std::cell::Cell<u64>,
     /// Cumulative memo miss counter.
     memo_misses: std::cell::Cell<u64>,
+    /// The round's `(rate, q)` class partition
+    /// ([`ClassPartition`](crate::ClassPartition)), built lazily on the
+    /// first [`class_partition`](RoundCache::class_partition) call of a
+    /// round through the same interior mutability the memo uses.
+    classes: std::cell::RefCell<crate::ClassPartition>,
+    /// The `round_generation` the partition was last built for.
+    classes_generation: std::cell::Cell<u64>,
+    /// Bumped by every `begin_round*`; 0 means "no round begun yet".
+    round_generation: std::cell::Cell<u64>,
 }
 
 impl RoundCache {
@@ -290,6 +305,8 @@ impl RoundCache {
         // previous round's snapshot.
         self.memo_live.set(0);
         self.warm.advance_generation();
+        self.round_generation
+            .set(self.round_generation.get().wrapping_add(1));
         self.queues_snapshot.clear();
         self.queues_snapshot.extend_from_slice(queues);
         self.ready_demand = demand;
@@ -359,6 +376,8 @@ impl RoundCache {
         }
         self.memo_live.set(0);
         self.warm.advance_generation();
+        self.round_generation
+            .set(self.round_generation.get().wrapping_add(1));
         if demand >= CacheDemand::SolverTables {
             for &s in dirty {
                 let s = s as usize;
@@ -465,6 +484,7 @@ impl RoundCache {
             entry.probabilities.clear();
             entry.probabilities.extend_from_slice(probabilities);
             entry.has_sampler = false;
+            entry.class_sampler = false;
         } else {
             memo.push(SolverMemoEntry {
                 a_est,
@@ -473,6 +493,7 @@ impl RoundCache {
                 probabilities: probabilities.to_vec(),
                 sampler: crate::sampler::AliasSampler::default(),
                 has_sampler: false,
+                class_sampler: false,
             });
         }
         self.memo_live.set(live + 1);
@@ -502,7 +523,10 @@ impl RoundCache {
         let memo = self.memo.borrow();
         for entry in &memo[..self.memo_live.get()] {
             if entry.kind == kind && entry.a_est.to_bits() == a_est.to_bits() {
-                if !entry.has_sampler {
+                if !entry.has_sampler || entry.class_sampler {
+                    // No table yet, or a class-level table whose columns are
+                    // class indices — either way this per-server consumer
+                    // must solve for itself.
                     return None;
                 }
                 out.extend((0..batch).map(|_| crate::ServerId::new(entry.sampler.sample(rng))));
@@ -567,8 +591,132 @@ impl RoundCache {
             }
         }
         entry.has_sampler = true;
+        entry.class_sampler = false;
         self.memo_live.set(live + 1);
         out.extend((0..batch).map(|_| crate::ServerId::new(entry.sampler.sample(rng))));
+        true
+    }
+
+    /// The round's `(rate, q)` class partition
+    /// ([`ClassPartition`](crate::ClassPartition)), built lazily from the
+    /// cache's own tracked snapshot on the first call of each round and
+    /// shared by every later caller of the round. Returns `None` when the
+    /// snapshot is not viable for compression (see the partition's module
+    /// docs) or no round has begun — the decision is a pure function of the
+    /// round state, so delta/full/sharded replays agree on it.
+    pub fn class_partition(&self) -> Option<std::cell::Ref<'_, crate::ClassPartition>> {
+        let round = self.round_generation.get();
+        if self.classes_generation.get() != round {
+            let mut part = self.classes.borrow_mut();
+            part.build(&self.queues_snapshot, &self.rates_snapshot);
+            drop(part);
+            self.classes_generation.set(round);
+        }
+        let part = self.classes.borrow();
+        if part.is_built() {
+            Some(part)
+        } else {
+            None
+        }
+    }
+
+    /// Draws `batch` destinations from the memoized **class-level alias
+    /// table** for `(a_est, kind)`: per job, one alias draw picks a class
+    /// and one further `u64` picks a uniform member of that class through
+    /// the round's [`class_partition`](RoundCache::class_partition).
+    /// Returns the memoized ideal workload on a hit; `None` when no
+    /// class-table entry exists (per-server entries under the same key are
+    /// skipped — the flags keep the two consumption styles apart).
+    ///
+    /// # Panics
+    /// Debug builds panic if the partition was not built this round (a
+    /// class entry can only have been stored through
+    /// [`class_sampler_memo_build_draw`](RoundCache::class_sampler_memo_build_draw),
+    /// which requires it).
+    pub fn class_sampler_memo_draw(
+        &self,
+        a_est: f64,
+        kind: u8,
+        batch: usize,
+        out: &mut Vec<crate::ServerId>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<f64> {
+        let memo = self.memo.borrow();
+        for entry in &memo[..self.memo_live.get()] {
+            if entry.kind == kind && entry.a_est.to_bits() == a_est.to_bits() {
+                if !entry.has_sampler || !entry.class_sampler {
+                    return None;
+                }
+                let part = self.classes.borrow();
+                debug_assert!(
+                    part.is_built(),
+                    "class memo entry stored without a built partition"
+                );
+                out.extend((0..batch).map(|_| {
+                    let class = entry.sampler.sample(rng);
+                    crate::ServerId::new(part.member(class, rng.next_u64()) as usize)
+                }));
+                self.memo_hits.set(self.memo_hits.get() + 1);
+                return Some(entry.iwl);
+            }
+        }
+        None
+    }
+
+    /// Builds a **class-level** alias table for `(a_est, kind)` in place
+    /// inside a fresh memo entry (the class-partition counterpart of
+    /// [`sampler_memo_build_draw`](RoundCache::sampler_memo_build_draw)),
+    /// draws `batch` destinations through the two-level scheme of
+    /// [`class_sampler_memo_draw`](RoundCache::class_sampler_memo_draw),
+    /// and returns `true`. Returns `false` without drawing when the memo is
+    /// at capacity or the weights are degenerate (the caller builds a
+    /// private table instead). `weights` must be indexed by canonical class
+    /// order; the partition must have been built this round.
+    #[allow(clippy::too_many_arguments)] // engine-facing dispatch path: full decision state
+    pub fn class_sampler_memo_build_draw(
+        &self,
+        a_est: f64,
+        kind: u8,
+        iwl: f64,
+        weights: &[f64],
+        total: Option<f64>,
+        batch: usize,
+        out: &mut Vec<crate::ServerId>,
+        rng: &mut dyn rand::RngCore,
+    ) -> bool {
+        let live = self.memo_live.get();
+        if live >= SOLVER_MEMO_CAP {
+            return false;
+        }
+        let mut memo = self.memo.borrow_mut();
+        if live >= memo.len() {
+            memo.push(SolverMemoEntry::default());
+        }
+        let entry = &mut memo[live];
+        entry.a_est = a_est;
+        entry.kind = kind;
+        entry.iwl = iwl;
+        entry.probabilities.clear();
+        match total {
+            Some(total) if total > 0.0 => entry.sampler.rebuild_with_total(weights, total),
+            _ => {
+                if entry.sampler.rebuild(weights).is_err() {
+                    return false;
+                }
+            }
+        }
+        entry.has_sampler = true;
+        entry.class_sampler = true;
+        self.memo_live.set(live + 1);
+        let part = self.classes.borrow();
+        debug_assert!(
+            part.is_built(),
+            "class tables require a built partition for the member draws"
+        );
+        out.extend((0..batch).map(|_| {
+            let class = entry.sampler.sample(rng);
+            crate::ServerId::new(part.member(class, rng.next_u64()) as usize)
+        }));
         true
     }
 

@@ -29,6 +29,17 @@ pub struct SimConfig {
     /// When true the engine wall-clock-times every dispatching decision
     /// (needed for the Figure 5/8 reproductions; adds measurement overhead).
     pub measure_decision_times: bool,
+    /// When true the engine collects queue statistics in **histogram-only**
+    /// mode: no per-server metric vectors are allocated, only the
+    /// queue-length occupancy histogram plus scalar totals (see
+    /// [`scd_metrics::QueueLengthTracker::histogram_only`]). Intended for
+    /// mean-field-scale runs (`n = 10⁵ .. 10⁶`), where per-server state in
+    /// the metrics layer costs tens of megabytes and the distribution is
+    /// the quantity of interest. The reported `worst_mean_queue` degrades
+    /// to the across-server mean in this mode; every other statistic is
+    /// identical.
+    #[serde(default)]
+    pub histogram_metrics: bool,
     /// The fault/churn/staleness scenario; the default is "no faults",
     /// which runs the fair-weather fast path bit-for-bit.
     pub scenario: ScenarioSpec,
@@ -74,9 +85,68 @@ impl SimConfig {
             arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            histogram_metrics: false,
             scenario: ScenarioSpec::default(),
             workload: WorkloadSpec::default(),
         })
+    }
+
+    /// Upper bound on the `n × m` (servers × dispatchers) product. The
+    /// engine's per-round work — and the per-dispatcher policy state of the
+    /// stateful policies — scales with `n · m`, so a configuration beyond
+    /// this is rejected at build time instead of thrashing for hours.
+    pub const MAX_STATE_CELLS: u128 = 1 << 31;
+
+    /// Ceiling on [`estimated_memory_bytes`](SimConfig::estimated_memory_bytes)
+    /// for one engine (one shard's engine in a sharded run): 32 GiB.
+    pub const MAX_ESTIMATED_MEMORY_BYTES: u128 = 32 << 30;
+
+    /// Order-of-magnitude estimate of one engine's resident memory for this
+    /// configuration, in bytes: per-server state (queues, snapshot, round
+    /// cache solver tables, queue tracker — the tracker's per-server
+    /// vectors are skipped under [`histogram_metrics`](SimConfig::histogram_metrics))
+    /// plus per-dispatcher state, including the `O(n)` sampler tables a
+    /// stateful policy keeps per dispatcher (the `n · m` term).
+    pub fn estimated_memory_bytes(&self) -> u128 {
+        let n = self.num_servers() as u128;
+        let m = self.num_dispatchers as u128;
+        let per_server: u128 = if self.histogram_metrics { 192 } else { 224 };
+        n * per_server + m * 64 + n * m * 16
+    }
+
+    /// Validates the configuration's *scale*: the `n × m` cell count against
+    /// [`MAX_STATE_CELLS`](SimConfig::MAX_STATE_CELLS) and the estimated
+    /// memory against
+    /// [`MAX_ESTIMATED_MEMORY_BYTES`](SimConfig::MAX_ESTIMATED_MEMORY_BYTES).
+    /// Called by both the builder and `Simulation::new`, so an over-scale
+    /// configuration fails fast with a sized error message rather than
+    /// OOM-ing mid-run.
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`](crate::engine::SimError) naming
+    /// the exceeded bound.
+    pub fn validate_scale(&self) -> Result<(), crate::engine::SimError> {
+        use crate::engine::SimError;
+        let n = self.num_servers() as u128;
+        let m = self.num_dispatchers as u128;
+        let cells = n * m;
+        if cells > Self::MAX_STATE_CELLS {
+            return Err(SimError::InvalidConfig(format!(
+                "{n} servers × {m} dispatchers = {cells} state cells exceeds \
+                 the {} cap; shard the run or reduce the system",
+                Self::MAX_STATE_CELLS
+            )));
+        }
+        let estimated = self.estimated_memory_bytes();
+        if estimated > Self::MAX_ESTIMATED_MEMORY_BYTES {
+            return Err(SimError::InvalidConfig(format!(
+                "estimated memory of {} MiB exceeds the {} MiB ceiling; \
+                 shard the run, reduce the system, or enable histogram_metrics",
+                estimated >> 20,
+                Self::MAX_ESTIMATED_MEMORY_BYTES >> 20
+            )));
+        }
+        Ok(())
     }
 
     /// The offered load `ρ` this configuration induces.
@@ -161,6 +231,11 @@ impl SimConfig {
             "measure_decision_times",
             self.measure_decision_times.to_string(),
         );
+        // Emitted only when set, so pre-existing wire texts (and their
+        // digests) are byte-identical to runs that never heard of the flag.
+        if self.histogram_metrics {
+            push("histogram_metrics", "true".into());
+        }
         for line in self.scenario.to_key_values().lines() {
             out.push_str("scenario.");
             out.push_str(line);
@@ -224,6 +299,7 @@ impl SimConfig {
         let mut arrivals: Option<ArrivalSpec> = None;
         let mut services = ServiceModel::Geometric;
         let mut measure_decision_times = false;
+        let mut histogram_metrics = false;
         let mut scenario_lines = String::new();
         let mut workload_lines = String::new();
         let mut scenario_server_ids: Option<Vec<u32>> = None;
@@ -310,6 +386,10 @@ impl SimConfig {
                     measure_decision_times =
                         value.parse().map_err(|_| bad_value("`true` or `false`"))?;
                 }
+                "histogram_metrics" => {
+                    histogram_metrics =
+                        value.parse().map_err(|_| bad_value("`true` or `false`"))?;
+                }
                 "scenario.server_ids" => scenario_server_ids = Some(parse_u32_list(value)?),
                 "scenario.dispatcher_ids" => {
                     scenario_dispatcher_ids = Some(parse_u32_list(value)?);
@@ -356,6 +436,7 @@ impl SimConfig {
             arrivals: arrivals.ok_or_else(|| missing("arrivals"))?,
             services,
             measure_decision_times,
+            histogram_metrics,
             scenario,
             workload,
         })
@@ -419,6 +500,12 @@ impl SimConfig {
             },
         );
         h = mix(h, self.measure_decision_times as u64);
+        // Mixed only when set: a false flag leaves the digest identical to
+        // one computed before the field existed, so fabric workers built at
+        // different times agree on every pre-existing configuration.
+        if self.histogram_metrics {
+            h = mix(h, 0x4849_5354); // "HIST"
+        }
         let sc = &self.scenario;
         h = mix_f64(h, sc.server_fail_rate);
         h = mix_f64(h, sc.server_repair_rate);
@@ -486,6 +573,7 @@ pub struct SimConfigBuilder {
     arrivals: ArrivalSpec,
     services: ServiceModel,
     measure_decision_times: bool,
+    histogram_metrics: bool,
     scenario: ScenarioSpec,
     workload: WorkloadSpec,
 }
@@ -504,6 +592,7 @@ impl SimConfigBuilder {
             arrivals: ArrivalSpec::PoissonOfferedLoad { offered_load: 0.9 },
             services: ServiceModel::Geometric,
             measure_decision_times: false,
+            histogram_metrics: false,
             scenario: ScenarioSpec::default(),
             workload: WorkloadSpec::default(),
         }
@@ -548,6 +637,14 @@ impl SimConfigBuilder {
     /// Enables wall-clock timing of every dispatching decision.
     pub fn measure_decision_times(mut self, enable: bool) -> Self {
         self.measure_decision_times = enable;
+        self
+    }
+
+    /// Enables histogram-only queue metrics (no per-server metric vectors;
+    /// see [`SimConfig::histogram_metrics`]). Intended for
+    /// mean-field-scale runs.
+    pub fn histogram_metrics(mut self, enable: bool) -> Self {
+        self.histogram_metrics = enable;
         self
     }
 
@@ -598,7 +695,7 @@ impl SimConfigBuilder {
             self.rounds,
             self.spec.total_rate(),
         )?;
-        Ok(SimConfig {
+        let config = SimConfig {
             spec: self.spec,
             num_dispatchers: self.num_dispatchers,
             rounds: self.rounds,
@@ -607,9 +704,12 @@ impl SimConfigBuilder {
             arrivals: self.arrivals,
             services: self.services,
             measure_decision_times: self.measure_decision_times,
+            histogram_metrics: self.histogram_metrics,
             scenario: self.scenario,
             workload: self.workload,
-        })
+        };
+        config.validate_scale()?;
+        Ok(config)
     }
 }
 
@@ -758,6 +858,7 @@ mod tests {
             },
             services: ServiceModel::Deterministic,
             measure_decision_times: true,
+            histogram_metrics: true,
             scenario: ScenarioSpec {
                 server_fail_rate: 0.01,
                 server_repair_rate: 0.2,
@@ -874,6 +975,62 @@ mod tests {
             SimConfig::from_key_values(&text).unwrap().digest(),
             base.digest()
         );
+    }
+
+    #[test]
+    fn histogram_metrics_flag_is_inert_on_the_wire_and_digest_when_unset() {
+        let plain = SimConfig::builder(spec()).build().unwrap();
+        assert!(!plain.histogram_metrics);
+        let mut flagged = plain.clone();
+        flagged.histogram_metrics = true;
+        // Unset: the key is absent from the wire text (old parsers keep
+        // working) and the digest matches the pre-flag computation. Set:
+        // both move, and the round trip preserves the flag.
+        assert!(!plain.to_key_values().unwrap().contains("histogram_metrics"));
+        assert!(flagged
+            .to_key_values()
+            .unwrap()
+            .contains("histogram_metrics"));
+        assert_ne!(plain.digest(), flagged.digest());
+        let text = flagged.to_key_values().unwrap();
+        assert_eq!(SimConfig::from_key_values(&text).unwrap(), flagged);
+        // The builder carries the flag too.
+        let built = SimConfig::builder(spec())
+            .histogram_metrics(true)
+            .build()
+            .unwrap();
+        assert!(built.histogram_metrics);
+    }
+
+    #[test]
+    fn over_scale_configurations_are_rejected_with_sized_messages() {
+        // n · m beyond MAX_STATE_CELLS: 2^16 servers × 2^16 dispatchers.
+        let rates = vec![1.0; 1 << 16];
+        let err = SimConfig::builder(ClusterSpec::from_rates(rates.clone()).unwrap())
+            .dispatchers(1 << 16)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::engine::SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("state cells"), "{err}");
+        // A mean-field-scale single-dispatcher system passes comfortably.
+        let big = SimConfig::builder(ClusterSpec::from_rates(rates).unwrap())
+            .dispatchers(16)
+            .build()
+            .unwrap();
+        assert!(big.estimated_memory_bytes() < SimConfig::MAX_ESTIMATED_MEMORY_BYTES);
+        // Histogram mode strictly lowers the estimate.
+        let mut slim = big.clone();
+        slim.histogram_metrics = true;
+        assert!(slim.estimated_memory_bytes() < big.estimated_memory_bytes());
+        // Memory ceiling: 10⁶ servers × 2140 dispatchers stays just under
+        // the cell cap (2.14e9 < 2^31) but the n·m policy-sampler term
+        // pushes the estimate past 32 GiB.
+        let err = SimConfig::builder(ClusterSpec::from_rates(vec![1.0; 1_000_000]).unwrap())
+            .dispatchers(2140)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, crate::engine::SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("estimated memory"), "{err}");
     }
 
     #[test]

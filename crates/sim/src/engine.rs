@@ -127,6 +127,11 @@ struct ScenarioRound<'a> {
     stale_prev: &'a [bool],
     /// This round's dirty set, attachable only to fresh-view dispatchers.
     dirty: Option<&'a [u32]>,
+    /// The shared per-round cache, refreshed from this round's *fresh*
+    /// snapshot — attachable only to dispatchers whose effective view *is*
+    /// that snapshot (`k_eff == 0`). Stale-view dispatchers must not see
+    /// solver tables computed against a state they do not observe.
+    cache: Option<&'a RoundCache>,
     avail: &'a Availability,
     oracle: Option<&'a ProbeLossOracle>,
     m: usize,
@@ -148,8 +153,17 @@ impl<'a> ScenarioRound<'a> {
         // `ctx.round()` stays the *current* round even for stale views:
         // policies time-stamp their internal state with it, and the view age
         // is an information defect, not time travel.
-        let ctx = DispatchContext::new(view, self.rates, self.m, self.round)
-            .with_degraded(DegradedView::new(self.avail, self.oracle, d));
+        let ctx = match self.cache {
+            // Fresh view: the shared cache describes exactly this snapshot,
+            // so cache-backed dispatch kernels stay bit-identical to the
+            // fair-weather path (the `k = 0` scenario equivalence test pins
+            // this). Masked rounds bypass the cache inside the policies.
+            Some(cache) if k_eff == 0 => {
+                DispatchContext::with_cache(self.snapshot, self.rates, self.m, self.round, cache)
+            }
+            _ => DispatchContext::new(view, self.rates, self.m, self.round),
+        }
+        .with_degraded(DegradedView::new(self.avail, self.oracle, d));
         match self.dirty {
             Some(dirty) if k_eff == 0 && !self.stale_prev[d] => ctx.with_dirty(dirty),
             _ => ctx,
@@ -193,6 +207,7 @@ impl Simulation {
         config
             .scenario
             .validate(config.spec.num_servers(), config.num_dispatchers)?;
+        config.validate_scale()?;
         config.arrivals.validate(config.num_dispatchers)?;
         config.workload.validate(
             &config.arrivals,
@@ -359,7 +374,14 @@ impl Simulation {
             .unwrap_or(CacheDemand::None);
 
         let mut response_times = ResponseTimeHistogram::new();
-        let mut tracker = QueueLengthTracker::new(n);
+        // Histogram-only mode keeps no per-server metric vectors — at
+        // mean-field scale (n = 10⁵ .. 10⁶) the occupancy histogram plus
+        // scalar totals are the entire metrics footprint.
+        let mut tracker = if config.histogram_metrics {
+            QueueLengthTracker::histogram_only(n)
+        } else {
+            QueueLengthTracker::new(n)
+        };
         // Count-bucketed recorder: recording a timing sample is O(1) and
         // allocation-free, so the measured configuration pays (almost) no
         // instrumentation overhead beyond the two `Instant` reads — see
@@ -541,15 +563,24 @@ impl Simulation {
             // per dispatcher, and a shared solver table would be computed
             // against a view some dispatchers do not see); the cache is a
             // pure accelerator, so skipping it is decision-invisible.
+            // The cache is refreshed whenever a policy wants it — also under
+            // an active scenario, where it describes this round's *fresh*
+            // snapshot and is attached only to fresh-view dispatchers
+            // (`ScenarioRound::ctx`). Scenario rounds always rebuild in
+            // full: the dirty diff describes the fair-weather bookkeeping,
+            // and delta repair vs. full rebuild is bit-identical anyway.
+            let cache_ready = cache_demand > CacheDemand::None;
+            if cache_ready {
+                if have_deltas && !scn_active {
+                    round_cache.begin_round_delta(&snapshot, rates, &dirty, cache_demand);
+                } else {
+                    round_cache.begin_round_for(&snapshot, rates, cache_demand);
+                }
+            }
             let shared_ctx: Option<DispatchContext<'_>> = if scn_active {
                 None
             } else {
-                let ctx = if cache_demand > CacheDemand::None {
-                    if have_deltas {
-                        round_cache.begin_round_delta(&snapshot, rates, &dirty, cache_demand);
-                    } else {
-                        round_cache.begin_round_for(&snapshot, rates, cache_demand);
-                    }
+                let ctx = if cache_ready {
                     DispatchContext::with_cache(&snapshot, rates, m, round, &round_cache)
                 } else {
                     DispatchContext::new(&snapshot, rates, m, round)
@@ -568,6 +599,11 @@ impl Simulation {
                     k_effs: &k_effs,
                     stale_prev: &stale_prev,
                     dirty: if have_deltas { Some(&dirty) } else { None },
+                    cache: if cache_ready {
+                        Some(&round_cache)
+                    } else {
+                        None
+                    },
                     avail: &avail,
                     oracle: oracle.as_ref(),
                     m,
@@ -806,11 +842,10 @@ impl Simulation {
         }
 
         let jobs_in_flight = jobs_dispatched.saturating_sub(jobs_completed);
-        let mean_idle_fraction = if n == 0 {
-            0.0
-        } else {
-            (0..n).map(|s| tracker.idle_fraction(s)).sum::<f64>() / n as f64
-        };
+        // Computed from the occupancy histogram's exact integer zero-bucket
+        // in both metric modes (identical to the across-server average of
+        // the per-server idle fractions, with one rounding instead of n).
+        let mean_idle_fraction = tracker.mean_idle_fraction();
 
         Ok(SimReport {
             policy: factory.name().to_string(),
@@ -827,6 +862,7 @@ impl Simulation {
                 worst_mean_queue: tracker.worst_mean_queue(),
                 mean_idle_fraction,
             },
+            queue_occupancy: tracker.into_occupancy(),
             decision_times_us: decision_times,
             degradation: scn_active.then(|| {
                 let mut metrics = degradation;
@@ -919,6 +955,7 @@ mod tests {
             arrivals: ArrivalSpec::Deterministic { jobs_per_round: 2 },
             services: ServiceModel::Deterministic,
             measure_decision_times: false,
+            histogram_metrics: false,
             scenario: crate::scenario::ScenarioSpec::default(),
             workload: crate::workload::WorkloadSpec::default(),
         }
@@ -1003,6 +1040,63 @@ mod tests {
         let a = sim.run(&factory_of::<AllToFirst>("all-to-first")).unwrap();
         let b = sim.run(&ScdFactory::new()).unwrap();
         assert_eq!(a.jobs_dispatched, b.jobs_dispatched);
+    }
+
+    #[test]
+    fn histogram_metrics_mode_matches_full_mode_except_worst_mean_queue() {
+        // Histogram-only mode drops per-server state; every report field
+        // except worst_mean_queue (which degrades to the across-server mean)
+        // must be bit-identical to the full-tracking run.
+        use scd_core::policy::ScdFactory;
+        let spec = ClusterSpec::from_rates(vec![3.0, 1.0, 2.0, 2.0]).unwrap();
+        let build = |histogram: bool| {
+            SimConfig::builder(spec.clone())
+                .dispatchers(2)
+                .rounds(200)
+                .warmup_rounds(20)
+                .seed(7)
+                .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.8 })
+                .histogram_metrics(histogram)
+                .build()
+                .unwrap()
+        };
+        let full = Simulation::new(build(false))
+            .unwrap()
+            .run(&ScdFactory::new())
+            .unwrap();
+        let histo = Simulation::new(build(true))
+            .unwrap()
+            .run(&ScdFactory::new())
+            .unwrap();
+        assert_eq!(full.jobs_dispatched, histo.jobs_dispatched);
+        assert_eq!(full.response_times, histo.response_times);
+        assert_eq!(full.queue_occupancy, histo.queue_occupancy);
+        assert!(!full.queue_occupancy.is_empty());
+        assert_eq!(
+            full.queues.mean_total_backlog,
+            histo.queues.mean_total_backlog
+        );
+        assert_eq!(
+            full.queues.max_total_backlog,
+            histo.queues.max_total_backlog
+        );
+        assert_eq!(
+            full.queues.mean_idle_fraction,
+            histo.queues.mean_idle_fraction
+        );
+        // Degraded statistic: total backlog averaged over servers.
+        assert!(
+            (histo.queues.worst_mean_queue - histo.queues.mean_total_backlog / 4.0).abs() < 1e-12
+        );
+        assert!(full.queues.worst_mean_queue >= histo.queues.worst_mean_queue);
+        // The occupancy histogram carries the full measured mass:
+        // (rounds - warmup) * num_servers observations.
+        let mass: u64 = full.queue_occupancy.iter().sum();
+        assert_eq!(mass, 180 * 4);
+        // And its normalization is a probability distribution.
+        let dist = full.queue_length_distribution();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::fmt;
 pub const FRAME_MAGIC: [u8; 4] = *b"SCDF";
 
 /// Current frame-format version; bumped on any payload layout change.
-pub const FRAME_VERSION: u8 = 1;
+pub const FRAME_VERSION: u8 = 2;
 
 /// Upper bound on a frame's declared payload length. The largest legal
 /// payload (a saturated response-time histogram plus a decision-time
@@ -296,6 +296,7 @@ fn encode_payload(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
     w.f64(r.queues.max_total_backlog);
     w.f64(r.queues.worst_mean_queue);
     w.f64(r.queues.mean_idle_fraction);
+    w.counts(&r.queue_occupancy)?;
     match &r.decision_times_us {
         None => w.u8(0),
         Some(hist) => {
@@ -348,6 +349,7 @@ fn decode_payload(payload: &[u8], config_digest: u64) -> Result<ShardReport, Cod
         worst_mean_queue: r.f64()?,
         mean_idle_fraction: r.f64()?,
     };
+    let queue_occupancy = r.counts()?;
     let decision_times_us = match r.u8()? {
         0 => None,
         1 => {
@@ -406,6 +408,7 @@ fn decode_payload(payload: &[u8], config_digest: u64) -> Result<ShardReport, Cod
             jobs_in_flight,
             response_times,
             queues,
+            queue_occupancy,
             decision_times_us,
             degradation,
         },
@@ -516,6 +519,7 @@ mod tests {
                     worst_mean_queue: 2.5,
                     mean_idle_fraction: 0.125,
                 },
+                queue_occupancy: vec![200, 120, 55, 0, u64::MAX],
                 decision_times_us: Some(decisions),
                 degradation: Some(DegradationMetrics {
                     server_down_rounds: 3,

@@ -133,6 +133,15 @@ pub struct SimReport {
     pub response_times: ResponseTimeHistogram,
     /// Queue-length statistics.
     pub queues: QueueSummary,
+    /// Dense queue-length occupancy histogram: `queue_occupancy[k]` =
+    /// number of (server, round) observations with queue length exactly
+    /// `k` over the measured rounds, lengths at or above
+    /// [`QueueLengthTracker::OCCUPANCY_CLAMP`](scd_metrics::QueueLengthTracker::OCCUPANCY_CLAMP)
+    /// sharing the top bucket. Populated in both metric modes; normalizing
+    /// ([`Self::queue_length_distribution`]) yields the empirical
+    /// steady-state distribution the mean-field oracle checks against.
+    #[serde(default)]
+    pub queue_occupancy: Vec<u64>,
     /// Wall-clock times (in microseconds) of individual dispatching
     /// decisions, present when the run was configured with
     /// `measure_decision_times`. Recorded into a fixed log-bucketed
@@ -160,6 +169,24 @@ impl SimReport {
     /// Compact summary of the response-time distribution.
     pub fn summary(&self) -> HistogramSummary {
         self.response_times.summary()
+    }
+
+    /// The empirical queue-length distribution: [`Self::queue_occupancy`]
+    /// normalized by its total mass, so `queue_length_distribution()[k]` is
+    /// the fraction of (server, round) observations at queue length `k`.
+    /// Empty when no rounds were measured.
+    pub fn queue_length_distribution(&self) -> Vec<f64> {
+        let mass = self
+            .queue_occupancy
+            .iter()
+            .fold(0u128, |acc, &c| acc + u128::from(c));
+        if mass == 0 {
+            return Vec::new();
+        }
+        self.queue_occupancy
+            .iter()
+            .map(|&c| c as f64 / mass as f64)
+            .collect()
     }
 
     /// Fraction of measured jobs that were still queued when the simulation
@@ -211,6 +238,7 @@ mod tests {
                 worst_mean_queue: 2.5,
                 mean_idle_fraction: 0.25,
             },
+            queue_occupancy: vec![6, 3, 1],
             decision_times_us: None,
             degradation: None,
         }

@@ -215,6 +215,9 @@ pub fn merge_shard_reports(reports: &[ShardReport]) -> Result<SimReport, SimErro
         merged
             .queues
             .fold_disjoint(&report.queues, servers_so_far, shard.num_servers);
+        // Shards observe disjoint servers on a shared round clock, so the
+        // occupancy histograms sum elementwise.
+        scd_metrics::merge_saturating_counts(&mut merged.queue_occupancy, &report.queue_occupancy);
         match (&mut merged.decision_times_us, &report.decision_times_us) {
             (Some(mine), Some(theirs)) => mine.merge(theirs),
             (None, None) => {}

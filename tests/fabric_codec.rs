@@ -108,6 +108,7 @@ fn random_report(case: u64) -> ShardReport {
                 worst_mean_queue: g.next_f64(),
                 mean_idle_fraction: unit_f64(g.next_u64()),
             },
+            queue_occupancy: (0..g.next_in(64)).map(|_| g.next_u64()).collect(),
             decision_times_us,
             degradation,
         },
@@ -165,6 +166,7 @@ fn empty_shard_report_round_trips() {
                 worst_mean_queue: 0.0,
                 mean_idle_fraction: 0.0,
             },
+            queue_occupancy: Vec::new(),
             decision_times_us: None,
             degradation: None,
         },

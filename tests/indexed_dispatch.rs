@@ -209,11 +209,18 @@ fn cached_and_cacheless_contexts_dispatch_identically() {
             (out, rng.next_u64())
         };
 
+        // SCD is pinned to the classic sampler here: the compressed class
+        // kernel only engages behind a round cache (its partition and alias
+        // table are cache-memoized), so with default options the cached
+        // context deliberately consumes the RNG differently. This test's
+        // claim is that the cache is *transparent* to the dense dispatch
+        // path; `compressed_engine_dispatch_matches_the_distribution` (core)
+        // covers the compressed kernel's distribution equivalence.
         for (name, a, b) in [
             (
                 "SCD",
-                run(&mut ScdPolicy::new(), &plain),
-                run(&mut ScdPolicy::new(), &cached),
+                run(&mut ScdPolicy::new().classic_sampler(), &plain),
+                run(&mut ScdPolicy::new().classic_sampler(), &cached),
             ),
             (
                 "SED",
