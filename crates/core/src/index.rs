@@ -192,8 +192,8 @@ impl TournamentTree {
     /// Changes the key of one slot and replays its `O(log n)` matches, with
     /// an early exit once the outcome can no longer change.
     ///
-    /// See [`replay_path`](TournamentTree::replay_path) for why the exit is
-    /// sound — including during batch repairs.
+    /// See the private `replay_path` helper for why the exit is sound —
+    /// including during batch repairs.
     ///
     /// # Panics
     /// Panics if `slot >= len()`; debug builds also reject NaN keys.

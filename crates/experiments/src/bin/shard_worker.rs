@@ -3,19 +3,23 @@
 //! Spawned by the `orchestrate` binary (or the `sweep` binary's
 //! `--processes` mode), not meant to be run by hand: it expects
 //! `--shard N --shards K --policy NAME --expect-seed S --digest D` plus
-//! optional fault-injection flags on the command line, the shard's
-//! `key = value` configuration on stdin, and answers with exactly one
-//! checksummed report frame on stdout. Exit code 0 means the frame is
-//! complete; anything else is classified by the orchestrator.
+//! optional streaming (`--checkpoint-every R`, `--resume-from stdin`) and
+//! fault-injection flags on the command line, the shard's `key = value`
+//! configuration (and, when resuming, a checkpoint frame after the
+//! `%%CHECKPOINT%%` delimiter line) on stdin, and answers with checksummed
+//! frames on stdout. Exit code 0 means the final frame is complete; 3
+//! means the configuration was rejected (don't retry); 4 means the resume
+//! checkpoint was refused (retry from seed); anything else is classified
+//! by the orchestrator.
 
 use scd_experiments::fabric::worker_main;
 
 fn main() {
     match worker_main(std::env::args().skip(1)) {
         Ok(code) => std::process::exit(code),
-        Err(message) => {
-            eprintln!("shard_worker: {message}");
-            std::process::exit(2);
+        Err(exit) => {
+            eprintln!("shard_worker: {}", exit.message);
+            std::process::exit(exit.code);
         }
     }
 }

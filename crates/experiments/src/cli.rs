@@ -47,6 +47,21 @@ pub struct CliOptions {
     /// bit-identical to `--shards K` when no worker is lost). Figure
     /// binaries note and ignore the flag.
     pub processes: Option<usize>,
+    /// Heartbeat deadline in milliseconds for `--processes` workers: the
+    /// longest allowed gap between consecutive frames on a worker's
+    /// stdout (with `--checkpoint-every 0` a worker emits exactly one
+    /// frame, so this degenerates to a per-attempt wall clock). Figure
+    /// binaries note and ignore the flag.
+    pub worker_timeout_ms: u64,
+    /// Retry budget per shard after the first attempt in `--processes`
+    /// mode. Figure binaries note and ignore the flag.
+    pub max_retries: u32,
+    /// Stream a progress/checkpoint frame pair every this many rounds in
+    /// `--processes` mode, letting failed workers restart from their last
+    /// verified checkpoint instead of from seed. `0` (the default) keeps
+    /// the legacy one-shot worker protocol. Figure binaries note and
+    /// ignore the flag.
+    pub checkpoint_every: u64,
     /// Scenario file (`key = value` lines) describing faults, churn,
     /// staleness and probe loss for the `sweep` binary. Figure binaries note
     /// and ignore the flag.
@@ -83,6 +98,9 @@ impl Default for CliOptions {
             replications: 1,
             shards: 1,
             processes: None,
+            worker_timeout_ms: 120_000,
+            max_retries: 2,
+            checkpoint_every: 0,
             scenario: None,
             stale_k: None,
             fail_rate: None,
@@ -177,6 +195,28 @@ impl CliOptions {
                     }
                     options.processes = Some(parsed);
                 }
+                "--worker-timeout" => {
+                    let value = iter.next().ok_or("--worker-timeout requires a value")?;
+                    let parsed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid --worker-timeout value: {value}"))?;
+                    if parsed == 0 {
+                        return Err("--worker-timeout must be at least 1 ms".to_string());
+                    }
+                    options.worker_timeout_ms = parsed;
+                }
+                "--max-retries" => {
+                    let value = iter.next().ok_or("--max-retries requires a value")?;
+                    options.max_retries = value
+                        .parse::<u32>()
+                        .map_err(|_| format!("invalid --max-retries value: {value}"))?;
+                }
+                "--checkpoint-every" => {
+                    let value = iter.next().ok_or("--checkpoint-every requires a value")?;
+                    options.checkpoint_every = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid --checkpoint-every value: {value}"))?;
+                }
                 "--csv" => {
                     let value = iter.next().ok_or("--csv requires a directory")?;
                     options.csv = Some(PathBuf::from(value));
@@ -242,7 +282,8 @@ impl CliOptions {
 pub fn usage() -> String {
     "usage: <figure-binary> [--rounds N] [--seed S] [--loads 0.7,0.9,0.99] \
      [--systems 100x10,200x20] [--servers N] [--threads T] [--replications R] [--shards K] \
-     [--processes K] [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
+     [--processes K] [--worker-timeout MS] [--max-retries R] [--checkpoint-every ROUNDS] \
+     [--csv DIR] [--scenario FILE] [--stale-k K] [--fail-rate R] \
      [--workload FILE] [--trace-out FILE] [--paper | --quick] [--tail]"
         .to_string()
 }
@@ -313,6 +354,12 @@ mod tests {
             "4",
             "--processes",
             "4",
+            "--worker-timeout",
+            "30000",
+            "--max-retries",
+            "5",
+            "--checkpoint-every",
+            "250",
             "--csv",
             "/tmp/out",
             "--scenario",
@@ -338,6 +385,9 @@ mod tests {
         assert_eq!(options.replications, 5);
         assert_eq!(options.shards, 4);
         assert_eq!(options.processes, Some(4));
+        assert_eq!(options.worker_timeout_ms, 30_000);
+        assert_eq!(options.max_retries, 5);
+        assert_eq!(options.checkpoint_every, 250);
         assert_eq!(options.csv, Some(PathBuf::from("/tmp/out")));
         assert_eq!(options.scenario, Some(PathBuf::from("/tmp/faults.scn")));
         assert_eq!(options.stale_k, Some(3));
@@ -366,6 +416,10 @@ mod tests {
         assert!(parse(&["--shards", "x"]).is_err());
         assert!(parse(&["--processes", "0"]).is_err());
         assert!(parse(&["--processes", "x"]).is_err());
+        assert!(parse(&["--worker-timeout", "0"]).is_err());
+        assert!(parse(&["--worker-timeout", "x"]).is_err());
+        assert!(parse(&["--max-retries", "x"]).is_err());
+        assert!(parse(&["--checkpoint-every", "x"]).is_err());
         assert!(parse(&["--scenario"]).is_err());
         assert!(parse(&["--workload"]).is_err());
         assert!(parse(&["--trace-out"]).is_err());

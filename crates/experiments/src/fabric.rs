@@ -6,12 +6,20 @@
 //! conventions, and is shared by two thin binaries:
 //!
 //! * `shard_worker` — one shard per process; parses the worker flag set
-//!   ([`parse_worker_args`]), reads its configuration from stdin, answers
-//!   with one report frame on stdout.
+//!   ([`parse_worker_args`]), reads its configuration (and, under
+//!   `--resume-from stdin`, a retained checkpoint frame) from stdin, and
+//!   streams checksummed frames on stdout — one legacy v2 report frame
+//!   when `--checkpoint-every` is absent or zero, a progress/checkpoint
+//!   pair every `R` rounds plus a v3 final frame otherwise. Exit codes are
+//!   part of the protocol: `0` frame complete, [`EXIT_CONFIG_REJECTED`]
+//!   the configuration is unusable (the orchestrator does not retry),
+//!   [`EXIT_RESUME_REJECTED`] the resume checkpoint was refused (the
+//!   orchestrator drops it and retries from seed), `2` anything else.
 //! * `orchestrate` — the supervisor; runs one configuration as
-//!   `--processes K` workers with retries and timeouts
-//!   ([`run_orchestrate`]), optionally injecting faults and verifying the
-//!   merged result against the in-process sharded engine.
+//!   `--processes K` workers with retries, heartbeat timeouts and
+//!   optional checkpoint streaming ([`run_orchestrate`]), optionally
+//!   injecting faults and verifying the merged result against the
+//!   in-process sharded engine.
 //!
 //! The `sweep` binary's `--processes K` flag reuses [`fabric_run`] to route
 //! every grid cell through worker processes instead of in-process shards.
@@ -21,9 +29,9 @@ use scd_model::RateProfile;
 use scd_policies::factory_by_name;
 use scd_sim::fabric::{
     run_fabric, run_worker, FabricOutcome, FabricSpec, InjectedFault, WorkerFaultPlan,
-    WorkerOutput, WorkerSpec,
+    WorkerOutput, WorkerSpec, EXIT_CONFIG_REJECTED, EXIT_RESUME_REJECTED, RESUME_DELIMITER,
 };
-use scd_sim::{ArrivalSpec, ShardedSimulation, SimConfig};
+use scd_sim::{ArrivalSpec, ShardedSimulation, SimConfig, SimError};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -60,6 +68,11 @@ pub fn worker_binary_path() -> Result<PathBuf, String> {
 /// Runs one configuration across `processes` supervised worker processes
 /// and returns the fabric outcome — the sweep's per-cell fabric path.
 ///
+/// `timeout` is the heartbeat deadline (per-frame inter-arrival bound;
+/// per-attempt wall clock when `checkpoint_every == 0`), `max_retries`
+/// the restart budget per shard, and `checkpoint_every` the streaming
+/// cadence in rounds (0 = legacy one-shot protocol).
+///
 /// # Errors
 /// Propagates worker-location and fabric errors as messages.
 pub fn fabric_run(
@@ -67,14 +80,19 @@ pub fn fabric_run(
     policy: &str,
     processes: usize,
     timeout: Duration,
+    max_retries: u32,
+    checkpoint_every: u64,
 ) -> Result<FabricOutcome, String> {
     let mut spec = FabricSpec::new(worker_binary_path()?, policy, processes);
     spec.timeout = timeout;
+    spec.max_retries = max_retries;
+    spec.checkpoint_every = checkpoint_every;
     run_fabric(config, &spec).map_err(|e| e.to_string())
 }
 
 /// Parses the `shard_worker` flag set: `--shard N --shards K --policy NAME
-/// --expect-seed S --digest D` plus the fault-injection flags of
+/// --expect-seed S --digest D`, the streaming flags `--checkpoint-every R`
+/// and `--resume-from stdin`, plus the fault-injection flags of
 /// [`WorkerFaultPlan`]. Returns the worker spec and the policy name.
 ///
 /// # Errors
@@ -89,6 +107,8 @@ where
     let mut policy: Option<String> = None;
     let mut expect_seed: Option<u64> = None;
     let mut digest: Option<u64> = None;
+    let mut checkpoint_every: u64 = 0;
+    let mut resume_from_stdin = false;
     let mut fault = WorkerFaultPlan::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -117,11 +137,33 @@ where
                 let v = value_of("--digest")?;
                 digest = Some(v.parse().map_err(|_| format!("invalid --digest: {v}"))?);
             }
+            "--checkpoint-every" => {
+                let v = value_of("--checkpoint-every")?;
+                checkpoint_every = v
+                    .parse()
+                    .map_err(|_| format!("invalid --checkpoint-every: {v}"))?;
+            }
+            "--resume-from" => {
+                let v = value_of("--resume-from")?;
+                if v != "stdin" {
+                    return Err(format!(
+                        "invalid --resume-from: {v} (only `stdin` is supported)"
+                    ));
+                }
+                resume_from_stdin = true;
+            }
             "--fail-after-round" => {
                 let v = value_of("--fail-after-round")?;
                 fault.fail_after_round = Some(
                     v.parse()
                         .map_err(|_| format!("invalid --fail-after-round: {v}"))?,
+                );
+            }
+            "--fail-after-checkpoint" => {
+                let v = value_of("--fail-after-checkpoint")?;
+                fault.fail_after_checkpoint = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --fail-after-checkpoint: {v}"))?,
                 );
             }
             "--hang" => fault.hang = true,
@@ -142,36 +184,132 @@ where
         num_shards: require(shards, "--shards")?,
         expect_seed: require(expect_seed, "--expect-seed")?,
         config_digest: require(digest, "--digest")?,
+        checkpoint_every,
+        resume_from_stdin,
         fault,
     };
     Ok((spec, require(policy, "--policy")?))
 }
 
+/// Exit disposition of the `shard_worker` binary when something goes
+/// wrong: the process exit code (part of the orchestrator protocol — see
+/// [`EXIT_CONFIG_REJECTED`] and [`EXIT_RESUME_REJECTED`]) plus a
+/// stderr message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerExit {
+    /// Process exit code the binary should terminate with.
+    pub code: i32,
+    /// Human-readable cause, for stderr.
+    pub message: String,
+}
+
+impl WorkerExit {
+    /// A launch-level failure (bad flags, unknown policy, broken pipes):
+    /// exit 2, the generic verdict the orchestrator retries.
+    fn launch(message: String) -> Self {
+        WorkerExit { code: 2, message }
+    }
+
+    /// Maps a simulation error onto the protocol's exit codes: an
+    /// unusable configuration is fatal-no-retry, a refused resume
+    /// checkpoint asks the orchestrator to fall back to seed, everything
+    /// else is a generic failure.
+    fn classify(error: &SimError) -> Self {
+        let code = match error {
+            SimError::InvalidConfig(_) => EXIT_CONFIG_REJECTED,
+            SimError::Checkpoint(_) => EXIT_RESUME_REJECTED,
+            _ => 2,
+        };
+        WorkerExit {
+            code,
+            message: error.to_string(),
+        }
+    }
+}
+
+/// Splits the worker's stdin into the configuration text and, under
+/// `--resume-from stdin`, the raw checkpoint frame that follows the
+/// [`RESUME_DELIMITER`] line.
+fn split_resume_payload(stdin: &[u8], resume: bool) -> Result<(&[u8], Option<&[u8]>), WorkerExit> {
+    if !resume {
+        return Ok((stdin, None));
+    }
+    let delimiter = format!("{RESUME_DELIMITER}\n");
+    let needle = delimiter.as_bytes();
+    // The delimiter occupies a line of its own: match it at the start of
+    // stdin or right after a newline, never mid-line.
+    for at in 0..stdin.len().saturating_sub(needle.len() - 1) {
+        if stdin[at..].starts_with(needle) && (at == 0 || stdin[at - 1] == b'\n') {
+            return Ok((&stdin[..at], Some(&stdin[at + needle.len()..])));
+        }
+    }
+    Err(WorkerExit {
+        code: EXIT_RESUME_REJECTED,
+        message: format!(
+            "--resume-from stdin was given but stdin carries no {RESUME_DELIMITER} delimiter line"
+        ),
+    })
+}
+
 /// The `shard_worker` binary's whole body: parse flags, read the
-/// configuration from stdin, run, act on the outcome. Returns the process
-/// exit code; [`WorkerOutput::Hang`] never returns.
+/// configuration (and optional resume checkpoint) from stdin, run the
+/// shard streaming frames to stdout, act on the outcome. Returns the
+/// process exit code; [`WorkerOutput::Hang`] never returns.
 ///
 /// # Errors
-/// Returns a message (for stderr) on flag, policy-name, configuration or
-/// simulation errors; the binary exits 2 on those.
-pub fn worker_main<I>(args: I) -> Result<i32, String>
+/// Returns the exit code and stderr message for flag, policy-name,
+/// configuration, resume or simulation errors: an unusable configuration
+/// maps to [`EXIT_CONFIG_REJECTED`], a refused resume checkpoint to
+/// [`EXIT_RESUME_REJECTED`], everything else to 2.
+pub fn worker_main<I>(args: I) -> Result<i32, WorkerExit>
 where
     I: IntoIterator<Item = String>,
 {
     use std::io::{Read, Write};
-    let (spec, policy) = parse_worker_args(args)?;
-    let factory = factory_by_name(&policy).ok_or_else(|| format!("unknown policy {policy}"))?;
-    let mut config_text = String::new();
+    let (spec, policy) = parse_worker_args(args).map_err(WorkerExit::launch)?;
+    let factory = factory_by_name(&policy)
+        .ok_or_else(|| WorkerExit::launch(format!("unknown policy {policy}")))?;
+    let mut stdin_bytes = Vec::new();
     std::io::stdin()
-        .read_to_string(&mut config_text)
-        .map_err(|e| format!("cannot read the shard configuration from stdin: {e}"))?;
-    match run_worker(&spec, &config_text, factory.as_ref()).map_err(|e| e.to_string())? {
+        .read_to_end(&mut stdin_bytes)
+        .map_err(|e| {
+            WorkerExit::launch(format!("cannot read the shard payload from stdin: {e}"))
+        })?;
+    let (config_bytes, resume_frame) = split_resume_payload(&stdin_bytes, spec.resume_from_stdin)?;
+    let config_text = std::str::from_utf8(config_bytes).map_err(|_| WorkerExit {
+        code: EXIT_CONFIG_REJECTED,
+        message: "the shard configuration on stdin is not valid UTF-8".to_string(),
+    })?;
+    let mut stdout = std::io::stdout().lock();
+    let worker_pid = std::process::id();
+    let shard = spec.shard;
+    // Each streamed frame is flushed immediately: the orchestrator's
+    // heartbeat deadline measures inter-frame gaps, so a buffered
+    // checkpoint would read as a dead worker.
+    let mut emit = |frame: &[u8]| {
+        stdout
+            .write_all(frame)
+            .and_then(|()| stdout.flush())
+            .map_err(|e| SimError::Io {
+                worker: worker_pid,
+                shard,
+                cause: e.to_string(),
+            })
+    };
+    let output = run_worker(
+        &spec,
+        config_text,
+        resume_frame,
+        factory.as_ref(),
+        &mut emit,
+    )
+    .map_err(|e| WorkerExit::classify(&e))?;
+    match output {
         WorkerOutput::Frame(frame) => {
-            let mut stdout = std::io::stdout().lock();
             stdout
                 .write_all(&frame)
                 .and_then(|()| stdout.flush())
-                .map_err(|e| format!("cannot write the report frame: {e}"))?;
+                .map_err(|e| WorkerExit::launch(format!("cannot write the report frame: {e}")))?;
             Ok(0)
         }
         WorkerOutput::Exit(code) => Ok(code),
@@ -194,12 +332,19 @@ pub struct OrchestrateOptions {
     pub rounds: Option<u64>,
     /// Master seed.
     pub seed: u64,
-    /// Per-attempt timeout in milliseconds.
+    /// Heartbeat deadline in milliseconds (per-attempt wall clock when
+    /// checkpoints are off).
     pub timeout_ms: u64,
     /// Retries per shard after the first attempt.
     pub retries: u32,
+    /// Stream a progress/checkpoint frame pair every this many rounds
+    /// (0 = legacy one-shot protocol; failed shards restart from seed).
+    pub checkpoint_every: u64,
     /// Shards whose first attempt is killed by an injected crash.
     pub inject_crash: Vec<usize>,
+    /// Shards whose first attempt crashes right after streaming its first
+    /// checkpoint — the retry-from-checkpoint path.
+    pub inject_crash_after_checkpoint: Vec<usize>,
     /// Shards whose first attempt is an injected hang (killed by timeout).
     pub inject_hang: Vec<usize>,
     /// Shards whose first attempt emits a corrupted frame.
@@ -224,7 +369,9 @@ impl Default for OrchestrateOptions {
             seed: 2021,
             timeout_ms: 60_000,
             retries: 2,
+            checkpoint_every: 0,
             inject_crash: Vec::new(),
+            inject_crash_after_checkpoint: Vec::new(),
             inject_hang: Vec::new(),
             inject_corrupt: Vec::new(),
             persistent: false,
@@ -237,7 +384,8 @@ impl Default for OrchestrateOptions {
 /// The `orchestrate` binary's usage string.
 pub fn orchestrate_usage() -> String {
     "usage: orchestrate [--processes K] [--policy NAME] [--rounds N] [--seed S] \
-     [--timeout-ms MS] [--retries R] [--inject-crash SHARD]* [--inject-hang SHARD]* \
+     [--timeout-ms MS] [--retries R] [--checkpoint-every ROUNDS] [--inject-crash SHARD]* \
+     [--inject-crash-after-checkpoint SHARD]* [--inject-hang SHARD]* \
      [--inject-corrupt SHARD]* [--persistent] [--verify-inprocess] [--worker PATH] \
      [--quick]"
         .to_string()
@@ -301,9 +449,21 @@ impl OrchestrateOptions {
                         .parse()
                         .map_err(|_| format!("invalid --retries value: {v}"))?;
                 }
+                "--checkpoint-every" => {
+                    let v = value_of("--checkpoint-every")?;
+                    options.checkpoint_every = v
+                        .parse()
+                        .map_err(|_| format!("invalid --checkpoint-every value: {v}"))?;
+                }
                 "--inject-crash" => {
                     let v = value_of("--inject-crash")?;
                     options.inject_crash.push(parse_shard("--inject-crash", v)?);
+                }
+                "--inject-crash-after-checkpoint" => {
+                    let v = value_of("--inject-crash-after-checkpoint")?;
+                    options
+                        .inject_crash_after_checkpoint
+                        .push(parse_shard("--inject-crash-after-checkpoint", v)?);
                 }
                 "--inject-hang" => {
                     let v = value_of("--inject-hang")?;
@@ -322,6 +482,13 @@ impl OrchestrateOptions {
                 "--help" | "-h" => return Err(orchestrate_usage()),
                 other => return Err(format!("unknown flag {other}\n{}", orchestrate_usage())),
             }
+        }
+        if !options.inject_crash_after_checkpoint.is_empty() && options.checkpoint_every == 0 {
+            return Err(
+                "--inject-crash-after-checkpoint requires --checkpoint-every > 0 \
+                 (no checkpoint ever streams otherwise, so the fault would never fire)"
+                    .into(),
+            );
         }
         Ok(options)
     }
@@ -362,6 +529,7 @@ impl OrchestrateOptions {
         let mut spec = FabricSpec::new(worker, self.policy.clone(), self.processes);
         spec.max_retries = self.retries;
         spec.timeout = Duration::from_millis(self.timeout_ms);
+        spec.checkpoint_every = self.checkpoint_every;
         let inject = |shards: &[usize], fault: WorkerFaultPlan| {
             shards
                 .iter()
@@ -376,6 +544,13 @@ impl OrchestrateOptions {
             &self.inject_crash,
             WorkerFaultPlan {
                 fail_after_round: Some(0),
+                ..WorkerFaultPlan::default()
+            },
+        ));
+        spec.injected.extend(inject(
+            &self.inject_crash_after_checkpoint,
+            WorkerFaultPlan {
+                fail_after_checkpoint: Some(1),
                 ..WorkerFaultPlan::default()
             },
         ));
@@ -412,13 +587,15 @@ pub fn run_orchestrate(options: &OrchestrateOptions) -> Result<(), String> {
     let config = options.config()?;
     let spec = options.fabric_spec()?;
     println!(
-        "[orchestrate] k={} policy={} rounds={} seed={} retries={} timeout={}ms worker={}",
+        "[orchestrate] k={} policy={} rounds={} seed={} retries={} timeout={}ms \
+         checkpoint-every={} worker={}",
         spec.num_shards,
         spec.policy,
         config.rounds,
         config.seed,
         spec.max_retries,
         options.timeout_ms,
+        spec.checkpoint_every,
         spec.worker.display()
     );
     let outcome = run_fabric(&config, &spec).map_err(|e| e.to_string())?;
@@ -434,6 +611,12 @@ pub fn run_orchestrate(options: &OrchestrateOptions) -> Result<(), String> {
                 attempt.shard, attempt.attempt
             ),
         }
+    }
+    if spec.checkpoint_every > 0 {
+        println!(
+            "[orchestrate] recovery: checkpoints_taken={} rounds_replayed={}",
+            outcome.checkpoints_taken, outcome.rounds_replayed
+        );
     }
     if outcome.lost_shards.is_empty() {
         println!("[orchestrate] all {} shards merged", spec.num_shards);
@@ -478,6 +661,7 @@ mod tests {
     fn worker_args_round_trip_through_the_fault_plan() {
         let fault = WorkerFaultPlan {
             fail_after_round: Some(9),
+            fail_after_checkpoint: Some(2),
             corrupt_frame: true,
             ..WorkerFaultPlan::default()
         };
@@ -492,6 +676,10 @@ mod tests {
             "77".to_string(),
             "--digest".to_string(),
             "12345".to_string(),
+            "--checkpoint-every".to_string(),
+            "50".to_string(),
+            "--resume-from".to_string(),
+            "stdin".to_string(),
         ];
         args.extend(fault.to_args());
         let (spec, policy) = parse_worker_args(args).unwrap();
@@ -500,6 +688,8 @@ mod tests {
         assert_eq!(spec.num_shards, 4);
         assert_eq!(spec.expect_seed, 77);
         assert_eq!(spec.config_digest, 12345);
+        assert_eq!(spec.checkpoint_every, 50);
+        assert!(spec.resume_from_stdin);
         assert_eq!(spec.fault, fault);
     }
 
@@ -509,6 +699,34 @@ mod tests {
         assert!(parse_worker_args(vec!["--wat".into()]).is_err());
         let err = parse_worker_args(vec!["--shard".into(), "0".into()]).unwrap_err();
         assert!(err.contains("--shards"), "{err}");
+        // Only the stdin resume channel exists.
+        let err = parse_worker_args(vec!["--resume-from".into(), "file.bin".into()]).unwrap_err();
+        assert!(err.contains("stdin"), "{err}");
+    }
+
+    #[test]
+    fn resume_payload_splits_at_the_delimiter_line() {
+        let config = b"rounds = 10\nseed = 7\n";
+        let frame = [0xABu8, 0xCD, 0x00, b'\n', b'%'];
+        let mut stdin = Vec::new();
+        stdin.extend_from_slice(config);
+        stdin.extend_from_slice(format!("{RESUME_DELIMITER}\n").as_bytes());
+        stdin.extend_from_slice(&frame);
+        let (text, resume) = split_resume_payload(&stdin, true).unwrap();
+        assert_eq!(text, config);
+        assert_eq!(resume, Some(&frame[..]));
+        // Without the resume flag the same bytes are all configuration.
+        let (text, resume) = split_resume_payload(&stdin, false).unwrap();
+        assert_eq!(text, &stdin[..]);
+        assert!(resume.is_none());
+        // A resume request without a delimiter is refused with the
+        // protocol's resume-rejected exit code.
+        let err = split_resume_payload(config, true).unwrap_err();
+        assert_eq!(err.code, EXIT_RESUME_REJECTED);
+        // A delimiter in the middle of a line does not count.
+        let glued = format!("key = {RESUME_DELIMITER}\n");
+        let err = split_resume_payload(glued.as_bytes(), true).unwrap_err();
+        assert_eq!(err.code, EXIT_RESUME_REJECTED);
     }
 
     #[test]
@@ -526,8 +744,12 @@ mod tests {
             "2500",
             "--retries",
             "3",
+            "--checkpoint-every",
+            "25",
             "--inject-crash",
             "1",
+            "--inject-crash-after-checkpoint",
+            "3",
             "--inject-hang",
             "2",
             "--inject-corrupt",
@@ -544,7 +766,9 @@ mod tests {
         assert_eq!(options.rounds, Some(200));
         assert_eq!(options.timeout_ms, 2500);
         assert_eq!(options.retries, 3);
+        assert_eq!(options.checkpoint_every, 25);
         assert_eq!(options.inject_crash, vec![1]);
+        assert_eq!(options.inject_crash_after_checkpoint, vec![3]);
         assert_eq!(options.inject_hang, vec![2]);
         assert_eq!(options.inject_corrupt, vec![0]);
         assert!(options.persistent && options.verify_inprocess && options.quick);
@@ -552,6 +776,9 @@ mod tests {
         assert!(parse(&["--processes", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        // A checkpoint-crash injection without checkpoint streaming would
+        // never fire — refuse the contradiction up front.
+        assert!(parse(&["--inject-crash-after-checkpoint", "1"]).is_err());
     }
 
     #[test]
@@ -560,19 +787,26 @@ mod tests {
             "--quick",
             "--worker",
             "/tmp/worker",
+            "--checkpoint-every",
+            "40",
             "--inject-crash",
             "1",
+            "--inject-crash-after-checkpoint",
+            "0",
             "--inject-hang",
             "2",
         ])
         .unwrap();
         let spec = options.fabric_spec().unwrap();
-        assert_eq!(spec.injected.len(), 2);
+        assert_eq!(spec.checkpoint_every, 40);
+        assert_eq!(spec.injected.len(), 3);
         assert_eq!(spec.injected[0].shard, 1);
         assert_eq!(spec.injected[0].fault.fail_after_round, Some(0));
         assert!(!spec.injected[0].persistent);
-        assert_eq!(spec.injected[1].shard, 2);
-        assert!(spec.injected[1].fault.hang);
+        assert_eq!(spec.injected[1].shard, 0);
+        assert_eq!(spec.injected[1].fault.fail_after_checkpoint, Some(1));
+        assert_eq!(spec.injected[2].shard, 2);
+        assert!(spec.injected[2].fault.hang);
         // The config is a valid quick-sized system.
         let config = options.config().unwrap();
         assert_eq!(config.num_servers(), 16);

@@ -24,6 +24,7 @@ use scd_sim::{
     write_chrome_trace, ArrivalSpec, ScenarioSpec, ServiceModel, ShardedSimulation, SimConfig,
     StalenessSpec, WorkloadSpec,
 };
+use std::time::Duration;
 
 /// Resolved configuration of one sharded sweep.
 #[derive(Debug, Clone)]
@@ -52,6 +53,17 @@ pub struct ShardSweepSpec {
     /// lost). Overrides `shards` and pins the grid to one thread — the
     /// worker processes are the parallel dimension then.
     pub processes: Option<usize>,
+    /// Heartbeat deadline per worker in `processes` mode (`--worker-timeout`
+    /// in milliseconds): the longest allowed gap between consecutive frames
+    /// on a worker's stdout, a per-attempt wall clock in one-shot mode.
+    pub worker_timeout: Duration,
+    /// Retry budget per shard after the first attempt in `processes` mode
+    /// (`--max-retries`).
+    pub max_retries: u32,
+    /// Checkpoint streaming cadence in rounds for `processes` mode
+    /// (`--checkpoint-every`; 0 = legacy one-shot workers, retries restart
+    /// from seed).
+    pub checkpoint_every: u64,
     /// Worker threads for the cell grid.
     pub threads: usize,
     /// Fault/churn/staleness scenario applied to every cell (the default is
@@ -115,6 +127,9 @@ impl ShardSweepSpec {
             replications: options.replications.max(1),
             shards: options.processes.unwrap_or(options.shards),
             processes: options.processes,
+            worker_timeout: Duration::from_millis(options.worker_timeout_ms),
+            max_retries: options.max_retries,
+            checkpoint_every: options.checkpoint_every,
             threads: if options.processes.is_some() {
                 1
             } else {
@@ -241,7 +256,9 @@ pub fn run_shard_sweep(spec: &ShardSweepSpec) -> Result<Vec<ShardSweepCell>, Str
                     &config,
                     &spec.policies[pt.policy],
                     k,
-                    std::time::Duration::from_secs(120),
+                    spec.worker_timeout,
+                    spec.max_retries,
+                    spec.checkpoint_every,
                 )?
                 .report
             }
@@ -366,7 +383,11 @@ pub fn run_from_options(options: &CliOptions) -> Result<(), String> {
     ));
     if let Some(k) = spec.processes {
         sink.note(&format!(
-            "[sweep] multi-process fabric: every cell runs as {k} supervised shard_worker processes"
+            "[sweep] multi-process fabric: every cell runs as {k} supervised shard_worker \
+             processes (timeout={}ms retries={} checkpoint-every={})",
+            spec.worker_timeout.as_millis(),
+            spec.max_retries,
+            spec.checkpoint_every,
         ));
     }
     if spec.histogram_metrics {

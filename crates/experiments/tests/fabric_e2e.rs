@@ -8,7 +8,10 @@
 //! merge, and timeout/corruption classification on the process boundary.
 
 use scd_policies::factory_by_name;
-use scd_sim::fabric::{run_fabric, FabricSpec, InjectedFault, WorkerFailure, WorkerFaultPlan};
+use scd_sim::fabric::{
+    encode_shard_report, run_fabric, FabricSpec, InjectedFault, WorkerFailure, WorkerFaultPlan,
+    EXIT_CONFIG_REJECTED, EXIT_RESUME_REJECTED,
+};
 use scd_sim::{ArrivalSpec, ShardedSimulation, SimConfig};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -183,6 +186,177 @@ fn corrupt_frame_is_rejected_by_checksum_and_recovered() {
     assert_eq!(outcome.report, in_process(&config, 2));
 }
 
+/// The checkpoint/resume invariant: a k=4 run whose shard crashes
+/// mid-stream right after its second checkpoint, restarted **from that
+/// checkpoint**, is bit-identical to the in-process `ShardedSimulation` —
+/// and replays zero rounds, because the crash site and the resume point
+/// coincide.
+#[test]
+fn crash_after_checkpoint_resumes_bit_identically() {
+    let config = base_config(150);
+    let mut spec = quick_spec(4);
+    spec.checkpoint_every = 25;
+    spec.injected.push(InjectedFault {
+        shard: 1,
+        fault: WorkerFaultPlan {
+            fail_after_checkpoint: Some(2),
+            ..WorkerFaultPlan::default()
+        },
+        persistent: false,
+    });
+    let outcome = run_fabric(&config, &spec).unwrap();
+    assert!(outcome.lost_shards.is_empty(), "{:?}", outcome.lost_shards);
+    // The mid-stream crash was observed and classified as the injected
+    // exit...
+    assert!(outcome.attempts.iter().any(|a| a.shard == 1
+        && a.attempt == 0
+        && matches!(a.failure, Some(WorkerFailure::NonZeroExit(Some(101))))));
+    // ...the retry succeeded...
+    assert!(outcome
+        .attempts
+        .iter()
+        .any(|a| a.shard == 1 && a.attempt == 1 && a.failure.is_none()));
+    // ...checkpoints streamed, and resuming exactly at the last verified
+    // one re-executed nothing.
+    assert!(outcome.checkpoints_taken > 0, "checkpoints streamed");
+    assert_eq!(outcome.rounds_replayed, 0, "resume point == crash site");
+    // Recovery left no trace in the merged statistics.
+    assert_eq!(outcome.report, in_process(&config, 4));
+    assert!(outcome.report.degradation.is_none(), "clean merge");
+}
+
+/// A checkpointing run with no faults is also bit-identical: streaming
+/// progress/checkpoint pairs must not perturb the simulation itself.
+#[test]
+fn clean_checkpointing_run_matches_in_process() {
+    let config = base_config(120);
+    let mut spec = quick_spec(2);
+    spec.checkpoint_every = 30;
+    let outcome = run_fabric(&config, &spec).unwrap();
+    assert!(outcome.lost_shards.is_empty());
+    assert!(outcome.attempts.iter().all(|a| a.failure.is_none()));
+    assert!(outcome.checkpoints_taken > 0);
+    assert_eq!(outcome.rounds_replayed, 0);
+    assert_eq!(outcome.report, in_process(&config, 2));
+}
+
+/// Exit code 3 (configuration rejected) is fatal for the shard: the
+/// orchestrator must not retry a config that can never work. The fault is
+/// injected non-persistently, so a retry *would* have succeeded — the
+/// shard being lost proves no retry was launched.
+#[test]
+fn config_rejected_exit_is_not_retried() {
+    let config = base_config(100);
+    let mut spec = quick_spec(2);
+    spec.max_retries = 3;
+    spec.injected.push(InjectedFault {
+        shard: 0,
+        fault: WorkerFaultPlan {
+            exit_code: Some(EXIT_CONFIG_REJECTED),
+            ..WorkerFaultPlan::default()
+        },
+        persistent: false,
+    });
+    let outcome = run_fabric(&config, &spec).unwrap();
+    assert_eq!(outcome.lost_shards, vec![0]);
+    let shard0: Vec<_> = outcome.attempts.iter().filter(|a| a.shard == 0).collect();
+    assert_eq!(shard0.len(), 1, "exactly one attempt, no retries");
+    assert!(matches!(
+        shard0[0].failure,
+        Some(WorkerFailure::NonZeroExit(Some(EXIT_CONFIG_REJECTED)))
+    ));
+    let degradation = outcome.report.degradation.expect("partial merge");
+    assert_eq!(degradation.shards_lost, 1);
+}
+
+/// `--checkpoint-every 0` (the default) reconstructs the legacy one-shot
+/// protocol **byte-for-byte**: the worker's entire stdout is exactly the
+/// v2 frame of its shard report, so PR 8 orchestrators and PR 10 workers
+/// interoperate.
+#[test]
+fn legacy_mode_reproduces_the_v2_wire_protocol_byte_for_byte() {
+    use std::io::Write;
+    let config = base_config(120);
+    let k = 2;
+    let sharded = ShardedSimulation::new(config.clone(), k).unwrap();
+    let expected = sharded
+        .run_shards(factory_by_name(POLICY).unwrap().as_ref(), 1)
+        .unwrap();
+    for (shard, expected_report) in expected.iter().enumerate() {
+        let sub = sharded.shard_config(shard);
+        let mut child = std::process::Command::new(worker())
+            .args([
+                "--shard",
+                &shard.to_string(),
+                "--shards",
+                &k.to_string(),
+                "--policy",
+                POLICY,
+                "--expect-seed",
+                &sub.seed.to_string(),
+                "--digest",
+                &config.digest().to_string(),
+            ])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(sub.to_key_values().unwrap().as_bytes())
+            .unwrap();
+        let output = child.wait_with_output().unwrap();
+        assert!(output.status.success());
+        assert_eq!(
+            output.stdout,
+            encode_shard_report(expected_report).unwrap(),
+            "shard {shard}: legacy stdout is not the exact v2 frame"
+        );
+    }
+}
+
+/// The worker's protocol exit codes on the real process boundary: garbage
+/// configuration text exits 3, a resume request without the checkpoint
+/// delimiter exits 4.
+#[test]
+fn worker_binary_exit_codes_classify_bad_stdin() {
+    use std::io::Write;
+    let spawn = |extra: &[&str], stdin_text: &str| {
+        let mut child = std::process::Command::new(worker())
+            .args([
+                "--shard",
+                "0",
+                "--shards",
+                "1",
+                "--policy",
+                POLICY,
+                "--expect-seed",
+                "1",
+                "--digest",
+                "1",
+            ])
+            .args(extra)
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(stdin_text.as_bytes())
+            .unwrap();
+        child.wait_with_output().unwrap()
+    };
+    let garbage = spawn(&[], "this is not a configuration\n");
+    assert_eq!(garbage.status.code(), Some(EXIT_CONFIG_REJECTED));
+    let no_delimiter = spawn(&["--resume-from", "stdin"], "rounds = 10\n");
+    assert_eq!(no_delimiter.status.code(), Some(EXIT_RESUME_REJECTED));
+}
+
 /// The `orchestrate` binary end to end: clean run and injected-fault run,
 /// both `--verify-inprocess` (the CI smoke job runs the same commands).
 #[test]
@@ -229,5 +403,24 @@ fn orchestrate_binary_verifies_against_the_in_process_engine() {
     );
     let stdout = String::from_utf8_lossy(&faulty.stdout);
     assert!(stdout.contains("recovered"), "{stdout}");
+    assert!(stdout.contains("bit-identical"), "{stdout}");
+
+    // The kill-mid-run smoke: a checkpoint-streaming run whose shard dies
+    // right after its first checkpoint, resumed from it, still verifies.
+    let resumed = run(&[
+        "--checkpoint-every",
+        "25",
+        "--inject-crash-after-checkpoint",
+        "1",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "checkpoint-resume orchestrate failed:\n{}{}",
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("recovered"), "{stdout}");
+    assert!(stdout.contains("checkpoints_taken"), "{stdout}");
     assert!(stdout.contains("bit-identical"), "{stdout}");
 }

@@ -235,6 +235,81 @@ impl QueueLengthTracker {
         }
     }
 
+    /// Decomposes the tracker into its raw accumulator fields for engine
+    /// checkpointing:
+    /// `(num_servers, per_server_sum, per_server_max, idle_rounds, occupancy,
+    /// total_sum, total_max, rounds)`. The inverse of
+    /// [`Self::from_raw_parts`].
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(
+        &self,
+    ) -> (
+        usize,
+        Vec<u128>,
+        Vec<u64>,
+        Vec<u64>,
+        Vec<u64>,
+        u128,
+        u64,
+        u64,
+    ) {
+        (
+            self.num_servers,
+            self.per_server_sum.clone(),
+            self.per_server_max.clone(),
+            self.idle_rounds.clone(),
+            self.occupancy.clone(),
+            self.total_sum,
+            self.total_max,
+            self.rounds,
+        )
+    }
+
+    /// Rebuilds a tracker from accumulators captured by
+    /// [`Self::raw_parts`]. Mid-run state round-trips exactly, including the
+    /// full/histogram-only mode distinction (empty per-server vectors with a
+    /// nonzero `num_servers` mean histogram-only).
+    ///
+    /// # Errors
+    /// Returns a message when the per-server vectors are inconsistent: they
+    /// must all have length `num_servers` (full mode) or all be empty
+    /// (histogram-only mode).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        num_servers: usize,
+        per_server_sum: Vec<u128>,
+        per_server_max: Vec<u64>,
+        idle_rounds: Vec<u64>,
+        occupancy: Vec<u64>,
+        total_sum: u128,
+        total_max: u64,
+        rounds: u64,
+    ) -> Result<Self, String> {
+        let widths = [
+            per_server_sum.len(),
+            per_server_max.len(),
+            idle_rounds.len(),
+        ];
+        let full = widths == [num_servers; 3];
+        let slim = widths == [0; 3];
+        if !(full || slim) {
+            return Err(format!(
+                "queue tracker parts are inconsistent: num_servers={num_servers}, \
+                 per-server vector lengths {widths:?}"
+            ));
+        }
+        Ok(QueueLengthTracker {
+            num_servers,
+            per_server_sum,
+            per_server_max,
+            idle_rounds,
+            occupancy,
+            total_sum,
+            total_max,
+            rounds,
+        })
+    }
+
     /// The largest per-server time-average queue length — useful for spotting
     /// a single unstable queue in an otherwise healthy system.
     ///
@@ -352,5 +427,50 @@ mod tests {
     fn wrong_width_observation_panics() {
         let mut t = QueueLengthTracker::new(2);
         t.observe(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_mid_run_state() {
+        for mut t in [
+            QueueLengthTracker::new(3),
+            QueueLengthTracker::histogram_only(3),
+        ] {
+            t.observe(&[0, 2, 4]);
+            t.observe(&[1, 2, 0]);
+            let (n, sums, maxes, idles, occ, total, max, rounds) = t.raw_parts();
+            let mut back =
+                QueueLengthTracker::from_raw_parts(n, sums, maxes, idles, occ, total, max, rounds)
+                    .unwrap();
+            assert_eq!(back.is_histogram_only(), t.is_histogram_only());
+            // Continuing both trackers keeps them in lockstep.
+            t.observe(&[5, 0, 1]);
+            back.observe(&[5, 0, 1]);
+            assert_eq!(back.occupancy(), t.occupancy());
+            assert_eq!(back.mean_total_backlog(), t.mean_total_backlog());
+            assert_eq!(back.max_total_backlog(), t.max_total_backlog());
+            assert_eq!(back.rounds(), t.rounds());
+            if !t.is_histogram_only() {
+                for s in 0..3 {
+                    assert_eq!(back.mean_queue(s), t.mean_queue(s));
+                    assert_eq!(back.max_queue(s), t.max_queue(s));
+                    assert_eq!(back.idle_fraction(s), t.idle_fraction(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_vectors() {
+        let err = QueueLengthTracker::from_raw_parts(
+            3,
+            vec![0; 2],
+            vec![0; 3],
+            vec![0; 3],
+            Vec::new(),
+            0,
+            0,
+            0,
+        );
+        assert!(err.is_err());
     }
 }

@@ -170,6 +170,13 @@ impl ProbeLossOracle {
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
     }
+
+    /// Preloads the loss tally — used when resuming from a checkpoint, so
+    /// the drained degradation metrics continue from the interrupted run's
+    /// count instead of restarting at zero.
+    pub fn preload_dropped(&self, dropped: u64) {
+        self.dropped.set(dropped);
+    }
 }
 
 /// The degraded-information view one dispatcher's context carries: the

@@ -65,6 +65,7 @@ pub mod round_cache;
 pub mod sampler;
 pub mod snapshot;
 pub mod spec;
+pub mod state_bytes;
 pub mod streams;
 
 pub use classes::ClassPartition;
@@ -79,4 +80,5 @@ pub use round_cache::{
 pub use sampler::{AliasSampler, CdfSampler};
 pub use snapshot::DispatchContext;
 pub use spec::{ClusterSpec, RateProfile};
+pub use state_bytes::{StateReader, StateWriter};
 pub use streams::{counter_draw, derive_stream_seed, shard_master_seed, splitmix64_mix, unit_f64};

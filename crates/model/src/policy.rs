@@ -155,6 +155,52 @@ pub trait DispatchPolicy: Send {
         let assignment = self.dispatch_batch(ctx, batch, rng);
         out.extend_from_slice(&assignment);
     }
+
+    /// Serializes the policy's cross-round state into `out` for an engine
+    /// checkpoint taken at a round boundary.
+    ///
+    /// The resulting blob is opaque to the engine; it is handed back
+    /// verbatim to [`restore_state`](DispatchPolicy::restore_state) on a
+    /// policy object freshly built by the same factory. Together the pair
+    /// must uphold the checkpoint contract: after restore, the policy's
+    /// future decisions *and RNG consumption* are bit-identical to the
+    /// original object continuing uninterrupted. State that is rebuilt from
+    /// the context every round (scratch buffers, derived tables) need not be
+    /// saved — only state whose loss would change a decision or an RNG draw
+    /// (local queue mirrors, warm priority epochs, round-robin cursors).
+    ///
+    /// The default implementation writes nothing, which is correct for
+    /// stateless policies and for policies whose state is recomputed from
+    /// the first restored round's context before any decision.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restores cross-round state captured by
+    /// [`save_state`](DispatchPolicy::save_state) into a freshly built
+    /// policy object.
+    ///
+    /// Called exactly once, immediately after the factory builds the object
+    /// and before the first [`observe_round`](DispatchPolicy::observe_round)
+    /// of the resumed run.
+    ///
+    /// # Errors
+    /// Returns a message when the blob does not parse (truncated, trailing
+    /// bytes, or dimensions that contradict the policy's configuration); the
+    /// engine classifies this as an invalid checkpoint rather than
+    /// panicking. The default implementation accepts only the empty blob the
+    /// default `save_state` writes.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "policy {:?} is stateless but its checkpoint blob has {} bytes",
+                self.policy_name(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 /// Validates an assignment returned by a policy against the batch size and
@@ -277,6 +323,16 @@ mod tests {
                 num_servers: 4
             })
         );
+    }
+
+    #[test]
+    fn default_state_hooks_round_trip_the_empty_blob_only() {
+        let mut p = ToFirst;
+        let mut blob = Vec::new();
+        p.save_state(&mut blob);
+        assert!(blob.is_empty());
+        assert!(p.restore_state(&blob).is_ok());
+        assert!(p.restore_state(&[1, 2, 3]).is_err());
     }
 
     #[test]

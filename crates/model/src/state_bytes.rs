@@ -1,0 +1,326 @@
+//! Minimal byte (de)serialization helpers for policy checkpoint state.
+//!
+//! Policies that carry cross-round state (JSQ/SED mirrors, LSQ/LED local
+//! estimates, round-robin cursors) serialize it into opaque byte blobs for
+//! the engine's checkpoint/resume path
+//! ([`DispatchPolicy::save_state`](crate::DispatchPolicy::save_state) /
+//! [`DispatchPolicy::restore_state`](crate::DispatchPolicy::restore_state)).
+//! The blobs travel inside the simulator's checksummed frame codec, which
+//! already guards integrity; these helpers only need a fixed, explicit
+//! little-endian layout so restored state is bit-identical to the saved
+//! state. No serde: the workspace builds offline, and the handful of
+//! primitive shapes below is the entire vocabulary policies need.
+
+/// Little-endian append-only writer for policy state blobs.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian bit pattern (NaN-safe: the
+    /// exact bits round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the wire form is
+    /// architecture-independent).
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn u64s(&mut self, values: &[u64]) {
+        self.len(values.len());
+        for &v in values {
+            self.u64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn u32s(&mut self, values: &[u32]) {
+        self.len(values.len());
+        for &v in values {
+            self.u32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `f64` slice (bit patterns).
+    pub fn f64s(&mut self, values: &[f64]) {
+        self.len(values.len());
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    /// Appends an `Option<u64>` as a presence byte plus, when present, the
+    /// value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Appends a length-prefixed bool slice (one byte per flag).
+    pub fn bools(&mut self, values: &[bool]) {
+        self.len(values.len());
+        for &v in values {
+            self.u8(u8::from(v));
+        }
+    }
+}
+
+/// Little-endian reader over a policy state blob.
+///
+/// Every accessor returns `Err(String)` on truncation instead of panicking:
+/// a checkpoint blob that fails to parse must surface as a classified
+/// restore error, never abort the orchestrator.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        StateReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "policy state blob truncated: needed {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len()
+                )
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64`-encoded length, refusing values that cannot fit the
+    /// remaining bytes (a lying prefix in a corrupt blob must not trigger a
+    /// huge allocation).
+    ///
+    /// # Errors
+    /// Returns a message on truncation or an implausible length.
+    pub fn length_prefix(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if v > remaining {
+            return Err(format!(
+                "policy state blob declares {v} elements with only {remaining} bytes left"
+            ));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.length_prefix()?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, String> {
+        let n = self.length_prefix()?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` vector (bit patterns).
+    ///
+    /// # Errors
+    /// Returns a message on truncation.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.length_prefix()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads an `Option<u64>` written by [`StateWriter::opt_u64`].
+    ///
+    /// # Errors
+    /// Returns a message on truncation or an invalid presence byte.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(format!(
+                "invalid option presence byte {other} in policy state blob"
+            )),
+        }
+    }
+
+    /// Reads a length-prefixed bool vector.
+    ///
+    /// # Errors
+    /// Returns a message on truncation or a flag byte that is neither 0
+    /// nor 1.
+    pub fn bools(&mut self) -> Result<Vec<bool>, String> {
+        let n = self.length_prefix()?;
+        (0..n)
+            .map(|_| match self.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(format!("invalid bool byte {other} in policy state blob")),
+            })
+            .collect()
+    }
+
+    /// Fails unless every byte has been consumed — trailing bytes mean the
+    /// blob was written by a different (newer or corrupt) layout.
+    ///
+    /// # Errors
+    /// Returns a message naming the number of unconsumed bytes.
+    pub fn finish(self) -> Result<(), String> {
+        let extra = self.bytes.len() - self.pos;
+        if extra != 0 {
+            return Err(format!("policy state blob has {extra} trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = StateWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.f64(f64::NAN);
+        w.len(42);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.u64().unwrap(), 42);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn vectors_round_trip_including_nan_bits() {
+        let mut w = StateWriter::new();
+        w.u64s(&[1, 2, u64::MAX]);
+        w.u32s(&[9, 8]);
+        w.f64s(&[0.5, f64::INFINITY, f64::from_bits(0x7FF8_0000_0000_0001)]);
+        w.bools(&[true, false, true]);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.u64s().unwrap(), vec![1, 2, u64::MAX]);
+        assert_eq!(r.u32s().unwrap(), vec![9, 8]);
+        let floats = r.f64s().unwrap();
+        assert_eq!(floats[0], 0.5);
+        assert_eq!(floats[1], f64::INFINITY);
+        assert_eq!(floats[2].to_bits(), 0x7FF8_0000_0000_0001);
+        assert_eq!(r.bools().unwrap(), vec![true, false, true]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_lies_are_errors_not_panics() {
+        let mut w = StateWriter::new();
+        w.u64(5);
+        let bytes = w.into_bytes();
+        // Truncated primitive.
+        assert!(StateReader::new(&bytes[..3]).u64().is_err());
+        // Lying length prefix: declares more elements than bytes remain.
+        let mut w = StateWriter::new();
+        w.len(1 << 40);
+        let bytes = w.into_bytes();
+        assert!(StateReader::new(&bytes).u64s().is_err());
+        // Bad bool byte.
+        let mut w = StateWriter::new();
+        w.len(1);
+        w.u8(9);
+        let bytes = w.into_bytes();
+        assert!(StateReader::new(&bytes).bools().is_err());
+        // Trailing bytes are refused.
+        let mut w = StateWriter::new();
+        w.u8(1);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let _ = r.u8();
+        r.finish().unwrap();
+        let r2 = StateReader::new(&bytes);
+        assert!(r2.finish().is_err());
+    }
+}

@@ -3,7 +3,10 @@
 use rand::Rng;
 use rand::RngCore;
 use scd_core::index::{scan_argmin, TournamentTree};
-use scd_model::{BoxedPolicy, ClusterSpec, DispatchContext, DispatcherId, PolicyFactory};
+use scd_model::{
+    BoxedPolicy, ClusterSpec, DispatchContext, DispatcherId, PolicyFactory, StateReader,
+    StateWriter,
+};
 use std::sync::Arc;
 
 /// The boxed builder closure a [`NamedFactory`] wraps.
@@ -258,6 +261,66 @@ impl BatchArgmin {
             self.tree.update_key(slot, key);
         }
     }
+
+    /// Serializes the warm-epoch state (priorities + epoch counter) into an
+    /// engine-checkpoint blob.
+    ///
+    /// The RNG-bearing warm state is exactly the per-instance priorities and
+    /// the position within the priority epoch: losing them across a resume
+    /// would force the next [`begin_warm`](BatchArgmin::begin_warm) onto the
+    /// refresh branch, consuming `n` extra RNG draws the uninterrupted run
+    /// never made. The tournament tree and dirty set are *not* written —
+    /// [`restore_warm_state`](BatchArgmin::restore_warm_state) marks every
+    /// slot dirty, so the first warm batch after a resume repairs the whole
+    /// tree from the policy's live keys without touching the RNG.
+    pub fn save_warm_state(&self, w: &mut StateWriter) {
+        w.u8(u8::from(self.warm_ready));
+        if self.warm_ready {
+            w.u32(self.batches_in_epoch);
+            w.u64s(&self.prios);
+        }
+    }
+
+    /// Restores warm-epoch state captured by
+    /// [`save_warm_state`](BatchArgmin::save_warm_state).
+    ///
+    /// After this call the next [`begin_warm`](BatchArgmin::begin_warm) with
+    /// the same cluster size takes the non-refresh branch (consuming no
+    /// randomness, exactly like the uninterrupted run) and repairs all keys
+    /// from the live key closure, because every slot is marked dirty here.
+    ///
+    /// # Errors
+    /// Returns a message when the blob is truncated or malformed.
+    pub fn restore_warm_state(&mut self, r: &mut StateReader<'_>) -> Result<(), String> {
+        match r.u8()? {
+            0 => {
+                self.invalidate();
+                Ok(())
+            }
+            1 => {
+                let batches_in_epoch = r.u32()?;
+                let prios = r.u64s()?;
+                if prios.is_empty() {
+                    return Err("warm picker state covers zero servers".to_string());
+                }
+                let n = prios.len();
+                self.n = n;
+                self.prios = prios;
+                self.batches_in_epoch = batches_in_epoch;
+                self.warm_ready = true;
+                if self.mode == ArgminMode::Indexed {
+                    // Placeholder keys: every slot is marked dirty below, so
+                    // the next begin_warm overwrites them from live keys.
+                    let prios = &self.prios;
+                    self.tree.rebuild(n, |_| 0.0, |i| prios[i]);
+                }
+                self.dirty = (0..n as u32).collect();
+                self.dirty_flags = vec![true; n];
+                Ok(())
+            }
+            other => Err(format!("invalid warm-ready flag byte {other}")),
+        }
+    }
 }
 
 /// Round tracker for a policy's persistent mirror of the engine's queue
@@ -266,6 +329,22 @@ impl BatchArgmin {
 pub struct SnapshotSync {
     /// The round whose snapshot the mirror was last synced to.
     synced_round: Option<u64>,
+}
+
+impl SnapshotSync {
+    /// The round the mirror was last synced to, if any. Checkpointed so a
+    /// resumed policy keeps its delta chain: without it the first resumed
+    /// round would take the full compare-and-mark path, which is decision-
+    /// identical but would break the mirror's `touched` overlay accounting.
+    pub fn synced_round(&self) -> Option<u64> {
+        self.synced_round
+    }
+
+    /// Restores the sync point captured by
+    /// [`synced_round`](SnapshotSync::synced_round).
+    pub fn set_synced_round(&mut self, round: Option<u64>) {
+        self.synced_round = round;
+    }
 }
 
 /// Repairs a policy's persistent local mirror of the true queue lengths from
@@ -638,6 +717,74 @@ mod tests {
         picker.mark_dirty(0);
         picker.begin_warm(2, |i| keys2[i], &mut rng);
         assert_eq!(picker.pick(|i| keys2[i]), 1);
+    }
+
+    /// Checkpoint contract of the warm picker: a picker restored mid-epoch
+    /// from saved warm state must pick the same servers *and* consume the
+    /// RNG identically to the original continuing uninterrupted — including
+    /// across the next epoch refresh.
+    #[test]
+    fn warm_state_save_restore_continues_bit_identically() {
+        let mut keys_a = vec![3.0f64, 1.0, 4.0, 1.0, 5.0];
+        let mut keys_b;
+        let mut original = BatchArgmin::new(ArgminMode::Indexed);
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        // Advance partway into an epoch, leaving the tree warm.
+        for _ in 0..10 {
+            original.begin_warm(5, |i| keys_a[i], &mut rng);
+            let p = original.pick(|i| keys_a[i]);
+            keys_a[p] += 1.0;
+            original.update(p, keys_a[p]);
+        }
+        // Checkpoint: warm state + RNG state.
+        let mut w = StateWriter::new();
+        original.save_warm_state(&mut w);
+        let blob = w.into_bytes();
+        keys_b = keys_a.clone();
+        let mut rng_b = StdRng::from_state(rng.state());
+        let mut restored = BatchArgmin::new(ArgminMode::Indexed);
+        let mut r = StateReader::new(&blob);
+        restored.restore_warm_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // Mutate a key out-of-batch on both sides (probe-style), then run
+        // far enough to cross the next epoch refresh.
+        keys_a[2] = 0.5;
+        keys_b[2] = 0.5;
+        original.mark_dirty(2);
+        restored.mark_dirty(2);
+        for batch in 0..(2 * PRIORITY_EPOCH_BATCHES) {
+            original.begin_warm(5, |i| keys_a[i], &mut rng);
+            restored.begin_warm(5, |i| keys_b[i], &mut rng_b);
+            for job in 0..3 {
+                let a = original.pick(|i| keys_a[i]);
+                let b = restored.pick(|i| keys_b[i]);
+                assert_eq!(a, b, "batch {batch} job {job}: restored pick diverged");
+                keys_a[a] += 1.0;
+                keys_b[b] += 1.0;
+                original.update(a, keys_a[a]);
+                restored.update(b, keys_b[b]);
+            }
+            assert_eq!(rng.gen::<u64>(), rng_b.gen::<u64>(), "batch {batch}");
+        }
+    }
+
+    /// A cold picker round-trips as "not warm"; corrupt blobs are refused.
+    #[test]
+    fn warm_state_restore_rejects_corrupt_blobs() {
+        let cold = BatchArgmin::new(ArgminMode::Indexed);
+        let mut w = StateWriter::new();
+        cold.save_warm_state(&mut w);
+        let blob = w.into_bytes();
+        let mut fresh = BatchArgmin::new(ArgminMode::Indexed);
+        let mut r = StateReader::new(&blob);
+        fresh.restore_warm_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // Bad flag byte.
+        let mut r = StateReader::new(&[9]);
+        assert!(fresh.restore_warm_state(&mut r).is_err());
+        // Warm flag with truncated body.
+        let mut r = StateReader::new(&[1, 0, 0]);
+        assert!(fresh.restore_warm_state(&mut r).is_err());
     }
 
     #[test]

@@ -30,7 +30,9 @@ use crate::common::{
     SnapshotSync,
 };
 use rand::RngCore;
-use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
+use scd_model::{
+    DispatchContext, DispatchPolicy, PolicyFactory, ServerId, StateReader, StateWriter,
+};
 
 /// The JSQ policy (heterogeneity-oblivious, full information).
 #[derive(Debug, Clone, Default)]
@@ -166,6 +168,44 @@ impl DispatchPolicy for JsqPolicy {
             }
             out.push(ServerId::new(target));
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        w.u8(u8::from(self.warm));
+        if self.warm {
+            // The persistent mirror, its sync point, the unreconciled own
+            // placements, and the warm priority epoch — losing any of these
+            // would change RNG consumption or the mirror overlay after a
+            // resume. (The per-batch configuration rebuilds everything from
+            // the snapshot each batch and needs none of them.)
+            w.u64s(&self.local);
+            w.opt_u64(self.sync.synced_round());
+            w.u32s(&self.touched);
+            self.picker.save_warm_state(&mut w);
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        let warm = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(format!("JSQ checkpoint: invalid warm flag byte {other}")),
+        };
+        if warm != self.warm {
+            return Err(
+                "JSQ checkpoint warm-mode flag does not match this configuration".to_string(),
+            );
+        }
+        if warm {
+            self.local = r.u64s()?;
+            self.sync.set_synced_round(r.opt_u64()?);
+            self.touched = r.u32s()?;
+            self.picker.restore_warm_state(&mut r)?;
+        }
+        r.finish()
     }
 }
 

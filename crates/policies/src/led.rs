@@ -16,7 +16,7 @@ use rand::Rng;
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
-    PolicyFactory, ServerId,
+    PolicyFactory, ServerId, StateReader, StateWriter,
 };
 
 /// Probing / ranking flavour for LED.
@@ -217,6 +217,53 @@ impl DispatchPolicy for LedPolicy {
             self.picker.update(target, key(target, estimates[target]));
             out.push(ServerId::new(target));
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        w.u8(u8::from(self.warm));
+        // The evolving backlog estimates (fractional, so exact bit patterns)
+        // plus the warm priority epoch. Rates and the probe sampler are
+        // static per run and come back from the factory.
+        w.f64s(&self.estimates);
+        if self.warm {
+            self.picker.save_warm_state(&mut w);
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        let warm = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(format!(
+                    "{} checkpoint: invalid warm flag byte {other}",
+                    self.name
+                ))
+            }
+        };
+        if warm != self.warm {
+            return Err(format!(
+                "{} checkpoint warm-mode flag does not match this configuration",
+                self.name
+            ));
+        }
+        let estimates = r.f64s()?;
+        if estimates.len() != self.estimates.len() {
+            return Err(format!(
+                "{} checkpoint covers {} servers, this cluster has {}",
+                self.name,
+                estimates.len(),
+                self.estimates.len()
+            ));
+        }
+        self.estimates = estimates;
+        if warm {
+            self.picker.restore_warm_state(&mut r)?;
+        }
+        r.finish()
     }
 }
 

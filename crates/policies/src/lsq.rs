@@ -17,7 +17,7 @@ use rand::Rng;
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
-    PolicyFactory, ServerId,
+    PolicyFactory, ServerId, StateReader, StateWriter,
 };
 
 /// Probing / ranking flavour for LSQ.
@@ -227,6 +227,55 @@ impl DispatchPolicy for LsqPolicy {
             self.picker.update(target, key(target, local[target]));
             out.push(ServerId::new(target));
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        w.u8(u8::from(self.warm));
+        // The persistent local estimates are the whole point of LSQ; the
+        // warm priority epoch must survive too or the first resumed batch
+        // would redraw priorities the uninterrupted run never drew. Rates,
+        // reciprocal rates, and the probe sampler are static per run and
+        // come back from the factory.
+        w.u64s(&self.local);
+        if self.warm {
+            self.picker.save_warm_state(&mut w);
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        let warm = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(format!(
+                    "{} checkpoint: invalid warm flag byte {other}",
+                    self.name
+                ))
+            }
+        };
+        if warm != self.warm {
+            return Err(format!(
+                "{} checkpoint warm-mode flag does not match this configuration",
+                self.name
+            ));
+        }
+        let local = r.u64s()?;
+        if local.len() != self.local.len() {
+            return Err(format!(
+                "{} checkpoint covers {} servers, this cluster has {}",
+                self.name,
+                local.len(),
+                self.local.len()
+            ));
+        }
+        self.local = local;
+        if warm {
+            self.picker.restore_warm_state(&mut r)?;
+        }
+        r.finish()
     }
 }
 

@@ -13,7 +13,7 @@ use rand::Rng;
 use rand::RngCore;
 use scd_model::{
     AliasSampler, BoxedPolicy, ClusterSpec, DispatchContext, DispatchPolicy, DispatcherId,
-    PolicyFactory, ServerId,
+    PolicyFactory, ServerId, StateReader, StateWriter,
 };
 
 /// Weighted-random dispatching: `p_s ∝ µ_s`.
@@ -215,6 +215,21 @@ impl DispatchPolicy for RoundRobinPolicy {
                 }
             }
         }));
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        w.u64(self.next as u64);
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        let next = r.u64()?;
+        r.finish()?;
+        self.next = usize::try_from(next)
+            .map_err(|_| format!("round-robin cursor {next} exceeds this platform's usize"))?;
+        Ok(())
     }
 }
 

@@ -24,7 +24,9 @@ use crate::common::{
     SnapshotSync,
 };
 use rand::RngCore;
-use scd_model::{DispatchContext, DispatchPolicy, PolicyFactory, ServerId};
+use scd_model::{
+    DispatchContext, DispatchPolicy, PolicyFactory, ServerId, StateReader, StateWriter,
+};
 
 /// The SED policy (heterogeneity-aware ranking, full information).
 #[derive(Debug, Clone, Default)]
@@ -178,6 +180,42 @@ impl DispatchPolicy for SedPolicy {
             }
             out.push(ServerId::new(target));
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let mut w = StateWriter::new();
+        w.u8(u8::from(self.warm));
+        if self.warm {
+            // Mirror + sync point + own placements + warm priority epoch.
+            // The reciprocal-rate tables are derived from static rates and
+            // refresh deterministically, so they are not checkpointed.
+            w.u64s(&self.local);
+            w.opt_u64(self.sync.synced_round());
+            w.u32s(&self.touched);
+            self.picker.save_warm_state(&mut w);
+        }
+        out.extend_from_slice(&w.into_bytes());
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        let warm = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(format!("SED checkpoint: invalid warm flag byte {other}")),
+        };
+        if warm != self.warm {
+            return Err(
+                "SED checkpoint warm-mode flag does not match this configuration".to_string(),
+            );
+        }
+        if warm {
+            self.local = r.u64s()?;
+            self.sync.set_synced_round(r.opt_u64()?);
+            self.touched = r.u32s()?;
+            self.picker.restore_warm_state(&mut r)?;
+        }
+        r.finish()
     }
 }
 

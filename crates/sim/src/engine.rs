@@ -1,5 +1,8 @@
 //! The three-phase round engine (Section 2 of the paper).
 
+use crate::checkpoint::{
+    DecisionState, EngineCheckpoint, HistogramState, ScenarioState, TrackerState,
+};
 use crate::config::SimConfig;
 use crate::queues::SegmentQueue;
 use crate::report::{DegradationMetrics, QueueSummary, SimReport};
@@ -55,6 +58,11 @@ pub enum SimError {
     /// policy or round clock) and were refused by the merge — merging
     /// reports of different runs would silently produce nonsense statistics.
     MergeMismatch(String),
+    /// A checkpoint could not be captured or restored: the requested
+    /// round is out of range, the checkpoint was taken under a different
+    /// configuration (digest mismatch), its shape disagrees with the
+    /// resuming run, or a policy rejected its state blob.
+    Checkpoint(String),
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +86,7 @@ impl fmt::Display for SimError {
                 write!(f, "shard {shard} report frame rejected: {cause}")
             }
             SimError::MergeMismatch(msg) => write!(f, "refusing to merge shard reports: {msg}"),
+            SimError::Checkpoint(msg) => write!(f, "checkpoint rejected: {msg}"),
         }
     }
 }
@@ -90,8 +99,19 @@ impl Error for SimError {
             SimError::Io { .. } => None,
             SimError::Codec { cause, .. } => Some(cause),
             SimError::MergeMismatch(_) => None,
+            SimError::Checkpoint(_) => None,
         }
     }
+}
+
+/// How (and whether) the round loop emits checkpoints: capture one every
+/// `every` rounds (0 = never), and — for
+/// [`Simulation::checkpoint`] — stop the run right after capturing at
+/// `stop_at`. Each capture is handed to `sink`, whose error aborts the run.
+struct CheckpointPlan<'a> {
+    every: u64,
+    stop_at: Option<u64>,
+    sink: &'a mut dyn FnMut(EngineCheckpoint) -> Result<(), SimError>,
 }
 
 // Seed-stream separation: each stochastic stream of the run is seeded from
@@ -253,7 +273,97 @@ impl Simulation {
     /// assignment with the wrong number of destinations or an out-of-range
     /// server.
     pub fn run(&self, factory: &dyn PolicyFactory) -> Result<SimReport, SimError> {
-        self.run_inner(factory, None)
+        let report = self.run_inner(factory, None, None, None)?;
+        Ok(report.expect("a run without a stop round always completes"))
+    }
+
+    /// Runs the simulation up to (but not including) `at_round` and
+    /// returns the [`EngineCheckpoint`] capturing its state at that round
+    /// boundary. [`resume_from`](Simulation::resume_from) on the result
+    /// completes the run bit-identically to an uninterrupted
+    /// [`run`](Simulation::run) (pinned by the resume tests).
+    ///
+    /// # Errors
+    /// [`SimError::Checkpoint`] if `at_round` is 0 or past the end of the
+    /// run, plus every error [`run`](Simulation::run) can produce.
+    pub fn checkpoint(
+        &self,
+        factory: &dyn PolicyFactory,
+        at_round: u64,
+    ) -> Result<EngineCheckpoint, SimError> {
+        if at_round == 0 || at_round >= self.config.rounds {
+            return Err(SimError::Checkpoint(format!(
+                "checkpoint round {at_round} outside the resumable range 1..{}",
+                self.config.rounds
+            )));
+        }
+        let mut captured = None;
+        let mut sink = |ckpt: EngineCheckpoint| {
+            captured = Some(ckpt);
+            Ok(())
+        };
+        let report = self.run_inner(
+            factory,
+            None,
+            None,
+            Some(CheckpointPlan {
+                every: 0,
+                stop_at: Some(at_round),
+                sink: &mut sink,
+            }),
+        )?;
+        debug_assert!(report.is_none(), "the run stops at the capture round");
+        captured.ok_or_else(|| {
+            SimError::Checkpoint("the run ended before the requested checkpoint round".into())
+        })
+    }
+
+    /// Resumes a run from a checkpoint and completes it, producing the
+    /// same report an uninterrupted [`run`](Simulation::run) would have.
+    ///
+    /// # Errors
+    /// [`SimError::Checkpoint`] if the checkpoint's config digest does not
+    /// match this configuration, its shape disagrees with the cluster, or
+    /// a policy rejects its state blob — plus every error
+    /// [`run`](Simulation::run) can produce.
+    pub fn resume_from(
+        &self,
+        factory: &dyn PolicyFactory,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<SimReport, SimError> {
+        let report = self.run_inner(factory, None, Some(checkpoint), None)?;
+        Ok(report.expect("a resumed run without a stop round always completes"))
+    }
+
+    /// Runs the simulation (optionally resumed from `resume`), handing a
+    /// checkpoint to `sink` every `every` rounds — at rounds that are
+    /// positive multiples of `every`, skipping the resume round itself
+    /// (the worker just received that state; re-emitting it would be
+    /// retry fuel without progress). `every == 0` captures nothing, which
+    /// makes this exactly [`run`](Simulation::run) /
+    /// [`resume_from`](Simulation::resume_from).
+    ///
+    /// # Errors
+    /// Everything [`resume_from`](Simulation::resume_from) can produce,
+    /// plus any error returned by `sink` (which aborts the run).
+    pub fn run_with_checkpoints(
+        &self,
+        factory: &dyn PolicyFactory,
+        every: u64,
+        resume: Option<&EngineCheckpoint>,
+        sink: &mut dyn FnMut(EngineCheckpoint) -> Result<(), SimError>,
+    ) -> Result<SimReport, SimError> {
+        let report = self.run_inner(
+            factory,
+            None,
+            resume,
+            Some(CheckpointPlan {
+                every,
+                stop_at: None,
+                sink,
+            }),
+        )?;
+        Ok(report.expect("a run without a stop round always completes"))
     }
 
     /// Like [`run`](Simulation::run), additionally recording a per-job event
@@ -275,15 +385,20 @@ impl Simulation {
             self.config.spec.num_servers(),
             self.config.rounds,
         );
-        let report = self.run_inner(factory, Some(&mut trace))?;
-        Ok((report, trace))
+        let report = self.run_inner(factory, Some(&mut trace), None, None)?;
+        Ok((
+            report.expect("a traced run without a stop round always completes"),
+            trace,
+        ))
     }
 
     fn run_inner(
         &self,
         factory: &dyn PolicyFactory,
         mut trace: Option<&mut RunTrace>,
-    ) -> Result<SimReport, SimError> {
+        resume: Option<&EngineCheckpoint>,
+        mut checkpoints: Option<CheckpointPlan<'_>>,
+    ) -> Result<Option<SimReport>, SimError> {
         let config = &self.config;
         let spec = &config.spec;
         let n = spec.num_servers();
@@ -470,9 +585,225 @@ impl Simulation {
         let mut recv_touched: Vec<u32> = Vec::new();
         let mut degradation = DegradationMetrics::default();
 
+        // ---- Checkpoint restore (crates/sim/src/checkpoint.rs) ----
+        // Applied after the normal state construction above, so everything a
+        // checkpoint does not capture (stream seeds, fault schedules, warm
+        // caches) is already in its round-0 form and the restore only
+        // overwrites the state that actually advances. The contract: after
+        // this block the resumed loop consumes RNG draws and produces
+        // decisions bit-identically to the uninterrupted run.
+        let start_round = if let Some(ckpt) = resume {
+            let digest = config.digest();
+            let mismatch = |what: &str| {
+                Err(SimError::Checkpoint(format!(
+                    "checkpoint does not fit this run: {what}"
+                )))
+            };
+            if ckpt.config_digest != digest {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint was taken under config digest {:#018x}, this run is {digest:#018x}",
+                    ckpt.config_digest
+                )));
+            }
+            if ckpt.round == 0 || ckpt.round >= config.rounds {
+                return mismatch(&format!(
+                    "round {} outside the resumable range 1..{}",
+                    ckpt.round, config.rounds
+                ));
+            }
+            if ckpt.num_servers != n || ckpt.num_dispatchers != m {
+                return mismatch(&format!(
+                    "shape is {} servers x {} dispatchers, this run is {n} x {m}",
+                    ckpt.num_servers, ckpt.num_dispatchers
+                ));
+            }
+            if ckpt.queues.len() != n
+                || ckpt.snapshot.len() != n
+                || ckpt.policy_rngs.len() != m
+                || ckpt.policy_state.len() != m
+            {
+                return mismatch("per-server / per-dispatcher vector widths disagree");
+            }
+            for (queue, segments) in queues.iter_mut().zip(&ckpt.queues) {
+                for &(arrival_round, count) in segments {
+                    queue.push(arrival_round, count);
+                }
+            }
+            snapshot.copy_from_slice(&ckpt.snapshot);
+            arrival_rng = StdRng::from_state(ckpt.arrival_rng);
+            service_rng = StdRng::from_state(ckpt.service_rng);
+            for (rng, &state) in policy_rngs.iter_mut().zip(&ckpt.policy_rngs) {
+                *rng = StdRng::from_state(state);
+            }
+            response_times = ResponseTimeHistogram::from_raw_parts(
+                ckpt.response_times.counts.clone(),
+                ckpt.response_times.count,
+                ckpt.response_times.raw_sum,
+            )
+            .map_err(SimError::Checkpoint)?;
+            let t = &ckpt.tracker;
+            if t.num_servers != n {
+                return mismatch(&format!("tracker covers {} servers", t.num_servers));
+            }
+            if config.histogram_metrics != t.per_server_sum.is_empty() {
+                return mismatch("metrics mode (full vs. histogram-only) disagrees");
+            }
+            tracker = QueueLengthTracker::from_raw_parts(
+                t.num_servers,
+                t.per_server_sum.clone(),
+                t.per_server_max.clone(),
+                t.idle_rounds.clone(),
+                t.occupancy.clone(),
+                t.total_sum,
+                t.total_max,
+                t.rounds,
+            )
+            .map_err(SimError::Checkpoint)?;
+            decision_times = match (&ckpt.decision_times, config.measure_decision_times) {
+                (Some(d), true) => Some(
+                    DecisionTimeHistogram::from_raw_parts(
+                        d.counts.clone(),
+                        (d.count, d.sum, d.min, d.max),
+                    )
+                    .map_err(SimError::Checkpoint)?,
+                ),
+                (None, false) => None,
+                _ => return mismatch("decision-time measurement presence disagrees"),
+            };
+            jobs_dispatched = ckpt.jobs_dispatched;
+            jobs_completed = ckpt.jobs_completed;
+            match (&ckpt.scenario, scn_active) {
+                (Some(s), true) => {
+                    if s.server_up.len() != n || s.dispatcher_up.len() != m || s.k_effs.len() != m {
+                        return mismatch("scenario vector widths disagree");
+                    }
+                    for (server, &up) in s.server_up.iter().enumerate() {
+                        if !up {
+                            avail.set(server, false);
+                        }
+                    }
+                    avail.refresh();
+                    dispatcher_up.copy_from_slice(&s.dispatcher_up);
+                    k_effs.copy_from_slice(&s.k_effs);
+                    match (ring.as_mut(), &s.ring) {
+                        (Some(dst), Some(src)) => {
+                            if src.len() != dst.len() || src.iter().any(|row| row.len() != n) {
+                                return mismatch("snapshot-ring shape disagrees");
+                            }
+                            for (dst_row, src_row) in dst.iter_mut().zip(src) {
+                                dst_row.copy_from_slice(src_row);
+                            }
+                        }
+                        (None, None) => {}
+                        _ => return mismatch("snapshot-ring presence disagrees"),
+                    }
+                    degradation = s.degradation;
+                    match oracle.as_ref() {
+                        Some(oracle) => oracle.preload_dropped(s.oracle_dropped),
+                        None if s.oracle_dropped != 0 => {
+                            return mismatch("probe-loss tally without a probe-loss oracle");
+                        }
+                        None => {}
+                    }
+                }
+                (None, false) => {}
+                _ => return mismatch("scenario-state presence disagrees"),
+            }
+            for (d, (policy, blob)) in policies.iter_mut().zip(&ckpt.policy_state).enumerate() {
+                policy.restore_state(blob).map_err(|msg| {
+                    SimError::Checkpoint(format!("policy state of dispatcher {d}: {msg}"))
+                })?;
+            }
+            ckpt.round
+        } else {
+            0
+        };
+        // The per-round cache carries no decision-relevant state of its own,
+        // but its delta refresh assumes it described the previous round's
+        // snapshot — untrue on the first resumed round, which therefore
+        // rebuilds in full (bit-identical, like every full-vs-delta rebuild).
+        let mut cache_needs_full = resume.is_some();
+
         let warmup = config.warmup_rounds;
 
-        for round in 0..config.rounds {
+        for round in start_round..config.rounds {
+            if let Some(plan) = checkpoints.as_mut() {
+                let stopping = plan.stop_at == Some(round);
+                let periodic =
+                    plan.every > 0 && round % plan.every == 0 && round != 0 && round != start_round;
+                if stopping || periodic {
+                    let capture = EngineCheckpoint {
+                        config_digest: config.digest(),
+                        round,
+                        num_servers: n,
+                        num_dispatchers: m,
+                        queues: queues.iter().map(|q| q.segments().collect()).collect(),
+                        snapshot: snapshot.clone(),
+                        arrival_rng: arrival_rng.state(),
+                        service_rng: service_rng.state(),
+                        policy_rngs: policy_rngs.iter().map(|rng| rng.state()).collect(),
+                        response_times: HistogramState {
+                            counts: response_times.bucket_counts().to_vec(),
+                            count: response_times.count(),
+                            raw_sum: response_times.raw_sum(),
+                        },
+                        tracker: {
+                            let (
+                                num_servers,
+                                per_server_sum,
+                                per_server_max,
+                                idle_rounds,
+                                occupancy,
+                                total_sum,
+                                total_max,
+                                rounds,
+                            ) = tracker.raw_parts();
+                            TrackerState {
+                                num_servers,
+                                per_server_sum,
+                                per_server_max,
+                                idle_rounds,
+                                occupancy,
+                                total_sum,
+                                total_max,
+                                rounds,
+                            }
+                        },
+                        decision_times: decision_times.as_ref().map(|hist| {
+                            let (count, sum, min, max) = hist.raw_parts();
+                            DecisionState {
+                                counts: hist.bucket_counts().to_vec(),
+                                count,
+                                sum,
+                                min,
+                                max,
+                            }
+                        }),
+                        jobs_dispatched,
+                        jobs_completed,
+                        scenario: scn_active.then(|| ScenarioState {
+                            server_up: (0..n).map(|s| avail.is_up(s)).collect(),
+                            dispatcher_up: dispatcher_up.clone(),
+                            k_effs: k_effs.clone(),
+                            ring: ring.clone(),
+                            degradation,
+                            oracle_dropped: oracle.as_ref().map_or(0, |o| o.dropped()),
+                        }),
+                        policy_state: policies
+                            .iter()
+                            .map(|policy| {
+                                let mut blob = Vec::new();
+                                policy.save_state(&mut blob);
+                                blob
+                            })
+                            .collect(),
+                    };
+                    (plan.sink)(capture)?;
+                    if stopping {
+                        return Ok(None);
+                    }
+                }
+            }
             let measured_round = round >= warmup;
             if scn_active {
                 // Phase 0: faults and information defects. One counter-mode
@@ -571,12 +902,13 @@ impl Simulation {
             // and delta repair vs. full rebuild is bit-identical anyway.
             let cache_ready = cache_demand > CacheDemand::None;
             if cache_ready {
-                if have_deltas && !scn_active {
+                if have_deltas && !scn_active && !cache_needs_full {
                     round_cache.begin_round_delta(&snapshot, rates, &dirty, cache_demand);
                 } else {
                     round_cache.begin_round_for(&snapshot, rates, cache_demand);
                 }
             }
+            cache_needs_full = false;
             let shared_ctx: Option<DispatchContext<'_>> = if scn_active {
                 None
             } else {
@@ -847,7 +1179,7 @@ impl Simulation {
         // the per-server idle fractions, with one rounding instead of n).
         let mean_idle_fraction = tracker.mean_idle_fraction();
 
-        Ok(SimReport {
+        Ok(Some(SimReport {
             policy: factory.name().to_string(),
             rounds: config.rounds,
             warmup_rounds: warmup,
@@ -869,7 +1201,7 @@ impl Simulation {
                 metrics.probes_dropped = oracle.as_ref().map_or(0, |o| o.dropped());
                 metrics
             }),
-        })
+        }))
     }
 }
 

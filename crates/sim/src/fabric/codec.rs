@@ -1,17 +1,36 @@
-//! The shard-report frame codec: the only bytes that cross a fabric
-//! process boundary.
+//! The fabric frame codec: the only bytes that cross a fabric process
+//! boundary.
 //!
-//! A frame wraps exactly one [`ShardReport`]:
+//! Two envelope generations share the magic and checksum scheme:
 //!
 //! ```text
+//! v2 (legacy, one final report per worker):
 //! offset  size  field
 //! 0       4     magic  b"SCDF"
-//! 4       1     format version (FRAME_VERSION)
+//! 4       1     format version (FRAME_VERSION_V2 = 2)
 //! 5       8     config digest (LE u64, SimConfig::digest of the base run)
 //! 13      4     payload length (LE u32)
 //! 17      len   payload (the ShardReport, field by field, LE)
 //! 17+len  8     FNV-1a 64 checksum (LE u64) over bytes 4 .. 17+len
+//!
+//! v3 (streaming: progress / checkpoint / final):
+//! offset  size  field
+//! 0       4     magic  b"SCDF"
+//! 4       1     format version (FRAME_VERSION = 3)
+//! 5       1     frame kind (1 = Progress, 2 = Checkpoint, 3 = Final)
+//! 6       8     config digest (LE u64)
+//! 14      4     payload length (LE u32)
+//! 18      len   payload (kind-specific, LE)
+//! 18+len  8     FNV-1a 64 checksum (LE u64) over bytes 4 .. 18+len
 //! ```
+//!
+//! A v2 frame is byte-for-byte what the PR 8 fabric shipped; workers
+//! running with checkpointing off still emit exactly one v2 frame, and
+//! [`decode_frame`] accepts both generations. The v3 `Final` payload is
+//! the v2 report payload with the degradation block widened by the two
+//! recovery counters (`checkpoints_taken`, `rounds_replayed`); `Progress`
+//! carries a fixed-width heartbeat and `Checkpoint` an opaque serialized
+//! [`EngineCheckpoint`](crate::checkpoint::EngineCheckpoint) blob.
 //!
 //! The payload encodes every field explicitly — counters and lengths as
 //! LE integers, floats by their IEEE-754 bit patterns (`to_bits`/
@@ -37,8 +56,13 @@ use std::fmt;
 /// The 4-byte frame preamble.
 pub const FRAME_MAGIC: [u8; 4] = *b"SCDF";
 
-/// Current frame-format version; bumped on any payload layout change.
-pub const FRAME_VERSION: u8 = 2;
+/// Current frame-format version (the streaming generation with a kind
+/// byte); bumped on any payload layout change.
+pub const FRAME_VERSION: u8 = 3;
+
+/// The legacy single-report frame version, still emitted verbatim when
+/// checkpointing is off and accepted by every decoder entry point.
+pub const FRAME_VERSION_V2: u8 = 2;
 
 /// Upper bound on a frame's declared payload length. The largest legal
 /// payload (a saturated response-time histogram plus a decision-time
@@ -66,6 +90,11 @@ pub enum CodecError {
     /// The version byte names a format this decoder does not speak.
     UnsupportedVersion {
         /// The version byte found.
+        got: u8,
+    },
+    /// A v3 frame's kind byte names no known frame kind.
+    UnknownKind {
+        /// The kind byte found.
         got: u8,
     },
     /// The declared payload length exceeds [`MAX_PAYLOAD_LEN`].
@@ -107,8 +136,12 @@ impl fmt::Display for CodecError {
             CodecError::UnsupportedVersion { got } => {
                 write!(
                     f,
-                    "unsupported frame version {got} (this decoder speaks {FRAME_VERSION})"
+                    "unsupported frame version {got} (this decoder speaks \
+                     {FRAME_VERSION_V2} and {FRAME_VERSION})"
                 )
+            }
+            CodecError::UnknownKind { got } => {
+                write!(f, "unknown v{FRAME_VERSION} frame kind byte {got}")
             }
             CodecError::Oversized { len } => {
                 write!(
@@ -142,72 +175,83 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Little-endian payload writer.
-struct ByteWriter {
+/// Little-endian payload writer, shared with the engine-checkpoint
+/// serializer in [`crate::checkpoint`].
+pub(crate) struct ByteWriter {
     buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ByteWriter { buf: Vec::new() }
     }
 
-    fn u8(&mut self, v: u8) {
+    /// Consumes the writer, yielding the accumulated bytes.
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u128(&mut self, v: u128) {
+    pub(crate) fn u128(&mut self, v: u128) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
     /// `usize` narrowed to the wire's u32; all encoded quantities (shard
     /// indices, bucket counts, name lengths) are far below `u32::MAX`.
-    fn len(&mut self, v: usize) -> Result<(), CodecError> {
+    pub(crate) fn len(&mut self, v: usize) -> Result<(), CodecError> {
         let v = u32::try_from(v)
             .map_err(|_| CodecError::Malformed(format!("length {v} exceeds the u32 wire width")))?;
         self.u32(v);
         Ok(())
     }
 
-    fn str(&mut self, s: &str) -> Result<(), CodecError> {
+    pub(crate) fn str(&mut self, s: &str) -> Result<(), CodecError> {
         self.len(s.len())?;
         self.buf.extend_from_slice(s.as_bytes());
         Ok(())
     }
 
-    fn counts(&mut self, counts: &[u64]) -> Result<(), CodecError> {
+    pub(crate) fn counts(&mut self, counts: &[u64]) -> Result<(), CodecError> {
         self.len(counts.len())?;
         for &c in counts {
             self.u64(c);
         }
         Ok(())
     }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
 }
 
-/// Little-endian payload reader over a borrowed slice.
-struct ByteReader<'a> {
+/// Little-endian payload reader over a borrowed slice, shared with
+/// [`crate::checkpoint`].
+pub(crate) struct ByteReader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         ByteReader { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::Truncated {
             needed: usize::MAX,
             got: self.bytes.len(),
@@ -223,44 +267,44 @@ impl<'a> ByteReader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn u128(&mut self) -> Result<u128, CodecError> {
+    pub(crate) fn u128(&mut self) -> Result<u128, CodecError> {
         Ok(u128::from_le_bytes(
             self.take(16)?.try_into().expect("16 bytes"),
         ))
     }
 
-    fn f64(&mut self) -> Result<f64, CodecError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn len(&mut self) -> Result<usize, CodecError> {
+    pub(crate) fn len(&mut self) -> Result<usize, CodecError> {
         Ok(self.u32()? as usize)
     }
 
-    fn str(&mut self) -> Result<String, CodecError> {
+    pub(crate) fn str(&mut self) -> Result<String, CodecError> {
         let len = self.len()?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| CodecError::Malformed("policy name is not UTF-8".into()))
     }
 
-    fn counts(&mut self) -> Result<Vec<u64>, CodecError> {
+    pub(crate) fn counts(&mut self) -> Result<Vec<u64>, CodecError> {
         let len = self.len()?;
         // The envelope already bounds the payload, so `len` can at worst
         // overstate what is left in the slice — caught by `take`.
@@ -271,12 +315,89 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
     }
 }
 
-fn encode_payload(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
+/// The three kinds a v3 frame can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A liveness heartbeat: the worker is alive and at a given round.
+    Progress = 1,
+    /// A serialized [`EngineCheckpoint`](crate::checkpoint::EngineCheckpoint)
+    /// the orchestrator can restart the shard from.
+    Checkpoint = 2,
+    /// The shard's final [`ShardReport`].
+    Final = 3,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Result<Self, CodecError> {
+        match b {
+            1 => Ok(FrameKind::Progress),
+            2 => Ok(FrameKind::Checkpoint),
+            3 => Ok(FrameKind::Final),
+            got => Err(CodecError::UnknownKind { got }),
+        }
+    }
+}
+
+/// A v3 heartbeat: emitted by a worker at every checkpoint boundary so the
+/// orchestrator's liveness deadline measures *progress*, not wall clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressFrame {
+    /// This worker's shard index.
+    pub shard: u32,
+    /// Total shards in the plan.
+    pub num_shards: u32,
+    /// Digest of the base (unsharded) `SimConfig`.
+    pub config_digest: u64,
+    /// The next round the worker is about to execute.
+    pub round: u64,
+    /// Total rounds in the run, so consumers can render progress.
+    pub rounds_total: u64,
+    /// Jobs dispatched so far on this shard.
+    pub jobs_dispatched: u64,
+}
+
+/// A v3 checkpoint frame: an opaque serialized engine checkpoint, retained
+/// by the orchestrator and shipped back to a replacement worker on retry.
+///
+/// The envelope checksum is the orchestrator's verification; the blob is
+/// only decoded by the worker that resumes from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointFrame {
+    /// This worker's shard index.
+    pub shard: u32,
+    /// Total shards in the plan.
+    pub num_shards: u32,
+    /// Digest of the base (unsharded) `SimConfig`.
+    pub config_digest: u64,
+    /// The serialized [`EngineCheckpoint`](crate::checkpoint::EngineCheckpoint).
+    pub state: Vec<u8>,
+}
+
+/// One decoded fabric frame of either envelope generation.
+///
+/// A legacy v2 frame decodes as [`Frame::Final`]; v3 frames decode by
+/// their kind byte.
+// The size skew is deliberate: exactly one `Final` is decoded per worker
+// attempt, so boxing it would tax the common (streaming) path's match arms
+// for no allocation win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A worker heartbeat.
+    Progress(ProgressFrame),
+    /// A restartable engine checkpoint.
+    Checkpoint(CheckpointFrame),
+    /// The shard's final report.
+    Final(ShardReport),
+}
+
+fn encode_payload(report: &ShardReport, v3: bool) -> Result<Vec<u8>, CodecError> {
     let mut w = ByteWriter::new();
     w.len(report.shard)?;
     w.len(report.num_shards)?;
@@ -321,12 +442,24 @@ fn encode_payload(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
             w.u64(d.herding_rounds);
             w.u64(d.shards_lost);
             w.u64(d.rounds_lost);
+            if v3 {
+                w.u64(d.checkpoints_taken);
+                w.u64(d.rounds_replayed);
+            } else if d.checkpoints_taken != 0 || d.rounds_replayed != 0 {
+                // The legacy layout has no slots for the recovery counters;
+                // dropping them silently would un-count real replays.
+                return Err(CodecError::Malformed(format!(
+                    "v{FRAME_VERSION_V2} frames cannot carry recovery counters \
+                     (checkpoints_taken={}, rounds_replayed={})",
+                    d.checkpoints_taken, d.rounds_replayed
+                )));
+            }
         }
     }
-    Ok(w.buf)
+    Ok(w.into_bytes())
 }
 
-fn decode_payload(payload: &[u8], config_digest: u64) -> Result<ShardReport, CodecError> {
+fn decode_payload(payload: &[u8], config_digest: u64, v3: bool) -> Result<ShardReport, CodecError> {
     let mut r = ByteReader::new(payload);
     let shard = r.len()?;
     let num_shards = r.len()?;
@@ -380,6 +513,8 @@ fn decode_payload(payload: &[u8], config_digest: u64) -> Result<ShardReport, Cod
             herding_rounds: r.u64()?,
             shards_lost: r.u64()?,
             rounds_lost: r.u64()?,
+            checkpoints_taken: if v3 { r.u64()? } else { 0 },
+            rounds_replayed: if v3 { r.u64()? } else { 0 },
         }),
         tag => {
             return Err(CodecError::Malformed(format!(
@@ -415,24 +550,38 @@ fn decode_payload(payload: &[u8], config_digest: u64) -> Result<ShardReport, Cod
     })
 }
 
-/// Encodes one [`ShardReport`] into a complete frame (header, payload,
-/// checksum). The header digest is the report's own
-/// [`config_digest`](ShardReport::config_digest).
-///
-/// # Errors
-/// Returns [`CodecError::Malformed`] only if a length field exceeds the
-/// u32 wire width — impossible for reports produced by the engine.
-pub fn encode_shard_report(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
-    let payload = encode_payload(report)?;
+/// Fixed header length of a v2 frame (magic, version, digest, len).
+pub(crate) const HEADER_LEN_V2: usize = 4 + 1 + 8 + 4;
+/// Fixed header length of a v3 frame (magic, version, kind, digest, len).
+pub(crate) const HEADER_LEN_V3: usize = 4 + 1 + 1 + 8 + 4;
+
+/// Wraps a payload in a complete frame: header, payload, checksum. A
+/// `kind` of `None` emits the legacy v2 header.
+fn seal_frame(
+    kind: Option<FrameKind>,
+    digest: u64,
+    payload: Vec<u8>,
+) -> Result<Vec<u8>, CodecError> {
     if payload.len() > MAX_PAYLOAD_LEN as usize {
         return Err(CodecError::Oversized {
-            len: payload.len() as u32,
+            len: u32::try_from(payload.len()).unwrap_or(u32::MAX),
         });
     }
-    let mut frame = Vec::with_capacity(4 + 1 + 8 + 4 + payload.len() + 8);
+    let header_len = if kind.is_some() {
+        HEADER_LEN_V3
+    } else {
+        HEADER_LEN_V2
+    };
+    let mut frame = Vec::with_capacity(header_len + payload.len() + 8);
     frame.extend_from_slice(&FRAME_MAGIC);
-    frame.push(FRAME_VERSION);
-    frame.extend_from_slice(&report.config_digest.to_le_bytes());
+    match kind {
+        Some(kind) => {
+            frame.push(FRAME_VERSION);
+            frame.push(kind as u8);
+        }
+        None => frame.push(FRAME_VERSION_V2),
+    }
+    frame.extend_from_slice(&digest.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
     let checksum = fnv1a64(&frame[4..]);
@@ -440,17 +589,82 @@ pub fn encode_shard_report(report: &ShardReport) -> Result<Vec<u8>, CodecError> 
     Ok(frame)
 }
 
-/// Decodes one complete frame back into a [`ShardReport`], verifying
-/// magic, version, declared length, checksum and payload layout. Strict:
-/// the slice must contain exactly one frame and nothing else.
+/// Encodes one [`ShardReport`] into a complete **legacy v2** frame — the
+/// byte-for-byte PR 8 wire format, still what a worker running with
+/// checkpointing off emits. The header digest is the report's own
+/// [`config_digest`](ShardReport::config_digest).
 ///
 /// # Errors
-/// Every rejection is a distinct [`CodecError`] variant; see the type.
-pub fn decode_shard_report(bytes: &[u8]) -> Result<ShardReport, CodecError> {
-    const HEADER_LEN: usize = 4 + 1 + 8 + 4;
-    if bytes.len() < HEADER_LEN {
+/// Returns [`CodecError::Malformed`] if a length field exceeds the u32
+/// wire width, or if the report carries nonzero recovery counters (the
+/// legacy layout has no slots for them — use [`encode_final_frame`]).
+pub fn encode_shard_report(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
+    seal_frame(None, report.config_digest, encode_payload(report, false)?)
+}
+
+/// Encodes one [`ShardReport`] into a v3 `Final` frame, recovery counters
+/// included.
+///
+/// # Errors
+/// Returns [`CodecError::Malformed`] only if a length field exceeds the
+/// u32 wire width — impossible for reports produced by the engine.
+pub fn encode_final_frame(report: &ShardReport) -> Result<Vec<u8>, CodecError> {
+    seal_frame(
+        Some(FrameKind::Final),
+        report.config_digest,
+        encode_payload(report, true)?,
+    )
+}
+
+/// Encodes a heartbeat into a v3 `Progress` frame.
+///
+/// # Errors
+/// Infallible in practice; the signature matches its siblings.
+pub fn encode_progress_frame(progress: &ProgressFrame) -> Result<Vec<u8>, CodecError> {
+    let mut w = ByteWriter::new();
+    w.u32(progress.shard);
+    w.u32(progress.num_shards);
+    w.u64(progress.round);
+    w.u64(progress.rounds_total);
+    w.u64(progress.jobs_dispatched);
+    seal_frame(
+        Some(FrameKind::Progress),
+        progress.config_digest,
+        w.into_bytes(),
+    )
+}
+
+/// Encodes a serialized engine checkpoint into a v3 `Checkpoint` frame.
+///
+/// # Errors
+/// Returns [`CodecError::Oversized`] if the state blob exceeds
+/// [`MAX_PAYLOAD_LEN`], or [`CodecError::Malformed`] if it is empty —
+/// the decoder rejects stateless checkpoints, so refusing to build one
+/// keeps the failure at the producer, where it is debuggable.
+pub fn encode_checkpoint_frame(checkpoint: &CheckpointFrame) -> Result<Vec<u8>, CodecError> {
+    if checkpoint.state.is_empty() {
+        return Err(CodecError::Malformed(
+            "refusing to encode a checkpoint frame with no state".into(),
+        ));
+    }
+    let mut w = ByteWriter::new();
+    w.u32(checkpoint.shard);
+    w.u32(checkpoint.num_shards);
+    w.bytes(&checkpoint.state);
+    seal_frame(
+        Some(FrameKind::Checkpoint),
+        checkpoint.config_digest,
+        w.into_bytes(),
+    )
+}
+
+/// Splits a validated envelope into its parts: the frame kind (`None` for
+/// v2), config digest, and payload slice. Shared by [`decode_frame`] and
+/// [`decode_shard_report`].
+fn open_frame(bytes: &[u8]) -> Result<(Option<FrameKind>, u64, &[u8]), CodecError> {
+    if bytes.len() < HEADER_LEN_V2 {
         return Err(CodecError::Truncated {
-            needed: HEADER_LEN,
+            needed: HEADER_LEN_V2,
             got: bytes.len(),
         });
     }
@@ -459,15 +673,29 @@ pub fn decode_shard_report(bytes: &[u8]) -> Result<ShardReport, CodecError> {
         return Err(CodecError::BadMagic { got: magic });
     }
     let version = bytes[4];
-    if version != FRAME_VERSION {
-        return Err(CodecError::UnsupportedVersion { got: version });
+    let (kind, header_len) = match version {
+        FRAME_VERSION_V2 => (None, HEADER_LEN_V2),
+        FRAME_VERSION => (Some(FrameKind::from_byte(bytes[5])?), HEADER_LEN_V3),
+        got => return Err(CodecError::UnsupportedVersion { got }),
+    };
+    if bytes.len() < header_len {
+        return Err(CodecError::Truncated {
+            needed: header_len,
+            got: bytes.len(),
+        });
     }
-    let config_digest = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes"));
-    let payload_len = u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes"));
+    let digest_at = header_len - 12;
+    let config_digest =
+        u64::from_le_bytes(bytes[digest_at..digest_at + 8].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(
+        bytes[header_len - 4..header_len]
+            .try_into()
+            .expect("4 bytes"),
+    );
     if payload_len > MAX_PAYLOAD_LEN {
         return Err(CodecError::Oversized { len: payload_len });
     }
-    let frame_len = HEADER_LEN + payload_len as usize + 8;
+    let frame_len = header_len + payload_len as usize + 8;
     if bytes.len() < frame_len {
         return Err(CodecError::Truncated {
             needed: frame_len,
@@ -484,7 +712,120 @@ pub fn decode_shard_report(bytes: &[u8]) -> Result<ShardReport, CodecError> {
     if computed != stored {
         return Err(CodecError::ChecksumMismatch { computed, stored });
     }
-    decode_payload(&bytes[HEADER_LEN..frame_len - 8], config_digest)
+    Ok((kind, config_digest, &bytes[header_len..frame_len - 8]))
+}
+
+/// Inspects a (possibly incomplete) frame prefix and reports the total
+/// frame length once the header is readable. Returns `Ok(None)` while the
+/// prefix is too short to know; envelope violations visible in the prefix
+/// (bad magic, unknown version or kind, oversized declared length) are
+/// rejected immediately, so a stream reader fails fast instead of waiting
+/// on garbage.
+///
+/// # Errors
+/// [`CodecError::BadMagic`], [`CodecError::UnsupportedVersion`],
+/// [`CodecError::UnknownKind`] or [`CodecError::Oversized`].
+pub fn peek_frame_len(bytes: &[u8]) -> Result<Option<usize>, CodecError> {
+    if bytes.len() >= 4 {
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != FRAME_MAGIC {
+            return Err(CodecError::BadMagic { got: magic });
+        }
+    }
+    if bytes.len() < 5 {
+        return Ok(None);
+    }
+    let header_len = match bytes[4] {
+        FRAME_VERSION_V2 => HEADER_LEN_V2,
+        FRAME_VERSION => {
+            if bytes.len() < 6 {
+                return Ok(None);
+            }
+            FrameKind::from_byte(bytes[5])?;
+            HEADER_LEN_V3
+        }
+        got => return Err(CodecError::UnsupportedVersion { got }),
+    };
+    if bytes.len() < header_len {
+        return Ok(None);
+    }
+    let payload_len = u32::from_le_bytes(
+        bytes[header_len - 4..header_len]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(CodecError::Oversized { len: payload_len });
+    }
+    Ok(Some(header_len + payload_len as usize + 8))
+}
+
+/// Decodes one complete frame of either envelope generation, verifying
+/// magic, version, kind, declared length, checksum and payload layout.
+/// Strict: the slice must contain exactly one frame and nothing else. A
+/// legacy v2 frame decodes as [`Frame::Final`].
+///
+/// # Errors
+/// Every rejection is a distinct [`CodecError`] variant; see the type.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, CodecError> {
+    let (kind, config_digest, payload) = open_frame(bytes)?;
+    match kind {
+        None => Ok(Frame::Final(decode_payload(payload, config_digest, false)?)),
+        Some(FrameKind::Final) => Ok(Frame::Final(decode_payload(payload, config_digest, true)?)),
+        Some(FrameKind::Progress) => {
+            let mut r = ByteReader::new(payload);
+            let frame = ProgressFrame {
+                shard: r.u32()?,
+                num_shards: r.u32()?,
+                config_digest,
+                round: r.u64()?,
+                rounds_total: r.u64()?,
+                jobs_dispatched: r.u64()?,
+            };
+            if r.remaining() != 0 {
+                return Err(CodecError::Malformed(format!(
+                    "{} unread bytes after the progress payload",
+                    r.remaining()
+                )));
+            }
+            Ok(Frame::Progress(frame))
+        }
+        Some(FrameKind::Checkpoint) => {
+            let mut r = ByteReader::new(payload);
+            let shard = r.u32()?;
+            let num_shards = r.u32()?;
+            let state = r.take(r.remaining())?.to_vec();
+            if state.is_empty() {
+                return Err(CodecError::Malformed(
+                    "checkpoint frame carries no state".into(),
+                ));
+            }
+            Ok(Frame::Checkpoint(CheckpointFrame {
+                shard,
+                num_shards,
+                config_digest,
+                state,
+            }))
+        }
+    }
+}
+
+/// Decodes one complete frame back into a [`ShardReport`]. Accepts a
+/// legacy v2 frame or a v3 `Final` frame; a v3 `Progress` or `Checkpoint`
+/// frame is rejected as [`CodecError::Malformed`].
+///
+/// # Errors
+/// Every rejection is a distinct [`CodecError`] variant; see the type.
+pub fn decode_shard_report(bytes: &[u8]) -> Result<ShardReport, CodecError> {
+    match decode_frame(bytes)? {
+        Frame::Final(report) => Ok(report),
+        Frame::Progress(_) => Err(CodecError::Malformed(
+            "expected a final-report frame, got a progress heartbeat".into(),
+        )),
+        Frame::Checkpoint(_) => Err(CodecError::Malformed(
+            "expected a final-report frame, got a checkpoint".into(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -597,6 +938,147 @@ mod tests {
         assert!(matches!(
             decode_shard_report(&corrupt).unwrap_err(),
             CodecError::ChecksumMismatch { .. } | CodecError::Malformed(_)
+        ));
+    }
+
+    fn sample_report_with_recovery(shard: usize) -> ShardReport {
+        let mut report = sample_report(shard);
+        let d = report.report.degradation.as_mut().unwrap();
+        d.checkpoints_taken = 7;
+        d.rounds_replayed = 123;
+        report
+    }
+
+    #[test]
+    fn v3_final_frame_round_trips_recovery_counters() {
+        let report = sample_report_with_recovery(2);
+        let frame = encode_final_frame(&report).unwrap();
+        assert_eq!(frame[4], FRAME_VERSION);
+        assert_eq!(frame[5], FrameKind::Final as u8);
+        assert_eq!(decode_frame(&frame).unwrap(), Frame::Final(report.clone()));
+        assert_eq!(decode_shard_report(&frame).unwrap(), report);
+    }
+
+    #[test]
+    fn v2_frames_refuse_recovery_counters_instead_of_dropping_them() {
+        let err = encode_shard_report(&sample_report_with_recovery(0)).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed(_)), "got {err}");
+    }
+
+    #[test]
+    fn v2_frame_decodes_as_a_final_frame() {
+        let report = sample_report(1);
+        let frame = encode_shard_report(&report).unwrap();
+        assert_eq!(frame[4], FRAME_VERSION_V2);
+        assert_eq!(decode_frame(&frame).unwrap(), Frame::Final(report));
+    }
+
+    #[test]
+    fn progress_and_checkpoint_frames_round_trip() {
+        let progress = ProgressFrame {
+            shard: 3,
+            num_shards: 4,
+            config_digest: 0xDEAD_BEEF,
+            round: 250,
+            rounds_total: 1000,
+            jobs_dispatched: 4321,
+        };
+        let frame = encode_progress_frame(&progress).unwrap();
+        assert_eq!(decode_frame(&frame).unwrap(), Frame::Progress(progress));
+
+        let checkpoint = CheckpointFrame {
+            shard: 1,
+            num_shards: 4,
+            config_digest: 0xDEAD_BEEF,
+            state: (0..=255u8).collect(),
+        };
+        let frame = encode_checkpoint_frame(&checkpoint).unwrap();
+        assert_eq!(decode_frame(&frame).unwrap(), Frame::Checkpoint(checkpoint));
+    }
+
+    #[test]
+    fn decode_shard_report_rejects_non_final_kinds() {
+        let progress = ProgressFrame {
+            shard: 0,
+            num_shards: 1,
+            config_digest: 9,
+            round: 1,
+            rounds_total: 2,
+            jobs_dispatched: 3,
+        };
+        let frame = encode_progress_frame(&progress).unwrap();
+        assert!(matches!(
+            decode_shard_report(&frame).unwrap_err(),
+            CodecError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_bytes_are_classified() {
+        let checkpoint = CheckpointFrame {
+            shard: 0,
+            num_shards: 1,
+            config_digest: 9,
+            state: vec![1, 2, 3],
+        };
+        let mut frame = encode_checkpoint_frame(&checkpoint).unwrap();
+        frame[5] = 77;
+        assert!(matches!(
+            decode_frame(&frame).unwrap_err(),
+            CodecError::UnknownKind { got: 77 }
+        ));
+        assert!(matches!(
+            peek_frame_len(&frame).unwrap_err(),
+            CodecError::UnknownKind { got: 77 }
+        ));
+    }
+
+    #[test]
+    fn every_v3_truncation_and_payload_flip_is_rejected() {
+        let frame = encode_final_frame(&sample_report_with_recovery(3)).unwrap();
+        for len in 0..frame.len() {
+            let err = decode_frame(&frame[..len]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Malformed(_)),
+                "prefix of {len} bytes gave {err}"
+            );
+        }
+        for i in 4..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_frame(&bad).is_err(), "flipped byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn peek_frame_len_is_incremental_and_fails_fast() {
+        let progress = ProgressFrame {
+            shard: 0,
+            num_shards: 2,
+            config_digest: 1,
+            round: 10,
+            rounds_total: 20,
+            jobs_dispatched: 30,
+        };
+        for frame in [
+            encode_progress_frame(&progress).unwrap(),
+            encode_shard_report(&sample_report(0)).unwrap(),
+        ] {
+            for len in 0..frame.len() {
+                match peek_frame_len(&frame[..len]).unwrap() {
+                    Some(total) => assert_eq!(total, frame.len()),
+                    None => assert!(len < 18, "header readable at {len} but peek deferred"),
+                }
+            }
+            assert_eq!(peek_frame_len(&frame).unwrap(), Some(frame.len()));
+        }
+        assert!(matches!(
+            peek_frame_len(b"XCDF....").unwrap_err(),
+            CodecError::BadMagic { .. }
+        ));
+        assert!(matches!(
+            peek_frame_len(&[b'S', b'C', b'D', b'F', 99]).unwrap_err(),
+            CodecError::UnsupportedVersion { got: 99 }
         ));
     }
 }

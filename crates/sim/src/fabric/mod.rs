@@ -10,28 +10,42 @@
 //! Three layers, mirroring the classic supervisor tree:
 //!
 //! * [`codec`] — a versioned, length-prefixed, checksummed binary frame
-//!   around one [`ShardReport`](crate::ShardReport). Everything a worker
-//!   sends is either a provably intact frame or a classified rejection
-//!   ([`CodecError`]); a torn pipe can never smuggle half a histogram into
-//!   a merged report.
+//!   envelope. The legacy v2 generation wraps one
+//!   [`ShardReport`](crate::ShardReport); the streaming v3 generation adds
+//!   a kind byte and carries `Progress` heartbeats, restartable
+//!   `Checkpoint` state and the `Final` report over the same envelope.
+//!   Everything a worker sends is either a provably intact frame or a
+//!   classified rejection ([`CodecError`]); a torn pipe can never smuggle
+//!   half a histogram — or half a checkpoint — into a run.
 //! * [`worker`] — the in-process body of the `shard_worker` binary: parse
 //!   one shard's configuration (the `key = value` wire form of
 //!   [`SimConfig`](crate::SimConfig) on stdin), check it against the
 //!   orchestrator's expectations (sub-master seed, config digest), run the
-//!   shard, emit one frame on stdout. A deterministic [`WorkerFaultPlan`]
-//!   injects crashes/hangs/corruption for the fault-tolerance tests — the
-//!   faults are part of the observable contract, not test-only hacks.
+//!   shard, and stream frames on stdout — one v2 frame in the legacy
+//!   one-shot mode (`--checkpoint-every 0`), a progress/checkpoint pair
+//!   every `R` rounds plus a v3 final frame otherwise. `--resume-from
+//!   stdin` restores a retained checkpoint and continues bit-identically.
+//!   A deterministic [`WorkerFaultPlan`] injects crashes (including
+//!   mid-stream, right after the N-th checkpoint), hangs and corruption
+//!   for the fault-tolerance tests — the faults are part of the observable
+//!   contract, not test-only hacks.
 //! * [`orchestrator`] — spawn `k` workers, supervise them under a
-//!   wall-clock timeout, classify every failure ([`WorkerFailure`]), retry
-//!   failed shards from their seeds with seeded exponential backoff, and
-//!   degrade to a **partial merge** (lost shards accounted in
+//!   **heartbeat deadline** (the per-frame inter-arrival bound, which
+//!   degenerates to the classic per-attempt wall clock when nothing
+//!   streams), classify every failure ([`WorkerFailure`]), retain each
+//!   shard's last verified checkpoint, restart failed workers **from that
+//!   checkpoint** — falling back to retry-from-seed when none exists or
+//!   the worker refuses it — with seeded exponential backoff, and degrade
+//!   to a **partial merge** (lost shards accounted in
 //!   [`DegradationMetrics::shards_lost`](crate::DegradationMetrics)) when
 //!   retries run out.
 //!
 //! # Determinism
 //!
 //! A shard's report is a pure function of its derived configuration, and
-//! retries re-run the *identical* configuration — so a retried crash is
+//! a checkpoint fully determines the remainder of a run (every RNG draw is
+//! counter-mode in `(seed, stream, ids, round)`) — so a retried crash,
+//! whether restarted from seed or resumed from a checkpoint, is
 //! indistinguishable from a run that never crashed, and a clean or
 //! recovered orchestrated run is **bit-identical** to the in-process
 //! [`ShardedSimulation`](crate::ShardedSimulation) at the same `k` (pinned
@@ -43,8 +57,16 @@ pub mod codec;
 pub mod orchestrator;
 pub mod worker;
 
-pub use codec::{decode_shard_report, encode_shard_report, CodecError, FRAME_VERSION};
+pub use codec::{
+    decode_frame, decode_shard_report, encode_checkpoint_frame, encode_final_frame,
+    encode_progress_frame, encode_shard_report, peek_frame_len, CheckpointFrame, CodecError, Frame,
+    FrameKind, ProgressFrame, FRAME_VERSION, FRAME_VERSION_V2,
+};
 pub use orchestrator::{
     run_fabric, FabricOutcome, FabricSpec, InjectedFault, ShardAttempt, WorkerFailure,
+    RESUME_DELIMITER,
 };
-pub use worker::{run_worker, WorkerFaultPlan, WorkerOutput, WorkerSpec};
+pub use worker::{
+    run_worker, WorkerFaultPlan, WorkerOutput, WorkerSpec, EXIT_CONFIG_REJECTED,
+    EXIT_RESUME_REJECTED,
+};

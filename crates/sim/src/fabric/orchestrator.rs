@@ -7,16 +7,36 @@
 //! stdin in the `key = value` wire form. The worker answers with one
 //! checksummed report frame on stdout.
 //!
-//! Supervision is per attempt: a wall-clock timeout bounds every worker,
-//! and every way an attempt can go wrong maps to one [`WorkerFailure`]
+//! Supervision is per frame, not per attempt: the deadline
+//! ([`FabricSpec::timeout`]) bounds the gap between consecutive stdout
+//! events of a worker — a **heartbeat deadline** that detects a stalled
+//! worker independently of total run length. A worker in the legacy
+//! one-shot mode emits exactly one event (its report frame), so the
+//! deadline degenerates to the classic per-attempt wall clock there.
+//! Every way an attempt can go wrong maps to one [`WorkerFailure`]
 //! variant — spawn failure, nonzero exit (crash), frame rejection
 //! (truncation/corruption, via [`CodecError`]), a report for the wrong
-//! experiment (digest mismatch) or the wrong shard, or a timeout kill.
+//! experiment (digest mismatch) or the wrong shard, or a deadline kill.
+//!
+//! With [`FabricSpec::checkpoint_every`]` = R > 0`, workers stream a
+//! progress heartbeat and a checkpoint frame every `R` rounds. The
+//! orchestrator verifies each checkpoint frame (envelope checksum, shard
+//! coordinates, decodable state) and **retains the newest verified one per
+//! shard**; a failed worker restarts *from that checkpoint* instead of
+//! from round 0, falling back to retry-from-seed when no checkpoint exists
+//! or the replacement worker refuses the shipped state
+//! ([`EXIT_RESUME_REJECTED`]). A worker that declares its configuration
+//! unusable ([`EXIT_CONFIG_REJECTED`]) is not retried at all — the same
+//! configuration would be re-sent. Recovery work is accounted in
+//! [`FabricOutcome::checkpoints_taken`] and
+//! [`FabricOutcome::rounds_replayed`]; because resume is bit-identical, a
+//! recovered run still equals the in-process sharded run exactly.
+//!
 //! Failed shards are retried up to [`FabricSpec::max_retries`] times with
 //! seeded exponential backoff; because a shard's report is a pure function
-//! of its (re-sent) configuration, a successful retry is **bit-identical**
-//! to a first-try success, and a clean or fully recovered fabric run
-//! equals the in-process sharded run exactly.
+//! of its (re-sent) configuration — and of any checkpoint, itself a pure
+//! function of that configuration — a successful retry is
+//! **bit-identical** to a first-try success.
 //!
 //! When a shard exhausts its retries the run *degrades instead of dying*:
 //! the surviving shards merge (the hardened
@@ -27,10 +47,11 @@
 //! result can never masquerade as a complete one. Only the loss of *every*
 //! shard is an error.
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::config::SimConfig;
 use crate::engine::SimError;
-use crate::fabric::codec::{decode_shard_report, CodecError, MAX_PAYLOAD_LEN};
-use crate::fabric::worker::WorkerFaultPlan;
+use crate::fabric::codec::{decode_frame, peek_frame_len, CodecError, Frame};
+use crate::fabric::worker::{WorkerFaultPlan, EXIT_CONFIG_REJECTED, EXIT_RESUME_REJECTED};
 use crate::report::DegradationMetrics;
 use crate::shard::{merge_shard_reports, ShardReport, ShardedSimulation};
 use crate::SimReport;
@@ -42,6 +63,10 @@ use std::path::PathBuf;
 use std::process::{Command, Stdio};
 use std::sync::mpsc;
 use std::time::Duration;
+
+/// The line separating the configuration text from the raw resume
+/// checkpoint frame on a resumed worker's stdin.
+pub const RESUME_DELIMITER: &str = "%%CHECKPOINT%%";
 
 /// A fault the orchestrator injects into a worker's command line — the
 /// test/CI handle for exercising the supervision paths on real processes.
@@ -70,9 +95,17 @@ pub struct FabricSpec {
     pub num_shards: usize,
     /// Retries per shard after the first attempt.
     pub max_retries: u32,
-    /// Wall-clock budget per worker attempt; an attempt still running at
-    /// the deadline is killed and classified [`WorkerFailure::Timeout`].
+    /// The heartbeat deadline: the wall-clock bound on the gap between
+    /// consecutive stdout events (frame or EOF) of a worker. A worker
+    /// silent past the deadline is killed and classified
+    /// [`WorkerFailure::Timeout`]. With `checkpoint_every == 0` a worker
+    /// emits exactly one event, so this is the classic per-attempt budget.
     pub timeout: Duration,
+    /// Ask every worker to stream a progress heartbeat plus a checkpoint
+    /// frame each `checkpoint_every` rounds; failed workers restart from
+    /// the newest verified checkpoint. `0` (the default) reproduces the
+    /// legacy one-shot protocol byte-for-byte.
+    pub checkpoint_every: u64,
     /// Backoff before retry `r` (counting from 1) starts from
     /// `backoff_base · 2^(r−1)`…
     pub backoff_base: Duration,
@@ -93,6 +126,7 @@ impl FabricSpec {
             num_shards,
             max_retries: 2,
             timeout: Duration::from_secs(60),
+            checkpoint_every: 0,
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
             injected: Vec::new(),
@@ -209,24 +243,76 @@ pub struct FabricOutcome {
     pub lost_shards: Vec<usize>,
     /// Every attempt made, in shard order then attempt order.
     pub attempts: Vec<ShardAttempt>,
+    /// Verified checkpoint frames retained across all shards and attempts.
+    pub checkpoints_taken: u64,
+    /// Rounds a retry re-executed that a failed attempt had already
+    /// computed past its own starting point — the work checkpointing
+    /// failed to save. Retry-from-seed after progress to round `p` replays
+    /// `p` rounds; resume from a checkpoint at the crash round replays 0.
+    pub rounds_replayed: u64,
 }
 
-/// The deterministic pre-retry pause: exponential in the retry number,
-/// jittered by the shard's `FABRIC_RETRY_STREAM_TAG` stream so simultaneous
-/// retries of different shards (or of different masters) spread out — yet
-/// any re-run of the same experiment waits the exact same schedule.
+/// The newest verified checkpoint of one shard: the round it resumes at
+/// and the intact frame re-shipped verbatim to the replacement worker.
+struct RetainedCheckpoint {
+    round: u64,
+    frame: Vec<u8>,
+}
+
+/// What one attempt's frame stream revealed, surviving the attempt's
+/// failure: the furthest round the worker provably reached, the newest
+/// verified checkpoint, and how many checkpoints verified.
+struct AttemptWatch {
+    progress_round: u64,
+    checkpoint: Option<RetainedCheckpoint>,
+    checkpoints_taken: u64,
+}
+
+/// Recovery accounting for one shard, summed into the fabric outcome.
+#[derive(Default)]
+struct ShardRecovery {
+    checkpoints_taken: u64,
+    rounds_replayed: u64,
+}
+
+/// The deterministic pre-retry pause before launching `attempt` (counting
+/// from 1; attempt 0 is the first try and never waits): exponential in the
+/// retry number, jittered by the shard's `FABRIC_RETRY_STREAM_TAG` stream
+/// so simultaneous retries of different shards (or of different masters)
+/// spread out — yet any re-run of the same experiment waits the exact same
+/// schedule. Total over `u32`: attempt 0 saturates to the first retry's
+/// pause instead of underflowing.
 fn retry_backoff(spec: &FabricSpec, master: u64, shard: usize, attempt: u32) -> Duration {
+    debug_assert!(
+        attempt > 0,
+        "attempt 0 is the first try and never backs off"
+    );
+    let retry = attempt.saturating_sub(1);
     let doubled = spec
         .backoff_base
-        .checked_mul(1u32 << attempt.min(20))
+        .checked_mul(1u32 << retry.min(20))
         .unwrap_or(spec.backoff_cap);
     let capped = doubled.min(spec.backoff_cap);
     let stream = derive_stream_seed(master, FABRIC_RETRY_STREAM_TAG, shard as u64);
-    let jitter = 0.5 + unit_f64(counter_draw(stream, u64::from(attempt)));
+    let jitter = 0.5 + unit_f64(counter_draw(stream, u64::from(retry)));
     capped.mul_f64(jitter)
 }
 
-/// Spawns and supervises one worker attempt.
+/// One stdout event of a supervised worker, as produced by the incremental
+/// frame reader: a complete frame, an envelope violation that desyncs the
+/// stream, or end-of-stream with whatever bytes never formed a frame.
+enum Wire {
+    Frame(Vec<u8>),
+    Malformed(CodecError),
+    Eof(Vec<u8>),
+}
+
+/// Spawns and supervises one worker attempt under the heartbeat deadline,
+/// recording progress and verified checkpoints into `watch` as the stream
+/// arrives (they survive the attempt's failure).
+// Every argument is genuinely per-attempt state; bundling them into a
+// one-shot struct would only move the list.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     spec: &FabricSpec,
     shard: usize,
@@ -234,6 +320,8 @@ fn run_attempt(
     digest: u64,
     config_text: &str,
     fault: &WorkerFaultPlan,
+    resume: Option<&RetainedCheckpoint>,
+    watch: &mut AttemptWatch,
 ) -> Result<ShardReport, WorkerFailure> {
     let mut command = Command::new(&spec.worker);
     command
@@ -246,7 +334,16 @@ fn run_attempt(
         .arg("--expect-seed")
         .arg(sub_seed.to_string())
         .arg("--digest")
-        .arg(digest.to_string())
+        .arg(digest.to_string());
+    if spec.checkpoint_every > 0 {
+        command
+            .arg("--checkpoint-every")
+            .arg(spec.checkpoint_every.to_string());
+    }
+    if resume.is_some() {
+        command.arg("--resume-from").arg("stdin");
+    }
+    command
         .args(fault.to_args())
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -254,30 +351,110 @@ fn run_attempt(
     let mut child = command
         .spawn()
         .map_err(|e| WorkerFailure::Spawn(e.to_string()))?;
-    // Hand the shard its configuration and close the pipe. A worker that
-    // died before reading makes this write fail with EPIPE — ignored here,
-    // because the exit status classifies that death more precisely.
+    // Hand the shard its configuration — plus, on a resumed attempt, the
+    // delimiter line and the retained checkpoint frame — and close the
+    // pipe. A worker that died before reading makes this write fail with
+    // EPIPE — ignored here, because the exit status classifies that death
+    // more precisely.
     if let Some(mut stdin) = child.stdin.take() {
         let _ = stdin.write_all(config_text.as_bytes());
+        if let Some(checkpoint) = resume {
+            if !config_text.ends_with('\n') {
+                let _ = stdin.write_all(b"\n");
+            }
+            let _ = stdin.write_all(format!("{RESUME_DELIMITER}\n").as_bytes());
+            let _ = stdin.write_all(&checkpoint.frame);
+        }
     }
-    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut stdout = child.stdout.take().expect("stdout was piped");
     let (tx, rx) = mpsc::channel();
     let reader = std::thread::spawn(move || {
-        let mut buf = Vec::new();
-        // Cap what a misbehaving worker can make us buffer; an over-long
-        // stream fails frame decoding as TrailingBytes.
-        let _ = stdout
-            .take(u64::from(MAX_PAYLOAD_LEN) + 64)
-            .read_to_end(&mut buf);
-        let _ = tx.send(buf);
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            // Drain every complete frame already buffered. Each frame is
+            // length-bounded by the envelope (`peek_frame_len` rejects
+            // oversized declared lengths), so a misbehaving worker cannot
+            // make this buffer grow without bound.
+            loop {
+                match peek_frame_len(&pending) {
+                    Ok(Some(len)) if pending.len() >= len => {
+                        let frame: Vec<u8> = pending.drain(..len).collect();
+                        if tx.send(Wire::Frame(frame)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(_) => break,
+                    Err(e) => {
+                        let _ = tx.send(Wire::Malformed(e));
+                        return;
+                    }
+                }
+            }
+            match stdout.read(&mut chunk) {
+                Ok(0) | Err(_) => {
+                    let _ = tx.send(Wire::Eof(pending));
+                    return;
+                }
+                Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            }
+        }
     });
-    let buf = match rx.recv_timeout(spec.timeout) {
-        Ok(buf) => buf,
-        Err(_) => {
-            let _ = child.kill();
-            let _ = child.wait();
-            let _ = reader.join();
-            return Err(WorkerFailure::Timeout);
+    let kill = |child: &mut std::process::Child| {
+        let _ = child.kill();
+        let _ = child.wait();
+    };
+    let mut final_report: Option<ShardReport> = None;
+    // Each received event re-arms the deadline: a streaming worker buys
+    // time by making progress, a silent one is killed after one period.
+    let leftover = loop {
+        match rx.recv_timeout(spec.timeout) {
+            Ok(Wire::Frame(bytes)) => match decode_frame(&bytes) {
+                Ok(Frame::Progress(p)) => {
+                    if p.config_digest == digest
+                        && p.shard as usize == shard
+                        && p.num_shards as usize == spec.num_shards
+                    {
+                        watch.progress_round = watch.progress_round.max(p.round);
+                    }
+                }
+                Ok(Frame::Checkpoint(frame)) => {
+                    // Retain only what provably restarts this shard of this
+                    // experiment; anything else is dropped, never fatal —
+                    // the worker may still finish, and retry-from-seed
+                    // remains the fallback.
+                    if frame.config_digest == digest
+                        && frame.shard as usize == shard
+                        && frame.num_shards as usize == spec.num_shards
+                    {
+                        if let Ok(state) = EngineCheckpoint::from_bytes(&frame.state) {
+                            watch.progress_round = watch.progress_round.max(state.round());
+                            watch.checkpoint = Some(RetainedCheckpoint {
+                                round: state.round(),
+                                frame: bytes,
+                            });
+                            watch.checkpoints_taken += 1;
+                        }
+                    }
+                }
+                Ok(Frame::Final(report)) => final_report = Some(report),
+                Err(e) => {
+                    kill(&mut child);
+                    let _ = reader.join();
+                    return Err(WorkerFailure::Frame(e));
+                }
+            },
+            Ok(Wire::Malformed(e)) => {
+                kill(&mut child);
+                let _ = reader.join();
+                return Err(WorkerFailure::Frame(e));
+            }
+            Ok(Wire::Eof(leftover)) => break leftover,
+            Err(_) => {
+                kill(&mut child);
+                let _ = reader.join();
+                return Err(WorkerFailure::Timeout);
+            }
         }
     };
     let _ = reader.join();
@@ -288,7 +465,21 @@ fn run_attempt(
     if !status.success() {
         return Err(WorkerFailure::NonZeroExit(status.code()));
     }
-    let report = decode_shard_report(&buf).map_err(WorkerFailure::Frame)?;
+    if !leftover.is_empty() {
+        // A clean exit with a torn tail: classify by decoding the tail.
+        return Err(WorkerFailure::Frame(
+            decode_frame(&leftover).expect_err("an incomplete frame cannot decode"),
+        ));
+    }
+    let report = match final_report {
+        Some(report) => report,
+        None => {
+            return Err(WorkerFailure::Frame(CodecError::Truncated {
+                needed: crate::fabric::codec::HEADER_LEN_V2,
+                got: 0,
+            }))
+        }
+    };
     if report.config_digest != digest {
         return Err(WorkerFailure::DigestMismatch {
             expected: digest,
@@ -304,7 +495,9 @@ fn run_attempt(
     Ok(report)
 }
 
-/// Runs one shard to success or retry exhaustion, logging every attempt.
+/// Runs one shard to success or retry exhaustion, logging every attempt,
+/// retaining the newest verified checkpoint across attempts and restarting
+/// failed workers from it.
 fn run_shard_supervised(
     spec: &FabricSpec,
     master: u64,
@@ -312,36 +505,89 @@ fn run_shard_supervised(
     sub_seed: u64,
     digest: u64,
     config_text: &str,
-) -> (Result<ShardReport, WorkerFailure>, Vec<ShardAttempt>) {
+) -> (
+    Result<ShardReport, WorkerFailure>,
+    Vec<ShardAttempt>,
+    ShardRecovery,
+) {
     let mut attempts = Vec::new();
     let mut last_failure = None;
+    let mut recovery = ShardRecovery::default();
+    let mut retained: Option<RetainedCheckpoint> = None;
+    // The furthest round any failed attempt provably reached — the work a
+    // retry starting earlier than it has to redo.
+    let mut observed_round: u64 = 0;
     for attempt in 0..=spec.max_retries {
+        let resume_round = retained.as_ref().map_or(0, |c| c.round);
         if attempt > 0 {
-            std::thread::sleep(retry_backoff(spec, master, shard, attempt - 1));
+            std::thread::sleep(retry_backoff(spec, master, shard, attempt));
+            recovery.rounds_replayed = recovery
+                .rounds_replayed
+                .saturating_add(observed_round.saturating_sub(resume_round));
         }
         let fault = spec.fault_for(shard, attempt);
-        match run_attempt(spec, shard, sub_seed, digest, config_text, &fault) {
+        let mut watch = AttemptWatch {
+            progress_round: resume_round,
+            checkpoint: None,
+            checkpoints_taken: 0,
+        };
+        let result = run_attempt(
+            spec,
+            shard,
+            sub_seed,
+            digest,
+            config_text,
+            &fault,
+            retained.as_ref(),
+            &mut watch,
+        );
+        recovery.checkpoints_taken = recovery
+            .checkpoints_taken
+            .saturating_add(watch.checkpoints_taken);
+        if let Some(checkpoint) = watch.checkpoint.take() {
+            retained = Some(checkpoint);
+        }
+        match result {
             Ok(report) => {
                 attempts.push(ShardAttempt {
                     shard,
                     attempt,
                     failure: None,
                 });
-                return (Ok(report), attempts);
+                return (Ok(report), attempts, recovery);
             }
             Err(failure) => {
+                observed_round = observed_round.max(watch.progress_round);
                 attempts.push(ShardAttempt {
                     shard,
                     attempt,
                     failure: Some(failure.clone()),
                 });
+                let fatal = matches!(
+                    failure,
+                    WorkerFailure::NonZeroExit(Some(EXIT_CONFIG_REJECTED))
+                );
+                if matches!(
+                    failure,
+                    WorkerFailure::NonZeroExit(Some(EXIT_RESUME_REJECTED))
+                ) {
+                    // The worker refused the shipped checkpoint (stricter
+                    // validation than ours); drop it and retry from seed.
+                    retained = None;
+                }
                 last_failure = Some(failure);
+                if fatal {
+                    // The worker declared the configuration itself
+                    // unusable; re-sending it cannot succeed.
+                    break;
+                }
             }
         }
     }
     (
         Err(last_failure.expect("at least one attempt ran")),
         attempts,
+        recovery,
     )
 }
 
@@ -369,7 +615,11 @@ pub fn run_fabric(config: &SimConfig, spec: &FabricSpec) -> Result<FabricOutcome
     let texts: Vec<String> = (0..k)
         .map(|j| sharded.shard_config(j).to_key_values())
         .collect::<Result<_, _>>()?;
-    type ShardOutcome = (Result<ShardReport, WorkerFailure>, Vec<ShardAttempt>);
+    type ShardOutcome = (
+        Result<ShardReport, WorkerFailure>,
+        Vec<ShardAttempt>,
+        ShardRecovery,
+    );
     let mut outcomes: Vec<Option<ShardOutcome>> = (0..k).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(k);
@@ -390,9 +640,13 @@ pub fn run_fabric(config: &SimConfig, spec: &FabricSpec) -> Result<FabricOutcome
     let mut lost_shards = Vec::new();
     let mut attempts = Vec::new();
     let mut first_loss: Option<WorkerFailure> = None;
+    let mut checkpoints_taken: u64 = 0;
+    let mut rounds_replayed: u64 = 0;
     for (j, outcome) in outcomes.into_iter().enumerate() {
-        let (result, shard_attempts) = outcome.expect("every shard ran");
+        let (result, shard_attempts, recovery) = outcome.expect("every shard ran");
         attempts.extend(shard_attempts);
+        checkpoints_taken = checkpoints_taken.saturating_add(recovery.checkpoints_taken);
+        rounds_replayed = rounds_replayed.saturating_add(recovery.rounds_replayed);
         match result {
             Ok(report) => survivors.push(report),
             Err(failure) => {
@@ -412,6 +666,10 @@ pub fn run_fabric(config: &SimConfig, spec: &FabricSpec) -> Result<FabricOutcome
     let mut report = merge_shard_reports(&survivors)?;
     report.offered_load = config.offered_load();
     if !lost_shards.is_empty() {
+        // A partial merge already diverges from the in-process run, so the
+        // recovery counters ride along in its degradation block. A *fully
+        // recovered* run stays bit-identical — its counters live only on
+        // the outcome.
         let d = report
             .degradation
             .get_or_insert(DegradationMetrics::default());
@@ -419,11 +677,15 @@ pub fn run_fabric(config: &SimConfig, spec: &FabricSpec) -> Result<FabricOutcome
         d.rounds_lost = d
             .rounds_lost
             .saturating_add((lost_shards.len() as u64).saturating_mul(config.rounds));
+        d.checkpoints_taken = d.checkpoints_taken.saturating_add(checkpoints_taken);
+        d.rounds_replayed = d.rounds_replayed.saturating_add(rounds_replayed);
     }
     Ok(FabricOutcome {
         report,
         lost_shards,
         attempts,
+        checkpoints_taken,
+        rounds_replayed,
     })
 }
 
@@ -447,13 +709,13 @@ mod tests {
     fn backoff_is_deterministic_exponential_and_jitter_bounded() {
         let spec = FabricSpec::new(PathBuf::from("worker"), "SCD", 4);
         for shard in 0..4usize {
-            for attempt in 0..6u32 {
+            for attempt in 1..=6u32 {
                 let a = retry_backoff(&spec, 9, shard, attempt);
                 let b = retry_backoff(&spec, 9, shard, attempt);
                 assert_eq!(a, b, "backoff must be reproducible");
                 let nominal = spec
                     .backoff_base
-                    .checked_mul(1 << attempt)
+                    .checked_mul(1 << (attempt - 1))
                     .unwrap_or(spec.backoff_cap)
                     .min(spec.backoff_cap);
                 assert!(a >= nominal.mul_f64(0.5), "shard {shard} attempt {attempt}");
@@ -461,10 +723,22 @@ mod tests {
             }
         }
         // Different shards (and different masters) jitter differently.
-        let j0 = retry_backoff(&spec, 9, 0, 0);
-        let j1 = retry_backoff(&spec, 9, 1, 0);
-        let j2 = retry_backoff(&spec, 10, 0, 0);
+        let j0 = retry_backoff(&spec, 9, 0, 1);
+        let j1 = retry_backoff(&spec, 9, 1, 1);
+        let j2 = retry_backoff(&spec, 10, 0, 1);
         assert!(j0 != j1 || j0 != j2, "jitter should depend on shard/master");
+    }
+
+    #[test]
+    fn backoff_is_total_over_u32() {
+        let spec = FabricSpec::new(PathBuf::from("worker"), "SCD", 4);
+        // Huge attempt numbers neither panic nor overflow: the exponent
+        // saturates and the cap (times the jitter bound) still holds.
+        for attempt in [7u32, 20, 21, 1 << 16, u32::MAX] {
+            let pause = retry_backoff(&spec, 9, 0, attempt);
+            assert!(pause < spec.backoff_cap.mul_f64(1.5), "attempt {attempt}");
+            assert!(pause >= spec.backoff_cap.mul_f64(0.5), "attempt {attempt}");
+        }
     }
 
     #[test]

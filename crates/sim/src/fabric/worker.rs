@@ -6,22 +6,49 @@
 //! [`ShardedSimulation::shard_config`](crate::ShardedSimulation) on the
 //! orchestrator side) on stdin, cross-checks it against the orchestrator's
 //! expectations, runs the shard exactly like the in-process engine would,
-//! and emits a single checksummed report frame on stdout. Everything
-//! operational — supervision, timeouts, retries, merging — lives with the
-//! orchestrator; a worker that dies mid-run leaves nothing behind but a
-//! classifiable failure.
+//! and answers on stdout. With `checkpoint_every == 0` and no resume state
+//! that answer is a single legacy (v2) report frame — byte-for-byte the
+//! pre-checkpoint protocol. With `checkpoint_every = R` the worker
+//! *streams*: a `Progress` heartbeat plus a `Checkpoint` frame every `R`
+//! rounds, then one v3 `Final` frame. A worker launched with a retained
+//! checkpoint (`--resume-from stdin`) restores it and continues the run
+//! bit-identically. Everything operational — supervision, heartbeat
+//! deadlines, retries, merging — lives with the orchestrator; a worker
+//! that dies mid-run leaves nothing behind but a classifiable failure and
+//! whatever verified checkpoints it already streamed.
 //!
 //! The [`WorkerFaultPlan`] makes the failure modes *deterministic and
-//! injectable*: a crash before the frame, a hang, a corrupted or truncated
-//! frame, an arbitrary exit code. The fault-tolerance tests and the CI
-//! smoke job drive the orchestrator through every classification branch
-//! with these flags, on the real process boundary.
+//! injectable*: a crash before the frame or right after the N-th
+//! checkpoint, a hang, a corrupted or truncated final frame, an arbitrary
+//! exit code. The fault-tolerance tests and the CI smoke job drive the
+//! orchestrator through every classification branch with these flags, on
+//! the real process boundary.
+//!
+//! Exit codes are part of the protocol: [`EXIT_CONFIG_REJECTED`] declares
+//! the configuration itself unusable (retrying cannot help), and
+//! [`EXIT_RESUME_REJECTED`] declares the shipped resume checkpoint
+//! unusable (the orchestrator falls back to retry-from-seed).
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::config::SimConfig;
 use crate::engine::{SimError, Simulation};
-use crate::fabric::codec::encode_shard_report;
+use crate::fabric::codec::{
+    decode_frame, encode_checkpoint_frame, encode_final_frame, encode_progress_frame,
+    encode_shard_report, CheckpointFrame, Frame, ProgressFrame, HEADER_LEN_V2, HEADER_LEN_V3,
+};
 use crate::shard::ShardReport;
 use scd_model::PolicyFactory;
+
+/// Exit code for a configuration the worker cannot run (malformed
+/// `key = value` stream, unknown fields, failed validation). The
+/// orchestrator treats it as fatal for the shard: the same configuration
+/// would be re-sent on retry, so retrying cannot succeed.
+pub const EXIT_CONFIG_REJECTED: i32 = 3;
+
+/// Exit code for a resume checkpoint the worker refuses (undecodable
+/// frame, wrong shard coordinates, digest mismatch, rejected state). The
+/// orchestrator drops the retained checkpoint and retries from seed.
+pub const EXIT_RESUME_REJECTED: i32 = 4;
 
 /// Deterministic fault injection for one worker invocation. The default
 /// plan is fault-free.
@@ -31,6 +58,11 @@ pub struct WorkerFaultPlan {
     /// round. A value at or beyond the configured round count never fires,
     /// so the same flag is safe on re-runs with longer horizons.
     pub fail_after_round: Option<u64>,
+    /// Crash (exit code 101) immediately after streaming the N-th
+    /// checkpoint frame (counting from 1) — the mid-stream death the
+    /// retry-from-checkpoint path recovers. Never fires when fewer
+    /// checkpoints are emitted (in particular with `checkpoint_every` 0).
+    pub fail_after_checkpoint: Option<u64>,
     /// Never produce output and never exit — simulate a wedged process.
     /// The orchestrator's wall-clock timeout is the only way out.
     pub hang: bool,
@@ -57,6 +89,10 @@ impl WorkerFaultPlan {
         if let Some(round) = self.fail_after_round {
             args.push("--fail-after-round".into());
             args.push(round.to_string());
+        }
+        if let Some(nth) = self.fail_after_checkpoint {
+            args.push("--fail-after-checkpoint".into());
+            args.push(nth.to_string());
         }
         if self.hang {
             args.push("--hang".into());
@@ -94,6 +130,14 @@ pub struct WorkerSpec {
     /// into the report frame so the orchestrator can tie the report back
     /// to the experiment it belongs to.
     pub config_digest: u64,
+    /// Stream a `Progress` + `Checkpoint` frame pair every this many
+    /// rounds. `0` (the default) reproduces the legacy one-shot protocol:
+    /// exactly one v2 report frame, byte-for-byte.
+    pub checkpoint_every: u64,
+    /// Whether stdin carries, after the configuration text and a
+    /// `%%CHECKPOINT%%` delimiter line, a raw checkpoint frame to resume
+    /// from (`--resume-from stdin`).
+    pub resume_from_stdin: bool,
     /// Injected faults, if any.
     pub fault: WorkerFaultPlan,
 }
@@ -111,19 +155,63 @@ pub enum WorkerOutput {
     Hang,
 }
 
+/// Decodes and cross-checks the resume checkpoint frame shipped on stdin.
+/// Every rejection maps to [`SimError::Checkpoint`], which the binary
+/// turns into [`EXIT_RESUME_REJECTED`] — the orchestrator's cue to retry
+/// from seed instead of from this checkpoint.
+fn decode_resume(
+    spec: &WorkerSpec,
+    config: &SimConfig,
+    frame: &[u8],
+) -> Result<EngineCheckpoint, SimError> {
+    let refuse = |msg: String| SimError::Checkpoint(msg);
+    let decoded = decode_frame(frame)
+        .map_err(|e| refuse(format!("resume checkpoint frame rejected: {e}")))?;
+    let Frame::Checkpoint(frame) = decoded else {
+        return Err(refuse("the resume frame is not a checkpoint frame".into()));
+    };
+    if frame.shard as usize != spec.shard || frame.num_shards as usize != spec.num_shards {
+        return Err(refuse(format!(
+            "resume checkpoint is for shard {} of {}, not shard {} of {}",
+            frame.shard, frame.num_shards, spec.shard, spec.num_shards
+        )));
+    }
+    if frame.config_digest != spec.config_digest {
+        return Err(refuse(format!(
+            "resume checkpoint envelope carries config digest {:#018x}, expected {:#018x}",
+            frame.config_digest, spec.config_digest
+        )));
+    }
+    let checkpoint = EngineCheckpoint::from_bytes(&frame.state)
+        .map_err(|e| refuse(format!("resume checkpoint state rejected: {e}")))?;
+    if checkpoint.config_digest() != config.digest() {
+        return Err(refuse(
+            "resume checkpoint state was taken under a different shard configuration".into(),
+        ));
+    }
+    Ok(checkpoint)
+}
+
 /// Runs one worker invocation: parse and cross-check the configuration,
-/// apply the fault plan, simulate the shard, encode the frame.
+/// apply the fault plan, simulate the shard — streaming progress and
+/// checkpoint frames through `emit` when `checkpoint_every > 0` — and
+/// encode the final frame.
 ///
 /// # Errors
 /// Returns [`SimError::InvalidConfig`] for an inconsistent spec (shard
-/// index out of range, stdin seed disagreeing with `expect_seed`), any
-/// parse error of the configuration text, and whatever the shard's own
-/// [`Simulation`] run reports. The binary maps errors to stderr plus a
-/// nonzero exit, which the orchestrator classifies like any other crash.
+/// index out of range, stdin seed disagreeing with `expect_seed`) or any
+/// parse error of the configuration text (the binary exits
+/// [`EXIT_CONFIG_REJECTED`]); [`SimError::Checkpoint`] for a refused
+/// resume checkpoint (the binary exits [`EXIT_RESUME_REJECTED`]); and
+/// whatever the shard's own [`Simulation`] run or the `emit` sink report.
+/// The binary maps other errors to stderr plus exit 2, which the
+/// orchestrator classifies like any other crash.
 pub fn run_worker(
     spec: &WorkerSpec,
     config_text: &str,
+    resume_frame: Option<&[u8]>,
     factory: &dyn PolicyFactory,
+    emit: &mut dyn FnMut(&[u8]) -> Result<(), SimError>,
 ) -> Result<WorkerOutput, SimError> {
     if let Some(code) = spec.fault.exit_code {
         return Ok(WorkerOutput::Exit(code));
@@ -154,8 +242,62 @@ pub fn run_worker(
             return Ok(WorkerOutput::Exit(101));
         }
     }
+    let resume = match resume_frame {
+        None => None,
+        Some(frame) => Some(decode_resume(spec, &config, frame)?),
+    };
     let num_servers = config.num_servers();
-    let report = Simulation::new(config)?.run(factory)?;
+    let rounds_total = config.rounds;
+    let streaming = spec.checkpoint_every > 0 || resume.is_some();
+    let sim = Simulation::new(config)?;
+    let codec_err = |cause| SimError::Codec {
+        shard: spec.shard,
+        cause,
+    };
+    let report = if streaming {
+        let mut emitted = 0u64;
+        let mut injected_crash = false;
+        let run = sim.run_with_checkpoints(
+            factory,
+            spec.checkpoint_every,
+            resume.as_ref(),
+            &mut |ckpt| {
+                let progress = encode_progress_frame(&ProgressFrame {
+                    shard: spec.shard as u32,
+                    num_shards: spec.num_shards as u32,
+                    config_digest: spec.config_digest,
+                    round: ckpt.round(),
+                    rounds_total,
+                    jobs_dispatched: ckpt.jobs_dispatched(),
+                })
+                .map_err(codec_err)?;
+                emit(&progress)?;
+                let frame = encode_checkpoint_frame(&CheckpointFrame {
+                    shard: spec.shard as u32,
+                    num_shards: spec.num_shards as u32,
+                    config_digest: spec.config_digest,
+                    state: ckpt.to_bytes().map_err(codec_err)?,
+                })
+                .map_err(codec_err)?;
+                emit(&frame)?;
+                emitted += 1;
+                if spec.fault.fail_after_checkpoint == Some(emitted) {
+                    injected_crash = true;
+                    return Err(SimError::Checkpoint(
+                        "injected crash after the checkpoint".into(),
+                    ));
+                }
+                Ok(())
+            },
+        );
+        match run {
+            Ok(report) => report,
+            Err(_) if injected_crash => return Ok(WorkerOutput::Exit(101)),
+            Err(e) => return Err(e),
+        }
+    } else {
+        sim.run(factory)?
+    };
     let shard_report = ShardReport {
         shard: spec.shard,
         num_shards: spec.num_shards,
@@ -163,14 +305,23 @@ pub fn run_worker(
         config_digest: spec.config_digest,
         report,
     };
-    let mut frame = encode_shard_report(&shard_report).map_err(|cause| SimError::Codec {
-        shard: spec.shard,
-        cause,
-    })?;
+    // The legacy one-shot protocol stays byte-for-byte: a worker that
+    // neither checkpoints nor resumes seals the v2 envelope.
+    let (mut frame, header_len) = if streaming {
+        (
+            encode_final_frame(&shard_report).map_err(codec_err)?,
+            HEADER_LEN_V3,
+        )
+    } else {
+        (
+            encode_shard_report(&shard_report).map_err(codec_err)?,
+            HEADER_LEN_V2,
+        )
+    };
     if spec.fault.corrupt_frame {
         // Flip a bit in the first payload byte: past the header, so the
         // envelope still parses and the *checksum* is what catches it.
-        frame[17] ^= 0x01;
+        frame[header_len] ^= 0x01;
     }
     if spec.fault.truncate_frame {
         frame.truncate(frame.len() / 2);
@@ -205,8 +356,22 @@ mod tests {
             num_shards: sharded.num_shards(),
             expect_seed: sharded.shard_config(shard).seed,
             config_digest: sharded.config().digest(),
+            checkpoint_every: 0,
+            resume_from_stdin: false,
             fault: WorkerFaultPlan::default(),
         }
+    }
+
+    /// `run_worker` with a sink that rejects intermediate frames — the
+    /// legacy path must never emit any.
+    fn run_oneshot(
+        spec: &WorkerSpec,
+        text: &str,
+        factory: &dyn PolicyFactory,
+    ) -> Result<WorkerOutput, SimError> {
+        run_worker(spec, text, None, factory, &mut |_| {
+            panic!("the one-shot path must not stream frames")
+        })
     }
 
     #[test]
@@ -217,7 +382,7 @@ mod tests {
         for (shard, expected) in in_process.iter().enumerate() {
             let text = sharded.shard_config(shard).to_key_values().unwrap();
             let spec = worker_spec(&sharded, shard);
-            match run_worker(&spec, &text, &factory).unwrap() {
+            match run_oneshot(&spec, &text, &factory).unwrap() {
                 WorkerOutput::Frame(frame) => {
                     assert_eq!(&decode_shard_report(&frame).unwrap(), expected);
                 }
@@ -227,16 +392,118 @@ mod tests {
     }
 
     #[test]
+    fn streaming_worker_checkpoints_resume_and_the_final_matches() {
+        let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
+        let factory = JsqFactory::new();
+        let expected = &sharded.run_shards(&factory, 1).unwrap()[0];
+        let text = sharded.shard_config(0).to_key_values().unwrap();
+        let mut spec = worker_spec(&sharded, 0);
+        spec.checkpoint_every = 60;
+        let mut streamed: Vec<Vec<u8>> = Vec::new();
+        let out = run_worker(&spec, &text, None, &factory, &mut |frame| {
+            streamed.push(frame.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        let WorkerOutput::Frame(final_frame) = out else {
+            panic!("streaming worker must end with a final frame");
+        };
+        assert_eq!(&decode_shard_report(&final_frame).unwrap(), expected);
+        // Rounds 60, 120 and 180, each as a progress + checkpoint pair.
+        assert_eq!(streamed.len(), 6);
+        let mut checkpoint_frames = Vec::new();
+        for (i, frame) in streamed.iter().enumerate() {
+            match decode_frame(frame).unwrap() {
+                Frame::Progress(p) if i % 2 == 0 => {
+                    assert_eq!(p.round, (i as u64 / 2 + 1) * 60);
+                    assert_eq!(p.rounds_total, 200);
+                    assert_eq!((p.shard, p.num_shards), (0, 2));
+                }
+                Frame::Checkpoint(c) if i % 2 == 1 => {
+                    assert_eq!((c.shard, c.num_shards), (0, 2));
+                    checkpoint_frames.push(frame.clone());
+                }
+                other => panic!("frame {i} has unexpected kind {other:?}"),
+            }
+        }
+        // Resuming from each streamed checkpoint reproduces the final
+        // report bit-identically — the worker-level resume contract.
+        for ckpt_frame in &checkpoint_frames {
+            let mut resume_spec = worker_spec(&sharded, 0);
+            resume_spec.resume_from_stdin = true;
+            let out = run_worker(&resume_spec, &text, Some(ckpt_frame), &factory, &mut |_| {
+                Ok(())
+            })
+            .unwrap();
+            let WorkerOutput::Frame(frame) = out else {
+                panic!("resumed worker must produce a final frame");
+            };
+            assert_eq!(&decode_shard_report(&frame).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn fail_after_checkpoint_crashes_mid_stream() {
+        let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
+        let factory = JsqFactory::new();
+        let text = sharded.shard_config(1).to_key_values().unwrap();
+        let mut spec = worker_spec(&sharded, 1);
+        spec.checkpoint_every = 50;
+        spec.fault.fail_after_checkpoint = Some(2);
+        let mut streamed = 0usize;
+        let out = run_worker(&spec, &text, None, &factory, &mut |_| {
+            streamed += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, WorkerOutput::Exit(101));
+        // Two progress + checkpoint pairs made it out before the crash.
+        assert_eq!(streamed, 4);
+    }
+
+    #[test]
+    fn bad_resume_frames_are_refused_as_checkpoint_errors() {
+        let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
+        let factory = JsqFactory::new();
+        let text = sharded.shard_config(0).to_key_values().unwrap();
+        let mut spec = worker_spec(&sharded, 0);
+        spec.checkpoint_every = 80;
+        let mut ckpt_frame = None;
+        let _ = run_worker(&spec, &text, None, &factory, &mut |frame| {
+            if let Ok(Frame::Checkpoint(_)) = decode_frame(frame) {
+                ckpt_frame.get_or_insert_with(|| frame.to_vec());
+            }
+            Ok(())
+        })
+        .unwrap();
+        let good = ckpt_frame.expect("a checkpoint was streamed");
+        let refuse = |frame: &[u8], spec: &WorkerSpec, text: &str| {
+            let err = run_worker(spec, text, Some(frame), &factory, &mut |_| Ok(())).unwrap_err();
+            assert!(matches!(err, SimError::Checkpoint(_)), "{err}");
+        };
+        // Garbage bytes, a truncated frame, and shard 0's checkpoint
+        // shipped to shard 1 (whose own configuration parses fine).
+        refuse(b"not a frame at all", &spec, &text);
+        refuse(&good[..good.len() / 2], &spec, &text);
+        let wrong_shard = worker_spec(&sharded, 1);
+        let wrong_text = sharded.shard_config(1).to_key_values().unwrap();
+        refuse(&good, &wrong_shard, &wrong_text);
+        // The good frame with the right spec still resumes cleanly.
+        let out = run_worker(&spec, &text, Some(&good), &factory, &mut |_| Ok(())).unwrap();
+        assert!(matches!(out, WorkerOutput::Frame(_)));
+    }
+
+    #[test]
     fn seed_disagreement_is_refused() {
         let sharded = ShardedSimulation::new(base_config(), 2).unwrap();
         let text = sharded.shard_config(0).to_key_values().unwrap();
         let mut spec = worker_spec(&sharded, 0);
         spec.expect_seed ^= 1;
-        let err = run_worker(&spec, &text, &JsqFactory::new()).unwrap_err();
+        let err = run_oneshot(&spec, &text, &JsqFactory::new()).unwrap_err();
         assert!(err.to_string().contains("sub-master"), "{err}");
         let mut bad_index = worker_spec(&sharded, 0);
         bad_index.shard = 5;
-        assert!(run_worker(&bad_index, &text, &JsqFactory::new()).is_err());
+        assert!(run_oneshot(&bad_index, &text, &JsqFactory::new()).is_err());
     }
 
     #[test]
@@ -247,7 +514,7 @@ mod tests {
         let with = |fault: WorkerFaultPlan| {
             let mut spec = worker_spec(&sharded, 1);
             spec.fault = fault;
-            run_worker(&spec, &text, &factory).unwrap()
+            run_oneshot(&spec, &text, &factory).unwrap()
         };
         assert_eq!(
             with(WorkerFaultPlan {
@@ -303,6 +570,7 @@ mod tests {
     fn fault_plan_round_trips_through_args() {
         let plan = WorkerFaultPlan {
             fail_after_round: Some(3),
+            fail_after_checkpoint: Some(1),
             hang: true,
             corrupt_frame: true,
             truncate_frame: true,
@@ -313,6 +581,8 @@ mod tests {
             vec![
                 "--fail-after-round",
                 "3",
+                "--fail-after-checkpoint",
+                "1",
                 "--hang",
                 "--corrupt-frame",
                 "--truncate-frame",

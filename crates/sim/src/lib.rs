@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod fabric;
@@ -77,11 +78,14 @@ pub mod trace;
 pub mod workload;
 
 pub use arrivals::ArrivalSpec;
+pub use checkpoint::EngineCheckpoint;
 pub use config::{SimConfig, SimConfigBuilder};
 pub use engine::{SimError, Simulation};
 pub use fabric::{
-    decode_shard_report, encode_shard_report, CodecError, FabricOutcome, FabricSpec, InjectedFault,
-    WorkerFailure, WorkerFaultPlan,
+    decode_frame, decode_shard_report, encode_checkpoint_frame, encode_final_frame,
+    encode_progress_frame, encode_shard_report, peek_frame_len, CheckpointFrame, CodecError,
+    FabricOutcome, FabricSpec, Frame, FrameKind, InjectedFault, ProgressFrame, WorkerFailure,
+    WorkerFaultPlan, EXIT_CONFIG_REJECTED, EXIT_RESUME_REJECTED,
 };
 pub use queues::SegmentQueue;
 pub use report::{DegradationMetrics, QueueSummary, SimReport};

@@ -72,6 +72,13 @@ impl SegmentQueue {
         self.segments.push_back(Segment { round, count });
     }
 
+    /// Visits every stored segment in FIFO order as `(arrival_round, count)`
+    /// pairs — the checkpoint serializer walks these; re-`push`ing them in
+    /// order onto an empty queue reconstructs the queue exactly.
+    pub fn segments(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.segments.iter().map(|s| (s.round, s.count))
+    }
+
     /// Dequeues up to `capacity` jobs in FIFO order, invoking
     /// `completed(arrival_round, count)` once per drained (partial) segment.
     /// Returns the number of jobs dequeued.

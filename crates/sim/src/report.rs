@@ -85,6 +85,17 @@ pub struct DegradationMetrics {
     /// rounds per shard`) — the work a rerun from the same seeds would have
     /// to redo to complete the experiment.
     pub rounds_lost: u64,
+    /// Checkpoint frames taken and verified across the run's workers (zero
+    /// for in-process runs and for fabric runs with checkpointing off).
+    #[serde(default)]
+    pub checkpoints_taken: u64,
+    /// Simulated rounds re-executed after crash recoveries: for each retry,
+    /// the rounds between the resume point (the last verified checkpoint,
+    /// or round 0 for a retry-from-seed) and the furthest progress the dead
+    /// worker had reported. Measures the work checkpointing saved — or, for
+    /// seed retries, the work it would have saved.
+    #[serde(default)]
+    pub rounds_replayed: u64,
 }
 
 impl DegradationMetrics {
@@ -105,6 +116,10 @@ impl DegradationMetrics {
         self.herding_rounds = self.herding_rounds.saturating_add(other.herding_rounds);
         self.shards_lost = self.shards_lost.saturating_add(other.shards_lost);
         self.rounds_lost = self.rounds_lost.saturating_add(other.rounds_lost);
+        self.checkpoints_taken = self
+            .checkpoints_taken
+            .saturating_add(other.checkpoints_taken);
+        self.rounds_replayed = self.rounds_replayed.saturating_add(other.rounds_replayed);
     }
 }
 
@@ -255,6 +270,8 @@ mod tests {
             herding_rounds: u64::MAX,
             shards_lost: 1,
             rounds_lost: u64::MAX - 3,
+            checkpoints_taken: 2,
+            rounds_replayed: u64::MAX - 1,
         };
         let b = DegradationMetrics {
             server_down_rounds: 1,
@@ -265,6 +282,8 @@ mod tests {
             herding_rounds: 1,
             shards_lost: 2,
             rounds_lost: 800,
+            checkpoints_taken: 3,
+            rounds_replayed: 400,
         };
         a.merge(&b);
         assert_eq!(a.server_down_rounds, 6);
@@ -273,6 +292,8 @@ mod tests {
         assert_eq!(a.herding_rounds, u64::MAX, "merge must saturate");
         assert_eq!(a.shards_lost, 3);
         assert_eq!(a.rounds_lost, u64::MAX, "lost-round accounting saturates");
+        assert_eq!(a.checkpoints_taken, 5);
+        assert_eq!(a.rounds_replayed, u64::MAX, "replay accounting saturates");
         assert_eq!(DegradationMetrics::default(), DegradationMetrics::default());
     }
 

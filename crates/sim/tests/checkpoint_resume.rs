@@ -1,0 +1,171 @@
+//! The engine-level checkpoint/resume invariant: a run resumed from a
+//! checkpoint at **any** round is bit-identical to the uninterrupted run —
+//! same report, same RNG consumption — for stateless and stateful (warm
+//! argmin, probe-marking, round-robin) policies alike, with and without an
+//! active scenario, and surviving a full serialize/deserialize round trip
+//! of the checkpoint bytes.
+
+use scd_core::policy::ScdFactory;
+use scd_model::{ClusterSpec, PolicyFactory};
+use scd_policies::{
+    JsqFactory, LedFactory, LsqFactory, RoundRobinFactory, SedFactory, WeightedRandomFactory,
+};
+use scd_sim::checkpoint::EngineCheckpoint;
+use scd_sim::scenario::{ScenarioSpec, StalenessSpec};
+use scd_sim::{ArrivalSpec, SimConfig, SimError, Simulation};
+
+fn base_config(seed: u64) -> SimConfig {
+    let spec = ClusterSpec::from_rates(vec![4.0, 2.0, 2.0, 1.0, 1.0, 0.5]).unwrap();
+    SimConfig::builder(spec)
+        .dispatchers(2)
+        .rounds(200)
+        .warmup_rounds(20)
+        .seed(seed)
+        .arrivals(ArrivalSpec::PoissonOfferedLoad { offered_load: 0.85 })
+        .build()
+        .unwrap()
+}
+
+fn factories() -> Vec<Box<dyn PolicyFactory>> {
+    vec![
+        Box::new(ScdFactory::new()),
+        Box::new(JsqFactory::new()),
+        Box::new(SedFactory::new()),
+        Box::new(LsqFactory::new()),
+        Box::new(LedFactory::new()),
+        Box::new(RoundRobinFactory::new()),
+        Box::new(WeightedRandomFactory::new()),
+    ]
+}
+
+/// Checkpoint rounds chosen to straddle warm-up (20) and the warm pickers'
+/// 64-batch epoch boundaries.
+const CHECKPOINT_ROUNDS: [u64; 6] = [1, 19, 64, 100, 128, 199];
+
+#[test]
+fn resume_at_any_round_is_bit_identical_to_a_straight_run() {
+    let sim = Simulation::new(base_config(42)).unwrap();
+    for factory in factories() {
+        let straight = sim.run(factory.as_ref()).unwrap();
+        for at_round in CHECKPOINT_ROUNDS {
+            let ckpt = sim.checkpoint(factory.as_ref(), at_round).unwrap();
+            assert_eq!(ckpt.round(), at_round);
+            let resumed = sim.resume_from(factory.as_ref(), &ckpt).unwrap();
+            assert_eq!(
+                resumed,
+                straight,
+                "{} resumed at round {at_round} diverged",
+                factory.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_under_an_active_scenario() {
+    let mut config = base_config(7);
+    config.scenario = ScenarioSpec {
+        server_fail_rate: 0.05,
+        server_repair_rate: 0.4,
+        dispatcher_fail_rate: 0.03,
+        dispatcher_repair_rate: 0.5,
+        staleness: StalenessSpec::UniformPerRound { max_k: 3 },
+        probe_loss_rate: 0.2,
+        ..ScenarioSpec::default()
+    };
+    let sim = Simulation::new(config).unwrap();
+    // LSQ exercises the probe-loss oracle tally; SCD the solver caches;
+    // JSQ the warm picker + mirror machinery.
+    for factory in [
+        Box::new(LsqFactory::new()) as Box<dyn PolicyFactory>,
+        Box::new(ScdFactory::new()),
+        Box::new(JsqFactory::new()),
+    ] {
+        let straight = sim.run(factory.as_ref()).unwrap();
+        assert!(straight.degradation.is_some(), "scenario must be active");
+        for at_round in CHECKPOINT_ROUNDS {
+            let ckpt = sim.checkpoint(factory.as_ref(), at_round).unwrap();
+            // Push the checkpoint through its wire form: the resumed run
+            // must be identical after serialization, too.
+            let bytes = ckpt.to_bytes().unwrap();
+            let restored = EngineCheckpoint::from_bytes(&bytes).unwrap();
+            let resumed = sim.resume_from(factory.as_ref(), &restored).unwrap();
+            assert_eq!(
+                resumed,
+                straight,
+                "{} resumed at round {at_round} diverged under the scenario",
+                factory.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn periodic_checkpoints_do_not_perturb_the_run_and_each_resumes() {
+    let sim = Simulation::new(base_config(3)).unwrap();
+    let factory = JsqFactory::new();
+    let straight = sim.run(&factory).unwrap();
+    let mut captured: Vec<EngineCheckpoint> = Vec::new();
+    let report = sim
+        .run_with_checkpoints(&factory, 45, None, &mut |ckpt| {
+            captured.push(ckpt);
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report, straight, "checkpoint capture perturbed the run");
+    let rounds: Vec<u64> = captured.iter().map(EngineCheckpoint::round).collect();
+    assert_eq!(rounds, vec![45, 90, 135, 180]);
+    for ckpt in &captured {
+        assert_eq!(sim.resume_from(&factory, ckpt).unwrap(), straight);
+    }
+}
+
+#[test]
+fn resuming_with_further_checkpoints_skips_the_resume_round() {
+    let sim = Simulation::new(base_config(3)).unwrap();
+    let factory = JsqFactory::new();
+    let straight = sim.run(&factory).unwrap();
+    let ckpt = sim.checkpoint(&factory, 90).unwrap();
+    let mut rounds: Vec<u64> = Vec::new();
+    let report = sim
+        .run_with_checkpoints(&factory, 45, Some(&ckpt), &mut |c| {
+            rounds.push(c.round());
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report, straight);
+    assert_eq!(rounds, vec![135, 180], "round 90 must not be re-emitted");
+}
+
+#[test]
+fn checkpoints_are_refused_across_configurations_and_bad_rounds() {
+    let factory = JsqFactory::new();
+    let sim = Simulation::new(base_config(1)).unwrap();
+    let other = Simulation::new(base_config(2)).unwrap();
+    let ckpt = sim.checkpoint(&factory, 50).unwrap();
+    assert!(matches!(
+        other.resume_from(&factory, &ckpt).unwrap_err(),
+        SimError::Checkpoint(_)
+    ));
+    assert!(matches!(
+        sim.checkpoint(&factory, 0).unwrap_err(),
+        SimError::Checkpoint(_)
+    ));
+    assert!(matches!(
+        sim.checkpoint(&factory, 200).unwrap_err(),
+        SimError::Checkpoint(_)
+    ));
+    // A checkpoint taken under a scenario cannot resume a fair-weather run.
+    let mut scenario_config = base_config(1);
+    scenario_config.scenario = ScenarioSpec {
+        server_fail_rate: 0.05,
+        server_repair_rate: 0.4,
+        ..ScenarioSpec::default()
+    };
+    let scenario_sim = Simulation::new(scenario_config).unwrap();
+    let scenario_ckpt = scenario_sim.checkpoint(&factory, 50).unwrap();
+    assert!(matches!(
+        sim.resume_from(&factory, &scenario_ckpt).unwrap_err(),
+        SimError::Checkpoint(_)
+    ));
+}

@@ -11,7 +11,11 @@
 
 use scd::metrics::{DecisionTimeHistogram, ResponseTimeHistogram};
 use scd::model::streams::{counter_draw, derive_stream_seed, unit_f64};
-use scd::sim::fabric::{decode_shard_report, encode_shard_report, CodecError};
+use scd::sim::fabric::{
+    decode_frame, decode_shard_report, encode_checkpoint_frame, encode_final_frame,
+    encode_progress_frame, encode_shard_report, peek_frame_len, CheckpointFrame, CodecError, Frame,
+    ProgressFrame, FRAME_VERSION, FRAME_VERSION_V2,
+};
 use scd::sim::{DegradationMetrics, QueueSummary, ShardReport, SimReport};
 
 /// A tiny deterministic generator on top of the model's counter streams —
@@ -64,6 +68,9 @@ fn random_report(case: u64) -> ShardReport {
     };
     let degradation = match g.next_in(3) {
         0 => None,
+        // The recovery counters stay zero here: these reports ride the v2
+        // envelope, which refuses counters it cannot represent (pinned by
+        // `recovery_counters_do_not_fit_the_v2_envelope` below).
         1 => Some(DegradationMetrics {
             server_down_rounds: g.next_u64(),
             dispatcher_offline_rounds: g.next_u64(),
@@ -73,6 +80,8 @@ fn random_report(case: u64) -> ShardReport {
             herding_rounds: g.next_u64(),
             shards_lost: g.next_in(16),
             rounds_lost: g.next_u64(),
+            checkpoints_taken: 0,
+            rounds_replayed: 0,
         }),
         // Saturated counters — the merge's saturating discipline must
         // survive the wire unclamped.
@@ -85,6 +94,8 @@ fn random_report(case: u64) -> ShardReport {
             herding_rounds: u64::MAX,
             shards_lost: u64::MAX,
             rounds_lost: u64::MAX,
+            checkpoints_taken: 0,
+            rounds_replayed: 0,
         }),
     };
     let num_shards = 1 + g.next_in(8) as usize;
@@ -264,4 +275,260 @@ fn envelope_violations_are_classified_not_lumped() {
         decode_shard_report(&corrupt),
         Err(CodecError::ChecksumMismatch { .. })
     ));
+}
+
+// ---------------------------------------------------------------------------
+// The streaming (v3) envelope generation: progress heartbeats, checkpoint
+// frames and recovery-counter-bearing final frames.
+// ---------------------------------------------------------------------------
+
+/// v3 header layout: magic 0..4, version @4, kind @5, digest 6..14,
+/// payload length 14..18.
+const V3_VERSION_AT: usize = 4;
+const V3_KIND_AT: usize = 5;
+const V3_LEN_AT: usize = 14;
+const V3_HEADER_LEN: usize = 18;
+
+fn random_progress(case: u64) -> ProgressFrame {
+    let mut g = Gen::new(0x5050_0000 | case);
+    let num_shards = 1 + g.next_in(32) as u32;
+    ProgressFrame {
+        shard: g.next_in(u64::from(num_shards)) as u32,
+        num_shards,
+        config_digest: g.next_u64(),
+        round: g.next_u64(),
+        rounds_total: g.next_u64(),
+        jobs_dispatched: g.next_u64(),
+    }
+}
+
+fn random_checkpoint(case: u64) -> CheckpointFrame {
+    let mut g = Gen::new(0xC4EC_0000 | case);
+    let num_shards = 1 + g.next_in(32) as u32;
+    CheckpointFrame {
+        shard: g.next_in(u64::from(num_shards)) as u32,
+        num_shards,
+        config_digest: g.next_u64(),
+        state: (0..1 + g.next_in(4096))
+            .map(|_| g.next_u64() as u8)
+            .collect(),
+    }
+}
+
+/// A report whose recovery counters are nonzero — only the v3 `Final`
+/// frame can carry it.
+fn recovered_report(case: u64) -> ShardReport {
+    let mut report = random_report(case);
+    report.report.degradation = Some(DegradationMetrics {
+        shards_lost: 1,
+        rounds_lost: 4_000,
+        checkpoints_taken: 7,
+        rounds_replayed: 123,
+        ..DegradationMetrics::default()
+    });
+    report
+}
+
+#[test]
+fn streaming_frames_round_trip_bit_for_bit() {
+    for case in 0..32 {
+        let progress = random_progress(case);
+        let frame = encode_progress_frame(&progress).unwrap();
+        assert_eq!(peek_frame_len(&frame).unwrap(), Some(frame.len()));
+        match decode_frame(&frame).unwrap() {
+            Frame::Progress(decoded) => assert_eq!(decoded, progress),
+            other => panic!("case {case}: progress decoded as {other:?}"),
+        }
+        assert_eq!(frame, encode_progress_frame(&progress).unwrap());
+
+        let checkpoint = random_checkpoint(case);
+        let frame = encode_checkpoint_frame(&checkpoint).unwrap();
+        assert_eq!(peek_frame_len(&frame).unwrap(), Some(frame.len()));
+        match decode_frame(&frame).unwrap() {
+            Frame::Checkpoint(decoded) => assert_eq!(decoded, checkpoint),
+            other => panic!("case {case}: checkpoint decoded as {other:?}"),
+        }
+    }
+    // A final frame with live recovery counters survives the v3 wire...
+    let report = recovered_report(5);
+    let frame = encode_final_frame(&report).unwrap();
+    assert_eq!(decode_shard_report(&frame).unwrap(), report);
+    match decode_frame(&frame).unwrap() {
+        Frame::Final(decoded) => assert_eq!(decoded, report),
+        other => panic!("final decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn recovery_counters_do_not_fit_the_v2_envelope() {
+    // ...while the legacy envelope refuses to silently drop them.
+    let report = recovered_report(6);
+    assert!(matches!(
+        encode_shard_report(&report),
+        Err(CodecError::Malformed(_))
+    ));
+    // A v2 frame of the same report with zeroed counters decodes with the
+    // counters zero-filled, not garbage.
+    let mut legacy = report.clone();
+    {
+        let degradation = legacy.report.degradation.as_mut().unwrap();
+        degradation.checkpoints_taken = 0;
+        degradation.rounds_replayed = 0;
+    }
+    let frame = encode_shard_report(&legacy).unwrap();
+    assert_eq!(decode_shard_report(&frame).unwrap(), legacy);
+}
+
+#[test]
+fn streaming_frames_are_not_final_reports() {
+    // The one-shot entry point must never mistake a heartbeat or a
+    // checkpoint for a result.
+    let progress = encode_progress_frame(&random_progress(0)).unwrap();
+    assert!(matches!(
+        decode_shard_report(&progress),
+        Err(CodecError::Malformed(_))
+    ));
+    let checkpoint = encode_checkpoint_frame(&random_checkpoint(0)).unwrap();
+    assert!(matches!(
+        decode_shard_report(&checkpoint),
+        Err(CodecError::Malformed(_))
+    ));
+}
+
+#[test]
+fn every_prefix_of_every_streaming_frame_is_rejected_or_incomplete() {
+    let frames = [
+        encode_progress_frame(&random_progress(3)).unwrap(),
+        encode_checkpoint_frame(&random_checkpoint(3)).unwrap(),
+        encode_final_frame(&recovered_report(3)).unwrap(),
+    ];
+    for frame in &frames {
+        for len in 0..frame.len() {
+            // Strict decode never accepts a prefix...
+            assert!(
+                decode_frame(&frame[..len]).is_err(),
+                "prefix of length {len} decoded"
+            );
+            // ...and the stream peeker either keeps waiting or reports the
+            // exact total length — a valid prefix is never an error.
+            match peek_frame_len(&frame[..len]).unwrap() {
+                None => assert!(len < V3_HEADER_LEN),
+                Some(total) => assert_eq!(total, frame.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_mutations_of_streaming_frames_never_misdecode() {
+    let frames = [
+        encode_progress_frame(&random_progress(11)).unwrap(),
+        encode_checkpoint_frame(&random_checkpoint(11)).unwrap(),
+    ];
+    for frame in &frames {
+        for index in 0..frame.len() {
+            let mut mutated = frame.clone();
+            mutated[index] ^= 0x10;
+            assert!(
+                decode_frame(&mutated).is_err(),
+                "mutated byte {index} decoded silently"
+            );
+        }
+    }
+}
+
+#[test]
+fn length_prefix_lies_are_classified() {
+    let frame = encode_progress_frame(&random_progress(21)).unwrap();
+    let declared = u32::from_le_bytes(frame[V3_LEN_AT..V3_LEN_AT + 4].try_into().unwrap());
+
+    // An inflated length makes the frame look incomplete, never panics.
+    let mut inflated = frame.clone();
+    inflated[V3_LEN_AT..V3_LEN_AT + 4].copy_from_slice(&(declared + 4).to_le_bytes());
+    assert!(matches!(
+        decode_frame(&inflated),
+        Err(CodecError::Truncated { .. })
+    ));
+
+    // A deflated length leaves trailing bytes behind the declared frame.
+    let mut deflated = frame.clone();
+    deflated[V3_LEN_AT..V3_LEN_AT + 4].copy_from_slice(&(declared - 4).to_le_bytes());
+    assert!(matches!(
+        decode_frame(&deflated),
+        Err(CodecError::TrailingBytes { .. })
+    ));
+
+    // An absurd length is rejected before any allocation, by the peeker
+    // too — a stream reader must not wait 4 GiB for garbage.
+    let mut absurd = frame;
+    absurd[V3_LEN_AT..V3_LEN_AT + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_frame(&absurd),
+        Err(CodecError::Oversized { .. })
+    ));
+    assert!(matches!(
+        peek_frame_len(&absurd),
+        Err(CodecError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn version_and_kind_skew_is_rejected_not_misread() {
+    let v3 = encode_progress_frame(&random_progress(31)).unwrap();
+    let v2 = encode_shard_report(&random_report(31)).unwrap();
+
+    // A future version is refused outright, by the peeker too.
+    let mut future = v3.clone();
+    future[V3_VERSION_AT] = FRAME_VERSION + 1;
+    assert!(matches!(
+        decode_frame(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+    assert!(matches!(
+        peek_frame_len(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+
+    // An unknown kind byte fails fast in both entry points.
+    let mut unknown = v3.clone();
+    unknown[V3_KIND_AT] = 0x7F;
+    assert!(matches!(
+        decode_frame(&unknown),
+        Err(CodecError::UnknownKind { .. })
+    ));
+    assert!(matches!(
+        peek_frame_len(&unknown),
+        Err(CodecError::UnknownKind { .. })
+    ));
+
+    // Cross-generation relabeling re-frames the header bytes, so the
+    // checksum (or the kind gate) must catch it — a classified error,
+    // never a silent misdecode or a panic.
+    let mut v3_as_v2 = v3;
+    v3_as_v2[V3_VERSION_AT] = FRAME_VERSION_V2;
+    assert!(decode_frame(&v3_as_v2).is_err());
+    let mut v2_as_v3 = v2;
+    v2_as_v3[V3_VERSION_AT] = FRAME_VERSION;
+    assert!(decode_frame(&v2_as_v3).is_err());
+}
+
+#[test]
+fn empty_checkpoint_state_is_rejected_at_both_ends() {
+    let mut checkpoint = random_checkpoint(1);
+    checkpoint.state.clear();
+    // The encoder refuses to build the degenerate frame...
+    let encoded = encode_checkpoint_frame(&checkpoint);
+    assert!(matches!(encoded, Err(CodecError::Malformed(_))));
+    // ...and a hand-forged empty-state frame is refused by the decoder:
+    // keep the envelope intact but empty the payload down to the
+    // coordinates. Build it from a 1-byte-state frame by shrinking the
+    // declared length — the checksum then mismatches, which is exactly
+    // the point: there is no way to smuggle an empty checkpoint through.
+    let mut tiny = random_checkpoint(2);
+    tiny.state = vec![0xAB];
+    let forged = encode_checkpoint_frame(&tiny).unwrap();
+    let declared = u32::from_le_bytes(forged[V3_LEN_AT..V3_LEN_AT + 4].try_into().unwrap());
+    let mut shrunk = forged;
+    shrunk[V3_LEN_AT..V3_LEN_AT + 4].copy_from_slice(&(declared - 1).to_le_bytes());
+    assert!(decode_frame(&shrunk).is_err());
 }
